@@ -1,0 +1,194 @@
+//! Frame-sequence distance measures used by the baselines.
+
+/// L1 (city-block) distance between two feature vectors.
+///
+/// # Panics
+/// Panics if the vectors differ in dimensionality.
+pub fn l1(a: &[f32], b: &[f32]) -> f64 {
+    assert_eq!(a.len(), b.len(), "feature dimensionality mismatch");
+    a.iter().zip(b).map(|(&x, &y)| f64::from((x - y).abs())).sum()
+}
+
+/// The Seq measure (Hampapur et al.): mean distance between temporally
+/// aligned frame pairs. When the sequences differ in length (different
+/// frame rates), the shorter index range is scaled over the longer — a
+/// uniform temporal alignment, which is the strongest variant of the
+/// original fixed-alignment measure.
+///
+/// # Panics
+/// Panics if either sequence is empty.
+pub fn seq_distance(q: &[Vec<f32>], p: &[Vec<f32>]) -> f64 {
+    assert!(!q.is_empty() && !p.is_empty(), "empty sequence");
+    let n = q.len().min(p.len());
+    if n == 1 {
+        return l1(&q[0], &p[0]);
+    }
+    let mut total = 0.0f64;
+    // Endpoint-inclusive uniform mapping (first and last frames align
+    // exactly regardless of the rate ratio).
+    #[allow(clippy::needless_range_loop)]
+    for i in 0..n {
+        let qi = (i * (q.len() - 1) + (n - 1) / 2) / (n - 1);
+        let pi = (i * (p.len() - 1) + (n - 1) / 2) / (n - 1);
+        total += l1(&q[qi], &p[pi]);
+    }
+    total / n as f64
+}
+
+/// Banded dynamic time warping (the Warp measure, Chiu et al.): minimum
+/// cumulative frame distance over monotone alignments within a
+/// Sakoe–Chiba band of half-width `r`, normalized by the warping path
+/// length. `r` is in frames; `r = 0` degenerates to the aligned diagonal.
+///
+/// Runs in `O(n·r)` time and `O(n)` space.
+///
+/// # Panics
+/// Panics if either sequence is empty.
+pub fn banded_dtw(q: &[Vec<f32>], p: &[Vec<f32>], r: usize) -> f64 {
+    assert!(!q.is_empty() && !p.is_empty(), "empty sequence");
+    let n = q.len();
+    let m = p.len();
+    // The band must at least cover the length difference or no monotone
+    // path exists.
+    let r = r.max(n.abs_diff(m));
+
+    const INF: f64 = f64::INFINITY;
+    // Rolling rows of (cost, path_len). Column j of row i is reachable iff
+    // |i*m/n - j| <= r (diagonal-adjusted band).
+    let mut prev = vec![(INF, 0u32); m];
+    let mut cur = vec![(INF, 0u32); m];
+
+    // Indexing (not iterating) `q` is intentional: `i` also drives the
+    // diagonal-adjusted band bounds.
+    #[allow(clippy::needless_range_loop)]
+    for i in 0..n {
+        let centre = i * m / n;
+        let lo = centre.saturating_sub(r);
+        let hi = (centre + r).min(m - 1);
+        for c in cur.iter_mut() {
+            *c = (INF, 0);
+        }
+        for j in lo..=hi {
+            let d = l1(&q[i], &p[j]);
+            let (best_cost, best_len) = if i == 0 && j == 0 {
+                (0.0, 0u32)
+            } else {
+                let mut best = (INF, 0u32);
+                if i > 0 && prev[j].0 < best.0 {
+                    best = prev[j];
+                }
+                if j > 0 && cur[j - 1].0 < best.0 {
+                    best = cur[j - 1];
+                }
+                if i > 0 && j > 0 && prev[j - 1].0 < best.0 {
+                    best = prev[j - 1];
+                }
+                best
+            };
+            if best_cost < INF {
+                cur[j] = (best_cost + d, best_len + 1);
+            }
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+
+    let (cost, len) = prev[m - 1];
+    if cost.is_finite() && len > 0 {
+        cost / f64::from(len)
+    } else {
+        INF
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seq(vals: &[f32]) -> Vec<Vec<f32>> {
+        vals.iter().map(|&v| vec![v]).collect()
+    }
+
+    #[test]
+    fn l1_basics() {
+        assert_eq!(l1(&[0.0, 0.5], &[0.5, 0.0]), 1.0);
+        assert_eq!(l1(&[1.0], &[1.0]), 0.0);
+    }
+
+    #[test]
+    fn seq_distance_zero_for_identical() {
+        let a = seq(&[0.1, 0.2, 0.3, 0.4]);
+        assert_eq!(seq_distance(&a, &a), 0.0);
+    }
+
+    #[test]
+    fn seq_distance_detects_reordering() {
+        // The whole point of the paper's comparison: Seq is order-
+        // sensitive, so the same frames re-ordered score badly.
+        let a = seq(&[0.0, 0.25, 0.5, 0.75, 1.0]);
+        let reordered = seq(&[1.0, 0.75, 0.5, 0.25, 0.0]);
+        assert!(seq_distance(&a, &reordered) > 0.4);
+    }
+
+    #[test]
+    fn seq_distance_handles_length_mismatch() {
+        let a = seq(&[0.0, 0.5, 1.0]);
+        let b = seq(&[0.0, 0.25, 0.5, 0.75, 1.0]);
+        // Uniform alignment: nearly identical content at different rates.
+        assert!(seq_distance(&a, &b) < 0.15);
+    }
+
+    #[test]
+    fn dtw_zero_for_identical() {
+        let a = seq(&[0.1, 0.2, 0.9, 0.4]);
+        assert_eq!(banded_dtw(&a, &a, 1), 0.0);
+    }
+
+    #[test]
+    fn dtw_tolerates_local_time_shift_where_seq_does_not() {
+        // b is a one-frame-delayed copy of a; Warp recovers, Seq pays.
+        let a = seq(&[0.0, 0.1, 0.8, 0.1, 0.0, 0.0]);
+        let b = seq(&[0.0, 0.0, 0.1, 0.8, 0.1, 0.0]);
+        let warp = banded_dtw(&a, &b, 2);
+        let aligned = seq_distance(&a, &b);
+        assert!(warp < aligned / 3.0, "warp {warp} vs aligned {aligned}");
+    }
+
+    #[test]
+    fn dtw_cannot_fix_global_reordering() {
+        // DTW alignments are monotone: swapping the two halves of a
+        // sequence defeats it (the paper's Fig. 15 point).
+        let a = seq(&[0.0, 0.0, 0.0, 1.0, 1.0, 1.0]);
+        let swapped = seq(&[1.0, 1.0, 1.0, 0.0, 0.0, 0.0]);
+        assert!(banded_dtw(&a, &swapped, 3) > 0.3);
+    }
+
+    #[test]
+    fn dtw_wider_band_never_hurts() {
+        let a = seq(&[0.0, 0.3, 0.9, 0.2, 0.5, 0.1, 0.7]);
+        let b = seq(&[0.1, 0.9, 0.3, 0.2, 0.4, 0.6, 0.0]);
+        let mut last = f64::INFINITY;
+        for r in [0usize, 1, 2, 4, 8] {
+            let d = banded_dtw(&a, &b, r);
+            assert!(d <= last + 1e-9, "wider band must not increase DTW");
+            last = d;
+        }
+    }
+
+    #[test]
+    fn dtw_handles_unequal_lengths() {
+        let a = seq(&[0.0, 0.5, 1.0]);
+        let b = seq(&[0.0, 0.2, 0.5, 0.8, 1.0]);
+        let d = banded_dtw(&a, &b, 1);
+        assert!(d.is_finite());
+        assert!(d < 0.1, "stretched copy should align well: {d}");
+    }
+
+    #[test]
+    fn dtw_r0_equals_diagonal_for_equal_lengths() {
+        let a = seq(&[0.1, 0.4, 0.7]);
+        let b = seq(&[0.2, 0.2, 0.9]);
+        let d = banded_dtw(&a, &b, 0);
+        // Diagonal path: |0.1-0.2|+|0.4-0.2|+|0.7-0.9| over path length 3.
+        assert!((d - 0.5 / 3.0).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,24 @@
+//! # vdsms-baselines — the paper's comparison methods
+//!
+//! Section VI-E compares the proposed technique against two published
+//! subsequence-matching approaches, re-implemented here from scratch:
+//!
+//! * **Seq** — Hampapur et al., "Comparison of sequence matching
+//!   techniques for video copy detection": the query slides over the data
+//!   sequence with a fixed-size window and the dissimilarity is the
+//!   average distance between temporally *aligned* frame pairs. Fast, but
+//!   entirely dependent on temporal order.
+//! * **Warp** — Chiu et al., "A time warping based approach for video copy
+//!   detection": dynamic time warping with a Sakoe–Chiba band of width
+//!   `r`, tolerating *local* temporal variations (slow motion, dropped
+//!   frames) but not global re-ordering.
+//!
+//! Per the paper's fair-comparison setup, both baselines consume the same
+//! compressed-domain per-frame feature vectors as the proposed method, and
+//! the sliding gap equals the basic-window size.
+
+pub mod distance;
+pub mod matcher;
+
+pub use distance::{banded_dtw, l1, seq_distance};
+pub use matcher::{BaselineKind, BaselineMatcher, BaselineQuery};

@@ -1,0 +1,241 @@
+//! Streaming sliding-window driver for the baseline measures.
+//!
+//! "For both of the methods, a query length sized window is sliding
+//! through the video stream, the sliding gap (number of jumped frames) is
+//! also known as basic window" (Section VI-E). The matcher buffers the
+//! most recent `max query length` key-frame features and evaluates every
+//! query once per gap.
+
+use crate::distance::{banded_dtw, seq_distance};
+use std::collections::{HashMap, VecDeque};
+use vdsms_core::Detection;
+
+/// Which baseline measure to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BaselineKind {
+    /// Hampapur et al. aligned mean frame distance.
+    Seq,
+    /// Chiu et al. banded time-warping distance with half-width `r`
+    /// (in key frames).
+    Warp {
+        /// Sakoe–Chiba band half-width in key frames.
+        r: usize,
+    },
+}
+
+/// A query for the baseline matcher: the raw per-key-frame feature
+/// sequence (baselines do not sketch).
+#[derive(Debug, Clone)]
+pub struct BaselineQuery {
+    /// Query id (shared id space with the main engine for evaluation).
+    pub id: u32,
+    /// Per-key-frame feature vectors.
+    pub features: Vec<Vec<f32>>,
+}
+
+/// Streaming sliding-window matcher.
+#[derive(Debug)]
+pub struct BaselineMatcher {
+    kind: BaselineKind,
+    /// Distance threshold θ: a window matches when distance ≤ θ.
+    threshold: f64,
+    /// Sliding gap in key frames (= the basic window size).
+    gap: usize,
+    queries: Vec<BaselineQuery>,
+    /// Ring buffer of `(frame_index, features)`, capacity = longest query.
+    buffer: VecDeque<(u64, Vec<f32>)>,
+    capacity: usize,
+    since_eval: usize,
+    /// Suppress consecutive re-reports per query.
+    last_match_eval: HashMap<u32, u64>,
+    evals: u64,
+    /// Number of distance evaluations performed (cost metric).
+    pub distance_evals: u64,
+}
+
+impl BaselineMatcher {
+    /// Create a matcher.
+    ///
+    /// # Panics
+    /// Panics if `gap == 0`, `queries` is empty, or any query is empty.
+    pub fn new(
+        kind: BaselineKind,
+        threshold: f64,
+        gap: usize,
+        queries: Vec<BaselineQuery>,
+    ) -> BaselineMatcher {
+        assert!(gap >= 1, "gap must be >= 1");
+        assert!(!queries.is_empty(), "need at least one query");
+        assert!(queries.iter().all(|q| !q.features.is_empty()), "empty query");
+        let capacity = queries.iter().map(|q| q.features.len()).max().expect("non-empty");
+        BaselineMatcher {
+            kind,
+            threshold,
+            gap,
+            queries,
+            buffer: VecDeque::with_capacity(capacity),
+            capacity,
+            since_eval: 0,
+            last_match_eval: HashMap::new(),
+            evals: 0,
+            distance_evals: 0,
+        }
+    }
+
+    /// Feed one key frame's feature vector; returns any detections fired
+    /// at this position.
+    pub fn push_keyframe(&mut self, frame_index: u64, features: Vec<f32>) -> Vec<Detection> {
+        if self.buffer.len() == self.capacity {
+            self.buffer.pop_front();
+        }
+        self.buffer.push_back((frame_index, features));
+        self.since_eval += 1;
+        if self.since_eval < self.gap {
+            return Vec::new();
+        }
+        self.since_eval = 0;
+        self.evaluate()
+    }
+
+    fn evaluate(&mut self) -> Vec<Detection> {
+        self.evals += 1;
+        let mut out = Vec::new();
+        let buffered: Vec<&Vec<f32>> = self.buffer.iter().map(|(_, f)| f).collect();
+        for q in &self.queries {
+            let n = q.features.len();
+            if self.buffer.len() < n {
+                continue;
+            }
+            let window: Vec<Vec<f32>> =
+                buffered[buffered.len() - n..].iter().map(|f| (*f).clone()).collect();
+            self.distance_evals += 1;
+            let dist = match self.kind {
+                BaselineKind::Seq => seq_distance(&q.features, &window),
+                BaselineKind::Warp { r } => banded_dtw(&q.features, &window, r),
+            };
+            if dist <= self.threshold {
+                let suppressed = matches!(
+                    self.last_match_eval.get(&q.id),
+                    Some(&last) if last + 1 >= self.evals
+                );
+                self.last_match_eval.insert(q.id, self.evals);
+                if !suppressed {
+                    let start = self.buffer[self.buffer.len() - n].0;
+                    let end = self.buffer.back().expect("non-empty").0;
+                    out.push(Detection {
+                        query_id: q.id,
+                        start_frame: start,
+                        end_frame: end,
+                        windows: n / self.gap.max(1),
+                        similarity: 1.0 / (1.0 + dist),
+                    });
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn feat(v: f32) -> Vec<f32> {
+        vec![v, 1.0 - v]
+    }
+
+    fn query(id: u32, vals: &[f32]) -> BaselineQuery {
+        BaselineQuery { id, features: vals.iter().map(|&v| feat(v)).collect() }
+    }
+
+    /// Stream: background ramp with the query's pattern planted at
+    /// frame 50.
+    fn run(kind: BaselineKind, threshold: f64, pattern: &[f32], planted: &[f32]) -> Vec<Detection> {
+        let mut m = BaselineMatcher::new(kind, threshold, 2, vec![query(1, pattern)]);
+        let mut out = Vec::new();
+        for i in 0..100u64 {
+            let v = if (50..50 + planted.len() as u64).contains(&i) {
+                planted[(i - 50) as usize]
+            } else {
+                ((i % 37) as f32) / 37.0 * 0.3 + 0.65 // background in [0.65, 0.95]
+            };
+            out.extend(m.push_keyframe(i, feat(v)));
+        }
+        out
+    }
+
+    const PATTERN: [f32; 8] = [0.0, 0.1, 0.2, 0.05, 0.3, 0.15, 0.0, 0.1];
+
+    #[test]
+    fn seq_finds_exact_copy() {
+        let dets = run(BaselineKind::Seq, 0.1, &PATTERN, &PATTERN);
+        assert!(!dets.is_empty());
+        let d = &dets[0];
+        assert_eq!(d.query_id, 1);
+        assert!((50..=60).contains(&d.start_frame), "start {}", d.start_frame);
+    }
+
+    #[test]
+    fn seq_misses_reordered_copy() {
+        let mut reordered = PATTERN;
+        reordered.reverse();
+        // Same frames, reversed order: Seq must NOT match at a threshold
+        // that comfortably catches the exact copy.
+        let dets = run(BaselineKind::Seq, 0.1, &PATTERN, &reordered);
+        assert!(dets.is_empty(), "Seq matched a reordered copy: {dets:?}");
+    }
+
+    #[test]
+    fn warp_finds_locally_shifted_copy() {
+        // Planted copy delayed internally by one frame (local time shift).
+        let shifted = [0.0, 0.0, 0.1, 0.2, 0.05, 0.3, 0.15, 0.0];
+        let warp = run(BaselineKind::Warp { r: 2 }, 0.08, &PATTERN, &shifted);
+        assert!(!warp.is_empty(), "Warp must tolerate a local shift");
+        let seq = run(BaselineKind::Seq, 0.08, &PATTERN, &shifted);
+        assert!(seq.len() <= warp.len());
+    }
+
+    #[test]
+    fn warp_misses_globally_reordered_copy() {
+        let mut reordered = PATTERN;
+        reordered.reverse();
+        let dets = run(BaselineKind::Warp { r: 3 }, 0.08, &PATTERN, &reordered);
+        assert!(dets.is_empty(), "Warp matched a globally reordered copy");
+    }
+
+    #[test]
+    fn no_false_positives_on_background() {
+        for kind in [BaselineKind::Seq, BaselineKind::Warp { r: 2 }] {
+            let mut m = BaselineMatcher::new(kind, 0.1, 2, vec![query(1, &PATTERN)]);
+            let mut out = Vec::new();
+            for i in 0..100u64 {
+                let v = ((i % 37) as f32) / 37.0 * 0.3 + 0.65;
+                out.extend(m.push_keyframe(i, feat(v)));
+            }
+            assert!(out.is_empty(), "{kind:?} produced false positives");
+        }
+    }
+
+    #[test]
+    fn consecutive_matches_are_suppressed() {
+        // A long run of content matching the query at EVERY evaluation
+        // must report one event, not one per gap.
+        let constant = [0.3f32; 8];
+        let mut m = BaselineMatcher::new(BaselineKind::Seq, 0.2, 1, vec![query(1, &constant)]);
+        let mut n = 0;
+        for i in 0..40u64 {
+            n += m.push_keyframe(i, feat(0.3)).len();
+        }
+        assert_eq!(n, 1, "expected one suppressed event");
+    }
+
+    #[test]
+    fn distance_evals_are_counted() {
+        let mut m = BaselineMatcher::new(BaselineKind::Seq, 0.1, 4, vec![query(1, &PATTERN)]);
+        for i in 0..40u64 {
+            m.push_keyframe(i, feat(0.5));
+        }
+        // Evaluations at frames 4, 8, ..., 40 once the buffer holds 8.
+        assert!(m.distance_evals >= 8);
+    }
+}

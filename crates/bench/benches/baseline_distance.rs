@@ -1,0 +1,41 @@
+//! Baseline distance primitives: the aligned Seq measure vs banded DTW —
+//! why Warp is the slowest line of Figure 12.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use vdsms_baselines::{banded_dtw, seq_distance};
+
+fn seq_of(n: usize, seed: u64) -> Vec<Vec<f32>> {
+    (0..n)
+        .map(|i| {
+            (0..5)
+                .map(|d| (((i as u64 * 31 + d * 17 + seed) % 100) as f32) / 100.0)
+                .collect()
+        })
+        .collect()
+}
+
+fn bench_distances(c: &mut Criterion) {
+    let mut g = c.benchmark_group("baseline_distance");
+    g.sample_size(30);
+    for n in [60usize, 240, 600] {
+        let q = seq_of(n, 1);
+        let p = seq_of(n, 2);
+        g.bench_with_input(BenchmarkId::new("seq_aligned", n), &n, |bench, _| {
+            bench.iter(|| seq_distance(black_box(&q), black_box(&p)));
+        });
+        for r in [4usize, 16] {
+            g.bench_with_input(
+                BenchmarkId::new(format!("dtw_r{r}"), n),
+                &n,
+                |bench, _| {
+                    bench.iter(|| banded_dtw(black_box(&q), black_box(&p), r));
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_distances);
+criterion_main!(benches);

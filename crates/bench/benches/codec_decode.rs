@@ -1,0 +1,54 @@
+//! Full pixel decoding vs compressed-domain partial decoding — the
+//! structural speedup that motivates Section III-A's feature extraction.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use vdsms_codec::{Decoder, Encoder, EncoderConfig, PartialDecoder};
+use vdsms_video::source::{ClipGenerator, SourceSpec};
+use vdsms_video::Fps;
+
+fn bench_decode(c: &mut Criterion) {
+    let spec = SourceSpec {
+        width: 176,
+        height: 120,
+        fps: Fps::integer(10),
+        seed: 3,
+        min_scene_s: 2.0,
+        max_scene_s: 6.0,
+        motifs: None,
+    };
+    let clip = ClipGenerator::new(spec).clip(10.0);
+    let bytes = Encoder::encode_clip(&clip, EncoderConfig { gop: 5, quality: 80, motion_search: true });
+
+    let mut g = c.benchmark_group("decode_10s_clip");
+    g.sample_size(20);
+    g.bench_function("full_pixel_decode", |bench| {
+        bench.iter(|| Decoder::new(black_box(&bytes)).unwrap().decode_all().unwrap());
+    });
+    g.bench_function("partial_dc_decode", |bench| {
+        bench.iter(|| PartialDecoder::new(black_box(&bytes)).unwrap().decode_all().unwrap());
+    });
+    g.finish();
+}
+
+fn bench_encode(c: &mut Criterion) {
+    let spec = SourceSpec {
+        width: 176,
+        height: 120,
+        fps: Fps::integer(10),
+        seed: 3,
+        min_scene_s: 2.0,
+        max_scene_s: 6.0,
+        motifs: None,
+    };
+    let clip = ClipGenerator::new(spec).clip(2.0);
+    let mut g = c.benchmark_group("encode_2s_clip");
+    g.sample_size(10);
+    g.bench_function("gop5_q80", |bench| {
+        bench.iter(|| Encoder::encode_clip(black_box(&clip), EncoderConfig { gop: 5, quality: 80, motion_search: true }));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_decode, bench_encode);
+criterion_main!(benches);

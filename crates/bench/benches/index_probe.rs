@@ -1,0 +1,74 @@
+//! HQ-index probe vs brute-force query scan — the mechanism behind
+//! Figure 9's flat-vs-linear CPU curves.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use vdsms_core::{HqIndex, Query, QuerySet};
+use vdsms_sketch::{MinHashFamily, Sketch};
+
+const K: usize = 800;
+
+fn query_set(family: &MinHashFamily, m: u32) -> QuerySet {
+    QuerySet::from_queries(
+        (0..m)
+            .map(|i| {
+                let ids: Vec<u64> = (0..60u64).map(|j| u64::from(i) * 1000 + j).collect();
+                Query::from_cell_ids(i, family, &ids)
+            })
+            .collect(),
+    )
+}
+
+fn bench_probe(c: &mut Criterion) {
+    let family = MinHashFamily::new(K, 9);
+    let mut g = c.benchmark_group("hq_probe");
+    g.sample_size(20);
+    for m in [10u32, 50, 200] {
+        let qs = query_set(&family, m);
+        let ix = HqIndex::build(K, &qs);
+        // A window related to one query (the common case).
+        let sk = Sketch::from_ids(&family, 3000..3040u64);
+        g.bench_with_input(BenchmarkId::new("indexed", m), &m, |bench, _| {
+            bench.iter(|| ix.probe(black_box(&sk), 0.7));
+        });
+        g.bench_with_input(BenchmarkId::new("bruteforce", m), &m, |bench, _| {
+            bench.iter(|| ix.probe_bruteforce(black_box(&sk), 0.7, &qs));
+        });
+    }
+    g.finish();
+}
+
+fn bench_index_maintenance(c: &mut Criterion) {
+    let family = MinHashFamily::new(K, 9);
+    let mut g = c.benchmark_group("hq_maintenance");
+    g.sample_size(20);
+    let qs = query_set(&family, 100);
+    let new_q = {
+        let ids: Vec<u64> = (0..60u64).map(|j| 999_000 + j).collect();
+        Query::from_cell_ids(9999, &family, &ids)
+    };
+    g.bench_function("subscribe_into_100", |bench| {
+        bench.iter_batched(
+            || HqIndex::build(K, &qs),
+            |mut ix| {
+                ix.insert(black_box(&new_q));
+                ix
+            },
+            criterion::BatchSize::LargeInput,
+        );
+    });
+    g.bench_function("unsubscribe_from_100", |bench| {
+        bench.iter_batched(
+            || HqIndex::build(K, &qs),
+            |mut ix| {
+                ix.remove(black_box(50));
+                ix
+            },
+            criterion::BatchSize::LargeInput,
+        );
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_probe, bench_index_maintenance);
+criterion_main!(benches);

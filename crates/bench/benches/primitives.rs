@@ -1,0 +1,70 @@
+//! Micro-benchmarks of the engine's primitive operations — the `C_comp` /
+//! `C_comb` terms of the paper's Section IV-B cost model. The Bit-vs-
+//! Sketch gap measured here is the mechanism behind Figure 6.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use vdsms_core::BitSig;
+use vdsms_sketch::{MinHashFamily, Sketch};
+
+const KS: &[usize] = &[100, 800, 3000];
+
+fn sketch_of(family: &MinHashFamily, base: u64, n: u64) -> Sketch {
+    Sketch::from_ids(family, base..base + n)
+}
+
+fn bench_sketch_ops(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sketch");
+    g.sample_size(30);
+    for &k in KS {
+        let family = MinHashFamily::new(k, 1);
+        let a = sketch_of(&family, 0, 50);
+        let b = sketch_of(&family, 25, 60);
+
+        g.bench_with_input(BenchmarkId::new("build_window_50ids", k), &k, |bench, _| {
+            bench.iter(|| Sketch::from_ids(&family, black_box(0u64..50)));
+        });
+        g.bench_with_input(BenchmarkId::new("combine", k), &k, |bench, _| {
+            bench.iter(|| {
+                let mut x = a.clone();
+                x.combine(black_box(&b));
+                x
+            });
+        });
+        g.bench_with_input(BenchmarkId::new("compare", k), &k, |bench, _| {
+            bench.iter(|| black_box(&a).equal_count(black_box(&b)));
+        });
+    }
+    g.finish();
+}
+
+fn bench_bitsig_ops(c: &mut Criterion) {
+    let mut g = c.benchmark_group("bitsig");
+    g.sample_size(30);
+    for &k in KS {
+        let family = MinHashFamily::new(k, 1);
+        let q = sketch_of(&family, 0, 50);
+        let p1 = sketch_of(&family, 25, 60);
+        let p2 = sketch_of(&family, 40, 70);
+        let s1 = BitSig::encode(&p1, &q);
+        let s2 = BitSig::encode(&p2, &q);
+
+        g.bench_with_input(BenchmarkId::new("encode", k), &k, |bench, _| {
+            bench.iter(|| BitSig::encode(black_box(&p1), black_box(&q)));
+        });
+        g.bench_with_input(BenchmarkId::new("or_combine", k), &k, |bench, _| {
+            bench.iter(|| {
+                let mut x = s1.clone();
+                x.or_with(black_box(&s2));
+                x
+            });
+        });
+        g.bench_with_input(BenchmarkId::new("similarity", k), &k, |bench, _| {
+            bench.iter(|| black_box(&s1).similarity());
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_sketch_ops, bench_bitsig_ops);
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! Figure 10 — memory consumption of the candidate list, measured as the
+//! paper does: the average number of live bit signatures (each 2K bits),
+//! on VS2 with BitIndex + Sequential order.
+//!
+//! * Fig. 10(a): vs the similarity threshold δ — higher δ prunes harder,
+//!   so fewer signatures stay live.
+//! * Fig. 10(b): vs the basic window size w — larger windows have more
+//!   distinct cell ids, match fewer unrelated queries, and expire sooner.
+
+use crate::table::{f2, f3};
+use crate::{Ctx, Scale, Table};
+use vdsms_core::{DetectorConfig, Order, Representation};
+use vdsms_workload::StreamKind;
+
+fn cfg_for(ctx: &Ctx, delta: f64, w_seconds: f64) -> DetectorConfig {
+    DetectorConfig {
+        delta,
+        window_keyframes: ctx.spec().window_keyframes(w_seconds),
+        order: Order::Sequential,
+        representation: Representation::Bit,
+        use_index: true,
+        ..Default::default()
+    }
+}
+
+/// Fig. 10(a): average live signatures vs δ.
+pub fn run_delta(ctx: &mut Ctx, scale: Scale) -> Table {
+    let m = ctx.library().len();
+    let mut table = Table::new(
+        "Figure 10(a) — avg number of bit signatures vs δ (VS2, BitIndex/Seq)",
+        &["δ", "avg signatures", "peak", "avg bytes (2K bits each)"],
+    );
+    table.note(format!("m = {m} queries, K = 800, w = 5 s"));
+    for delta in scale.delta_sweep() {
+        let cfg = cfg_for(ctx, delta, 5.0);
+        let k = cfg.k;
+        let res = ctx.run_engine(StreamKind::Vs2, cfg, m);
+        table.push(vec![
+            f2(delta),
+            f3(res.stats.avg_signatures()),
+            res.stats.live_signature_peak.to_string(),
+            format!("{:.0}", res.stats.avg_signature_bytes(k)),
+        ]);
+    }
+    table
+}
+
+/// Fig. 10(b): average live signatures vs w.
+pub fn run_window(ctx: &mut Ctx, scale: Scale) -> Table {
+    let m = ctx.library().len();
+    let mut table = Table::new(
+        "Figure 10(b) — avg number of bit signatures vs basic window w (VS2, BitIndex/Seq)",
+        &["w (s)", "avg signatures", "peak", "avg bytes (2K bits each)"],
+    );
+    table.note(format!("m = {m} queries, K = 800, δ = 0.7"));
+    for w in scale.w_sweep() {
+        let cfg = cfg_for(ctx, 0.7, w);
+        let k = cfg.k;
+        let res = ctx.run_engine(StreamKind::Vs2, cfg, m);
+        table.push(vec![
+            format!("{w}"),
+            f3(res.stats.avg_signatures()),
+            res.stats.live_signature_peak.to_string(),
+            format!("{:.0}", res.stats.avg_signature_bytes(k)),
+        ]);
+    }
+    table
+}

@@ -1,0 +1,38 @@
+//! Figure 11 — precision and recall vs the basic window size `w`, on VS2
+//! (BitIndex + Sequential).
+//!
+//! Expected shape: both degrade as `w` grows — long windows straddle copy
+//! boundaries and dilute the candidate's cell-id set with background
+//! content.
+
+use crate::table::f3;
+use crate::{Ctx, Scale, Table};
+use vdsms_core::{DetectorConfig, Order, Representation};
+use vdsms_workload::StreamKind;
+
+/// Run the sweep.
+pub fn run(ctx: &mut Ctx, scale: Scale) -> Table {
+    let m = ctx.library().len();
+    let mut table = Table::new(
+        "Figure 11 — precision & recall vs basic window w (VS2, BitIndex/Seq)",
+        &["w (s)", "precision", "recall", "detections"],
+    );
+    table.note(format!("m = {m} queries, K = 800, δ = 0.7"));
+    for w in scale.w_sweep() {
+        let cfg = DetectorConfig {
+            window_keyframes: ctx.spec().window_keyframes(w),
+            order: Order::Sequential,
+            representation: Representation::Bit,
+            use_index: true,
+            ..Default::default()
+        };
+        let res = ctx.run_engine(StreamKind::Vs2, cfg, m);
+        table.push(vec![
+            format!("{w}"),
+            f3(res.pr.precision),
+            f3(res.pr.recall),
+            res.pr.detections.to_string(),
+        ]);
+    }
+    table
+}

@@ -1,0 +1,53 @@
+//! Figure 12 — CPU time vs the basic window size `w`, comparing the
+//! proposed Bit method against the Seq [Hampapur] and Warp [Chiu]
+//! baselines on VS2.
+//!
+//! Expected shape: Bit is the fastest at every window size; Warp is the
+//! slowest (its distance is `O(n·r)` per evaluation); larger windows mean
+//! fewer evaluations for everyone.
+
+use crate::table::f3;
+use crate::{Ctx, Scale, Table};
+use vdsms_baselines::BaselineKind;
+use vdsms_core::{DetectorConfig, Order, Representation};
+use vdsms_workload::StreamKind;
+
+/// Warp band half-width in key frames, matching the paper's mid-range r.
+const WARP_R: usize = 4;
+
+/// Baseline distance threshold used for the timing runs (timing is
+/// threshold-insensitive; accuracy sweeps live in Figs. 14–15).
+const THETA: f64 = 0.4;
+
+/// Run the sweep.
+pub fn run(ctx: &mut Ctx, scale: Scale) -> Table {
+    let m = ctx.library().len();
+    let decode = ctx.decode_seconds(StreamKind::Vs2);
+    let mut table = Table::new(
+        "Figure 12 — CPU time (s) vs basic window w: Bit vs Seq vs Warp (VS2)",
+        &["w (s)", "Bit", "Seq", "Warp"],
+    );
+    table.note(format!(
+        "m = {m} queries, K = 800, δ = 0.7, warp r = {WARP_R} key frames; times include {decode:.2} s of partial decoding"
+    ));
+    for w in scale.w_sweep() {
+        let cfg = DetectorConfig {
+            window_keyframes: ctx.spec().window_keyframes(w),
+            order: Order::Sequential,
+            representation: Representation::Bit,
+            use_index: true,
+            ..Default::default()
+        };
+        let bit = ctx.run_engine(StreamKind::Vs2, cfg, m);
+        let (_, seq_secs) = ctx.run_baseline(StreamKind::Vs2, BaselineKind::Seq, THETA, w, m);
+        let (_, warp_secs) =
+            ctx.run_baseline(StreamKind::Vs2, BaselineKind::Warp { r: WARP_R }, THETA, w, m);
+        table.push(vec![
+            format!("{w}"),
+            f3(bit.engine_seconds + decode),
+            f3(seq_secs + decode),
+            f3(warp_secs + decode),
+        ]);
+    }
+    table
+}

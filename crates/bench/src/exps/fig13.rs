@@ -1,0 +1,40 @@
+//! Figure 13 — precision and recall of the proposed Bit method on the
+//! tampered VS2 stream, across the similarity threshold δ.
+//!
+//! Expected shape: precision stays high across the sweep; recall is high
+//! at moderate δ and falls as δ approaches the copies' actual set
+//! similarity ceiling (the tamper pipeline costs the copies a fraction of
+//! their cell ids).
+
+use crate::table::{f2, f3};
+use crate::{Ctx, Scale, Table};
+use vdsms_core::{DetectorConfig, Order, Representation};
+use vdsms_workload::StreamKind;
+
+/// Run the sweep.
+pub fn run(ctx: &mut Ctx, scale: Scale) -> Table {
+    let m = ctx.library().len();
+    let mut table = Table::new(
+        "Figure 13 — precision & recall of the Bit method on VS2 vs δ",
+        &["δ", "precision", "recall", "detections"],
+    );
+    table.note(format!("m = {m} queries, K = 800, w = 5 s, BitIndex/Seq"));
+    for delta in scale.delta_sweep() {
+        let cfg = DetectorConfig {
+            delta,
+            window_keyframes: ctx.spec().window_keyframes(5.0),
+            order: Order::Sequential,
+            representation: Representation::Bit,
+            use_index: true,
+            ..Default::default()
+        };
+        let res = ctx.run_engine(StreamKind::Vs2, cfg, m);
+        table.push(vec![
+            f2(delta),
+            f3(res.pr.precision),
+            f3(res.pr.recall),
+            res.pr.detections.to_string(),
+        ]);
+    }
+    table
+}

@@ -1,0 +1,67 @@
+//! Figures 14 and 15 — precision and recall of the baselines on the
+//! temporally re-ordered VS2 stream, across their distance thresholds.
+//!
+//! Expected shape (the paper's headline comparison): because both
+//! baselines depend on temporal order, loosening the threshold trades
+//! precision for recall without ever reaching a good operating point —
+//! "before the precisions reach 50%, the recalls of Seq fall below 30%".
+//! Warp tolerates local warps but not global re-ordering, so it fares
+//! only slightly better.
+
+use crate::table::{f2, f3};
+use crate::{Ctx, Table};
+use vdsms_baselines::BaselineKind;
+use vdsms_workload::StreamKind;
+
+/// Distance thresholds swept (mean L1 over d=5 normalized features).
+const THETAS: &[f64] = &[0.1, 0.2, 0.3, 0.4, 0.6, 0.8, 1.0, 1.2];
+
+/// Warp band half-widths, in key frames (the paper sweeps its `r`).
+const WARP_RS: &[usize] = &[2, 4, 8];
+
+/// Fig. 14: the Seq baseline.
+pub fn run_seq(ctx: &mut Ctx) -> Table {
+    let m = ctx.library().len();
+    let mut table = Table::new(
+        "Figure 14 — precision & recall of Seq vs distance threshold (VS2)",
+        &["θ", "precision", "recall", "detections"],
+    );
+    table.note(format!("m = {m} queries, w = 5 s, aligned mean-L1 distance"));
+    for &theta in THETAS {
+        let (pr, _) = ctx.run_baseline(StreamKind::Vs2, BaselineKind::Seq, theta, 5.0, m);
+        table.push(vec![
+            f2(theta),
+            f3(pr.precision),
+            f3(pr.recall),
+            pr.detections.to_string(),
+        ]);
+    }
+    table
+}
+
+/// Fig. 15: the Warp baseline across band widths.
+pub fn run_warp(ctx: &mut Ctx) -> Table {
+    let m = ctx.library().len();
+    let mut headers = vec!["θ".to_string()];
+    for r in WARP_RS {
+        headers.push(format!("r={r} p"));
+        headers.push(format!("r={r} r"));
+    }
+    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+    let mut table = Table::new(
+        "Figure 15 — precision & recall of Warp vs distance threshold (VS2)",
+        &header_refs,
+    );
+    table.note(format!("m = {m} queries, w = 5 s, banded DTW (r in key frames)"));
+    for &theta in THETAS {
+        let mut row = vec![f2(theta)];
+        for &r in WARP_RS {
+            let (pr, _) =
+                ctx.run_baseline(StreamKind::Vs2, BaselineKind::Warp { r }, theta, 5.0, m);
+            row.push(f3(pr.precision));
+            row.push(f3(pr.recall));
+        }
+        table.push(row);
+    }
+    table
+}

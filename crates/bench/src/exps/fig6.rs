@@ -1,0 +1,50 @@
+//! Figure 6 — CPU time vs the number of hash functions `K`, for the Bit
+//! and Sketch representations under Sequential and Geometric combination
+//! orders (all with the HQ query index, as in the paper's setup), on VS1.
+//!
+//! Expected shape: Sketch costs grow steeply with K (every combine and
+//! compare is K u64 operations); Bit grows far more slowly (K/32-word ORs
+//! + popcounts); Geometric helps Sketch a lot and Bit only a little.
+
+use crate::table::f3;
+use crate::{Ctx, Scale, Table};
+use vdsms_core::{DetectorConfig, Order, Representation};
+use vdsms_workload::StreamKind;
+
+/// Run the sweep.
+pub fn run(ctx: &mut Ctx, scale: Scale) -> Table {
+    let m = ctx.library().len();
+    let w_kf = ctx.spec().window_keyframes(5.0);
+    let decode = ctx.decode_seconds(StreamKind::Vs1);
+
+    let mut table = Table::new(
+        "Figure 6 — CPU time (s) vs number of hash functions K (VS1)",
+        &["K", "Bit/Seq", "Bit/Geo", "Sketch/Seq", "Sketch/Geo"],
+    );
+    table.note(format!(
+        "m = {m} queries, w = 5 s, δ = 0.7, with HQ index; times include {decode:.2} s of partial decoding"
+    ));
+
+    for k in scale.k_sweep_cpu() {
+        let mut row = vec![k.to_string()];
+        for (rep, order) in [
+            (Representation::Bit, Order::Sequential),
+            (Representation::Bit, Order::Geometric),
+            (Representation::Sketch, Order::Sequential),
+            (Representation::Sketch, Order::Geometric),
+        ] {
+            let cfg = DetectorConfig {
+                k,
+                window_keyframes: w_kf,
+                order,
+                representation: rep,
+                use_index: true,
+                ..Default::default()
+            };
+            let res = ctx.run_engine(StreamKind::Vs1, cfg, m);
+            row.push(f3(res.engine_seconds + decode));
+        }
+        table.push(row);
+    }
+    table
+}

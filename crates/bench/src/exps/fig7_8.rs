@@ -1,0 +1,59 @@
+//! Figures 7 and 8 — precision (Fig. 7) and recall (Fig. 8) of the Bit
+//! method vs `K`, for δ ∈ {0.5, 0.7, 0.9} under Sequential and Geometric
+//! orders, on VS1.
+//!
+//! Expected shape: precision rises with K and saturates (≈ K ≥ 1000 in
+//! the paper); recall holds or mildly falls as K grows (fewer lucky
+//! matches); Geometric trades a little recall at high δ for its cheaper
+//! maintenance.
+
+use crate::table::f3;
+use crate::{Ctx, Scale, Table};
+use vdsms_core::{DetectorConfig, Order, Representation};
+use vdsms_workload::StreamKind;
+
+/// Run the sweep, returning the Fig. 7 (precision) and Fig. 8 (recall)
+/// tables.
+pub fn run(ctx: &mut Ctx, scale: Scale) -> Vec<Table> {
+    let m = ctx.library().len();
+    let w_kf = ctx.spec().window_keyframes(5.0);
+    let deltas = [0.5, 0.7, 0.9];
+
+    let headers: Vec<String> = std::iter::once("K".to_string())
+        .chain(deltas.iter().flat_map(|d| {
+            [format!("Seq δ={d}"), format!("Geo δ={d}")]
+        }))
+        .collect();
+    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+
+    let mut precision =
+        Table::new("Figure 7 — precision vs K (Bit method, VS1)", &header_refs);
+    let mut recall = Table::new("Figure 8 — recall vs K (Bit method, VS1)", &header_refs);
+    for t in [&mut precision, &mut recall] {
+        t.note(format!("m = {m} queries, w = 5 s"));
+    }
+
+    for k in scale.k_sweep_accuracy() {
+        let mut p_row = vec![k.to_string()];
+        let mut r_row = vec![k.to_string()];
+        for &delta in &deltas {
+            for order in [Order::Sequential, Order::Geometric] {
+                let cfg = DetectorConfig {
+                    k,
+                    delta,
+                    window_keyframes: w_kf,
+                    order,
+                    representation: Representation::Bit,
+                    use_index: true,
+                    ..Default::default()
+                };
+                let res = ctx.run_engine(StreamKind::Vs1, cfg, m);
+                p_row.push(f3(res.pr.precision));
+                r_row.push(f3(res.pr.recall));
+            }
+        }
+        precision.push(p_row);
+        recall.push(r_row);
+    }
+    vec![precision, recall]
+}

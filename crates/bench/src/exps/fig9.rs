@@ -1,0 +1,60 @@
+//! Figure 9 — CPU time vs the number of continuous queries `m`, for
+//! Sketch/Bit with and without the HQ index, under both orders, on VS1.
+//!
+//! Expected shape: the NoIndex variants grow (near-)linearly with m, the
+//! indexed variants stay nearly flat; with Geometric order, even
+//! SketchIndex overtakes BitNoIndex once m is large enough (the paper
+//! observes the crossover past m ≈ 100).
+
+use crate::table::f3;
+use crate::{Ctx, Scale, Table};
+use vdsms_core::{DetectorConfig, Order, Representation};
+use vdsms_workload::StreamKind;
+
+/// Run the sweep.
+pub fn run(ctx: &mut Ctx, scale: Scale) -> Table {
+    let w_kf = ctx.spec().window_keyframes(5.0);
+    let decode = ctx.decode_seconds(StreamKind::Vs1);
+
+    let mut table = Table::new(
+        "Figure 9 — CPU time (s) vs number of queries m (VS1)",
+        &[
+            "m",
+            "Seq Bit+Ix",
+            "Seq Bit",
+            "Seq Sk+Ix",
+            "Seq Sk",
+            "Geo Bit+Ix",
+            "Geo Bit",
+            "Geo Sk+Ix",
+            "Geo Sk",
+        ],
+    );
+    table.note(format!(
+        "K = 800, w = 5 s, δ = 0.7; +Ix = with HQ index; times include {decode:.2} s of partial decoding"
+    ));
+
+    for m in scale.m_sweep(ctx.library().len()) {
+        let mut row = vec![m.to_string()];
+        for order in [Order::Sequential, Order::Geometric] {
+            for (rep, use_index) in [
+                (Representation::Bit, true),
+                (Representation::Bit, false),
+                (Representation::Sketch, true),
+                (Representation::Sketch, false),
+            ] {
+                let cfg = DetectorConfig {
+                    window_keyframes: w_kf,
+                    order,
+                    representation: rep,
+                    use_index,
+                    ..Default::default()
+                };
+                let res = ctx.run_engine(StreamKind::Vs1, cfg, m);
+                row.push(f3(res.engine_seconds + decode));
+            }
+        }
+        table.push(row);
+    }
+    table
+}

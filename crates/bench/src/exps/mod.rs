@@ -1,0 +1,49 @@
+//! One module per table/figure of the paper's Section VI.
+//!
+//! Each `run` function takes the shared [`crate::Ctx`] and the [`Scale`]
+//! and returns one or more [`crate::Table`]s with the same rows/series the
+//! paper reports. Absolute numbers differ (different hardware, synthetic
+//! substrate); the comparative *shapes* are the reproduction target — see
+//! `EXPERIMENTS.md`.
+
+pub mod ablation;
+pub mod fig10;
+pub mod fig11;
+pub mod fig12;
+pub mod fig13;
+pub mod fig14_15;
+pub mod fig6;
+pub mod fig7_8;
+pub mod fig9;
+pub mod table2;
+pub mod tamper_sweep;
+
+use crate::{Ctx, Scale, Table};
+
+/// Every experiment id, in paper order.
+pub const ALL: &[&str] = &[
+    "table2", "fig6", "fig7", "fig8", "fig9", "fig10a", "fig10b", "fig11", "fig12", "fig13",
+    "fig14", "fig15", "ablation_partition", "ablation_pruning", "tamper_sweep",
+];
+
+/// Dispatch an experiment by id. `fig7`/`fig8` share one run (one sweep
+/// produces both series), as do `fig14`/`fig15`'s kin.
+pub fn run(id: &str, ctx: &mut Ctx, scale: Scale) -> Vec<Table> {
+    match id {
+        "table2" => vec![table2::run(ctx)],
+        "fig6" => vec![fig6::run(ctx, scale)],
+        "fig7" | "fig8" => fig7_8::run(ctx, scale),
+        "fig9" => vec![fig9::run(ctx, scale)],
+        "fig10a" => vec![fig10::run_delta(ctx, scale)],
+        "fig10b" => vec![fig10::run_window(ctx, scale)],
+        "fig11" => vec![fig11::run(ctx, scale)],
+        "fig12" => vec![fig12::run(ctx, scale)],
+        "fig13" => vec![fig13::run(ctx, scale)],
+        "fig14" => vec![fig14_15::run_seq(ctx)],
+        "fig15" => vec![fig14_15::run_warp(ctx)],
+        "ablation_partition" => vec![ablation::run_partition(ctx)],
+        "ablation_pruning" => vec![ablation::run_pruning(ctx, scale)],
+        "tamper_sweep" => vec![tamper_sweep::run(ctx)],
+        other => panic!("unknown experiment id: {other}"),
+    }
+}

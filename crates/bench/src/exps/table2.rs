@@ -1,0 +1,77 @@
+//! Table II — precision and recall of the grid–pyramid partition for
+//! `u ∈ [2,7] × d ∈ [3,7]`, measured with the exact membership test
+//! (no min-hash): each original clip `A[i]` queries the edited library
+//! `B`, and `B[j]` is retrieved when the exact Jaccard similarity of the
+//! two clips' cell-id sets reaches δ.
+
+use crate::table::f3;
+use crate::{Ctx, Table};
+use std::collections::HashSet;
+use vdsms_codec::DcFrame;
+use vdsms_features::{FeatureConfig, FeatureExtractor};
+
+/// δ for the membership test (the paper's default threshold).
+const DELTA: f64 = 0.7;
+
+fn cell_set(dcs: &[DcFrame], extractor: &FeatureExtractor) -> HashSet<u64> {
+    dcs.iter().map(|d| extractor.fingerprint(d)).collect()
+}
+
+fn jaccard(a: &HashSet<u64>, b: &HashSet<u64>) -> f64 {
+    let inter = a.intersection(b).count();
+    let union = a.len() + b.len() - inter;
+    if union == 0 {
+        0.0
+    } else {
+        inter as f64 / union as f64
+    }
+}
+
+/// Run the sweep.
+pub fn run(ctx: &mut Ctx) -> Table {
+    let base = *ctx.features();
+    let (originals, edited) = ctx.clip_dc_frames().clone();
+    let m = originals.len();
+
+    let mut table = Table::new(
+        "Table II — precision (p) and recall (r) vs partition u and dimensionality d",
+        &["d", "u=2 p", "u=2 r", "u=3 p", "u=3 r", "u=4 p", "u=4 r", "u=5 p", "u=5 r", "u=6 p",
+          "u=6 r", "u=7 p", "u=7 r"],
+    );
+    table.note(format!("membership test (exact Jaccard), δ = {DELTA}, {m} clip pairs"));
+
+    for d in 3..=7usize {
+        let mut row = vec![d.to_string()];
+        for u in 2..=7u32 {
+            let extractor = FeatureExtractor::new(FeatureConfig { d, u, ..base });
+            let a_sets: Vec<HashSet<u64>> =
+                originals.iter().map(|dcs| cell_set(dcs, &extractor)).collect();
+            let b_sets: Vec<HashSet<u64>> =
+                edited.iter().map(|dcs| cell_set(dcs, &extractor)).collect();
+            let mut retrieved = 0usize;
+            let mut correct = 0usize;
+            let mut recalled = 0usize;
+            for (i, a) in a_sets.iter().enumerate() {
+                let mut self_found = false;
+                for (j, b) in b_sets.iter().enumerate() {
+                    if jaccard(a, b) >= DELTA {
+                        retrieved += 1;
+                        if i == j {
+                            correct += 1;
+                            self_found = true;
+                        }
+                    }
+                }
+                if self_found {
+                    recalled += 1;
+                }
+            }
+            let precision = if retrieved == 0 { 1.0 } else { correct as f64 / retrieved as f64 };
+            let recall = recalled as f64 / m as f64;
+            row.push(f3(precision));
+            row.push(f3(recall));
+        }
+        table.push(row);
+    }
+    table
+}

@@ -1,0 +1,106 @@
+//! Tamper-strength sweep (extension beyond the paper): how much editing
+//! can the fingerprint pipeline absorb before copies stop clearing the
+//! δ = 0.7 membership threshold?
+//!
+//! For each strength level, a full edit suite (gain/offset + noise +
+//! re-ordering + re-compression) is applied to a subset of the clip
+//! library; we report the self-match rate (recall) and the mean Jaccard
+//! similarity between each original and its edited copy.
+
+use crate::table::f3;
+use crate::{Ctx, Table};
+use std::collections::HashSet;
+use vdsms_codec::{Decoder, Encoder, EncoderConfig};
+use vdsms_features::FeatureExtractor;
+use vdsms_video::{Clip, Edit};
+
+/// δ for the membership test.
+const DELTA: f64 = 0.7;
+/// Clips sampled from the library (edit pipelines are expensive).
+const SAMPLE: usize = 20;
+
+/// One strength level of the tamper suite.
+struct Strength {
+    name: &'static str,
+    gain: f64,
+    offset: f64,
+    noise_sigma: f64,
+    reorder_segments: usize,
+    recompress_quality: u8,
+}
+
+const LEVELS: &[Strength] = &[
+    Strength { name: "none", gain: 1.0, offset: 0.0, noise_sigma: 0.0, reorder_segments: 1, recompress_quality: 80 },
+    Strength { name: "light", gain: 0.9, offset: -4.0, noise_sigma: 1.0, reorder_segments: 3, recompress_quality: 75 },
+    Strength { name: "paper (VS2-like)", gain: 0.7, offset: -8.0, noise_sigma: 2.5, reorder_segments: 5, recompress_quality: 65 },
+    Strength { name: "heavy", gain: 0.55, offset: -12.0, noise_sigma: 4.0, reorder_segments: 9, recompress_quality: 45 },
+    Strength { name: "extreme", gain: 0.4, offset: -20.0, noise_sigma: 7.0, reorder_segments: 15, recompress_quality: 25 },
+];
+
+fn apply(clip: &Clip, s: &Strength, gop: u32, seed: u64) -> Clip {
+    let mut edited = Edit::GainOffset { gain: s.gain, offset: s.offset }.apply(clip);
+    if s.noise_sigma > 0.0 {
+        edited = Edit::Noise { sigma: s.noise_sigma, seed }.apply(&edited);
+    }
+    if s.reorder_segments > 1 {
+        edited = Edit::SegmentReorder {
+            segments: s.reorder_segments.min(edited.len() / 2).max(1),
+            seed: seed ^ 1,
+        }
+        .apply(&edited);
+    }
+    // Re-compression round trip.
+    let bytes =
+        Encoder::encode_clip(&edited, EncoderConfig { gop, quality: s.recompress_quality, motion_search: true });
+    let frames = Decoder::new(&bytes).expect("own encoding").decode_all().expect("own encoding");
+    Clip::new(frames, edited.fps())
+}
+
+/// Run the sweep.
+pub fn run(ctx: &mut Ctx) -> Table {
+    let fc = *ctx.features();
+    let extractor = FeatureExtractor::new(fc);
+    let gop = ctx.spec().gop;
+    let n = SAMPLE.min(ctx.library().len());
+
+    let mut table = Table::new(
+        "Extension — tamper-strength sweep (membership test, δ = 0.7)",
+        &["strength", "recall", "mean Jaccard"],
+    );
+    table.note(format!("{n} clips; gain/offset + noise + re-order + re-compress at each level"));
+
+    // Original cell sets.
+    let originals: Vec<(Clip, HashSet<u64>)> = (0..n as u32)
+        .map(|id| {
+            let clip = ctx.library().original(id);
+            let set: HashSet<u64> =
+                extractor.fingerprint_sequence(&ctx.library().dc_frames(&clip)).into_iter().collect();
+            (clip, set)
+        })
+        .collect();
+
+    for level in LEVELS {
+        let mut recalled = 0usize;
+        let mut jac_total = 0.0f64;
+        for (id, (clip, original_set)) in originals.iter().enumerate() {
+            let edited = apply(clip, level, gop, 0xabc0 + id as u64);
+            let edited_set: HashSet<u64> = extractor
+                .fingerprint_sequence(&ctx.library().dc_frames(&edited))
+                .into_iter()
+                .collect();
+            let inter = original_set.intersection(&edited_set).count();
+            let union = original_set.len() + edited_set.len() - inter;
+            let j = if union == 0 { 0.0 } else { inter as f64 / union as f64 };
+            jac_total += j;
+            if j >= DELTA {
+                recalled += 1;
+            }
+        }
+        table.push(vec![
+            level.name.to_string(),
+            f3(recalled as f64 / n as f64),
+            f3(jac_total / n as f64),
+        ]);
+    }
+    table
+}

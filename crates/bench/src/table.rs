@@ -1,0 +1,134 @@
+//! Result tables: the rows/series the paper's tables and figures report.
+
+/// A labelled result table.
+#[derive(Debug, Clone)]
+pub struct Table {
+    /// Experiment id + description, e.g. "Figure 6 — CPU time vs K".
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Data rows.
+    pub rows: Vec<Vec<String>>,
+    /// Free-text notes (parameters, caveats).
+    pub notes: Vec<String>,
+}
+
+impl Table {
+    /// New empty table.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Table {
+        Table {
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Append a row.
+    ///
+    /// # Panics
+    /// Panics if the row width differs from the header width.
+    pub fn push(&mut self, row: Vec<String>) {
+        assert_eq!(row.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(row);
+    }
+
+    /// Append a note line.
+    pub fn note(&mut self, s: impl Into<String>) {
+        self.notes.push(s.into());
+    }
+
+    /// Render as GitHub-flavored markdown.
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("### {}\n\n", self.title));
+        for n in &self.notes {
+            out.push_str(&format!("> {n}\n"));
+        }
+        if !self.notes.is_empty() {
+            out.push('\n');
+        }
+        out.push_str(&format!("| {} |\n", self.headers.join(" | ")));
+        out.push_str(&format!("|{}|\n", self.headers.iter().map(|_| "---").collect::<Vec<_>>().join("|")));
+        for r in &self.rows {
+            out.push_str(&format!("| {} |\n", r.join(" | ")));
+        }
+        out.push('\n');
+        out
+    }
+
+    /// Render as aligned plain text (for terminal output).
+    pub fn to_plain(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for r in &self.rows {
+            for (i, c) in r.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let fmt_row = |cells: &[String]| {
+            cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:>w$}", c, w = widths[i]))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        let mut out = String::new();
+        out.push_str(&format!("== {} ==\n", self.title));
+        for n in &self.notes {
+            out.push_str(&format!("   ({n})\n"));
+        }
+        out.push_str(&fmt_row(&self.headers));
+        out.push('\n');
+        for r in &self.rows {
+            out.push_str(&fmt_row(r));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Format a float with 3 decimals.
+pub fn f3(v: f64) -> String {
+    format!("{v:.3}")
+}
+
+/// Format a float with 2 decimals.
+pub fn f2(v: f64) -> String {
+    format!("{v:.2}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Table {
+        let mut t = Table::new("Test", &["a", "bb"]);
+        t.push(vec!["1".into(), "2".into()]);
+        t.note("note");
+        t
+    }
+
+    #[test]
+    fn markdown_has_header_separator_and_rows() {
+        let md = sample().to_markdown();
+        assert!(md.contains("### Test"));
+        assert!(md.contains("| a | bb |"));
+        assert!(md.contains("|---|---|"));
+        assert!(md.contains("| 1 | 2 |"));
+        assert!(md.contains("> note"));
+    }
+
+    #[test]
+    fn plain_aligns_columns() {
+        let p = sample().to_plain();
+        assert!(p.contains("a  bb"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn row_width_checked() {
+        let mut t = Table::new("T", &["a"]);
+        t.push(vec!["1".into(), "2".into()]);
+    }
+}

@@ -1,0 +1,192 @@
+//! The `vdsms` command-line tool. See `vdsms-cli`'s crate docs; run
+//! `vdsms help` for usage.
+
+use std::process::exit;
+use vdsms_cli::{generate, inspect, monitor, sketch, GenerateOpts};
+use vdsms_core::DetectorConfig;
+use vdsms_features::FeatureConfig;
+
+const USAGE: &str = "\
+vdsms — continuous content-based video copy detection
+
+USAGE:
+  vdsms generate [--seed N] [--seconds S] [--width W] [--height H]
+                 [--fps F] [--gop G] [--quality Q] [--motifs SEED:COUNT]
+                 --out FILE
+      Generate a synthetic test video bitstream.
+
+  vdsms inspect FILE
+      Print bitstream metadata (resolution, rate, GOP, key frames).
+
+  vdsms sketch [--k K] [--hash-seed S] FILE... --out FILE
+      Fingerprint and min-hash query videos into a catalogue file.
+      Query ids are assigned 0, 1, ... in argument order.
+
+  vdsms monitor --queries FILE [--k K] [--hash-seed S] [--delta D]
+                [--window-keyframes W] STREAM_FILE
+      Detect copies of catalogued queries in a stream bitstream.
+
+Sketching and monitoring must use the same --k and --hash-seed.
+";
+
+fn fail(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    eprintln!("{USAGE}");
+    exit(2);
+}
+
+fn take_value<'a>(args: &'a [String], i: &mut usize, flag: &str) -> &'a str {
+    *i += 1;
+    args.get(*i).unwrap_or_else(|| fail(&format!("{flag} needs a value"))).as_str()
+}
+
+fn parse<T: std::str::FromStr>(s: &str, flag: &str) -> T {
+    s.parse().unwrap_or_else(|_| fail(&format!("invalid value for {flag}: {s}")))
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else { fail("no subcommand") };
+    match cmd.as_str() {
+        "generate" => cmd_generate(&args[1..]),
+        "inspect" => cmd_inspect(&args[1..]),
+        "sketch" => cmd_sketch(&args[1..]),
+        "monitor" => cmd_monitor(&args[1..]),
+        "help" | "--help" | "-h" => println!("{USAGE}"),
+        other => fail(&format!("unknown subcommand {other}")),
+    }
+}
+
+fn cmd_generate(args: &[String]) {
+    let mut opts = GenerateOpts::default();
+    let mut out: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--seed" => opts.seed = parse(take_value(args, &mut i, "--seed"), "--seed"),
+            "--seconds" => opts.seconds = parse(take_value(args, &mut i, "--seconds"), "--seconds"),
+            "--width" => opts.width = parse(take_value(args, &mut i, "--width"), "--width"),
+            "--height" => opts.height = parse(take_value(args, &mut i, "--height"), "--height"),
+            "--fps" => opts.fps = parse(take_value(args, &mut i, "--fps"), "--fps"),
+            "--gop" => opts.gop = parse(take_value(args, &mut i, "--gop"), "--gop"),
+            "--quality" => opts.quality = parse(take_value(args, &mut i, "--quality"), "--quality"),
+            "--motifs" => {
+                let v = take_value(args, &mut i, "--motifs");
+                let (seed, count) =
+                    v.split_once(':').unwrap_or_else(|| fail("--motifs wants SEED:COUNT"));
+                opts.motifs = Some((parse(seed, "--motifs"), parse(count, "--motifs")));
+            }
+            "--out" => out = Some(take_value(args, &mut i, "--out").to_string()),
+            other => fail(&format!("unknown flag {other}")),
+        }
+        i += 1;
+    }
+    let Some(out) = out else { fail("generate needs --out FILE") };
+    match generate(&opts) {
+        Ok(bytes) => {
+            std::fs::write(&out, &bytes).unwrap_or_else(|e| fail(&format!("write {out}: {e}")));
+            eprintln!("wrote {} bytes to {out}", bytes.len());
+        }
+        Err(e) => fail(&e.message),
+    }
+}
+
+fn cmd_inspect(args: &[String]) {
+    let Some(path) = args.first() else { fail("inspect needs a FILE") };
+    let bytes = std::fs::read(path).unwrap_or_else(|e| fail(&format!("read {path}: {e}")));
+    match inspect(&bytes) {
+        Ok(report) => print!("{report}"),
+        Err(e) => fail(&e.message),
+    }
+}
+
+fn detector_flags(
+    args: &[String],
+    i: &mut usize,
+    cfg: &mut DetectorConfig,
+) -> bool {
+    match args[*i].as_str() {
+        "--k" => cfg.k = parse(take_value(args, i, "--k"), "--k"),
+        "--hash-seed" => cfg.hash_seed = parse(take_value(args, i, "--hash-seed"), "--hash-seed"),
+        "--delta" => cfg.delta = parse(take_value(args, i, "--delta"), "--delta"),
+        "--window-keyframes" => {
+            cfg.window_keyframes =
+                parse(take_value(args, i, "--window-keyframes"), "--window-keyframes")
+        }
+        _ => return false,
+    }
+    true
+}
+
+fn cmd_sketch(args: &[String]) {
+    let mut cfg = DetectorConfig::default();
+    let mut files: Vec<String> = Vec::new();
+    let mut out: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        if detector_flags(args, &mut i, &mut cfg) {
+        } else if args[i] == "--out" {
+            out = Some(take_value(args, &mut i, "--out").to_string());
+        } else if args[i].starts_with('-') {
+            fail(&format!("unknown flag {}", args[i]));
+        } else {
+            files.push(args[i].clone());
+        }
+        i += 1;
+    }
+    let Some(out) = out else { fail("sketch needs --out FILE") };
+    if files.is_empty() {
+        fail("sketch needs at least one query FILE");
+    }
+    let inputs: Vec<(u32, Vec<u8>)> = files
+        .iter()
+        .enumerate()
+        .map(|(id, path)| {
+            let bytes =
+                std::fs::read(path).unwrap_or_else(|e| fail(&format!("read {path}: {e}")));
+            (id as u32, bytes)
+        })
+        .collect();
+    match sketch(&inputs, &cfg, &FeatureConfig::default()) {
+        Ok(bytes) => {
+            std::fs::write(&out, &bytes).unwrap_or_else(|e| fail(&format!("write {out}: {e}")));
+            eprintln!("sketched {} queries into {out} ({} bytes)", inputs.len(), bytes.len());
+        }
+        Err(e) => fail(&e.message),
+    }
+}
+
+fn cmd_monitor(args: &[String]) {
+    let mut cfg = DetectorConfig::default();
+    let mut queries: Option<String> = None;
+    let mut stream: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        if detector_flags(args, &mut i, &mut cfg) {
+        } else if args[i] == "--queries" {
+            queries = Some(take_value(args, &mut i, "--queries").to_string());
+        } else if args[i].starts_with('-') {
+            fail(&format!("unknown flag {}", args[i]));
+        } else {
+            stream = Some(args[i].clone());
+        }
+        i += 1;
+    }
+    let Some(queries) = queries else { fail("monitor needs --queries FILE") };
+    let Some(stream) = stream else { fail("monitor needs a STREAM_FILE") };
+    let qbytes =
+        std::fs::read(&queries).unwrap_or_else(|e| fail(&format!("read {queries}: {e}")));
+    let sbytes = std::fs::read(&stream).unwrap_or_else(|e| fail(&format!("read {stream}: {e}")));
+    match monitor(&sbytes, &qbytes, &cfg, &FeatureConfig::default()) {
+        Ok(hits) if hits.is_empty() => println!("no copies detected"),
+        Ok(hits) => {
+            for h in hits {
+                println!(
+                    "query {}\tframes {}..{}\tsimilarity {:.3}",
+                    h.query_id, h.start_frame, h.end_frame, h.similarity
+                );
+            }
+        }
+        Err(e) => fail(&e.message),
+    }
+}

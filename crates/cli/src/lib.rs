@@ -1,0 +1,300 @@
+//! # vdsms-cli — command-line tools for the copy-detection system
+//!
+//! One binary, four subcommands, mirroring a real deployment's workflow:
+//!
+//! ```text
+//! vdsms generate --seed 7 --seconds 30 --out clip.vdsm      # synthetic test video
+//! vdsms inspect clip.vdsm                                   # bitstream metadata
+//! vdsms sketch --id 1 clip.vdsm [...] --out catalogue.vdsq  # offline query sketching
+//! vdsms monitor --queries catalogue.vdsq stream.vdsm        # detect copies
+//! ```
+//!
+//! The command implementations live here (library functions returning
+//! `Result`) so they are unit-testable; `src/bin/vdsms.rs` is a thin
+//! argument-parsing shell.
+
+use std::fmt::Write as _;
+use vdsms_codec::{Encoder, EncoderConfig, PartialDecoder, StreamHeader};
+use vdsms_core::{load_queries, save_queries, Detector, DetectorConfig, Query, QuerySet};
+use vdsms_features::{FeatureConfig, FeatureExtractor};
+use vdsms_video::source::{ClipGenerator, MotifPool, SourceSpec};
+use vdsms_video::Fps;
+
+/// CLI errors: message plus a process exit code.
+#[derive(Debug)]
+pub struct CliError {
+    /// Human-readable message.
+    pub message: String,
+}
+
+impl CliError {
+    fn new(message: impl Into<String>) -> CliError {
+        CliError { message: message.into() }
+    }
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.message)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<vdsms_codec::CodecError> for CliError {
+    fn from(e: vdsms_codec::CodecError) -> CliError {
+        CliError::new(format!("codec error: {e}"))
+    }
+}
+
+impl From<vdsms_core::PersistError> for CliError {
+    fn from(e: vdsms_core::PersistError) -> CliError {
+        CliError::new(format!("query file error: {e}"))
+    }
+}
+
+/// Result alias for CLI operations.
+pub type Result<T> = std::result::Result<T, CliError>;
+
+/// Options for `vdsms generate`.
+#[derive(Debug, Clone)]
+pub struct GenerateOpts {
+    /// Source seed.
+    pub seed: u64,
+    /// Duration in seconds.
+    pub seconds: f64,
+    /// Frame width.
+    pub width: u32,
+    /// Frame height.
+    pub height: u32,
+    /// Frames per second.
+    pub fps: u32,
+    /// Encoder GOP.
+    pub gop: u32,
+    /// Encoder quality.
+    pub quality: u8,
+    /// Optional motif pool `seed:count` for content that shares visual
+    /// statistics with other generated clips.
+    pub motifs: Option<(u64, u32)>,
+}
+
+impl Default for GenerateOpts {
+    fn default() -> GenerateOpts {
+        GenerateOpts {
+            seed: 1,
+            seconds: 30.0,
+            width: 176,
+            height: 120,
+            fps: 10,
+            gop: 5,
+            quality: 80,
+            motifs: None,
+        }
+    }
+}
+
+/// Generate a synthetic clip and encode it; returns the bitstream.
+pub fn generate(opts: &GenerateOpts) -> Result<Vec<u8>> {
+    if opts.seconds <= 0.0 {
+        return Err(CliError::new("--seconds must be positive"));
+    }
+    if !(1..=100).contains(&opts.quality) {
+        return Err(CliError::new("--quality must be in 1..=100"));
+    }
+    let spec = SourceSpec {
+        width: opts.width,
+        height: opts.height,
+        fps: Fps::integer(opts.fps),
+        seed: opts.seed,
+        min_scene_s: 2.0,
+        max_scene_s: 6.0,
+        motifs: opts.motifs.map(|(seed, count)| MotifPool { seed, count }),
+    };
+    let clip = ClipGenerator::new(spec).clip(opts.seconds);
+    Ok(Encoder::encode_clip(&clip, EncoderConfig { gop: opts.gop, quality: opts.quality, motion_search: true }))
+}
+
+/// Inspect a bitstream: header fields plus key-frame statistics. Returns
+/// a printable report.
+pub fn inspect(bytes: &[u8]) -> Result<String> {
+    let mut decoder = PartialDecoder::new(bytes)?;
+    let header: StreamHeader = *decoder.header();
+    let mut key_frames = 0u64;
+    let mut last_index = 0u64;
+    while let Some(dc) = decoder.next_dc_frame()? {
+        key_frames += 1;
+        last_index = dc.frame_index;
+    }
+    let total_frames = last_index + 1; // last key frame is within the last GOP
+    let mut out = String::new();
+    let _ = writeln!(out, "container:   VDSM v2");
+    let _ = writeln!(out, "resolution:  {}x{}", header.width, header.height);
+    let _ = writeln!(
+        out,
+        "frame rate:  {}/{} ({:.2} fps)",
+        header.fps.num,
+        header.fps.den,
+        header.fps.as_f64()
+    );
+    let _ = writeln!(out, "gop:         {} (≈{:.2} key frames/s)", header.gop, header.fps.as_f64() / f64::from(header.gop));
+    let _ = writeln!(out, "key frames:  {key_frames}");
+    let _ = writeln!(out, "frames:      >= {total_frames}");
+    let _ = writeln!(
+        out,
+        "duration:    ≈{:.1} s",
+        header.fps.seconds_of(total_frames as usize)
+    );
+    let _ = writeln!(out, "size:        {} bytes", bytes.len());
+    Ok(out)
+}
+
+/// Sketch one or more query bitstreams into a persistable query set.
+/// `inputs` pairs each query id with its bitstream.
+pub fn sketch(
+    inputs: &[(u32, Vec<u8>)],
+    detector: &DetectorConfig,
+    features: &FeatureConfig,
+) -> Result<Vec<u8>> {
+    if inputs.is_empty() {
+        return Err(CliError::new("no query bitstreams given"));
+    }
+    let family = Detector::family_for(detector);
+    let extractor = FeatureExtractor::new(*features);
+    let mut set = QuerySet::new();
+    for (id, bytes) in inputs {
+        if set.get(*id).is_some() {
+            return Err(CliError::new(format!("duplicate query id {id}")));
+        }
+        let dcs = PartialDecoder::new(bytes)?.decode_all()?;
+        if dcs.is_empty() {
+            return Err(CliError::new(format!("query {id} has no key frames")));
+        }
+        let cells = extractor.fingerprint_sequence(&dcs);
+        set.insert(Query::from_cell_ids(*id, &family, &cells));
+    }
+    Ok(save_queries(&set))
+}
+
+/// One detection line of `monitor`'s report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MonitorHit {
+    /// Matched query.
+    pub query_id: u32,
+    /// First stream frame of the candidate.
+    pub start_frame: u64,
+    /// Last stream frame (detection position).
+    pub end_frame: u64,
+    /// Estimated similarity.
+    pub similarity: f64,
+}
+
+/// Monitor a stream bitstream against a persisted query set.
+pub fn monitor(
+    stream: &[u8],
+    query_file: &[u8],
+    detector: &DetectorConfig,
+    features: &FeatureConfig,
+) -> Result<Vec<MonitorHit>> {
+    let queries = load_queries(query_file, detector.k)?;
+    if queries.is_empty() {
+        return Err(CliError::new("query file contains no queries"));
+    }
+    let extractor = FeatureExtractor::new(*features);
+    let mut det = Detector::new(*detector, queries);
+    let mut decoder = PartialDecoder::new(stream)?;
+    let mut hits = Vec::new();
+    let push = |dets: Vec<vdsms_core::Detection>, hits: &mut Vec<MonitorHit>| {
+        for d in dets {
+            hits.push(MonitorHit {
+                query_id: d.query_id,
+                start_frame: d.start_frame,
+                end_frame: d.end_frame,
+                similarity: d.similarity,
+            });
+        }
+    };
+    while let Some(dc) = decoder.next_dc_frame()? {
+        let cell = extractor.fingerprint(&dc);
+        push(det.push_keyframe(dc.frame_index, cell), &mut hits);
+    }
+    push(det.finish(), &mut hits);
+    Ok(hits)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn opts(seed: u64, seconds: f64) -> GenerateOpts {
+        GenerateOpts { seed, seconds, ..Default::default() }
+    }
+
+    fn detector() -> DetectorConfig {
+        DetectorConfig { window_keyframes: 6, ..Default::default() }
+    }
+
+    #[test]
+    fn generate_inspect_round_trip() {
+        let bytes = generate(&opts(3, 10.0)).unwrap();
+        let report = inspect(&bytes).unwrap();
+        assert!(report.contains("176x120"), "{report}");
+        assert!(report.contains("key frames:  20"), "{report}");
+        assert!(report.contains("10/1"), "{report}");
+    }
+
+    #[test]
+    fn generate_rejects_bad_options() {
+        assert!(generate(&GenerateOpts { seconds: 0.0, ..Default::default() }).is_err());
+        assert!(generate(&GenerateOpts { quality: 0, ..Default::default() }).is_err());
+    }
+
+    #[test]
+    fn sketch_then_monitor_finds_planted_query() {
+        let fc = FeatureConfig::default();
+        let det = detector();
+        // Queries 1 and 2.
+        let q1 = generate(&opts(100, 12.0)).unwrap();
+        let q2 = generate(&opts(200, 12.0)).unwrap();
+        let catalogue = sketch(&[(1, q1), (2, q2)], &det, &fc).unwrap();
+
+        // A stream containing query 2's content (same seed ⇒ same frames).
+        let background = generate(&opts(900, 20.0)).unwrap();
+        let _ = background; // stream is built from pixel frames below
+        let spec = SourceSpec {
+            width: 176,
+            height: 120,
+            fps: Fps::integer(10),
+            seed: 900,
+            min_scene_s: 2.0,
+            max_scene_s: 6.0,
+            motifs: None,
+        };
+        let mut stream_clip = ClipGenerator::new(spec.clone()).clip(20.0);
+        stream_clip.append(ClipGenerator::new(SourceSpec { seed: 200, ..spec }).clip(12.0));
+        let stream = Encoder::encode_clip(&stream_clip, EncoderConfig { gop: 5, quality: 80, motion_search: true });
+
+        let hits = monitor(&stream, &catalogue, &det, &fc).unwrap();
+        assert!(hits.iter().any(|h| h.query_id == 2), "{hits:?}");
+        assert!(hits.iter().all(|h| h.query_id != 1), "query 1 not in the stream");
+    }
+
+    #[test]
+    fn sketch_rejects_duplicates_and_empty() {
+        let fc = FeatureConfig::default();
+        let det = detector();
+        let q = generate(&opts(1, 8.0)).unwrap();
+        assert!(sketch(&[], &det, &fc).is_err());
+        assert!(sketch(&[(1, q.clone()), (1, q)], &det, &fc).is_err());
+    }
+
+    #[test]
+    fn monitor_rejects_garbage_inputs() {
+        let fc = FeatureConfig::default();
+        let det = detector();
+        let q = generate(&opts(1, 8.0)).unwrap();
+        let catalogue = sketch(&[(1, q)], &det, &fc).unwrap();
+        assert!(monitor(b"not a stream", &catalogue, &det, &fc).is_err());
+        let stream = generate(&opts(2, 8.0)).unwrap();
+        assert!(monitor(&stream, b"not queries", &det, &fc).is_err());
+    }
+}

@@ -1,0 +1,176 @@
+//! Bitstream container format.
+//!
+//! ```text
+//! stream   := magic("VDSM") version(u8=2) header frame*
+//! header   := width(varint) height(varint) fps_num(varint) fps_den(varint)
+//!             gop(varint)
+//! frame    := type(u8: 0=I, 1=P) quality(u8) payload_len(u32le) payload
+//! payload  := block*          -- blocks in raster order, DC DPCM chained
+//! block    := [mv_x(svarint) mv_y(svarint)]  -- P-frames only
+//!             dc_delta(svarint) ac_tokens... eob
+//! ```
+//!
+//! The fixed-width `payload_len` prefix is what lets the partial decoder
+//! skip a P-frame in O(1) without parsing its entropy data.
+
+use crate::bitio::{ByteReader, ByteWriter};
+use crate::{CodecError, Result};
+use vdsms_video::Fps;
+
+/// Magic bytes opening every stream.
+pub const MAGIC: &[u8; 4] = b"VDSM";
+/// Current format version.
+pub const VERSION: u8 = 2;
+
+/// Frame kinds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameType {
+    /// Intra-coded key frame: every block coded independently of other
+    /// frames. These are the paper's "key (or I) frames".
+    Intra,
+    /// Predicted frame: blocks code the difference from the previous
+    /// reconstructed frame.
+    Predicted,
+}
+
+impl FrameType {
+    /// Wire value.
+    pub fn to_byte(self) -> u8 {
+        match self {
+            FrameType::Intra => 0,
+            FrameType::Predicted => 1,
+        }
+    }
+
+    /// Parse a wire value.
+    pub fn from_byte(b: u8) -> Result<FrameType> {
+        match b {
+            0 => Ok(FrameType::Intra),
+            1 => Ok(FrameType::Predicted),
+            _ => Err(CodecError::InvalidField("frame type")),
+        }
+    }
+}
+
+/// Per-stream header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StreamHeader {
+    /// Frame width in pixels.
+    pub width: u32,
+    /// Frame height in pixels.
+    pub height: u32,
+    /// Frame rate.
+    pub fps: Fps,
+    /// GOP length: an I-frame every `gop` frames (`gop = 1` ⇒ all-intra).
+    pub gop: u32,
+}
+
+impl StreamHeader {
+    /// Serialize the magic, version and header fields.
+    pub fn write(&self, w: &mut ByteWriter) {
+        w.put_bytes(MAGIC);
+        w.put_u8(VERSION);
+        w.put_varint(u64::from(self.width));
+        w.put_varint(u64::from(self.height));
+        w.put_varint(u64::from(self.fps.num));
+        w.put_varint(u64::from(self.fps.den));
+        w.put_varint(u64::from(self.gop));
+    }
+
+    /// Parse the magic, version and header fields.
+    pub fn read(r: &mut ByteReader<'_>) -> Result<StreamHeader> {
+        let magic = r.get_bytes(4)?;
+        if magic != MAGIC {
+            return Err(CodecError::BadMagic);
+        }
+        let version = r.get_u8()?;
+        if version != VERSION {
+            return Err(CodecError::InvalidField("version"));
+        }
+        let width = read_u32_field(r, "width")?;
+        let height = read_u32_field(r, "height")?;
+        let fps_num = read_u32_field(r, "fps_num")?;
+        let fps_den = read_u32_field(r, "fps_den")?;
+        let gop = read_u32_field(r, "gop")?;
+        if width == 0 || height == 0 {
+            return Err(CodecError::InvalidField("dimensions"));
+        }
+        if fps_num == 0 || fps_den == 0 {
+            return Err(CodecError::InvalidField("fps"));
+        }
+        if gop == 0 {
+            return Err(CodecError::InvalidField("gop"));
+        }
+        Ok(StreamHeader { width, height, fps: Fps { num: fps_num, den: fps_den }, gop })
+    }
+}
+
+fn read_u32_field(r: &mut ByteReader<'_>, name: &'static str) -> Result<u32> {
+    u32::try_from(r.get_varint()?).map_err(|_| CodecError::InvalidField(name))
+}
+
+/// Per-frame record header (everything before the payload bytes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FrameRecord {
+    /// Frame kind.
+    pub frame_type: FrameType,
+    /// Quality the frame was quantized at.
+    pub quality: u8,
+    /// Payload byte length.
+    pub payload_len: u32,
+}
+
+impl FrameRecord {
+    /// Parse a frame record header.
+    pub fn read(r: &mut ByteReader<'_>) -> Result<FrameRecord> {
+        let frame_type = FrameType::from_byte(r.get_u8()?)?;
+        let quality = r.get_u8()?;
+        if !(1..=100).contains(&quality) {
+            return Err(CodecError::InvalidField("quality"));
+        }
+        let payload_len = r.get_u32_le()?;
+        Ok(FrameRecord { frame_type, quality, payload_len })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn header_round_trip() {
+        let h = StreamHeader { width: 352, height: 240, fps: Fps::NTSC, gop: 15 };
+        let mut w = ByteWriter::new();
+        h.write(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        assert_eq!(StreamHeader::read(&mut r).unwrap(), h);
+        assert!(r.is_at_end());
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut r = ByteReader::new(b"XXXX\x01");
+        assert_eq!(StreamHeader::read(&mut r), Err(CodecError::BadMagic));
+    }
+
+    #[test]
+    fn zero_gop_rejected() {
+        let h = StreamHeader { width: 8, height: 8, fps: Fps::PAL, gop: 15 };
+        let mut w = ByteWriter::new();
+        h.write(&mut w);
+        let mut bytes = w.into_bytes();
+        let last = bytes.len() - 1;
+        bytes[last] = 0; // gop varint = 0
+        let mut r = ByteReader::new(&bytes);
+        assert_eq!(StreamHeader::read(&mut r), Err(CodecError::InvalidField("gop")));
+    }
+
+    #[test]
+    fn frame_type_wire_round_trip() {
+        for t in [FrameType::Intra, FrameType::Predicted] {
+            assert_eq!(FrameType::from_byte(t.to_byte()).unwrap(), t);
+        }
+        assert!(FrameType::from_byte(9).is_err());
+    }
+}

@@ -1,0 +1,265 @@
+//! Frame ⇄ 8×8 block conversion with edge padding.
+//!
+//! Frames whose dimensions are not multiples of 8 are padded by edge
+//! replication, which keeps padded-block DC values representative of the
+//! visible content (zero padding would bias edge blocks dark).
+
+use crate::dct::{BLOCK, BLOCK_AREA};
+use vdsms_video::Frame;
+
+/// Block-grid geometry of a frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlockGrid {
+    /// Frame width in pixels.
+    pub width: u32,
+    /// Frame height in pixels.
+    pub height: u32,
+    /// Blocks per row (`ceil(width / 8)`).
+    pub blocks_w: u32,
+    /// Block rows (`ceil(height / 8)`).
+    pub blocks_h: u32,
+}
+
+impl BlockGrid {
+    /// Geometry for a `width × height` frame.
+    pub fn for_dims(width: u32, height: u32) -> BlockGrid {
+        assert!(width > 0 && height > 0);
+        BlockGrid {
+            width,
+            height,
+            blocks_w: width.div_ceil(BLOCK as u32),
+            blocks_h: height.div_ceil(BLOCK as u32),
+        }
+    }
+
+    /// Total number of blocks.
+    pub fn num_blocks(&self) -> usize {
+        (self.blocks_w * self.blocks_h) as usize
+    }
+}
+
+/// Extract block `(bx, by)` of `frame` as level-shifted f32 samples
+/// (`pixel - 128`), edge-replicated beyond the frame boundary.
+pub fn extract_block(frame: &Frame, bx: u32, by: u32) -> [f32; BLOCK_AREA] {
+    let mut out = [0.0f32; BLOCK_AREA];
+    let w = frame.width();
+    let h = frame.height();
+    for dy in 0..BLOCK as u32 {
+        let y = (by * BLOCK as u32 + dy).min(h - 1);
+        for dx in 0..BLOCK as u32 {
+            let x = (bx * BLOCK as u32 + dx).min(w - 1);
+            out[(dy as usize) * BLOCK + dx as usize] = f32::from(frame.get(x, y)) - 128.0;
+        }
+    }
+    out
+}
+
+/// Write reconstructed block samples (level-shifted f32) back into `frame`,
+/// clamping to `[0, 255]` and discarding padding pixels.
+pub fn store_block(frame: &mut Frame, bx: u32, by: u32, samples: &[f32; BLOCK_AREA]) {
+    let w = frame.width();
+    let h = frame.height();
+    for dy in 0..BLOCK as u32 {
+        let y = by * BLOCK as u32 + dy;
+        if y >= h {
+            break;
+        }
+        for dx in 0..BLOCK as u32 {
+            let x = bx * BLOCK as u32 + dx;
+            if x >= w {
+                break;
+            }
+            let v = samples[(dy as usize) * BLOCK + dx as usize] + 128.0;
+            frame.set(x, y, v.round().clamp(0.0, 255.0) as u8);
+        }
+    }
+}
+
+/// Sample the reference frame at `(x + mv_x, y + mv_y)` with edge
+/// clamping — the motion-compensated predictor for one pixel.
+#[inline]
+fn ref_sample(reference: &Frame, x: i64, y: i64) -> u8 {
+    let cx = x.clamp(0, i64::from(reference.width()) - 1) as u32;
+    let cy = y.clamp(0, i64::from(reference.height()) - 1) as u32;
+    reference.get(cx, cy)
+}
+
+/// Extract the *motion-compensated difference* block
+/// `cur(x, y) − ref(x + mv_x, y + mv_y)` at `(bx, by)`. `(0, 0)` motion
+/// degenerates to plain frame differencing. Used for P-frames.
+pub fn extract_diff_block(
+    cur: &Frame,
+    reference: &Frame,
+    bx: u32,
+    by: u32,
+    mv: (i8, i8),
+) -> [f32; BLOCK_AREA] {
+    let mut out = [0.0f32; BLOCK_AREA];
+    let w = cur.width();
+    let h = cur.height();
+    for dy in 0..BLOCK as u32 {
+        let y = (by * BLOCK as u32 + dy).min(h - 1);
+        for dx in 0..BLOCK as u32 {
+            let x = (bx * BLOCK as u32 + dx).min(w - 1);
+            let predictor =
+                ref_sample(reference, i64::from(x) + i64::from(mv.0), i64::from(y) + i64::from(mv.1));
+            out[(dy as usize) * BLOCK + dx as usize] =
+                f32::from(cur.get(x, y)) - f32::from(predictor);
+        }
+    }
+    out
+}
+
+/// Sum of absolute differences between the current block and the
+/// motion-compensated reference — the motion-search cost function.
+pub fn block_sad(cur: &Frame, reference: &Frame, bx: u32, by: u32, mv: (i8, i8)) -> u32 {
+    let w = cur.width();
+    let h = cur.height();
+    let mut sad = 0u32;
+    for dy in 0..BLOCK as u32 {
+        let y = (by * BLOCK as u32 + dy).min(h - 1);
+        for dx in 0..BLOCK as u32 {
+            let x = (bx * BLOCK as u32 + dx).min(w - 1);
+            let predictor =
+                ref_sample(reference, i64::from(x) + i64::from(mv.0), i64::from(y) + i64::from(mv.1));
+            sad += u32::from(cur.get(x, y).abs_diff(predictor));
+        }
+    }
+    sad
+}
+
+/// Add a reconstructed motion-compensated difference block onto the
+/// reference pixels and store into `frame` (P-frame reconstruction).
+pub fn store_diff_block(
+    frame: &mut Frame,
+    reference: &Frame,
+    bx: u32,
+    by: u32,
+    mv: (i8, i8),
+    diff: &[f32; BLOCK_AREA],
+) {
+    let w = frame.width();
+    let h = frame.height();
+    for dy in 0..BLOCK as u32 {
+        let y = by * BLOCK as u32 + dy;
+        if y >= h {
+            break;
+        }
+        for dx in 0..BLOCK as u32 {
+            let x = bx * BLOCK as u32 + dx;
+            if x >= w {
+                break;
+            }
+            let predictor =
+                ref_sample(reference, i64::from(x) + i64::from(mv.0), i64::from(y) + i64::from(mv.1));
+            let v = f32::from(predictor) + diff[(dy as usize) * BLOCK + dx as usize];
+            frame.set(x, y, v.round().clamp(0.0, 255.0) as u8);
+        }
+    }
+}
+
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_geometry_rounds_up() {
+        let g = BlockGrid::for_dims(17, 8);
+        assert_eq!((g.blocks_w, g.blocks_h), (3, 1));
+        assert_eq!(g.num_blocks(), 3);
+        let g2 = BlockGrid::for_dims(16, 16);
+        assert_eq!((g2.blocks_w, g2.blocks_h), (2, 2));
+    }
+
+    #[test]
+    fn extract_store_round_trip_interior_block() {
+        let mut f = Frame::filled(16, 16, 0);
+        for y in 0..16 {
+            for x in 0..16 {
+                f.set(x, y, (x * 16 + y) as u8);
+            }
+        }
+        let blk = extract_block(&f, 1, 1);
+        let mut g = Frame::filled(16, 16, 0);
+        store_block(&mut g, 1, 1, &blk);
+        for y in 8..16 {
+            for x in 8..16 {
+                assert_eq!(g.get(x, y), f.get(x, y));
+            }
+        }
+    }
+
+    #[test]
+    fn padding_replicates_edge() {
+        let f = Frame::filled(10, 10, 77); // 2 padded columns/rows on block (1,1)
+        let blk = extract_block(&f, 1, 1);
+        assert!(blk.iter().all(|&v| (v - (77.0 - 128.0)).abs() < 1e-6));
+    }
+
+    #[test]
+    fn store_block_ignores_padding_region() {
+        let mut f = Frame::filled(10, 10, 0);
+        let blk = [50.0f32; BLOCK_AREA];
+        store_block(&mut f, 1, 1, &blk); // block covers x,y in [8,16); frame ends at 10
+        assert_eq!(f.get(9, 9), 178);
+        // No panic and untouched pixels stay 0.
+        assert_eq!(f.get(0, 0), 0);
+    }
+
+    #[test]
+    fn motion_compensated_diff_is_zero_for_pure_shift() {
+        // A 2px-right shift of the reference predicted at mv=(2,0) leaves
+        // a zero residual in the interior.
+        let mut reference = Frame::filled(24, 8, 0);
+        for y in 0..8 {
+            for x in 0..24 {
+                reference.set(x, y, ((x * 10) % 256) as u8);
+            }
+        }
+        let mut cur = Frame::filled(24, 8, 0);
+        for y in 0..8 {
+            for x in 0..24 {
+                let sx = (x + 2).min(23);
+                cur.set(x, y, reference.get(sx, y));
+            }
+        }
+        // Interior block (bx=1): fully valid motion window.
+        assert_eq!(block_sad(&cur, &reference, 1, 0, (2, 0)), 0);
+        assert!(block_sad(&cur, &reference, 1, 0, (0, 0)) > 0);
+        let d = extract_diff_block(&cur, &reference, 1, 0, (2, 0));
+        assert!(d.iter().all(|&v| v == 0.0));
+        let mut rec = Frame::filled(24, 8, 0);
+        store_diff_block(&mut rec, &reference, 1, 0, (2, 0), &d);
+        for y in 0..8 {
+            for x in 8..16 {
+                assert_eq!(rec.get(x, y), cur.get(x, y));
+            }
+        }
+    }
+
+    #[test]
+    fn motion_vectors_clamp_at_frame_edges() {
+        let reference = Frame::filled(8, 8, 50);
+        let cur = Frame::filled(8, 8, 50);
+        // A wild MV pointing outside the frame must clamp, not panic.
+        assert_eq!(block_sad(&cur, &reference, 0, 0, (127, -128)), 0);
+        let d = extract_diff_block(&cur, &reference, 0, 0, (-100, 100));
+        assert!(d.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn diff_block_round_trip() {
+        let mut cur = Frame::filled(8, 8, 0);
+        let reference = Frame::filled(8, 8, 100);
+        for y in 0..8 {
+            for x in 0..8 {
+                cur.set(x, y, (100 + x as i32 - y as i32) as u8);
+            }
+        }
+        let d = extract_diff_block(&cur, &reference, 0, 0, (0, 0));
+        let mut rec = Frame::filled(8, 8, 0);
+        store_diff_block(&mut rec, &reference, 0, 0, (0, 0), &d);
+        assert_eq!(rec, cur);
+    }
+}

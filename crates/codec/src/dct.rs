@@ -1,0 +1,161 @@
+//! 8×8 orthonormal DCT-II and its inverse.
+//!
+//! The transform is the separable 2-D DCT used by MPEG/JPEG intra coding.
+//! With the orthonormal scaling used here, the DC term of a block equals
+//! `sum(pixels) / 8`, so `block mean = DC / 8` — the identity the feature
+//! layer (and its tests) rely on.
+
+/// Block edge length.
+pub const BLOCK: usize = 8;
+/// Samples per block.
+pub const BLOCK_AREA: usize = BLOCK * BLOCK;
+
+/// Precomputed cosine basis: `COS[k][n] = c(k) * cos((2n+1)kπ/16)` where
+/// `c(0) = 1/√8` and `c(k>0) = 1/2`.
+fn basis() -> &'static [[f32; BLOCK]; BLOCK] {
+    use std::sync::OnceLock;
+    static BASIS: OnceLock<[[f32; BLOCK]; BLOCK]> = OnceLock::new();
+    BASIS.get_or_init(|| {
+        let mut b = [[0.0f32; BLOCK]; BLOCK];
+        for (k, row) in b.iter_mut().enumerate() {
+            let ck = if k == 0 { (1.0 / (BLOCK as f64)).sqrt() } else { (2.0 / (BLOCK as f64)).sqrt() };
+            for (n, v) in row.iter_mut().enumerate() {
+                let angle = std::f64::consts::PI * (2.0 * n as f64 + 1.0) * k as f64
+                    / (2.0 * BLOCK as f64);
+                *v = (ck * angle.cos()) as f32;
+            }
+        }
+        b
+    })
+}
+
+/// Forward 2-D DCT of an 8×8 block (row-major, any real-valued samples —
+/// the encoder passes level-shifted pixels in `[-128, 127]`).
+pub fn forward(block: &[f32; BLOCK_AREA]) -> [f32; BLOCK_AREA] {
+    let b = basis();
+    // Rows first.
+    let mut tmp = [0.0f32; BLOCK_AREA];
+    for y in 0..BLOCK {
+        for k in 0..BLOCK {
+            let mut acc = 0.0f32;
+            for n in 0..BLOCK {
+                acc += block[y * BLOCK + n] * b[k][n];
+            }
+            tmp[y * BLOCK + k] = acc;
+        }
+    }
+    // Then columns.
+    let mut out = [0.0f32; BLOCK_AREA];
+    for x in 0..BLOCK {
+        for k in 0..BLOCK {
+            let mut acc = 0.0f32;
+            for n in 0..BLOCK {
+                acc += tmp[n * BLOCK + x] * b[k][n];
+            }
+            out[k * BLOCK + x] = acc;
+        }
+    }
+    out
+}
+
+/// Inverse 2-D DCT of an 8×8 coefficient block.
+pub fn inverse(coeffs: &[f32; BLOCK_AREA]) -> [f32; BLOCK_AREA] {
+    let b = basis();
+    // Columns first (transpose of forward).
+    let mut tmp = [0.0f32; BLOCK_AREA];
+    for x in 0..BLOCK {
+        for n in 0..BLOCK {
+            let mut acc = 0.0f32;
+            for k in 0..BLOCK {
+                acc += coeffs[k * BLOCK + x] * b[k][n];
+            }
+            tmp[n * BLOCK + x] = acc;
+        }
+    }
+    let mut out = [0.0f32; BLOCK_AREA];
+    for y in 0..BLOCK {
+        for n in 0..BLOCK {
+            let mut acc = 0.0f32;
+            for k in 0..BLOCK {
+                acc += tmp[y * BLOCK + k] * b[k][n];
+            }
+            out[y * BLOCK + n] = acc;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_block(seed: u32) -> [f32; BLOCK_AREA] {
+        // Simple LCG so the test has no RNG dependency.
+        let mut state = seed as u64 * 2654435761 + 1;
+        let mut b = [0.0f32; BLOCK_AREA];
+        for v in &mut b {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            *v = ((state >> 33) % 256) as f32 - 128.0;
+        }
+        b
+    }
+
+    #[test]
+    fn round_trip_is_near_identity() {
+        for seed in 0..16 {
+            let b = sample_block(seed);
+            let back = inverse(&forward(&b));
+            for (a, r) in b.iter().zip(&back) {
+                assert!((a - r).abs() < 1e-2, "round trip error {a} vs {r}");
+            }
+        }
+    }
+
+    #[test]
+    fn dc_equals_sum_over_eight() {
+        let b = sample_block(3);
+        let c = forward(&b);
+        let sum: f32 = b.iter().sum();
+        assert!((c[0] - sum / 8.0).abs() < 1e-2);
+    }
+
+    #[test]
+    fn constant_block_has_only_dc_energy() {
+        let b = [50.0f32; BLOCK_AREA];
+        let c = forward(&b);
+        assert!((c[0] - 50.0 * 8.0).abs() < 1e-2);
+        for &v in &c[1..] {
+            assert!(v.abs() < 1e-3, "AC leakage {v}");
+        }
+    }
+
+    #[test]
+    fn transform_is_orthonormal_energy_preserving() {
+        // Parseval: sum of squares preserved.
+        let b = sample_block(9);
+        let c = forward(&b);
+        let e0: f32 = b.iter().map(|v| v * v).sum();
+        let e1: f32 = c.iter().map(|v| v * v).sum();
+        assert!((e0 - e1).abs() / e0 < 1e-4);
+    }
+
+    #[test]
+    fn horizontal_cosine_maps_to_single_coefficient() {
+        // A pure horizontal basis function concentrates in one coefficient.
+        let b = basis();
+        let mut blk = [0.0f32; BLOCK_AREA];
+        for y in 0..BLOCK {
+            for x in 0..BLOCK {
+                blk[y * BLOCK + x] = b[3][x]; // k=3 horizontal pattern
+            }
+        }
+        let c = forward(&blk);
+        // Energy should land at (ky=0, kx=3).
+        let target = c[3].abs();
+        for (i, &v) in c.iter().enumerate() {
+            if i != 3 {
+                assert!(v.abs() < target / 100.0 + 1e-4, "coefficient {i} leaked {v}");
+            }
+        }
+    }
+}

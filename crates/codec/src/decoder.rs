@@ -1,0 +1,319 @@
+//! Full and partial decoders.
+//!
+//! [`Decoder`] reconstructs every pixel of every frame (what a player would
+//! do). [`PartialDecoder`] implements the paper's compressed-domain fast
+//! path: it skips P-frames entirely via their length prefix, and for each
+//! I-frame recovers only the per-block DC coefficients — no dequantization
+//! of AC terms, no inverse DCT, no pixel reconstruction. The cost ratio
+//! between the two is the paper's motivation for compressed-domain feature
+//! extraction.
+
+use crate::bitio::ByteReader;
+use crate::bitstream::{FrameRecord, FrameType, StreamHeader};
+use crate::block::{store_block, store_diff_block, BlockGrid};
+use crate::dct;
+use crate::quant::Quantizer;
+use crate::zigzag::{decode_block, decode_block_dc_only};
+use crate::Result;
+use vdsms_video::Frame;
+
+/// Per-block DC coefficients of one key frame — the partial decoder's
+/// output and the feature layer's input.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DcFrame {
+    /// Index of this frame in the *stream* (counting skipped P-frames), so
+    /// detections can be reported as stream positions.
+    pub frame_index: u64,
+    /// Blocks per row.
+    pub blocks_w: u32,
+    /// Block rows.
+    pub blocks_h: u32,
+    /// Dequantized DC coefficient per block, raster order. The DC of a
+    /// block equals `8 × (mean pixel − 128)` under the orthonormal DCT.
+    pub dc: Vec<f32>,
+}
+
+impl DcFrame {
+    /// Mean luma of block `(bx, by)` implied by its DC coefficient.
+    pub fn block_mean(&self, bx: u32, by: u32) -> f32 {
+        assert!(bx < self.blocks_w && by < self.blocks_h);
+        self.dc[(by * self.blocks_w + bx) as usize] / 8.0 + 128.0
+    }
+}
+
+/// Full pixel decoder; iterates over reconstructed [`Frame`]s.
+#[derive(Debug)]
+pub struct Decoder<'a> {
+    header: StreamHeader,
+    grid: BlockGrid,
+    reader: ByteReader<'a>,
+    reference: Option<Frame>,
+    frame_index: u64,
+}
+
+impl<'a> Decoder<'a> {
+    /// Open a bitstream, parsing its header.
+    pub fn new(bytes: &'a [u8]) -> Result<Decoder<'a>> {
+        let mut reader = ByteReader::new(bytes);
+        let header = StreamHeader::read(&mut reader)?;
+        let grid = BlockGrid::for_dims(header.width, header.height);
+        Ok(Decoder { header, grid, reader, reference: None, frame_index: 0 })
+    }
+
+    /// Stream header.
+    pub fn header(&self) -> &StreamHeader {
+        &self.header
+    }
+
+    /// Decode the next frame, or `Ok(None)` at end of stream.
+    pub fn next_frame(&mut self) -> Result<Option<Frame>> {
+        if self.reader.is_at_end() {
+            return Ok(None);
+        }
+        let rec = FrameRecord::read(&mut self.reader)?;
+        let quantizer = Quantizer::new(rec.quality);
+        let mut frame = Frame::filled(self.header.width, self.header.height, 0);
+        let mut prev_dc = 0i32;
+        for by in 0..self.grid.blocks_h {
+            for bx in 0..self.grid.blocks_w {
+                let mv = match rec.frame_type {
+                    FrameType::Intra => (0i8, 0i8),
+                    FrameType::Predicted => {
+                        let read_mv = |r: &mut crate::bitio::ByteReader<'_>| -> crate::Result<i8> {
+                            i8::try_from(r.get_signed()?)
+                                .map_err(|_| crate::CodecError::CorruptEntropy("motion vector out of range"))
+                        };
+                        (read_mv(&mut self.reader)?, read_mv(&mut self.reader)?)
+                    }
+                };
+                let (levels, dc) = decode_block(&mut self.reader, prev_dc)?;
+                prev_dc = dc;
+                let samples = dct::inverse(&quantizer.dequantize(&levels));
+                match rec.frame_type {
+                    FrameType::Intra => store_block(&mut frame, bx, by, &samples),
+                    FrameType::Predicted => {
+                        let reference = self
+                            .reference
+                            .as_ref()
+                            .ok_or(crate::CodecError::CorruptEntropy("P-frame before first I"))?;
+                        store_diff_block(&mut frame, reference, bx, by, mv, &samples);
+                    }
+                }
+            }
+        }
+        self.reference = Some(frame.clone());
+        self.frame_index += 1;
+        Ok(Some(frame))
+    }
+
+    /// Decode the whole stream into frames.
+    pub fn decode_all(mut self) -> Result<Vec<Frame>> {
+        let mut out = Vec::new();
+        while let Some(f) = self.next_frame()? {
+            out.push(f);
+        }
+        Ok(out)
+    }
+}
+
+/// Compressed-domain partial decoder; iterates over [`DcFrame`]s of key
+/// frames only.
+#[derive(Debug)]
+pub struct PartialDecoder<'a> {
+    header: StreamHeader,
+    grid: BlockGrid,
+    reader: ByteReader<'a>,
+    frame_index: u64,
+}
+
+impl<'a> PartialDecoder<'a> {
+    /// Open a bitstream, parsing its header.
+    pub fn new(bytes: &'a [u8]) -> Result<PartialDecoder<'a>> {
+        let mut reader = ByteReader::new(bytes);
+        let header = StreamHeader::read(&mut reader)?;
+        let grid = BlockGrid::for_dims(header.width, header.height);
+        Ok(PartialDecoder { header, grid, reader, frame_index: 0 })
+    }
+
+    /// Stream header.
+    pub fn header(&self) -> &StreamHeader {
+        &self.header
+    }
+
+    /// Key frames per second implied by the stream's fps and GOP length.
+    pub fn key_frame_rate(&self) -> f64 {
+        self.header.fps.as_f64() / f64::from(self.header.gop)
+    }
+
+    /// Decode the next key frame's DC coefficients, or `Ok(None)` at end of
+    /// stream. P-frames are skipped in O(1) via their length prefix.
+    pub fn next_dc_frame(&mut self) -> Result<Option<DcFrame>> {
+        loop {
+            if self.reader.is_at_end() {
+                return Ok(None);
+            }
+            let rec = FrameRecord::read(&mut self.reader)?;
+            let index = self.frame_index;
+            self.frame_index += 1;
+            match rec.frame_type {
+                FrameType::Predicted => {
+                    self.reader.skip(rec.payload_len as usize)?;
+                }
+                FrameType::Intra => {
+                    let quantizer = Quantizer::new(rec.quality);
+                    let n = self.grid.num_blocks();
+                    let mut dc = Vec::with_capacity(n);
+                    let mut prev_dc = 0i32;
+                    for _ in 0..n {
+                        let level = decode_block_dc_only(&mut self.reader, prev_dc)?;
+                        prev_dc = level;
+                        dc.push(quantizer.dequantize_dc(level));
+                    }
+                    return Ok(Some(DcFrame {
+                        frame_index: index,
+                        blocks_w: self.grid.blocks_w,
+                        blocks_h: self.grid.blocks_h,
+                        dc,
+                    }));
+                }
+            }
+        }
+    }
+
+    /// Decode all key frames' DC coefficients.
+    pub fn decode_all(mut self) -> Result<Vec<DcFrame>> {
+        let mut out = Vec::new();
+        while let Some(d) = self.next_dc_frame()? {
+            out.push(d);
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encoder::{Encoder, EncoderConfig};
+    use vdsms_video::source::{ClipGenerator, SourceSpec};
+    use vdsms_video::{Clip, Fps};
+
+    fn test_clip(seed: u64, seconds: f64) -> Clip {
+        let spec = SourceSpec {
+            width: 48,
+            height: 32,
+            fps: Fps::integer(10),
+            seed,
+            min_scene_s: 1.0,
+            max_scene_s: 2.0,
+            motifs: None,
+        };
+        ClipGenerator::new(spec).clip(seconds)
+    }
+
+    #[test]
+    fn full_decode_reconstructs_frames_closely() {
+        let clip = test_clip(1, 2.0);
+        let bytes = Encoder::encode_clip(&clip, EncoderConfig { gop: 5, quality: 85, motion_search: true });
+        let frames = Decoder::new(&bytes).unwrap().decode_all().unwrap();
+        assert_eq!(frames.len(), clip.len());
+        for (orig, dec) in clip.frames().iter().zip(&frames) {
+            let err = orig.mean_abs_diff(dec);
+            assert!(err < 4.0, "reconstruction error too high: {err}");
+        }
+    }
+
+    #[test]
+    fn low_quality_reconstruction_is_worse_but_bounded() {
+        let clip = test_clip(2, 1.0);
+        let hi = Encoder::encode_clip(&clip, EncoderConfig { gop: 5, quality: 90, motion_search: true });
+        let lo = Encoder::encode_clip(&clip, EncoderConfig { gop: 5, quality: 20, motion_search: true });
+        let err_hi: f64 = Decoder::new(&hi)
+            .unwrap()
+            .decode_all()
+            .unwrap()
+            .iter()
+            .zip(clip.frames())
+            .map(|(d, o)| o.mean_abs_diff(d))
+            .sum::<f64>();
+        let err_lo: f64 = Decoder::new(&lo)
+            .unwrap()
+            .decode_all()
+            .unwrap()
+            .iter()
+            .zip(clip.frames())
+            .map(|(d, o)| o.mean_abs_diff(d))
+            .sum::<f64>();
+        assert!(err_lo > err_hi, "lower quality must lose more");
+        assert!(err_lo / (clip.len() as f64) < 15.0, "even q20 must stay recognizable");
+    }
+
+    #[test]
+    fn partial_decode_yields_one_dc_frame_per_key_frame() {
+        let clip = test_clip(3, 3.0); // 30 frames
+        let bytes = Encoder::encode_clip(&clip, EncoderConfig { gop: 10, quality: 75, motion_search: true });
+        let dcs = PartialDecoder::new(&bytes).unwrap().decode_all().unwrap();
+        assert_eq!(dcs.len(), 3); // frames 0, 10, 20
+        assert_eq!(dcs[0].frame_index, 0);
+        assert_eq!(dcs[1].frame_index, 10);
+        assert_eq!(dcs[2].frame_index, 20);
+    }
+
+    #[test]
+    fn partial_dc_matches_pixel_domain_block_means() {
+        let clip = test_clip(4, 1.0);
+        let bytes = Encoder::encode_clip(&clip, EncoderConfig { gop: 10, quality: 95, motion_search: true });
+        let dcs = PartialDecoder::new(&bytes).unwrap().decode_all().unwrap();
+        let d = &dcs[0];
+        let f = &clip.frames()[0];
+        // Interior blocks (no padding): DC/8 + 128 ≈ pixel-domain block mean.
+        for by in 0..d.blocks_h - 1 {
+            for bx in 0..d.blocks_w - 1 {
+                let mean_pix = f.region_mean(bx * 8, by * 8, bx * 8 + 8, by * 8 + 8);
+                let mean_dc = f64::from(d.block_mean(bx, by));
+                assert!(
+                    (mean_pix - mean_dc).abs() < 3.0,
+                    "block ({bx},{by}): pixel mean {mean_pix} vs DC mean {mean_dc}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn partial_dc_agrees_with_full_decode_dc() {
+        let clip = test_clip(5, 2.0);
+        let bytes = Encoder::encode_clip(&clip, EncoderConfig { gop: 4, quality: 60, motion_search: true });
+        let dcs = PartialDecoder::new(&bytes).unwrap().decode_all().unwrap();
+        let frames = Decoder::new(&bytes).unwrap().decode_all().unwrap();
+        for d in &dcs {
+            let f = &frames[d.frame_index as usize];
+            for by in 0..d.blocks_h - 1 {
+                for bx in 0..d.blocks_w - 1 {
+                    let mean_pix = f.region_mean(bx * 8, by * 8, bx * 8 + 8, by * 8 + 8);
+                    let mean_dc = f64::from(d.block_mean(bx, by));
+                    assert!((mean_pix - mean_dc).abs() < 2.0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn truncated_stream_errors_cleanly() {
+        let clip = test_clip(6, 1.0);
+        let bytes = Encoder::encode_clip(&clip, EncoderConfig::default());
+        let cut = &bytes[..bytes.len() / 2];
+        let mut dec = Decoder::new(cut).unwrap();
+        let result = loop {
+            match dec.next_frame() {
+                Ok(Some(_)) => continue,
+                other => break other,
+            }
+        };
+        assert!(result.is_err(), "truncation must surface as an error");
+    }
+
+    #[test]
+    fn garbage_input_is_rejected() {
+        assert!(Decoder::new(b"not a stream").is_err());
+        assert!(PartialDecoder::new(&[]).is_err());
+    }
+}

@@ -1,0 +1,291 @@
+//! Encoder: DCT → quantize → zigzag/RLE entropy coding, GOP structure.
+//!
+//! The encoder reconstructs each frame exactly as the decoder will (coding
+//! P-frame residuals against the *reconstructed* previous frame, not the
+//! pristine one) so prediction never drifts.
+
+use crate::bitio::ByteWriter;
+use crate::bitstream::{FrameType, StreamHeader};
+use crate::block::{
+    block_sad, extract_block, extract_diff_block, store_block, store_diff_block, BlockGrid,
+};
+use crate::dct;
+use crate::quant::Quantizer;
+use crate::zigzag::encode_block;
+use vdsms_video::{Clip, Fps, Frame};
+
+/// Encoder configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EncoderConfig {
+    /// GOP length: one I-frame every `gop` frames. The paper extracts
+    /// features from key frames only, so `gop` sets the key-frame rate
+    /// (NTSC at gop 15 ⇒ ~2 key frames per second).
+    pub gop: u32,
+    /// Quantizer quality in `[1, 100]`.
+    pub quality: u8,
+    /// Whether P-frames search for per-block motion vectors (±7 px
+    /// diamond search). Off degenerates to zero-motion differencing.
+    pub motion_search: bool,
+}
+
+impl Default for EncoderConfig {
+    fn default() -> EncoderConfig {
+        EncoderConfig { gop: 15, quality: 75, motion_search: true }
+    }
+}
+
+/// Motion-search bound in pixels (fits the bitstream's i8 MV fields).
+const MV_RANGE: i8 = 7;
+
+/// SAD below which the zero vector is accepted without searching (one
+/// grey level per pixel on average — cheaper to code the residual than
+/// to search).
+const ZERO_MV_EARLY_EXIT: u32 = 64;
+
+/// Diamond search for the best motion vector of block `(bx, by)`.
+fn search_motion(cur: &Frame, reference: &Frame, bx: u32, by: u32) -> (i8, i8) {
+    let mut best = (0i8, 0i8);
+    let mut best_sad = block_sad(cur, reference, bx, by, best);
+    if best_sad <= ZERO_MV_EARLY_EXIT {
+        return best;
+    }
+    for step in [4i8, 2, 1] {
+        loop {
+            let mut improved = false;
+            for (dx, dy) in [(step, 0), (-step, 0), (0, step), (0, -step)] {
+                let cand = (
+                    best.0.saturating_add(dx).clamp(-MV_RANGE, MV_RANGE),
+                    best.1.saturating_add(dy).clamp(-MV_RANGE, MV_RANGE),
+                );
+                if cand == best {
+                    continue;
+                }
+                let sad = block_sad(cur, reference, bx, by, cand);
+                if sad < best_sad {
+                    best_sad = sad;
+                    best = cand;
+                    improved = true;
+                }
+            }
+            if !improved || best_sad <= ZERO_MV_EARLY_EXIT {
+                break;
+            }
+        }
+    }
+    best
+}
+
+/// Streaming encoder.
+#[derive(Debug)]
+pub struct Encoder {
+    header: StreamHeader,
+    quantizer: Quantizer,
+    grid: BlockGrid,
+    writer: ByteWriter,
+    /// Previous *reconstructed* frame (prediction reference).
+    reference: Option<Frame>,
+    frames_encoded: u64,
+    motion_search: bool,
+}
+
+impl Encoder {
+    /// Create an encoder for frames of the given geometry.
+    pub fn new(width: u32, height: u32, fps: Fps, config: EncoderConfig) -> Encoder {
+        assert!(config.gop >= 1, "gop must be >= 1");
+        let header = StreamHeader { width, height, fps, gop: config.gop };
+        let mut writer = ByteWriter::new();
+        header.write(&mut writer);
+        Encoder {
+            header,
+            quantizer: Quantizer::new(config.quality),
+            grid: BlockGrid::for_dims(width, height),
+            writer,
+            reference: None,
+            frames_encoded: 0,
+            motion_search: config.motion_search,
+        }
+    }
+
+    /// The stream header being produced.
+    pub fn header(&self) -> &StreamHeader {
+        &self.header
+    }
+
+    /// Number of frames pushed so far.
+    pub fn frames_encoded(&self) -> u64 {
+        self.frames_encoded
+    }
+
+    /// Encode one frame.
+    ///
+    /// # Panics
+    /// Panics if the frame geometry does not match the encoder's.
+    pub fn push(&mut self, frame: &Frame) {
+        assert_eq!(frame.width(), self.header.width, "frame width mismatch");
+        assert_eq!(frame.height(), self.header.height, "frame height mismatch");
+        let is_intra =
+            self.reference.is_none() || self.frames_encoded.is_multiple_of(u64::from(self.header.gop));
+        let frame_type = if is_intra { FrameType::Intra } else { FrameType::Predicted };
+
+        self.writer.put_u8(frame_type.to_byte());
+        self.writer.put_u8(self.quantizer.quality());
+        let len_pos = self.writer.len();
+        self.writer.put_u32_le(0); // patched below
+        let payload_start = self.writer.len();
+
+        let mut recon = Frame::filled(self.header.width, self.header.height, 0);
+        let mut prev_dc = 0i32;
+        for by in 0..self.grid.blocks_h {
+            for bx in 0..self.grid.blocks_w {
+                let mut mv = (0i8, 0i8);
+                let levels = match frame_type {
+                    FrameType::Intra => {
+                        let samples = extract_block(frame, bx, by);
+                        self.quantizer.quantize(&dct::forward(&samples))
+                    }
+                    FrameType::Predicted => {
+                        let reference = self.reference.as_ref().expect("P-frame without reference");
+                        if self.motion_search {
+                            mv = search_motion(frame, reference, bx, by);
+                        }
+                        // Motion vector precedes the block's coefficients.
+                        self.writer.put_signed(i64::from(mv.0));
+                        self.writer.put_signed(i64::from(mv.1));
+                        let diff = extract_diff_block(frame, reference, bx, by, mv);
+                        self.quantizer.quantize(&dct::forward(&diff))
+                    }
+                };
+                prev_dc = encode_block(&mut self.writer, &levels, prev_dc);
+
+                // Decoder-side reconstruction for the prediction chain.
+                let deq = self.quantizer.dequantize(&levels);
+                let samples = dct::inverse(&deq);
+                match frame_type {
+                    FrameType::Intra => store_block(&mut recon, bx, by, &samples),
+                    FrameType::Predicted => {
+                        let reference = self.reference.as_ref().expect("P-frame without reference");
+                        store_diff_block(&mut recon, reference, bx, by, mv, &samples);
+                    }
+                }
+            }
+        }
+
+        let payload_len = (self.writer.len() - payload_start) as u32;
+        self.writer.patch_u32_le(len_pos, payload_len);
+        self.reference = Some(recon);
+        self.frames_encoded += 1;
+    }
+
+    /// Finish encoding, returning the bitstream bytes.
+    pub fn finish(self) -> Vec<u8> {
+        self.writer.into_bytes()
+    }
+
+    /// Convenience: encode an entire clip into a bitstream.
+    pub fn encode_clip(clip: &Clip, config: EncoderConfig) -> Vec<u8> {
+        let mut enc = Encoder::new(clip.width(), clip.height(), clip.fps(), config);
+        for f in clip.frames() {
+            enc.push(f);
+        }
+        enc.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vdsms_video::source::{ClipGenerator, SourceSpec};
+
+    fn test_clip() -> Clip {
+        let spec = SourceSpec {
+            width: 48,
+            height: 32,
+            fps: Fps::integer(10),
+            seed: 5,
+            min_scene_s: 1.0,
+            max_scene_s: 2.0,
+            motifs: None,
+        };
+        ClipGenerator::new(spec).clip(2.0)
+    }
+
+    #[test]
+    fn bitstream_starts_with_header() {
+        let clip = test_clip();
+        let bytes = Encoder::encode_clip(&clip, EncoderConfig::default());
+        assert_eq!(&bytes[..4], b"VDSM");
+    }
+
+    #[test]
+    fn encoding_is_deterministic() {
+        let clip = test_clip();
+        let a = Encoder::encode_clip(&clip, EncoderConfig::default());
+        let b = Encoder::encode_clip(&clip, EncoderConfig::default());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn p_frames_shrink_the_stream() {
+        // Temporal prediction must actually help on smooth synthetic video.
+        let clip = test_clip();
+        let all_intra = Encoder::encode_clip(&clip, EncoderConfig { gop: 1, quality: 75, motion_search: true });
+        let with_p = Encoder::encode_clip(&clip, EncoderConfig { gop: 10, quality: 75, motion_search: true });
+        assert!(
+            (with_p.len() as f64) < 0.8 * all_intra.len() as f64,
+            "P-frames saved too little: {} vs {}",
+            with_p.len(),
+            all_intra.len()
+        );
+    }
+
+    #[test]
+    fn motion_compensation_shrinks_panning_content() {
+        // Panning content is where motion search earns its keep: the
+        // zero-MV residual is large, the compensated one tiny.
+        let spec = SourceSpec {
+            width: 96,
+            height: 64,
+            fps: Fps::integer(10),
+            seed: 31,
+            min_scene_s: 4.0,
+            max_scene_s: 8.0,
+            motifs: None,
+        };
+        let clip = ClipGenerator::new(spec).clip(4.0);
+        let with_mc =
+            Encoder::encode_clip(&clip, EncoderConfig { gop: 10, quality: 80, motion_search: true });
+        let without =
+            Encoder::encode_clip(&clip, EncoderConfig { gop: 10, quality: 80, motion_search: false });
+        assert!(
+            with_mc.len() <= without.len(),
+            "motion search must not inflate the stream: {} vs {}",
+            with_mc.len(),
+            without.len()
+        );
+    }
+
+    #[test]
+    fn lower_quality_shrinks_the_stream() {
+        let clip = test_clip();
+        let hi = Encoder::encode_clip(&clip, EncoderConfig { gop: 15, quality: 90, motion_search: true });
+        let lo = Encoder::encode_clip(&clip, EncoderConfig { gop: 15, quality: 30, motion_search: true });
+        assert!(lo.len() < hi.len());
+    }
+
+    #[test]
+    fn frame_count_is_tracked() {
+        let clip = test_clip();
+        let mut enc = Encoder::new(clip.width(), clip.height(), clip.fps(), EncoderConfig::default());
+        for f in clip.frames() {
+            enc.push(f);
+        }
+        assert_eq!(enc.frames_encoded(), clip.len() as u64);
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn geometry_mismatch_panics() {
+        let mut enc = Encoder::new(16, 16, Fps::PAL, EncoderConfig::default());
+        enc.push(&Frame::filled(8, 8, 0));
+    }
+}

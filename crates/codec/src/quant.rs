@@ -1,0 +1,146 @@
+//! Quantization with a JPEG-style quality knob.
+//!
+//! Re-compressing a copy at a different quality slightly perturbs every
+//! reconstructed DC coefficient — this is precisely the paper's
+//! "different compressed settings" perturbation that the grid–pyramid
+//! partition must absorb (Section III-A).
+
+use crate::dct::BLOCK_AREA;
+
+/// The standard JPEG luminance quantization matrix (Annex K), row-major.
+#[rustfmt::skip]
+pub const BASE_LUMA_QTABLE: [u16; BLOCK_AREA] = [
+    16, 11, 10, 16, 24, 40, 51, 61,
+    12, 12, 14, 19, 26, 58, 60, 55,
+    14, 13, 16, 24, 40, 57, 69, 56,
+    14, 17, 22, 29, 51, 87, 80, 62,
+    18, 22, 37, 56, 68,109,103, 77,
+    24, 35, 55, 64, 81,104,113, 92,
+    49, 64, 78, 87,103,121,120,101,
+    72, 92, 95, 98,112,100,103, 99,
+];
+
+/// A quantizer derived from a quality setting in `[1, 100]`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Quantizer {
+    quality: u8,
+    table: [u16; BLOCK_AREA],
+}
+
+impl Quantizer {
+    /// Build the quantizer for a quality level (1 = worst, 100 = best).
+    ///
+    /// Uses the libjpeg quality-scaling convention.
+    ///
+    /// # Panics
+    /// Panics if `quality` is outside `[1, 100]`.
+    pub fn new(quality: u8) -> Quantizer {
+        assert!((1..=100).contains(&quality), "quality must be in [1, 100]");
+        let scale: u32 = if quality < 50 {
+            5000 / u32::from(quality)
+        } else {
+            200 - 2 * u32::from(quality)
+        };
+        let mut table = [0u16; BLOCK_AREA];
+        for (t, &base) in table.iter_mut().zip(&BASE_LUMA_QTABLE) {
+            let q = (u32::from(base) * scale + 50) / 100;
+            *t = q.clamp(1, 255) as u16;
+        }
+        Quantizer { quality, table }
+    }
+
+    /// The quality this quantizer was built from.
+    pub fn quality(&self) -> u8 {
+        self.quality
+    }
+
+    /// The effective quantization step table.
+    pub fn table(&self) -> &[u16; BLOCK_AREA] {
+        &self.table
+    }
+
+    /// Quantize a coefficient block (round-to-nearest).
+    pub fn quantize(&self, coeffs: &[f32; BLOCK_AREA]) -> [i32; BLOCK_AREA] {
+        let mut out = [0i32; BLOCK_AREA];
+        for i in 0..BLOCK_AREA {
+            out[i] = (coeffs[i] / f32::from(self.table[i])).round() as i32;
+        }
+        out
+    }
+
+    /// Dequantize a level block back to coefficients.
+    pub fn dequantize(&self, levels: &[i32; BLOCK_AREA]) -> [f32; BLOCK_AREA] {
+        let mut out = [0.0f32; BLOCK_AREA];
+        for i in 0..BLOCK_AREA {
+            out[i] = levels[i] as f32 * f32::from(self.table[i]);
+        }
+        out
+    }
+
+    /// Dequantize a single DC level (zigzag position 0). This is the *only*
+    /// arithmetic the partial decoder performs per block.
+    pub fn dequantize_dc(&self, level: i32) -> f32 {
+        level as f32 * f32::from(self.table[0])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quality_100_steps_are_small() {
+        let q = Quantizer::new(100);
+        assert!(q.table().iter().all(|&s| s <= 2));
+    }
+
+    #[test]
+    fn quality_ordering_monotone_in_dc_step() {
+        let steps: Vec<u16> = [10u8, 30, 50, 70, 90]
+            .iter()
+            .map(|&ql| Quantizer::new(ql).table()[0])
+            .collect();
+        for pair in steps.windows(2) {
+            assert!(pair[0] >= pair[1], "higher quality must not coarsen steps");
+        }
+    }
+
+    #[test]
+    fn quantize_dequantize_error_bounded_by_half_step() {
+        let q = Quantizer::new(75);
+        let mut coeffs = [0.0f32; BLOCK_AREA];
+        for (i, c) in coeffs.iter_mut().enumerate() {
+            *c = (i as f32 * 13.7) - 400.0;
+        }
+        let deq = q.dequantize(&q.quantize(&coeffs));
+        for i in 0..BLOCK_AREA {
+            let half_step = f32::from(q.table()[i]) / 2.0;
+            assert!(
+                (coeffs[i] - deq[i]).abs() <= half_step + 1e-3,
+                "error exceeds half step at {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn dequantize_dc_matches_full_dequantize() {
+        let q = Quantizer::new(40);
+        let mut levels = [0i32; BLOCK_AREA];
+        levels[0] = -17;
+        assert_eq!(q.dequantize(&levels)[0], q.dequantize_dc(-17));
+    }
+
+    #[test]
+    #[should_panic(expected = "quality must be in")]
+    fn quality_zero_rejected() {
+        let _ = Quantizer::new(0);
+    }
+
+    #[test]
+    fn steps_never_zero() {
+        for ql in 1..=100u8 {
+            let q = Quantizer::new(ql);
+            assert!(q.table().iter().all(|&s| s >= 1));
+        }
+    }
+}

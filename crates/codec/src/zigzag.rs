@@ -1,0 +1,221 @@
+//! Zigzag scan order and run-length coefficient coding.
+//!
+//! Coefficients are scanned in the classic JPEG zigzag order (low
+//! frequencies first), then coded as: DC as a DPCM signed varint (delta
+//! from the previous block's DC), followed by AC (run, level) tokens and an
+//! end-of-block marker. Token layout:
+//!
+//! * `varint 0` — end of block (no more non-zero AC);
+//! * `varint t > 0` — a run of `t - 1` zeros followed by one non-zero
+//!   level, coded as a signed varint.
+//!
+//! Because the DC is always the *first* varint of a block, the partial
+//! decoder can extract it and then cheaply token-skip the AC tail.
+
+use crate::bitio::{ByteReader, ByteWriter};
+use crate::dct::BLOCK_AREA;
+use crate::{CodecError, Result};
+
+/// `ZIGZAG[i]` is the row-major index of the `i`-th coefficient in scan
+/// order.
+#[rustfmt::skip]
+pub const ZIGZAG: [usize; BLOCK_AREA] = [
+     0,  1,  8, 16,  9,  2,  3, 10,
+    17, 24, 32, 25, 18, 11,  4,  5,
+    12, 19, 26, 33, 40, 48, 41, 34,
+    27, 20, 13,  6,  7, 14, 21, 28,
+    35, 42, 49, 56, 57, 50, 43, 36,
+    29, 22, 15, 23, 30, 37, 44, 51,
+    58, 59, 52, 45, 38, 31, 39, 46,
+    53, 60, 61, 54, 47, 55, 62, 63,
+];
+
+/// Reorder a row-major level block into zigzag scan order.
+pub fn scan(levels: &[i32; BLOCK_AREA]) -> [i32; BLOCK_AREA] {
+    let mut out = [0i32; BLOCK_AREA];
+    for (i, &pos) in ZIGZAG.iter().enumerate() {
+        out[i] = levels[pos];
+    }
+    out
+}
+
+/// Inverse of [`scan`].
+pub fn unscan(scanned: &[i32; BLOCK_AREA]) -> [i32; BLOCK_AREA] {
+    let mut out = [0i32; BLOCK_AREA];
+    for (i, &pos) in ZIGZAG.iter().enumerate() {
+        out[pos] = scanned[i];
+    }
+    out
+}
+
+/// Encode one block of quantized levels (row-major). `prev_dc` is the DC
+/// level of the previous block in the frame (0 for the first block);
+/// returns this block's DC level for chaining.
+pub fn encode_block(w: &mut ByteWriter, levels: &[i32; BLOCK_AREA], prev_dc: i32) -> i32 {
+    let z = scan(levels);
+    let dc = z[0];
+    w.put_signed(i64::from(dc) - i64::from(prev_dc));
+    let mut run: u64 = 0;
+    for &lvl in &z[1..] {
+        if lvl == 0 {
+            run += 1;
+        } else {
+            w.put_varint(run + 1);
+            w.put_signed(i64::from(lvl));
+            run = 0;
+        }
+    }
+    w.put_varint(0); // EOB
+    dc
+}
+
+/// Decode one block into row-major levels. Returns the block's DC level.
+pub fn decode_block(r: &mut ByteReader<'_>, prev_dc: i32) -> Result<([i32; BLOCK_AREA], i32)> {
+    let mut z = [0i32; BLOCK_AREA];
+    let dc_delta = r.get_signed()?;
+    let dc = i64::from(prev_dc) + dc_delta;
+    let dc = i32::try_from(dc).map_err(|_| CodecError::CorruptEntropy("dc out of range"))?;
+    z[0] = dc;
+    let mut idx = 1usize;
+    loop {
+        let tok = r.get_varint()?;
+        if tok == 0 {
+            break;
+        }
+        let run = (tok - 1) as usize;
+        idx += run;
+        if idx >= BLOCK_AREA {
+            return Err(CodecError::CorruptEntropy("AC index out of block"));
+        }
+        let lvl = r.get_signed()?;
+        if lvl == 0 {
+            return Err(CodecError::CorruptEntropy("zero AC level"));
+        }
+        z[idx] =
+            i32::try_from(lvl).map_err(|_| CodecError::CorruptEntropy("AC level out of range"))?;
+        idx += 1;
+    }
+    Ok((unscan(&z), dc))
+}
+
+/// Decode *only* the DC level of a block, skipping the AC tail by token
+/// scanning (no dequantization, no inverse DCT, no AC materialization).
+/// Returns the DC level. This is the partial-decode inner loop.
+pub fn decode_block_dc_only(r: &mut ByteReader<'_>, prev_dc: i32) -> Result<i32> {
+    let dc_delta = r.get_signed()?;
+    let dc = i64::from(prev_dc) + dc_delta;
+    let dc = i32::try_from(dc).map_err(|_| CodecError::CorruptEntropy("dc out of range"))?;
+    loop {
+        let tok = r.get_varint()?;
+        if tok == 0 {
+            return Ok(dc);
+        }
+        // Skip the level varint without zigzag-decoding it.
+        let _ = r.get_varint()?;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zigzag_is_a_permutation() {
+        let mut seen = [false; BLOCK_AREA];
+        for &p in &ZIGZAG {
+            assert!(!seen[p], "duplicate zigzag entry");
+            seen[p] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn zigzag_starts_with_dc_then_first_row_and_column() {
+        assert_eq!(&ZIGZAG[..4], &[0, 1, 8, 16]);
+        assert_eq!(ZIGZAG[BLOCK_AREA - 1], 63);
+    }
+
+    #[test]
+    fn scan_unscan_round_trip() {
+        let mut levels = [0i32; BLOCK_AREA];
+        for (i, l) in levels.iter_mut().enumerate() {
+            *l = i as i32 - 30;
+        }
+        assert_eq!(unscan(&scan(&levels)), levels);
+    }
+
+    fn sparse_block() -> [i32; BLOCK_AREA] {
+        let mut levels = [0i32; BLOCK_AREA];
+        levels[0] = 37; // DC
+        levels[1] = -4;
+        levels[8] = 2;
+        levels[27] = -1;
+        levels[63] = 5;
+        levels
+    }
+
+    #[test]
+    fn block_round_trip() {
+        let levels = sparse_block();
+        let mut w = ByteWriter::new();
+        let dc = encode_block(&mut w, &levels, 10);
+        assert_eq!(dc, 37);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        let (decoded, dc2) = decode_block(&mut r, 10).unwrap();
+        assert_eq!(decoded, levels);
+        assert_eq!(dc2, 37);
+        assert!(r.is_at_end());
+    }
+
+    #[test]
+    fn dc_only_matches_full_decode_and_leaves_same_cursor() {
+        let levels = sparse_block();
+        let mut w = ByteWriter::new();
+        encode_block(&mut w, &levels, 0);
+        encode_block(&mut w, &levels, 37); // a second block right after
+        let bytes = w.into_bytes();
+
+        let mut full = ByteReader::new(&bytes);
+        let (_, dc_a) = decode_block(&mut full, 0).unwrap();
+        let pos_full = full.position();
+
+        let mut partial = ByteReader::new(&bytes);
+        let dc_b = decode_block_dc_only(&mut partial, 0).unwrap();
+        assert_eq!(dc_a, dc_b);
+        assert_eq!(partial.position(), pos_full, "partial decode must end on the block boundary");
+    }
+
+    #[test]
+    fn empty_block_is_one_delta_plus_eob() {
+        let levels = [0i32; BLOCK_AREA];
+        let mut w = ByteWriter::new();
+        encode_block(&mut w, &levels, 0);
+        assert_eq!(w.len(), 2); // signed varint 0 + EOB 0
+    }
+
+    #[test]
+    fn corrupt_run_is_detected() {
+        let mut w = ByteWriter::new();
+        w.put_signed(0); // DC delta
+        w.put_varint(65); // run of 64 zeros: overruns the block
+        w.put_signed(1);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        assert!(matches!(decode_block(&mut r, 0), Err(CodecError::CorruptEntropy(_))));
+    }
+
+    #[test]
+    fn dense_block_round_trip() {
+        let mut levels = [0i32; BLOCK_AREA];
+        for (i, l) in levels.iter_mut().enumerate() {
+            *l = (i as i32 % 7) - 3; // includes zeros interleaved
+        }
+        let mut w = ByteWriter::new();
+        encode_block(&mut w, &levels, -5);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        let (decoded, _) = decode_block(&mut r, -5).unwrap();
+        assert_eq!(decoded, levels);
+    }
+}

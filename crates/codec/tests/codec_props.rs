@@ -1,0 +1,113 @@
+//! Property tests for the codec's entropy and transform layers.
+
+use proptest::prelude::*;
+use vdsms_codec::bitio::{ByteReader, ByteWriter};
+use vdsms_codec::dct;
+use vdsms_codec::quant::Quantizer;
+use vdsms_codec::zigzag::{decode_block, decode_block_dc_only, encode_block};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Varints and signed varints round-trip any value.
+    #[test]
+    fn varint_round_trip(values in proptest::collection::vec(any::<u64>(), 1..50)) {
+        let mut w = ByteWriter::new();
+        for &v in &values {
+            w.put_varint(v);
+        }
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        for &v in &values {
+            prop_assert_eq!(r.get_varint().unwrap(), v);
+        }
+        prop_assert!(r.is_at_end());
+    }
+
+    #[test]
+    fn signed_round_trip(values in proptest::collection::vec(any::<i64>(), 1..50)) {
+        let mut w = ByteWriter::new();
+        for &v in &values {
+            w.put_signed(v);
+        }
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        for &v in &values {
+            prop_assert_eq!(r.get_signed().unwrap(), v);
+        }
+    }
+
+    /// Block entropy coding round-trips arbitrary quantized levels, and
+    /// the DC-only fast path agrees with the full decode on both the DC
+    /// value and the end-of-block cursor position.
+    #[test]
+    fn block_coding_round_trip(
+        levels in proptest::collection::vec(-2048i32..2048, 64),
+        prev_dc in -2048i32..2048,
+    ) {
+        let arr: [i32; 64] = levels.clone().try_into().unwrap();
+        let mut w = ByteWriter::new();
+        let dc = encode_block(&mut w, &arr, prev_dc);
+        let bytes = w.into_bytes();
+
+        let mut r1 = ByteReader::new(&bytes);
+        let (decoded, dc1) = decode_block(&mut r1, prev_dc).unwrap();
+        prop_assert_eq!(decoded, arr);
+        prop_assert_eq!(dc1, dc);
+        prop_assert!(r1.is_at_end());
+
+        let mut r2 = ByteReader::new(&bytes);
+        let dc2 = decode_block_dc_only(&mut r2, prev_dc).unwrap();
+        prop_assert_eq!(dc2, dc);
+        prop_assert_eq!(r2.position(), r1.position());
+    }
+
+    /// DCT inverse(forward) is the identity within float tolerance, for
+    /// arbitrary sample blocks.
+    #[test]
+    fn dct_round_trip(samples in proptest::collection::vec(-128.0f32..128.0, 64)) {
+        let arr: [f32; 64] = samples.clone().try_into().unwrap();
+        let back = dct::inverse(&dct::forward(&arr));
+        for (a, b) in arr.iter().zip(&back) {
+            prop_assert!((a - b).abs() < 0.05, "{a} vs {b}");
+        }
+    }
+
+    /// Quantize/dequantize error is bounded by half the step size, for
+    /// every quality level.
+    #[test]
+    fn quantization_error_bounded(
+        coeffs in proptest::collection::vec(-1000.0f32..1000.0, 64),
+        quality in 1u8..=100,
+    ) {
+        let q = Quantizer::new(quality);
+        let arr: [f32; 64] = coeffs.clone().try_into().unwrap();
+        let deq = q.dequantize(&q.quantize(&arr));
+        for i in 0..64 {
+            let half = f32::from(q.table()[i]) / 2.0;
+            prop_assert!((arr[i] - deq[i]).abs() <= half + 1e-2);
+        }
+    }
+
+    /// The decoder never panics on arbitrary garbage bytes — it returns
+    /// an error or (for streams that happen to parse) decodes frames.
+    #[test]
+    fn decoder_is_panic_free_on_garbage(bytes in proptest::collection::vec(any::<u8>(), 0..300)) {
+        if let Ok(mut dec) = vdsms_codec::Decoder::new(&bytes) {
+            for _ in 0..10 {
+                match dec.next_frame() {
+                    Ok(Some(_)) => continue,
+                    _ => break,
+                }
+            }
+        }
+        if let Ok(mut dec) = vdsms_codec::PartialDecoder::new(&bytes) {
+            for _ in 0..10 {
+                match dec.next_dc_frame() {
+                    Ok(Some(_)) => continue,
+                    _ => break,
+                }
+            }
+        }
+    }
+}

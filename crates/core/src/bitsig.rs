@@ -1,0 +1,279 @@
+//! Bit-vector signatures (paper Definition 3, Lemmas 1 and 2).
+//!
+//! For each of the `K` hash functions, the relation between a candidate
+//! sketch value and a query sketch value is one of `>`, `=`, `<`, encoded
+//! in two bits:
+//!
+//! | relation | first bit (`A`) | second bit (`B`) |
+//! |----------|-----------------|------------------|
+//! | `>`      | 0               | 0                |
+//! | `=`      | 0               | 1                |
+//! | `<`      | 1               | 1                |
+//!
+//! (In the paper's 1-based bit numbering, `A` bits sit at odd positions and
+//! `B` bits at even positions, so Lemma 1's "`n_1` ones at odd positions"
+//! is our `A`-bit count and "`n_0` zeros at even positions" is the count of
+//! clear `B` bits.)
+//!
+//! The point of the encoding: combining two candidate sequences takes the
+//! element-wise *minimum* of their sketches (Property 1), and under this
+//! encoding `min` of relations is exactly bitwise OR —
+//! `min(>,=)==` ⇔ `00|01=01`, `min(=,<)=<` ⇔ `01|11=11`, and so on — so no
+//! information about the relation to the query is ever lost (the encoding
+//! is exact, not approximate).
+//!
+//! Lemma 1 recovers the similarity: `sim = n_eq / K = 1 − (n_gt + n_lt)/K`.
+//! Lemma 2 gives the pruning rule: once `n_lt > K(1−δ)` the candidate can
+//! never match the query again, because extensions only make sketch values
+//! smaller.
+
+use vdsms_sketch::Sketch;
+
+/// Mask selecting the `A` (first-of-pair) bits of each 2-bit relation.
+const MASK_A: u64 = 0x5555_5555_5555_5555;
+
+/// A packed 2K-bit relation signature between one candidate sequence and
+/// one query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BitSig {
+    /// Packed relation pairs; pair `r` occupies bits `2r` (A) and `2r+1`
+    /// (B) of word `r / 32`.
+    words: Vec<u64>,
+    /// Number of hash functions `K`.
+    k: usize,
+}
+
+impl BitSig {
+    /// An all-`>` signature (the relation of the empty candidate, whose
+    /// sketch values are `u64::MAX`... i.e. conceptually above any query
+    /// value). Mostly useful as an OR identity in tests.
+    pub fn all_greater(k: usize) -> BitSig {
+        assert!(k >= 1);
+        BitSig { words: vec![0; k.div_ceil(32)], k }
+    }
+
+    /// Encode the relation between a candidate sketch and a query sketch
+    /// (Definition 3). This is the only place sketch *values* are read;
+    /// afterwards everything is bit operations.
+    ///
+    /// # Panics
+    /// Panics if the sketches have different `K`.
+    pub fn encode(candidate: &Sketch, query: &Sketch) -> BitSig {
+        assert_eq!(candidate.k(), query.k(), "sketch K mismatch");
+        let k = candidate.k();
+        let mut words = vec![0u64; k.div_ceil(32)];
+        for (r, (&c, &q)) in candidate.mins().iter().zip(query.mins()).enumerate() {
+            let pair: u64 = match c.cmp(&q) {
+                std::cmp::Ordering::Greater => 0b00,
+                std::cmp::Ordering::Equal => 0b10,   // A=0, B=1 (B is the higher bit)
+                std::cmp::Ordering::Less => 0b11,    // A=1, B=1
+            };
+            words[r / 32] |= pair << (2 * (r % 32));
+        }
+        BitSig { words, k }
+    }
+
+    /// Number of hash functions `K`.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Combine with the signature of an adjacent candidate sequence
+    /// (relative to the *same* query): bitwise OR, equivalent to the `min`
+    /// of the underlying sketches (Property 1 + Definition 3).
+    ///
+    /// # Panics
+    /// Panics if `K` differs.
+    #[inline]
+    pub fn or_with(&mut self, other: &BitSig) {
+        assert_eq!(self.k, other.k, "bit signature K mismatch");
+        for (a, &b) in self.words.iter_mut().zip(&other.words) {
+            *a |= b;
+        }
+    }
+
+    /// Number of `<` relations (`n_1` of Lemma 1: candidate min-hash value
+    /// smaller than the query's).
+    #[inline]
+    pub fn count_less(&self) -> usize {
+        self.words.iter().map(|&w| (w & MASK_A).count_ones() as usize).sum()
+    }
+
+    /// Number of `=` relations (`K − n_0 − n_1` of Lemma 1).
+    #[inline]
+    pub fn count_equal(&self) -> usize {
+        let mut total = 0usize;
+        for (i, &w) in self.words.iter().enumerate() {
+            let a = w & MASK_A;
+            let b = (w >> 1) & MASK_A;
+            let mut eq = !a & b;
+            if i == self.words.len() - 1 && !self.k.is_multiple_of(32) {
+                // Mask off pairs beyond K in the last word.
+                eq &= (1u64 << (2 * (self.k % 32))) - 1;
+            }
+            total += eq.count_ones() as usize;
+        }
+        total
+    }
+
+    /// Estimated similarity to the query (Lemma 1): `n_eq / K`.
+    #[inline]
+    pub fn similarity(&self) -> f64 {
+        self.count_equal() as f64 / self.k as f64
+    }
+
+    /// Lemma 2 pruning test: `true` when `n_lt > K(1−δ)`, i.e. no extension
+    /// of this candidate can ever reach similarity `δ` against this query.
+    #[inline]
+    pub fn violates_lemma2(&self, delta: f64) -> bool {
+        self.count_less() as f64 > self.k as f64 * (1.0 - delta)
+    }
+
+    /// Heap bytes used by this signature (2K bits, as the paper counts).
+    pub fn heap_bytes(&self) -> usize {
+        self.words.len() * std::mem::size_of::<u64>()
+    }
+
+    /// Set the relation of pair `r` directly (used by the index probe,
+    /// which discovers relations row by row).
+    #[inline]
+    pub fn set_relation(&mut self, r: usize, candidate_value: u64, query_value: u64) {
+        debug_assert!(r < self.k);
+        let pair: u64 = match candidate_value.cmp(&query_value) {
+            std::cmp::Ordering::Greater => 0b00,
+            std::cmp::Ordering::Equal => 0b10,
+            std::cmp::Ordering::Less => 0b11,
+        };
+        let shift = 2 * (r % 32);
+        let word = &mut self.words[r / 32];
+        *word = (*word & !(0b11 << shift)) | (pair << shift);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vdsms_sketch::MinHashFamily;
+
+    fn sk(family: &MinHashFamily, ids: std::ops::Range<u64>) -> Sketch {
+        Sketch::from_ids(family, ids)
+    }
+
+    #[test]
+    fn encode_matches_direct_sketch_comparison_exactly() {
+        // Definition 3 is lossless: similarity from the bit signature must
+        // equal the sketch-level estimate bit for bit.
+        let fam = MinHashFamily::new(100, 1);
+        let q = sk(&fam, 0..50);
+        let c = sk(&fam, 25..75);
+        let sig = BitSig::encode(&c, &q);
+        assert_eq!(sig.count_equal(), c.equal_count(&q));
+        assert!((sig.similarity() - c.estimate_similarity(&q)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn identical_sketches_are_all_equal() {
+        let fam = MinHashFamily::new(64, 2);
+        let q = sk(&fam, 0..30);
+        let sig = BitSig::encode(&q.clone(), &q);
+        assert_eq!(sig.count_equal(), 64);
+        assert_eq!(sig.count_less(), 0);
+        assert_eq!(sig.similarity(), 1.0);
+    }
+
+    #[test]
+    fn or_equals_encode_of_combined_sketch() {
+        // The heart of Section V-A: OR of two signatures == signature of
+        // the combined (element-min) sketch. Exact equality, all K.
+        for k in [7usize, 32, 33, 100, 800] {
+            let fam = MinHashFamily::new(k, 3);
+            let q = sk(&fam, 0..40);
+            let a = sk(&fam, 10..30);
+            let b = sk(&fam, 35..60);
+            let mut ored = BitSig::encode(&a, &q);
+            ored.or_with(&BitSig::encode(&b, &q));
+            let direct = BitSig::encode(&a.combined(&b), &q);
+            assert_eq!(ored, direct, "OR-combine diverged at K={k}");
+        }
+    }
+
+    #[test]
+    fn count_equal_respects_partial_last_word() {
+        // K=33 leaves 31 unused pairs in word 1; they must not be counted.
+        let fam = MinHashFamily::new(33, 5);
+        let q = sk(&fam, 0..10);
+        let sig = BitSig::encode(&q.clone(), &q);
+        assert_eq!(sig.count_equal(), 33);
+    }
+
+    #[test]
+    fn lemma2_threshold_boundary() {
+        // Build a signature with exactly n_lt "<" relations and check the
+        // strict inequality of Lemma 2.
+        let k = 10;
+        let delta = 0.7; // K(1-δ) = 3
+        let mut sig = BitSig::all_greater(k);
+        for r in 0..3 {
+            sig.set_relation(r, 50, 100); // "<"
+        }
+        assert!(!sig.violates_lemma2(delta), "n_lt = 3 = K(1-δ) must NOT prune");
+        sig.set_relation(3, 50, 100);
+        assert!(sig.violates_lemma2(delta), "n_lt = 4 > 3 must prune");
+    }
+
+    #[test]
+    fn lemma2_is_monotone_under_or() {
+        // Once violated, OR-ing further signatures can never un-violate:
+        // "<" pairs (11) are absorbing under OR.
+        let fam = MinHashFamily::new(50, 7);
+        let q = sk(&fam, 1000..1100);
+        let far = sk(&fam, 0..200); // lots of smaller hash values
+        let mut sig = BitSig::encode(&far, &q);
+        let was = sig.count_less();
+        sig.or_with(&BitSig::encode(&sk(&fam, 500..600), &q));
+        assert!(sig.count_less() >= was, "n_lt must be monotone under OR");
+    }
+
+    #[test]
+    fn set_relation_matches_encode() {
+        let fam = MinHashFamily::new(40, 9);
+        let q = sk(&fam, 0..25);
+        let c = sk(&fam, 5..45);
+        let direct = BitSig::encode(&c, &q);
+        let mut manual = BitSig::all_greater(40);
+        for r in 0..40 {
+            manual.set_relation(r, c.mins()[r], q.mins()[r]);
+        }
+        assert_eq!(manual, direct);
+    }
+
+    #[test]
+    fn all_greater_is_or_identity() {
+        let fam = MinHashFamily::new(16, 11);
+        let q = sk(&fam, 0..8);
+        let c = sk(&fam, 2..12);
+        let sig = BitSig::encode(&c, &q);
+        let mut ident = BitSig::all_greater(16);
+        ident.or_with(&sig);
+        assert_eq!(ident, sig);
+    }
+
+    #[test]
+    fn heap_bytes_is_2k_bits_rounded_to_words() {
+        assert_eq!(BitSig::all_greater(800).heap_bytes(), 800 / 32 * 8); // 200 bytes
+        assert_eq!(BitSig::all_greater(33).heap_bytes(), 16);
+    }
+
+    #[test]
+    fn counts_are_consistent() {
+        let fam = MinHashFamily::new(333, 13);
+        let q = sk(&fam, 0..100);
+        let c = sk(&fam, 50..160);
+        let sig = BitSig::encode(&c, &q);
+        let n_lt = sig.count_less();
+        let n_eq = sig.count_equal();
+        // Count ">" directly from the sketches.
+        let n_gt = c.mins().iter().zip(q.mins()).filter(|(a, b)| a > b).count();
+        assert_eq!(n_lt + n_eq + n_gt, 333);
+    }
+}

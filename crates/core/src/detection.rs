@@ -1,0 +1,47 @@
+//! Detection records emitted by the engine.
+
+use crate::query::QueryId;
+
+/// One reported copy: a candidate subsequence of the stream whose
+/// estimated similarity to a query reached the threshold `δ`
+/// (Definition 1).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Detection {
+    /// The matched query.
+    pub query_id: QueryId,
+    /// Stream frame index of the first frame of the candidate sequence.
+    pub start_frame: u64,
+    /// Stream frame index of the last frame of the candidate sequence
+    /// (inclusive; this is also the position at which the detection fired,
+    /// the `Q_i.p` of the paper's evaluation rule).
+    pub end_frame: u64,
+    /// Candidate length in basic windows.
+    pub windows: usize,
+    /// Estimated similarity at detection time.
+    pub similarity: f64,
+}
+
+impl Detection {
+    /// The paper's match position `Q_i.p`: the stream position where the
+    /// copy was declared.
+    pub fn position(&self) -> u64 {
+        self.end_frame
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn position_is_end_frame() {
+        let d = Detection {
+            query_id: 3,
+            start_frame: 100,
+            end_frame: 260,
+            windows: 4,
+            similarity: 0.85,
+        };
+        assert_eq!(d.position(), 260);
+    }
+}

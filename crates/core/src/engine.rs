@@ -1,0 +1,412 @@
+//! The streaming detector: key frames in, detections out.
+//!
+//! This is the algorithm summarized at the end of Section V-C:
+//!
+//! 1. offline, query sketches `QS` and the HQ index are built;
+//! 2. every `w` incoming key frames are sketched into a basic window,
+//!    whose related-query list `R_L` comes from `ProbeIndex` (or from a
+//!    full scan for the NoIndex variants);
+//! 3. candidate signatures/sketches are combined in Sequential or
+//!    Geometric order, matches (Lemma 1, threshold δ) are reported, and
+//!    Lemma-2 violators are dropped;
+//! 4. the process continues until the end of the stream.
+
+use crate::config::{DetectorConfig, Order, Representation};
+use crate::detection::Detection;
+use crate::geo_store::GeoStore;
+use crate::hq::HqIndex;
+use crate::query::{Query, QueryId, QuerySet};
+use crate::seq_store::SeqStore;
+use crate::stats::Stats;
+use crate::window::{Window, WindowRelations};
+use vdsms_sketch::{MinHashFamily, Sketch};
+
+enum Store {
+    Seq(SeqStore),
+    Geo(GeoStore),
+}
+
+/// The continuous copy detector for one video stream.
+pub struct Detector {
+    cfg: DetectorConfig,
+    family: MinHashFamily,
+    queries: QuerySet,
+    index: Option<HqIndex>,
+    store: Store,
+    /// Cell ids of the window being filled.
+    buffer: Vec<u64>,
+    /// Frame index of the first key frame in the buffer.
+    buffer_start: u64,
+    /// Frame index of the last key frame pushed.
+    last_frame: u64,
+    next_window: u64,
+    stats: Stats,
+}
+
+impl Detector {
+    /// Create a detector for a query set.
+    ///
+    /// The queries' sketches must have been built with the same
+    /// `(k, hash_seed)` family — use [`Detector::family_for`] or
+    /// [`Detector::make_query`].
+    ///
+    /// # Panics
+    /// Panics if the configuration is invalid or a query's `K` mismatches.
+    pub fn new(cfg: DetectorConfig, queries: QuerySet) -> Detector {
+        cfg.validate();
+        if let Some(k) = queries.k() {
+            assert_eq!(k, cfg.k, "query sketches must use K = {}", cfg.k);
+        }
+        let index = cfg.use_index.then(|| HqIndex::build(cfg.k, &queries));
+        let store = match cfg.order {
+            Order::Sequential => Store::Seq(SeqStore::new(cfg.representation)),
+            Order::Geometric => Store::Geo(GeoStore::new(cfg.representation)),
+        };
+        Detector {
+            family: MinHashFamily::new(cfg.k, cfg.hash_seed),
+            cfg,
+            queries,
+            index,
+            store,
+            buffer: Vec::new(),
+            buffer_start: 0,
+            last_frame: 0,
+            next_window: 0,
+            stats: Stats::default(),
+        }
+    }
+
+    /// The min-hash family matching a configuration — what queries must be
+    /// sketched with.
+    pub fn family_for(cfg: &DetectorConfig) -> MinHashFamily {
+        MinHashFamily::new(cfg.k, cfg.hash_seed)
+    }
+
+    /// Sketch a query from its key-frame cell ids with this detector's
+    /// family.
+    pub fn make_query(&self, id: QueryId, cell_ids: &[u64]) -> Query {
+        Query::from_cell_ids(id, &self.family, cell_ids)
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &DetectorConfig {
+        &self.cfg
+    }
+
+    /// The subscribed queries.
+    pub fn queries(&self) -> &QuerySet {
+        &self.queries
+    }
+
+    /// Accumulated operation counters.
+    pub fn stats(&self) -> &Stats {
+        &self.stats
+    }
+
+    /// Subscribe a new query online (paper Section V-C.1).
+    ///
+    /// # Panics
+    /// Panics on duplicate id or `K` mismatch.
+    pub fn subscribe(&mut self, query: Query) {
+        assert_eq!(query.sketch.k(), self.cfg.k, "query sketch K mismatch");
+        if let Some(ix) = &mut self.index {
+            ix.insert(&query);
+        }
+        self.queries.insert(query);
+    }
+
+    /// Unsubscribe a query online. Candidates tracking it shed their
+    /// entries lazily. Returns `false` if the id was not subscribed.
+    pub fn unsubscribe(&mut self, id: QueryId) -> bool {
+        if let Some(ix) = &mut self.index {
+            ix.remove(id);
+        }
+        self.queries.remove(id).is_some()
+    }
+
+    /// Feed one key frame's fingerprint. Returns the detections triggered
+    /// if this key frame completed a basic window (empty otherwise).
+    pub fn push_keyframe(&mut self, frame_index: u64, cell_id: u64) -> Vec<Detection> {
+        if self.buffer.is_empty() {
+            self.buffer_start = frame_index;
+        }
+        self.buffer.push(cell_id);
+        self.last_frame = frame_index;
+        if self.buffer.len() >= self.cfg.window_keyframes {
+            self.process_window()
+        } else {
+            Vec::new()
+        }
+    }
+
+    /// Flush a partially-filled final window at end of stream.
+    pub fn finish(&mut self) -> Vec<Detection> {
+        if self.buffer.is_empty() {
+            return Vec::new();
+        }
+        self.process_window()
+    }
+
+    fn process_window(&mut self) -> Vec<Detection> {
+        let sketch = Sketch::from_ids(&self.family, self.buffer.drain(..));
+        let win = Window {
+            index: self.next_window,
+            start_frame: self.buffer_start,
+            end_frame: self.last_frame,
+            sketch,
+        };
+        self.next_window += 1;
+        self.stats.windows += 1;
+
+        let mut rel = match (&self.index, self.cfg.representation) {
+            (Some(ix), _) => {
+                self.stats.index_probes += 1;
+                let res = ix.probe(&win.sketch, self.cfg.pruning_delta());
+                self.stats.index_row_searches += res.row_searches;
+                WindowRelations::from_probe(res.hits)
+            }
+            (None, Representation::Bit) => {
+                // NoIndex/Bit: the window's signature must be encoded
+                // against every query up front (this cost is the point of
+                // Fig. 9's comparison). Encodes happen lazily but every
+                // related entry will be touched, so account here is exact.
+                WindowRelations::all_queries(&self.queries)
+            }
+            (None, Representation::Sketch) => WindowRelations::all_queries(&self.queries),
+        };
+
+        match &mut self.store {
+            Store::Seq(s) => s.advance(&win, &mut rel, &self.cfg, &self.queries, &mut self.stats),
+            Store::Geo(s) => s.advance(&win, &mut rel, &self.cfg, &self.queries, &mut self.stats),
+        }
+    }
+
+    /// Convenience: run a whole fingerprint sequence through the detector.
+    /// `frames` yields `(frame_index, cell_id)` pairs.
+    pub fn run<I: IntoIterator<Item = (u64, u64)>>(&mut self, frames: I) -> Vec<Detection> {
+        let mut out = Vec::new();
+        for (frame_index, cell_id) in frames {
+            out.extend(self.push_keyframe(frame_index, cell_id));
+        }
+        out.extend(self.finish());
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const K: usize = 128;
+
+    fn cfg(order: Order, rep: Representation, use_index: bool) -> DetectorConfig {
+        DetectorConfig {
+            k: K,
+            delta: 0.7,
+            lambda: 2.0,
+            window_keyframes: 5,
+            order,
+            representation: rep,
+            use_index,
+            ..Default::default()
+        }
+    }
+
+    /// A stream of 200 key frames with a planted copy of the query at
+    /// frames 100..130 (cell ids match the query's, re-ordered).
+    fn planted_stream(query_ids: &[u64]) -> Vec<(u64, u64)> {
+        let mut frames = Vec::new();
+        for i in 0..200u64 {
+            let id = if (100..100 + query_ids.len() as u64).contains(&i) {
+                // Reverse order inside the copy: set similarity is order-blind.
+                query_ids[(query_ids.len() as u64 - 1 - (i - 100)) as usize]
+            } else {
+                1_000_000 + i * 13 // background content
+            };
+            frames.push((i, id));
+        }
+        frames
+    }
+
+    fn all_variants() -> Vec<DetectorConfig> {
+        let mut v = Vec::new();
+        for order in [Order::Sequential, Order::Geometric] {
+            for rep in [Representation::Sketch, Representation::Bit] {
+                for use_index in [false, true] {
+                    v.push(cfg(order, rep, use_index));
+                }
+            }
+        }
+        v
+    }
+
+    #[test]
+    fn every_variant_finds_the_planted_copy() {
+        let query_ids: Vec<u64> = (0..30).map(|i| i * 3 + 7).collect();
+        for config in all_variants() {
+            let family = Detector::family_for(&config);
+            let queries = QuerySet::from_queries(vec![Query::from_cell_ids(
+                1, &family, &query_ids,
+            )]);
+            let mut det = Detector::new(config, queries);
+            let dets = det.run(planted_stream(&query_ids));
+            assert!(
+                dets.iter().any(|d| d.query_id == 1),
+                "variant {:?}/{:?}/index={} missed the planted copy",
+                config.order,
+                config.representation,
+                config.use_index
+            );
+            // Detection position must fall inside the copy region
+            // (the paper's correctness rule with w tolerance).
+            let d = dets.iter().find(|d| d.query_id == 1).unwrap();
+            assert!(
+                (100..=135).contains(&d.position()),
+                "position {} outside the copy",
+                d.position()
+            );
+        }
+    }
+
+    #[test]
+    fn clean_stream_produces_no_detections() {
+        let query_ids: Vec<u64> = (0..30).map(|i| i * 3 + 7).collect();
+        for config in all_variants() {
+            let family = Detector::family_for(&config);
+            let queries =
+                QuerySet::from_queries(vec![Query::from_cell_ids(1, &family, &query_ids)]);
+            let mut det = Detector::new(config, queries);
+            let frames: Vec<(u64, u64)> =
+                (0..150u64).map(|i| (i, 2_000_000 + i * 17)).collect();
+            let dets = det.run(frames);
+            assert!(dets.is_empty(), "false positives on clean stream: {dets:?}");
+        }
+    }
+
+    #[test]
+    fn index_and_noindex_agree_on_what_matters() {
+        // The index changes which candidates TRACK a query (a candidate
+        // born from a window sharing no min-hash value with the query
+        // never tracks it), but any candidate the index drops starts on
+        // unrelated content, so the copy itself is still found. Both
+        // variants must detect the query, and the indexed variant's
+        // detections must be a subset of the brute-force variant's.
+        let query_ids: Vec<u64> = (0..30).map(|i| i * 3 + 7).collect();
+        let mk = |use_index: bool| {
+            let config = cfg(Order::Sequential, Representation::Bit, use_index);
+            let family = Detector::family_for(&config);
+            let queries =
+                QuerySet::from_queries(vec![Query::from_cell_ids(1, &family, &query_ids)]);
+            let mut det = Detector::new(config, queries);
+            let mut dets = det.run(planted_stream(&query_ids));
+            dets.sort_by_key(|d| (d.start_frame, d.end_frame));
+            dets.iter().map(|d| (d.query_id, d.start_frame, d.end_frame)).collect::<Vec<_>>()
+        };
+        let indexed = mk(true);
+        let brute = mk(false);
+        assert!(!indexed.is_empty());
+        assert!(indexed.iter().all(|d| brute.contains(d)), "{indexed:?} ⊄ {brute:?}");
+    }
+
+    #[test]
+    fn index_probes_far_fewer_queries_than_bruteforce() {
+        // 50 queries, none related to the stream: the indexed variant's
+        // comparison counters must be far below the brute-force one's.
+        let make = |use_index: bool| {
+            let config = cfg(Order::Sequential, Representation::Bit, use_index);
+            let family = Detector::family_for(&config);
+            let queries = QuerySet::from_queries(
+                (0..50u32)
+                    .map(|q| {
+                        let ids: Vec<u64> = (0..20).map(|i| u64::from(q) * 500 + i).collect();
+                        Query::from_cell_ids(q, &family, &ids)
+                    })
+                    .collect(),
+            );
+            let mut det = Detector::new(config, queries);
+            let frames: Vec<(u64, u64)> = (0..300u64).map(|i| (i, 9_000_000 + i)).collect();
+            det.run(frames);
+            det.stats().sig_encodes + det.stats().sig_ors + det.stats().sig_compares
+        };
+        let with_index = make(true);
+        let without = make(false);
+        assert!(
+            with_index * 5 < without,
+            "index saved too little: {with_index} vs {without}"
+        );
+    }
+
+    #[test]
+    fn online_subscribe_and_unsubscribe_take_effect() {
+        let config = cfg(Order::Sequential, Representation::Bit, true);
+        let family = Detector::family_for(&config);
+        let query_ids: Vec<u64> = (0..20).map(|i| i * 5 + 3).collect();
+        let mut det = Detector::new(config, QuerySet::new());
+
+        // Not subscribed yet: the copy at 20..40 goes unnoticed.
+        let mut found = Vec::new();
+        for i in 0..50u64 {
+            let id = if (20..40).contains(&i) { query_ids[(i - 20) as usize] } else { 7_000_000 + i };
+            found.extend(det.push_keyframe(i, id));
+        }
+        assert!(found.is_empty());
+
+        // Subscribe; a second occurrence is detected.
+        det.subscribe(Query::from_cell_ids(9, &family, &query_ids));
+        for i in 50..100u64 {
+            let id = if (60..80).contains(&i) { query_ids[(i - 60) as usize] } else { 7_000_000 + i };
+            found.extend(det.push_keyframe(i, id));
+        }
+        assert!(found.iter().any(|d| d.query_id == 9), "subscribed query must be found");
+
+        // Unsubscribe; a third occurrence is ignored.
+        assert!(det.unsubscribe(9));
+        found.clear();
+        for i in 100..150u64 {
+            let id =
+                if (110..130).contains(&i) { query_ids[(i - 110) as usize] } else { 7_000_000 + i };
+            found.extend(det.push_keyframe(i, id));
+        }
+        assert!(found.is_empty(), "unsubscribed query must be ignored: {found:?}");
+    }
+
+    #[test]
+    fn finish_flushes_partial_window() {
+        let config = cfg(Order::Sequential, Representation::Bit, true);
+        let family = Detector::family_for(&config);
+        let query_ids: Vec<u64> = (0..8).collect();
+        let queries = QuerySet::from_queries(vec![Query::from_cell_ids(1, &family, &query_ids)]);
+        let mut det = Detector::new(config, queries);
+        // 8 matching frames: one full window (5) + 3 buffered.
+        let mut dets = Vec::new();
+        for i in 0..8u64 {
+            dets.extend(det.push_keyframe(i, query_ids[i as usize]));
+        }
+        dets.extend(det.finish());
+        assert!(
+            dets.iter().any(|d| d.similarity >= 0.99),
+            "flush must let the final partial window complete the match"
+        );
+    }
+
+    #[test]
+    fn stats_windows_counted() {
+        let config = cfg(Order::Sequential, Representation::Sketch, false);
+        let mut det = Detector::new(config, QuerySet::new());
+        for i in 0..23u64 {
+            det.push_keyframe(i, i);
+        }
+        det.finish();
+        assert_eq!(det.stats().windows, 5); // 4 full + 1 partial
+    }
+
+    #[test]
+    #[should_panic(expected = "query sketches must use K")]
+    fn k_mismatch_is_rejected() {
+        let config = cfg(Order::Sequential, Representation::Bit, true);
+        let wrong_family = MinHashFamily::new(K + 1, 0);
+        let queries =
+            QuerySet::from_queries(vec![Query::from_cell_ids(1, &wrong_family, &[1, 2])]);
+        let _ = Detector::new(config, queries);
+    }
+}

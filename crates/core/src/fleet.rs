@@ -1,0 +1,271 @@
+//! Multi-stream monitoring: one query catalogue, many concurrent streams.
+//!
+//! The paper's setting is explicitly multi-stream ("there are many
+//! concurrent video streams and for each stream, there could be many
+//! continuous video copy monitoring queries"). A [`Fleet`] manages one
+//! [`Detector`] per stream while keeping subscriptions synchronized
+//! across all of them, and aggregates statistics and detections per
+//! stream.
+//!
+//! Each detector keeps its own candidate state and HQ index copy —
+//! candidate lists are inherently per-stream, and the index is small
+//! (`m × K` triples) next to the stream state, so replication is cheaper
+//! than locking a shared index on the per-window hot path.
+
+use crate::config::DetectorConfig;
+use crate::detection::Detection;
+use crate::engine::Detector;
+use crate::query::{Query, QueryId, QuerySet};
+use crate::stats::Stats;
+use std::collections::HashMap;
+
+/// Identifier of one monitored stream.
+pub type StreamId = u32;
+
+/// A detection tagged with the stream it occurred on.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamDetection {
+    /// Which stream matched.
+    pub stream_id: StreamId,
+    /// The detection.
+    pub detection: Detection,
+}
+
+/// A fleet of per-stream detectors sharing one query catalogue.
+pub struct Fleet {
+    cfg: DetectorConfig,
+    /// The catalogue; new streams are seeded from it.
+    catalogue: QuerySet,
+    streams: HashMap<StreamId, Detector>,
+}
+
+impl Fleet {
+    /// Create an empty fleet.
+    ///
+    /// # Panics
+    /// Panics if the configuration is invalid.
+    pub fn new(cfg: DetectorConfig) -> Fleet {
+        cfg.validate();
+        Fleet { cfg, catalogue: QuerySet::new(), streams: HashMap::new() }
+    }
+
+    /// The configuration every stream's detector uses.
+    pub fn config(&self) -> &DetectorConfig {
+        &self.cfg
+    }
+
+    /// Number of monitored streams.
+    pub fn stream_count(&self) -> usize {
+        self.streams.len()
+    }
+
+    /// Number of subscribed queries.
+    pub fn query_count(&self) -> usize {
+        self.catalogue.len()
+    }
+
+    /// Start monitoring a new stream; it immediately watches every
+    /// subscribed query.
+    ///
+    /// # Panics
+    /// Panics if the stream id is already monitored.
+    pub fn add_stream(&mut self, stream_id: StreamId) {
+        assert!(
+            !self.streams.contains_key(&stream_id),
+            "stream {stream_id} already monitored"
+        );
+        self.streams.insert(stream_id, Detector::new(self.cfg, self.catalogue.clone()));
+    }
+
+    /// Stop monitoring a stream; returns its final statistics, or `None`
+    /// if the id was not monitored.
+    pub fn remove_stream(&mut self, stream_id: StreamId) -> Option<Stats> {
+        self.streams.remove(&stream_id).map(|d| d.stats().clone())
+    }
+
+    /// Subscribe a query on every stream (and for all future streams).
+    ///
+    /// # Panics
+    /// Panics on duplicate query id or sketch `K` mismatch.
+    pub fn subscribe(&mut self, query: Query) {
+        self.catalogue.insert(query.clone());
+        for det in self.streams.values_mut() {
+            det.subscribe(query.clone());
+        }
+    }
+
+    /// Unsubscribe a query everywhere. Returns `false` if it was not
+    /// subscribed.
+    pub fn unsubscribe(&mut self, id: QueryId) -> bool {
+        let found = self.catalogue.remove(id).is_some();
+        for det in self.streams.values_mut() {
+            det.unsubscribe(id);
+        }
+        found
+    }
+
+    /// Feed one key frame of one stream.
+    ///
+    /// # Panics
+    /// Panics if the stream is not monitored.
+    pub fn push_keyframe(
+        &mut self,
+        stream_id: StreamId,
+        frame_index: u64,
+        cell_id: u64,
+    ) -> Vec<StreamDetection> {
+        let det = self
+            .streams
+            .get_mut(&stream_id)
+            .unwrap_or_else(|| panic!("stream {stream_id} not monitored"));
+        det.push_keyframe(frame_index, cell_id)
+            .into_iter()
+            .map(|detection| StreamDetection { stream_id, detection })
+            .collect()
+    }
+
+    /// Flush every stream's partial window (end of monitoring epoch).
+    pub fn finish_all(&mut self) -> Vec<StreamDetection> {
+        let mut out = Vec::new();
+        for (&stream_id, det) in &mut self.streams {
+            out.extend(
+                det.finish().into_iter().map(|detection| StreamDetection { stream_id, detection }),
+            );
+        }
+        out
+    }
+
+    /// Per-stream statistics.
+    pub fn stats(&self, stream_id: StreamId) -> Option<&Stats> {
+        self.streams.get(&stream_id).map(|d| d.stats())
+    }
+
+    /// Aggregate statistics across all streams (counter-wise sum; peaks
+    /// take the max).
+    pub fn total_stats(&self) -> Stats {
+        let mut total = Stats::default();
+        for det in self.streams.values() {
+            let s = det.stats();
+            total.windows += s.windows;
+            total.sketch_compares += s.sketch_compares;
+            total.sketch_combines += s.sketch_combines;
+            total.sig_encodes += s.sig_encodes;
+            total.sig_ors += s.sig_ors;
+            total.sig_compares += s.sig_compares;
+            total.index_probes += s.index_probes;
+            total.index_row_searches += s.index_row_searches;
+            total.lemma2_prunes += s.lemma2_prunes;
+            total.length_expiries += s.length_expiries;
+            total.detections += s.detections;
+            total.live_signature_sum += s.live_signature_sum;
+            total.live_signature_peak = total.live_signature_peak.max(s.live_signature_peak);
+            total.live_candidate_sum += s.live_candidate_sum;
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vdsms_sketch::MinHashFamily;
+
+    const K: usize = 64;
+
+    fn cfg() -> DetectorConfig {
+        DetectorConfig { k: K, window_keyframes: 4, ..Default::default() }
+    }
+
+    fn family() -> MinHashFamily {
+        MinHashFamily::new(K, crate::config::DEFAULT_HASH_SEED)
+    }
+
+    fn query(id: QueryId, base: u64) -> Query {
+        let ids: Vec<u64> = (base..base + 24).collect();
+        Query::from_cell_ids(id, &family(), &ids)
+    }
+
+    /// Feed a stream whose frames `range` carry query `base` content.
+    fn feed(
+        fleet: &mut Fleet,
+        stream: StreamId,
+        copy_base: u64,
+        copy_at: std::ops::Range<u64>,
+    ) -> Vec<StreamDetection> {
+        let mut out = Vec::new();
+        for i in 0..80u64 {
+            let id = if copy_at.contains(&i) {
+                copy_base + (i - copy_at.start) % 24
+            } else {
+                500_000 + u64::from(stream) * 1000 + i
+            };
+            out.extend(fleet.push_keyframe(stream, i, id));
+        }
+        out
+    }
+
+    #[test]
+    fn per_stream_detection_with_shared_catalogue() {
+        let mut fleet = Fleet::new(cfg());
+        fleet.subscribe(query(1, 1000));
+        fleet.subscribe(query(2, 2000));
+        fleet.add_stream(10);
+        fleet.add_stream(20);
+        assert_eq!(fleet.stream_count(), 2);
+        assert_eq!(fleet.query_count(), 2);
+
+        // Stream 10 airs query 1; stream 20 airs query 2.
+        let d10 = feed(&mut fleet, 10, 1000, 30..54);
+        let d20 = feed(&mut fleet, 20, 2000, 40..64);
+        assert!(d10.iter().any(|d| d.detection.query_id == 1 && d.stream_id == 10), "{d10:?}");
+        assert!(d10.iter().all(|d| d.detection.query_id != 2));
+        assert!(d20.iter().any(|d| d.detection.query_id == 2 && d.stream_id == 20), "{d20:?}");
+    }
+
+    #[test]
+    fn late_stream_sees_existing_catalogue() {
+        let mut fleet = Fleet::new(cfg());
+        fleet.subscribe(query(7, 9000));
+        fleet.add_stream(1); // added after the subscription
+        let dets = feed(&mut fleet, 1, 9000, 20..44);
+        assert!(dets.iter().any(|d| d.detection.query_id == 7));
+    }
+
+    #[test]
+    fn subscribe_and_unsubscribe_propagate_to_all_streams() {
+        let mut fleet = Fleet::new(cfg());
+        fleet.add_stream(1);
+        fleet.add_stream(2);
+        fleet.subscribe(query(5, 4000));
+        assert!(fleet.unsubscribe(5));
+        assert!(!fleet.unsubscribe(5));
+        for s in [1, 2] {
+            let dets = feed(&mut fleet, s, 4000, 10..34);
+            assert!(dets.is_empty(), "stream {s}: {dets:?}");
+        }
+    }
+
+    #[test]
+    fn stats_aggregate_across_streams() {
+        let mut fleet = Fleet::new(cfg());
+        fleet.subscribe(query(1, 1000));
+        fleet.add_stream(1);
+        fleet.add_stream(2);
+        feed(&mut fleet, 1, 1000, 30..54);
+        feed(&mut fleet, 2, 7777, 0..0); // clean stream
+        fleet.finish_all();
+        let total = fleet.total_stats();
+        assert_eq!(total.windows, fleet.stats(1).unwrap().windows + fleet.stats(2).unwrap().windows);
+        assert!(total.detections >= 1);
+        assert_eq!(fleet.remove_stream(2).unwrap().detections, 0);
+        assert_eq!(fleet.stream_count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "already monitored")]
+    fn duplicate_stream_rejected() {
+        let mut fleet = Fleet::new(cfg());
+        fleet.add_stream(1);
+        fleet.add_stream(1);
+    }
+}

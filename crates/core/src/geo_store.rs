@@ -1,0 +1,597 @@
+//! Geometric-order candidate store (Section IV-A, Fig. 2).
+//!
+//! Instead of every suffix, the store keeps `O(log)` *segments* whose
+//! lengths follow a binary counter (1, 2, 4, ... windows). When window `t`
+//! arrives it is tested alone, then cascaded backwards through the
+//! segments — each cascade step combines one more segment into the running
+//! suffix and re-tests it — giving `⌈log i⌉` combinations per arrival as
+//! in the paper's cost model. Afterwards the window is appended as a
+//! length-1 segment and equal-length neighbours merge (carry
+//! propagation).
+//!
+//! The price of the logarithmic cost is that only geometrically-spaced
+//! suffix lengths are tested, which the paper reports as slightly lower
+//! recall at high δ (Figs. 7–8).
+
+use crate::bitsig::BitSig;
+use crate::config::{DetectorConfig, Representation};
+use crate::detection::Detection;
+use crate::query::{QueryId, QuerySet};
+use crate::stats::Stats;
+use crate::window::{sketch_relations, Window, WindowRelations};
+use std::collections::{HashMap, VecDeque};
+use vdsms_sketch::Sketch;
+
+/// Largest power of two `<= n` (`n >= 1`).
+fn prev_power_of_two(n: usize) -> usize {
+    1 << (usize::BITS - 1 - n.leading_zeros())
+}
+
+/// One tracked query within a segment.
+#[derive(Debug, Clone)]
+struct Entry {
+    qid: QueryId,
+    keyframes: usize,
+    /// Bit representation only: signature of this *segment* vs the query.
+    sig: Option<BitSig>,
+}
+
+/// One geometric segment of the stream.
+#[derive(Debug, Clone)]
+struct Segment {
+    start_window: u64,
+    start_frame: u64,
+    len_windows: usize,
+    /// The segment's combined sketch — kept in both representations (it is
+    /// needed for carry merges and for on-demand signature encoding).
+    sketch: Sketch,
+    entries: Vec<Entry>,
+}
+
+/// The geometric candidate store.
+#[derive(Debug)]
+pub struct GeoStore {
+    rep: Representation,
+    segments: VecDeque<Segment>,
+    /// Last window at which each query was reported, to suppress
+    /// re-reports on consecutive windows of the same ongoing match.
+    last_report: HashMap<QueryId, u64>,
+}
+
+impl GeoStore {
+    /// New empty store.
+    pub fn new(rep: Representation) -> GeoStore {
+        GeoStore { rep, segments: VecDeque::new(), last_report: HashMap::new() }
+    }
+
+    /// Number of live segments.
+    pub fn candidate_count(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// Number of live segment-query pairs (memory metric).
+    pub fn live_signatures(&self) -> usize {
+        self.segments.iter().map(|s| s.entries.len()).sum()
+    }
+
+    /// Process one arrived basic window.
+    pub fn advance(
+        &mut self,
+        win: &Window,
+        rel: &mut WindowRelations,
+        cfg: &DetectorConfig,
+        queries: &QuerySet,
+        stats: &mut Stats,
+    ) -> Vec<Detection> {
+        let mut out = Vec::new();
+
+        // --- Phase 1: cascade the new window backwards through the
+        // segments, testing each induced suffix.
+        let mut cur_sketch = win.sketch.clone();
+        let related = rel.related().to_vec();
+        let mut cur_entries: Vec<Entry> = Vec::with_capacity(related.len());
+        for &(qid, keyframes) in &related {
+            let sig = match self.rep {
+                Representation::Bit => match rel.sig_for(qid, &win.sketch, queries, stats) {
+                    Some(s) => Some(s.clone()),
+                    None => continue,
+                },
+                Representation::Sketch => None,
+            };
+            cur_entries.push(Entry { qid, keyframes, sig });
+        }
+        cur_entries.sort_unstable_by_key(|e| e.qid);
+        let mut cur_len = 1usize;
+        Self::test_suffix(
+            self.rep,
+            &mut self.last_report,
+            &cur_sketch,
+            &mut cur_entries,
+            cur_len,
+            win.start_frame,
+            win,
+            cfg,
+            stats,
+            queries,
+            &mut out,
+        );
+
+        for seg_idx in (0..self.segments.len()).rev() {
+            let seg = &self.segments[seg_idx];
+            let seg_start_frame = seg.start_frame;
+            cur_len += seg.len_windows;
+
+            match self.rep {
+                Representation::Sketch => {
+                    // Merge the related-query lists (sorted union,
+                    // two-pointer: O(α), not O(α²)).
+                    let mut merged =
+                        Vec::with_capacity(cur_entries.len() + seg.entries.len());
+                    let mut older = seg.entries.iter().peekable();
+                    for newer in cur_entries.drain(..) {
+                        while let Some(o) = older.peek() {
+                            if o.qid < newer.qid {
+                                merged.push((*o).clone());
+                                older.next();
+                            } else {
+                                break;
+                            }
+                        }
+                        if older.peek().is_some_and(|o| o.qid == newer.qid) {
+                            older.next();
+                        }
+                        merged.push(newer);
+                    }
+                    merged.extend(older.cloned());
+                    cur_entries = merged;
+                    cur_sketch.combine(&seg.sketch);
+                    stats.sketch_combines += 1;
+                }
+                Representation::Bit => {
+                    // cur covers [x, t]; seg covers [s, x). The suffix
+                    // signature is the OR of both parts' signatures, each
+                    // encoded on demand from its part's sketch if the
+                    // query was not already tracked there (sorted
+                    // two-pointer merge: O(α), not O(α²)).
+                    let mut merged: Vec<Entry> =
+                        Vec::with_capacity(cur_entries.len() + seg.entries.len());
+                    let mut older = seg.entries.iter().peekable();
+                    for mut newer in cur_entries.drain(..) {
+                        // Older-only entries before this qid: the query is
+                        // tracked by the segment but unseen in the newer
+                        // suffix — encode the newer part on demand.
+                        while let Some(o) = older.peek() {
+                            if o.qid >= newer.qid {
+                                break;
+                            }
+                            if let Some(q) = queries.get(o.qid) {
+                                stats.sig_encodes += 1;
+                                let mut sig = BitSig::encode(&cur_sketch, &q.sketch);
+                                sig.or_with(o.sig.as_ref().expect("bit entry without signature"));
+                                stats.sig_ors += 1;
+                                merged.push(Entry {
+                                    qid: o.qid,
+                                    keyframes: o.keyframes,
+                                    sig: Some(sig),
+                                });
+                            }
+                            older.next();
+                        }
+                        // Matching entry: OR the two parts' signatures.
+                        let sig = newer.sig.as_mut().expect("bit entry without signature");
+                        if older.peek().is_some_and(|o| o.qid == newer.qid) {
+                            let o = older.next().expect("peeked");
+                            sig.or_with(o.sig.as_ref().expect("bit entry without signature"));
+                            stats.sig_ors += 1;
+                        } else {
+                            // Newer-only: encode the segment part on demand.
+                            let Some(q) = queries.get(newer.qid) else { continue };
+                            stats.sig_encodes += 1;
+                            sig.or_with(&BitSig::encode(&seg.sketch, &q.sketch));
+                            stats.sig_ors += 1;
+                        }
+                        merged.push(newer);
+                    }
+                    for o in older {
+                        if let Some(q) = queries.get(o.qid) {
+                            stats.sig_encodes += 1;
+                            let mut sig = BitSig::encode(&cur_sketch, &q.sketch);
+                            sig.or_with(o.sig.as_ref().expect("bit entry without signature"));
+                            stats.sig_ors += 1;
+                            merged.push(Entry { qid: o.qid, keyframes: o.keyframes, sig: Some(sig) });
+                        }
+                    }
+                    cur_entries = merged;
+                    cur_sketch.combine(&seg.sketch);
+                }
+            }
+
+            Self::test_suffix(
+                self.rep,
+                &mut self.last_report,
+                &cur_sketch,
+                &mut cur_entries,
+                cur_len,
+                seg_start_frame,
+                win,
+                cfg,
+                stats,
+                queries,
+                &mut out,
+            );
+        }
+
+        // --- Phase 2: append the window as a length-1 segment, then carry-
+        // merge equal-length neighbours (binary counter).
+        let mut new_entries: Vec<Entry> = Vec::with_capacity(related.len());
+        for (qid, keyframes) in related {
+            let sig = match self.rep {
+                Representation::Bit => match rel.sig_for(qid, &win.sketch, queries, stats) {
+                    Some(s) => Some(s.clone()),
+                    None => continue,
+                },
+                Representation::Sketch => None,
+            };
+            new_entries.push(Entry { qid, keyframes, sig });
+        }
+        new_entries.sort_unstable_by_key(|e| e.qid);
+        self.segments.push_back(Segment {
+            start_window: win.index,
+            start_frame: win.start_frame,
+            len_windows: 1,
+            sketch: win.sketch.clone(),
+            entries: new_entries,
+        });
+        // Cap segment growth at half the candidate horizon: with unbounded
+        // carry-merging a single segment would swallow the whole horizon
+        // and the tested suffix lengths would lose all granularity (every
+        // copy shorter than the horizon would be missed). Capping at
+        // `horizon/2` keeps the suffix lengths geometric *and* guarantees
+        // some tested suffix overshoots a copy by at most `horizon/2`
+        // windows.
+        let global_max = cfg.max_windows_for(queries.max_keyframes()).max(1);
+        let merge_cap = prev_power_of_two((global_max / 2).max(1));
+        while self.segments.len() >= 2 {
+            let n = self.segments.len();
+            if self.segments[n - 1].len_windows != self.segments[n - 2].len_windows
+                || self.segments[n - 1].len_windows * 2 > merge_cap
+            {
+                break;
+            }
+            let newer = self.segments.pop_back().expect("len checked");
+            let older = self.segments.pop_back().expect("len checked");
+            self.segments.push_back(self.merge_segments(older, newer, cfg, queries, stats));
+        }
+
+        // --- Phase 3: expire the oldest segment while the remaining
+        // segments still cover the λL horizon.
+        let mut total: usize = self.segments.iter().map(|s| s.len_windows).sum();
+        while self.segments.len() > 1 {
+            let front_len = self.segments.front().expect("non-empty").len_windows;
+            if total - front_len < global_max {
+                break;
+            }
+            self.segments.pop_front();
+            total -= front_len;
+        }
+
+        stats.sample_live(self.live_signatures(), self.segments.len());
+        out
+    }
+
+    /// Test the current suffix against its tracked queries, pruning and
+    /// emitting detections.
+    #[allow(clippy::too_many_arguments)]
+    fn test_suffix(
+        rep: Representation,
+        last_report: &mut HashMap<QueryId, u64>,
+        cur_sketch: &Sketch,
+        cur_entries: &mut Vec<Entry>,
+        cur_len: usize,
+        start_frame: u64,
+        win: &Window,
+        cfg: &DetectorConfig,
+        stats: &mut Stats,
+        queries: &QuerySet,
+        out: &mut Vec<Detection>,
+    ) {
+        let k = cur_sketch.k() as f64;
+        cur_entries.retain(|e| {
+            if cur_len > cfg.max_windows_for(e.keyframes) {
+                stats.length_expiries += 1;
+                return false;
+            }
+            let (sim, violates) = match rep {
+                Representation::Sketch => {
+                    let Some(q) = queries.get(e.qid) else {
+                        return false;
+                    };
+                    stats.sketch_compares += 1;
+                    let (n_eq, n_less) = sketch_relations(cur_sketch, &q.sketch);
+                    (n_eq as f64 / k, n_less as f64 > k * (1.0 - cfg.pruning_delta()))
+                }
+                Representation::Bit => {
+                    let sig = e.sig.as_ref().expect("bit entry without signature");
+                    stats.sig_compares += 1;
+                    (sig.similarity(), sig.violates_lemma2(cfg.pruning_delta()))
+                }
+            };
+            if violates {
+                stats.lemma2_prunes += 1;
+                return false;
+            }
+            if sim + 1e-12 >= cfg.delta {
+                // Suppress re-reports while the same match keeps firing on
+                // consecutive windows.
+                let suppressed =
+                    matches!(last_report.get(&e.qid), Some(&last) if last + 1 >= win.index);
+                last_report.insert(e.qid, win.index);
+                if !suppressed {
+                    stats.detections += 1;
+                    out.push(Detection {
+                        query_id: e.qid,
+                        start_frame,
+                        end_frame: win.end_frame,
+                        windows: cur_len,
+                        similarity: sim,
+                    });
+                }
+            }
+            true
+        });
+    }
+
+    /// Carry-merge two adjacent equal-length segments.
+    fn merge_segments(
+        &self,
+        older: Segment,
+        newer: Segment,
+        cfg: &DetectorConfig,
+        queries: &QuerySet,
+        stats: &mut Stats,
+    ) -> Segment {
+        let mut sketch = older.sketch.clone();
+        sketch.combine(&newer.sketch);
+        match self.rep {
+            Representation::Sketch => stats.sketch_combines += 1,
+            Representation::Bit => {}
+        }
+
+        let mut entries: Vec<Entry> = Vec::with_capacity(older.entries.len() + newer.entries.len());
+        match self.rep {
+            Representation::Sketch => {
+                // Sorted union of the two entry lists.
+                let mut a = older.entries.into_iter().peekable();
+                let mut b = newer.entries.into_iter().peekable();
+                loop {
+                    match (a.peek(), b.peek()) {
+                        (Some(x), Some(y)) => {
+                            let e = match x.qid.cmp(&y.qid) {
+                                std::cmp::Ordering::Less => a.next(),
+                                std::cmp::Ordering::Greater => b.next(),
+                                std::cmp::Ordering::Equal => {
+                                    b.next();
+                                    a.next()
+                                }
+                            };
+                            entries.push(e.expect("peeked"));
+                        }
+                        (Some(_), None) => entries.push(a.next().expect("peeked")),
+                        (None, Some(_)) => entries.push(b.next().expect("peeked")),
+                        (None, None) => break,
+                    }
+                }
+            }
+            Representation::Bit => {
+                let or_parts = |a: Option<BitSig>,
+                                part_sketch: &Sketch,
+                                qid: QueryId,
+                                stats: &mut Stats|
+                 -> Option<BitSig> {
+                    match a {
+                        Some(sig) => Some(sig),
+                        None => {
+                            let q = queries.get(qid)?;
+                            stats.sig_encodes += 1;
+                            Some(BitSig::encode(part_sketch, &q.sketch))
+                        }
+                    }
+                };
+                let mut newer_entries = newer.entries;
+                for e in older.entries {
+                    let newer_sig = match newer_entries.iter().position(|x| x.qid == e.qid) {
+                        Some(pos) => newer_entries.remove(pos).sig,
+                        None => None,
+                    };
+                    let Some(mut sig) = e.sig else { continue };
+                    let Some(other) =
+                        or_parts(newer_sig, &newer.sketch, e.qid, stats)
+                    else {
+                        continue;
+                    };
+                    sig.or_with(&other);
+                    stats.sig_ors += 1;
+                    if sig.violates_lemma2(cfg.pruning_delta()) {
+                        stats.lemma2_prunes += 1;
+                        continue;
+                    }
+                    entries.push(Entry { qid: e.qid, keyframes: e.keyframes, sig: Some(sig) });
+                }
+                for e in newer_entries {
+                    let Some(mut sig) = e.sig else { continue };
+                    let Some(other) = or_parts(None, &older.sketch, e.qid, stats) else {
+                        continue;
+                    };
+                    sig.or_with(&other);
+                    stats.sig_ors += 1;
+                    if sig.violates_lemma2(cfg.pruning_delta()) {
+                        stats.lemma2_prunes += 1;
+                        continue;
+                    }
+                    entries.push(Entry { qid: e.qid, keyframes: e.keyframes, sig: Some(sig) });
+                }
+            }
+        }
+
+        Segment {
+            start_window: older.start_window,
+            start_frame: older.start_frame,
+            len_windows: older.len_windows + newer.len_windows,
+            sketch,
+            entries,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::Query;
+    use vdsms_sketch::MinHashFamily;
+
+    const K: usize = 128;
+
+    fn cfg(rep: Representation) -> DetectorConfig {
+        DetectorConfig {
+            k: K,
+            delta: 0.7,
+            lambda: 2.0,
+            window_keyframes: 4,
+            representation: rep,
+            order: crate::config::Order::Geometric,
+            use_index: false,
+            ..Default::default()
+        }
+    }
+
+    fn family() -> MinHashFamily {
+        MinHashFamily::new(K, 5)
+    }
+
+    fn window(f: &MinHashFamily, index: u64, ids: &[u64]) -> Window {
+        Window {
+            index,
+            start_frame: index * 4,
+            end_frame: index * 4 + 3,
+            sketch: Sketch::from_ids(f, ids.iter().copied()),
+        }
+    }
+
+    fn run(rep: Representation) -> (Vec<Detection>, Stats, GeoStore) {
+        let f = family();
+        let query_ids: Vec<u64> = (0..40).collect();
+        let queries = QuerySet::from_queries(vec![Query::from_cell_ids(1, &f, &query_ids)]);
+        let config = cfg(rep);
+        let mut store = GeoStore::new(rep);
+        let mut stats = Stats::default();
+        let mut dets = Vec::new();
+        // Four windows covering the query out of order.
+        let parts: [&[u64]; 4] =
+            [&query_ids[30..40], &query_ids[10..20], &query_ids[0..10], &query_ids[20..30]];
+        for (i, part) in parts.iter().enumerate() {
+            let w = window(&f, i as u64, part);
+            let mut rel = WindowRelations::all_queries(&queries);
+            stats.windows += 1;
+            dets.extend(store.advance(&w, &mut rel, &config, &queries, &mut stats));
+        }
+        (dets, stats, store)
+    }
+
+    #[test]
+    fn geometric_bit_detects_split_copy() {
+        let (dets, stats, _) = run(Representation::Bit);
+        let best = dets.iter().map(|d| d.similarity).fold(0.0, f64::max);
+        assert!(best >= 0.7, "suffix must cross the threshold (best {best})");
+        assert!(stats.sig_ors > 0);
+    }
+
+    #[test]
+    fn geometric_sketch_detects_split_copy() {
+        let (dets, stats, _) = run(Representation::Sketch);
+        let best = dets.iter().map(|d| d.similarity).fold(0.0, f64::max);
+        assert!(best >= 0.7, "best {best}");
+        assert!(stats.sketch_combines > 0);
+    }
+
+    #[test]
+    fn segment_lengths_follow_binary_counter() {
+        let (_, _, store) = run(Representation::Bit);
+        // After 4 windows: one segment of length 4.
+        let lens: Vec<usize> = store.segments.iter().map(|s| s.len_windows).collect();
+        assert_eq!(lens, vec![4]);
+    }
+
+    #[test]
+    fn combinations_per_window_are_logarithmic() {
+        // Over n windows, sequential does Θ(n²) combinations while
+        // geometric does Θ(n log n). Check the per-window combine count
+        // stays ≤ log2(i)+1.
+        let f = family();
+        let queries = QuerySet::from_queries(vec![Query::from_cell_ids(
+            1,
+            &f,
+            &(5000u64..5040).collect::<Vec<_>>(),
+        )]);
+        let config = cfg(Representation::Sketch);
+        let mut store = GeoStore::new(Representation::Sketch);
+        let mut stats = Stats::default();
+        let mut prev = 0u64;
+        for i in 0..64u64 {
+            let ids: Vec<u64> = (i * 7..i * 7 + 7).collect();
+            let w = window(&f, i, &ids);
+            let mut rel = WindowRelations::all_queries(&queries);
+            stats.windows += 1;
+            store.advance(&w, &mut rel, &config, &queries, &mut stats);
+            let combines_this_window = stats.sketch_combines - prev;
+            prev = stats.sketch_combines;
+            // Cascade over O(horizon/cap + log cap) segments plus carry
+            // merges: logarithmic with a small constant, far below the
+            // sequential order's Θ(horizon) per window.
+            let bound = 2 * ((i + 1).ilog2() as u64) + 6;
+            assert!(
+                combines_this_window <= bound,
+                "window {i}: {combines_this_window} combines exceeds log bound {bound}"
+            );
+        }
+    }
+
+    #[test]
+    fn expiry_caps_total_span() {
+        let f = family();
+        // Query of 8 keyframes => global max = ceil(2*8/4) = 4 windows.
+        let queries = QuerySet::from_queries(vec![Query::from_cell_ids(
+            1,
+            &f,
+            &(0u64..8).collect::<Vec<_>>(),
+        )]);
+        let config = cfg(Representation::Bit);
+        let mut store = GeoStore::new(Representation::Bit);
+        let mut stats = Stats::default();
+        for i in 0..20u64 {
+            let w = window(&f, i, &[0, 1, 2, 3]);
+            let mut rel = WindowRelations::all_queries(&queries);
+            stats.windows += 1;
+            store.advance(&w, &mut rel, &config, &queries, &mut stats);
+            let total: usize = store.segments.iter().map(|s| s.len_windows).sum();
+            assert!(total <= 2 * 4, "span {total} must stay near the λL bound");
+        }
+    }
+
+    #[test]
+    fn consecutive_matches_are_suppressed() {
+        let f = family();
+        let queries =
+            QuerySet::from_queries(vec![Query::from_cell_ids(1, &f, &[1, 2, 3, 4])]);
+        let config = cfg(Representation::Bit);
+        let mut store = GeoStore::new(Representation::Bit);
+        let mut stats = Stats::default();
+        let mut n = 0;
+        for i in 0..6u64 {
+            let w = window(&f, i, &[1, 2, 3, 4]);
+            let mut rel = WindowRelations::all_queries(&queries);
+            stats.windows += 1;
+            n += store.advance(&w, &mut rel, &config, &queries, &mut stats).len();
+        }
+        assert_eq!(n, 1, "an ongoing match must report once, not once per window");
+    }
+}

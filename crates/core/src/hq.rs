@@ -1,0 +1,532 @@
+//! The Hash–Query (HQ) index (paper Section V-C, Figs. 4–5).
+//!
+//! Query sketches are stored column-per-query in a `K × m` array `HQ`,
+//! where row `i` holds every query's `i`-th min-hash value as a triple
+//! `⟨value, up, down⟩`, sorted by `value`. `up`/`down` link a query's
+//! triples across adjacent rows (row 0's `up` points at the query's
+//! metadata — id and length). Probing a basic-window sketch walks the rows
+//! once, binary-searching each row for the window's hash value, so only
+//! *related* queries (those sharing at least one min-hash value with the
+//! window) are ever compared — and their 2K-bit signatures are produced as
+//! a by-product, with Lemma-2 pruning applied mid-probe.
+
+use crate::bitsig::BitSig;
+use crate::query::{Query, QueryId, QuerySet};
+use vdsms_sketch::Sketch;
+
+/// Sentinel for "no link" (last row's `down`).
+const NO_LINK: u32 = u32::MAX;
+
+/// One cell of the index: a query's hash value on this row plus links to
+/// the same query's cells on the adjacent rows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Triple {
+    /// The min-hash value.
+    value: u64,
+    /// Position of this query's triple on row `i−1`; on row 0, the slot in
+    /// the metadata table instead.
+    up: u32,
+    /// Position of this query's triple on row `i+1`; `NO_LINK` on the last
+    /// row.
+    down: u32,
+}
+
+/// Per-query metadata stored at the column entries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct QueryMeta {
+    id: QueryId,
+    keyframes: u32,
+}
+
+/// A query found related to a probed window, with its complete bit
+/// signature.
+#[derive(Debug, Clone)]
+pub struct ProbeHit {
+    /// The related query's id.
+    pub query_id: QueryId,
+    /// The related query's length in key frames.
+    pub keyframes: usize,
+    /// Bit signature of the window relative to this query (Definition 3).
+    pub sig: BitSig,
+}
+
+/// Result of probing one window sketch.
+#[derive(Debug, Clone, Default)]
+pub struct ProbeResult {
+    /// Related, un-pruned queries with their signatures.
+    pub hits: Vec<ProbeHit>,
+    /// Number of row search operations performed (for the cost
+    /// experiments).
+    pub row_searches: u64,
+}
+
+/// The Hash–Query index.
+#[derive(Debug, Clone)]
+pub struct HqIndex {
+    k: usize,
+    rows: Vec<Vec<Triple>>,
+    meta: Vec<QueryMeta>,
+}
+
+impl HqIndex {
+    /// Build the index from a query set (the paper's offline
+    /// `BuildIndex(QS)`).
+    ///
+    /// # Panics
+    /// Panics if any query's sketch `K` differs from `k`.
+    pub fn build(k: usize, queries: &QuerySet) -> HqIndex {
+        let mut index = HqIndex { k, rows: vec![Vec::new(); k], meta: Vec::new() };
+        for q in queries.iter() {
+            index.insert(q);
+        }
+        index
+    }
+
+    /// An empty index for sketches of `k` hash functions.
+    pub fn empty(k: usize) -> HqIndex {
+        assert!(k >= 1);
+        HqIndex { k, rows: vec![Vec::new(); k], meta: Vec::new() }
+    }
+
+    /// Number of hash functions `K`.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Number of indexed queries `m`.
+    pub fn len(&self) -> usize {
+        self.meta.len()
+    }
+
+    /// Whether no query is indexed.
+    pub fn is_empty(&self) -> bool {
+        self.meta.is_empty()
+    }
+
+    /// Subscribe a query online: insert its `K` hash values into the
+    /// sorted rows and relink neighbours whose positions shift.
+    ///
+    /// # Panics
+    /// Panics if the query's sketch `K` differs, or its id is already
+    /// present.
+    pub fn insert(&mut self, q: &Query) {
+        assert_eq!(q.sketch.k(), self.k, "query sketch K mismatch");
+        assert!(
+            self.meta.iter().all(|mq| mq.id != q.id),
+            "query id {} already indexed",
+            q.id
+        );
+        let slot = self.meta.len() as u32;
+        self.meta.push(QueryMeta { id: q.id, keyframes: q.keyframes as u32 });
+
+        // Insertion position per row, computed against the pre-insert rows.
+        let pos: Vec<u32> = (0..self.k)
+            .map(|i| {
+                let v = q.sketch.mins()[i];
+                self.rows[i].partition_point(|t| t.value < v) as u32
+            })
+            .collect();
+
+        // Re-link existing triples whose neighbours shift right.
+        for i in 0..self.k {
+            let down_shift_at = if i + 1 < self.k { pos[i + 1] } else { NO_LINK };
+            let up_shift_at = if i > 0 { pos[i - 1] } else { NO_LINK };
+            for t in &mut self.rows[i] {
+                if i + 1 < self.k && t.down != NO_LINK && t.down >= down_shift_at {
+                    t.down += 1;
+                }
+                if i > 0 && t.up >= up_shift_at {
+                    t.up += 1;
+                }
+            }
+        }
+
+        // Insert the new triples.
+        for i in 0..self.k {
+            let up = if i == 0 { slot } else { pos[i - 1] };
+            let down = if i + 1 < self.k { pos[i + 1] } else { NO_LINK };
+            self.rows[i].insert(pos[i] as usize, Triple { value: q.sketch.mins()[i], up, down });
+        }
+    }
+
+    /// Unsubscribe a query online. Returns `false` if the id is not
+    /// indexed.
+    pub fn remove(&mut self, id: QueryId) -> bool {
+        let Some(slot) = self.meta.iter().position(|mq| mq.id == id) else {
+            return false;
+        };
+        // Find the query's position on row 0 (the triple whose `up` is the
+        // meta slot), then follow the down links.
+        let mut pos = vec![0u32; self.k];
+        pos[0] = match self.rows[0].iter().position(|t| t.up == slot as u32) {
+            Some(j) => j as u32,
+            None => unreachable!("meta slot without a row-0 triple"),
+        };
+        for i in 1..self.k {
+            pos[i] = self.rows[i - 1][pos[i - 1] as usize].down;
+        }
+
+        // Remove the triples and re-link neighbours whose positions shift.
+        for i in 0..self.k {
+            self.rows[i].remove(pos[i] as usize);
+            let down_shift_at = if i + 1 < self.k { pos[i + 1] } else { NO_LINK };
+            let up_shift_at = if i > 0 { pos[i - 1] } else { NO_LINK };
+            for t in &mut self.rows[i] {
+                if i + 1 < self.k && t.down != NO_LINK && t.down > down_shift_at {
+                    t.down -= 1;
+                }
+                if i > 0 && t.up > up_shift_at {
+                    t.up -= 1;
+                }
+            }
+        }
+
+        // Compact the metadata table: move the last slot into the hole and
+        // re-point the moved query's row-0 triple.
+        let last = self.meta.len() - 1;
+        self.meta.swap_remove(slot);
+        if slot != last {
+            for t in &mut self.rows[0] {
+                if t.up == last as u32 {
+                    t.up = slot as u32;
+                    break;
+                }
+            }
+        }
+        true
+    }
+
+    /// Probe a basic-window sketch (the paper's `ProbeIndex`, Fig. 5):
+    /// returns every query that shares at least one min-hash value with
+    /// the window and survives mid-probe Lemma-2 pruning, together with
+    /// its complete bit signature.
+    pub fn probe(&self, sk: &Sketch, delta: f64) -> ProbeResult {
+        assert_eq!(sk.k(), self.k, "window sketch K mismatch");
+        let prune_above = (self.k as f64 * (1.0 - delta)).floor() as usize;
+
+        struct Ele {
+            slot: u32,
+            lp: u32,
+            sig: BitSig,
+            n_less: usize,
+        }
+
+        let mut r_l: Vec<Ele> = Vec::new();
+        let mut row_searches = 0u64;
+        // Positions on the current row already claimed by R_L elements.
+        let mut claimed: Vec<u32> = Vec::new();
+
+        for i in 0..self.k {
+            let ski = sk.mins()[i];
+            let row = &self.rows[i];
+
+            // (1) Bit-signature setting + (3) pruning for existing
+            // elements.
+            claimed.clear();
+            r_l.retain_mut(|ele| {
+                let j = if i == 0 {
+                    unreachable!("elements are only created during search")
+                } else {
+                    self.rows[i - 1][ele.lp as usize].down
+                };
+                ele.lp = j;
+                let qv = row[j as usize].value;
+                ele.sig.set_relation(i, ski, qv);
+                if ski < qv {
+                    ele.n_less += 1;
+                    if ele.n_less > prune_above {
+                        return false;
+                    }
+                }
+                claimed.push(j);
+                true
+            });
+
+            // (2) Relevant-query search: every position on row i whose
+            // value equals sk[i] and is not already tracked starts a new
+            // element.
+            row_searches += 1;
+            let lo = row.partition_point(|t| t.value < ski);
+            let hi = row.partition_point(|t| t.value <= ski);
+            for j in lo..hi {
+                let j = j as u32;
+                if claimed.contains(&j) {
+                    continue;
+                }
+                // Walk up to row 0, filling relation pairs i-1..0 and
+                // resolving the query slot.
+                let mut sig = BitSig::all_greater(self.k);
+                sig.set_relation(i, ski, row[j as usize].value); // "="
+                let mut n_less = 0usize;
+                let mut p = j;
+                let mut pruned = false;
+                for r in (0..i).rev() {
+                    p = self.rows[r + 1][p as usize].up;
+                    let qv = self.rows[r][p as usize].value;
+                    sig.set_relation(r, sk.mins()[r], qv);
+                    if sk.mins()[r] < qv {
+                        n_less += 1;
+                        if n_less > prune_above {
+                            pruned = true;
+                            break;
+                        }
+                    }
+                }
+                if pruned {
+                    continue;
+                }
+                let slot = if i == 0 { row[j as usize].up } else { self.rows[0][p as usize].up };
+                r_l.push(Ele { slot, lp: j, sig, n_less });
+                claimed.push(j);
+            }
+        }
+
+        ProbeResult {
+            hits: r_l
+                .into_iter()
+                .map(|e| {
+                    let m = self.meta[e.slot as usize];
+                    ProbeHit { query_id: m.id, keyframes: m.keyframes as usize, sig: e.sig }
+                })
+                .collect(),
+            row_searches,
+        }
+    }
+
+    /// Reference probe: brute-force over all queries. Used by tests and by
+    /// the `NoIndex` engine variants (where its cost is the point of the
+    /// comparison).
+    pub fn probe_bruteforce(&self, sk: &Sketch, delta: f64, queries: &QuerySet) -> Vec<ProbeHit> {
+        queries
+            .iter()
+            .filter_map(|q| {
+                let sig = BitSig::encode(sk, &q.sketch);
+                if sig.count_equal() == 0 || sig.violates_lemma2(delta) {
+                    None
+                } else {
+                    Some(ProbeHit { query_id: q.id, keyframes: q.keyframes, sig })
+                }
+            })
+            .collect()
+    }
+
+    /// Estimated heap size of the index in bytes (the paper notes the
+    /// index is a fixed `m × K` triples).
+    pub fn heap_bytes(&self) -> usize {
+        self.rows.iter().map(|r| r.len() * std::mem::size_of::<Triple>()).sum::<usize>()
+            + self.meta.len() * std::mem::size_of::<QueryMeta>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vdsms_sketch::MinHashFamily;
+
+    const K: usize = 64;
+
+    fn family() -> MinHashFamily {
+        MinHashFamily::new(K, 77)
+    }
+
+    fn query(f: &MinHashFamily, id: QueryId, base: u64, n: u64) -> Query {
+        Query::from_cell_ids(id, f, &(base..base + n).collect::<Vec<_>>())
+    }
+
+    fn query_set(f: &MinHashFamily, m: u32) -> QuerySet {
+        QuerySet::from_queries(
+            (0..m).map(|i| query(f, i, u64::from(i) * 1000, 40)).collect(),
+        )
+    }
+
+    /// Links invariant: following down from row 0 visits one triple per
+    /// row, all belonging to the same query; up links invert down links.
+    fn check_integrity(ix: &HqIndex) {
+        let m = ix.meta.len();
+        for row in &ix.rows {
+            assert_eq!(row.len(), m, "every row must hold one triple per query");
+            // Sortedness.
+            for w in row.windows(2) {
+                assert!(w[0].value <= w[1].value, "row not sorted");
+            }
+        }
+        for j0 in 0..m {
+            let slot = ix.rows[0][j0].up as usize;
+            assert!(slot < m, "row-0 up must be a meta slot");
+            let mut p = j0 as u32;
+            for i in 0..ix.k - 1 {
+                let down = ix.rows[i][p as usize].down;
+                assert_ne!(down, NO_LINK, "down link missing before last row");
+                assert_eq!(
+                    ix.rows[i + 1][down as usize].up,
+                    p,
+                    "up link must invert down link at row {i}"
+                );
+                p = down;
+            }
+            assert_eq!(ix.rows[ix.k - 1][p as usize].down, NO_LINK);
+        }
+        // Meta slots are referenced exactly once from row 0.
+        let mut seen = vec![false; m];
+        for t in &ix.rows[0] {
+            assert!(!seen[t.up as usize], "duplicate meta reference");
+            seen[t.up as usize] = true;
+        }
+    }
+
+    #[test]
+    fn build_produces_consistent_links() {
+        let f = family();
+        let qs = query_set(&f, 20);
+        let ix = HqIndex::build(K, &qs);
+        assert_eq!(ix.len(), 20);
+        check_integrity(&ix);
+    }
+
+    #[test]
+    fn probe_matches_bruteforce() {
+        let f = family();
+        let qs = query_set(&f, 30);
+        let ix = HqIndex::build(K, &qs);
+        // Probe with a sketch overlapping query 7's ids — and also some
+        // unrelated ids.
+        for (base, n) in [(7000u64, 40u64), (7010, 60), (123_456, 20), (0, 10)] {
+            let sk = Sketch::from_ids(&f, base..base + n);
+            for delta in [0.5, 0.7, 0.9] {
+                let mut got: Vec<QueryId> =
+                    ix.probe(&sk, delta).hits.into_iter().map(|h| h.query_id).collect();
+                let mut want: Vec<QueryId> = ix
+                    .probe_bruteforce(&sk, delta, &qs)
+                    .into_iter()
+                    .map(|h| h.query_id)
+                    .collect();
+                got.sort_unstable();
+                want.sort_unstable();
+                assert_eq!(got, want, "probe mismatch at base={base} n={n} δ={delta}");
+            }
+        }
+    }
+
+    #[test]
+    fn probe_signatures_match_direct_encoding() {
+        let f = family();
+        let qs = query_set(&f, 10);
+        let ix = HqIndex::build(K, &qs);
+        let sk = Sketch::from_ids(&f, 3000..3040); // strongly related to query 3
+        let res = ix.probe(&sk, 0.5);
+        assert!(!res.hits.is_empty());
+        for hit in &res.hits {
+            let q = qs.get(hit.query_id).unwrap();
+            let direct = BitSig::encode(&sk, &q.sketch);
+            assert_eq!(hit.sig, direct, "probe signature differs for query {}", hit.query_id);
+        }
+    }
+
+    #[test]
+    fn probe_finds_exact_match_with_full_similarity() {
+        let f = family();
+        let qs = query_set(&f, 10);
+        let ix = HqIndex::build(K, &qs);
+        let sk = qs.get(4).unwrap().sketch.clone();
+        let res = ix.probe(&sk, 0.7);
+        let hit = res.hits.iter().find(|h| h.query_id == 4).expect("query 4 must be hit");
+        assert_eq!(hit.sig.similarity(), 1.0);
+        assert_eq!(hit.keyframes, 40);
+    }
+
+    #[test]
+    fn unrelated_probe_returns_nothing() {
+        let f = family();
+        let qs = query_set(&f, 10);
+        let ix = HqIndex::build(K, &qs);
+        let sk = Sketch::from_ids(&f, 900_000..900_050);
+        // All-unrelated: either empty or only low-similarity flukes that
+        // brute force agrees on.
+        let got = ix.probe(&sk, 0.7).hits.len();
+        let want = ix.probe_bruteforce(&sk, 0.7, &qs).len();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn online_insert_matches_fresh_build() {
+        let f = family();
+        let mut ix = HqIndex::empty(K);
+        let mut qs = QuerySet::new();
+        for i in 0..15u32 {
+            let q = query(&f, i, u64::from(i) * 777, 25);
+            qs.insert(q.clone());
+            ix.insert(&q);
+            check_integrity(&ix);
+        }
+        let fresh = HqIndex::build(K, &qs);
+        let sk = Sketch::from_ids(&f, 3885..3920); // overlaps query 5
+        let mut a: Vec<QueryId> = ix.probe(&sk, 0.6).hits.into_iter().map(|h| h.query_id).collect();
+        let mut b: Vec<QueryId> =
+            fresh.probe(&sk, 0.6).hits.into_iter().map(|h| h.query_id).collect();
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn online_remove_keeps_integrity_and_results() {
+        let f = family();
+        let qs = query_set(&f, 12);
+        let mut ix = HqIndex::build(K, &qs);
+        assert!(ix.remove(5));
+        assert!(!ix.remove(5), "double remove must return false");
+        check_integrity(&ix);
+        let sk = Sketch::from_ids(&f, 5000..5040); // query 5's content
+        let hits = ix.probe(&sk, 0.7).hits;
+        assert!(hits.iter().all(|h| h.query_id != 5), "removed query must not be hit");
+
+        // Remove more, including the slot-compaction path.
+        assert!(ix.remove(11));
+        assert!(ix.remove(0));
+        check_integrity(&ix);
+        assert_eq!(ix.len(), 9);
+
+        // Remaining queries still probe correctly.
+        let sk3 = Sketch::from_ids(&f, 3000..3040);
+        assert!(ix.probe(&sk3, 0.7).hits.iter().any(|h| h.query_id == 3));
+    }
+
+    #[test]
+    fn remove_then_insert_round_trips() {
+        let f = family();
+        let qs = query_set(&f, 8);
+        let mut ix = HqIndex::build(K, &qs);
+        let q3 = qs.get(3).unwrap().clone();
+        ix.remove(3);
+        ix.insert(&q3);
+        check_integrity(&ix);
+        let sk = Sketch::from_ids(&f, 3000..3040);
+        assert!(ix.probe(&sk, 0.7).hits.iter().any(|h| h.query_id == 3));
+    }
+
+    #[test]
+    fn duplicate_hash_values_across_queries_are_handled() {
+        // Force two queries with identical content (identical sketches) —
+        // every row has duplicate values.
+        let f = family();
+        let mut qs = QuerySet::new();
+        qs.insert(query(&f, 1, 500, 30));
+        qs.insert(query(&f, 2, 500, 30)); // same cell ids
+        qs.insert(query(&f, 3, 9999, 30));
+        let ix = HqIndex::build(K, &qs);
+        check_integrity(&ix);
+        let sk = Sketch::from_ids(&f, 500..530);
+        let mut hits: Vec<QueryId> =
+            ix.probe(&sk, 0.7).hits.into_iter().map(|h| h.query_id).collect();
+        hits.sort_unstable();
+        assert_eq!(hits, vec![1, 2], "both duplicate queries must be found exactly once");
+    }
+
+    #[test]
+    fn heap_bytes_scales_with_m_times_k() {
+        let f = family();
+        let ix = HqIndex::build(K, &query_set(&f, 10));
+        let expected = 10 * K * std::mem::size_of::<Triple>();
+        assert!(ix.heap_bytes() >= expected);
+    }
+}

@@ -1,0 +1,165 @@
+//! Continuous query sequences and the query set.
+
+use vdsms_sketch::{MinHashFamily, Sketch};
+
+/// Identifier of a subscribed query.
+pub type QueryId = u32;
+
+/// One continuous query: a video sequence to monitor for, sketched
+/// offline.
+#[derive(Debug, Clone)]
+pub struct Query {
+    /// Query id (unique within a [`QuerySet`]).
+    pub id: QueryId,
+    /// Query length in key frames (the paper's `L`, used for the λL
+    /// expiry bound).
+    pub keyframes: usize,
+    /// The query's K-min-hash sketch.
+    pub sketch: Sketch,
+}
+
+impl Query {
+    /// Sketch a query from its key-frame cell ids.
+    ///
+    /// # Panics
+    /// Panics if `cell_ids` is empty.
+    pub fn from_cell_ids(id: QueryId, family: &MinHashFamily, cell_ids: &[u64]) -> Query {
+        assert!(!cell_ids.is_empty(), "query must contain at least one key frame");
+        Query {
+            id,
+            keyframes: cell_ids.len(),
+            sketch: Sketch::from_ids(family, cell_ids.iter().copied()),
+        }
+    }
+}
+
+/// The set of subscribed queries, indexable by id.
+#[derive(Debug, Clone, Default)]
+pub struct QuerySet {
+    queries: Vec<Query>,
+}
+
+impl QuerySet {
+    /// An empty set.
+    pub fn new() -> QuerySet {
+        QuerySet { queries: Vec::new() }
+    }
+
+    /// Build from a list of queries.
+    ///
+    /// # Panics
+    /// Panics on duplicate ids or inconsistent sketch `K`.
+    pub fn from_queries(queries: Vec<Query>) -> QuerySet {
+        let mut set = QuerySet::new();
+        for q in queries {
+            set.insert(q);
+        }
+        set
+    }
+
+    /// Add a query (online subscription).
+    ///
+    /// # Panics
+    /// Panics if the id is already present or `K` differs from existing
+    /// queries.
+    pub fn insert(&mut self, query: Query) {
+        assert!(self.get(query.id).is_none(), "duplicate query id {}", query.id);
+        if let Some(first) = self.queries.first() {
+            assert_eq!(first.sketch.k(), query.sketch.k(), "query sketch K mismatch");
+        }
+        self.queries.push(query);
+    }
+
+    /// Remove a query by id (online unsubscription). Returns the removed
+    /// query, or `None` if absent.
+    pub fn remove(&mut self, id: QueryId) -> Option<Query> {
+        let pos = self.queries.iter().position(|q| q.id == id)?;
+        Some(self.queries.remove(pos))
+    }
+
+    /// Look up a query by id.
+    pub fn get(&self, id: QueryId) -> Option<&Query> {
+        self.queries.iter().find(|q| q.id == id)
+    }
+
+    /// All queries.
+    pub fn iter(&self) -> impl Iterator<Item = &Query> {
+        self.queries.iter()
+    }
+
+    /// Number of queries `m`.
+    pub fn len(&self) -> usize {
+        self.queries.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.queries.is_empty()
+    }
+
+    /// The common sketch `K`, or `None` when empty.
+    pub fn k(&self) -> Option<usize> {
+        self.queries.first().map(|q| q.sketch.k())
+    }
+
+    /// The maximum query length in key frames (the paper's global `L`).
+    pub fn max_keyframes(&self) -> usize {
+        self.queries.iter().map(|q| q.keyframes).max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn family() -> MinHashFamily {
+        MinHashFamily::new(32, 1)
+    }
+
+    #[test]
+    fn from_cell_ids_records_length() {
+        let q = Query::from_cell_ids(7, &family(), &[1, 2, 3, 2, 1]);
+        assert_eq!(q.id, 7);
+        assert_eq!(q.keyframes, 5);
+    }
+
+    #[test]
+    fn insert_get_remove_round_trip() {
+        let f = family();
+        let mut set = QuerySet::new();
+        set.insert(Query::from_cell_ids(1, &f, &[1, 2]));
+        set.insert(Query::from_cell_ids(2, &f, &[3, 4, 5]));
+        assert_eq!(set.len(), 2);
+        assert_eq!(set.get(2).unwrap().keyframes, 3);
+        assert_eq!(set.max_keyframes(), 3);
+        let removed = set.remove(1).unwrap();
+        assert_eq!(removed.id, 1);
+        assert!(set.get(1).is_none());
+        assert!(set.remove(1).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate query id")]
+    fn duplicate_id_rejected() {
+        let f = family();
+        let mut set = QuerySet::new();
+        set.insert(Query::from_cell_ids(1, &f, &[1]));
+        set.insert(Query::from_cell_ids(1, &f, &[2]));
+    }
+
+    #[test]
+    #[should_panic(expected = "K mismatch")]
+    fn k_mismatch_rejected() {
+        let mut set = QuerySet::new();
+        set.insert(Query::from_cell_ids(1, &MinHashFamily::new(8, 0), &[1]));
+        set.insert(Query::from_cell_ids(2, &MinHashFamily::new(16, 0), &[2]));
+    }
+
+    #[test]
+    fn empty_set_properties() {
+        let set = QuerySet::new();
+        assert!(set.is_empty());
+        assert_eq!(set.k(), None);
+        assert_eq!(set.max_keyframes(), 0);
+    }
+}

@@ -1,0 +1,112 @@
+//! Operation counters for the paper's cost experiments.
+//!
+//! The paper's Section IV-B cost model is
+//! `αC_comp + (αC_comp + C_comb)·⌈λL/w⌉` per basic window (Sequential) or
+//! with `log(⌈λL/w⌉)` (Geometric). These counters expose every term —
+//! comparisons, combinations, index probes, live signature population — so
+//! the CPU (Figs. 6, 9, 12) and memory (Fig. 10) experiments can report
+//! both wall-clock time and machine-independent operation counts.
+
+/// Mutable counters accumulated by a [`crate::Detector`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Stats {
+    /// Basic windows processed.
+    pub windows: u64,
+    /// Sketch–sketch comparisons (`C_comp`, Sketch representation: K u64
+    /// equality scans).
+    pub sketch_compares: u64,
+    /// Sketch–sketch combinations (`C_comb`, Sketch representation: K u64
+    /// mins).
+    pub sketch_combines: u64,
+    /// Bit-signature encodings (Definition 3: one per window × related
+    /// query, the only O(K) value-domain operation of the Bit method).
+    pub sig_encodes: u64,
+    /// Bit-signature OR-combinations (`C_comb`, Bit representation:
+    /// K/32 word ORs).
+    pub sig_ors: u64,
+    /// Bit-signature similarity evaluations (`C_comp`, Bit representation:
+    /// two popcount scans).
+    pub sig_compares: u64,
+    /// Hash–Query index probes.
+    pub index_probes: u64,
+    /// Binary/equal-search row operations inside index probes.
+    pub index_row_searches: u64,
+    /// Candidate-query entries pruned by Lemma 2.
+    pub lemma2_prunes: u64,
+    /// Candidate-query entries expired by the λL length bound.
+    pub length_expiries: u64,
+    /// Detections emitted.
+    pub detections: u64,
+    /// Sum over windows of the number of live signatures (or live
+    /// candidate-query pairs for the Sketch representation) in the
+    /// candidate list — divide by `windows` for the paper's "average
+    /// number of bit signatures" memory metric (Fig. 10).
+    pub live_signature_sum: u64,
+    /// Peak number of live signatures at any window boundary.
+    pub live_signature_peak: u64,
+    /// Sum over windows of the candidate count (for average candidate-list
+    /// length).
+    pub live_candidate_sum: u64,
+}
+
+impl Stats {
+    /// Average number of live signatures per window (Fig. 10's metric).
+    pub fn avg_signatures(&self) -> f64 {
+        if self.windows == 0 {
+            return 0.0;
+        }
+        self.live_signature_sum as f64 / self.windows as f64
+    }
+
+    /// Average candidate-list length per window.
+    pub fn avg_candidates(&self) -> f64 {
+        if self.windows == 0 {
+            return 0.0;
+        }
+        self.live_candidate_sum as f64 / self.windows as f64
+    }
+
+    /// Estimated signature memory in bytes, using the paper's accounting
+    /// of 2K bits per signature.
+    pub fn avg_signature_bytes(&self, k: usize) -> f64 {
+        self.avg_signatures() * (2 * k) as f64 / 8.0
+    }
+
+    /// Record the live population at a window boundary.
+    pub(crate) fn sample_live(&mut self, signatures: usize, candidates: usize) {
+        self.live_signature_sum += signatures as u64;
+        self.live_signature_peak = self.live_signature_peak.max(signatures as u64);
+        self.live_candidate_sum += candidates as u64;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn averages_handle_zero_windows() {
+        let s = Stats::default();
+        assert_eq!(s.avg_signatures(), 0.0);
+        assert_eq!(s.avg_candidates(), 0.0);
+    }
+
+    #[test]
+    fn sample_live_accumulates() {
+        let mut s = Stats { windows: 2, ..Default::default() };
+        s.sample_live(10, 3);
+        s.sample_live(20, 5);
+        assert_eq!(s.avg_signatures(), 15.0);
+        assert_eq!(s.live_signature_peak, 20);
+        assert_eq!(s.avg_candidates(), 4.0);
+    }
+
+    #[test]
+    fn signature_bytes_uses_2k_bits() {
+        let mut s = Stats { windows: 1, ..Default::default() };
+        s.sample_live(150, 10);
+        // 150 signatures × 2×800 bits = 150 × 200 bytes = 30 KB, the
+        // paper's own arithmetic in Section VI-D.
+        assert_eq!(s.avg_signature_bytes(800), 30_000.0);
+    }
+}

@@ -1,0 +1,140 @@
+//! Per-basic-window state shared by the candidate stores.
+
+use crate::bitsig::BitSig;
+use crate::query::{QueryId, QuerySet};
+use crate::stats::Stats;
+use std::collections::HashMap;
+use vdsms_sketch::Sketch;
+
+/// A completed basic window: `w` key frames sketched as a set of cell ids.
+#[derive(Debug, Clone)]
+pub struct Window {
+    /// Zero-based window index within the stream.
+    pub index: u64,
+    /// Stream frame index of the window's first key frame.
+    pub start_frame: u64,
+    /// Stream frame index of the window's last key frame (inclusive).
+    pub end_frame: u64,
+    /// K-min-hash sketch of the window's cell-id set.
+    pub sketch: Sketch,
+}
+
+/// The window's relations to the query set: the related-query list `R_L`
+/// (from the index probe, or all queries for the NoIndex variants) plus a
+/// lazy cache of bit signatures.
+///
+/// Signatures for queries *not* surfaced by the probe are computed on
+/// demand (an `O(K)` encode) — this happens when an old candidate tracks a
+/// query that the newest window shares no min-hash values with, and its
+/// cost is exactly what Lemma-2 pruning keeps rare.
+#[derive(Debug)]
+pub struct WindowRelations {
+    /// Related queries as `(id, keyframes)`.
+    related: Vec<(QueryId, usize)>,
+    sigs: HashMap<QueryId, BitSig>,
+}
+
+impl WindowRelations {
+    /// Build from a probe result (signatures already known).
+    pub fn from_probe(hits: Vec<crate::hq::ProbeHit>) -> WindowRelations {
+        let related = hits.iter().map(|h| (h.query_id, h.keyframes)).collect();
+        let sigs = hits.into_iter().map(|h| (h.query_id, h.sig)).collect();
+        WindowRelations { related, sigs }
+    }
+
+    /// Build for the NoIndex variants: every query is related; signatures
+    /// are encoded lazily as the stores touch them.
+    pub fn all_queries(queries: &QuerySet) -> WindowRelations {
+        WindowRelations {
+            related: queries.iter().map(|q| (q.id, q.keyframes)).collect(),
+            sigs: HashMap::new(),
+        }
+    }
+
+    /// The related-query list for this window.
+    pub fn related(&self) -> &[(QueryId, usize)] {
+        &self.related
+    }
+
+    /// The window's bit signature relative to query `qid`, encoding it on
+    /// demand if the probe did not produce it. Returns `None` if the query
+    /// has been unsubscribed.
+    pub fn sig_for(
+        &mut self,
+        qid: QueryId,
+        window_sketch: &Sketch,
+        queries: &QuerySet,
+        stats: &mut Stats,
+    ) -> Option<&BitSig> {
+        use std::collections::hash_map::Entry;
+        match self.sigs.entry(qid) {
+            Entry::Occupied(e) => Some(e.into_mut()),
+            Entry::Vacant(e) => {
+                let q = queries.get(qid)?;
+                stats.sig_encodes += 1;
+                Some(e.insert(BitSig::encode(window_sketch, &q.sketch)))
+            }
+        }
+    }
+}
+
+/// Relation counts between two raw sketches: `(n_equal, n_less)` where
+/// `n_less` counts positions with `a < b`. This is the Sketch
+/// representation's comparison primitive (`C_comp`), also used for its
+/// Lemma-2 pruning.
+pub fn sketch_relations(a: &Sketch, b: &Sketch) -> (usize, usize) {
+    assert_eq!(a.k(), b.k(), "sketch K mismatch");
+    let mut n_eq = 0usize;
+    let mut n_less = 0usize;
+    for (&x, &y) in a.mins().iter().zip(b.mins()) {
+        match x.cmp(&y) {
+            std::cmp::Ordering::Equal => n_eq += 1,
+            std::cmp::Ordering::Less => n_less += 1,
+            std::cmp::Ordering::Greater => {}
+        }
+    }
+    (n_eq, n_less)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::Query;
+    use vdsms_sketch::MinHashFamily;
+
+    #[test]
+    fn sketch_relations_counts_match_bitsig() {
+        let f = MinHashFamily::new(100, 1);
+        let a = Sketch::from_ids(&f, 0..50u64);
+        let b = Sketch::from_ids(&f, 25..80u64);
+        let (n_eq, n_less) = sketch_relations(&a, &b);
+        let sig = BitSig::encode(&a, &b);
+        assert_eq!(n_eq, sig.count_equal());
+        assert_eq!(n_less, sig.count_less());
+    }
+
+    #[test]
+    fn sig_for_encodes_on_demand_and_caches() {
+        let f = MinHashFamily::new(32, 2);
+        let queries = QuerySet::from_queries(vec![Query::from_cell_ids(9, &f, &[1, 2, 3])]);
+        let w = Sketch::from_ids(&f, 1..4u64);
+        let mut rel = WindowRelations::all_queries(&queries);
+        let mut stats = Stats::default();
+        let sig1 = rel.sig_for(9, &w, &queries, &mut stats).unwrap().clone();
+        assert_eq!(stats.sig_encodes, 1);
+        let sig2 = rel.sig_for(9, &w, &queries, &mut stats).unwrap().clone();
+        assert_eq!(stats.sig_encodes, 1, "second access must hit the cache");
+        assert_eq!(sig1, sig2);
+        assert_eq!(sig1.similarity(), 1.0);
+    }
+
+    #[test]
+    fn sig_for_unknown_query_is_none() {
+        let f = MinHashFamily::new(32, 2);
+        let queries = QuerySet::new();
+        let w = Sketch::from_ids(&f, 1..4u64);
+        let mut rel = WindowRelations::all_queries(&queries);
+        let mut stats = Stats::default();
+        assert!(rel.sig_for(42, &w, &queries, &mut stats).is_none());
+    }
+}

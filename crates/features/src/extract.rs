@@ -1,0 +1,292 @@
+//! Compressed-domain feature extraction (paper Section III-A, phase 1).
+//!
+//! Each key frame is spatially partitioned into `D = rows × cols` equal
+//! regions; the average DC coefficient of each region is computed, the `D`
+//! averages are min–max normalized (Eq. 1), and `d` of them are selected as
+//! the frame's feature vector.
+
+use crate::partition::{normalize, GridPyramid};
+use crate::CellId;
+use vdsms_codec::DcFrame;
+
+/// Configuration of the full fingerprint pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FeatureConfig {
+    /// Spatial region rows (paper: 3).
+    pub rows: u32,
+    /// Spatial region columns (paper: 3, so `D = 9`).
+    pub cols: u32,
+    /// Selected feature dimensionality `d` (paper default 5, swept 3–7).
+    pub d: usize,
+    /// Grid slices per dimension `u` (paper default 4, swept 2–7).
+    pub u: u32,
+}
+
+impl Default for FeatureConfig {
+    fn default() -> FeatureConfig {
+        // Paper Table I defaults: 3×3 blocks, d = 5, u = 4.
+        FeatureConfig { rows: 3, cols: 3, d: 5, u: 4 }
+    }
+}
+
+impl FeatureConfig {
+    /// Total number of spatial regions `D`.
+    pub fn big_d(&self) -> usize {
+        (self.rows * self.cols) as usize
+    }
+}
+
+/// Average the DC coefficients of `dc` over `rows × cols` equal regions,
+/// returned row-major.
+///
+/// Regions split the frame into *exact fractional* areas: a block
+/// straddling a region boundary contributes to both regions, weighted by
+/// its overlap. This keeps region averages comparable across resolutions
+/// — a copy re-encoded at PAL geometry has a different block grid, and
+/// snapping regions to whole blocks would shift every region boundary by
+/// up to half a block.
+pub fn region_averages(dc: &DcFrame, rows: u32, cols: u32) -> Vec<f32> {
+    assert!(rows >= 1 && cols >= 1);
+    assert!(
+        dc.blocks_h >= rows && dc.blocks_w >= cols,
+        "frame has fewer blocks ({}x{}) than regions ({cols}x{rows})",
+        dc.blocks_w,
+        dc.blocks_h,
+    );
+    // 1-D overlap weight of block `b` (covering [b, b+1)) with region `r`
+    // of `n` regions over `total` blocks.
+    fn overlap(b: u32, r: u32, n: u32, total: u32) -> f64 {
+        let r0 = f64::from(r) * f64::from(total) / f64::from(n);
+        let r1 = f64::from(r + 1) * f64::from(total) / f64::from(n);
+        (f64::from(b) + 1.0).min(r1) - f64::from(b).max(r0)
+    }
+    let mut out = Vec::with_capacity((rows * cols) as usize);
+    for ry in 0..rows {
+        let by0 = (f64::from(ry) * f64::from(dc.blocks_h) / f64::from(rows)).floor() as u32;
+        let by1 = ((f64::from(ry + 1) * f64::from(dc.blocks_h) / f64::from(rows)).ceil() as u32)
+            .min(dc.blocks_h);
+        for rx in 0..cols {
+            let bx0 = (f64::from(rx) * f64::from(dc.blocks_w) / f64::from(cols)).floor() as u32;
+            let bx1 = ((f64::from(rx + 1) * f64::from(dc.blocks_w) / f64::from(cols)).ceil()
+                as u32)
+                .min(dc.blocks_w);
+            let mut sum = 0.0f64;
+            let mut weight = 0.0f64;
+            for by in by0..by1 {
+                let wy = overlap(by, ry, rows, dc.blocks_h);
+                if wy <= 0.0 {
+                    continue;
+                }
+                for bx in bx0..bx1 {
+                    let wx = overlap(bx, rx, cols, dc.blocks_w);
+                    if wx <= 0.0 {
+                        continue;
+                    }
+                    let w = wx * wy;
+                    sum += w * f64::from(dc.dc[(by * dc.blocks_w + bx) as usize]);
+                    weight += w;
+                }
+            }
+            out.push((sum / weight) as f32);
+        }
+    }
+    out
+}
+
+/// Deterministically select `d` of the `D` normalized coefficients,
+/// maximally spread over the frame: indices `round(i·(D−1)/(d−1))`.
+///
+/// For the paper's default `D = 9, d = 5` this picks regions
+/// `{0, 2, 4, 6, 8}` — the four corners plus the centre of the 3×3 layout.
+///
+/// # Panics
+/// Panics if `d > D` or `d == 0`.
+pub fn select_dims(normalized: &[f32], d: usize) -> Vec<f32> {
+    let big_d = normalized.len();
+    assert!(d >= 1 && d <= big_d, "d must be in [1, {big_d}]");
+    if d == big_d {
+        return normalized.to_vec();
+    }
+    if d == 1 {
+        return vec![normalized[big_d / 2]];
+    }
+    (0..d)
+        .map(|i| {
+            let idx = (i * (big_d - 1) + (d - 1) / 2) / (d - 1);
+            normalized[idx]
+        })
+        .collect()
+}
+
+/// The end-to-end fingerprint pipeline: DC frame → cell id.
+#[derive(Debug, Clone)]
+pub struct FeatureExtractor {
+    config: FeatureConfig,
+    partition: GridPyramid,
+}
+
+impl FeatureExtractor {
+    /// Build an extractor for the given configuration.
+    pub fn new(config: FeatureConfig) -> FeatureExtractor {
+        assert!(config.d <= config.big_d(), "cannot select d > D dims");
+        FeatureExtractor { config, partition: GridPyramid::new(config.d, config.u) }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &FeatureConfig {
+        &self.config
+    }
+
+    /// The underlying space partitioner.
+    pub fn partition(&self) -> &GridPyramid {
+        &self.partition
+    }
+
+    /// The normalized, selected `d`-dimensional feature vector of a frame.
+    pub fn feature_vector(&self, dc: &DcFrame) -> Vec<f32> {
+        let avgs = region_averages(dc, self.config.rows, self.config.cols);
+        let normalized = normalize(&avgs);
+        select_dims(&normalized, self.config.d)
+    }
+
+    /// The frame's fingerprint (grid–pyramid cell id).
+    pub fn fingerprint(&self, dc: &DcFrame) -> CellId {
+        self.partition.cell_id(&self.feature_vector(dc))
+    }
+
+    /// Fingerprint an entire sequence of key frames.
+    pub fn fingerprint_sequence(&self, dcs: &[DcFrame]) -> Vec<CellId> {
+        dcs.iter().map(|d| self.fingerprint(d)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vdsms_codec::{Encoder, EncoderConfig, PartialDecoder};
+    use vdsms_video::source::{ClipGenerator, SourceSpec};
+    use vdsms_video::{Clip, Edit, Fps};
+
+    fn test_clip(seed: u64, seconds: f64) -> Clip {
+        let spec = SourceSpec {
+            width: 176,
+            height: 120,
+            fps: Fps::integer(10),
+            seed,
+            min_scene_s: 1.0,
+            max_scene_s: 2.0,
+            motifs: None,
+        };
+        ClipGenerator::new(spec).clip(seconds)
+    }
+
+    fn dc_frames(clip: &Clip, quality: u8) -> Vec<DcFrame> {
+        let bytes = Encoder::encode_clip(clip, EncoderConfig { gop: 5, quality, motion_search: true });
+        PartialDecoder::new(&bytes).unwrap().decode_all().unwrap()
+    }
+
+    fn synthetic_dc(values: &[f32], w: u32, h: u32) -> DcFrame {
+        assert_eq!(values.len(), (w * h) as usize);
+        DcFrame { frame_index: 0, blocks_w: w, blocks_h: h, dc: values.to_vec() }
+    }
+
+    #[test]
+    fn region_averages_partition_evenly() {
+        // 6x6 blocks, 3x3 regions of 2x2 blocks each.
+        let vals: Vec<f32> = (0..36).map(|i| i as f32).collect();
+        let dc = synthetic_dc(&vals, 6, 6);
+        let avgs = region_averages(&dc, 3, 3);
+        assert_eq!(avgs.len(), 9);
+        // Top-left region: blocks (0,0),(1,0),(0,1),(1,1) = 0,1,6,7 -> 3.5.
+        assert!((avgs[0] - 3.5).abs() < 1e-6);
+        // Bottom-right region: 28,29,34,35 -> 31.5.
+        assert!((avgs[8] - 31.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn select_dims_default_is_corners_plus_centre() {
+        let n: Vec<f32> = (0..9).map(|i| i as f32).collect();
+        assert_eq!(select_dims(&n, 5), vec![0.0, 2.0, 4.0, 6.0, 8.0]);
+    }
+
+    #[test]
+    fn select_dims_edge_cases() {
+        let n: Vec<f32> = (0..9).map(|i| i as f32).collect();
+        assert_eq!(select_dims(&n, 9), n);
+        assert_eq!(select_dims(&n, 1), vec![4.0]);
+        assert_eq!(select_dims(&n, 2), vec![0.0, 8.0]);
+        assert_eq!(select_dims(&n, 3), vec![0.0, 4.0, 8.0]);
+    }
+
+    #[test]
+    fn fingerprints_are_deterministic() {
+        let clip = test_clip(1, 2.0);
+        let ex = FeatureExtractor::new(FeatureConfig::default());
+        let a = ex.fingerprint_sequence(&dc_frames(&clip, 75));
+        let b = ex.fingerprint_sequence(&dc_frames(&clip, 75));
+        assert_eq!(a, b);
+        assert!(!a.is_empty());
+    }
+
+    #[test]
+    fn fingerprints_survive_brightness_edit() {
+        // The headline robustness property: a 30% brightness/contrast edit
+        // must leave most fingerprints unchanged (normalization kills the
+        // affine part; quantization jitter may flip a few).
+        let clip = test_clip(2, 6.0);
+        let edited = Edit::GainOffset { gain: 1.12, offset: 10.0 }.apply(&clip);
+        let ex = FeatureExtractor::new(FeatureConfig::default());
+        let a = ex.fingerprint_sequence(&dc_frames(&clip, 75));
+        let b = ex.fingerprint_sequence(&dc_frames(&edited, 75));
+        assert_eq!(a.len(), b.len());
+        let same = a.iter().zip(&b).filter(|(x, y)| x == y).count();
+        assert!(
+            same * 10 >= a.len() * 7,
+            "only {same}/{} fingerprints survived a brightness edit",
+            a.len()
+        );
+    }
+
+    #[test]
+    fn fingerprints_survive_recompression() {
+        let clip = test_clip(3, 6.0);
+        let ex = FeatureExtractor::new(FeatureConfig::default());
+        let a = ex.fingerprint_sequence(&dc_frames(&clip, 85));
+        let b = ex.fingerprint_sequence(&dc_frames(&clip, 45));
+        let same = a.iter().zip(&b).filter(|(x, y)| x == y).count();
+        assert!(
+            same * 10 >= a.len() * 7,
+            "only {same}/{} fingerprints survived re-quantization",
+            a.len()
+        );
+    }
+
+    #[test]
+    fn different_content_gets_mostly_different_fingerprints() {
+        let a_clip = test_clip(10, 6.0);
+        let b_clip = test_clip(11, 6.0);
+        let ex = FeatureExtractor::new(FeatureConfig::default());
+        let a = ex.fingerprint_sequence(&dc_frames(&a_clip, 75));
+        let b = ex.fingerprint_sequence(&dc_frames(&b_clip, 75));
+        let same = a.iter().zip(&b).filter(|(x, y)| x == y).count();
+        assert!(same * 5 < a.len(), "{same}/{} collisions between unrelated clips", a.len());
+    }
+
+    #[test]
+    fn fingerprint_is_in_cell_range() {
+        let clip = test_clip(4, 1.0);
+        let cfg = FeatureConfig::default();
+        let ex = FeatureExtractor::new(cfg);
+        let n = ex.partition().num_cells();
+        for id in ex.fingerprint_sequence(&dc_frames(&clip, 75)) {
+            assert!(id < n);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "fewer blocks")]
+    fn too_few_blocks_panics() {
+        let dc = synthetic_dc(&[1.0, 2.0], 2, 1);
+        let _ = region_averages(&dc, 3, 3);
+    }
+}

@@ -1,0 +1,104 @@
+//! Property tests for the grid–pyramid partition and Eq. 1 normalization.
+
+use proptest::prelude::*;
+use vdsms_features::{normalize, GridPyramid};
+
+fn arb_feature(d: usize) -> impl Strategy<Value = Vec<f32>> {
+    proptest::collection::vec(0.0f32..=1.0, d)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Every feature vector maps to a valid cell, and the id decomposes
+    /// into (grid order, pyramid order).
+    #[test]
+    fn cell_id_in_range_and_decomposes(
+        d in 1usize..8,
+        u in 1u32..8,
+        raw in proptest::collection::vec(0.0f32..=1.0, 8),
+    ) {
+        let p = GridPyramid::new(d, u);
+        let f = &raw[..d];
+        let id = p.cell_id(f);
+        prop_assert!(id < p.num_cells());
+        prop_assert_eq!(id / (2 * d as u64), p.grid_order(f));
+        prop_assert_eq!(id % (2 * d as u64), p.pyramid_order(f));
+        prop_assert!(p.pyramid_order(f) < 2 * d as u64);
+    }
+
+    /// Two points in the same grid cell share a grid order; pyramid order
+    /// depends only on offsets from the cell centre.
+    #[test]
+    fn same_cell_points_share_grid_order(
+        u in 2u32..6,
+        f in arb_feature(5),
+    ) {
+        let p = GridPyramid::new(5, u);
+        // Snap each coordinate to its cell centre: same grid cell.
+        let centred: Vec<f32> = f
+            .iter()
+            .map(|&v| {
+                let g = ((v * u as f32) as u32).min(u - 1);
+                (g as f32 + 0.5) / u as f32
+            })
+            .collect();
+        prop_assert_eq!(p.grid_order(&f), p.grid_order(&centred));
+    }
+
+    /// Normalization is idempotent and invariant to positive affine maps.
+    #[test]
+    fn normalize_affine_invariant(
+        vals in proptest::collection::vec(-1000.0f32..1000.0, 2..10),
+        gain in 0.1f32..10.0,
+        offset in -500.0f32..500.0,
+    ) {
+        let n1 = normalize(&vals);
+        let mapped: Vec<f32> = vals.iter().map(|&v| v * gain + offset).collect();
+        let n2 = normalize(&mapped);
+        for (a, b) in n1.iter().zip(&n2) {
+            prop_assert!((a - b).abs() < 1e-3, "affine map changed normalization");
+        }
+        // Idempotent.
+        let n3 = normalize(&n1);
+        for (a, b) in n1.iter().zip(&n3) {
+            prop_assert!((a - b).abs() < 1e-6);
+        }
+    }
+
+    /// Normalized outputs are always in [0, 1] with the extremes attained.
+    #[test]
+    fn normalize_range(vals in proptest::collection::vec(-1e6f32..1e6, 2..12)) {
+        let n = normalize(&vals);
+        prop_assert!(n.iter().all(|&v| (0.0..=1.0).contains(&v)));
+        if vals.iter().any(|&v| v != vals[0]) {
+            prop_assert!(n.contains(&0.0));
+            prop_assert!(n.contains(&1.0));
+        }
+    }
+
+    /// Small perturbations that keep every coordinate inside its grid
+    /// slice and keep the arg-max dimension dominant do not change the
+    /// cell id (the robustness property of Section III-A).
+    #[test]
+    fn stable_under_in_cell_jitter(
+        u in 2u32..6,
+        f in arb_feature(5),
+        eps in proptest::collection::vec(-0.001f32..0.001, 5),
+    ) {
+        let p = GridPyramid::new(5, u);
+        let jittered: Vec<f32> = f
+            .iter()
+            .zip(&eps)
+            .map(|(&v, &e)| (v + e).clamp(0.0, 1.0))
+            .collect();
+        // Only assert when no coordinate crossed a slice boundary and the
+        // pyramid arg-max did not flip (which the jitter can legitimately
+        // cause at ties).
+        if p.grid_order(&f) == p.grid_order(&jittered)
+            && p.pyramid_order(&f) == p.pyramid_order(&jittered)
+        {
+            prop_assert_eq!(p.cell_id(&f), p.cell_id(&jittered));
+        }
+    }
+}

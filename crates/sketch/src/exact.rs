@@ -1,0 +1,65 @@
+//! Exact Jaccard similarity — the ground truth the sketches approximate
+//! (paper Definition 2). Used by the "membership test" experiment
+//! (Table II) and by tests validating sketch accuracy.
+
+use std::collections::HashSet;
+
+/// Exact Jaccard similarity `|A ∩ B| / |A ∪ B|` of two id collections
+/// (duplicates ignored — sequences are compared as sets, which is the
+/// source of the method's re-ordering robustness).
+///
+/// Returns 0.0 when both sets are empty.
+pub fn jaccard<A, B>(a: A, b: B) -> f64
+where
+    A: IntoIterator<Item = u64>,
+    B: IntoIterator<Item = u64>,
+{
+    let sa: HashSet<u64> = a.into_iter().collect();
+    let sb: HashSet<u64> = b.into_iter().collect();
+    if sa.is_empty() && sb.is_empty() {
+        return 0.0;
+    }
+    let inter = sa.intersection(&sb).count();
+    let union = sa.len() + sb.len() - inter;
+    inter as f64 / union as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_sets_are_one() {
+        assert_eq!(jaccard(0..10u64, 0..10u64), 1.0);
+    }
+
+    #[test]
+    fn disjoint_sets_are_zero() {
+        assert_eq!(jaccard(0..10u64, 10..20u64), 0.0);
+    }
+
+    #[test]
+    fn half_overlap() {
+        // A = {0..10}, B = {5..15}: |∩| = 5, |∪| = 15.
+        assert!((jaccard(0..10u64, 5..15u64) - 5.0 / 15.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn duplicates_are_ignored() {
+        let a = vec![1u64, 1, 1, 2];
+        let b = vec![1u64, 2, 2];
+        assert_eq!(jaccard(a, b), 1.0);
+    }
+
+    #[test]
+    fn empty_vs_empty_is_zero() {
+        assert_eq!(jaccard(std::iter::empty(), std::iter::empty()), 0.0);
+    }
+
+    #[test]
+    fn order_does_not_matter() {
+        let forward = jaccard([1u64, 2, 3, 4], [3u64, 4, 5]);
+        let shuffled = jaccard([4u64, 1, 3, 2], [5u64, 3, 4]);
+        assert_eq!(forward, shuffled);
+    }
+}

@@ -1,0 +1,22 @@
+//! # vdsms-sketch — approximate min-wise hashing for video sequences
+//!
+//! Section IV of the paper. A video (sub)sequence is viewed as the *set* of
+//! its frames' cell ids; sequence similarity is Jaccard set similarity
+//! (Definition 2), which is what makes detection robust to temporal
+//! re-ordering. Jaccard similarity is estimated with *K-min-hash* sketches:
+//! `K` independent hash functions from an approximately min-wise family,
+//! with the sketch holding each function's minimum over the set, and
+//! `sim(Q, P) ≈ (# equal sketch positions) / K` (Eq. 3).
+//!
+//! The crucial streaming property is the paper's Property 1: the sketch of
+//! a concatenation of two subsequences is the element-wise minimum of their
+//! sketches — so candidate sequences of any length can be sketched by
+//! combining basic-window sketches, never re-reading frames.
+
+pub mod exact;
+pub mod hash;
+pub mod sketch;
+
+pub use exact::jaccard;
+pub use hash::MinHashFamily;
+pub use sketch::Sketch;

@@ -1,0 +1,333 @@
+//! Tamper / editing pipeline.
+//!
+//! Section VI of the paper constructs the `VS2` stream by editing the 200
+//! short videos: "we alter 20–50 % of the color as well as the brightness,
+//! add noises and change the resolutions of the short videos, re-compress
+//! them using different frame rate (PAL: 352×288, 25 fps). We partition the
+//! edited short videos into segments, reorder these segments without
+//! affecting the contents."
+//!
+//! Every one of those operations is implemented here as an [`Edit`], and
+//! [`EditPipeline::vs2_standard`] composes them with the paper's parameter
+//! ranges. (Re-compression itself lives in `vdsms-codec`; this module
+//! performs the pixel/temporal-domain edits.)
+
+use crate::{Clip, Fps, Frame};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rand_distr_normal::sample_gaussian;
+
+/// A tiny Box–Muller Gaussian sampler so we do not need `rand_distr`.
+mod rand_distr_normal {
+    use rand::Rng;
+
+    /// Sample one standard-normal value via Box–Muller.
+    pub fn sample_gaussian<R: Rng>(rng: &mut R) -> f64 {
+        let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+        let u2: f64 = rng.gen_range(0.0..1.0);
+        (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+    }
+}
+
+/// One editing operation on a clip.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Edit {
+    /// Multiply luma by `gain` and add `offset` (brightness / color / contrast
+    /// alteration). `gain = 1.3` models a "+30 % color" edit.
+    GainOffset {
+        /// Multiplicative luma gain.
+        gain: f64,
+        /// Additive luma offset.
+        offset: f64,
+    },
+    /// Add zero-mean Gaussian noise with standard deviation `sigma`.
+    Noise {
+        /// Noise standard deviation in luma units.
+        sigma: f64,
+        /// Seed for the noise stream.
+        seed: u64,
+    },
+    /// Resample to a new resolution (bilinear).
+    Resize {
+        /// Target width.
+        width: u32,
+        /// Target height.
+        height: u32,
+    },
+    /// Temporally resample to a new frame rate (nearest-frame), e.g.
+    /// NTSC 29.97 fps → PAL 25 fps.
+    ResampleFps {
+        /// Target frame rate.
+        target: Fps,
+    },
+    /// Split the clip into `segments` near-equal pieces and permute them.
+    /// This is the paper's temporal re-ordering attack: content preserved,
+    /// temporal order destroyed.
+    SegmentReorder {
+        /// Number of segments.
+        segments: usize,
+        /// Seed of the permutation.
+        seed: u64,
+    },
+}
+
+impl Edit {
+    /// Apply this edit to a clip, producing the edited clip.
+    pub fn apply(&self, clip: &Clip) -> Clip {
+        match *self {
+            Edit::GainOffset { gain, offset } => {
+                let frames = clip
+                    .frames()
+                    .iter()
+                    .map(|f| {
+                        let data = f
+                            .samples()
+                            .iter()
+                            .map(|&v| (f64::from(v) * gain + offset).round().clamp(0.0, 255.0) as u8)
+                            .collect();
+                        Frame::from_raw(f.width(), f.height(), data)
+                    })
+                    .collect();
+                Clip::new(frames, clip.fps())
+            }
+            Edit::Noise { sigma, seed } => {
+                let mut rng = StdRng::seed_from_u64(seed);
+                let frames = clip
+                    .frames()
+                    .iter()
+                    .map(|f| {
+                        let data = f
+                            .samples()
+                            .iter()
+                            .map(|&v| {
+                                let n = sample_gaussian(&mut rng) * sigma;
+                                (f64::from(v) + n).round().clamp(0.0, 255.0) as u8
+                            })
+                            .collect();
+                        Frame::from_raw(f.width(), f.height(), data)
+                    })
+                    .collect();
+                Clip::new(frames, clip.fps())
+            }
+            Edit::Resize { width, height } => {
+                let frames = clip.frames().iter().map(|f| f.resize(width, height)).collect();
+                Clip::new(frames, clip.fps())
+            }
+            Edit::ResampleFps { target } => {
+                let n_out = target.frames_in(clip.duration()).max(1);
+                let ratio = clip.len() as f64 / n_out as f64;
+                let frames = (0..n_out)
+                    .map(|i| {
+                        let src = ((i as f64 + 0.5) * ratio) as usize;
+                        clip.frames()[src.min(clip.len() - 1)].clone()
+                    })
+                    .collect();
+                Clip::new(frames, target)
+            }
+            Edit::SegmentReorder { segments, seed } => {
+                let n = segments.min(clip.len()).max(1);
+                let mut segs = clip.split_segments(n);
+                let mut rng = StdRng::seed_from_u64(seed);
+                // Fisher–Yates; guaranteed not to be the identity for n >= 2
+                // (re-shuffle in the unlikely identity case) so the edit
+                // always actually reorders.
+                let mut order: Vec<usize> = (0..n).collect();
+                loop {
+                    for i in (1..n).rev() {
+                        order.swap(i, rng.gen_range(0..=i));
+                    }
+                    if n < 2 || order.iter().enumerate().any(|(i, &p)| i != p) {
+                        break;
+                    }
+                }
+                let mut reordered = Vec::with_capacity(n);
+                for &p in &order {
+                    reordered.push(segs[p].clone());
+                }
+                segs.clear();
+                Clip::concat(reordered)
+            }
+        }
+    }
+}
+
+/// An ordered sequence of edits applied left to right.
+#[derive(Debug, Clone, Default)]
+pub struct EditPipeline {
+    edits: Vec<Edit>,
+}
+
+impl EditPipeline {
+    /// An empty pipeline (identity).
+    pub fn new() -> EditPipeline {
+        EditPipeline { edits: Vec::new() }
+    }
+
+    /// Append an edit.
+    pub fn then(mut self, edit: Edit) -> EditPipeline {
+        self.edits.push(edit);
+        self
+    }
+
+    /// The edits in application order.
+    pub fn edits(&self) -> &[Edit] {
+        &self.edits
+    }
+
+    /// Apply all edits in order.
+    pub fn apply(&self, clip: &Clip) -> Clip {
+        let mut cur = clip.clone();
+        for e in &self.edits {
+            cur = e.apply(&cur);
+        }
+        cur
+    }
+
+    /// The PAL-equivalent frame rate for a source at `fps`: scaled by the
+    /// paper's NTSC→PAL ratio `25 / 29.97` so that scaled-down simulation
+    /// rates keep the same temporal compression as a real 29.97 → 25 fps
+    /// re-encode.
+    pub fn pal_equivalent(fps: Fps) -> Fps {
+        // 25 / (30000/1001) = 25025/30000 = 1001/1200.
+        Fps { num: fps.num * 1001, den: fps.den * 1200 }
+    }
+
+    /// The paper's `VS2` edit suite with parameters drawn from the published
+    /// ranges: 20–50 % brightness/color alteration, additive noise,
+    /// resolution change to PAL geometry (scaled by the clip's own scale),
+    /// 29.97 → 25 fps re-sampling (scaled via
+    /// [`EditPipeline::pal_equivalent`]), and segment re-ordering.
+    ///
+    /// `seed` controls all random draws; `reorder_segments` controls how
+    /// aggressively the temporal order is destroyed (the paper reorders at
+    /// the "shot or even frame" level — 4–10 segments per clip is typical
+    /// for 30–300 s clips).
+    pub fn vs2_standard(
+        seed: u64,
+        clip_width: u32,
+        clip_height: u32,
+        clip_fps: Fps,
+        reorder_segments: usize,
+    ) -> EditPipeline {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x5eed_ed17);
+        let alter: f64 = rng.gen_range(0.20..=0.50);
+        // Randomly brighten or darken. Darkening uses the full 20-50 %
+        // range; brightening combines a mild gain with a 20-50 %-of-mid-gray
+        // offset, so the edit stays a (near-)affine map on the visible
+        // range — a hard-clipped gain is not invertible by the paper's
+        // Eq. 1 normalization for *any* feature scheme, and the paper's
+        // real-video edits likewise keep highlights unsaturated (see
+        // DESIGN.md substitution notes).
+        let (gain, offset) = if rng.gen_bool(0.5) {
+            (1.0 + alter.min(0.15), alter * 25.0)
+        } else {
+            (1.0 - alter, -rng.gen_range(5.0..15.0))
+        };
+        // PAL has 288 lines vs NTSC's 240: scale height by 1.2, keep width.
+        let pal_h = ((clip_height as f64) * 288.0 / 240.0).round() as u32;
+        EditPipeline::new()
+            .then(Edit::GainOffset { gain, offset })
+            .then(Edit::Noise { sigma: rng.gen_range(1.0..3.0), seed: seed ^ 0xabcd })
+            .then(Edit::Resize { width: clip_width, height: pal_h })
+            .then(Edit::ResampleFps { target: Self::pal_equivalent(clip_fps) })
+            .then(Edit::SegmentReorder { segments: reorder_segments, seed: seed ^ 0x0def })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::{ClipGenerator, SourceSpec};
+
+    fn test_clip(seed: u64) -> Clip {
+        let spec = SourceSpec {
+            width: 48,
+            height: 32,
+            fps: Fps::integer(10),
+            seed,
+            min_scene_s: 1.0,
+            max_scene_s: 2.0,
+            motifs: None,
+        };
+        ClipGenerator::new(spec).clip(4.0)
+    }
+
+    #[test]
+    fn gain_offset_scales_mean() {
+        let c = test_clip(1);
+        let edited = Edit::GainOffset { gain: 1.2, offset: 5.0 }.apply(&c);
+        let m0 = c.frames()[0].mean();
+        let m1 = edited.frames()[0].mean();
+        // Allow clipping slack.
+        assert!((m1 - (m0 * 1.2 + 5.0)).abs() < 6.0, "mean {m0} -> {m1}");
+    }
+
+    #[test]
+    fn noise_perturbs_but_preserves_mean() {
+        let c = test_clip(2);
+        let edited = Edit::Noise { sigma: 2.0, seed: 9 }.apply(&c);
+        let diff = c.frames()[0].mean_abs_diff(&edited.frames()[0]);
+        assert!(diff > 0.5 && diff < 5.0, "noise diff {diff}");
+        assert!((c.frames()[0].mean() - edited.frames()[0].mean()).abs() < 1.0);
+    }
+
+    #[test]
+    fn noise_is_deterministic_per_seed() {
+        let c = test_clip(2);
+        let a = Edit::Noise { sigma: 2.0, seed: 9 }.apply(&c);
+        let b = Edit::Noise { sigma: 2.0, seed: 9 }.apply(&c);
+        assert_eq!(a.frames(), b.frames());
+    }
+
+    #[test]
+    fn resample_fps_changes_length_proportionally() {
+        let c = test_clip(3); // 40 frames @10fps = 4 s
+        let edited = Edit::ResampleFps { target: Fps::integer(5) }.apply(&c);
+        assert_eq!(edited.len(), 20);
+        assert_eq!(edited.fps(), Fps::integer(5));
+        assert!((edited.duration() - c.duration()).abs() < 0.2);
+    }
+
+    #[test]
+    fn segment_reorder_preserves_multiset_of_frames() {
+        let c = test_clip(4);
+        let edited = Edit::SegmentReorder { segments: 5, seed: 11 }.apply(&c);
+        assert_eq!(edited.len(), c.len());
+        assert_ne!(edited.frames(), c.frames(), "reorder must not be identity");
+        // Same frames as a multiset: compare sorted sample sums.
+        let mut a: Vec<u64> = c
+            .frames()
+            .iter()
+            .map(|f| f.samples().iter().map(|&v| u64::from(v)).sum())
+            .collect();
+        let mut b: Vec<u64> = edited
+            .frames()
+            .iter()
+            .map(|f| f.samples().iter().map(|&v| u64::from(v)).sum())
+            .collect();
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn vs2_pipeline_runs_and_changes_geometry() {
+        let c = test_clip(5);
+        let pipe = EditPipeline::vs2_standard(42, c.width(), c.height(), c.fps(), 4);
+        let edited = pipe.apply(&c);
+        assert_eq!(edited.fps(), EditPipeline::pal_equivalent(c.fps()));
+        // The PAL-equivalent of 10 fps is ~8.34 fps: fewer frames, same
+        // duration, like a real 29.97 -> 25 re-encode.
+        assert!(edited.len() < c.len());
+        assert!((edited.duration() - c.duration()).abs() < 0.5);
+        assert_eq!(edited.width(), c.width());
+        assert!(edited.height() > c.height(), "PAL re-encode must add lines");
+    }
+
+    #[test]
+    fn pipeline_order_matters_and_identity_is_noop() {
+        let c = test_clip(6);
+        let id = EditPipeline::new().apply(&c);
+        assert_eq!(id.frames(), c.frames());
+    }
+}

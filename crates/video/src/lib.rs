@@ -1,0 +1,99 @@
+//! # vdsms-video — synthetic video substrate
+//!
+//! The ICDE 2008 paper evaluates on 200 real short videos from
+//! video.google.com inserted into five base films (12 hours of NTSC video).
+//! Those videos are not redistributable, so this crate provides the
+//! substitute substrate: a deterministic, seeded **synthetic video
+//! generator** whose output has the statistical properties the detection
+//! pipeline actually depends on:
+//!
+//! * frames are piecewise-smooth luminance fields organized into *scenes*
+//!   separated by hard cuts (so block-DC averages are temporally coherent
+//!   within a scene and jump across scenes);
+//! * distinct clips (distinct seeds) have distinct block-DC trajectories;
+//! * two *copies* of the same clip — one re-encoded, brightness-shifted,
+//!   noised, rescaled, temporally resampled — have nearly-but-not-exactly
+//!   equal trajectories.
+//!
+//! The crate also implements the paper's full tamper/editing pipeline used
+//! to produce the `VS2` evaluation stream (Section VI): brightness/color
+//! alteration of 20–50 %, additive noise, resolution change, PAL re-encoding
+//! at 25 fps, and content-preserving segment re-ordering.
+//!
+//! Everything is deterministic given a seed, so experiments are exactly
+//! reproducible.
+
+pub mod clip;
+pub mod edit;
+pub mod frame;
+pub mod source;
+
+pub use clip::Clip;
+pub use edit::{Edit, EditPipeline};
+pub use frame::Frame;
+pub use source::{ClipGenerator, SourceSpec};
+
+/// Frames-per-second represented as an exact rational so that NTSC
+/// (30000/1001 ≈ 29.97) and PAL (25/1) are both representable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Fps {
+    /// Numerator of the frame rate.
+    pub num: u32,
+    /// Denominator of the frame rate.
+    pub den: u32,
+}
+
+impl Fps {
+    /// NTSC frame rate, 30000/1001 ≈ 29.97 fps (the paper's source videos).
+    pub const NTSC: Fps = Fps { num: 30000, den: 1001 };
+    /// PAL frame rate, 25 fps (the paper's re-encoded `VS2` copies).
+    pub const PAL: Fps = Fps { num: 25, den: 1 };
+
+    /// Construct an integer frame rate.
+    pub const fn integer(fps: u32) -> Fps {
+        Fps { num: fps, den: 1 }
+    }
+
+    /// The frame rate as a float (frames per second).
+    pub fn as_f64(self) -> f64 {
+        f64::from(self.num) / f64::from(self.den)
+    }
+
+    /// Number of frames spanning `seconds` of wall-clock time (rounded).
+    pub fn frames_in(self, seconds: f64) -> usize {
+        (seconds * self.as_f64()).round() as usize
+    }
+
+    /// Duration in seconds of `frames` frames.
+    pub fn seconds_of(self, frames: usize) -> f64 {
+        frames as f64 / self.as_f64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fps_ntsc_is_close_to_29_97() {
+        assert!((Fps::NTSC.as_f64() - 29.97).abs() < 0.01);
+    }
+
+    #[test]
+    fn fps_pal_is_25() {
+        assert_eq!(Fps::PAL.as_f64(), 25.0);
+    }
+
+    #[test]
+    fn fps_frames_in_round_trips_seconds() {
+        let fps = Fps::integer(30);
+        assert_eq!(fps.frames_in(10.0), 300);
+        assert!((fps.seconds_of(300) - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fps_frames_in_ntsc() {
+        // 60 seconds of NTSC is 1798 frames (60 * 29.97 = 1798.2).
+        assert_eq!(Fps::NTSC.frames_in(60.0), 1798);
+    }
+}

@@ -1,0 +1,363 @@
+//! Seeded synthetic video source.
+//!
+//! Content model: a video is a succession of *scenes*. Each scene renders a
+//! smooth luminance field (a small sum of low-frequency 2-D cosines — i.e.
+//! energy exactly where DCT-based codecs expect it) that slowly pans, plus a
+//! moving bright/dark "object" blob and a slow brightness drift. Scene cuts
+//! replace the whole field.
+//!
+//! This reproduces the two statistics the paper's pipeline depends on:
+//! block-DC values are temporally coherent within a scene (so key frames of
+//! a copy land on nearly identical features even after ±1 GOP misalignment)
+//! and decorrelated across scenes/clips (so different content maps to
+//! different fingerprint cells).
+
+use crate::{Clip, Fps, Frame};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Number of cosine harmonics per scene field.
+const HARMONICS: usize = 6;
+
+/// A shared pool of visual *motifs* (spatial patterns scenes are built
+/// from).
+///
+/// Real broadcast content reuses visual statistics heavily — talking
+/// heads, stadium grass, studio sets — so distinct videos routinely map
+/// some frames to the *same* fingerprint cells. Drawing scene patterns
+/// from a finite shared pool reproduces that collision structure: smaller
+/// pools mean more cross-clip cell collisions (more false-positive
+/// pressure on the detector), `None` means every scene is unique.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MotifPool {
+    /// Seed the motif library derives from. Generators sharing
+    /// `(seed, count)` share the library.
+    pub seed: u64,
+    /// Number of motifs in the pool.
+    pub count: u32,
+}
+
+/// Parameters of a synthetic video source.
+#[derive(Debug, Clone)]
+pub struct SourceSpec {
+    /// Frame width in pixels.
+    pub width: u32,
+    /// Frame height in pixels.
+    pub height: u32,
+    /// Frame rate.
+    pub fps: Fps,
+    /// RNG seed; two sources with the same spec produce identical frames.
+    pub seed: u64,
+    /// Minimum scene duration in seconds.
+    pub min_scene_s: f64,
+    /// Maximum scene duration in seconds.
+    pub max_scene_s: f64,
+    /// Optional shared motif pool (see [`MotifPool`]).
+    pub motifs: Option<MotifPool>,
+}
+
+impl SourceSpec {
+    /// A spec with the paper's NTSC geometry scaled down by `scale` (1 =
+    /// full 352×240; 4 = 88×60 — the default for experiments).
+    pub fn ntsc_scaled(seed: u64, scale: u32) -> SourceSpec {
+        assert!(scale >= 1, "scale must be >= 1");
+        SourceSpec {
+            width: (352 / scale).max(16),
+            height: (240 / scale).max(16),
+            fps: Fps::NTSC,
+            seed,
+            min_scene_s: 2.0,
+            max_scene_s: 8.0,
+            motifs: None,
+        }
+    }
+}
+
+/// One scene's rendering parameters.
+#[derive(Debug, Clone)]
+struct Scene {
+    /// Mean luma of the scene, in [40, 215].
+    mean: f64,
+    /// Cosine harmonics: (amplitude, u-freq, v-freq, phase).
+    harmonics: [(f64, f64, f64, f64); HARMONICS],
+    /// Pan velocity in pixels/frame (x, y).
+    pan: (f64, f64),
+    /// Brightness drift in luma/frame.
+    drift: f64,
+    /// Object blob: (start x, start y, velocity x, velocity y, radius, amplitude).
+    blob: (f64, f64, f64, f64, f64, f64),
+    /// Remaining frames in this scene.
+    remaining: usize,
+    /// Frames rendered so far in this scene.
+    t: usize,
+}
+
+/// Streaming generator of synthetic frames.
+///
+/// Implements [`Iterator`] over [`Frame`]s; infinite (call `.take(n)` or use
+/// [`ClipGenerator::clip`]).
+#[derive(Debug, Clone)]
+pub struct ClipGenerator {
+    spec: SourceSpec,
+    rng: StdRng,
+    scene: Scene,
+}
+
+impl ClipGenerator {
+    /// Create a generator for the given spec.
+    pub fn new(spec: SourceSpec) -> ClipGenerator {
+        assert!(spec.min_scene_s > 0.0 && spec.max_scene_s >= spec.min_scene_s);
+        let mut rng = StdRng::seed_from_u64(spec.seed);
+        let scene = Self::new_scene(&spec, &mut rng);
+        ClipGenerator { spec, rng, scene }
+    }
+
+    /// Generate a clip lasting `seconds` of wall-clock time.
+    pub fn clip(&mut self, seconds: f64) -> Clip {
+        let n = self.spec.fps.frames_in(seconds).max(1);
+        let frames: Vec<Frame> = self.by_ref().take(n).collect();
+        Clip::new(frames, self.spec.fps)
+    }
+
+    /// The spatial pattern of one motif, deterministic per
+    /// `(pool seed, index)`.
+    fn motif_harmonics(pool: MotifPool, index: u32) -> [(f64, f64, f64, f64); HARMONICS] {
+        let mut rng = StdRng::seed_from_u64(pool.seed ^ (0x0f1f_0000 + u64::from(index)));
+        let mut harmonics = [(0.0, 0.0, 0.0, 0.0); HARMONICS];
+        for (i, h) in harmonics.iter_mut().enumerate() {
+            let amp = rng.gen_range(30.0..60.0) / (i as f64 + 1.0);
+            let u = rng.gen_range(0.5..3.5);
+            let v = rng.gen_range(0.5..3.5);
+            let phase = rng.gen_range(0.0..std::f64::consts::TAU);
+            *h = (amp, u, v, phase);
+        }
+        harmonics
+    }
+
+    fn new_scene(spec: &SourceSpec, rng: &mut StdRng) -> Scene {
+        let dur_s = rng.gen_range(spec.min_scene_s..=spec.max_scene_s);
+        let mut harmonics = match spec.motifs {
+            Some(pool) => {
+                // Scenes reuse a shared motif, with a small per-scene
+                // amplitude variation (different takes of a similar shot).
+                let index = rng.gen_range(0..pool.count.max(1));
+                let mut h = Self::motif_harmonics(pool, index);
+                let jitter = rng.gen_range(0.92..1.08);
+                for hk in &mut h {
+                    hk.0 *= jitter;
+                }
+                h
+            }
+            None => {
+                let mut h = [(0.0, 0.0, 0.0, 0.0); HARMONICS];
+                for (i, hk) in h.iter_mut().enumerate() {
+                    // Lower harmonics carry more energy, like natural
+                    // images. The first harmonic is strong so that the 3×3
+                    // region averages of the feature layer are well
+                    // separated (high spatial contrast keeps normalized
+                    // features stable under re-quantization).
+                    let amp = rng.gen_range(30.0..60.0) / (i as f64 + 1.0);
+                    let u = rng.gen_range(0.5..3.5);
+                    let v = rng.gen_range(0.5..3.5);
+                    let phase = rng.gen_range(0.0..std::f64::consts::TAU);
+                    *hk = (amp, u, v, phase);
+                }
+                h
+            }
+        };
+        // Mid-range means leave headroom so ±20–50 % brightness edits (the
+        // paper's VS2 tamper range) rarely clip, which is also how typical
+        // tone-mapped broadcast content behaves.
+        let mean: f64 = rng.gen_range(75.0..170.0);
+        let mut blob_amp = rng.gen_range(-35.0..35.0f64);
+        // Rescale the luma excursion so the rendered scene is guaranteed to
+        // stay inside [8, 235]: hard-clipped sources would make copies
+        // diverge at the *content* level rather than the edit level.
+        let max_drift =
+            0.2 * f64::from(spec.width) / 60.0 / spec.fps.as_f64() * spec.fps.frames_in(dur_s) as f64;
+        let excursion: f64 =
+            harmonics.iter().map(|h| h.0).sum::<f64>() + blob_amp.abs() + max_drift;
+        let headroom = (235.0 - mean).min(mean - 8.0);
+        if excursion > headroom {
+            let scale = headroom / excursion;
+            for h in &mut harmonics {
+                h.0 *= scale;
+            }
+            blob_amp *= scale;
+        }
+        // Motion rates are scaled to the frame rate (pixels per *second*
+        // divided by fps) so that a clip and its frame-rate-converted copy
+        // traverse the same visual path — and kept slow enough that key
+        // frames sampled at slightly different times land on nearly the
+        // same features, as they do for real broadcast content.
+        let px_per_frame = f64::from(spec.width) / 120.0 / spec.fps.as_f64();
+        Scene {
+            mean,
+            harmonics,
+            pan: (
+                rng.gen_range(-px_per_frame..px_per_frame),
+                rng.gen_range(-0.7 * px_per_frame..0.7 * px_per_frame),
+            ),
+            drift: rng.gen_range(-0.2 * px_per_frame..0.2 * px_per_frame),
+            blob: (
+                rng.gen_range(0.0..spec.width as f64),
+                rng.gen_range(0.0..spec.height as f64),
+                rng.gen_range(-1.5 * px_per_frame..1.5 * px_per_frame),
+                rng.gen_range(-px_per_frame..px_per_frame),
+                rng.gen_range(spec.width as f64 / 12.0..spec.width as f64 / 5.0),
+                blob_amp,
+            ),
+            remaining: spec.fps.frames_in(dur_s).max(1),
+            t: 0,
+        }
+    }
+
+    fn render(&self) -> Frame {
+        let s = &self.scene;
+        let w = self.spec.width;
+        let h = self.spec.height;
+        let t = s.t as f64;
+        let (px, py) = (s.pan.0 * t, s.pan.1 * t);
+        let base = s.mean + s.drift * t;
+        let (bx0, by0, bvx, bvy, br, bamp) = s.blob;
+        let bx = bx0 + bvx * t;
+        let by = by0 + bvy * t;
+        let inv_r2 = 1.0 / (br * br);
+
+        let mut data = Vec::with_capacity((w * h) as usize);
+        // Precompute per-column sin/cos of the x phase argument once per
+        // frame: the field is a sum of separable-argument cosines
+        // cos(a_x + a_y + φ), expanded with the angle-addition identity so
+        // the per-pixel work is pure multiply-add (no trig).
+        let mut col_sincos = vec![[(0.0f64, 0.0f64); HARMONICS]; w as usize];
+        for (x, sc) in col_sincos.iter_mut().enumerate() {
+            for (k, &(_, u, _, _)) in s.harmonics.iter().enumerate() {
+                let ax = std::f64::consts::TAU * u * (x as f64 + px) / w as f64;
+                sc[k] = ax.sin_cos();
+            }
+        }
+        for y in 0..h {
+            // Per-row (sin, cos) of the y phase argument, amplitude folded
+            // in: val += amp*(cos_ax*cos_ay - sin_ax*sin_ay).
+            let mut row_terms = [(0.0f64, 0.0f64); HARMONICS];
+            for (k, &(amp, _, v, phase)) in s.harmonics.iter().enumerate() {
+                let ay = std::f64::consts::TAU * v * (y as f64 + py) / h as f64 + phase;
+                let (sin_ay, cos_ay) = ay.sin_cos();
+                row_terms[k] = (amp * sin_ay, amp * cos_ay);
+            }
+            let dy = y as f64 - by;
+            let dy2 = dy * dy;
+            for x in 0..w {
+                let mut val = base;
+                let sc = &col_sincos[x as usize];
+                for (k, &(amp_sin_ay, amp_cos_ay)) in row_terms.iter().enumerate() {
+                    let (sin_ax, cos_ax) = sc[k];
+                    val += cos_ax * amp_cos_ay - sin_ax * amp_sin_ay;
+                }
+                let dx = x as f64 - bx;
+                let d2 = (dx * dx + dy2) * inv_r2;
+                if d2 < 9.0 {
+                    val += bamp * (-d2).exp();
+                }
+                data.push(val.round().clamp(0.0, 255.0) as u8);
+            }
+        }
+        Frame::from_raw(w, h, data)
+    }
+}
+
+impl Iterator for ClipGenerator {
+    type Item = Frame;
+
+    fn next(&mut self) -> Option<Frame> {
+        if self.scene.remaining == 0 {
+            self.scene = Self::new_scene(&self.spec, &mut self.rng);
+        }
+        let frame = self.render();
+        self.scene.t += 1;
+        self.scene.remaining -= 1;
+        Some(frame)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_spec(seed: u64) -> SourceSpec {
+        SourceSpec {
+            width: 48,
+            height: 32,
+            fps: Fps::integer(10),
+            seed,
+            min_scene_s: 1.0,
+            max_scene_s: 2.0,
+            motifs: None,
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = ClipGenerator::new(small_spec(7)).clip(3.0);
+        let b = ClipGenerator::new(small_spec(7)).clip(3.0);
+        assert_eq!(a.frames(), b.frames());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = ClipGenerator::new(small_spec(1)).clip(1.0);
+        let b = ClipGenerator::new(small_spec(2)).clip(1.0);
+        assert!(a.frames()[0].mean_abs_diff(&b.frames()[0]) > 1.0);
+    }
+
+    #[test]
+    fn consecutive_frames_are_temporally_smooth() {
+        // Within a scene, adjacent frames must be close; this is the
+        // property the key-frame feature pipeline relies on.
+        let clip = ClipGenerator::new(small_spec(3)).clip(0.9); // one scene
+        let frames = clip.frames();
+        for pair in frames.windows(2) {
+            assert!(
+                pair[0].mean_abs_diff(&pair[1]) < 12.0,
+                "adjacent frames too different within a scene"
+            );
+        }
+    }
+
+    #[test]
+    fn scene_cuts_occur() {
+        // Over 30 seconds with 1-2 s scenes we must see at least one hard
+        // cut: a pair of adjacent frames much further apart than the
+        // in-scene motion.
+        let clip = ClipGenerator::new(small_spec(4)).clip(30.0);
+        let frames = clip.frames();
+        let max_jump = frames
+            .windows(2)
+            .map(|p| p[0].mean_abs_diff(&p[1]))
+            .fold(0.0f64, f64::max);
+        assert!(max_jump > 15.0, "no scene cut observed (max jump {max_jump})");
+    }
+
+    #[test]
+    fn frames_use_wide_luma_range() {
+        let clip = ClipGenerator::new(small_spec(5)).clip(10.0);
+        let means: Vec<f64> = clip.frames().iter().map(Frame::mean).collect();
+        let lo = means.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = means.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        assert!(hi - lo > 20.0, "scenes do not vary enough in brightness");
+    }
+
+    #[test]
+    fn ntsc_scaled_spec_dimensions() {
+        let s = SourceSpec::ntsc_scaled(0, 4);
+        assert_eq!((s.width, s.height), (88, 60));
+        let s1 = SourceSpec::ntsc_scaled(0, 1);
+        assert_eq!((s1.width, s1.height), (352, 240));
+    }
+
+    #[test]
+    fn clip_has_requested_duration() {
+        let c = ClipGenerator::new(small_spec(6)).clip(2.0);
+        assert_eq!(c.len(), 20);
+    }
+}

@@ -1,0 +1,236 @@
+//! The short-video library: the paper's 200 clips, synthesized.
+//!
+//! Clips are regenerated from their seeds on demand (pixel frames are too
+//! large to keep resident for a long stream), while their fingerprints —
+//! all any detection method ever needs — are cached.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use vdsms_codec::{DcFrame, Encoder, PartialDecoder};
+use vdsms_features::{FeatureConfig, FeatureExtractor};
+use vdsms_video::source::{ClipGenerator, SourceSpec};
+use vdsms_video::{Clip, EditPipeline};
+
+/// Identity of one library clip.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClipSpec {
+    /// Clip id (also the query id it becomes).
+    pub id: u32,
+    /// Generator seed.
+    pub seed: u64,
+    /// Duration in seconds.
+    pub duration_s: f64,
+}
+
+/// The library of short videos.
+#[derive(Debug, Clone)]
+pub struct ClipLibrary {
+    spec: crate::spec::WorkloadSpec,
+    clips: Vec<ClipSpec>,
+}
+
+impl ClipLibrary {
+    /// Build the library for a workload spec (durations drawn uniformly
+    /// from the spec's range, deterministically per seed).
+    pub fn new(spec: crate::spec::WorkloadSpec) -> ClipLibrary {
+        spec.validate();
+        let mut rng = StdRng::seed_from_u64(spec.seed ^ 0xc11b_5eed);
+        let clips = (0..spec.num_clips as u32)
+            .map(|id| ClipSpec {
+                id,
+                seed: rng.gen::<u64>(),
+                duration_s: rng.gen_range(spec.clip_min_s..=spec.clip_max_s),
+            })
+            .collect();
+        ClipLibrary { spec, clips }
+    }
+
+    /// The workload spec this library belongs to.
+    pub fn spec(&self) -> &crate::spec::WorkloadSpec {
+        &self.spec
+    }
+
+    /// Clip identities.
+    pub fn clips(&self) -> &[ClipSpec] {
+        &self.clips
+    }
+
+    /// Number of clips.
+    pub fn len(&self) -> usize {
+        self.clips.len()
+    }
+
+    /// Whether the library is empty (never true for a valid spec).
+    pub fn is_empty(&self) -> bool {
+        self.clips.is_empty()
+    }
+
+    /// Regenerate the pixel frames of clip `id` (the *original*, as
+    /// inserted into VS1 and used as the query).
+    ///
+    /// # Panics
+    /// Panics if `id` is out of range.
+    pub fn original(&self, id: u32) -> Clip {
+        let cs = self.clips[id as usize];
+        let source = SourceSpec {
+            width: self.spec.width,
+            height: self.spec.height,
+            fps: self.spec.fps,
+            seed: cs.seed,
+            min_scene_s: 2.0,
+            max_scene_s: 8.0,
+            motifs: self.spec.motifs(),
+        };
+        ClipGenerator::new(source).clip(cs.duration_s)
+    }
+
+    /// The VS2-edited version of clip `id`: tamper pipeline (brightness/
+    /// color, noise, resolution, PAL frame rate, segment re-ordering)
+    /// followed by a re-compression round trip at the VS2 quality.
+    pub fn edited(&self, id: u32) -> Clip {
+        let original = self.original(id);
+        let pipeline = EditPipeline::vs2_standard(
+            self.clips[id as usize].seed ^ 0xed17,
+            original.width(),
+            original.height(),
+            original.fps(),
+            self.spec.reorder_segments.min(original.len() / 2).max(1),
+        );
+        let edited = pipeline.apply(&original);
+        // Re-compression round trip: encode at the VS2 quality and decode
+        // back to pixels, picking up a second generation of quantization
+        // noise exactly like the paper's re-compressed copies.
+        let bytes = Encoder::encode_clip(
+            &edited,
+            vdsms_codec::EncoderConfig { gop: self.spec.gop, quality: self.spec.vs2_quality, motion_search: true },
+        );
+        let frames = vdsms_codec::Decoder::new(&bytes)
+            .expect("own encoding must parse")
+            .decode_all()
+            .expect("own encoding must decode");
+        Clip::new(frames, edited.fps())
+    }
+
+    /// Key-frame DC frames of a clip under the *stream* encoder settings —
+    /// what the partial decoder would see if this clip were broadcast
+    /// alone.
+    pub fn dc_frames(&self, clip: &Clip) -> Vec<DcFrame> {
+        let bytes = Encoder::encode_clip(clip, self.spec.encoder_config());
+        PartialDecoder::new(&bytes)
+            .expect("own encoding must parse")
+            .decode_all()
+            .expect("own encoding must decode")
+    }
+
+    /// Fingerprint a clip: cell id per key frame, under the given feature
+    /// configuration.
+    pub fn fingerprints(&self, clip: &Clip, features: &FeatureConfig) -> Vec<u64> {
+        let extractor = FeatureExtractor::new(*features);
+        extractor.fingerprint_sequence(&self.dc_frames(clip))
+    }
+
+    /// Fingerprints of the original clip `id` — the query sequence
+    /// subscribed to the engine.
+    pub fn query_fingerprints(&self, id: u32, features: &FeatureConfig) -> Vec<u64> {
+        self.fingerprints(&self.original(id), features)
+    }
+
+    /// Per-key-frame normalized feature vectors of the original clip `id`
+    /// — the query representation the baselines consume.
+    pub fn query_features(&self, id: u32, features: &FeatureConfig) -> Vec<Vec<f32>> {
+        let extractor = FeatureExtractor::new(*features);
+        self.dc_frames(&self.original(id)).iter().map(|d| extractor.feature_vector(d)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::WorkloadSpec;
+    use std::collections::HashSet;
+
+    fn library() -> ClipLibrary {
+        ClipLibrary::new(WorkloadSpec::tiny(7))
+    }
+
+    #[test]
+    fn library_is_deterministic() {
+        let a = ClipLibrary::new(WorkloadSpec::tiny(7));
+        let b = ClipLibrary::new(WorkloadSpec::tiny(7));
+        assert_eq!(a.clips(), b.clips());
+        assert_eq!(
+            a.original(0).frames()[0],
+            b.original(0).frames()[0],
+            "clip regeneration must be reproducible"
+        );
+    }
+
+    #[test]
+    fn durations_in_spec_range() {
+        let lib = library();
+        for c in lib.clips() {
+            assert!((8.0..=16.0).contains(&c.duration_s));
+        }
+    }
+
+    #[test]
+    fn clips_are_distinct() {
+        let lib = library();
+        let seeds: HashSet<u64> = lib.clips().iter().map(|c| c.seed).collect();
+        assert_eq!(seeds.len(), lib.len());
+        let a = lib.original(0);
+        let b = lib.original(1);
+        assert!(a.frames()[0].mean_abs_diff(&b.frames()[0]) > 1.0);
+    }
+
+    #[test]
+    fn edited_clip_is_pal_and_reordered() {
+        let lib = library();
+        let original = lib.original(2);
+        let edited = lib.edited(2);
+        assert_eq!(edited.fps(), vdsms_video::EditPipeline::pal_equivalent(original.fps()));
+        assert!(edited.height() > original.height(), "PAL re-encode adds lines");
+        // Frame count scales with the rate change (10 → 25/3 fps here the
+        // spec uses 10fps; PAL target is 25fps → more frames).
+        assert_ne!(edited.len(), original.len());
+    }
+
+    #[test]
+    fn query_fingerprints_have_one_cell_per_keyframe() {
+        let lib = library();
+        let fc = FeatureConfig::default();
+        let fps = lib.query_fingerprints(0, &fc);
+        let expect = (lib.clips()[0].duration_s * lib.spec().keyframe_rate()).round() as usize;
+        assert!(
+            (fps.len() as i64 - expect as i64).abs() <= 1,
+            "{} key frames for {} expected",
+            fps.len(),
+            expect
+        );
+    }
+
+    #[test]
+    fn original_and_edited_fingerprints_overlap_as_sets() {
+        // The end-to-end robustness property that VS2 detection relies on.
+        let lib = library();
+        let fc = FeatureConfig::default();
+        let a: HashSet<u64> = lib.query_fingerprints(1, &fc).into_iter().collect();
+        let b: HashSet<u64> =
+            lib.fingerprints(&lib.edited(1), &fc).into_iter().collect();
+        let inter = a.intersection(&b).count();
+        let union = a.len() + b.len() - inter;
+        let jaccard = inter as f64 / union as f64;
+        assert!(jaccard > 0.5, "edited clip set-similarity too low: {jaccard}");
+    }
+
+    #[test]
+    fn query_features_are_normalized() {
+        let lib = library();
+        let feats = lib.query_features(0, &FeatureConfig::default());
+        assert!(!feats.is_empty());
+        for f in &feats {
+            assert_eq!(f.len(), 5);
+            assert!(f.iter().all(|&v| (0.0..=1.0).contains(&v)));
+        }
+    }
+}

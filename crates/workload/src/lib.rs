@@ -1,0 +1,35 @@
+//! # vdsms-workload — the paper's evaluation workload, synthesized
+//!
+//! Section VI of the paper builds its testbed from 5 base films and 200
+//! short videos (MTV, advertisements, movie samples, sports) downloaded
+//! from video.google.com, inserted into the films to form a 12-hour
+//! "doctored" stream. Two streams are evaluated:
+//!
+//! * **VS1** — the original short videos inserted unchanged;
+//! * **VS2** — the short videos first put through the tamper pipeline
+//!   (color/brightness alteration, noise, resolution change, PAL re-encode
+//!   at 25 fps, segment re-ordering) and then inserted.
+//!
+//! This crate synthesizes the equivalent workload from seeded generators
+//! (see `vdsms-video` for why the synthetic content preserves the relevant
+//! statistics): a [`ClipLibrary`] of short videos, [`compose_stream`] to
+//! build VS1/VS2 bitstreams with ground-truth insertion positions, the
+//! fingerprinting front-end shared by all methods, and the paper's
+//! precision/recall scoring rule ([`metrics`]).
+//!
+//! Everything is deterministic per [`WorkloadSpec::seed`]. The default
+//! spec is scaled down from the paper's 12 hours to keep a full experiment
+//! sweep in CPU-minutes; `WorkloadSpec::paper_scale` restores the original
+//! proportions.
+
+pub mod clips;
+pub mod metrics;
+pub mod spec;
+pub mod streams;
+pub mod truth;
+
+pub use clips::ClipLibrary;
+pub use metrics::{score, PrecisionRecall};
+pub use spec::WorkloadSpec;
+pub use streams::{compose_stream, fingerprint_stream, ComposedStream, FingerprintedStream, StreamKind};
+pub use truth::GtInterval;

@@ -1,0 +1,152 @@
+//! Precision / recall scoring with the paper's position-tolerance rule.
+//!
+//! "We record the begin `Q_i.begin` and end `Q_i.end` positions of query
+//! `Q_i` on the stream. The position where a sequence matches is denoted
+//! as `Q_i.p`. If `Q_i.begin + w ≤ Q_i.p ≤ Q_i.end + w` holds, this result
+//! is correct." *Precision* is the fraction of reported detections that
+//! are correct; *recall* is the fraction of planted copies that received
+//! at least one correct detection.
+
+use crate::truth::GtInterval;
+use vdsms_core::Detection;
+
+/// Precision/recall scores plus the underlying counts.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PrecisionRecall {
+    /// Fraction of detections that are correct (1.0 when there are no
+    /// detections at all — no false claims were made).
+    pub precision: f64,
+    /// Fraction of planted copies detected.
+    pub recall: f64,
+    /// Total detections reported.
+    pub detections: usize,
+    /// Detections that satisfied the position rule.
+    pub correct: usize,
+    /// Planted copies in the ground truth.
+    pub planted: usize,
+    /// Planted copies with at least one correct detection.
+    pub found: usize,
+}
+
+impl PrecisionRecall {
+    /// Harmonic mean of precision and recall.
+    pub fn f1(&self) -> f64 {
+        if self.precision + self.recall == 0.0 {
+            return 0.0;
+        }
+        2.0 * self.precision * self.recall / (self.precision + self.recall)
+    }
+}
+
+/// Score a detection list against the ground truth. `w_frames` is the
+/// basic window size in stream frames (the rule's tolerance).
+pub fn score(detections: &[Detection], truth: &[GtInterval], w_frames: u64) -> PrecisionRecall {
+    let mut found = vec![false; truth.len()];
+    let mut correct = 0usize;
+    for d in detections {
+        let mut ok = false;
+        for (gi, gt) in truth.iter().enumerate() {
+            if gt.query_id == d.query_id && gt.accepts(d.position(), w_frames) {
+                ok = true;
+                found[gi] = true;
+            }
+        }
+        if ok {
+            correct += 1;
+        }
+    }
+    let found_count = found.iter().filter(|&&f| f).count();
+    PrecisionRecall {
+        precision: if detections.is_empty() { 1.0 } else { correct as f64 / detections.len() as f64 },
+        recall: if truth.is_empty() { 1.0 } else { found_count as f64 / truth.len() as f64 },
+        detections: detections.len(),
+        correct,
+        planted: truth.len(),
+        found: found_count,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn det(query_id: u32, end: u64) -> Detection {
+        Detection { query_id, start_frame: end.saturating_sub(40), end_frame: end, windows: 4, similarity: 0.9 }
+    }
+
+    fn gt(query_id: u32, start: u64, end: u64) -> GtInterval {
+        GtInterval { query_id, start_frame: start, end_frame: end }
+    }
+
+    #[test]
+    fn perfect_detection_scores_one() {
+        let truth = vec![gt(1, 100, 200), gt(2, 400, 500)];
+        let dets = vec![det(1, 150), det(2, 450)];
+        let pr = score(&dets, &truth, 10);
+        assert_eq!(pr.precision, 1.0);
+        assert_eq!(pr.recall, 1.0);
+        assert_eq!(pr.f1(), 1.0);
+    }
+
+    #[test]
+    fn wrong_position_is_a_false_positive() {
+        let truth = vec![gt(1, 100, 200)];
+        let dets = vec![det(1, 500)];
+        let pr = score(&dets, &truth, 10);
+        assert_eq!(pr.precision, 0.0);
+        assert_eq!(pr.recall, 0.0);
+    }
+
+    #[test]
+    fn wrong_query_is_a_false_positive() {
+        let truth = vec![gt(1, 100, 200)];
+        let dets = vec![det(2, 150)];
+        let pr = score(&dets, &truth, 10);
+        assert_eq!(pr.precision, 0.0);
+        assert_eq!(pr.recall, 0.0);
+    }
+
+    #[test]
+    fn multiple_correct_detections_of_one_copy() {
+        // Several candidates firing on the same copy: all correct, copy
+        // counted found once.
+        let truth = vec![gt(1, 100, 200), gt(2, 400, 500)];
+        let dets = vec![det(1, 140), det(1, 160), det(1, 180)];
+        let pr = score(&dets, &truth, 10);
+        assert_eq!(pr.precision, 1.0);
+        assert_eq!(pr.recall, 0.5);
+        assert_eq!(pr.found, 1);
+    }
+
+    #[test]
+    fn tolerance_boundaries_match_paper_rule() {
+        let truth = vec![gt(1, 100, 200)];
+        let w = 10;
+        // begin + w = 110 is the first accepted position.
+        assert_eq!(score(&[det(1, 109)], &truth, w).correct, 0);
+        assert_eq!(score(&[det(1, 110)], &truth, w).correct, 1);
+        // end + w = 199 + 10 = 209 is the last accepted position.
+        assert_eq!(score(&[det(1, 209)], &truth, w).correct, 1);
+        assert_eq!(score(&[det(1, 210)], &truth, w).correct, 0);
+    }
+
+    #[test]
+    fn empty_cases() {
+        let pr = score(&[], &[gt(1, 0, 10)], 5);
+        assert_eq!(pr.precision, 1.0);
+        assert_eq!(pr.recall, 0.0);
+        let pr2 = score(&[det(1, 5)], &[], 5);
+        assert_eq!(pr2.recall, 1.0);
+        assert_eq!(pr2.precision, 0.0);
+        assert_eq!(pr2.f1(), 0.0);
+    }
+
+    #[test]
+    fn repeated_insertions_of_same_query() {
+        let truth = vec![gt(1, 100, 200), gt(1, 1000, 1100)];
+        let dets = vec![det(1, 150)];
+        let pr = score(&dets, &truth, 10);
+        assert_eq!(pr.recall, 0.5);
+        assert_eq!(pr.precision, 1.0);
+    }
+}

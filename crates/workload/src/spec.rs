@@ -1,0 +1,183 @@
+//! Workload sizing and encoding parameters.
+
+use vdsms_codec::EncoderConfig;
+use vdsms_video::Fps;
+
+/// Full description of a synthetic evaluation workload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadSpec {
+    /// Master seed; every clip, edit, and insertion position derives from
+    /// it.
+    pub seed: u64,
+    /// Frame width in pixels.
+    pub width: u32,
+    /// Frame height in pixels.
+    pub height: u32,
+    /// Stream frame rate. The default uses 10 fps with a GOP of 5 — the
+    /// same **2 key frames per second** as the paper's NTSC 29.97 fps with
+    /// a typical GOP of 15, at a third of the pixel-generation cost. All
+    /// window sizes are expressed in seconds and converted via the
+    /// key-frame rate, so this substitution does not change the engine's
+    /// workload shape.
+    pub fps: Fps,
+    /// GOP length (key-frame period) of the stream encoder.
+    pub gop: u32,
+    /// Number of short videos in the library (the paper's 200). All of
+    /// them become continuous queries; the first [`WorkloadSpec::inserted`]
+    /// are planted into the stream.
+    pub num_clips: usize,
+    /// Minimum short-video duration in seconds (paper: 30).
+    pub clip_min_s: f64,
+    /// Maximum short-video duration in seconds (paper: 300).
+    pub clip_max_s: f64,
+    /// Number of library clips actually inserted into the stream.
+    pub inserted: usize,
+    /// Total duration of base-film background in the stream, in seconds.
+    pub base_seconds: f64,
+    /// Number of base films the background alternates between (paper: 5).
+    pub base_films: u32,
+    /// Encoder quality of the stream and of the original (query) clips.
+    pub quality: u8,
+    /// Encoder quality used for the VS2 re-compression step.
+    pub vs2_quality: u8,
+    /// Segments per clip for the VS2 re-ordering edit.
+    pub reorder_segments: usize,
+    /// Size of the shared visual-motif pool, or `None` for fully unique
+    /// scenes. Real broadcast content reuses visual statistics (studio
+    /// sets, pitches, faces), which is what makes distinct videos collide
+    /// in fingerprint space; the pool reproduces that pressure. See
+    /// `vdsms_video::source::MotifPool`.
+    pub motif_pool: Option<u32>,
+}
+
+impl Default for WorkloadSpec {
+    fn default() -> WorkloadSpec {
+        // A CI-scale workload: ~45 minutes of stream, 60 clips of 10-40 s.
+        WorkloadSpec {
+            seed: 2008,
+            width: 176,
+            height: 120,
+            fps: Fps::integer(10),
+            gop: 5,
+            num_clips: 60,
+            clip_min_s: 10.0,
+            clip_max_s: 40.0,
+            inserted: 30,
+            base_seconds: 1200.0,
+            base_films: 5,
+            quality: 80,
+            vs2_quality: 70,
+            reorder_segments: 5,
+            motif_pool: Some(12),
+        }
+    }
+}
+
+impl WorkloadSpec {
+    /// A quick spec for tests: ~3 minutes of stream, 8 clips.
+    pub fn tiny(seed: u64) -> WorkloadSpec {
+        WorkloadSpec {
+            seed,
+            num_clips: 8,
+            clip_min_s: 8.0,
+            clip_max_s: 16.0,
+            inserted: 4,
+            base_seconds: 120.0,
+            ..Default::default()
+        }
+    }
+
+    /// The paper's proportions: 200 clips of 30–300 s inserted into five
+    /// films, ~12 hours total. Expect hours of generation time.
+    pub fn paper_scale(seed: u64) -> WorkloadSpec {
+        WorkloadSpec {
+            seed,
+            num_clips: 200,
+            clip_min_s: 30.0,
+            clip_max_s: 300.0,
+            inserted: 200,
+            base_seconds: 10_000.0,
+            ..Default::default()
+        }
+    }
+
+    /// Key frames per second of the stream.
+    pub fn keyframe_rate(&self) -> f64 {
+        self.fps.as_f64() / f64::from(self.gop)
+    }
+
+    /// Convert a window size in seconds (the paper's `w`) to key frames.
+    pub fn window_keyframes(&self, w_seconds: f64) -> usize {
+        (w_seconds * self.keyframe_rate()).round().max(1.0) as usize
+    }
+
+    /// Convert a window size in seconds to stream frames (for the
+    /// position-tolerance scoring rule).
+    pub fn window_frames(&self, w_seconds: f64) -> u64 {
+        (w_seconds * self.fps.as_f64()).round().max(1.0) as u64
+    }
+
+    /// The shared motif pool for this workload's sources (derived from
+    /// the master seed), or `None`.
+    pub fn motifs(&self) -> Option<vdsms_video::source::MotifPool> {
+        self.motif_pool.map(|count| vdsms_video::source::MotifPool {
+            seed: self.seed ^ 0x0f1f_5eed,
+            count,
+        })
+    }
+
+    /// Stream encoder configuration.
+    pub fn encoder_config(&self) -> EncoderConfig {
+        EncoderConfig { gop: self.gop, quality: self.quality, motion_search: true }
+    }
+
+    /// Validate ranges.
+    ///
+    /// # Panics
+    /// Panics on inconsistent parameters.
+    pub fn validate(&self) {
+        assert!(self.num_clips >= 1, "need at least one clip");
+        assert!(self.inserted <= self.num_clips, "cannot insert more clips than exist");
+        assert!(self.clip_min_s > 0.0 && self.clip_max_s >= self.clip_min_s);
+        assert!(self.base_seconds > 0.0);
+        assert!(self.base_films >= 1);
+        assert!((1..=100).contains(&self.quality));
+        assert!((1..=100).contains(&self.vs2_quality));
+        assert!(self.reorder_segments >= 1);
+        assert!(self.gop >= 1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_keyframe_rate_matches_paper() {
+        let s = WorkloadSpec::default();
+        assert_eq!(s.keyframe_rate(), 2.0); // ≈ NTSC 29.97 / GOP 15
+        s.validate();
+    }
+
+    #[test]
+    fn window_conversions() {
+        let s = WorkloadSpec::default();
+        assert_eq!(s.window_keyframes(5.0), 10);
+        assert_eq!(s.window_frames(5.0), 50);
+        assert_eq!(s.window_keyframes(20.0), 40);
+    }
+
+    #[test]
+    fn tiny_and_paper_scale_validate() {
+        WorkloadSpec::tiny(1).validate();
+        WorkloadSpec::paper_scale(1).validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot insert more")]
+    fn inserted_bound_checked() {
+        let mut s = WorkloadSpec::default();
+        s.inserted = s.num_clips + 1;
+        s.validate();
+    }
+}

@@ -1,0 +1,55 @@
+//! Ground-truth insertion records.
+
+/// One planted copy: query `query_id`'s content occupies stream frames
+/// `[start_frame, end_frame)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GtInterval {
+    /// The query whose content was inserted.
+    pub query_id: u32,
+    /// First stream frame of the insertion (the paper's `Q_i.begin`).
+    pub start_frame: u64,
+    /// One past the last stream frame (the paper's `Q_i.end` is
+    /// `end_frame − 1`).
+    pub end_frame: u64,
+}
+
+impl GtInterval {
+    /// The paper's correctness rule: a detection of this query at stream
+    /// position `p` is correct iff `begin + w ≤ p ≤ end + w`, with `w` in
+    /// frames.
+    pub fn accepts(&self, p: u64, w_frames: u64) -> bool {
+        p >= self.start_frame + w_frames && p <= self.end_frame.saturating_sub(1) + w_frames
+    }
+
+    /// Interval length in frames.
+    pub fn len(&self) -> u64 {
+        self.end_frame - self.start_frame
+    }
+
+    /// Whether the interval is degenerate.
+    pub fn is_empty(&self) -> bool {
+        self.end_frame <= self.start_frame
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accepts_window_tolerance() {
+        let gt = GtInterval { query_id: 1, start_frame: 100, end_frame: 200 };
+        let w = 10;
+        assert!(!gt.accepts(105, w), "before begin+w");
+        assert!(gt.accepts(110, w));
+        assert!(gt.accepts(209, w));
+        assert!(!gt.accepts(210, w), "after end+w");
+    }
+
+    #[test]
+    fn len_and_empty() {
+        let gt = GtInterval { query_id: 1, start_frame: 5, end_frame: 9 };
+        assert_eq!(gt.len(), 4);
+        assert!(!gt.is_empty());
+    }
+}

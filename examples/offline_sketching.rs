@@ -1,0 +1,89 @@
+//! Offline query sketching and persistence.
+//!
+//! The paper notes that "the sketches of the query sequences can be
+//! min-hashed offline" (Section V-C.1). In production that means a batch
+//! job fingerprints and sketches the protected catalogue once, and the
+//! monitoring nodes just load the sketch file — they never touch the
+//! query videos. Each query's footprint is `K` u64 minima (6.4 KB at
+//! K = 800), versus megabytes of video.
+//!
+//! ```text
+//! cargo run --release --example offline_sketching
+//! ```
+
+use vdsms::codec::{Encoder, EncoderConfig, PartialDecoder};
+use vdsms::core::{load_queries, save_queries, Detector, Query, QuerySet};
+use vdsms::features::{FeatureConfig, FeatureExtractor};
+use vdsms::video::source::{ClipGenerator, SourceSpec};
+use vdsms::video::Fps;
+use vdsms::DetectorConfig;
+
+const ENC: EncoderConfig = EncoderConfig { gop: 5, quality: 80, motion_search: true };
+
+fn spec(seed: u64) -> SourceSpec {
+    SourceSpec {
+        width: 176,
+        height: 120,
+        fps: Fps::integer(10),
+        seed,
+        min_scene_s: 2.0,
+        max_scene_s: 6.0,
+        motifs: None,
+    }
+}
+
+fn main() {
+    let cfg = DetectorConfig { window_keyframes: 6, ..Default::default() };
+    let family = Detector::family_for(&cfg);
+    let extractor = FeatureExtractor::new(FeatureConfig::default());
+
+    // --- The batch job: sketch the catalogue offline.
+    let mut catalogue = QuerySet::new();
+    let mut total_video_bytes = 0usize;
+    for id in 0..10u32 {
+        let clip = ClipGenerator::new(spec(3000 + u64::from(id))).clip(20.0);
+        let bytes = Encoder::encode_clip(&clip, ENC);
+        total_video_bytes += bytes.len();
+        let dcs = PartialDecoder::new(&bytes).unwrap().decode_all().unwrap();
+        let cells = extractor.fingerprint_sequence(&dcs);
+        catalogue.insert(Query::from_cell_ids(id, &family, &cells));
+    }
+    let sketch_file = save_queries(&catalogue);
+    let path = std::env::temp_dir().join("vdsms_catalogue.vdsq");
+    std::fs::write(&path, &sketch_file).expect("write sketch file");
+    println!(
+        "batch job: sketched {} queries; {} KiB of video -> {} KiB sketch file at {}",
+        catalogue.len(),
+        total_video_bytes / 1024,
+        sketch_file.len() / 1024,
+        path.display()
+    );
+
+    // --- The monitoring node: load sketches, never sees the videos.
+    let loaded = std::fs::read(&path).expect("read sketch file");
+    let queries = load_queries(&loaded, cfg.k).expect("valid sketch file");
+    let mut detector = Detector::new(cfg, queries);
+
+    // A broadcast airing catalogue item 4.
+    let mut broadcast = ClipGenerator::new(spec(900)).clip(25.0);
+    broadcast.append(ClipGenerator::new(spec(3004)).clip(20.0));
+    broadcast.append(ClipGenerator::new(spec(901)).clip(15.0));
+    let stream_bytes = Encoder::encode_clip(&broadcast, ENC);
+
+    let mut dets = Vec::new();
+    let mut decoder = PartialDecoder::new(&stream_bytes).unwrap();
+    while let Some(dc) = decoder.next_dc_frame().unwrap() {
+        let cell = extractor.fingerprint(&dc);
+        dets.extend(detector.push_keyframe(dc.frame_index, cell));
+    }
+    dets.extend(detector.finish());
+
+    assert!(dets.iter().any(|d| d.query_id == 4), "catalogue item 4 must be found");
+    for d in &dets {
+        println!(
+            "monitoring node: detected catalogue item {} at frames {}..{} (sim {:.2})",
+            d.query_id, d.start_frame, d.end_frame, d.similarity
+        );
+    }
+    std::fs::remove_file(&path).ok();
+}

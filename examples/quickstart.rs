@@ -1,0 +1,69 @@
+//! Quickstart: subscribe a clip, watch a broadcast stream, get detections.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use vdsms::codec::{Encoder, EncoderConfig};
+use vdsms::video::source::{ClipGenerator, SourceSpec};
+use vdsms::video::Fps;
+use vdsms::{DetectorConfig, MonitorBuilder};
+
+fn main() {
+    // The video we want to find copies of — in a real deployment this
+    // would be an advertisement, a film sample, a news segment...
+    let spec = SourceSpec {
+        width: 176,
+        height: 120,
+        fps: Fps::integer(10),
+        seed: 7,
+        min_scene_s: 2.0,
+        max_scene_s: 6.0,
+        motifs: None,
+    };
+    let protected = ClipGenerator::new(spec.clone()).clip(15.0);
+    println!(
+        "protected clip: {:.1} s, {} frames at {:.2} fps",
+        protected.duration(),
+        protected.len(),
+        protected.fps().as_f64()
+    );
+
+    // Build a monitor. Window sizes are expressed in key frames: with a
+    // GOP of 5 at 10 fps the stream carries 2 key frames per second, so a
+    // 6-key-frame window is a 3-second basic window.
+    let enc = EncoderConfig { gop: 5, quality: 80, motion_search: true };
+    let mut monitor = MonitorBuilder::new()
+        .detector(DetectorConfig { window_keyframes: 6, ..Default::default() })
+        .query_encoder(enc)
+        .build();
+    monitor.subscribe_clip(1, &protected);
+
+    // A broadcast: background content with the protected clip aired in the
+    // middle.
+    let mut broadcast = ClipGenerator::new(SourceSpec { seed: 99, ..spec.clone() }).clip(40.0);
+    broadcast.append(protected);
+    broadcast.append(ClipGenerator::new(SourceSpec { seed: 100, ..spec }).clip(30.0));
+    let bitstream = Encoder::encode_clip(&broadcast, enc);
+    println!(
+        "broadcast: {:.1} s, compressed to {} KiB",
+        broadcast.duration(),
+        bitstream.len() / 1024
+    );
+
+    // Watch it. Only key-frame DC coefficients are decoded — no inverse
+    // DCT, no pixel reconstruction.
+    let detections = monitor.watch_bitstream(&bitstream).expect("valid stream");
+    assert!(!detections.is_empty(), "the aired copy must be detected");
+    for d in &detections {
+        println!(
+            "detected query {} at frames {}..{} ({} windows, similarity {:.2})",
+            d.query_id, d.start_frame, d.end_frame, d.windows, d.similarity
+        );
+    }
+    let s = monitor.stats();
+    println!(
+        "engine: {} windows, {} index probes, {} signature ORs, {} Lemma-2 prunes",
+        s.windows, s.index_probes, s.sig_ors, s.lemma2_prunes
+    );
+}

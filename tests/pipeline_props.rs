@@ -1,0 +1,139 @@
+//! Cross-crate property tests (proptest): invariants that must hold for
+//! arbitrary inputs, spanning codec, sketch and core.
+
+use proptest::prelude::*;
+use vdsms::codec::{Decoder, Encoder, EncoderConfig, PartialDecoder};
+use vdsms::core::{BitSig, HqIndex, Query, QuerySet};
+use vdsms::sketch::{jaccard, MinHashFamily, Sketch};
+use vdsms::video::{Clip, Fps, Frame};
+
+/// Arbitrary small frames.
+fn arb_frame(w: u32, h: u32) -> impl Strategy<Value = Frame> {
+    proptest::collection::vec(any::<u8>(), (w * h) as usize)
+        .prop_map(move |data| Frame::from_raw(w, h, data))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Encode → decode of arbitrary (even non-smooth) frames stays within
+    /// quantizer error, and the partial decoder agrees with the full
+    /// decoder on every key frame DC.
+    #[test]
+    fn codec_round_trip_and_partial_consistency(
+        frames in proptest::collection::vec(arb_frame(24, 16), 3..10),
+        quality in 30u8..95,
+        gop in 1u32..5,
+    ) {
+        let clip = Clip::new(frames, Fps::integer(10));
+        let bytes = Encoder::encode_clip(&clip, EncoderConfig { gop, quality, motion_search: true });
+        let decoded = Decoder::new(&bytes).unwrap().decode_all().unwrap();
+        prop_assert_eq!(decoded.len(), clip.len());
+        // Random noise is the worst case for a DCT codec; bound loosely
+        // but meaningfully (quality >= 30).
+        for (orig, dec) in clip.frames().iter().zip(&decoded) {
+            prop_assert!(orig.mean_abs_diff(dec) < 48.0);
+        }
+        let dcs = PartialDecoder::new(&bytes).unwrap().decode_all().unwrap();
+        prop_assert_eq!(dcs.len(), clip.len().div_ceil(gop as usize));
+        for dc in &dcs {
+            let full = &decoded[dc.frame_index as usize];
+            for by in 0..dc.blocks_h {
+                for bx in 0..dc.blocks_w {
+                    let mean_full = full.region_mean(bx * 8, by * 8, (bx * 8 + 8).min(24), (by * 8 + 8).min(16));
+                    let mean_dc = f64::from(dc.block_mean(bx, by));
+                    // DC is pre-IDCT; reconstruction adds rounding only.
+                    prop_assert!((mean_full - mean_dc).abs() < 16.0,
+                        "block ({},{}) {} vs {}", bx, by, mean_full, mean_dc);
+                }
+            }
+        }
+    }
+
+    /// Min-hash similarity estimates track exact Jaccard for arbitrary id
+    /// sets, and sketch combination equals the union's sketch.
+    #[test]
+    fn sketch_estimates_and_union_property(
+        a in proptest::collection::hash_set(0u64..5000, 5..200),
+        b in proptest::collection::hash_set(0u64..5000, 5..200),
+        seed in 0u64..1000,
+    ) {
+        let family = MinHashFamily::new(512, seed);
+        let sa = Sketch::from_ids(&family, a.iter().copied());
+        let sb = Sketch::from_ids(&family, b.iter().copied());
+        let exact = jaccard(a.iter().copied(), b.iter().copied());
+        let est = sa.estimate_similarity(&sb);
+        prop_assert!((est - exact).abs() < 0.15, "est {est} vs exact {exact}");
+
+        let mut combined = sa.clone();
+        combined.combine(&sb);
+        let union = Sketch::from_ids(&family, a.iter().chain(b.iter()).copied());
+        prop_assert_eq!(combined, union);
+    }
+
+    /// The bit-signature encoding is lossless: OR-combining signatures of
+    /// parts equals encoding the combined sketch, and Lemma-1 similarity
+    /// equals the sketch-level estimate — for arbitrary sets and K.
+    #[test]
+    fn bitsig_is_lossless_for_arbitrary_sets(
+        q in proptest::collection::hash_set(0u64..2000, 5..100),
+        p1 in proptest::collection::hash_set(0u64..2000, 5..100),
+        p2 in proptest::collection::hash_set(0u64..2000, 5..100),
+        k in 5usize..300,
+        seed in 0u64..100,
+    ) {
+        let family = MinHashFamily::new(k, seed);
+        let sq = Sketch::from_ids(&family, q.iter().copied());
+        let s1 = Sketch::from_ids(&family, p1.iter().copied());
+        let s2 = Sketch::from_ids(&family, p2.iter().copied());
+
+        let mut ored = BitSig::encode(&s1, &sq);
+        ored.or_with(&BitSig::encode(&s2, &sq));
+        let direct = BitSig::encode(&s1.combined(&s2), &sq);
+        prop_assert_eq!(&ored, &direct);
+        prop_assert_eq!(ored.count_equal(), s1.combined(&s2).equal_count(&sq));
+    }
+
+    /// Lemma 2 never prunes a candidate that currently matches: a
+    /// signature with similarity >= δ cannot violate the pruning bound.
+    #[test]
+    fn lemma2_never_prunes_a_match(
+        q in proptest::collection::hash_set(0u64..2000, 10..100),
+        p in proptest::collection::hash_set(0u64..2000, 10..100),
+        k in 10usize..200,
+        delta in 0.5f64..0.95,
+    ) {
+        let family = MinHashFamily::new(k, 7);
+        let sq = Sketch::from_ids(&family, q.iter().copied());
+        let sp = Sketch::from_ids(&family, p.iter().copied());
+        let sig = BitSig::encode(&sp, &sq);
+        if sig.similarity() >= delta {
+            prop_assert!(!sig.violates_lemma2(delta));
+        }
+    }
+
+    /// The HQ index probe returns exactly the brute-force related-query
+    /// set, for arbitrary query libraries and window sketches.
+    #[test]
+    fn hq_probe_equals_bruteforce(
+        queries in proptest::collection::vec(
+            proptest::collection::hash_set(0u64..500, 3..40), 1..20),
+        window in proptest::collection::hash_set(0u64..500, 3..40),
+        delta in 0.5f64..0.9,
+    ) {
+        let k = 64;
+        let family = MinHashFamily::new(k, 3);
+        let qs = QuerySet::from_queries(
+            queries.iter().enumerate().map(|(i, ids)| {
+                let v: Vec<u64> = ids.iter().copied().collect();
+                Query::from_cell_ids(i as u32, &family, &v)
+            }).collect());
+        let ix = HqIndex::build(k, &qs);
+        let sk = Sketch::from_ids(&family, window.iter().copied());
+        let mut got: Vec<u32> = ix.probe(&sk, delta).hits.into_iter().map(|h| h.query_id).collect();
+        let mut want: Vec<u32> = ix.probe_bruteforce(&sk, delta, &qs).into_iter().map(|h| h.query_id).collect();
+        got.sort_unstable();
+        want.sort_unstable();
+        prop_assert_eq!(got, want);
+    }
+}

@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Local CI: offline build, full test suite, lints. Mirrors what the
+# tier-1 gate runs, plus clippy.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+export CARGO_NET_OFFLINE=true
+
+echo "== build (release) =="
+cargo build --release
+
+echo "== tests =="
+cargo test -q
+
+echo "== clippy =="
+cargo clippy --all-targets -- -D warnings
+
+echo "CI OK"

@@ -1,0 +1,132 @@
+//! Serial vs sharded fleet throughput: the scaling experiment behind the
+//! `DetectorConfig::shards` switch.
+//!
+//! A fixed catalogue is monitored over 16 concurrent streams; the same
+//! interleaved key-frame workload is pushed through the serial [`Fleet`]
+//! and through [`ParallelFleet`] at 1/2/4/8 shards (pipelined
+//! `push_batch_async` ingestion, one quiesce per epoch). Streams
+//! periodically air query content so candidate maintenance — not just
+//! window sketching — is part of the measured work. Fleets persist across
+//! iterations with shifted frame indices, so the numbers are steady-state
+//! streaming throughput (key frames per second), not setup cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+use vdsms_core::{DetectorConfig, Fleet, ParallelFleet, Query, StreamId};
+
+const STREAMS: u32 = 16;
+const FRAMES_PER_STREAM: u64 = 240;
+const QUERIES: u32 = 40;
+const QUERY_KEYFRAMES: u64 = 48;
+/// Key frames handed to the fleet per `push_batch` call.
+const CHUNK: usize = 256;
+
+fn cfg() -> DetectorConfig {
+    DetectorConfig { k: 800, window_keyframes: 8, ..Default::default() }
+}
+
+fn mix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Cell id of query `q`'s key frame `i`.
+fn query_cell(q: u32, i: u64) -> u64 {
+    mix(u64::from(q) * 1_000_003 + i)
+}
+
+fn catalogue(cfg: &DetectorConfig) -> Vec<Query> {
+    let family = vdsms_core::Detector::family_for(cfg);
+    (0..QUERIES)
+        .map(|q| {
+            let cells: Vec<u64> = (0..QUERY_KEYFRAMES).map(|i| query_cell(q, i)).collect();
+            Query::from_cell_ids(q, &family, &cells)
+        })
+        .collect()
+}
+
+/// One epoch of interleaved key frames for all streams. Each stream airs
+/// one full query every 96 frames; the rest is unique background.
+fn workload() -> Vec<(StreamId, u64, u64)> {
+    let mut batch = Vec::with_capacity((u64::from(STREAMS) * FRAMES_PER_STREAM) as usize);
+    for i in 0..FRAMES_PER_STREAM {
+        for s in 0..STREAMS {
+            let phase = i % 96;
+            let cell = if phase < QUERY_KEYFRAMES {
+                query_cell((s + (i / 96) as u32) % QUERIES, phase)
+            } else {
+                mix(0xbac0_0000 + u64::from(s) * 1_000_000 + i)
+            };
+            batch.push((s, i, cell));
+        }
+    }
+    batch
+}
+
+/// Shift an epoch's frame indices so it can be re-fed to a live fleet.
+fn shifted(epoch: u64, base: &[(StreamId, u64, u64)]) -> Vec<(StreamId, u64, u64)> {
+    base.iter()
+        .map(|&(s, i, c)| (s, i + epoch * FRAMES_PER_STREAM, c))
+        .collect()
+}
+
+fn bench_fleet(c: &mut Criterion) {
+    let cfg = cfg();
+    let queries = catalogue(&cfg);
+    let base = workload();
+
+    let mut g = c.benchmark_group("fleet_throughput");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(base.len() as u64));
+
+    let mut serial = Fleet::new(cfg);
+    for s in 0..STREAMS {
+        serial.add_stream(s);
+    }
+    for q in &queries {
+        serial.subscribe(q.clone());
+    }
+    let mut epoch = 0u64;
+    g.bench_function("serial", |bench| {
+        bench.iter(|| {
+            let batch = shifted(epoch, &base);
+            epoch += 1;
+            for chunk in batch.chunks(CHUNK) {
+                black_box(serial.push_batch(chunk));
+            }
+        });
+    });
+    drop(serial);
+
+    for shards in [1usize, 2, 4, 8] {
+        let mut fleet = ParallelFleet::new(cfg, shards);
+        for s in 0..STREAMS {
+            fleet.add_stream(s);
+        }
+        for q in &queries {
+            fleet.subscribe(q.clone());
+        }
+        let mut epoch = 0u64;
+        g.bench_with_input(
+            BenchmarkId::new("parallel", shards),
+            &shards,
+            |bench, _| {
+                bench.iter(|| {
+                    let batch = shifted(epoch, &base);
+                    epoch += 1;
+                    for chunk in batch.chunks(CHUNK) {
+                        fleet.push_batch_async(chunk);
+                    }
+                    fleet.quiesce();
+                    black_box(fleet.take_detections());
+                });
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_fleet);
+criterion_main!(benches);

@@ -2,7 +2,7 @@
 //! `vdsms help` for usage.
 
 use std::process::exit;
-use vdsms_cli::{generate, inspect, monitor, sketch, GenerateOpts};
+use vdsms_cli::{generate, inspect, monitor_streams, sketch, GenerateOpts};
 use vdsms_core::DetectorConfig;
 use vdsms_features::FeatureConfig;
 
@@ -23,8 +23,10 @@ USAGE:
       Query ids are assigned 0, 1, ... in argument order.
 
   vdsms monitor --queries FILE [--k K] [--hash-seed S] [--delta D]
-                [--window-keyframes W] STREAM_FILE
-      Detect copies of catalogued queries in a stream bitstream.
+                [--window-keyframes W] [--shards N] STREAM_FILE...
+      Detect copies of catalogued queries in one or more concurrent
+      stream bitstreams. --shards N > 1 monitors on N worker threads
+      (identical detections, stream files are hash-sharded onto workers).
 
 Sketching and monitoring must use the same --k and --hash-seed.
 ";
@@ -113,6 +115,12 @@ fn detector_flags(
             cfg.window_keyframes =
                 parse(take_value(args, i, "--window-keyframes"), "--window-keyframes")
         }
+        "--shards" => {
+            cfg.shards = parse(take_value(args, i, "--shards"), "--shards");
+            if cfg.shards == 0 {
+                fail("--shards must be >= 1");
+            }
+        }
         _ => return false,
     }
     true
@@ -159,7 +167,7 @@ fn cmd_sketch(args: &[String]) {
 fn cmd_monitor(args: &[String]) {
     let mut cfg = DetectorConfig::default();
     let mut queries: Option<String> = None;
-    let mut stream: Option<String> = None;
+    let mut streams: Vec<String> = Vec::new();
     let mut i = 0;
     while i < args.len() {
         if detector_flags(args, &mut i, &mut cfg) {
@@ -168,22 +176,32 @@ fn cmd_monitor(args: &[String]) {
         } else if args[i].starts_with('-') {
             fail(&format!("unknown flag {}", args[i]));
         } else {
-            stream = Some(args[i].clone());
+            streams.push(args[i].clone());
         }
         i += 1;
     }
     let Some(queries) = queries else { fail("monitor needs --queries FILE") };
-    let Some(stream) = stream else { fail("monitor needs a STREAM_FILE") };
+    if streams.is_empty() {
+        fail("monitor needs at least one STREAM_FILE");
+    }
     let qbytes =
         std::fs::read(&queries).unwrap_or_else(|e| fail(&format!("read {queries}: {e}")));
-    let sbytes = std::fs::read(&stream).unwrap_or_else(|e| fail(&format!("read {stream}: {e}")));
-    match monitor(&sbytes, &qbytes, &cfg, &FeatureConfig::default()) {
+    let sbytes: Vec<Vec<u8>> = streams
+        .iter()
+        .map(|path| std::fs::read(path).unwrap_or_else(|e| fail(&format!("read {path}: {e}"))))
+        .collect();
+    let slices: Vec<&[u8]> = sbytes.iter().map(Vec::as_slice).collect();
+    match monitor_streams(&slices, &qbytes, &cfg, &FeatureConfig::default()) {
         Ok(hits) if hits.is_empty() => println!("no copies detected"),
         Ok(hits) => {
             for h in hits {
                 println!(
-                    "query {}\tframes {}..{}\tsimilarity {:.3}",
-                    h.query_id, h.start_frame, h.end_frame, h.similarity
+                    "stream {}\tquery {}\tframes {}..{}\tsimilarity {:.3}",
+                    streams[h.stream_id as usize],
+                    h.query_id,
+                    h.start_frame,
+                    h.end_frame,
+                    h.similarity
                 );
             }
         }

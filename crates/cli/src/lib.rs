@@ -15,7 +15,9 @@
 
 use std::fmt::Write as _;
 use vdsms_codec::{Encoder, EncoderConfig, PartialDecoder, StreamHeader};
-use vdsms_core::{load_queries, save_queries, Detector, DetectorConfig, Query, QuerySet};
+use vdsms_core::{
+    load_queries, save_queries, AnyFleet, Detector, DetectorConfig, Query, QuerySet, StreamId,
+};
 use vdsms_features::{FeatureConfig, FeatureExtractor};
 use vdsms_video::source::{ClipGenerator, MotifPool, SourceSpec};
 use vdsms_video::Fps;
@@ -178,6 +180,8 @@ pub fn sketch(
 /// One detection line of `monitor`'s report.
 #[derive(Debug, Clone, PartialEq)]
 pub struct MonitorHit {
+    /// Which stream matched (index of the stream file in argument order).
+    pub stream_id: StreamId,
     /// Matched query.
     pub query_id: u32,
     /// First stream frame of the candidate.
@@ -188,9 +192,25 @@ pub struct MonitorHit {
     pub similarity: f64,
 }
 
-/// Monitor a stream bitstream against a persisted query set.
+/// Monitor one stream bitstream against a persisted query set.
 pub fn monitor(
     stream: &[u8],
+    query_file: &[u8],
+    detector: &DetectorConfig,
+    features: &FeatureConfig,
+) -> Result<Vec<MonitorHit>> {
+    monitor_streams(&[stream], query_file, detector, features)
+}
+
+/// Monitor any number of concurrent stream bitstreams against a persisted
+/// query set. Stream `i` of `streams` reports as `stream_id == i`.
+///
+/// The fleet is serial or sharded according to `detector.shards` (the
+/// CLI's `--shards` flag); the detections are identical either way. Key
+/// frames are interleaved round-robin across streams, emulating live
+/// concurrent broadcasts, and fed in batches of one key frame per stream.
+pub fn monitor_streams(
+    streams: &[&[u8]],
     query_file: &[u8],
     detector: &DetectorConfig,
     features: &FeatureConfig,
@@ -199,25 +219,60 @@ pub fn monitor(
     if queries.is_empty() {
         return Err(CliError::new("query file contains no queries"));
     }
+    if streams.is_empty() {
+        return Err(CliError::new("no stream bitstreams given"));
+    }
     let extractor = FeatureExtractor::new(*features);
-    let mut det = Detector::new(*detector, queries);
-    let mut decoder = PartialDecoder::new(stream)?;
+    let mut fleet = AnyFleet::new(*detector);
+    for query in queries.iter() {
+        fleet.subscribe(query.clone());
+    }
+
+    // Fingerprint every stream up front (decode is per-stream anyway),
+    // then interleave the key frames round-robin.
+    let mut fingerprints: Vec<Vec<(u64, u64)>> = Vec::with_capacity(streams.len());
+    for (i, bytes) in streams.iter().enumerate() {
+        fleet.add_stream(i as StreamId);
+        let mut decoder = PartialDecoder::new(bytes)?;
+        let mut cells = Vec::new();
+        while let Some(dc) = decoder.next_dc_frame()? {
+            cells.push((dc.frame_index, extractor.fingerprint(&dc)));
+        }
+        fingerprints.push(cells);
+    }
+
     let mut hits = Vec::new();
-    let push = |dets: Vec<vdsms_core::Detection>, hits: &mut Vec<MonitorHit>| {
+    let push = |dets: Vec<vdsms_core::StreamDetection>, hits: &mut Vec<MonitorHit>| {
         for d in dets {
             hits.push(MonitorHit {
-                query_id: d.query_id,
-                start_frame: d.start_frame,
-                end_frame: d.end_frame,
-                similarity: d.similarity,
+                stream_id: d.stream_id,
+                query_id: d.detection.query_id,
+                start_frame: d.detection.start_frame,
+                end_frame: d.detection.end_frame,
+                similarity: d.detection.similarity,
             });
         }
     };
-    while let Some(dc) = decoder.next_dc_frame()? {
-        let cell = extractor.fingerprint(&dc);
-        push(det.push_keyframe(dc.frame_index, cell), &mut hits);
+    let rounds = fingerprints.iter().map(Vec::len).max().unwrap_or(0);
+    let mut batch = Vec::with_capacity(streams.len());
+    for round in 0..rounds {
+        batch.clear();
+        for (i, cells) in fingerprints.iter().enumerate() {
+            if let Some(&(frame_index, cell)) = cells.get(round) {
+                batch.push((i as StreamId, frame_index, cell));
+            }
+        }
+        push(fleet.push_batch(&batch), &mut hits);
     }
-    push(det.finish(), &mut hits);
+    push(fleet.finish_all(), &mut hits);
+    hits.sort_by(|a, b| {
+        (a.stream_id, a.end_frame, a.query_id, a.start_frame).cmp(&(
+            b.stream_id,
+            b.end_frame,
+            b.query_id,
+            b.start_frame,
+        ))
+    });
     Ok(hits)
 }
 
@@ -285,6 +340,53 @@ mod tests {
         let q = generate(&opts(1, 8.0)).unwrap();
         assert!(sketch(&[], &det, &fc).is_err());
         assert!(sketch(&[(1, q.clone()), (1, q)], &det, &fc).is_err());
+    }
+
+    #[test]
+    fn sharded_monitor_matches_serial() {
+        let fc = FeatureConfig::default();
+        let det = detector();
+        let q = generate(&opts(300, 10.0)).unwrap();
+        let catalogue = sketch(&[(1, q)], &det, &fc).unwrap();
+
+        let spec = SourceSpec {
+            width: 176,
+            height: 120,
+            fps: Fps::integer(10),
+            seed: 0, // overridden per stream
+            min_scene_s: 2.0,
+            max_scene_s: 6.0,
+            motifs: None,
+        };
+        // Three concurrent streams; only stream 1 carries the query.
+        let make = |seed: u64, plant: bool| {
+            let mut clip =
+                ClipGenerator::new(SourceSpec { seed, ..spec.clone() }).clip(15.0);
+            if plant {
+                clip.append(
+                    ClipGenerator::new(SourceSpec { seed: 300, ..spec.clone() }).clip(10.0),
+                );
+            }
+            Encoder::encode_clip(
+                &clip,
+                EncoderConfig { gop: 5, quality: 80, motion_search: true },
+            )
+        };
+        let streams = [make(901, false), make(902, true), make(903, false)];
+        let slices: Vec<&[u8]> = streams.iter().map(Vec::as_slice).collect();
+
+        let serial = monitor_streams(&slices, &catalogue, &det, &fc).unwrap();
+        assert!(serial.iter().any(|h| h.stream_id == 1 && h.query_id == 1), "{serial:?}");
+        for shards in [2, 4] {
+            let sharded = monitor_streams(
+                &slices,
+                &catalogue,
+                &DetectorConfig { shards, ..det },
+                &fc,
+            )
+            .unwrap();
+            assert_eq!(sharded, serial, "shards={shards}");
+        }
     }
 
     #[test]

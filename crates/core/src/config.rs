@@ -53,6 +53,12 @@ pub struct DetectorConfig {
     /// Whether Lemma-2 pruning is applied (always on in the paper; the
     /// ablation experiment switches it off to measure its contribution).
     pub enable_pruning: bool,
+    /// Number of fleet shards (worker threads). `1` keeps the serial
+    /// [`crate::Fleet`]; `> 1` selects the sharded
+    /// [`crate::ParallelFleet`] when constructing via
+    /// [`crate::AnyFleet::new`]. Detection results are independent of the
+    /// shard count.
+    pub shards: usize,
 }
 
 /// Default min-hash family seed.
@@ -70,6 +76,7 @@ impl Default for DetectorConfig {
             representation: Representation::Bit,
             use_index: true,
             enable_pruning: true,
+            shards: 1,
         }
     }
 }
@@ -85,6 +92,7 @@ impl DetectorConfig {
         assert!(self.delta > 0.0 && self.delta <= 1.0, "δ must be in (0, 1]");
         assert!(self.lambda >= 1.0, "λ must be >= 1");
         assert!(self.window_keyframes >= 1, "window size must be >= 1");
+        assert!(self.shards >= 1, "shard count must be >= 1");
     }
 
     /// The δ used for Lemma-2 pruning: the configured δ when pruning is

@@ -19,6 +19,7 @@ use crate::query::{Query, QueryId, QuerySet};
 use crate::seq_store::SeqStore;
 use crate::stats::Stats;
 use crate::window::{Window, WindowRelations};
+use std::sync::Arc;
 use vdsms_sketch::{MinHashFamily, Sketch};
 
 enum Store {
@@ -30,8 +31,12 @@ enum Store {
 pub struct Detector {
     cfg: DetectorConfig,
     family: MinHashFamily,
-    queries: QuerySet,
-    index: Option<HqIndex>,
+    /// The subscribed catalogue. Shared (`Arc`) so a fleet of detectors
+    /// watching the same queries keeps one copy; per-detector
+    /// subscription changes copy-on-write via [`Arc::make_mut`].
+    queries: Arc<QuerySet>,
+    /// The HQ index over `queries`, shared the same way.
+    index: Option<Arc<HqIndex>>,
     store: Store,
     /// Cell ids of the window being filled.
     buffer: Vec<u64>,
@@ -57,7 +62,35 @@ impl Detector {
         if let Some(k) = queries.k() {
             assert_eq!(k, cfg.k, "query sketches must use K = {}", cfg.k);
         }
-        let index = cfg.use_index.then(|| HqIndex::build(cfg.k, &queries));
+        let index = cfg.use_index.then(|| Arc::new(HqIndex::build(cfg.k, &queries)));
+        Detector::with_shared(cfg, Arc::new(queries), index)
+    }
+
+    /// Create a detector that shares a pre-built catalogue and index with
+    /// other detectors (fleet use). The index must have been built over
+    /// exactly `queries`, and must be `Some` iff `cfg.use_index`.
+    ///
+    /// # Panics
+    /// Panics if the configuration is invalid, a query's `K` mismatches,
+    /// or index presence disagrees with `cfg.use_index`.
+    pub fn with_shared(
+        cfg: DetectorConfig,
+        queries: Arc<QuerySet>,
+        index: Option<Arc<HqIndex>>,
+    ) -> Detector {
+        cfg.validate();
+        if let Some(k) = queries.k() {
+            assert_eq!(k, cfg.k, "query sketches must use K = {}", cfg.k);
+        }
+        assert_eq!(
+            cfg.use_index,
+            index.is_some(),
+            "shared index must be provided exactly when cfg.use_index"
+        );
+        if let Some(ix) = &index {
+            assert_eq!(ix.k(), cfg.k, "shared index K mismatch");
+            assert_eq!(ix.len(), queries.len(), "shared index does not cover the catalogue");
+        }
         let store = match cfg.order {
             Order::Sequential => Store::Seq(SeqStore::new(cfg.representation)),
             Order::Geometric => Store::Geo(GeoStore::new(cfg.representation)),
@@ -110,18 +143,41 @@ impl Detector {
     pub fn subscribe(&mut self, query: Query) {
         assert_eq!(query.sketch.k(), self.cfg.k, "query sketch K mismatch");
         if let Some(ix) = &mut self.index {
-            ix.insert(&query);
+            Arc::make_mut(ix).insert(&query);
         }
-        self.queries.insert(query);
+        Arc::make_mut(&mut self.queries).insert(query);
     }
 
     /// Unsubscribe a query online. Candidates tracking it shed their
     /// entries lazily. Returns `false` if the id was not subscribed.
     pub fn unsubscribe(&mut self, id: QueryId) -> bool {
         if let Some(ix) = &mut self.index {
-            ix.remove(id);
+            Arc::make_mut(ix).remove(id);
         }
-        self.queries.remove(id).is_some()
+        Arc::make_mut(&mut self.queries).remove(id).is_some()
+    }
+
+    /// Atomically replace the catalogue and index with new shared
+    /// snapshots (fleet subscription broadcast). The swap happens between
+    /// basic windows, so it is equivalent to per-detector
+    /// `subscribe`/`unsubscribe` calls producing the same catalogue —
+    /// candidates tracking a removed query shed their entries lazily,
+    /// exactly as with [`Detector::unsubscribe`].
+    ///
+    /// # Panics
+    /// Panics on `K` mismatch or if index presence disagrees with
+    /// `cfg.use_index`.
+    pub fn install_catalogue(&mut self, queries: Arc<QuerySet>, index: Option<Arc<HqIndex>>) {
+        if let Some(k) = queries.k() {
+            assert_eq!(k, self.cfg.k, "query sketches must use K = {}", self.cfg.k);
+        }
+        assert_eq!(
+            self.cfg.use_index,
+            index.is_some(),
+            "shared index must be provided exactly when cfg.use_index"
+        );
+        self.queries = queries;
+        self.index = index;
     }
 
     /// Feed one key frame's fingerprint. Returns the detections triggered

@@ -7,17 +7,23 @@
 //! across all of them, and aggregates statistics and detections per
 //! stream.
 //!
-//! Each detector keeps its own candidate state and HQ index copy —
-//! candidate lists are inherently per-stream, and the index is small
-//! (`m × K` triples) next to the stream state, so replication is cheaper
-//! than locking a shared index on the per-window hot path.
+//! Each detector keeps its own candidate state — candidate lists are
+//! inherently per-stream — but the query catalogue and its HQ index are
+//! *shared*: the fleet maintains one immutable `Arc<QuerySet>` /
+//! `Arc<HqIndex>` snapshot and every stream's detector holds a clone of
+//! the `Arc`. Subscription changes build a new snapshot once and install
+//! it on every detector, so catalogue memory is O(1) in the number of
+//! streams and the sharded [`crate::ParallelFleet`] can hand the same
+//! snapshot to all of its worker threads.
 
 use crate::config::DetectorConfig;
 use crate::detection::Detection;
 use crate::engine::Detector;
+use crate::hq::HqIndex;
 use crate::query::{Query, QueryId, QuerySet};
 use crate::stats::Stats;
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Identifier of one monitored stream.
 pub type StreamId = u32;
@@ -31,11 +37,63 @@ pub struct StreamDetection {
     pub detection: Detection,
 }
 
+/// The fleet-wide shared catalogue snapshot: the query set and (when the
+/// configuration uses it) the HQ index built over exactly that set. The
+/// snapshot is immutable once published; subscription changes produce a
+/// new one.
+#[derive(Clone)]
+pub(crate) struct CatalogueSnapshot {
+    /// The subscribed queries.
+    pub queries: Arc<QuerySet>,
+    /// The HQ index over `queries`; `Some` iff the config uses the index.
+    pub index: Option<Arc<HqIndex>>,
+}
+
+impl CatalogueSnapshot {
+    /// An empty snapshot for a configuration.
+    pub fn empty(cfg: &DetectorConfig) -> CatalogueSnapshot {
+        CatalogueSnapshot {
+            queries: Arc::new(QuerySet::new()),
+            index: cfg.use_index.then(|| Arc::new(HqIndex::empty(cfg.k))),
+        }
+    }
+
+    /// Publish a snapshot with `query` added.
+    ///
+    /// # Panics
+    /// Panics on duplicate query id or sketch `K` mismatch.
+    pub fn with_subscribed(&self, query: Query) -> CatalogueSnapshot {
+        let mut queries = Arc::clone(&self.queries);
+        let mut index = self.index.clone();
+        if let Some(ix) = &mut index {
+            Arc::make_mut(ix).insert(&query);
+        }
+        Arc::make_mut(&mut queries).insert(query);
+        CatalogueSnapshot { queries, index }
+    }
+
+    /// Publish a snapshot with query `id` removed; `None` if not present.
+    pub fn with_unsubscribed(&self, id: QueryId) -> Option<CatalogueSnapshot> {
+        let mut queries = Arc::clone(&self.queries);
+        Arc::make_mut(&mut queries).remove(id)?;
+        let mut index = self.index.clone();
+        if let Some(ix) = &mut index {
+            Arc::make_mut(ix).remove(id);
+        }
+        Some(CatalogueSnapshot { queries, index })
+    }
+
+    /// Spawn a detector sharing this snapshot.
+    pub fn spawn_detector(&self, cfg: DetectorConfig) -> Detector {
+        Detector::with_shared(cfg, Arc::clone(&self.queries), self.index.clone())
+    }
+}
+
 /// A fleet of per-stream detectors sharing one query catalogue.
 pub struct Fleet {
     cfg: DetectorConfig,
-    /// The catalogue; new streams are seeded from it.
-    catalogue: QuerySet,
+    /// The shared catalogue; new streams are seeded from it.
+    catalogue: CatalogueSnapshot,
     streams: HashMap<StreamId, Detector>,
 }
 
@@ -46,7 +104,7 @@ impl Fleet {
     /// Panics if the configuration is invalid.
     pub fn new(cfg: DetectorConfig) -> Fleet {
         cfg.validate();
-        Fleet { cfg, catalogue: QuerySet::new(), streams: HashMap::new() }
+        Fleet { catalogue: CatalogueSnapshot::empty(&cfg), cfg, streams: HashMap::new() }
     }
 
     /// The configuration every stream's detector uses.
@@ -61,7 +119,7 @@ impl Fleet {
 
     /// Number of subscribed queries.
     pub fn query_count(&self) -> usize {
-        self.catalogue.len()
+        self.catalogue.queries.len()
     }
 
     /// Start monitoring a new stream; it immediately watches every
@@ -74,7 +132,7 @@ impl Fleet {
             !self.streams.contains_key(&stream_id),
             "stream {stream_id} already monitored"
         );
-        self.streams.insert(stream_id, Detector::new(self.cfg, self.catalogue.clone()));
+        self.streams.insert(stream_id, self.catalogue.spawn_detector(self.cfg));
     }
 
     /// Stop monitoring a stream; returns its final statistics, or `None`
@@ -88,20 +146,30 @@ impl Fleet {
     /// # Panics
     /// Panics on duplicate query id or sketch `K` mismatch.
     pub fn subscribe(&mut self, query: Query) {
-        self.catalogue.insert(query.clone());
-        for det in self.streams.values_mut() {
-            det.subscribe(query.clone());
-        }
+        self.catalogue = self.catalogue.with_subscribed(query);
+        self.install_catalogue();
     }
 
     /// Unsubscribe a query everywhere. Returns `false` if it was not
     /// subscribed.
     pub fn unsubscribe(&mut self, id: QueryId) -> bool {
-        let found = self.catalogue.remove(id).is_some();
+        let Some(next) = self.catalogue.with_unsubscribed(id) else {
+            return false;
+        };
+        self.catalogue = next;
+        self.install_catalogue();
+        true
+    }
+
+    /// Push the current snapshot to every stream's detector, restoring
+    /// full sharing after a subscription change.
+    fn install_catalogue(&mut self) {
         for det in self.streams.values_mut() {
-            det.unsubscribe(id);
+            det.install_catalogue(
+                Arc::clone(&self.catalogue.queries),
+                self.catalogue.index.clone(),
+            );
         }
-        found
     }
 
     /// Feed one key frame of one stream.
@@ -122,6 +190,24 @@ impl Fleet {
             .into_iter()
             .map(|detection| StreamDetection { stream_id, detection })
             .collect()
+    }
+
+    /// Feed a batch of key frames spanning any number of streams, in
+    /// order. Returns all detections the batch triggered, in feed order.
+    ///
+    /// This is the serial counterpart of
+    /// [`crate::ParallelFleet::push_batch`]: the two produce the same
+    /// detection set for the same batch sequence (ordering may differ
+    /// across streams).
+    ///
+    /// # Panics
+    /// Panics if any referenced stream is not monitored.
+    pub fn push_batch(&mut self, batch: &[(StreamId, u64, u64)]) -> Vec<StreamDetection> {
+        let mut out = Vec::new();
+        for &(stream_id, frame_index, cell_id) in batch {
+            out.extend(self.push_keyframe(stream_id, frame_index, cell_id));
+        }
+        out
     }
 
     /// Flush every stream's partial window (end of monitoring epoch).
@@ -145,21 +231,7 @@ impl Fleet {
     pub fn total_stats(&self) -> Stats {
         let mut total = Stats::default();
         for det in self.streams.values() {
-            let s = det.stats();
-            total.windows += s.windows;
-            total.sketch_compares += s.sketch_compares;
-            total.sketch_combines += s.sketch_combines;
-            total.sig_encodes += s.sig_encodes;
-            total.sig_ors += s.sig_ors;
-            total.sig_compares += s.sig_compares;
-            total.index_probes += s.index_probes;
-            total.index_row_searches += s.index_row_searches;
-            total.lemma2_prunes += s.lemma2_prunes;
-            total.length_expiries += s.length_expiries;
-            total.detections += s.detections;
-            total.live_signature_sum += s.live_signature_sum;
-            total.live_signature_peak = total.live_signature_peak.max(s.live_signature_peak);
-            total.live_candidate_sum += s.live_candidate_sum;
+            total.merge(det.stats());
         }
         total
     }

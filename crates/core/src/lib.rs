@@ -31,6 +31,7 @@ pub mod engine;
 pub mod fleet;
 pub mod geo_store;
 pub mod hq;
+pub mod parallel_fleet;
 pub mod persist;
 pub mod query;
 pub mod seq_store;
@@ -43,6 +44,7 @@ pub use detection::Detection;
 pub use engine::Detector;
 pub use fleet::{Fleet, StreamDetection, StreamId};
 pub use hq::HqIndex;
+pub use parallel_fleet::{AnyFleet, ParallelFleet};
 pub use persist::{load_queries, save_queries, PersistError};
 pub use query::{Query, QueryId, QuerySet};
 pub use stats::Stats;

@@ -1,0 +1,816 @@
+//! Sharded multi-stream monitoring: the paper's Table II setting (one
+//! node monitoring ~1000 queries over live streams in real time) scaled
+//! across cores.
+//!
+//! A [`ParallelFleet`] runs `N` worker threads. Streams are hash-sharded
+//! onto workers, so each stream's key frames are processed by exactly one
+//! thread, in order — detection per stream is bit-identical to the serial
+//! [`Fleet`]. The query catalogue and HQ index are immutable
+//! [`Arc`]-shared snapshots (see [`crate::fleet`]); a subscription change
+//! publishes a new snapshot to every shard over its command channel and
+//! waits for all shards to acknowledge — a **quiesce barrier**. Because
+//! each shard applies commands in FIFO order and the barrier completes
+//! only after every shard has drained everything sent before it,
+//! query-set changes are linearizable with respect to batches: every key
+//! frame pushed before `subscribe` returns is evaluated against the old
+//! catalogue, every one pushed after against the new one, on every shard.
+//!
+//! Two ingestion modes:
+//! - [`ParallelFleet::push_batch`] — synchronous: returns the batch's
+//!   detections, shards working concurrently within the call.
+//! - [`ParallelFleet::push_batch_async`] — pipelined: returns
+//!   immediately; detections accumulate in a sink drained by
+//!   [`ParallelFleet::take_detections`] after a [`ParallelFleet::quiesce`]
+//!   (or any other barrier-forming call). This is the throughput mode the
+//!   `fleet_parallel` benchmark measures.
+
+use crate::config::DetectorConfig;
+use crate::engine::Detector;
+use crate::fleet::{CatalogueSnapshot, Fleet, StreamDetection, StreamId};
+use crate::hq::HqIndex;
+use crate::query::{Query, QueryId, QuerySet};
+use crate::stats::Stats;
+use parking_lot::{Mutex, RwLock};
+use std::collections::HashMap;
+use std::sync::mpsc::{self, Receiver, Sender, SyncSender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// Commands processed by each shard worker, in FIFO order.
+enum Cmd {
+    /// Start monitoring a stream (the coordinator has already validated
+    /// uniqueness).
+    AddStream(StreamId),
+    /// Stop monitoring a stream; reply with its final stats.
+    RemoveStream(StreamId, SyncSender<Option<Stats>>),
+    /// Install a new catalogue snapshot on every detector of this shard,
+    /// then acknowledge (the quiesce barrier).
+    Install(Arc<QuerySet>, Option<Arc<HqIndex>>, SyncSender<()>),
+    /// Process the shard's slice of a batch and reply with detections.
+    BatchSync(Vec<(StreamId, u64, u64)>, SyncSender<Vec<StreamDetection>>),
+    /// Process the shard's slice of a batch; detections go to the sink.
+    BatchAsync(Vec<(StreamId, u64, u64)>),
+    /// Flush every stream's partial window and reply with detections.
+    FinishAll(SyncSender<Vec<StreamDetection>>),
+    /// Acknowledge once everything queued before this command is done.
+    Quiesce(SyncSender<()>),
+}
+
+/// Per-shard state owned by the worker thread.
+struct ShardState {
+    cfg: DetectorConfig,
+    streams: HashMap<StreamId, Detector>,
+    queries: Arc<QuerySet>,
+    index: Option<Arc<HqIndex>>,
+    /// Detections produced by `BatchAsync`, drained by the coordinator.
+    sink: Arc<Mutex<Vec<StreamDetection>>>,
+    /// Published per-stream stats, readable by the coordinator without a
+    /// command round-trip.
+    stats: Arc<RwLock<HashMap<StreamId, Stats>>>,
+}
+
+impl ShardState {
+    fn run(mut self, rx: Receiver<Cmd>) {
+        while let Ok(cmd) = rx.recv() {
+            match cmd {
+                Cmd::AddStream(stream_id) => {
+                    let det = Detector::with_shared(
+                        self.cfg,
+                        Arc::clone(&self.queries),
+                        self.index.clone(),
+                    );
+                    self.stats.write().insert(stream_id, det.stats().clone());
+                    self.streams.insert(stream_id, det);
+                }
+                Cmd::RemoveStream(stream_id, reply) => {
+                    let stats = self.streams.remove(&stream_id).map(|d| d.stats().clone());
+                    self.stats.write().remove(&stream_id);
+                    let _ = reply.send(stats);
+                }
+                Cmd::Install(queries, index, ack) => {
+                    for det in self.streams.values_mut() {
+                        det.install_catalogue(Arc::clone(&queries), index.clone());
+                    }
+                    self.queries = queries;
+                    self.index = index;
+                    let _ = ack.send(());
+                }
+                Cmd::BatchSync(items, reply) => {
+                    let dets = self.process(&items);
+                    let _ = reply.send(dets);
+                }
+                Cmd::BatchAsync(items) => {
+                    let dets = self.process(&items);
+                    if !dets.is_empty() {
+                        self.sink.lock().extend(dets);
+                    }
+                }
+                Cmd::FinishAll(reply) => {
+                    let mut out = Vec::new();
+                    for (&stream_id, det) in &mut self.streams {
+                        out.extend(
+                            det.finish()
+                                .into_iter()
+                                .map(|detection| StreamDetection { stream_id, detection }),
+                        );
+                    }
+                    self.publish_stats();
+                    let _ = reply.send(out);
+                }
+                Cmd::Quiesce(ack) => {
+                    let _ = ack.send(());
+                }
+            }
+        }
+    }
+
+    fn process(&mut self, items: &[(StreamId, u64, u64)]) -> Vec<StreamDetection> {
+        let mut out = Vec::new();
+        for &(stream_id, frame_index, cell_id) in items {
+            let det = self
+                .streams
+                .get_mut(&stream_id)
+                .unwrap_or_else(|| panic!("stream {stream_id} not monitored"));
+            out.extend(
+                det.push_keyframe(frame_index, cell_id)
+                    .into_iter()
+                    .map(|detection| StreamDetection { stream_id, detection }),
+            );
+        }
+        self.publish_stats();
+        out
+    }
+
+    fn publish_stats(&self) {
+        let mut slot = self.stats.write();
+        for (&stream_id, det) in &self.streams {
+            slot.insert(stream_id, det.stats().clone());
+        }
+    }
+}
+
+/// Handle to one shard: its command channel and thread.
+struct Shard {
+    tx: Sender<Cmd>,
+    sink: Arc<Mutex<Vec<StreamDetection>>>,
+    stats: Arc<RwLock<HashMap<StreamId, Stats>>>,
+    handle: Option<JoinHandle<()>>,
+}
+
+/// A sharded, multi-threaded fleet: the drop-in parallel counterpart of
+/// [`Fleet`]. See the module docs for the concurrency protocol.
+pub struct ParallelFleet {
+    cfg: DetectorConfig,
+    catalogue: CatalogueSnapshot,
+    shards: Vec<Shard>,
+    /// Which shard owns each monitored stream.
+    stream_shard: HashMap<StreamId, usize>,
+    /// Scratch: per-shard slices of the batch being partitioned.
+    partition: Vec<Vec<(StreamId, u64, u64)>>,
+}
+
+/// SplitMix64 finalizer used for stream→shard assignment. Mixing avoids
+/// pathological placements when stream ids are sequential multiples of
+/// the shard count.
+fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+impl ParallelFleet {
+    /// Create an empty fleet with `shards` worker threads.
+    ///
+    /// # Panics
+    /// Panics if the configuration is invalid or `shards == 0`.
+    pub fn new(cfg: DetectorConfig, shards: usize) -> ParallelFleet {
+        cfg.validate();
+        assert!(shards >= 1, "need at least one shard");
+        let catalogue = CatalogueSnapshot::empty(&cfg);
+        let shards: Vec<Shard> = (0..shards)
+            .map(|i| {
+                let sink = Arc::new(Mutex::new(Vec::new()));
+                let stats = Arc::new(RwLock::new(HashMap::new()));
+                let state = ShardState {
+                    cfg,
+                    streams: HashMap::new(),
+                    queries: Arc::clone(&catalogue.queries),
+                    index: catalogue.index.clone(),
+                    sink: Arc::clone(&sink),
+                    stats: Arc::clone(&stats),
+                };
+                let (tx, rx) = mpsc::channel();
+                let handle = std::thread::Builder::new()
+                    .name(format!("vdsms-fleet-shard-{i}"))
+                    .spawn(move || state.run(rx))
+                    .expect("spawn fleet shard worker");
+                Shard { tx, sink, stats, handle: Some(handle) }
+            })
+            .collect();
+        ParallelFleet {
+            partition: vec![Vec::new(); shards.len()],
+            cfg,
+            catalogue,
+            shards,
+            stream_shard: HashMap::new(),
+        }
+    }
+
+    /// The configuration every stream's detector uses.
+    pub fn config(&self) -> &DetectorConfig {
+        &self.cfg
+    }
+
+    /// Number of worker shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Number of monitored streams.
+    pub fn stream_count(&self) -> usize {
+        self.stream_shard.len()
+    }
+
+    /// Number of subscribed queries.
+    pub fn query_count(&self) -> usize {
+        self.catalogue.queries.len()
+    }
+
+    fn shard_of(&self, stream_id: StreamId) -> usize {
+        (mix64(u64::from(stream_id)) % self.shards.len() as u64) as usize
+    }
+
+    fn send(&self, shard: usize, cmd: Cmd) {
+        if self.shards[shard].tx.send(cmd).is_err() {
+            panic!("fleet shard {shard} worker died");
+        }
+    }
+
+    fn recv<T>(&self, shard: usize, rx: &Receiver<T>) -> T {
+        rx.recv().unwrap_or_else(|_| panic!("fleet shard {shard} worker died"))
+    }
+
+    /// Start monitoring a new stream; it immediately watches every
+    /// subscribed query.
+    ///
+    /// # Panics
+    /// Panics if the stream id is already monitored.
+    pub fn add_stream(&mut self, stream_id: StreamId) {
+        assert!(
+            !self.stream_shard.contains_key(&stream_id),
+            "stream {stream_id} already monitored"
+        );
+        let shard = self.shard_of(stream_id);
+        self.stream_shard.insert(stream_id, shard);
+        self.send(shard, Cmd::AddStream(stream_id));
+    }
+
+    /// Stop monitoring a stream; returns its final statistics, or `None`
+    /// if the id was not monitored.
+    pub fn remove_stream(&mut self, stream_id: StreamId) -> Option<Stats> {
+        let shard = self.stream_shard.remove(&stream_id)?;
+        let (reply, rx) = mpsc::sync_channel(1);
+        self.send(shard, Cmd::RemoveStream(stream_id, reply));
+        self.recv(shard, &rx)
+    }
+
+    /// Subscribe a query on every stream (and for all future streams).
+    /// Returns after every shard has installed the new catalogue — the
+    /// quiesce barrier described in the module docs.
+    ///
+    /// # Panics
+    /// Panics on duplicate query id or sketch `K` mismatch.
+    pub fn subscribe(&mut self, query: Query) {
+        self.catalogue = self.catalogue.with_subscribed(query);
+        self.broadcast_catalogue();
+    }
+
+    /// Unsubscribe a query everywhere (with the same barrier as
+    /// [`ParallelFleet::subscribe`]). Returns `false` if it was not
+    /// subscribed.
+    pub fn unsubscribe(&mut self, id: QueryId) -> bool {
+        let Some(next) = self.catalogue.with_unsubscribed(id) else {
+            return false;
+        };
+        self.catalogue = next;
+        self.broadcast_catalogue();
+        true
+    }
+
+    fn broadcast_catalogue(&mut self) {
+        let acks: Vec<Receiver<()>> = (0..self.shards.len())
+            .map(|shard| {
+                let (ack, rx) = mpsc::sync_channel(1);
+                self.send(
+                    shard,
+                    Cmd::Install(
+                        Arc::clone(&self.catalogue.queries),
+                        self.catalogue.index.clone(),
+                        ack,
+                    ),
+                );
+                rx
+            })
+            .collect();
+        for (shard, rx) in acks.iter().enumerate() {
+            self.recv(shard, rx);
+        }
+    }
+
+    /// Feed one key frame of one stream (synchronous).
+    ///
+    /// # Panics
+    /// Panics if the stream is not monitored.
+    pub fn push_keyframe(
+        &mut self,
+        stream_id: StreamId,
+        frame_index: u64,
+        cell_id: u64,
+    ) -> Vec<StreamDetection> {
+        self.push_batch(&[(stream_id, frame_index, cell_id)])
+    }
+
+    /// Feed a batch of key frames spanning any number of streams.
+    /// Partitioned by shard; shards work concurrently; returns once every
+    /// involved shard finished, with all detections the batch triggered.
+    ///
+    /// Ordering within one stream is preserved. Detections are grouped by
+    /// shard, not globally ordered across streams.
+    ///
+    /// # Panics
+    /// Panics if any referenced stream is not monitored.
+    pub fn push_batch(&mut self, batch: &[(StreamId, u64, u64)]) -> Vec<StreamDetection> {
+        let involved = self.partition_batch(batch);
+        let replies: Vec<(usize, Receiver<Vec<StreamDetection>>)> = involved
+            .into_iter()
+            .map(|shard| {
+                let items = std::mem::take(&mut self.partition[shard]);
+                let (reply, rx) = mpsc::sync_channel(1);
+                self.send(shard, Cmd::BatchSync(items, reply));
+                (shard, rx)
+            })
+            .collect();
+        let mut out = Vec::new();
+        for (shard, rx) in replies {
+            out.extend(self.recv(shard, &rx));
+        }
+        out
+    }
+
+    /// Feed a batch without waiting: the call returns as soon as every
+    /// shard has the work queued. Detections accumulate in a per-shard
+    /// sink; call [`ParallelFleet::quiesce`] then
+    /// [`ParallelFleet::take_detections`] to collect them.
+    ///
+    /// # Panics
+    /// Panics if any referenced stream is not monitored.
+    pub fn push_batch_async(&mut self, batch: &[(StreamId, u64, u64)]) {
+        let involved = self.partition_batch(batch);
+        for shard in involved {
+            let items = std::mem::take(&mut self.partition[shard]);
+            self.send(shard, Cmd::BatchAsync(items));
+        }
+    }
+
+    /// Split `batch` into the per-shard scratch vectors, preserving
+    /// per-stream order; returns the shards that received work (in
+    /// first-touched order). Validates stream ids on the caller's thread.
+    fn partition_batch(&mut self, batch: &[(StreamId, u64, u64)]) -> Vec<usize> {
+        let mut involved = Vec::new();
+        for &(stream_id, frame_index, cell_id) in batch {
+            let &shard = self
+                .stream_shard
+                .get(&stream_id)
+                .unwrap_or_else(|| panic!("stream {stream_id} not monitored"));
+            if self.partition[shard].is_empty() {
+                involved.push(shard);
+            }
+            self.partition[shard].push((stream_id, frame_index, cell_id));
+        }
+        involved
+    }
+
+    /// Block until every shard has processed everything queued so far.
+    pub fn quiesce(&mut self) {
+        let acks: Vec<Receiver<()>> = (0..self.shards.len())
+            .map(|shard| {
+                let (ack, rx) = mpsc::sync_channel(1);
+                self.send(shard, Cmd::Quiesce(ack));
+                rx
+            })
+            .collect();
+        for (shard, rx) in acks.iter().enumerate() {
+            self.recv(shard, rx);
+        }
+    }
+
+    /// Drain the detections produced by [`ParallelFleet::push_batch_async`]
+    /// since the last drain. Call [`ParallelFleet::quiesce`] first for a
+    /// complete view of all queued work.
+    pub fn take_detections(&mut self) -> Vec<StreamDetection> {
+        let mut out = Vec::new();
+        for shard in &self.shards {
+            out.append(&mut shard.sink.lock());
+        }
+        out
+    }
+
+    /// Flush every stream's partial window (end of monitoring epoch).
+    /// Forms a barrier: all previously queued batches complete first.
+    pub fn finish_all(&mut self) -> Vec<StreamDetection> {
+        let replies: Vec<Receiver<Vec<StreamDetection>>> = (0..self.shards.len())
+            .map(|shard| {
+                let (reply, rx) = mpsc::sync_channel(1);
+                self.send(shard, Cmd::FinishAll(reply));
+                rx
+            })
+            .collect();
+        let mut out = Vec::new();
+        for (shard, rx) in replies.iter().enumerate() {
+            out.extend(self.recv(shard, rx));
+        }
+        out
+    }
+
+    /// Per-stream statistics (as of the last completed call; callers that
+    /// used [`ParallelFleet::push_batch_async`] should
+    /// [`ParallelFleet::quiesce`] first).
+    pub fn stats(&self, stream_id: StreamId) -> Option<Stats> {
+        let &shard = self.stream_shard.get(&stream_id)?;
+        self.shards[shard].stats.read().get(&stream_id).cloned()
+    }
+
+    /// Aggregate statistics across all streams — the same counter-wise
+    /// merge the serial [`Fleet::total_stats`] reports.
+    pub fn total_stats(&self) -> Stats {
+        let mut total = Stats::default();
+        for shard in &self.shards {
+            for stats in shard.stats.read().values() {
+                total.merge(stats);
+            }
+        }
+        total
+    }
+}
+
+impl Drop for ParallelFleet {
+    fn drop(&mut self) {
+        // Closing the channels stops the workers.
+        for shard in &mut self.shards {
+            let (tx, _) = mpsc::channel();
+            drop(std::mem::replace(&mut shard.tx, tx));
+        }
+        let mut worker_panicked = false;
+        for shard in &mut self.shards {
+            if let Some(handle) = shard.handle.take() {
+                worker_panicked |= handle.join().is_err();
+            }
+        }
+        if worker_panicked && !std::thread::panicking() {
+            panic!("a fleet shard worker panicked");
+        }
+    }
+}
+
+/// A fleet that is serial or sharded depending on
+/// [`DetectorConfig::shards`] — the switch the CLI and the bench harness
+/// use. Detection results are identical either way.
+pub enum AnyFleet {
+    /// `shards == 1`: the caller-thread [`Fleet`].
+    Serial(Fleet),
+    /// `shards > 1`: the sharded [`ParallelFleet`].
+    Parallel(ParallelFleet),
+}
+
+impl AnyFleet {
+    /// Create a fleet according to `cfg.shards`.
+    ///
+    /// # Panics
+    /// Panics if the configuration is invalid.
+    pub fn new(cfg: DetectorConfig) -> AnyFleet {
+        if cfg.shards <= 1 {
+            AnyFleet::Serial(Fleet::new(cfg))
+        } else {
+            AnyFleet::Parallel(ParallelFleet::new(cfg, cfg.shards))
+        }
+    }
+
+    /// The configuration every stream's detector uses.
+    pub fn config(&self) -> &DetectorConfig {
+        match self {
+            AnyFleet::Serial(f) => f.config(),
+            AnyFleet::Parallel(f) => f.config(),
+        }
+    }
+
+    /// Number of monitored streams.
+    pub fn stream_count(&self) -> usize {
+        match self {
+            AnyFleet::Serial(f) => f.stream_count(),
+            AnyFleet::Parallel(f) => f.stream_count(),
+        }
+    }
+
+    /// Number of subscribed queries.
+    pub fn query_count(&self) -> usize {
+        match self {
+            AnyFleet::Serial(f) => f.query_count(),
+            AnyFleet::Parallel(f) => f.query_count(),
+        }
+    }
+
+    /// Start monitoring a new stream.
+    ///
+    /// # Panics
+    /// Panics if the stream id is already monitored.
+    pub fn add_stream(&mut self, stream_id: StreamId) {
+        match self {
+            AnyFleet::Serial(f) => f.add_stream(stream_id),
+            AnyFleet::Parallel(f) => f.add_stream(stream_id),
+        }
+    }
+
+    /// Stop monitoring a stream; returns its final statistics.
+    pub fn remove_stream(&mut self, stream_id: StreamId) -> Option<Stats> {
+        match self {
+            AnyFleet::Serial(f) => f.remove_stream(stream_id),
+            AnyFleet::Parallel(f) => f.remove_stream(stream_id),
+        }
+    }
+
+    /// Subscribe a query on every stream.
+    ///
+    /// # Panics
+    /// Panics on duplicate query id or sketch `K` mismatch.
+    pub fn subscribe(&mut self, query: Query) {
+        match self {
+            AnyFleet::Serial(f) => f.subscribe(query),
+            AnyFleet::Parallel(f) => f.subscribe(query),
+        }
+    }
+
+    /// Unsubscribe a query everywhere. Returns `false` if it was not
+    /// subscribed.
+    pub fn unsubscribe(&mut self, id: QueryId) -> bool {
+        match self {
+            AnyFleet::Serial(f) => f.unsubscribe(id),
+            AnyFleet::Parallel(f) => f.unsubscribe(id),
+        }
+    }
+
+    /// Feed one key frame of one stream.
+    ///
+    /// # Panics
+    /// Panics if the stream is not monitored.
+    pub fn push_keyframe(
+        &mut self,
+        stream_id: StreamId,
+        frame_index: u64,
+        cell_id: u64,
+    ) -> Vec<StreamDetection> {
+        match self {
+            AnyFleet::Serial(f) => f.push_keyframe(stream_id, frame_index, cell_id),
+            AnyFleet::Parallel(f) => f.push_keyframe(stream_id, frame_index, cell_id),
+        }
+    }
+
+    /// Feed a batch of key frames spanning any number of streams.
+    ///
+    /// # Panics
+    /// Panics if any referenced stream is not monitored.
+    pub fn push_batch(&mut self, batch: &[(StreamId, u64, u64)]) -> Vec<StreamDetection> {
+        match self {
+            AnyFleet::Serial(f) => f.push_batch(batch),
+            AnyFleet::Parallel(f) => f.push_batch(batch),
+        }
+    }
+
+    /// Flush every stream's partial window.
+    pub fn finish_all(&mut self) -> Vec<StreamDetection> {
+        match self {
+            AnyFleet::Serial(f) => f.finish_all(),
+            AnyFleet::Parallel(f) => f.finish_all(),
+        }
+    }
+
+    /// Per-stream statistics (owned; the parallel fleet's live elsewhere).
+    pub fn stats(&self, stream_id: StreamId) -> Option<Stats> {
+        match self {
+            AnyFleet::Serial(f) => f.stats(stream_id).cloned(),
+            AnyFleet::Parallel(f) => f.stats(stream_id),
+        }
+    }
+
+    /// Aggregate statistics across all streams.
+    pub fn total_stats(&self) -> Stats {
+        match self {
+            AnyFleet::Serial(f) => f.total_stats(),
+            AnyFleet::Parallel(f) => f.total_stats(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vdsms_sketch::MinHashFamily;
+
+    const K: usize = 64;
+
+    fn cfg() -> DetectorConfig {
+        DetectorConfig { k: K, window_keyframes: 4, ..Default::default() }
+    }
+
+    fn family() -> MinHashFamily {
+        MinHashFamily::new(K, crate::config::DEFAULT_HASH_SEED)
+    }
+
+    fn query(id: QueryId, base: u64) -> Query {
+        let ids: Vec<u64> = (base..base + 24).collect();
+        Query::from_cell_ids(id, &family(), &ids)
+    }
+
+    /// Interleaved multi-stream batch: stream `s` airs `copy_base(s)`
+    /// content at frames 30..54.
+    fn workload(streams: &[StreamId]) -> Vec<(StreamId, u64, u64)> {
+        let mut batch = Vec::new();
+        for i in 0..80u64 {
+            for &s in streams {
+                let id = if (30..54).contains(&i) {
+                    1000 * u64::from(s) + (i - 30) % 24
+                } else {
+                    900_000 + u64::from(s) * 1000 + i
+                };
+                batch.push((s, i, id));
+            }
+        }
+        batch
+    }
+
+    fn sorted_key(
+        mut dets: Vec<StreamDetection>,
+    ) -> Vec<(StreamId, u32, u64, u64)> {
+        dets.sort_by_key(|d| {
+            (d.stream_id, d.detection.query_id, d.detection.start_frame, d.detection.end_frame)
+        });
+        dets.iter()
+            .map(|d| {
+                (d.stream_id, d.detection.query_id, d.detection.start_frame, d.detection.end_frame)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn parallel_matches_serial_on_a_small_workload() {
+        let streams: Vec<StreamId> = (0..6).collect();
+        let batch = workload(&streams);
+
+        let run_serial = || {
+            let mut fleet = Fleet::new(cfg());
+            for &s in &streams {
+                fleet.add_stream(s);
+                fleet.subscribe(query(s, 1000 * u64::from(s)));
+            }
+            let mut dets = fleet.push_batch(&batch);
+            dets.extend(fleet.finish_all());
+            (sorted_key(dets), fleet.total_stats())
+        };
+        let (serial_dets, serial_stats) = run_serial();
+        assert!(!serial_dets.is_empty(), "workload must produce detections");
+
+        for shards in [1, 2, 4] {
+            let mut fleet = ParallelFleet::new(cfg(), shards);
+            for &s in &streams {
+                fleet.add_stream(s);
+                fleet.subscribe(query(s, 1000 * u64::from(s)));
+            }
+            let mut dets = fleet.push_batch(&batch);
+            dets.extend(fleet.finish_all());
+            assert_eq!(sorted_key(dets), serial_dets, "shards={shards}");
+            assert_eq!(fleet.total_stats(), serial_stats, "shards={shards}");
+        }
+    }
+
+    #[test]
+    fn async_mode_with_quiesce_matches_sync() {
+        let streams: Vec<StreamId> = (0..5).collect();
+        let batch = workload(&streams);
+
+        let mut sync_fleet = ParallelFleet::new(cfg(), 3);
+        let mut async_fleet = ParallelFleet::new(cfg(), 3);
+        for fleet in [&mut sync_fleet, &mut async_fleet] {
+            for &s in &streams {
+                fleet.add_stream(s);
+            }
+            fleet.subscribe(query(9, 2000));
+        }
+        let mut want = sync_fleet.push_batch(&batch);
+        want.extend(sync_fleet.finish_all());
+
+        for chunk in batch.chunks(37) {
+            async_fleet.push_batch_async(chunk);
+        }
+        async_fleet.quiesce();
+        let mut got = async_fleet.take_detections();
+        got.extend(async_fleet.finish_all());
+        assert_eq!(sorted_key(got), sorted_key(want));
+    }
+
+    #[test]
+    fn subscribe_forms_a_barrier_between_batches() {
+        let mut fleet = ParallelFleet::new(cfg(), 4);
+        for s in 0..8 {
+            fleet.add_stream(s);
+        }
+        let batch = workload(&(0..8).collect::<Vec<_>>());
+        // Queue work async, then subscribe: the barrier must order the
+        // subscription after all queued frames on every shard.
+        fleet.push_batch_async(&batch);
+        fleet.subscribe(query(1, 1000));
+        let pre = fleet.take_detections();
+        assert!(
+            pre.iter().all(|d| d.detection.query_id != 1),
+            "no frame queued before subscribe may match the new query"
+        );
+        // A second airing after the subscription is detected.
+        let mut dets = Vec::new();
+        for i in 80..140u64 {
+            let id = if (90..114).contains(&i) { 1000 + (i - 90) % 24 } else { 700_000 + i };
+            dets.extend(fleet.push_batch(&[(1, i, id)]));
+        }
+        dets.extend(fleet.finish_all());
+        assert!(dets.iter().any(|d| d.detection.query_id == 1 && d.stream_id == 1), "{dets:?}");
+    }
+
+    #[test]
+    fn streams_and_stats_lifecycle() {
+        let mut fleet = ParallelFleet::new(cfg(), 2);
+        fleet.subscribe(query(1, 1000));
+        fleet.add_stream(10);
+        fleet.add_stream(20);
+        assert_eq!(fleet.stream_count(), 2);
+        assert_eq!(fleet.query_count(), 1);
+        assert_eq!(fleet.shard_count(), 2);
+
+        let batch: Vec<(StreamId, u64, u64)> =
+            (0..40u64).map(|i| (10, i, 555_000 + i)).collect();
+        fleet.push_batch(&batch);
+        assert_eq!(fleet.stats(10).unwrap().windows, 10);
+        assert_eq!(fleet.stats(20).unwrap().windows, 0);
+        assert!(fleet.stats(99).is_none());
+
+        let final_stats = fleet.remove_stream(10).unwrap();
+        assert_eq!(final_stats.windows, 10);
+        assert!(fleet.remove_stream(10).is_none());
+        assert_eq!(fleet.stream_count(), 1);
+        assert!(fleet.stats(10).is_none());
+        assert!(!fleet.unsubscribe(42));
+        assert!(fleet.unsubscribe(1));
+        assert_eq!(fleet.query_count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "already monitored")]
+    fn duplicate_stream_rejected() {
+        let mut fleet = ParallelFleet::new(cfg(), 2);
+        fleet.add_stream(1);
+        fleet.add_stream(1);
+    }
+
+    #[test]
+    #[should_panic(expected = "not monitored")]
+    fn unknown_stream_rejected_on_callers_thread() {
+        let mut fleet = ParallelFleet::new(cfg(), 2);
+        fleet.push_batch(&[(3, 0, 0)]);
+    }
+
+    #[test]
+    fn any_fleet_switches_on_config() {
+        let serial = AnyFleet::new(DetectorConfig { k: K, shards: 1, ..Default::default() });
+        assert!(matches!(serial, AnyFleet::Serial(_)));
+        let parallel = AnyFleet::new(DetectorConfig { k: K, shards: 4, ..Default::default() });
+        assert!(matches!(parallel, AnyFleet::Parallel(_)));
+
+        let mut fleet = AnyFleet::new(DetectorConfig {
+            k: K,
+            window_keyframes: 4,
+            shards: 2,
+            ..Default::default()
+        });
+        fleet.subscribe(query(3, 3000));
+        fleet.add_stream(1);
+        assert_eq!(fleet.query_count(), 1);
+        assert_eq!(fleet.stream_count(), 1);
+        let mut dets = Vec::new();
+        for i in 0..60u64 {
+            let id = if (20..44).contains(&i) { 3000 + (i - 20) % 24 } else { 800_000 + i };
+            dets.extend(fleet.push_keyframe(1, i, id));
+        }
+        dets.extend(fleet.finish_all());
+        assert!(dets.iter().any(|d| d.detection.query_id == 3), "{dets:?}");
+        assert!(fleet.stats(1).unwrap().windows >= 15);
+        assert!(fleet.total_stats().detections >= 1);
+        assert!(fleet.remove_stream(1).is_some());
+    }
+}

@@ -50,6 +50,28 @@ pub struct Stats {
 }
 
 impl Stats {
+    /// Accumulate another detector's (or shard's) counters into this one:
+    /// counters add, peaks take the max. Merging per-stream or per-shard
+    /// stats in any order yields the same aggregate (the operation is
+    /// commutative and associative), which is what lets a sharded fleet
+    /// report the same totals as a serial one.
+    pub fn merge(&mut self, other: &Stats) {
+        self.windows += other.windows;
+        self.sketch_compares += other.sketch_compares;
+        self.sketch_combines += other.sketch_combines;
+        self.sig_encodes += other.sig_encodes;
+        self.sig_ors += other.sig_ors;
+        self.sig_compares += other.sig_compares;
+        self.index_probes += other.index_probes;
+        self.index_row_searches += other.index_row_searches;
+        self.lemma2_prunes += other.lemma2_prunes;
+        self.length_expiries += other.length_expiries;
+        self.detections += other.detections;
+        self.live_signature_sum += other.live_signature_sum;
+        self.live_signature_peak = self.live_signature_peak.max(other.live_signature_peak);
+        self.live_candidate_sum += other.live_candidate_sum;
+    }
+
     /// Average number of live signatures per window (Fig. 10's metric).
     pub fn avg_signatures(&self) -> f64 {
         if self.windows == 0 {

@@ -1,0 +1,269 @@
+//! Serial/parallel fleet equivalence: for arbitrary interleaved
+//! multi-stream workloads — including subscription churn mid-stream — the
+//! sharded [`ParallelFleet`] must emit exactly the detection set of the
+//! serial [`Fleet`], at every shard count, with identical aggregate
+//! statistics. Plus the merge-algebra properties that make per-shard
+//! aggregation well-defined.
+
+use proptest::prelude::*;
+use vdsms_core::{
+    AnyFleet, Detector, DetectorConfig, Fleet, ParallelFleet, Query, Stats, StreamDetection,
+    StreamId,
+};
+
+const K: usize = 64;
+
+fn cfg() -> DetectorConfig {
+    DetectorConfig { k: K, window_keyframes: 3, ..Default::default() }
+}
+
+/// A small query whose cells live in the stream's cell-id domain, so
+/// random workloads actually produce detections.
+fn query(id: u8) -> Query {
+    let family = Detector::family_for(&cfg());
+    let base = u64::from(id) * 2;
+    let cells: Vec<u64> = (base..base + 4).map(|c| c % 16).collect();
+    Query::from_cell_ids(u32::from(id), &family, &cells)
+}
+
+/// One step of an interleaved multi-stream workload.
+#[derive(Debug, Clone)]
+enum Op {
+    /// Key frames for streams (stream index, cell id); frame indices are
+    /// assigned per stream at apply time.
+    Batch(Vec<(u8, u64)>),
+    Subscribe(u8),
+    Unsubscribe(u8),
+}
+
+fn arb_op(n_streams: u8) -> impl Strategy<Value = Op> {
+    prop_oneof![
+        proptest::collection::vec((0..n_streams, 0u64..16), 1..40).prop_map(Op::Batch),
+        (0u8..6).prop_map(Op::Subscribe),
+        (0u8..6).prop_map(Op::Unsubscribe),
+    ]
+}
+
+fn sort_key(d: &StreamDetection) -> (StreamId, u32, u64, u64, u64) {
+    (
+        d.stream_id,
+        d.detection.query_id,
+        d.detection.start_frame,
+        d.detection.end_frame,
+        d.detection.windows as u64,
+    )
+}
+
+/// Run the op sequence on any fleet; returns the sorted detection keys
+/// and the aggregate stats. Duplicate subscribes are skipped (both sides
+/// identically) so the sequence is valid.
+fn apply(fleet: &mut AnyFleet, n_streams: u8, ops: &[Op]) -> (Vec<(StreamId, u32, u64, u64, u64)>, Stats) {
+    let mut subscribed = std::collections::HashSet::new();
+    let mut next_frame = vec![0u64; usize::from(n_streams)];
+    for s in 0..n_streams {
+        fleet.add_stream(StreamId::from(s));
+    }
+    let mut dets: Vec<StreamDetection> = Vec::new();
+    for op in ops {
+        match op {
+            Op::Batch(frames) => {
+                let batch: Vec<(StreamId, u64, u64)> = frames
+                    .iter()
+                    .map(|&(s, cell)| {
+                        let s = s % n_streams; // ops are drawn for the max stream count
+                        let f = next_frame[usize::from(s)];
+                        next_frame[usize::from(s)] += 1;
+                        (StreamId::from(s), f, cell)
+                    })
+                    .collect();
+                dets.extend(fleet.push_batch(&batch));
+            }
+            Op::Subscribe(id) => {
+                if subscribed.insert(*id) {
+                    fleet.subscribe(query(*id));
+                }
+            }
+            Op::Unsubscribe(id) => {
+                subscribed.remove(id);
+                fleet.unsubscribe(u32::from(*id));
+            }
+        }
+    }
+    dets.extend(fleet.finish_all());
+    let stats = fleet.total_stats();
+    let mut keys: Vec<_> = dets.iter().map(sort_key).collect();
+    keys.sort_unstable();
+    (keys, stats)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The tentpole property: arbitrary interleaved workloads with
+    /// mid-stream subscription churn produce the same detection set and
+    /// the same aggregate stats on the serial fleet and on every shard
+    /// count.
+    #[test]
+    fn parallel_equals_serial_for_arbitrary_workloads(
+        n_streams in 1u8..7,
+        ops in proptest::collection::vec(arb_op(7), 1..30),
+    ) {
+        let mut serial = AnyFleet::new(cfg());
+        let (want, want_stats) = apply(&mut serial, n_streams, &ops);
+        for shards in [1usize, 2, 4, 8] {
+            let mut par = AnyFleet::Parallel(ParallelFleet::new(cfg(), shards));
+            let (got, got_stats) = apply(&mut par, n_streams, &ops);
+            prop_assert_eq!(&got, &want, "shards={}", shards);
+            prop_assert_eq!(&got_stats, &want_stats, "shards={}", shards);
+        }
+    }
+
+    /// Merging per-shard stats is order- and grouping-insensitive: any
+    /// partition of the per-stream stats into shards, merged shard-wise
+    /// and then across shards, equals the serial concatenation.
+    #[test]
+    fn stats_merge_is_partition_invariant(
+        parts in proptest::collection::vec(
+            (0u64..1000, 0u64..1000, 0u64..1000, 0u64..1000, 0u64..1000), 1..12),
+        assignment in proptest::collection::vec(0usize..4, 12),
+    ) {
+        let stats: Vec<Stats> = parts.iter().map(|&(w, cmp, enc, peak, det)| Stats {
+            windows: w,
+            sig_compares: cmp,
+            sig_encodes: enc,
+            live_signature_peak: peak,
+            detections: det,
+            ..Default::default()
+        }).collect();
+
+        // Serial concatenation: merge everything left to right.
+        let mut serial = Stats::default();
+        for s in &stats {
+            serial.merge(s);
+        }
+
+        // Sharded: merge within each shard, then across shards (and in
+        // reverse shard order, exercising commutativity).
+        let mut shards = vec![Stats::default(); 4];
+        for (i, s) in stats.iter().enumerate() {
+            shards[assignment[i % assignment.len()]].merge(s);
+        }
+        let mut sharded = Stats::default();
+        for s in shards.iter().rev() {
+            sharded.merge(s);
+        }
+        prop_assert_eq!(sharded, serial);
+    }
+
+    /// Window bookkeeping under out-of-order `finish()` calls: finishing
+    /// mid-stream closes exactly the buffered short window (windows
+    /// counter advances iff key frames were pending), repeated finishes
+    /// are no-ops, and the detector keeps accepting key frames afterwards
+    /// with consistent window counts.
+    #[test]
+    fn finish_is_idempotent_and_reentrant(
+        segments in proptest::collection::vec(
+            proptest::collection::vec(0u64..16, 0..20), 1..8),
+    ) {
+        let mut det = Detector::new(cfg(), vdsms_core::QuerySet::new());
+        det.subscribe(query(1));
+        let w = cfg().window_keyframes as u64;
+        let mut frame = 0u64;
+        let mut expect_windows = 0u64;
+        let mut pending = 0u64;
+        for seg in &segments {
+            for &cell in seg {
+                det.push_keyframe(frame, cell);
+                frame += 1;
+                pending += 1;
+                if pending == w {
+                    expect_windows += 1;
+                    pending = 0;
+                }
+            }
+            // Out-of-order finish: flush whatever is buffered mid-stream.
+            det.finish();
+            if pending > 0 {
+                expect_windows += 1;
+                pending = 0;
+            }
+            prop_assert_eq!(det.stats().windows, expect_windows);
+            // A second finish with an empty buffer must change nothing.
+            let again = det.finish();
+            prop_assert!(again.is_empty());
+            prop_assert_eq!(det.stats().windows, expect_windows);
+        }
+    }
+}
+
+/// Concurrency stress: 8 shards, randomized batch sizes, pipelined
+/// ingestion — every detection the serial fleet emits must come out of
+/// the parallel fleet exactly once (no drops, no duplicates).
+#[test]
+fn stress_pipelined_8_shards_drops_nothing() {
+    let n_streams: u32 = 16;
+    let frames_per_stream: u64 = if cfg!(debug_assertions) { 300 } else { 1200 };
+
+    // Deterministic xorshift for batch sizing and content.
+    let mut rng_state = 0x243f_6a88_85a3_08d3u64;
+    let mut rng = move || {
+        rng_state ^= rng_state << 13;
+        rng_state ^= rng_state >> 7;
+        rng_state ^= rng_state << 17;
+        rng_state
+    };
+
+    // Interleaved workload; streams periodically air query content.
+    let mut workload: Vec<(StreamId, u64, u64)> = Vec::new();
+    for f in 0..frames_per_stream {
+        for s in 0..n_streams {
+            let cell = if f % 11 < 4 { (u64::from(s) + f % 11) % 16 } else { rng() % 16 };
+            workload.push((s, f, cell));
+        }
+    }
+
+    let subscribe_all = |fleet: &mut dyn FnMut(Query)| {
+        for id in 0..6u8 {
+            fleet(query(id));
+        }
+    };
+
+    let mut serial = Fleet::new(cfg());
+    for s in 0..n_streams {
+        serial.add_stream(s);
+    }
+    subscribe_all(&mut |q| serial.subscribe(q));
+    let mut want = serial.push_batch(&workload);
+    want.extend(serial.finish_all());
+
+    let mut par = ParallelFleet::new(cfg(), 8);
+    for s in 0..n_streams {
+        par.add_stream(s);
+    }
+    subscribe_all(&mut |q| par.subscribe(q));
+    let mut got: Vec<StreamDetection> = Vec::new();
+    let mut i = 0usize;
+    while i < workload.len() {
+        let size = 1 + (rng() % 512) as usize;
+        let end = (i + size).min(workload.len());
+        par.push_batch_async(&workload[i..end]);
+        i = end;
+        // Occasionally drain mid-flight (after a barrier).
+        if rng() % 7 == 0 {
+            par.quiesce();
+            got.extend(par.take_detections());
+        }
+    }
+    par.quiesce();
+    got.extend(par.take_detections());
+    got.extend(par.finish_all());
+
+    assert_eq!(got.len(), want.len(), "detection count oracle");
+    let mut want_keys: Vec<_> = want.iter().map(sort_key).collect();
+    let mut got_keys: Vec<_> = got.iter().map(sort_key).collect();
+    want_keys.sort_unstable();
+    got_keys.sort_unstable();
+    assert_eq!(got_keys, want_keys);
+    assert!(!want_keys.is_empty(), "stress workload must produce detections");
+    assert_eq!(par.total_stats(), serial.total_stats());
+}

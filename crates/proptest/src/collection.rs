@@ -1,0 +1,99 @@
+//! Collection strategies: `vec` and `hash_set`.
+
+use crate::{Strategy, TestRng};
+use rand::Rng as _;
+use std::collections::HashSet;
+use std::hash::Hash;
+
+/// A collection size specification: an exact size or a half-open /
+/// inclusive range, mirroring upstream's `Into<SizeRange>` arguments.
+#[derive(Debug, Clone, Copy)]
+pub struct SizeRange {
+    /// Minimum size (inclusive).
+    pub min: usize,
+    /// Maximum size (inclusive).
+    pub max: usize,
+}
+
+impl SizeRange {
+    fn pick(&self, rng: &mut TestRng) -> usize {
+        rng.gen_range(self.min..=self.max)
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> SizeRange {
+        SizeRange { min: n, max: n }
+    }
+}
+
+impl From<std::ops::Range<usize>> for SizeRange {
+    fn from(r: std::ops::Range<usize>) -> SizeRange {
+        assert!(r.start < r.end, "empty size range");
+        SizeRange { min: r.start, max: r.end - 1 }
+    }
+}
+
+impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+    fn from(r: std::ops::RangeInclusive<usize>) -> SizeRange {
+        SizeRange { min: *r.start(), max: *r.end() }
+    }
+}
+
+/// Strategy for `Vec<T>` with sizes drawn from `size`.
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let n = self.size.pick(rng);
+        (0..n).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+/// Generate a `Vec` of `element` values with a size in `size`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy { element, size: size.into() }
+}
+
+/// Strategy for `HashSet<T>` with sizes drawn from `size`.
+#[derive(Debug, Clone)]
+pub struct HashSetStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for HashSetStrategy<S>
+where
+    S::Value: Eq + Hash,
+{
+    type Value = HashSet<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> HashSet<S::Value> {
+        let n = self.size.pick(rng);
+        let mut out = HashSet::with_capacity(n);
+        // Bounded retries: a small element domain may not have n distinct
+        // values; upstream treats this as an (unlikely) generation failure.
+        let mut attempts = 0usize;
+        while out.len() < n {
+            out.insert(self.element.generate(rng));
+            attempts += 1;
+            assert!(
+                attempts < 100 * (n + 1),
+                "hash_set strategy could not reach {n} distinct elements"
+            );
+        }
+        out
+    }
+}
+
+/// Generate a `HashSet` of `element` values with a size in `size`.
+pub fn hash_set<S: Strategy>(element: S, size: impl Into<SizeRange>) -> HashSetStrategy<S>
+where
+    S::Value: Eq + Hash,
+{
+    HashSetStrategy { element, size: size.into() }
+}

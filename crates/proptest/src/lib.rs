@@ -1,0 +1,383 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Supports the API subset this workspace's property tests use: the
+//! [`proptest!`] macro with an optional `#![proptest_config(..)]` header,
+//! range/`any`/`Just`/tuple/`prop_oneof!`/`prop_map` strategies, the
+//! `collection::{vec, hash_set}` combinators, and the `prop_assert*`
+//! macros. No shrinking: each test runs `cases` deterministic cases whose
+//! seeds derive from the test name, and a failure reports the case number
+//! and seed so it can be replayed (the seed is stable across runs, so a
+//! failing case is always reproducible by rerunning the test).
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+pub mod collection;
+
+/// Per-test configuration (subset).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases to run.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+/// The per-case random source handed to strategies.
+pub type TestRng = StdRng;
+
+/// Derive the deterministic RNG for `(test name, case index)`.
+pub fn case_rng(test_name: &str, case: u32) -> TestRng {
+    // FNV-1a over the test name keeps seeds stable and distinct per test.
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in test_name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    StdRng::seed_from_u64(h ^ (u64::from(case) << 32 | u64::from(case)))
+}
+
+/// A generator of values of one type.
+///
+/// Unlike upstream proptest there is no shrinking: `generate` draws a
+/// value directly from the RNG.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draw one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values with `f`.
+    fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Keep only values satisfying `pred`, retrying a bounded number of
+    /// times.
+    fn prop_filter<F: Fn(&Self::Value) -> bool>(
+        self,
+        whence: &'static str,
+        pred: F,
+    ) -> Filter<Self, F>
+    where
+        Self: Sized,
+    {
+        Filter { inner: self, pred, whence }
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_filter`].
+#[derive(Debug, Clone)]
+pub struct Filter<S, F> {
+    inner: S,
+    pred: F,
+    whence: &'static str,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        for _ in 0..1_000 {
+            let v = self.inner.generate(rng);
+            if (self.pred)(&v) {
+                return v;
+            }
+        }
+        panic!("prop_filter({}) rejected 1000 consecutive draws", self.whence);
+    }
+}
+
+/// Strategy producing one constant value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Types with a canonical full-domain strategy ([`any`]).
+pub trait Arbitrary: Sized {
+    /// Draw from the type's whole domain.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                use rand::Rng as _;
+                rng.gen::<$t>()
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, bool);
+
+/// Strategy over a type's whole domain.
+#[derive(Debug, Clone, Copy)]
+pub struct Any<T> {
+    _marker: std::marker::PhantomData<T>,
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The `any::<T>()` strategy constructor.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any { _marker: std::marker::PhantomData }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                use rand::Rng as _;
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                use rand::Rng as _;
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        #[allow(non_snake_case)]
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, F);
+impl_tuple_strategy!(A, B, C, D, E, F, G);
+impl_tuple_strategy!(A, B, C, D, E, F, G, H);
+
+/// One boxed alternative of a [`Union`].
+pub type UnionOption<T> = Box<dyn Fn(&mut TestRng) -> T>;
+
+/// Object-safe strategy wrapper backing [`prop_oneof!`].
+pub struct Union<T> {
+    options: Vec<UnionOption<T>>,
+}
+
+impl<T> Union<T> {
+    /// Build from generator closures, one per alternative.
+    pub fn from_options(options: Vec<UnionOption<T>>) -> Union<T> {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+        Union { options }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        use rand::Rng as _;
+        let i = rng.gen_range(0..self.options.len());
+        (self.options[i])(rng)
+    }
+}
+
+/// Choose uniformly among alternative strategies of one value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::Union::from_options(vec![
+            $({
+                let s = $strategy;
+                Box::new(move |rng: &mut $crate::TestRng| $crate::Strategy::generate(&s, rng))
+                    as Box<dyn Fn(&mut $crate::TestRng) -> _>
+            }),+
+        ])
+    };
+}
+
+/// Assert inside a property test.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond);
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        assert!($cond, $($fmt)*);
+    };
+}
+
+/// Assert equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {
+        assert_eq!($left, $right);
+    };
+    ($left:expr, $right:expr, $($fmt:tt)*) => {
+        assert_eq!($left, $right, $($fmt)*);
+    };
+}
+
+/// Assert inequality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {
+        assert_ne!($left, $right);
+    };
+    ($left:expr, $right:expr, $($fmt:tt)*) => {
+        assert_ne!($left, $right, $($fmt)*);
+    };
+}
+
+/// Define property tests.
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///     #[test]
+///     fn holds(x in 0u64..100, ys in proptest::collection::vec(any::<u8>(), 1..9)) {
+///         prop_assert!(x < 100);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    // Internal arms first: the final catch-all would otherwise re-match
+    // the `@cfg`-prefixed recursive calls and loop forever.
+    (@cfg ($config:expr)) => {};
+    (@cfg ($config:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $config;
+            for case in 0..config.cases {
+                let mut rng = $crate::case_rng(
+                    concat!(module_path!(), "::", stringify!($name)), case);
+                $(let $arg = $crate::Strategy::generate(&$strategy, &mut rng);)+
+                let outcome = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(
+                    || $body));
+                if let Err(panic) = outcome {
+                    eprintln!(
+                        "proptest {}: case {}/{} failed (deterministic; rerun reproduces it)",
+                        stringify!($name), case, config.cases);
+                    ::std::panic::resume_unwind(panic);
+                }
+            }
+        }
+        $crate::proptest! { @cfg ($config) $($rest)* }
+    };
+    // With a config header.
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::proptest! { @cfg ($config) $($rest)* }
+    };
+    // Without one.
+    ($($rest:tt)*) => {
+        $crate::proptest! { @cfg ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+pub mod prelude {
+    //! The customary glob import.
+    pub use crate::{
+        any, case_rng, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest,
+        Arbitrary, Just, ProptestConfig, Strategy, TestRng,
+    };
+    pub use rand::Rng as _;
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn strategies_are_deterministic_per_case() {
+        let s = (0u64..100, crate::collection::vec(any::<u8>(), 1..9));
+        let a = s.generate(&mut crate::case_rng("t", 3));
+        let b = s.generate(&mut crate::case_rng("t", 3));
+        assert_eq!(a, b);
+        let c = s.generate(&mut crate::case_rng("t", 4));
+        // Different cases almost surely differ.
+        assert!(a != c || s.generate(&mut crate::case_rng("t", 5)) != a);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_and_collections_respect_bounds(
+            x in 10u64..20,
+            f in 0.25f64..0.75,
+            v in crate::collection::vec(0i32..5, 2..6),
+            s in crate::collection::hash_set(0u64..1000, 3..10),
+            flag in any::<bool>(),
+            choice in prop_oneof![Just(1u8), Just(2u8)],
+        ) {
+            prop_assert!((10..20).contains(&x));
+            prop_assert!((0.25..0.75).contains(&f));
+            prop_assert!((2..6).contains(&v.len()));
+            prop_assert!(v.iter().all(|&e| (0..5).contains(&e)));
+            prop_assert!((3..10).contains(&s.len()));
+            prop_assert!(choice == 1u8 || choice == 2u8);
+            let _ = flag;
+        }
+
+        #[test]
+        fn prop_map_applies(y in (0u32..10).prop_map(|v| v * 2)) {
+            prop_assert_eq!(y % 2, 0);
+            prop_assert!(y < 20);
+        }
+    }
+}

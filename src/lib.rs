@@ -44,7 +44,7 @@
 //! // A clip we want to monitor for (in reality: an ad, a film sample...).
 //! let spec = SourceSpec {
 //!     width: 96, height: 64, fps: Fps::integer(10), seed: 7,
-//!     min_scene_s: 1.0, max_scene_s: 3.0,
+//!     min_scene_s: 1.0, max_scene_s: 3.0, motifs: None,
 //! };
 //! let clip = ClipGenerator::new(spec.clone()).clip(10.0);
 //!

@@ -1,0 +1,76 @@
+//! Deterministic end-to-end golden test: a fixed synthetic broadcast with
+//! two planted query clips, run through the full pipeline (encode →
+//! partial decode → features → sketch → detect), must reproduce the
+//! committed detection list exactly — ids, frame ranges, window counts,
+//! and similarities (to 1e-9).
+//!
+//! Every stage is seeded and the pipeline is pure integer/deterministic
+//! float arithmetic, so any divergence is a real behavior change: codec
+//! bit layout, feature normalization, sketch hashing, window bookkeeping,
+//! or detection logic. Update the list only when such a change is
+//! intended, by running with `GOLDEN_PRINT=1`.
+
+use vdsms::codec::{Encoder, EncoderConfig};
+use vdsms::video::source::{ClipGenerator, SourceSpec};
+use vdsms::video::Fps;
+use vdsms::{DetectorConfig, MonitorBuilder};
+
+/// (query_id, start_frame, end_frame, windows, similarity).
+const GOLDEN: &[(u32, u64, u64, usize, f64)] = &[
+    (7, 100, 175, 4, 0.875),
+    (7, 120, 175, 3, 0.74125),
+    (13, 300, 375, 4, 0.76375),
+    (13, 320, 395, 4, 0.8925),
+];
+
+fn spec(seed: u64) -> SourceSpec {
+    SourceSpec {
+        width: 96,
+        height: 64,
+        fps: Fps::integer(10),
+        seed,
+        min_scene_s: 1.0,
+        max_scene_s: 3.0,
+        motifs: None,
+    }
+}
+
+#[test]
+fn full_pipeline_reproduces_golden_detections() {
+    let enc = EncoderConfig { gop: 5, quality: 80, motion_search: true };
+    let query_a = ClipGenerator::new(spec(71)).clip(10.0);
+    let query_b = ClipGenerator::new(spec(72)).clip(10.0);
+
+    let mut monitor = MonitorBuilder::new()
+        .detector(DetectorConfig { window_keyframes: 4, ..Default::default() })
+        .query_encoder(enc)
+        .build();
+    monitor.subscribe_clip(7, &query_a);
+    monitor.subscribe_clip(13, &query_b);
+
+    // Broadcast: 10s background, query A, 10s background, query B, 5s tail.
+    let mut broadcast = ClipGenerator::new(spec(90)).clip(10.0);
+    broadcast.append(query_a);
+    broadcast.append(ClipGenerator::new(spec(91)).clip(10.0));
+    broadcast.append(query_b);
+    broadcast.append(ClipGenerator::new(spec(92)).clip(5.0));
+    let bitstream = Encoder::encode_clip(&broadcast, enc);
+
+    let detections = monitor.watch_bitstream(&bitstream).unwrap();
+    let got: Vec<(u32, u64, u64, usize, f64)> = detections
+        .iter()
+        .map(|d| (d.query_id, d.start_frame, d.end_frame, d.windows, d.similarity))
+        .collect();
+
+    if std::env::var_os("GOLDEN_PRINT").is_some() {
+        for g in &got {
+            println!("    ({}, {}, {}, {}, {:?}),", g.0, g.1, g.2, g.3, g.4);
+        }
+    }
+
+    assert_eq!(got.len(), GOLDEN.len(), "detection list changed: {got:?}");
+    for (g, want) in got.iter().zip(GOLDEN) {
+        assert_eq!((g.0, g.1, g.2, g.3), (want.0, want.1, want.2, want.3), "{got:?}");
+        assert!((g.4 - want.4).abs() < 1e-9, "similarity drift: {} vs {}", g.4, want.4);
+    }
+}

@@ -12,7 +12,13 @@ cargo build --release
 echo "== tests =="
 cargo test -q
 
+echo "== static-analysis gate (vdsms-lint) =="
+cargo run -p vdsms-lint --release
+
 echo "== clippy =="
 cargo clippy --all-targets -- -D warnings
+
+echo "== rustdoc =="
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace -q
 
 echo "CI OK"

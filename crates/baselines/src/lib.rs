@@ -17,6 +17,8 @@
 //! compressed-domain per-frame feature vectors as the proposed method, and
 //! the sliding gap equals the basic-window size.
 
+#![forbid(unsafe_code)]
+
 pub mod distance;
 pub mod matcher;
 

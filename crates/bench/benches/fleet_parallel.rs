@@ -83,7 +83,7 @@ fn bench_fleet(c: &mut Criterion) {
 
     let mut serial = Fleet::new(cfg);
     for s in 0..STREAMS {
-        serial.add_stream(s);
+        serial.add_stream(s).unwrap();
     }
     for q in &queries {
         serial.subscribe(q.clone());
@@ -94,7 +94,7 @@ fn bench_fleet(c: &mut Criterion) {
             let batch = shifted(epoch, &base);
             epoch += 1;
             for chunk in batch.chunks(CHUNK) {
-                black_box(serial.push_batch(chunk));
+                black_box(serial.push_batch(chunk).unwrap());
             }
         });
     });
@@ -103,10 +103,10 @@ fn bench_fleet(c: &mut Criterion) {
     for shards in [1usize, 2, 4, 8] {
         let mut fleet = ParallelFleet::new(cfg, shards);
         for s in 0..STREAMS {
-            fleet.add_stream(s);
+            fleet.add_stream(s).unwrap();
         }
         for q in &queries {
-            fleet.subscribe(q.clone());
+            fleet.subscribe(q.clone()).unwrap();
         }
         let mut epoch = 0u64;
         g.bench_with_input(
@@ -117,9 +117,9 @@ fn bench_fleet(c: &mut Criterion) {
                     let batch = shifted(epoch, &base);
                     epoch += 1;
                     for chunk in batch.chunks(CHUNK) {
-                        fleet.push_batch_async(chunk);
+                        fleet.push_batch_async(chunk).unwrap();
                     }
-                    fleet.quiesce();
+                    fleet.quiesce().unwrap();
                     black_box(fleet.take_detections());
                 });
             },

@@ -1,5 +1,5 @@
 //! Figure 12 — CPU time vs the basic window size `w`, comparing the
-//! proposed Bit method against the Seq [Hampapur] and Warp [Chiu]
+//! proposed Bit method against the Seq (Hampapur) and Warp (Chiu)
 //! baselines on VS2.
 //!
 //! Expected shape: Bit is the fastest at every window size; Warp is the

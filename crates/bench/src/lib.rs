@@ -10,6 +10,8 @@
 //! cargo run --release -p vdsms-bench --bin experiments -- fig6 --scale quick
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod context;
 pub mod exps;
 pub mod table;

@@ -2,7 +2,7 @@
 //! `vdsms help` for usage.
 
 use std::process::exit;
-use vdsms_cli::{generate, inspect, monitor_streams, sketch, GenerateOpts};
+use vdsms_cli::{generate, inspect, lint, monitor_streams, sketch, GenerateOpts};
 use vdsms_core::DetectorConfig;
 use vdsms_features::FeatureConfig;
 
@@ -27,6 +27,11 @@ USAGE:
       Detect copies of catalogued queries in one or more concurrent
       stream bitstreams. --shards N > 1 monitors on N worker threads
       (identical detections, stream files are hash-sharded onto workers).
+
+  vdsms lint [--json] [--root DIR]
+      Run the workspace static-analysis gate (panic-freedom,
+      determinism, lock discipline; configured in lint.toml).
+      Exits 1 if violations are found.
 
 Sketching and monitoring must use the same --k and --hash-seed.
 ";
@@ -54,6 +59,7 @@ fn main() {
         "inspect" => cmd_inspect(&args[1..]),
         "sketch" => cmd_sketch(&args[1..]),
         "monitor" => cmd_monitor(&args[1..]),
+        "lint" => cmd_lint(&args[1..]),
         "help" | "--help" | "-h" => println!("{USAGE}"),
         other => fail(&format!("unknown subcommand {other}")),
     }
@@ -203,6 +209,29 @@ fn cmd_monitor(args: &[String]) {
                     h.end_frame,
                     h.similarity
                 );
+            }
+        }
+        Err(e) => fail(&e.message),
+    }
+}
+
+fn cmd_lint(args: &[String]) {
+    let mut json = false;
+    let mut root: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--json" => json = true,
+            "--root" => root = Some(take_value(args, &mut i, "--root").to_string()),
+            other => fail(&format!("unknown flag {other}")),
+        }
+        i += 1;
+    }
+    match lint(root.as_deref().map(std::path::Path::new), json) {
+        Ok(outcome) => {
+            print!("{}", outcome.output);
+            if !outcome.clean {
+                exit(1);
             }
         }
         Err(e) => fail(&e.message),

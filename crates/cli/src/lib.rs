@@ -7,11 +7,14 @@
 //! vdsms inspect clip.vdsm                                   # bitstream metadata
 //! vdsms sketch --id 1 clip.vdsm [...] --out catalogue.vdsq  # offline query sketching
 //! vdsms monitor --queries catalogue.vdsq stream.vdsm        # detect copies
+//! vdsms lint [--json]                                       # static-analysis gate
 //! ```
 //!
 //! The command implementations live here (library functions returning
 //! `Result`) so they are unit-testable; `src/bin/vdsms.rs` is a thin
 //! argument-parsing shell.
+
+#![forbid(unsafe_code)]
 
 use std::fmt::Write as _;
 use vdsms_codec::{Encoder, EncoderConfig, PartialDecoder, StreamHeader};
@@ -52,6 +55,12 @@ impl From<vdsms_codec::CodecError> for CliError {
 impl From<vdsms_core::PersistError> for CliError {
     fn from(e: vdsms_core::PersistError) -> CliError {
         CliError::new(format!("query file error: {e}"))
+    }
+}
+
+impl From<vdsms_core::FleetError> for CliError {
+    fn from(e: vdsms_core::FleetError) -> CliError {
+        CliError::new(format!("fleet error: {e}"))
     }
 }
 
@@ -225,14 +234,14 @@ pub fn monitor_streams(
     let extractor = FeatureExtractor::new(*features);
     let mut fleet = AnyFleet::new(*detector);
     for query in queries.iter() {
-        fleet.subscribe(query.clone());
+        fleet.subscribe(query.clone())?;
     }
 
     // Fingerprint every stream up front (decode is per-stream anyway),
     // then interleave the key frames round-robin.
     let mut fingerprints: Vec<Vec<(u64, u64)>> = Vec::with_capacity(streams.len());
     for (i, bytes) in streams.iter().enumerate() {
-        fleet.add_stream(i as StreamId);
+        fleet.add_stream(i as StreamId)?;
         let mut decoder = PartialDecoder::new(bytes)?;
         let mut cells = Vec::new();
         while let Some(dc) = decoder.next_dc_frame()? {
@@ -262,9 +271,9 @@ pub fn monitor_streams(
                 batch.push((i as StreamId, frame_index, cell));
             }
         }
-        push(fleet.push_batch(&batch), &mut hits);
+        push(fleet.push_batch(&batch)?, &mut hits);
     }
-    push(fleet.finish_all(), &mut hits);
+    push(fleet.finish_all()?, &mut hits);
     hits.sort_by(|a, b| {
         (a.stream_id, a.end_frame, a.query_id, a.start_frame).cmp(&(
             b.stream_id,
@@ -274,6 +283,39 @@ pub fn monitor_streams(
         ))
     });
     Ok(hits)
+}
+
+/// Result of `vdsms lint`: the rendered report and whether the gate
+/// passed (drives the process exit code).
+#[derive(Debug)]
+pub struct LintOutcome {
+    /// Human-readable or JSON report, ready to print.
+    pub output: String,
+    /// True when no violations were found.
+    pub clean: bool,
+}
+
+/// Run the workspace static-analysis gate (`vdsms-lint` as a subcommand).
+///
+/// `root` defaults to the nearest ancestor of the current directory that
+/// contains `lint.toml`; `json` selects the machine-readable report.
+pub fn lint(root: Option<&std::path::Path>, json: bool) -> Result<LintOutcome> {
+    let root = match root {
+        Some(r) => r.to_path_buf(),
+        None => {
+            let cwd = std::env::current_dir()
+                .map_err(|e| CliError::new(format!("cannot read current directory: {e}")))?;
+            vdsms_lint::find_workspace_root(&cwd).ok_or_else(|| {
+                CliError::new(format!("no lint.toml found between {} and /", cwd.display()))
+            })?
+        }
+    };
+    let report = vdsms_lint::lint_workspace_with_default_config(&root)
+        .map_err(|e| CliError::new(format!("lint: {e}")))?;
+    Ok(LintOutcome {
+        output: if json { report.to_json() } else { report.render() },
+        clean: report.is_clean(),
+    })
 }
 
 #[cfg(test)]

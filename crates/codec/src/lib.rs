@@ -23,6 +23,8 @@
 //!
 //! The bitstream format is documented in [`bitstream`].
 
+#![forbid(unsafe_code)]
+
 pub mod bitio;
 pub mod bitstream;
 pub mod block;

@@ -38,7 +38,7 @@ pub struct DetectorConfig {
     /// Similarity threshold `δ` (paper default 0.7, swept 0.5–0.9).
     pub delta: f64,
     /// Tempo-scaling bound `λ`: candidates longer than `λL` frames for a
-    /// length-`L` query are expired (paper cites [28] for λ ≤ 2).
+    /// length-`L` query are expired (paper cites its ref. 28 for λ ≤ 2).
     pub lambda: f64,
     /// Basic window size `w`, in *key frames* (the paper's `w` is in
     /// seconds; multiply by the stream's key-frame rate).

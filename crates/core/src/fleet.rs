@@ -19,10 +19,11 @@
 use crate::config::DetectorConfig;
 use crate::detection::Detection;
 use crate::engine::Detector;
+use crate::error::FleetError;
 use crate::hq::HqIndex;
 use crate::query::{Query, QueryId, QuerySet};
 use crate::stats::Stats;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 /// Identifier of one monitored stream.
@@ -90,11 +91,16 @@ impl CatalogueSnapshot {
 }
 
 /// A fleet of per-stream detectors sharing one query catalogue.
+///
+/// Streams live in a `BTreeMap` so every whole-fleet walk —
+/// [`Fleet::finish_all`], [`Fleet::total_stats`] — visits them in
+/// stream-id order, keeping detection and stats output deterministic
+/// across runs (the `deterministic-iteration` lint rule).
 pub struct Fleet {
     cfg: DetectorConfig,
     /// The shared catalogue; new streams are seeded from it.
     catalogue: CatalogueSnapshot,
-    streams: HashMap<StreamId, Detector>,
+    streams: BTreeMap<StreamId, Detector>,
 }
 
 impl Fleet {
@@ -104,7 +110,7 @@ impl Fleet {
     /// Panics if the configuration is invalid.
     pub fn new(cfg: DetectorConfig) -> Fleet {
         cfg.validate();
-        Fleet { catalogue: CatalogueSnapshot::empty(&cfg), cfg, streams: HashMap::new() }
+        Fleet { catalogue: CatalogueSnapshot::empty(&cfg), cfg, streams: BTreeMap::new() }
     }
 
     /// The configuration every stream's detector uses.
@@ -125,14 +131,14 @@ impl Fleet {
     /// Start monitoring a new stream; it immediately watches every
     /// subscribed query.
     ///
-    /// # Panics
-    /// Panics if the stream id is already monitored.
-    pub fn add_stream(&mut self, stream_id: StreamId) {
-        assert!(
-            !self.streams.contains_key(&stream_id),
-            "stream {stream_id} already monitored"
-        );
+    /// # Errors
+    /// [`FleetError::StreamAlreadyMonitored`] if the id is already in use.
+    pub fn add_stream(&mut self, stream_id: StreamId) -> Result<(), FleetError> {
+        if self.streams.contains_key(&stream_id) {
+            return Err(FleetError::StreamAlreadyMonitored(stream_id));
+        }
         self.streams.insert(stream_id, self.catalogue.spawn_detector(self.cfg));
+        Ok(())
     }
 
     /// Stop monitoring a stream; returns its final statistics, or `None`
@@ -174,22 +180,23 @@ impl Fleet {
 
     /// Feed one key frame of one stream.
     ///
-    /// # Panics
-    /// Panics if the stream is not monitored.
+    /// # Errors
+    /// [`FleetError::StreamNotMonitored`] if the stream id is unknown.
     pub fn push_keyframe(
         &mut self,
         stream_id: StreamId,
         frame_index: u64,
         cell_id: u64,
-    ) -> Vec<StreamDetection> {
+    ) -> Result<Vec<StreamDetection>, FleetError> {
         let det = self
             .streams
             .get_mut(&stream_id)
-            .unwrap_or_else(|| panic!("stream {stream_id} not monitored"));
-        det.push_keyframe(frame_index, cell_id)
+            .ok_or(FleetError::StreamNotMonitored(stream_id))?;
+        Ok(det
+            .push_keyframe(frame_index, cell_id)
             .into_iter()
             .map(|detection| StreamDetection { stream_id, detection })
-            .collect()
+            .collect())
     }
 
     /// Feed a batch of key frames spanning any number of streams, in
@@ -200,17 +207,22 @@ impl Fleet {
     /// detection set for the same batch sequence (ordering may differ
     /// across streams).
     ///
-    /// # Panics
-    /// Panics if any referenced stream is not monitored.
-    pub fn push_batch(&mut self, batch: &[(StreamId, u64, u64)]) -> Vec<StreamDetection> {
+    /// # Errors
+    /// [`FleetError::StreamNotMonitored`] if any referenced stream id is
+    /// unknown; key frames before the offending one have been applied.
+    pub fn push_batch(
+        &mut self,
+        batch: &[(StreamId, u64, u64)],
+    ) -> Result<Vec<StreamDetection>, FleetError> {
         let mut out = Vec::new();
         for &(stream_id, frame_index, cell_id) in batch {
-            out.extend(self.push_keyframe(stream_id, frame_index, cell_id));
+            out.extend(self.push_keyframe(stream_id, frame_index, cell_id)?);
         }
-        out
+        Ok(out)
     }
 
     /// Flush every stream's partial window (end of monitoring epoch).
+    /// Streams are flushed in ascending stream-id order.
     pub fn finish_all(&mut self) -> Vec<StreamDetection> {
         let mut out = Vec::new();
         for (&stream_id, det) in &mut self.streams {
@@ -271,7 +283,7 @@ mod tests {
             } else {
                 500_000 + u64::from(stream) * 1000 + i
             };
-            out.extend(fleet.push_keyframe(stream, i, id));
+            out.extend(fleet.push_keyframe(stream, i, id).unwrap());
         }
         out
     }
@@ -281,8 +293,8 @@ mod tests {
         let mut fleet = Fleet::new(cfg());
         fleet.subscribe(query(1, 1000));
         fleet.subscribe(query(2, 2000));
-        fleet.add_stream(10);
-        fleet.add_stream(20);
+        fleet.add_stream(10).unwrap();
+        fleet.add_stream(20).unwrap();
         assert_eq!(fleet.stream_count(), 2);
         assert_eq!(fleet.query_count(), 2);
 
@@ -298,7 +310,7 @@ mod tests {
     fn late_stream_sees_existing_catalogue() {
         let mut fleet = Fleet::new(cfg());
         fleet.subscribe(query(7, 9000));
-        fleet.add_stream(1); // added after the subscription
+        fleet.add_stream(1).unwrap(); // added after the subscription
         let dets = feed(&mut fleet, 1, 9000, 20..44);
         assert!(dets.iter().any(|d| d.detection.query_id == 7));
     }
@@ -306,8 +318,8 @@ mod tests {
     #[test]
     fn subscribe_and_unsubscribe_propagate_to_all_streams() {
         let mut fleet = Fleet::new(cfg());
-        fleet.add_stream(1);
-        fleet.add_stream(2);
+        fleet.add_stream(1).unwrap();
+        fleet.add_stream(2).unwrap();
         fleet.subscribe(query(5, 4000));
         assert!(fleet.unsubscribe(5));
         assert!(!fleet.unsubscribe(5));
@@ -321,8 +333,8 @@ mod tests {
     fn stats_aggregate_across_streams() {
         let mut fleet = Fleet::new(cfg());
         fleet.subscribe(query(1, 1000));
-        fleet.add_stream(1);
-        fleet.add_stream(2);
+        fleet.add_stream(1).unwrap();
+        fleet.add_stream(2).unwrap();
         feed(&mut fleet, 1, 1000, 30..54);
         feed(&mut fleet, 2, 7777, 0..0); // clean stream
         fleet.finish_all();
@@ -334,10 +346,22 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "already monitored")]
     fn duplicate_stream_rejected() {
         let mut fleet = Fleet::new(cfg());
-        fleet.add_stream(1);
-        fleet.add_stream(1);
+        fleet.add_stream(1).unwrap();
+        assert_eq!(fleet.add_stream(1), Err(FleetError::StreamAlreadyMonitored(1)));
+    }
+
+    #[test]
+    fn unknown_stream_rejected() {
+        let mut fleet = Fleet::new(cfg());
+        assert_eq!(
+            fleet.push_keyframe(9, 0, 0),
+            Err(FleetError::StreamNotMonitored(9))
+        );
+        assert_eq!(
+            fleet.push_batch(&[(9, 0, 0)]),
+            Err(FleetError::StreamNotMonitored(9))
+        );
     }
 }

@@ -19,7 +19,7 @@ use crate::detection::Detection;
 use crate::query::{QueryId, QuerySet};
 use crate::stats::Stats;
 use crate::window::{sketch_relations, Window, WindowRelations};
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 use vdsms_sketch::Sketch;
 
 /// Largest power of two `<= n` (`n >= 1`).
@@ -55,13 +55,13 @@ pub struct GeoStore {
     segments: VecDeque<Segment>,
     /// Last window at which each query was reported, to suppress
     /// re-reports on consecutive windows of the same ongoing match.
-    last_report: HashMap<QueryId, u64>,
+    last_report: BTreeMap<QueryId, u64>,
 }
 
 impl GeoStore {
     /// New empty store.
     pub fn new(rep: Representation) -> GeoStore {
-        GeoStore { rep, segments: VecDeque::new(), last_report: HashMap::new() }
+        GeoStore { rep, segments: VecDeque::new(), last_report: BTreeMap::new() }
     }
 
     /// Number of live segments.
@@ -153,6 +153,10 @@ impl GeoStore {
                     // encoded on demand from its part's sketch if the
                     // query was not already tracked there (sorted
                     // two-pointer merge: O(α), not O(α²)).
+                    // Every Bit-representation entry carries a signature by
+                    // construction (signature-less ones are skipped when the
+                    // entry lists are built), so `sig: None` arms below drop
+                    // the entry instead of panicking.
                     let mut merged: Vec<Entry> =
                         Vec::with_capacity(cur_entries.len() + seg.entries.len());
                     let mut older = seg.entries.iter().peekable();
@@ -160,14 +164,11 @@ impl GeoStore {
                         // Older-only entries before this qid: the query is
                         // tracked by the segment but unseen in the newer
                         // suffix — encode the newer part on demand.
-                        while let Some(o) = older.peek() {
-                            if o.qid >= newer.qid {
-                                break;
-                            }
-                            if let Some(q) = queries.get(o.qid) {
+                        while let Some(o) = older.next_if(|o| o.qid < newer.qid) {
+                            if let (Some(q), Some(osig)) = (queries.get(o.qid), o.sig.as_ref()) {
                                 stats.sig_encodes += 1;
                                 let mut sig = BitSig::encode(&cur_sketch, &q.sketch);
-                                sig.or_with(o.sig.as_ref().expect("bit entry without signature"));
+                                sig.or_with(osig);
                                 stats.sig_ors += 1;
                                 merged.push(Entry {
                                     qid: o.qid,
@@ -175,13 +176,12 @@ impl GeoStore {
                                     sig: Some(sig),
                                 });
                             }
-                            older.next();
                         }
-                        // Matching entry: OR the two parts' signatures.
-                        let sig = newer.sig.as_mut().expect("bit entry without signature");
-                        if older.peek().is_some_and(|o| o.qid == newer.qid) {
-                            let o = older.next().expect("peeked");
-                            sig.or_with(o.sig.as_ref().expect("bit entry without signature"));
+                        let Some(sig) = newer.sig.as_mut() else { continue };
+                        if let Some(o) = older.next_if(|o| o.qid == newer.qid) {
+                            // Matching entry: OR the two parts' signatures.
+                            let Some(osig) = o.sig.as_ref() else { continue };
+                            sig.or_with(osig);
                             stats.sig_ors += 1;
                         } else {
                             // Newer-only: encode the segment part on demand.
@@ -193,10 +193,10 @@ impl GeoStore {
                         merged.push(newer);
                     }
                     for o in older {
-                        if let Some(q) = queries.get(o.qid) {
+                        if let (Some(q), Some(osig)) = (queries.get(o.qid), o.sig.as_ref()) {
                             stats.sig_encodes += 1;
                             let mut sig = BitSig::encode(&cur_sketch, &q.sketch);
-                            sig.or_with(o.sig.as_ref().expect("bit entry without signature"));
+                            sig.or_with(osig);
                             stats.sig_ors += 1;
                             merged.push(Entry { qid: o.qid, keyframes: o.keyframes, sig: Some(sig) });
                         }
@@ -258,8 +258,10 @@ impl GeoStore {
             {
                 break;
             }
-            let newer = self.segments.pop_back().expect("len checked");
-            let older = self.segments.pop_back().expect("len checked");
+            let (Some(newer), Some(older)) = (self.segments.pop_back(), self.segments.pop_back())
+            else {
+                break;
+            };
             self.segments.push_back(self.merge_segments(older, newer, cfg, queries, stats));
         }
 
@@ -267,7 +269,8 @@ impl GeoStore {
         // segments still cover the λL horizon.
         let mut total: usize = self.segments.iter().map(|s| s.len_windows).sum();
         while self.segments.len() > 1 {
-            let front_len = self.segments.front().expect("non-empty").len_windows;
+            let Some(front) = self.segments.front() else { break };
+            let front_len = front.len_windows;
             if total - front_len < global_max {
                 break;
             }
@@ -284,7 +287,7 @@ impl GeoStore {
     #[allow(clippy::too_many_arguments)]
     fn test_suffix(
         rep: Representation,
-        last_report: &mut HashMap<QueryId, u64>,
+        last_report: &mut BTreeMap<QueryId, u64>,
         cur_sketch: &Sketch,
         cur_entries: &mut Vec<Entry>,
         cur_len: usize,
@@ -311,7 +314,11 @@ impl GeoStore {
                     (n_eq as f64 / k, n_less as f64 > k * (1.0 - cfg.pruning_delta()))
                 }
                 Representation::Bit => {
-                    let sig = e.sig.as_ref().expect("bit entry without signature");
+                    // Bit entries always carry a signature by construction;
+                    // drop rather than panic if the invariant ever breaks.
+                    let Some(sig) = e.sig.as_ref() else {
+                        return false;
+                    };
                     stats.sig_compares += 1;
                     (sig.similarity(), sig.violates_lemma2(cfg.pruning_delta()))
                 }
@@ -364,22 +371,20 @@ impl GeoStore {
                 let mut a = older.entries.into_iter().peekable();
                 let mut b = newer.entries.into_iter().peekable();
                 loop {
-                    match (a.peek(), b.peek()) {
-                        (Some(x), Some(y)) => {
-                            let e = match x.qid.cmp(&y.qid) {
-                                std::cmp::Ordering::Less => a.next(),
-                                std::cmp::Ordering::Greater => b.next(),
-                                std::cmp::Ordering::Equal => {
-                                    b.next();
-                                    a.next()
-                                }
-                            };
-                            entries.push(e.expect("peeked"));
-                        }
-                        (Some(_), None) => entries.push(a.next().expect("peeked")),
-                        (None, Some(_)) => entries.push(b.next().expect("peeked")),
+                    let e = match (a.peek(), b.peek()) {
+                        (Some(x), Some(y)) => match x.qid.cmp(&y.qid) {
+                            std::cmp::Ordering::Less => a.next(),
+                            std::cmp::Ordering::Greater => b.next(),
+                            std::cmp::Ordering::Equal => {
+                                b.next();
+                                a.next()
+                            }
+                        },
+                        (Some(_), None) => a.next(),
+                        (None, Some(_)) => b.next(),
                         (None, None) => break,
-                    }
+                    };
+                    entries.extend(e);
                 }
             }
             Representation::Bit => {

@@ -24,10 +24,13 @@
 //! IV-A, Fig. 2), with full operation counters ([`stats`]) so the paper's
 //! cost experiments can be reproduced exactly.
 
+#![forbid(unsafe_code)]
+
 pub mod bitsig;
 pub mod config;
 pub mod detection;
 pub mod engine;
+pub mod error;
 pub mod fleet;
 pub mod geo_store;
 pub mod hq;
@@ -42,6 +45,7 @@ pub use bitsig::BitSig;
 pub use config::{DetectorConfig, Order, Representation};
 pub use detection::Detection;
 pub use engine::Detector;
+pub use error::FleetError;
 pub use fleet::{Fleet, StreamDetection, StreamId};
 pub use hq::HqIndex;
 pub use parallel_fleet::{AnyFleet, ParallelFleet};

@@ -26,12 +26,13 @@
 
 use crate::config::DetectorConfig;
 use crate::engine::Detector;
+use crate::error::FleetError;
 use crate::fleet::{CatalogueSnapshot, Fleet, StreamDetection, StreamId};
 use crate::hq::HqIndex;
 use crate::query::{Query, QueryId, QuerySet};
 use crate::stats::Stats;
 use parking_lot::{Mutex, RwLock};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::mpsc::{self, Receiver, Sender, SyncSender};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -56,17 +57,19 @@ enum Cmd {
     Quiesce(SyncSender<()>),
 }
 
-/// Per-shard state owned by the worker thread.
+/// Per-shard state owned by the worker thread. Stream maps are
+/// `BTreeMap`s so whole-shard walks (`FinishAll`, stats publication) run
+/// in stream-id order, independent of insertion history.
 struct ShardState {
     cfg: DetectorConfig,
-    streams: HashMap<StreamId, Detector>,
+    streams: BTreeMap<StreamId, Detector>,
     queries: Arc<QuerySet>,
     index: Option<Arc<HqIndex>>,
     /// Detections produced by `BatchAsync`, drained by the coordinator.
     sink: Arc<Mutex<Vec<StreamDetection>>>,
     /// Published per-stream stats, readable by the coordinator without a
     /// command round-trip.
-    stats: Arc<RwLock<HashMap<StreamId, Stats>>>,
+    stats: Arc<RwLock<BTreeMap<StreamId, Stats>>>,
 }
 
 impl ShardState {
@@ -127,10 +130,13 @@ impl ShardState {
     fn process(&mut self, items: &[(StreamId, u64, u64)]) -> Vec<StreamDetection> {
         let mut out = Vec::new();
         for &(stream_id, frame_index, cell_id) in items {
-            let det = self
-                .streams
-                .get_mut(&stream_id)
-                .unwrap_or_else(|| panic!("stream {stream_id} not monitored"));
+            // The coordinator validates stream ids before dispatch
+            // (`partition_batch`), so an unknown id here is a routing bug;
+            // skip the frame rather than kill the worker thread.
+            let Some(det) = self.streams.get_mut(&stream_id) else {
+                debug_assert!(false, "stream {stream_id} not routed to this shard");
+                continue;
+            };
             out.extend(
                 det.push_keyframe(frame_index, cell_id)
                     .into_iter()
@@ -153,7 +159,7 @@ impl ShardState {
 struct Shard {
     tx: Sender<Cmd>,
     sink: Arc<Mutex<Vec<StreamDetection>>>,
-    stats: Arc<RwLock<HashMap<StreamId, Stats>>>,
+    stats: Arc<RwLock<BTreeMap<StreamId, Stats>>>,
     handle: Option<JoinHandle<()>>,
 }
 
@@ -164,7 +170,7 @@ pub struct ParallelFleet {
     catalogue: CatalogueSnapshot,
     shards: Vec<Shard>,
     /// Which shard owns each monitored stream.
-    stream_shard: HashMap<StreamId, usize>,
+    stream_shard: BTreeMap<StreamId, usize>,
     /// Scratch: per-shard slices of the batch being partitioned.
     partition: Vec<Vec<(StreamId, u64, u64)>>,
 }
@@ -191,10 +197,10 @@ impl ParallelFleet {
         let shards: Vec<Shard> = (0..shards)
             .map(|i| {
                 let sink = Arc::new(Mutex::new(Vec::new()));
-                let stats = Arc::new(RwLock::new(HashMap::new()));
+                let stats = Arc::new(RwLock::new(BTreeMap::new()));
                 let state = ShardState {
                     cfg,
-                    streams: HashMap::new(),
+                    streams: BTreeMap::new(),
                     queries: Arc::clone(&catalogue.queries),
                     index: catalogue.index.clone(),
                     sink: Arc::clone(&sink),
@@ -204,6 +210,7 @@ impl ParallelFleet {
                 let handle = std::thread::Builder::new()
                     .name(format!("vdsms-fleet-shard-{i}"))
                     .spawn(move || state.run(rx))
+                    // vdsms-lint: allow(no-panic-hot-path) reason="construction-time spawn failure is unrecoverable resource exhaustion, not a streaming-path fault"
                     .expect("spawn fleet shard worker");
                 Shard { tx, sink, stats, handle: Some(handle) }
             })
@@ -213,7 +220,7 @@ impl ParallelFleet {
             cfg,
             catalogue,
             shards,
-            stream_shard: HashMap::new(),
+            stream_shard: BTreeMap::new(),
         }
     }
 
@@ -241,93 +248,114 @@ impl ParallelFleet {
         (mix64(u64::from(stream_id)) % self.shards.len() as u64) as usize
     }
 
-    fn send(&self, shard: usize, cmd: Cmd) {
-        if self.shards[shard].tx.send(cmd).is_err() {
-            panic!("fleet shard {shard} worker died");
-        }
+    fn send(&self, shard: usize, cmd: Cmd) -> Result<(), FleetError> {
+        self.shards[shard].tx.send(cmd).map_err(|_| FleetError::ShardDied { shard })
     }
 
-    fn recv<T>(&self, shard: usize, rx: &Receiver<T>) -> T {
-        rx.recv().unwrap_or_else(|_| panic!("fleet shard {shard} worker died"))
+    fn recv<T>(&self, shard: usize, rx: &Receiver<T>) -> Result<T, FleetError> {
+        rx.recv().map_err(|_| FleetError::ShardDied { shard })
+    }
+
+    /// Drop any half-built partition scratch after a failed dispatch so
+    /// the next call starts from the empty-scratch invariant.
+    fn clear_partition(&mut self) {
+        for slice in &mut self.partition {
+            slice.clear();
+        }
     }
 
     /// Start monitoring a new stream; it immediately watches every
     /// subscribed query.
     ///
-    /// # Panics
-    /// Panics if the stream id is already monitored.
-    pub fn add_stream(&mut self, stream_id: StreamId) {
-        assert!(
-            !self.stream_shard.contains_key(&stream_id),
-            "stream {stream_id} already monitored"
-        );
+    /// # Errors
+    /// [`FleetError::StreamAlreadyMonitored`] if the id is already in
+    /// use; [`FleetError::ShardDied`] if the owning worker is gone.
+    pub fn add_stream(&mut self, stream_id: StreamId) -> Result<(), FleetError> {
+        if self.stream_shard.contains_key(&stream_id) {
+            return Err(FleetError::StreamAlreadyMonitored(stream_id));
+        }
         let shard = self.shard_of(stream_id);
+        self.send(shard, Cmd::AddStream(stream_id))?;
         self.stream_shard.insert(stream_id, shard);
-        self.send(shard, Cmd::AddStream(stream_id));
+        Ok(())
     }
 
-    /// Stop monitoring a stream; returns its final statistics, or `None`
-    /// if the id was not monitored.
-    pub fn remove_stream(&mut self, stream_id: StreamId) -> Option<Stats> {
-        let shard = self.stream_shard.remove(&stream_id)?;
+    /// Stop monitoring a stream; returns its final statistics, or
+    /// `Ok(None)` if the id was not monitored.
+    ///
+    /// # Errors
+    /// [`FleetError::ShardDied`] if the owning worker is gone.
+    pub fn remove_stream(&mut self, stream_id: StreamId) -> Result<Option<Stats>, FleetError> {
+        let Some(&shard) = self.stream_shard.get(&stream_id) else {
+            return Ok(None);
+        };
         let (reply, rx) = mpsc::sync_channel(1);
-        self.send(shard, Cmd::RemoveStream(stream_id, reply));
-        self.recv(shard, &rx)
+        self.send(shard, Cmd::RemoveStream(stream_id, reply))?;
+        let stats = self.recv(shard, &rx)?;
+        self.stream_shard.remove(&stream_id);
+        Ok(stats)
     }
 
     /// Subscribe a query on every stream (and for all future streams).
     /// Returns after every shard has installed the new catalogue — the
     /// quiesce barrier described in the module docs.
     ///
+    /// # Errors
+    /// [`FleetError::ShardDied`] if a worker is gone.
+    ///
     /// # Panics
     /// Panics on duplicate query id or sketch `K` mismatch.
-    pub fn subscribe(&mut self, query: Query) {
+    pub fn subscribe(&mut self, query: Query) -> Result<(), FleetError> {
         self.catalogue = self.catalogue.with_subscribed(query);
-        self.broadcast_catalogue();
+        self.broadcast_catalogue()
     }
 
     /// Unsubscribe a query everywhere (with the same barrier as
-    /// [`ParallelFleet::subscribe`]). Returns `false` if it was not
+    /// [`ParallelFleet::subscribe`]). Returns `Ok(false)` if it was not
     /// subscribed.
-    pub fn unsubscribe(&mut self, id: QueryId) -> bool {
+    ///
+    /// # Errors
+    /// [`FleetError::ShardDied`] if a worker is gone.
+    pub fn unsubscribe(&mut self, id: QueryId) -> Result<bool, FleetError> {
         let Some(next) = self.catalogue.with_unsubscribed(id) else {
-            return false;
+            return Ok(false);
         };
         self.catalogue = next;
-        self.broadcast_catalogue();
-        true
+        self.broadcast_catalogue()?;
+        Ok(true)
     }
 
-    fn broadcast_catalogue(&mut self) {
-        let acks: Vec<Receiver<()>> = (0..self.shards.len())
-            .map(|shard| {
-                let (ack, rx) = mpsc::sync_channel(1);
-                self.send(
-                    shard,
-                    Cmd::Install(
-                        Arc::clone(&self.catalogue.queries),
-                        self.catalogue.index.clone(),
-                        ack,
-                    ),
-                );
-                rx
-            })
-            .collect();
-        for (shard, rx) in acks.iter().enumerate() {
-            self.recv(shard, rx);
+    fn broadcast_catalogue(&mut self) -> Result<(), FleetError> {
+        let mut acks: Vec<Receiver<()>> = Vec::with_capacity(self.shards.len());
+        for shard in 0..self.shards.len() {
+            let (ack, rx) = mpsc::sync_channel(1);
+            self.send(
+                shard,
+                Cmd::Install(
+                    Arc::clone(&self.catalogue.queries),
+                    self.catalogue.index.clone(),
+                    ack,
+                ),
+            )?;
+            acks.push(rx);
         }
+        for (shard, rx) in acks.iter().enumerate() {
+            self.recv(shard, rx)?;
+        }
+        Ok(())
     }
 
     /// Feed one key frame of one stream (synchronous).
     ///
-    /// # Panics
-    /// Panics if the stream is not monitored.
+    /// # Errors
+    /// [`FleetError::StreamNotMonitored`] if the stream id is unknown;
+    /// [`FleetError::ShardDied`] if the owning worker is gone.
     pub fn push_keyframe(
         &mut self,
         stream_id: StreamId,
         frame_index: u64,
         cell_id: u64,
-    ) -> Vec<StreamDetection> {
+    ) -> Result<Vec<StreamDetection>, FleetError> {
         self.push_batch(&[(stream_id, frame_index, cell_id)])
     }
 
@@ -338,24 +366,31 @@ impl ParallelFleet {
     /// Ordering within one stream is preserved. Detections are grouped by
     /// shard, not globally ordered across streams.
     ///
-    /// # Panics
-    /// Panics if any referenced stream is not monitored.
-    pub fn push_batch(&mut self, batch: &[(StreamId, u64, u64)]) -> Vec<StreamDetection> {
-        let involved = self.partition_batch(batch);
-        let replies: Vec<(usize, Receiver<Vec<StreamDetection>>)> = involved
-            .into_iter()
-            .map(|shard| {
-                let items = std::mem::take(&mut self.partition[shard]);
-                let (reply, rx) = mpsc::sync_channel(1);
-                self.send(shard, Cmd::BatchSync(items, reply));
-                (shard, rx)
-            })
-            .collect();
+    /// # Errors
+    /// [`FleetError::StreamNotMonitored`] if any referenced stream id is
+    /// unknown (the whole batch is rejected before any dispatch);
+    /// [`FleetError::ShardDied`] if a worker is gone.
+    pub fn push_batch(
+        &mut self,
+        batch: &[(StreamId, u64, u64)],
+    ) -> Result<Vec<StreamDetection>, FleetError> {
+        let involved = self.partition_batch(batch)?;
+        let mut replies: Vec<(usize, Receiver<Vec<StreamDetection>>)> =
+            Vec::with_capacity(involved.len());
+        for shard in involved {
+            let items = std::mem::take(&mut self.partition[shard]);
+            let (reply, rx) = mpsc::sync_channel(1);
+            if let Err(e) = self.send(shard, Cmd::BatchSync(items, reply)) {
+                self.clear_partition();
+                return Err(e);
+            }
+            replies.push((shard, rx));
+        }
         let mut out = Vec::new();
         for (shard, rx) in replies {
-            out.extend(self.recv(shard, &rx));
+            out.extend(self.recv(shard, &rx)?);
         }
-        out
+        Ok(out)
     }
 
     /// Feed a batch without waiting: the call returns as soon as every
@@ -363,46 +398,56 @@ impl ParallelFleet {
     /// sink; call [`ParallelFleet::quiesce`] then
     /// [`ParallelFleet::take_detections`] to collect them.
     ///
-    /// # Panics
-    /// Panics if any referenced stream is not monitored.
-    pub fn push_batch_async(&mut self, batch: &[(StreamId, u64, u64)]) {
-        let involved = self.partition_batch(batch);
+    /// # Errors
+    /// [`FleetError::StreamNotMonitored`] if any referenced stream id is
+    /// unknown (the whole batch is rejected before any dispatch);
+    /// [`FleetError::ShardDied`] if a worker is gone.
+    pub fn push_batch_async(&mut self, batch: &[(StreamId, u64, u64)]) -> Result<(), FleetError> {
+        let involved = self.partition_batch(batch)?;
         for shard in involved {
             let items = std::mem::take(&mut self.partition[shard]);
-            self.send(shard, Cmd::BatchAsync(items));
+            if let Err(e) = self.send(shard, Cmd::BatchAsync(items)) {
+                self.clear_partition();
+                return Err(e);
+            }
         }
+        Ok(())
     }
 
     /// Split `batch` into the per-shard scratch vectors, preserving
     /// per-stream order; returns the shards that received work (in
-    /// first-touched order). Validates stream ids on the caller's thread.
-    fn partition_batch(&mut self, batch: &[(StreamId, u64, u64)]) -> Vec<usize> {
+    /// first-touched order). Validates stream ids on the caller's thread
+    /// so an unknown id rejects the whole batch before any dispatch.
+    fn partition_batch(&mut self, batch: &[(StreamId, u64, u64)]) -> Result<Vec<usize>, FleetError> {
         let mut involved = Vec::new();
         for &(stream_id, frame_index, cell_id) in batch {
-            let &shard = self
-                .stream_shard
-                .get(&stream_id)
-                .unwrap_or_else(|| panic!("stream {stream_id} not monitored"));
+            let Some(&shard) = self.stream_shard.get(&stream_id) else {
+                self.clear_partition();
+                return Err(FleetError::StreamNotMonitored(stream_id));
+            };
             if self.partition[shard].is_empty() {
                 involved.push(shard);
             }
             self.partition[shard].push((stream_id, frame_index, cell_id));
         }
-        involved
+        Ok(involved)
     }
 
     /// Block until every shard has processed everything queued so far.
-    pub fn quiesce(&mut self) {
-        let acks: Vec<Receiver<()>> = (0..self.shards.len())
-            .map(|shard| {
-                let (ack, rx) = mpsc::sync_channel(1);
-                self.send(shard, Cmd::Quiesce(ack));
-                rx
-            })
-            .collect();
-        for (shard, rx) in acks.iter().enumerate() {
-            self.recv(shard, rx);
+    ///
+    /// # Errors
+    /// [`FleetError::ShardDied`] if a worker is gone.
+    pub fn quiesce(&mut self) -> Result<(), FleetError> {
+        let mut acks: Vec<Receiver<()>> = Vec::with_capacity(self.shards.len());
+        for shard in 0..self.shards.len() {
+            let (ack, rx) = mpsc::sync_channel(1);
+            self.send(shard, Cmd::Quiesce(ack))?;
+            acks.push(rx);
         }
+        for (shard, rx) in acks.iter().enumerate() {
+            self.recv(shard, rx)?;
+        }
+        Ok(())
     }
 
     /// Drain the detections produced by [`ParallelFleet::push_batch_async`]
@@ -418,19 +463,22 @@ impl ParallelFleet {
 
     /// Flush every stream's partial window (end of monitoring epoch).
     /// Forms a barrier: all previously queued batches complete first.
-    pub fn finish_all(&mut self) -> Vec<StreamDetection> {
-        let replies: Vec<Receiver<Vec<StreamDetection>>> = (0..self.shards.len())
-            .map(|shard| {
-                let (reply, rx) = mpsc::sync_channel(1);
-                self.send(shard, Cmd::FinishAll(reply));
-                rx
-            })
-            .collect();
+    ///
+    /// # Errors
+    /// [`FleetError::ShardDied`] if a worker is gone.
+    pub fn finish_all(&mut self) -> Result<Vec<StreamDetection>, FleetError> {
+        let mut replies: Vec<Receiver<Vec<StreamDetection>>> =
+            Vec::with_capacity(self.shards.len());
+        for shard in 0..self.shards.len() {
+            let (reply, rx) = mpsc::sync_channel(1);
+            self.send(shard, Cmd::FinishAll(reply))?;
+            replies.push(rx);
+        }
         let mut out = Vec::new();
         for (shard, rx) in replies.iter().enumerate() {
-            out.extend(self.recv(shard, rx));
+            out.extend(self.recv(shard, rx)?);
         }
-        out
+        Ok(out)
     }
 
     /// Per-stream statistics (as of the last completed call; callers that
@@ -468,6 +516,7 @@ impl Drop for ParallelFleet {
             }
         }
         if worker_panicked && !std::thread::panicking() {
+            // vdsms-lint: allow(no-panic-hot-path) reason="Drop has no Result channel; surfacing a worker panic loudly beats silently dropping detections"
             panic!("a fleet shard worker panicked");
         }
     }
@@ -522,53 +571,68 @@ impl AnyFleet {
 
     /// Start monitoring a new stream.
     ///
-    /// # Panics
-    /// Panics if the stream id is already monitored.
-    pub fn add_stream(&mut self, stream_id: StreamId) {
+    /// # Errors
+    /// [`FleetError::StreamAlreadyMonitored`] if the id is already in
+    /// use; [`FleetError::ShardDied`] if a parallel worker is gone.
+    pub fn add_stream(&mut self, stream_id: StreamId) -> Result<(), FleetError> {
         match self {
             AnyFleet::Serial(f) => f.add_stream(stream_id),
             AnyFleet::Parallel(f) => f.add_stream(stream_id),
         }
     }
 
-    /// Stop monitoring a stream; returns its final statistics.
-    pub fn remove_stream(&mut self, stream_id: StreamId) -> Option<Stats> {
+    /// Stop monitoring a stream; returns its final statistics, or
+    /// `Ok(None)` if the id was not monitored.
+    ///
+    /// # Errors
+    /// [`FleetError::ShardDied`] if a parallel worker is gone.
+    pub fn remove_stream(&mut self, stream_id: StreamId) -> Result<Option<Stats>, FleetError> {
         match self {
-            AnyFleet::Serial(f) => f.remove_stream(stream_id),
+            AnyFleet::Serial(f) => Ok(f.remove_stream(stream_id)),
             AnyFleet::Parallel(f) => f.remove_stream(stream_id),
         }
     }
 
     /// Subscribe a query on every stream.
     ///
+    /// # Errors
+    /// [`FleetError::ShardDied`] if a parallel worker is gone.
+    ///
     /// # Panics
     /// Panics on duplicate query id or sketch `K` mismatch.
-    pub fn subscribe(&mut self, query: Query) {
+    pub fn subscribe(&mut self, query: Query) -> Result<(), FleetError> {
         match self {
-            AnyFleet::Serial(f) => f.subscribe(query),
+            AnyFleet::Serial(f) => {
+                f.subscribe(query);
+                Ok(())
+            }
             AnyFleet::Parallel(f) => f.subscribe(query),
         }
     }
 
-    /// Unsubscribe a query everywhere. Returns `false` if it was not
+    /// Unsubscribe a query everywhere. Returns `Ok(false)` if it was not
     /// subscribed.
-    pub fn unsubscribe(&mut self, id: QueryId) -> bool {
+    ///
+    /// # Errors
+    /// [`FleetError::ShardDied`] if a parallel worker is gone.
+    pub fn unsubscribe(&mut self, id: QueryId) -> Result<bool, FleetError> {
         match self {
-            AnyFleet::Serial(f) => f.unsubscribe(id),
+            AnyFleet::Serial(f) => Ok(f.unsubscribe(id)),
             AnyFleet::Parallel(f) => f.unsubscribe(id),
         }
     }
 
     /// Feed one key frame of one stream.
     ///
-    /// # Panics
-    /// Panics if the stream is not monitored.
+    /// # Errors
+    /// [`FleetError::StreamNotMonitored`] if the stream id is unknown;
+    /// [`FleetError::ShardDied`] if a parallel worker is gone.
     pub fn push_keyframe(
         &mut self,
         stream_id: StreamId,
         frame_index: u64,
         cell_id: u64,
-    ) -> Vec<StreamDetection> {
+    ) -> Result<Vec<StreamDetection>, FleetError> {
         match self {
             AnyFleet::Serial(f) => f.push_keyframe(stream_id, frame_index, cell_id),
             AnyFleet::Parallel(f) => f.push_keyframe(stream_id, frame_index, cell_id),
@@ -577,9 +641,13 @@ impl AnyFleet {
 
     /// Feed a batch of key frames spanning any number of streams.
     ///
-    /// # Panics
-    /// Panics if any referenced stream is not monitored.
-    pub fn push_batch(&mut self, batch: &[(StreamId, u64, u64)]) -> Vec<StreamDetection> {
+    /// # Errors
+    /// [`FleetError::StreamNotMonitored`] if any referenced stream id is
+    /// unknown; [`FleetError::ShardDied`] if a parallel worker is gone.
+    pub fn push_batch(
+        &mut self,
+        batch: &[(StreamId, u64, u64)],
+    ) -> Result<Vec<StreamDetection>, FleetError> {
         match self {
             AnyFleet::Serial(f) => f.push_batch(batch),
             AnyFleet::Parallel(f) => f.push_batch(batch),
@@ -587,9 +655,12 @@ impl AnyFleet {
     }
 
     /// Flush every stream's partial window.
-    pub fn finish_all(&mut self) -> Vec<StreamDetection> {
+    ///
+    /// # Errors
+    /// [`FleetError::ShardDied`] if a parallel worker is gone.
+    pub fn finish_all(&mut self) -> Result<Vec<StreamDetection>, FleetError> {
         match self {
-            AnyFleet::Serial(f) => f.finish_all(),
+            AnyFleet::Serial(f) => Ok(f.finish_all()),
             AnyFleet::Parallel(f) => f.finish_all(),
         }
     }
@@ -669,10 +740,10 @@ mod tests {
         let run_serial = || {
             let mut fleet = Fleet::new(cfg());
             for &s in &streams {
-                fleet.add_stream(s);
+                fleet.add_stream(s).unwrap();
                 fleet.subscribe(query(s, 1000 * u64::from(s)));
             }
-            let mut dets = fleet.push_batch(&batch);
+            let mut dets = fleet.push_batch(&batch).unwrap();
             dets.extend(fleet.finish_all());
             (sorted_key(dets), fleet.total_stats())
         };
@@ -682,11 +753,11 @@ mod tests {
         for shards in [1, 2, 4] {
             let mut fleet = ParallelFleet::new(cfg(), shards);
             for &s in &streams {
-                fleet.add_stream(s);
-                fleet.subscribe(query(s, 1000 * u64::from(s)));
+                fleet.add_stream(s).unwrap();
+                fleet.subscribe(query(s, 1000 * u64::from(s))).unwrap();
             }
-            let mut dets = fleet.push_batch(&batch);
-            dets.extend(fleet.finish_all());
+            let mut dets = fleet.push_batch(&batch).unwrap();
+            dets.extend(fleet.finish_all().unwrap());
             assert_eq!(sorted_key(dets), serial_dets, "shards={shards}");
             assert_eq!(fleet.total_stats(), serial_stats, "shards={shards}");
         }
@@ -701,19 +772,19 @@ mod tests {
         let mut async_fleet = ParallelFleet::new(cfg(), 3);
         for fleet in [&mut sync_fleet, &mut async_fleet] {
             for &s in &streams {
-                fleet.add_stream(s);
+                fleet.add_stream(s).unwrap();
             }
-            fleet.subscribe(query(9, 2000));
+            fleet.subscribe(query(9, 2000)).unwrap();
         }
-        let mut want = sync_fleet.push_batch(&batch);
-        want.extend(sync_fleet.finish_all());
+        let mut want = sync_fleet.push_batch(&batch).unwrap();
+        want.extend(sync_fleet.finish_all().unwrap());
 
         for chunk in batch.chunks(37) {
-            async_fleet.push_batch_async(chunk);
+            async_fleet.push_batch_async(chunk).unwrap();
         }
-        async_fleet.quiesce();
+        async_fleet.quiesce().unwrap();
         let mut got = async_fleet.take_detections();
-        got.extend(async_fleet.finish_all());
+        got.extend(async_fleet.finish_all().unwrap());
         assert_eq!(sorted_key(got), sorted_key(want));
     }
 
@@ -721,13 +792,13 @@ mod tests {
     fn subscribe_forms_a_barrier_between_batches() {
         let mut fleet = ParallelFleet::new(cfg(), 4);
         for s in 0..8 {
-            fleet.add_stream(s);
+            fleet.add_stream(s).unwrap();
         }
         let batch = workload(&(0..8).collect::<Vec<_>>());
         // Queue work async, then subscribe: the barrier must order the
         // subscription after all queued frames on every shard.
-        fleet.push_batch_async(&batch);
-        fleet.subscribe(query(1, 1000));
+        fleet.push_batch_async(&batch).unwrap();
+        fleet.subscribe(query(1, 1000)).unwrap();
         let pre = fleet.take_detections();
         assert!(
             pre.iter().all(|d| d.detection.query_id != 1),
@@ -737,52 +808,64 @@ mod tests {
         let mut dets = Vec::new();
         for i in 80..140u64 {
             let id = if (90..114).contains(&i) { 1000 + (i - 90) % 24 } else { 700_000 + i };
-            dets.extend(fleet.push_batch(&[(1, i, id)]));
+            dets.extend(fleet.push_batch(&[(1, i, id)]).unwrap());
         }
-        dets.extend(fleet.finish_all());
+        dets.extend(fleet.finish_all().unwrap());
         assert!(dets.iter().any(|d| d.detection.query_id == 1 && d.stream_id == 1), "{dets:?}");
     }
 
     #[test]
     fn streams_and_stats_lifecycle() {
         let mut fleet = ParallelFleet::new(cfg(), 2);
-        fleet.subscribe(query(1, 1000));
-        fleet.add_stream(10);
-        fleet.add_stream(20);
+        fleet.subscribe(query(1, 1000)).unwrap();
+        fleet.add_stream(10).unwrap();
+        fleet.add_stream(20).unwrap();
         assert_eq!(fleet.stream_count(), 2);
         assert_eq!(fleet.query_count(), 1);
         assert_eq!(fleet.shard_count(), 2);
 
         let batch: Vec<(StreamId, u64, u64)> =
             (0..40u64).map(|i| (10, i, 555_000 + i)).collect();
-        fleet.push_batch(&batch);
+        fleet.push_batch(&batch).unwrap();
         assert_eq!(fleet.stats(10).unwrap().windows, 10);
         assert_eq!(fleet.stats(20).unwrap().windows, 0);
         assert!(fleet.stats(99).is_none());
 
-        let final_stats = fleet.remove_stream(10).unwrap();
+        let final_stats = fleet.remove_stream(10).unwrap().unwrap();
         assert_eq!(final_stats.windows, 10);
-        assert!(fleet.remove_stream(10).is_none());
+        assert!(fleet.remove_stream(10).unwrap().is_none());
         assert_eq!(fleet.stream_count(), 1);
         assert!(fleet.stats(10).is_none());
-        assert!(!fleet.unsubscribe(42));
-        assert!(fleet.unsubscribe(1));
+        assert!(!fleet.unsubscribe(42).unwrap());
+        assert!(fleet.unsubscribe(1).unwrap());
         assert_eq!(fleet.query_count(), 0);
     }
 
     #[test]
-    #[should_panic(expected = "already monitored")]
     fn duplicate_stream_rejected() {
         let mut fleet = ParallelFleet::new(cfg(), 2);
-        fleet.add_stream(1);
-        fleet.add_stream(1);
+        fleet.add_stream(1).unwrap();
+        assert_eq!(fleet.add_stream(1), Err(FleetError::StreamAlreadyMonitored(1)));
     }
 
     #[test]
-    #[should_panic(expected = "not monitored")]
     fn unknown_stream_rejected_on_callers_thread() {
         let mut fleet = ParallelFleet::new(cfg(), 2);
-        fleet.push_batch(&[(3, 0, 0)]);
+        assert_eq!(
+            fleet.push_batch(&[(3, 0, 0)]),
+            Err(FleetError::StreamNotMonitored(3))
+        );
+        // A rejected batch must not leave stale scratch behind: a valid
+        // follow-up batch sees only its own frames.
+        fleet.add_stream(1).unwrap();
+        assert_eq!(
+            fleet.push_batch_async(&[(1, 0, 0), (3, 1, 1)]),
+            Err(FleetError::StreamNotMonitored(3))
+        );
+        // 3 fresh frames alone complete no window (w = 4); a leaked
+        // frame from the rejected batch would complete one.
+        fleet.push_batch(&[(1, 0, 100), (1, 1, 101), (1, 2, 102)]).unwrap();
+        assert_eq!(fleet.stats(1).unwrap().windows, 0);
     }
 
     #[test]
@@ -798,19 +881,19 @@ mod tests {
             shards: 2,
             ..Default::default()
         });
-        fleet.subscribe(query(3, 3000));
-        fleet.add_stream(1);
+        fleet.subscribe(query(3, 3000)).unwrap();
+        fleet.add_stream(1).unwrap();
         assert_eq!(fleet.query_count(), 1);
         assert_eq!(fleet.stream_count(), 1);
         let mut dets = Vec::new();
         for i in 0..60u64 {
             let id = if (20..44).contains(&i) { 3000 + (i - 20) % 24 } else { 800_000 + i };
-            dets.extend(fleet.push_keyframe(1, i, id));
+            dets.extend(fleet.push_keyframe(1, i, id).unwrap());
         }
-        dets.extend(fleet.finish_all());
+        dets.extend(fleet.finish_all().unwrap());
         assert!(dets.iter().any(|d| d.detection.query_id == 3), "{dets:?}");
         assert!(fleet.stats(1).unwrap().windows >= 15);
         assert!(fleet.total_stats().detections >= 1);
-        assert!(fleet.remove_stream(1).is_some());
+        assert!(fleet.remove_stream(1).unwrap().is_some());
     }
 }

@@ -86,10 +86,11 @@ pub fn load_queries(bytes: &[u8], expected_k: usize) -> Result<QuerySet, Persist
     };
     let u32_at = |pos: &mut usize| -> Result<u32, PersistError> {
         let s = take(pos, 4)?;
-        Ok(u32::from_le_bytes(s.try_into().expect("4 bytes")))
+        let arr = s.try_into().map_err(|_| PersistError::UnexpectedEof)?;
+        Ok(u32::from_le_bytes(arr))
     };
 
-    if take(&mut pos, 4)? != MAGIC || *take(&mut pos, 1)?.first().expect("1 byte") != VERSION {
+    if take(&mut pos, 4)? != MAGIC || take(&mut pos, 1)? != [VERSION] {
         return Err(PersistError::BadHeader);
     }
     let count = u32_at(&mut pos)?;
@@ -104,7 +105,8 @@ pub fn load_queries(bytes: &[u8], expected_k: usize) -> Result<QuerySet, Persist
         let mut mins = Vec::with_capacity(k);
         for _ in 0..k {
             let s = take(&mut pos, 8)?;
-            mins.push(u64::from_le_bytes(s.try_into().expect("8 bytes")));
+            let arr = s.try_into().map_err(|_| PersistError::UnexpectedEof)?;
+            mins.push(u64::from_le_bytes(arr));
         }
         if set.get(id).is_some() {
             return Err(PersistError::DuplicateId(id));

@@ -85,21 +85,27 @@ impl SeqStore {
 
             match self.rep {
                 Representation::Sketch => {
-                    let sketch = cand.sketch.as_mut().expect("sketch candidate without sketch");
-                    sketch.combine(&win.sketch);
-                    stats.sketch_combines += 1;
-                    let sketch = &*sketch;
-                    retain_entries_sketch(
-                        &mut cand.entries,
-                        sketch,
-                        len_windows,
-                        cand.start_frame,
-                        win,
-                        cfg,
-                        queries,
-                        stats,
-                        &mut out,
-                    );
+                    // Every Sketch-representation candidate is constructed
+                    // with a combined sketch; a (never observed) sketch-less
+                    // one is dropped via the empty-entries path below.
+                    if let Some(sketch) = cand.sketch.as_mut() {
+                        sketch.combine(&win.sketch);
+                        stats.sketch_combines += 1;
+                        let sketch = &*sketch;
+                        retain_entries_sketch(
+                            &mut cand.entries,
+                            sketch,
+                            len_windows,
+                            cand.start_frame,
+                            win,
+                            cfg,
+                            queries,
+                            stats,
+                            &mut out,
+                        );
+                    } else {
+                        cand.entries.clear();
+                    }
                 }
                 Representation::Bit => {
                     let start_frame = cand.start_frame;
@@ -111,7 +117,11 @@ impl SeqStore {
                         let Some(wsig) = rel.sig_for(e.qid, &win.sketch, queries, stats) else {
                             return false; // query unsubscribed
                         };
-                        let sig = e.sig.as_mut().expect("bit candidate without signature");
+                        // Bit entries always carry a signature by
+                        // construction; drop rather than panic otherwise.
+                        let Some(sig) = e.sig.as_mut() else {
+                            return false;
+                        };
                         sig.or_with(wsig);
                         stats.sig_ors += 1;
                         stats.sig_compares += 1;
@@ -172,10 +182,10 @@ impl SeqStore {
             // match a short query).
             match self.rep {
                 Representation::Sketch => {
-                    let sketch = cand.sketch.clone().expect("just set");
+                    // The newborn candidate's sketch is exactly the window's.
                     retain_entries_sketch(
                         &mut cand.entries,
-                        &sketch,
+                        &win.sketch,
                         1,
                         cand.start_frame,
                         win,
@@ -188,7 +198,9 @@ impl SeqStore {
                 Representation::Bit => {
                     let start_frame = cand.start_frame;
                     cand.entries.retain_mut(|e| {
-                        let sig = e.sig.as_ref().expect("just set");
+                        let Some(sig) = e.sig.as_ref() else {
+                            return false;
+                        };
                         stats.sig_compares += 1;
                         if sig.violates_lemma2(cfg.pruning_delta()) {
                             stats.lemma2_prunes += 1;

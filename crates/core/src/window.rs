@@ -3,7 +3,7 @@
 use crate::bitsig::BitSig;
 use crate::query::{QueryId, QuerySet};
 use crate::stats::Stats;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use vdsms_sketch::Sketch;
 
 /// A completed basic window: `w` key frames sketched as a set of cell ids.
@@ -31,7 +31,7 @@ pub struct Window {
 pub struct WindowRelations {
     /// Related queries as `(id, keyframes)`.
     related: Vec<(QueryId, usize)>,
-    sigs: HashMap<QueryId, BitSig>,
+    sigs: BTreeMap<QueryId, BitSig>,
 }
 
 impl WindowRelations {
@@ -47,7 +47,7 @@ impl WindowRelations {
     pub fn all_queries(queries: &QuerySet) -> WindowRelations {
         WindowRelations {
             related: queries.iter().map(|q| (q.id, q.keyframes)).collect(),
-            sigs: HashMap::new(),
+            sigs: BTreeMap::new(),
         }
     }
 
@@ -66,7 +66,7 @@ impl WindowRelations {
         queries: &QuerySet,
         stats: &mut Stats,
     ) -> Option<&BitSig> {
-        use std::collections::hash_map::Entry;
+        use std::collections::btree_map::Entry;
         match self.sigs.entry(qid) {
             Entry::Occupied(e) => Some(e.into_mut()),
             Entry::Vacant(e) => {

@@ -44,7 +44,10 @@ fn arb_op(n_streams: u8) -> impl Strategy<Value = Op> {
     ]
 }
 
-fn sort_key(d: &StreamDetection) -> (StreamId, u32, u64, u64, u64) {
+/// Canonical comparison key of one detection.
+type DetKey = (StreamId, u32, u64, u64, u64);
+
+fn sort_key(d: &StreamDetection) -> DetKey {
     (
         d.stream_id,
         d.detection.query_id,
@@ -57,11 +60,11 @@ fn sort_key(d: &StreamDetection) -> (StreamId, u32, u64, u64, u64) {
 /// Run the op sequence on any fleet; returns the sorted detection keys
 /// and the aggregate stats. Duplicate subscribes are skipped (both sides
 /// identically) so the sequence is valid.
-fn apply(fleet: &mut AnyFleet, n_streams: u8, ops: &[Op]) -> (Vec<(StreamId, u32, u64, u64, u64)>, Stats) {
+fn apply(fleet: &mut AnyFleet, n_streams: u8, ops: &[Op]) -> (Vec<DetKey>, Stats) {
     let mut subscribed = std::collections::HashSet::new();
     let mut next_frame = vec![0u64; usize::from(n_streams)];
     for s in 0..n_streams {
-        fleet.add_stream(StreamId::from(s));
+        fleet.add_stream(StreamId::from(s)).unwrap();
     }
     let mut dets: Vec<StreamDetection> = Vec::new();
     for op in ops {
@@ -76,20 +79,20 @@ fn apply(fleet: &mut AnyFleet, n_streams: u8, ops: &[Op]) -> (Vec<(StreamId, u32
                         (StreamId::from(s), f, cell)
                     })
                     .collect();
-                dets.extend(fleet.push_batch(&batch));
+                dets.extend(fleet.push_batch(&batch).unwrap());
             }
             Op::Subscribe(id) => {
                 if subscribed.insert(*id) {
-                    fleet.subscribe(query(*id));
+                    fleet.subscribe(query(*id)).unwrap();
                 }
             }
             Op::Unsubscribe(id) => {
                 subscribed.remove(id);
-                fleet.unsubscribe(u32::from(*id));
+                fleet.unsubscribe(u32::from(*id)).unwrap();
             }
         }
     }
-    dets.extend(fleet.finish_all());
+    dets.extend(fleet.finish_all().unwrap());
     let stats = fleet.total_stats();
     let mut keys: Vec<_> = dets.iter().map(sort_key).collect();
     keys.sort_unstable();
@@ -230,33 +233,33 @@ fn stress_pipelined_8_shards_drops_nothing() {
 
     let mut serial = Fleet::new(cfg());
     for s in 0..n_streams {
-        serial.add_stream(s);
+        serial.add_stream(s).unwrap();
     }
     subscribe_all(&mut |q| serial.subscribe(q));
-    let mut want = serial.push_batch(&workload);
+    let mut want = serial.push_batch(&workload).unwrap();
     want.extend(serial.finish_all());
 
     let mut par = ParallelFleet::new(cfg(), 8);
     for s in 0..n_streams {
-        par.add_stream(s);
+        par.add_stream(s).unwrap();
     }
-    subscribe_all(&mut |q| par.subscribe(q));
+    subscribe_all(&mut |q| par.subscribe(q).unwrap());
     let mut got: Vec<StreamDetection> = Vec::new();
     let mut i = 0usize;
     while i < workload.len() {
         let size = 1 + (rng() % 512) as usize;
         let end = (i + size).min(workload.len());
-        par.push_batch_async(&workload[i..end]);
+        par.push_batch_async(&workload[i..end]).unwrap();
         i = end;
         // Occasionally drain mid-flight (after a barrier).
         if rng() % 7 == 0 {
-            par.quiesce();
+            par.quiesce().unwrap();
             got.extend(par.take_detections());
         }
     }
-    par.quiesce();
+    par.quiesce().unwrap();
     got.extend(par.take_detections());
-    got.extend(par.finish_all());
+    got.extend(par.finish_all().unwrap());
 
     assert_eq!(got.len(), want.len(), "detection count oracle");
     let mut want_keys: Vec<_> = want.iter().map(sort_key).collect();

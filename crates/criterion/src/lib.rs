@@ -9,6 +9,8 @@
 //! Running with `--test` (as `cargo test` does for `harness = false` bench
 //! targets) executes each benchmark once for correctness and skips timing.
 
+#![forbid(unsafe_code)]
+
 use std::hint::black_box as std_black_box;
 use std::time::{Duration, Instant};
 

@@ -19,6 +19,8 @@
 //! analysis), whereas a pure grid id flips whenever *any* dimension crosses
 //! a slice boundary.
 
+#![forbid(unsafe_code)]
+
 pub mod extract;
 pub mod partition;
 

@@ -45,10 +45,13 @@ impl GridPyramid {
     pub fn new(d: usize, u: u32) -> GridPyramid {
         assert!(d >= 1, "d must be >= 1");
         assert!(u >= 1, "u must be >= 1");
+        // On u128 overflow, saturate past the u64 bound so the assert
+        // below reports the failure (`assert!` is the sanctioned
+        // construction-time check under the panic-freedom lint).
         let cells = (u as u128)
             .checked_pow(d as u32)
             .and_then(|g| g.checked_mul(2 * d as u128))
-            .expect("cell count overflow");
+            .unwrap_or(u128::MAX);
         assert!(cells <= u64::MAX as u128, "cell count exceeds u64");
         GridPyramid { d, u }
     }

@@ -1,0 +1,167 @@
+//! Diagnostics: what a rule reports, how it renders for humans, and the
+//! machine-readable JSON form CI consumes.
+
+use std::fmt::Write as _;
+
+/// One lint finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Rule identifier (e.g. `no-panic-hot-path`).
+    pub rule: String,
+    /// Path of the offending file, workspace-relative where possible.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+    /// Human-readable explanation.
+    pub message: String,
+    /// The offending source line, trimmed, for rendering.
+    pub snippet: String,
+}
+
+impl Diagnostic {
+    /// Render as `file:line:col: [rule] message` plus the snippet line.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{}:{}:{}: [{}] {}",
+            self.file, self.line, self.col, self.rule, self.message
+        );
+        if !self.snippet.is_empty() {
+            let _ = writeln!(out, "    | {}", self.snippet);
+        }
+        out
+    }
+}
+
+/// The result of linting a set of files.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// All findings, in (file, line, col) order.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Number of files scanned.
+    pub files_scanned: usize,
+    /// Number of suppressed findings (matched by an `allow` directive).
+    pub suppressed: usize,
+}
+
+impl Report {
+    /// True when no violations were found.
+    pub fn is_clean(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+
+    /// Human-readable multi-line report.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for d in &self.diagnostics {
+            out.push_str(&d.render());
+        }
+        let _ = writeln!(
+            out,
+            "vdsms-lint: {} violation(s), {} suppressed, {} file(s) scanned",
+            self.diagnostics.len(),
+            self.suppressed,
+            self.files_scanned
+        );
+        out
+    }
+
+    /// Machine-readable JSON (stable key order, no external deps).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"violations\": [");
+        for (i, d) in self.diagnostics.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    {");
+            let _ = write!(
+                out,
+                "\"rule\": {}, \"file\": {}, \"line\": {}, \"col\": {}, \"message\": {}, \"snippet\": {}",
+                json_string(&d.rule),
+                json_string(&d.file),
+                d.line,
+                d.col,
+                json_string(&d.message),
+                json_string(&d.snippet),
+            );
+            out.push('}');
+        }
+        if !self.diagnostics.is_empty() {
+            out.push_str("\n  ");
+        }
+        let _ = write!(
+            out,
+            "],\n  \"count\": {},\n  \"suppressed\": {},\n  \"files_scanned\": {}\n}}\n",
+            self.diagnostics.len(),
+            self.suppressed,
+            self.files_scanned
+        );
+        out
+    }
+}
+
+/// JSON-escape a string (quotes, backslashes, control characters).
+pub fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diag() -> Diagnostic {
+        Diagnostic {
+            rule: "no-panic-hot-path".into(),
+            file: "crates/core/src/x.rs".into(),
+            line: 3,
+            col: 7,
+            message: "`unwrap()` forbidden".into(),
+            snippet: "let v = m.get(&k).unwrap();".into(),
+        }
+    }
+
+    #[test]
+    fn render_contains_location_and_rule() {
+        let r = diag().render();
+        assert!(r.contains("crates/core/src/x.rs:3:7"));
+        assert!(r.contains("[no-panic-hot-path]"));
+        assert!(r.contains("unwrap"));
+    }
+
+    #[test]
+    fn json_escapes_specials() {
+        assert_eq!(json_string("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+    }
+
+    #[test]
+    fn json_report_shape() {
+        let mut rep = Report { files_scanned: 2, ..Default::default() };
+        rep.diagnostics.push(diag());
+        let j = rep.to_json();
+        assert!(j.contains("\"count\": 1"));
+        assert!(j.contains("\"files_scanned\": 2"));
+        assert!(j.contains("\"rule\": \"no-panic-hot-path\""));
+        // Empty report is still valid JSON with an empty array.
+        let empty = Report::default().to_json();
+        assert!(empty.contains("\"violations\": []"));
+    }
+}

@@ -1,0 +1,214 @@
+#![forbid(unsafe_code)]
+//! # vdsms-lint — the workspace static-analysis gate
+//!
+//! PR 1's headline guarantee — detections and stats are **bit-identical
+//! at any shard count** — and the paper's continuous-monitoring setting
+//! (Yan/Ooi/Zhou, ICDE 2008, §VI assumes uninterrupted operation) are
+//! properties of the *code*, not of any one test run. This crate enforces
+//! them mechanically: a hand-rolled lexer (no external parser
+//! dependencies, consistent with the workspace's offline stand-in
+//! policy) feeds a token-pattern rule engine with per-rule diagnostics,
+//! inline suppressions with mandatory reasons, per-crate configuration in
+//! `lint.toml`, and machine-readable JSON output for CI.
+//!
+//! See [`rules`] for the rule catalog and suppression syntax. Run it as
+//! `cargo run -p vdsms-lint --release` (what `ci.sh` does) or via the
+//! operator-facing alias `vdsms lint`.
+//!
+//! The lint scope is each crate's `src/` tree: integration tests,
+//! benches and examples are test/demo code by definition, and `#[cfg(test)]`
+//! / `#[test]` items inside `src/` are excluded by the lexer's test-region
+//! tracking.
+
+pub mod config;
+pub mod diag;
+pub mod lexer;
+pub mod rules;
+
+pub use config::{parse_config, ConfigError, LintConfig, RuleSet};
+pub use diag::{Diagnostic, Report};
+pub use rules::{check_file, FileInput, FileReport};
+
+use std::path::{Path, PathBuf};
+
+/// Errors while driving a workspace lint run.
+#[derive(Debug)]
+pub enum LintError {
+    /// I/O failure reading a file (path, error).
+    Io(PathBuf, std::io::Error),
+    /// `lint.toml` is missing or malformed.
+    Config(String),
+}
+
+impl std::fmt::Display for LintError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LintError::Io(p, e) => write!(f, "{}: {e}", p.display()),
+            LintError::Config(m) => write!(f, "{m}"),
+        }
+    }
+}
+
+impl std::error::Error for LintError {}
+
+/// One discovered workspace crate.
+#[derive(Debug, Clone)]
+pub struct CrateInfo {
+    /// Package name from `Cargo.toml`.
+    pub name: String,
+    /// Crate directory (contains `Cargo.toml` and `src/`).
+    pub dir: PathBuf,
+}
+
+/// Discover workspace members: the root package plus every `crates/*`
+/// directory with a `Cargo.toml`. Sorted by name for deterministic
+/// reports.
+pub fn discover_crates(root: &Path) -> Result<Vec<CrateInfo>, LintError> {
+    let mut out = Vec::new();
+    let mut push_pkg = |dir: PathBuf| -> Result<(), LintError> {
+        let manifest = dir.join("Cargo.toml");
+        if !manifest.is_file() || !dir.join("src").is_dir() {
+            return Ok(());
+        }
+        let text = std::fs::read_to_string(&manifest).map_err(|e| LintError::Io(manifest, e))?;
+        if let Some(name) = package_name(&text) {
+            out.push(CrateInfo { name, dir });
+        }
+        Ok(())
+    };
+    push_pkg(root.to_path_buf())?;
+    let crates_dir = root.join("crates");
+    if crates_dir.is_dir() {
+        let entries =
+            std::fs::read_dir(&crates_dir).map_err(|e| LintError::Io(crates_dir.clone(), e))?;
+        let mut dirs: Vec<PathBuf> = entries
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .filter(|p| p.is_dir())
+            .collect();
+        dirs.sort();
+        for dir in dirs {
+            push_pkg(dir)?;
+        }
+    }
+    out.sort_by(|a, b| a.name.cmp(&b.name));
+    Ok(out)
+}
+
+/// Extract `name = "…"` from a manifest's `[package]` section.
+fn package_name(manifest: &str) -> Option<String> {
+    let mut in_package = false;
+    for line in manifest.lines() {
+        let line = line.trim();
+        if let Some(section) = line.strip_prefix('[') {
+            in_package = section.trim_end_matches(']').trim() == "package";
+            continue;
+        }
+        if in_package {
+            if let Some(rest) = line.strip_prefix("name") {
+                let rest = rest.trim_start();
+                if let Some(v) = rest.strip_prefix('=') {
+                    return Some(v.trim().trim_matches('"').to_string());
+                }
+            }
+        }
+    }
+    None
+}
+
+/// All `.rs` files under `dir`, recursively, sorted for determinism.
+fn rust_files(dir: &Path) -> Result<Vec<PathBuf>, LintError> {
+    let mut out = Vec::new();
+    let mut stack = vec![dir.to_path_buf()];
+    while let Some(d) = stack.pop() {
+        let entries = std::fs::read_dir(&d).map_err(|e| LintError::Io(d.clone(), e))?;
+        for entry in entries {
+            let entry = entry.map_err(|e| LintError::Io(d.clone(), e))?;
+            let path = entry.path();
+            if path.is_dir() {
+                stack.push(path);
+            } else if path.extension().is_some_and(|e| e == "rs") {
+                out.push(path);
+            }
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+/// Lint every crate's `src/` tree under `root` with `config`.
+pub fn lint_workspace(root: &Path, config: &LintConfig) -> Result<Report, LintError> {
+    let mut report = Report::default();
+    for krate in discover_crates(root)? {
+        let rules = config.rules_for(&krate.name);
+        let src = krate.dir.join("src");
+        let crate_root_file = ["lib.rs", "main.rs"]
+            .iter()
+            .map(|f| src.join(f))
+            .find(|p| p.is_file());
+        for path in rust_files(&src)? {
+            let source =
+                std::fs::read_to_string(&path).map_err(|e| LintError::Io(path.clone(), e))?;
+            let label = path
+                .strip_prefix(root)
+                .unwrap_or(&path)
+                .to_string_lossy()
+                .replace('\\', "/");
+            let input = FileInput {
+                path: &label,
+                source: &source,
+                is_crate_root: crate_root_file.as_deref() == Some(&path),
+            };
+            let file_report = check_file(&input, &rules);
+            report.files_scanned += 1;
+            report.suppressed += file_report.suppressed;
+            report.diagnostics.extend(file_report.diagnostics);
+        }
+    }
+    report
+        .diagnostics
+        .sort_by(|a, b| (&a.file, a.line, a.col, &a.rule).cmp(&(&b.file, b.line, b.col, &b.rule)));
+    Ok(report)
+}
+
+/// Load `<root>/lint.toml` and lint the workspace — the entry point the
+/// binary and the `vdsms lint` CLI subcommand share.
+pub fn lint_workspace_with_default_config(root: &Path) -> Result<Report, LintError> {
+    let config_path = root.join("lint.toml");
+    let text = std::fs::read_to_string(&config_path)
+        .map_err(|e| LintError::Config(format!("{}: {e}", config_path.display())))?;
+    let config = parse_config(&text).map_err(|e| LintError::Config(e.to_string()))?;
+    lint_workspace(root, &config)
+}
+
+/// Walk upward from `start` to the first directory containing
+/// `lint.toml` (the workspace root).
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start.to_path_buf());
+    while let Some(d) = dir {
+        if d.join("lint.toml").is_file() {
+            return Some(d);
+        }
+        dir = d.parent().map(Path::to_path_buf);
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn package_name_parses_workspace_manifest_shapes() {
+        assert_eq!(
+            package_name("[package]\nname = \"vdsms-core\"\nversion.workspace = true\n"),
+            Some("vdsms-core".to_string())
+        );
+        // `name` under a different section must not match.
+        assert_eq!(package_name("[workspace]\nname = \"nope\"\n"), None);
+        // Root manifest: [workspace] first, then [package].
+        assert_eq!(
+            package_name("[workspace]\nmembers = [\"crates/*\"]\n[package]\nname = \"vdsms\"\n"),
+            Some("vdsms".to_string())
+        );
+    }
+}

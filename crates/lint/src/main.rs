@@ -1,0 +1,94 @@
+#![forbid(unsafe_code)]
+//! `vdsms-lint` — run the workspace static-analysis gate.
+//!
+//! ```text
+//! vdsms-lint [--json] [--root DIR]
+//! ```
+//!
+//! Exit codes: 0 clean, 1 violations found, 2 usage/config error.
+
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+vdsms-lint — workspace static-analysis gate
+
+USAGE:
+  vdsms-lint [--json] [--root DIR]
+
+  --json      machine-readable JSON report on stdout
+  --root DIR  workspace root (default: nearest ancestor with lint.toml)
+
+Rules and per-crate configuration live in <root>/lint.toml.
+Suppress a finding inline with a mandatory reason:
+  // vdsms-lint: allow(rule-id) reason=\"why this occurrence is sound\"
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut json = false;
+    let mut root: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--json" => json = true,
+            "--root" => {
+                i += 1;
+                match args.get(i) {
+                    Some(v) => root = Some(v.clone()),
+                    None => {
+                        eprintln!("error: --root needs a value\n{USAGE}");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("error: unknown flag {other}\n{USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+        i += 1;
+    }
+
+    let root = match root {
+        Some(r) => std::path::PathBuf::from(r),
+        None => {
+            let cwd = match std::env::current_dir() {
+                Ok(c) => c,
+                Err(e) => {
+                    eprintln!("error: cannot read current directory: {e}");
+                    return ExitCode::from(2);
+                }
+            };
+            match vdsms_lint::find_workspace_root(&cwd) {
+                Some(r) => r,
+                None => {
+                    eprintln!("error: no lint.toml found between {} and /", cwd.display());
+                    return ExitCode::from(2);
+                }
+            }
+        }
+    };
+
+    match vdsms_lint::lint_workspace_with_default_config(&root) {
+        Ok(report) => {
+            if json {
+                print!("{}", report.to_json());
+            } else {
+                print!("{}", report.render());
+            }
+            if report.is_clean() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::from(1)
+            }
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

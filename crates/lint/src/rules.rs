@@ -1,0 +1,559 @@
+//! The rule engine: token-pattern rules over a [`LexedFile`], inline
+//! suppression handling, and per-file orchestration.
+//!
+//! ## Rule catalog
+//!
+//! | id | guards against |
+//! |---|---|
+//! | `no-panic-hot-path` | `unwrap()` / `expect()` / `panic!` / `todo!` / `unimplemented!` and indexing-adjacent `[..].clone()` in streaming hot-path crates — the paper's VDSMS must monitor continuously, so a panic is an outage |
+//! | `deterministic-iteration` | `HashMap` / `HashSet` (and `hash_map` / `hash_set` paths) whose iteration order could leak into detections, stats or serialized output — the shard-equivalence guarantee requires order-free state |
+//! | `no-wall-clock` | `SystemTime::now` / `Instant::now` outside bench/CLI timing — wall-clock reads break replayable detection |
+//! | `lock-discipline` | `std::sync::{Mutex, RwLock, Condvar}` (the workspace mandates the `parking_lot` shim) and nested lock acquisition while a guard is held (deadlock smell) |
+//! | `unsafe-audit` | `unsafe` blocks without an adjacent `// SAFETY:` comment; crate roots missing `#![forbid(unsafe_code)]` (except crates with `unsafe-allowed = true`) |
+//!
+//! A finding on a given line is suppressed by an inline directive on the
+//! same line or the line above:
+//!
+//! ```text
+//! // vdsms-lint: allow(rule-id) reason="why this occurrence is sound"
+//! ```
+//!
+//! The reason is mandatory; a directive without one is itself reported
+//! (rule `invalid-suppression`, which cannot be suppressed).
+
+use crate::config::{RuleSet, KNOWN_KEYS};
+use crate::diag::Diagnostic;
+use crate::lexer::{Comment, LexedFile, TokenKind};
+
+/// Rule id: panics forbidden in hot-path crates.
+pub const NO_PANIC: &str = "no-panic-hot-path";
+/// Rule id: order-dependent collections forbidden.
+pub const DET_ITER: &str = "deterministic-iteration";
+/// Rule id: wall-clock reads forbidden.
+pub const NO_WALL_CLOCK: &str = "no-wall-clock";
+/// Rule id: std locks forbidden; nested acquisition flagged.
+pub const LOCK_DISCIPLINE: &str = "lock-discipline";
+/// Rule id: unsafe must be audited.
+pub const UNSAFE_AUDIT: &str = "unsafe-audit";
+/// Rule id: malformed suppression directives (not suppressible).
+pub const INVALID_SUPPRESSION: &str = "invalid-suppression";
+
+/// Everything a rule needs to inspect one file.
+pub struct FileInput<'a> {
+    /// Workspace-relative path label used in diagnostics.
+    pub path: &'a str,
+    /// Raw source (for snippets).
+    pub source: &'a str,
+    /// Whether this file is the crate root (`src/lib.rs` / `src/main.rs`),
+    /// where `#![forbid(unsafe_code)]` is required.
+    pub is_crate_root: bool,
+}
+
+/// Per-file lint result.
+#[derive(Debug, Default)]
+pub struct FileReport {
+    /// Surviving diagnostics.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Findings silenced by a valid `allow` directive.
+    pub suppressed: usize,
+}
+
+/// Lint one file under `rules`.
+pub fn check_file(input: &FileInput<'_>, rules: &RuleSet) -> FileReport {
+    let lexed = crate::lexer::lex(input.source);
+    let lines: Vec<&str> = input.source.lines().collect();
+    let snippet = |line: u32| -> String {
+        lines.get(line as usize - 1).map(|s| s.trim().to_string()).unwrap_or_default()
+    };
+    let mut diags: Vec<Diagnostic> = Vec::new();
+    let mut emit = |rule: &str, tok_line: u32, tok_col: u32, message: String| {
+        diags.push(Diagnostic {
+            rule: rule.to_string(),
+            file: input.path.to_string(),
+            line: tok_line,
+            col: tok_col,
+            message,
+            snippet: snippet(tok_line),
+        });
+    };
+
+    if rules.enabled(NO_PANIC) {
+        rule_no_panic(&lexed, &mut emit);
+    }
+    if rules.enabled(DET_ITER) {
+        rule_deterministic_iteration(&lexed, &mut emit);
+    }
+    if rules.enabled(NO_WALL_CLOCK) {
+        rule_no_wall_clock(&lexed, &mut emit);
+    }
+    if rules.enabled(LOCK_DISCIPLINE) {
+        rule_lock_discipline(&lexed, &mut emit);
+    }
+    if rules.enabled(UNSAFE_AUDIT) {
+        rule_unsafe_audit(&lexed, input.is_crate_root, rules.enabled("unsafe-allowed"), &mut emit);
+    }
+
+    apply_suppressions(input, &lexed.comments, diags)
+}
+
+/// Parse directives, silence covered findings, report malformed ones.
+fn apply_suppressions(
+    input: &FileInput<'_>,
+    comments: &[Comment],
+    diags: Vec<Diagnostic>,
+) -> FileReport {
+    let mut suppressions: Vec<Suppression> = Vec::new();
+    let mut report = FileReport::default();
+    for c in comments {
+        match parse_directive(c) {
+            DirectiveParse::None => {}
+            DirectiveParse::Valid(s) => suppressions.push(s),
+            DirectiveParse::Invalid(message) => {
+                report.diagnostics.push(Diagnostic {
+                    rule: INVALID_SUPPRESSION.to_string(),
+                    file: input.path.to_string(),
+                    line: c.line,
+                    col: 1,
+                    message,
+                    snippet: format!("//{}", c.text.trim_end()),
+                });
+            }
+        }
+    }
+    for d in diags {
+        let covered = suppressions.iter().any(|s| {
+            s.rules.iter().any(|r| r == &d.rule)
+                && (s.line == d.line || s.end_line + 1 == d.line)
+        });
+        if covered {
+            report.suppressed += 1;
+        } else {
+            report.diagnostics.push(d);
+        }
+    }
+    report.diagnostics.sort_by(|a, b| (a.line, a.col, &a.rule).cmp(&(b.line, b.col, &b.rule)));
+    report
+}
+
+struct Suppression {
+    rules: Vec<String>,
+    line: u32,
+    end_line: u32,
+}
+
+enum DirectiveParse {
+    None,
+    Valid(Suppression),
+    Invalid(String),
+}
+
+/// Parse `vdsms-lint: allow(rule-a, rule-b) reason="…"` from a comment.
+fn parse_directive(c: &Comment) -> DirectiveParse {
+    let text = c.text.trim();
+    let Some(rest) = text.strip_prefix("vdsms-lint:") else {
+        return DirectiveParse::None;
+    };
+    let rest = rest.trim_start();
+    let Some(rest) = rest.strip_prefix("allow") else {
+        return DirectiveParse::Invalid(format!(
+            "unknown vdsms-lint directive `{}` (expected `allow(rule-id) reason=\"…\"`)",
+            rest.split_whitespace().next().unwrap_or("")
+        ));
+    };
+    let rest = rest.trim_start();
+    let Some(rest) = rest.strip_prefix('(') else {
+        return DirectiveParse::Invalid("allow directive missing `(rule-id)`".to_string());
+    };
+    let Some((ids, rest)) = rest.split_once(')') else {
+        return DirectiveParse::Invalid("allow directive missing closing `)`".to_string());
+    };
+    let rules: Vec<String> =
+        ids.split(',').map(|s| s.trim().to_string()).filter(|s| !s.is_empty()).collect();
+    if rules.is_empty() {
+        return DirectiveParse::Invalid("allow directive lists no rules".to_string());
+    }
+    for r in &rules {
+        if r == INVALID_SUPPRESSION {
+            return DirectiveParse::Invalid("`invalid-suppression` cannot be suppressed".to_string());
+        }
+        if !KNOWN_KEYS.contains(&r.as_str()) {
+            return DirectiveParse::Invalid(format!("allow directive names unknown rule `{r}`"));
+        }
+    }
+    let rest = rest.trim_start();
+    let Some(reason) = rest.strip_prefix("reason=") else {
+        return DirectiveParse::Invalid(
+            "allow directive missing mandatory `reason=\"…\"`".to_string(),
+        );
+    };
+    let reason = reason.trim();
+    let ok_reason = reason.len() > 2 && reason.starts_with('"') && reason[1..].contains('"');
+    let body = reason.trim_matches('"').trim();
+    if !ok_reason || body.is_empty() {
+        return DirectiveParse::Invalid("allow reason must be a non-empty quoted string".to_string());
+    }
+    DirectiveParse::Valid(Suppression { rules, line: c.line, end_line: c.end_line })
+}
+
+/// `no-panic-hot-path`: `.unwrap()`, `.expect(`, `panic!` / `todo!` /
+/// `unimplemented!`, and `[…].clone()` right after an index expression.
+fn rule_no_panic(lexed: &LexedFile, emit: &mut impl FnMut(&str, u32, u32, String)) {
+    let t = &lexed.tokens;
+    for i in 0..t.len() {
+        if lexed.is_test(i) {
+            continue;
+        }
+        let tok = &t[i];
+        match tok.ident() {
+            Some(m @ ("unwrap" | "expect"))
+                if i > 0
+                    && t[i - 1].is_punct('.')
+                    && t.get(i + 1).is_some_and(|n| n.is_punct('(')) =>
+            {
+                emit(
+                    NO_PANIC,
+                    tok.line,
+                    tok.col,
+                    format!("`.{m}()` can panic in the streaming hot path; return a typed error (or `allow` with a reason)"),
+                );
+            }
+            Some(m @ ("panic" | "todo" | "unimplemented"))
+                if t.get(i + 1).is_some_and(|n| n.is_punct('!')) =>
+            {
+                emit(
+                    NO_PANIC,
+                    tok.line,
+                    tok.col,
+                    format!("`{m}!` aborts continuous monitoring; return a typed error (or `allow` with a reason)"),
+                );
+            }
+            Some("clone")
+                if i > 1
+                    && t[i - 1].is_punct('.')
+                    && t[i - 2].is_punct(']')
+                    && t.get(i + 1).is_some_and(|n| n.is_punct('(')) =>
+            {
+                emit(
+                    NO_PANIC,
+                    tok.line,
+                    tok.col,
+                    "indexing followed by `.clone()` panics on a missing key/out-of-range index; use `.get(…)`".to_string(),
+                );
+            }
+            _ => {}
+        }
+    }
+}
+
+/// `deterministic-iteration`: any appearance of an order-randomized
+/// collection in production code.
+fn rule_deterministic_iteration(lexed: &LexedFile, emit: &mut impl FnMut(&str, u32, u32, String)) {
+    for (i, tok) in lexed.code_tokens() {
+        if lexed.is_test(i) {
+            continue;
+        }
+        if let Some(name @ ("HashMap" | "HashSet" | "hash_map" | "hash_set")) = tok.ident() {
+            emit(
+                DET_ITER,
+                tok.line,
+                tok.col,
+                format!("`{name}` iteration order is randomized and can leak into detections/stats/serialized output; use `BTreeMap`/`BTreeSet` or an explicit sort"),
+            );
+        }
+    }
+}
+
+/// `no-wall-clock`: `SystemTime::now` / `Instant::now`.
+fn rule_no_wall_clock(lexed: &LexedFile, emit: &mut impl FnMut(&str, u32, u32, String)) {
+    let t = &lexed.tokens;
+    for i in 0..t.len() {
+        if lexed.is_test(i) {
+            continue;
+        }
+        if let Some(name @ ("SystemTime" | "Instant")) = t[i].ident() {
+            if t.get(i + 1).is_some_and(|n| n.kind == TokenKind::PathSep)
+                && t.get(i + 2).is_some_and(|n| n.is_ident("now"))
+            {
+                emit(
+                    NO_WALL_CLOCK,
+                    t[i].line,
+                    t[i].col,
+                    format!("`{name}::now()` makes detection non-replayable; take timestamps as input (bench/CLI timing is exempted via lint.toml)"),
+                );
+            }
+        }
+    }
+}
+
+/// `lock-discipline`: std locks are forbidden (use the parking_lot shim),
+/// and acquiring a second lock while a guard is held is a deadlock smell.
+fn rule_lock_discipline(lexed: &LexedFile, emit: &mut impl FnMut(&str, u32, u32, String)) {
+    let t = &lexed.tokens;
+
+    // Part 1: `std::sync::{Mutex, RwLock, Condvar}` in paths or use-groups.
+    for i in 0..t.len() {
+        if lexed.is_test(i) {
+            continue;
+        }
+        if t[i].is_ident("std")
+            && t.get(i + 1).is_some_and(|n| n.kind == TokenKind::PathSep)
+            && t.get(i + 2).is_some_and(|n| n.is_ident("sync"))
+        {
+            // Scan to the end of the path / use statement for lock types.
+            let mut j = i + 3;
+            while j < t.len() && !t[j].is_punct(';') && !t[j].is_punct('=') {
+                if let Some(name @ ("Mutex" | "RwLock" | "Condvar")) = t[j].ident() {
+                    emit(
+                        LOCK_DISCIPLINE,
+                        t[j].line,
+                        t[j].col,
+                        format!("`std::sync::{name}` is forbidden; use the `parking_lot` shim (panic-free guards, no poisoning)"),
+                    );
+                }
+                j += 1;
+                if j - i > 64 {
+                    break;
+                }
+            }
+        }
+    }
+
+    // Part 2: nested acquisition. A guard becomes live when a `let`
+    // statement acquires via `.lock()` / `.read()` / `.write()` (empty
+    // argument list — I/O `.read(buf)` never matches) and stays live to
+    // the end of its enclosing block. Any further acquisition while a
+    // guard is live is flagged.
+    let mut depth: i32 = 0;
+    let mut live_guards: Vec<i32> = Vec::new();
+    let mut stmt_starts_with_let = false;
+    let mut at_stmt_start = true;
+    for i in 0..t.len() {
+        match &t[i].kind {
+            TokenKind::Punct('{') => {
+                depth += 1;
+                at_stmt_start = true;
+                continue;
+            }
+            TokenKind::Punct('}') => {
+                depth -= 1;
+                live_guards.retain(|&d| d <= depth);
+                at_stmt_start = true;
+                stmt_starts_with_let = false;
+                continue;
+            }
+            TokenKind::Punct(';') => {
+                at_stmt_start = true;
+                stmt_starts_with_let = false;
+                continue;
+            }
+            _ => {}
+        }
+        if at_stmt_start {
+            stmt_starts_with_let = t[i].is_ident("let");
+            at_stmt_start = false;
+        }
+        let acquisition = matches!(t[i].ident(), Some("lock" | "read" | "write"))
+            && i > 0
+            && t[i - 1].is_punct('.')
+            && t.get(i + 1).is_some_and(|n| n.is_punct('('))
+            && t.get(i + 2).is_some_and(|n| n.is_punct(')'));
+        if acquisition && !lexed.is_test(i) {
+            if !live_guards.is_empty() {
+                emit(
+                    LOCK_DISCIPLINE,
+                    t[i].line,
+                    t[i].col,
+                    "lock acquired while another guard is held in the same function — deadlock smell; narrow the first guard's scope".to_string(),
+                );
+            }
+            if stmt_starts_with_let {
+                live_guards.push(depth);
+            }
+        }
+    }
+}
+
+/// `unsafe-audit`: `unsafe` needs an adjacent `// SAFETY:` comment, and
+/// crate roots need `#![forbid(unsafe_code)]` unless exempted.
+fn rule_unsafe_audit(
+    lexed: &LexedFile,
+    is_crate_root: bool,
+    unsafe_allowed: bool,
+    emit: &mut impl FnMut(&str, u32, u32, String),
+) {
+    for (i, tok) in lexed.code_tokens() {
+        if lexed.is_test(i) || !tok.is_ident("unsafe") {
+            continue;
+        }
+        let documented = lexed.comments.iter().any(|c| {
+            c.text.contains("SAFETY:")
+                && c.end_line <= tok.line
+                && tok.line.saturating_sub(c.end_line) <= 3
+        });
+        if !documented {
+            emit(
+                UNSAFE_AUDIT,
+                tok.line,
+                tok.col,
+                "`unsafe` without an adjacent `// SAFETY:` comment (within 3 lines above)".to_string(),
+            );
+        }
+    }
+    if is_crate_root && !unsafe_allowed {
+        let t = &lexed.tokens;
+        let has_forbid = (0..t.len()).any(|i| {
+            t[i].is_punct('#')
+                && t.get(i + 1).is_some_and(|n| n.is_punct('!'))
+                && t.get(i + 2).is_some_and(|n| n.is_punct('['))
+                && t.get(i + 3).is_some_and(|n| n.is_ident("forbid"))
+                && t.get(i + 4).is_some_and(|n| n.is_punct('('))
+                && t.get(i + 5).is_some_and(|n| n.is_ident("unsafe_code"))
+        });
+        if !has_forbid {
+            emit(
+                UNSAFE_AUDIT,
+                1,
+                1,
+                "crate root is missing `#![forbid(unsafe_code)]` (set `unsafe-allowed = true` in lint.toml for the one shim that needs unsafe)".to_string(),
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check(src: &str) -> FileReport {
+        check_file(
+            &FileInput { path: "test.rs", source: src, is_crate_root: false },
+            &RuleSet::all_enabled(),
+        )
+    }
+
+    fn rules_of(rep: &FileReport) -> Vec<&str> {
+        rep.diagnostics.iter().map(|d| d.rule.as_str()).collect()
+    }
+
+    #[test]
+    fn unwrap_in_hot_path_is_flagged_and_test_code_is_not() {
+        let rep = check(
+            "fn f(m: &M) { m.get(0).unwrap(); }\n\
+             #[cfg(test)]\nmod tests { fn t(m: &M) { m.get(0).unwrap(); } }\n",
+        );
+        assert_eq!(rules_of(&rep), vec![NO_PANIC]);
+        assert_eq!(rep.diagnostics[0].line, 1);
+    }
+
+    #[test]
+    fn unwrap_or_variants_are_fine() {
+        let rep = check("fn f(x: Option<u32>) -> u32 { x.unwrap_or(0).max(x.unwrap_or_default()) }");
+        assert!(rep.diagnostics.is_empty(), "{:?}", rep.diagnostics);
+    }
+
+    #[test]
+    fn index_clone_is_flagged() {
+        let rep = check("fn f(v: &[Vec<u8>], i: usize) -> Vec<u8> { v[i].clone() }");
+        assert_eq!(rules_of(&rep), vec![NO_PANIC]);
+    }
+
+    #[test]
+    fn suppression_with_reason_silences_and_counts() {
+        let rep = check(
+            "// vdsms-lint: allow(no-panic-hot-path) reason=\"invariant: set at construction\"\n\
+             fn f(m: &M) { m.get(0).unwrap(); }\n",
+        );
+        assert!(rep.diagnostics.is_empty(), "{:?}", rep.diagnostics);
+        assert_eq!(rep.suppressed, 1);
+    }
+
+    #[test]
+    fn suppression_without_reason_is_reported() {
+        let rep = check(
+            "// vdsms-lint: allow(no-panic-hot-path)\n\
+             fn f(m: &M) { m.get(0).unwrap(); }\n",
+        );
+        let rules = rules_of(&rep);
+        assert!(rules.contains(&INVALID_SUPPRESSION), "{rules:?}");
+        assert!(rules.contains(&NO_PANIC), "the un-suppressed finding must survive");
+    }
+
+    #[test]
+    fn hashmap_flagged_btreemap_not() {
+        let rep = check("use std::collections::HashMap;\nfn f() { let m: BTreeMap<u32, u32> = BTreeMap::new(); }");
+        assert_eq!(rules_of(&rep), vec![DET_ITER]);
+    }
+
+    #[test]
+    fn wall_clock_flagged_duration_not() {
+        let rep = check("fn f() { let t = std::time::Instant::now(); let d = Duration::from_secs(1); }");
+        assert_eq!(rules_of(&rep), vec![NO_WALL_CLOCK]);
+    }
+
+    #[test]
+    fn std_mutex_flagged_parking_lot_not() {
+        let rep = check("use std::sync::{Arc, Mutex};\nuse parking_lot::RwLock;\n");
+        assert_eq!(rules_of(&rep), vec![LOCK_DISCIPLINE]);
+        assert!(rep.diagnostics[0].message.contains("Mutex"));
+    }
+
+    #[test]
+    fn nested_lock_is_a_smell_sequential_is_not() {
+        let nested = check(
+            "fn f(a: &L, b: &L) {\n  let g = a.lock();\n  let h = b.lock();\n}\n",
+        );
+        assert_eq!(rules_of(&nested), vec![LOCK_DISCIPLINE]);
+        assert_eq!(nested.diagnostics[0].line, 3);
+        let sequential = check(
+            "fn f(a: &L, b: &L) {\n  { let g = a.lock(); }\n  { let h = b.lock(); }\n}\n",
+        );
+        assert!(sequential.diagnostics.is_empty(), "{:?}", sequential.diagnostics);
+        let temporaries = check("fn f(a: &L, b: &L) {\n  a.lock().push(1);\n  b.lock().push(2);\n}\n");
+        assert!(temporaries.diagnostics.is_empty(), "{:?}", temporaries.diagnostics);
+    }
+
+    #[test]
+    fn io_read_with_args_is_not_an_acquisition() {
+        let rep = check("fn f(r: &mut R, buf: &mut [u8]) { let n = r.read(buf); let m = r.read(buf); }");
+        assert!(rep.diagnostics.is_empty(), "{:?}", rep.diagnostics);
+    }
+
+    #[test]
+    fn unsafe_needs_safety_comment() {
+        let bad = check("fn f(p: *const u8) { unsafe { p.read_volatile(); } }");
+        assert_eq!(rules_of(&bad), vec![UNSAFE_AUDIT]);
+        let good = check("fn f(p: *const u8) {\n  // SAFETY: p is valid for reads by contract.\n  unsafe { p.read_volatile(); }\n}");
+        assert!(good.diagnostics.is_empty(), "{:?}", good.diagnostics);
+    }
+
+    #[test]
+    fn crate_root_requires_forbid_unsafe() {
+        let missing = check_file(
+            &FileInput { path: "lib.rs", source: "pub fn x() {}", is_crate_root: true },
+            &RuleSet::all_enabled(),
+        );
+        assert_eq!(rules_of(&missing), vec![UNSAFE_AUDIT]);
+        let present = check_file(
+            &FileInput {
+                path: "lib.rs",
+                source: "#![forbid(unsafe_code)]\npub fn x() {}",
+                is_crate_root: true,
+            },
+            &RuleSet::all_enabled(),
+        );
+        assert!(present.diagnostics.is_empty(), "{:?}", present.diagnostics);
+    }
+
+    #[test]
+    fn disabled_rules_do_not_fire() {
+        let rep = check_file(
+            &FileInput {
+                path: "x.rs",
+                source: "fn f(m: &M) { m.get(0).unwrap(); }",
+                is_crate_root: false,
+            },
+            &RuleSet::builtin_default(),
+        );
+        assert!(rep.diagnostics.is_empty());
+    }
+}

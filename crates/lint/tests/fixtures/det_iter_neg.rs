@@ -1,0 +1,17 @@
+// Fixture: ordered collections and test-only hash maps are fine.
+use std::collections::{BTreeMap, BTreeSet};
+
+struct Index {
+    rows: BTreeMap<u64, Vec<u32>>,
+    seen: BTreeSet<u64>,
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::HashSet;
+
+    #[test]
+    fn hash_collections_are_fine_in_tests() {
+        let _ = HashSet::<u32>::new();
+    }
+}

@@ -1,0 +1,10 @@
+// Fixture: order-randomized collections in production code. Expected
+// findings: deterministic-iteration x3 (use path, type position, module
+// path).
+use std::collections::HashMap;
+
+struct Index {
+    rows: HashMap<u64, Vec<u32>>,
+}
+
+fn bucket(e: std::collections::hash_map::Entry<u64, u32>) {}

@@ -1,0 +1,12 @@
+// Fixture: std locks and nested acquisition. Expected findings:
+// lock-discipline x3 (std::sync::Mutex in the use-group, std::sync::Condvar
+// in a type path, nested .lock() while a guard is live).
+use std::sync::{Arc, Mutex};
+
+fn wait(c: &std::sync::Condvar) {}
+
+fn transfer(a: &Shared, b: &Shared) {
+    let from = a.inner.lock();
+    let to = b.inner.lock();
+    to.push(from.pop());
+}

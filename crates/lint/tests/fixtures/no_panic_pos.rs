@@ -1,0 +1,10 @@
+// Fixture: hot-path panics. Expected findings: no-panic-hot-path x4
+// (unwrap, expect, panic!, index-clone).
+fn lookup(m: &Table, key: u32) -> Entry {
+    let first = m.get(key).unwrap();
+    let second = m.get(key + 1).expect("present");
+    if first != second {
+        panic!("table corrupted");
+    }
+    m.rows[0].clone()
+}

@@ -1,0 +1,11 @@
+// Fixture: malformed directives. Expected findings: invalid-suppression x3
+// (missing reason, unknown rule, attempt to allow invalid-suppression)
+// plus the surviving no-panic-hot-path finding the first directive failed
+// to cover.
+fn spawn(pool: &Pool) -> Worker {
+    // vdsms-lint: allow(no-panic-hot-path)
+    pool.spawn().expect("spawn must succeed at startup")
+}
+
+// vdsms-lint: allow(made-up-rule) reason="no such rule"
+// vdsms-lint: allow(invalid-suppression) reason="nice try"

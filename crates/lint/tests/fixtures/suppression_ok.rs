@@ -1,0 +1,6 @@
+// Fixture: one real violation silenced by a well-formed directive.
+// Expected: zero diagnostics, suppressed == 1.
+fn spawn(pool: &Pool) -> Worker {
+    // vdsms-lint: allow(no-panic-hot-path) reason="construction-time spawn failure, before any stream is admitted"
+    pool.spawn().expect("spawn must succeed at startup")
+}

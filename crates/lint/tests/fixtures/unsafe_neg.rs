@@ -1,0 +1,6 @@
+// Fixture: audited unsafe — a SAFETY comment within three lines above.
+fn read_raw(p: *const u8) -> u8 {
+    // SAFETY: callers guarantee `p` is valid for reads (library contract
+    // documented on the public wrapper).
+    unsafe { p.read() }
+}

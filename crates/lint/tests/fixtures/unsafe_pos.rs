@@ -1,0 +1,4 @@
+// Fixture: undocumented unsafe. Expected findings: unsafe-audit x1.
+fn read_raw(p: *const u8) -> u8 {
+    unsafe { p.read() }
+}

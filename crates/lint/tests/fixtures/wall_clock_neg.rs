@@ -1,0 +1,7 @@
+// Fixture: time *types* and durations are fine; only `::now()` reads are
+// forbidden. Timestamps arrive as input.
+use std::time::{Duration, Instant};
+
+fn deadline(started: Instant, budget: Duration) -> Instant {
+    started + budget
+}

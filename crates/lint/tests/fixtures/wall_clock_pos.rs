@@ -1,0 +1,6 @@
+// Fixture: wall-clock reads. Expected findings: no-wall-clock x2.
+fn stamp() -> (std::time::Instant, std::time::SystemTime) {
+    let t = std::time::Instant::now();
+    let s = std::time::SystemTime::now();
+    (t, s)
+}

@@ -1,0 +1,109 @@
+//! Fixture-driven rule tests: every rule has a positive fixture (must
+//! fire, with the expected count) and a negative fixture full of
+//! look-alikes (must stay silent), plus suppression round-trips.
+
+use std::path::PathBuf;
+use vdsms_lint::{check_file, FileInput, RuleSet};
+
+fn fixture(name: &str) -> String {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures").join(name);
+    std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("fixture {} unreadable: {e}", path.display()))
+}
+
+fn check(name: &str) -> vdsms_lint::FileReport {
+    let source = fixture(name);
+    check_file(
+        &FileInput { path: name, source: &source, is_crate_root: false },
+        &RuleSet::all_enabled(),
+    )
+}
+
+fn count_of(rep: &vdsms_lint::FileReport, rule: &str) -> usize {
+    rep.diagnostics.iter().filter(|d| d.rule == rule).count()
+}
+
+#[test]
+fn positive_fixtures_fire_exactly_the_expected_rule() {
+    for (file, rule, expected) in [
+        ("no_panic_pos.rs", "no-panic-hot-path", 4),
+        ("det_iter_pos.rs", "deterministic-iteration", 3),
+        ("wall_clock_pos.rs", "no-wall-clock", 2),
+        ("lock_pos.rs", "lock-discipline", 3),
+        ("unsafe_pos.rs", "unsafe-audit", 1),
+    ] {
+        let rep = check(file);
+        assert_eq!(
+            count_of(&rep, rule),
+            expected,
+            "{file}: wrong `{rule}` count: {:#?}",
+            rep.diagnostics
+        );
+        assert_eq!(
+            rep.diagnostics.len(),
+            expected,
+            "{file}: unexpected extra findings: {:#?}",
+            rep.diagnostics
+        );
+    }
+}
+
+#[test]
+fn negative_fixtures_are_silent() {
+    for file in [
+        "no_panic_neg.rs",
+        "det_iter_neg.rs",
+        "wall_clock_neg.rs",
+        "lock_neg.rs",
+        "unsafe_neg.rs",
+    ] {
+        let rep = check(file);
+        assert!(rep.diagnostics.is_empty(), "{file}: {:#?}", rep.diagnostics);
+        assert_eq!(rep.suppressed, 0, "{file}: nothing should need suppression");
+    }
+}
+
+#[test]
+fn diagnostics_carry_position_rule_and_snippet() {
+    let rep = check("no_panic_pos.rs");
+    let d = &rep.diagnostics[0];
+    assert_eq!(d.rule, "no-panic-hot-path");
+    assert_eq!(d.file, "no_panic_pos.rs");
+    assert_eq!((d.line, d.col), (4, 28), "unwrap call position");
+    assert!(d.snippet.contains("unwrap"), "snippet shows the offending line: {d:?}");
+    assert!(d.render().contains("no_panic_pos.rs:4:28"), "render is file:line:col");
+}
+
+#[test]
+fn valid_suppression_silences_and_is_counted() {
+    let rep = check("suppression_ok.rs");
+    assert!(rep.diagnostics.is_empty(), "{:#?}", rep.diagnostics);
+    assert_eq!(rep.suppressed, 1);
+}
+
+#[test]
+fn malformed_suppressions_are_themselves_findings() {
+    let rep = check("suppression_bad.rs");
+    assert_eq!(count_of(&rep, "invalid-suppression"), 3, "{:#?}", rep.diagnostics);
+    assert_eq!(
+        count_of(&rep, "no-panic-hot-path"),
+        1,
+        "a reason-less directive must not silence the finding it targets"
+    );
+    assert_eq!(rep.suppressed, 0);
+}
+
+#[test]
+fn positive_fixtures_are_silent_when_their_rule_is_disabled() {
+    // The per-crate config story in miniature: the same source is clean
+    // once the rule is switched off (builtin_default disables the two
+    // hot-path-only rules).
+    for file in ["no_panic_pos.rs", "det_iter_pos.rs"] {
+        let source = fixture(file);
+        let rep = check_file(
+            &FileInput { path: file, source: &source, is_crate_root: false },
+            &RuleSet::builtin_default(),
+        );
+        assert!(rep.diagnostics.is_empty(), "{file}: {:#?}", rep.diagnostics);
+    }
+}

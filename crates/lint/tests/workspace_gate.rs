@@ -1,0 +1,75 @@
+//! The gate itself, exercised both ways: the real workspace must be
+//! violation-free under `lint.toml` (what `ci.sh` enforces), and a
+//! seeded violation must turn the report non-clean (so the CI step
+//! demonstrably fails when someone reintroduces a forbidden pattern).
+
+use std::path::{Path, PathBuf};
+use vdsms_lint::{find_workspace_root, lint_workspace_with_default_config};
+
+fn workspace_root() -> PathBuf {
+    let start = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    find_workspace_root(&start).expect("crates/lint lives inside the workspace")
+}
+
+#[test]
+fn real_workspace_is_violation_free() {
+    let report = lint_workspace_with_default_config(&workspace_root()).expect("lint run");
+    assert!(
+        report.is_clean(),
+        "the workspace must pass its own gate:\n{}",
+        report.render()
+    );
+    // Sanity: the run actually covered the workspace, it didn't silently
+    // scan an empty directory.
+    assert!(report.files_scanned > 50, "only {} files scanned", report.files_scanned);
+    assert!(
+        report.suppressed >= 3,
+        "the known inline allows (spawn, Drop, decode timing) should be counted, got {}",
+        report.suppressed
+    );
+}
+
+/// Build a minimal fake workspace in a temp dir: `lint.toml`, a root
+/// package, and one source file with `violations` seeded in.
+fn seed_workspace(dir: &Path, source: &str) {
+    std::fs::create_dir_all(dir.join("src")).unwrap();
+    std::fs::write(
+        dir.join("lint.toml"),
+        "[default]\nno-panic-hot-path = true\ndeterministic-iteration = true\n",
+    )
+    .unwrap();
+    std::fs::write(dir.join("Cargo.toml"), "[package]\nname = \"seeded\"\n").unwrap();
+    std::fs::write(dir.join("src/lib.rs"), source).unwrap();
+}
+
+#[test]
+fn seeded_violation_fails_the_gate() {
+    let dir = std::env::temp_dir().join(format!("vdsms-lint-seeded-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // A clean file passes…
+    seed_workspace(&dir, "#![forbid(unsafe_code)]\npub fn ok(x: Option<u32>) -> u32 { x.unwrap_or(0) }\n");
+    let clean = lint_workspace_with_default_config(&dir).expect("lint run");
+    assert!(clean.is_clean(), "{}", clean.render());
+
+    // …and reintroducing a hot-path unwrap turns the report non-clean,
+    // which is exactly the condition ci.sh's exit code keys off.
+    seed_workspace(
+        &dir,
+        "#![forbid(unsafe_code)]\npub fn bad(x: Option<u32>) -> u32 { x.unwrap() }\n",
+    );
+    let dirty = lint_workspace_with_default_config(&dir).expect("lint run");
+    assert!(!dirty.is_clean());
+    assert_eq!(dirty.diagnostics.len(), 1);
+    let d = &dirty.diagnostics[0];
+    assert_eq!(d.rule, "no-panic-hot-path");
+    assert!(d.file.ends_with("src/lib.rs"), "workspace-relative path: {}", d.file);
+    assert_eq!(d.line, 2);
+
+    // JSON output is machine-checkable: it names the rule and the file.
+    let json = dirty.to_json();
+    assert!(json.contains("\"no-panic-hot-path\""), "{json}");
+    assert!(json.contains("src/lib.rs"), "{json}");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

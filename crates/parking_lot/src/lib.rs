@@ -128,6 +128,9 @@ fn replace_with<T>(slot: &mut T, f: impl FnOnce(T) -> T) {
             std::process::abort();
         }
     }
+    // SAFETY: `slot` is a valid, exclusively borrowed `T`; the value read
+    // out is always written back (or the process aborts before the slot is
+    // observable), so no double-drop or use of a moved-out value occurs.
     unsafe {
         let bomb = AbortOnPanic;
         let old = std::ptr::read(slot);

@@ -9,6 +9,8 @@
 //! and seed so it can be replayed (the seed is stable across runs, so a
 //! failing case is always reproducible by rerunning the test).
 
+#![forbid(unsafe_code)]
+
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 

@@ -9,6 +9,8 @@
 //! seeded explicitly and derives its expectations from the same generator,
 //! so only determinism matters, not the exact sequence.
 
+#![forbid(unsafe_code)]
+
 /// A source of 64-bit random words.
 pub trait RngCore {
     /// Next 64 random bits.

@@ -2,7 +2,7 @@
 //! (paper Definition 2). Used by the "membership test" experiment
 //! (Table II) and by tests validating sketch accuracy.
 
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 /// Exact Jaccard similarity `|A ∩ B| / |A ∪ B|` of two id collections
 /// (duplicates ignored — sequences are compared as sets, which is the
@@ -14,8 +14,8 @@ where
     A: IntoIterator<Item = u64>,
     B: IntoIterator<Item = u64>,
 {
-    let sa: HashSet<u64> = a.into_iter().collect();
-    let sb: HashSet<u64> = b.into_iter().collect();
+    let sa: BTreeSet<u64> = a.into_iter().collect();
+    let sb: BTreeSet<u64> = b.into_iter().collect();
     if sa.is_empty() && sb.is_empty() {
         return 0.0;
     }

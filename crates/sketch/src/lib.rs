@@ -13,6 +13,8 @@
 //! sketches — so candidate sequences of any length can be sketched by
 //! combining basic-window sketches, never re-reading frames.
 
+#![forbid(unsafe_code)]
+
 pub mod exact;
 pub mod hash;
 pub mod sketch;

@@ -23,6 +23,8 @@
 //! Everything is deterministic given a seed, so experiments are exactly
 //! reproducible.
 
+#![forbid(unsafe_code)]
+
 pub mod clip;
 pub mod edit;
 pub mod frame;

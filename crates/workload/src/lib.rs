@@ -22,6 +22,8 @@
 //! sweep in CPU-minutes; `WorkloadSpec::paper_scale` restores the original
 //! proportions.
 
+#![forbid(unsafe_code)]
+
 pub mod clips;
 pub mod metrics;
 pub mod spec;

@@ -139,6 +139,7 @@ pub fn fingerprint_stream(
     stream: &ComposedStream,
     features: &FeatureConfig,
 ) -> FingerprintedStream {
+    // vdsms-lint: allow(no-wall-clock) reason="decode_seconds is a reported measurement, not an input to detection; results stay replay-identical"
     let started = std::time::Instant::now();
     let extractor = FeatureExtractor::new(*features);
     let mut decoder = PartialDecoder::new(&stream.bitstream).expect("stream must parse");

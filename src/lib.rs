@@ -66,6 +66,8 @@
 //! assert!(detections.iter().any(|d| d.query_id == 42));
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub use vdsms_baselines as baselines;
 pub use vdsms_codec as codec;
 pub use vdsms_core as core;

@@ -15,6 +15,9 @@ cargo test -q
 echo "== static-analysis gate (vdsms-lint) =="
 cargo run -p vdsms-lint --release
 
+echo "== zero-alloc steady state (release) =="
+cargo test --release -q --test alloc_steady_state
+
 echo "== clippy =="
 cargo clippy --all-targets -- -D warnings
 

@@ -121,7 +121,9 @@ impl BaselineMatcher {
                 self.last_match_eval.insert(q.id, self.evals);
                 if !suppressed {
                     let start = self.buffer[self.buffer.len() - n].0;
-                    let end = self.buffer.back().expect("non-empty").0;
+                    // The `buffer.len() < n` guard above means the buffer
+                    // is non-empty whenever a query survives to this point.
+                    let Some(&(end, _)) = self.buffer.back() else { continue };
                     out.push(Detection {
                         query_id: q.id,
                         start_frame: start,

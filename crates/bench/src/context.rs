@@ -293,7 +293,7 @@ impl Ctx {
         let detections = det.run(cells);
         let engine_seconds = t.elapsed().as_secs_f64();
         let pr = score(&detections, &truth, w_frames);
-        RunResult { detections, stats: det.stats().clone(), engine_seconds, pr }
+        RunResult { detections, stats: *det.stats(), engine_seconds, pr }
     }
 
     /// Run a baseline matcher over a stream with `m` queries.

@@ -73,7 +73,9 @@ pub fn encode_block(w: &mut ByteWriter, levels: &[i32; BLOCK_AREA], prev_dc: i32
 pub fn decode_block(r: &mut ByteReader<'_>, prev_dc: i32) -> Result<([i32; BLOCK_AREA], i32)> {
     let mut z = [0i32; BLOCK_AREA];
     let dc_delta = r.get_signed()?;
-    let dc = i64::from(prev_dc) + dc_delta;
+    let dc = i64::from(prev_dc)
+        .checked_add(dc_delta)
+        .ok_or(CodecError::CorruptEntropy("dc out of range"))?;
     let dc = i32::try_from(dc).map_err(|_| CodecError::CorruptEntropy("dc out of range"))?;
     z[0] = dc;
     let mut idx = 1usize;
@@ -82,8 +84,13 @@ pub fn decode_block(r: &mut ByteReader<'_>, prev_dc: i32) -> Result<([i32; BLOCK
         if tok == 0 {
             break;
         }
-        let run = (tok - 1) as usize;
-        idx += run;
+        // `tok >= 1` here, so the wrapping subtraction cannot wrap; the
+        // try_from guards 32-bit targets where `tok - 1` exceeds usize.
+        let run = usize::try_from(tok.wrapping_sub(1))
+            .map_err(|_| CodecError::CorruptEntropy("AC index out of block"))?;
+        idx = idx
+            .checked_add(run)
+            .ok_or(CodecError::CorruptEntropy("AC index out of block"))?;
         if idx >= BLOCK_AREA {
             return Err(CodecError::CorruptEntropy("AC index out of block"));
         }
@@ -103,7 +110,9 @@ pub fn decode_block(r: &mut ByteReader<'_>, prev_dc: i32) -> Result<([i32; BLOCK
 /// Returns the DC level. This is the partial-decode inner loop.
 pub fn decode_block_dc_only(r: &mut ByteReader<'_>, prev_dc: i32) -> Result<i32> {
     let dc_delta = r.get_signed()?;
-    let dc = i64::from(prev_dc) + dc_delta;
+    let dc = i64::from(prev_dc)
+        .checked_add(dc_delta)
+        .ok_or(CodecError::CorruptEntropy("dc out of range"))?;
     let dc = i32::try_from(dc).map_err(|_| CodecError::CorruptEntropy("dc out of range"))?;
     loop {
         let tok = r.get_varint()?;

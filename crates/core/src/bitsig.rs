@@ -33,8 +33,10 @@ use vdsms_sketch::Sketch;
 const MASK_A: u64 = 0x5555_5555_5555_5555;
 
 /// A packed 2K-bit relation signature between one candidate sequence and
-/// one query.
-#[derive(Debug, Clone, PartialEq, Eq)]
+/// one query. (`Default` yields a detached zero-`K` signature whose only
+/// purpose is buffer pooling — call [`BitSig::reset_all_greater`] before
+/// use.)
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct BitSig {
     /// Packed relation pairs; pair `r` occupies bits `2r` (A) and `2r+1`
     /// (B) of word `r / 32`.
@@ -49,7 +51,25 @@ impl BitSig {
     /// value). Mostly useful as an OR identity in tests.
     pub fn all_greater(k: usize) -> BitSig {
         assert!(k >= 1);
+        // vdsms-lint: allow(no-alloc-hot-path) reason="one signature per probe element, created only when a window shares a min-hash with a query (relation events, not steady state)"
         BitSig { words: vec![0; k.div_ceil(32)], k }
+    }
+
+    /// Reset to the all-`>` signature for `k` functions, reusing the
+    /// existing word buffer. After the first call with a given `k` this
+    /// touches no allocator — the zero-alloc primitive behind the index
+    /// probe's signature pool.
+    pub fn reset_all_greater(&mut self, k: usize) {
+        assert!(k >= 1);
+        self.k = k;
+        let words = k.div_ceil(32);
+        if self.words.len() == words {
+            self.words.fill(0);
+        } else {
+            self.words.clear();
+            // vdsms-lint: allow(no-alloc-hot-path) reason="warm-up only: resizes once per K change, then the branch above reuses the buffer"
+            self.words.resize(words, 0);
+        }
     }
 
     /// Encode the relation between a candidate sketch and a query sketch
@@ -61,6 +81,7 @@ impl BitSig {
     pub fn encode(candidate: &Sketch, query: &Sketch) -> BitSig {
         assert_eq!(candidate.k(), query.k(), "sketch K mismatch");
         let k = candidate.k();
+        // vdsms-lint: allow(no-alloc-hot-path) reason="one signature per window×related-query relation event; the Bit representation's inherent cost, never hit by unrelated windows"
         let mut words = vec![0u64; k.div_ceil(32)];
         for (r, (&c, &q)) in candidate.mins().iter().zip(query.mins()).enumerate() {
             let pair: u64 = match c.cmp(&q) {

@@ -46,6 +46,15 @@ pub struct Detector {
     last_frame: u64,
     next_window: u64,
     stats: Stats,
+    /// Scratch sketch reused for every basic window (zero-alloc steady
+    /// state): moved into the [`Window`] for the store's `advance`, then
+    /// moved back.
+    win_sketch: Sketch,
+    /// Reusable per-window relation set.
+    rel: WindowRelations,
+    /// Reusable index-probe working state and hit buffer.
+    probe_scratch: crate::hq::ProbeScratch,
+    probe_hits: Vec<crate::hq::ProbeHit>,
 }
 
 impl Detector {
@@ -97,15 +106,19 @@ impl Detector {
         };
         Detector {
             family: MinHashFamily::new(cfg.k, cfg.hash_seed),
+            win_sketch: Sketch::empty(cfg.k),
+            buffer: Vec::with_capacity(cfg.window_keyframes),
             cfg,
             queries,
             index,
             store,
-            buffer: Vec::new(),
             buffer_start: 0,
             last_frame: 0,
             next_window: 0,
             stats: Stats::default(),
+            rel: WindowRelations::new(),
+            probe_scratch: crate::hq::ProbeScratch::default(),
+            probe_hits: Vec::new(),
         }
     }
 
@@ -182,10 +195,12 @@ impl Detector {
 
     /// Feed one key frame's fingerprint. Returns the detections triggered
     /// if this key frame completed a basic window (empty otherwise).
+    // vdsms-lint: entry
     pub fn push_keyframe(&mut self, frame_index: u64, cell_id: u64) -> Vec<Detection> {
         if self.buffer.is_empty() {
             self.buffer_start = frame_index;
         }
+        // vdsms-lint: allow(no-alloc-hot-path) reason="pre-reserved to window_keyframes in the constructor; drain() keeps the capacity"
         self.buffer.push(cell_id);
         self.last_frame = frame_index;
         if self.buffer.len() >= self.cfg.window_keyframes {
@@ -196,6 +211,7 @@ impl Detector {
     }
 
     /// Flush a partially-filled final window at end of stream.
+    // vdsms-lint: entry
     pub fn finish(&mut self) -> Vec<Detection> {
         if self.buffer.is_empty() {
             return Vec::new();
@@ -204,7 +220,15 @@ impl Detector {
     }
 
     fn process_window(&mut self) -> Vec<Detection> {
-        let sketch = Sketch::from_ids(&self.family, self.buffer.drain(..));
+        // Reuse the scratch sketch: move it into the window for the
+        // store's `advance`, move it back after. `Sketch::default()` is a
+        // detached zero-K placeholder; no allocation happens on this path
+        // after the constructor.
+        let mut sketch = std::mem::take(&mut self.win_sketch);
+        sketch.reset(self.cfg.k);
+        for id in self.buffer.drain(..) {
+            sketch.observe(&self.family, id);
+        }
         let win = Window {
             index: self.next_window,
             start_frame: self.buffer_start,
@@ -214,27 +238,40 @@ impl Detector {
         self.next_window += 1;
         self.stats.windows += 1;
 
-        let mut rel = match (&self.index, self.cfg.representation) {
+        match (&self.index, self.cfg.representation) {
             (Some(ix), _) => {
                 self.stats.index_probes += 1;
-                let res = ix.probe(&win.sketch, self.cfg.pruning_delta());
-                self.stats.index_row_searches += res.row_searches;
-                WindowRelations::from_probe(res.hits)
+                // The previous window's cached signatures are dead; give
+                // their buffers back to the probe's pool before refilling.
+                self.rel.recycle_sigs_into(&mut self.probe_scratch);
+                self.stats.index_row_searches += ix.probe_into(
+                    &win.sketch,
+                    self.cfg.pruning_delta(),
+                    &mut self.probe_scratch,
+                    &mut self.probe_hits,
+                );
+                self.rel.reset_from_probe(&mut self.probe_hits);
             }
-            (None, Representation::Bit) => {
-                // NoIndex/Bit: the window's signature must be encoded
-                // against every query up front (this cost is the point of
-                // Fig. 9's comparison). Encodes happen lazily but every
-                // related entry will be touched, so account here is exact.
-                WindowRelations::all_queries(&self.queries)
+            // NoIndex: every query is related; for the Bit representation
+            // the window's signature must be encoded against every query
+            // (this cost is the point of Fig. 9's comparison). Encodes
+            // happen lazily but every related entry will be touched, so
+            // the accounting stays exact.
+            (None, Representation::Bit) | (None, Representation::Sketch) => {
+                self.rel.reset_all_queries(&self.queries);
             }
-            (None, Representation::Sketch) => WindowRelations::all_queries(&self.queries),
-        };
-
-        match &mut self.store {
-            Store::Seq(s) => s.advance(&win, &mut rel, &self.cfg, &self.queries, &mut self.stats),
-            Store::Geo(s) => s.advance(&win, &mut rel, &self.cfg, &self.queries, &mut self.stats),
         }
+
+        let out = match &mut self.store {
+            Store::Seq(s) => {
+                s.advance(&win, &mut self.rel, &self.cfg, &self.queries, &mut self.stats)
+            }
+            Store::Geo(s) => {
+                s.advance(&win, &mut self.rel, &self.cfg, &self.queries, &mut self.stats)
+            }
+        };
+        self.win_sketch = win.sketch;
+        out
     }
 
     /// Convenience: run a whole fingerprint sequence through the detector.

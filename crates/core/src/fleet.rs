@@ -144,7 +144,7 @@ impl Fleet {
     /// Stop monitoring a stream; returns its final statistics, or `None`
     /// if the id was not monitored.
     pub fn remove_stream(&mut self, stream_id: StreamId) -> Option<Stats> {
-        self.streams.remove(&stream_id).map(|d| d.stats().clone())
+        self.streams.remove(&stream_id).map(|d| *d.stats())
     }
 
     /// Subscribe a query on every stream (and for all future streams).
@@ -182,6 +182,7 @@ impl Fleet {
     ///
     /// # Errors
     /// [`FleetError::StreamNotMonitored`] if the stream id is unknown.
+    // vdsms-lint: entry
     pub fn push_keyframe(
         &mut self,
         stream_id: StreamId,
@@ -196,6 +197,7 @@ impl Fleet {
             .push_keyframe(frame_index, cell_id)
             .into_iter()
             .map(|detection| StreamDetection { stream_id, detection })
+            // vdsms-lint: allow(no-alloc-hot-path) reason="detection events only; collecting an empty iterator does not allocate"
             .collect())
     }
 

@@ -60,6 +60,40 @@ pub struct ProbeResult {
     pub row_searches: u64,
 }
 
+/// One in-flight element of the probe's related-query list `R_L`.
+#[derive(Debug)]
+struct Ele {
+    slot: u32,
+    lp: u32,
+    sig: BitSig,
+    n_less: usize,
+}
+
+/// Retired signature buffers kept per scratch, capped so a burst of
+/// related windows cannot pin unbounded memory.
+const SIG_POOL_CAP: usize = 64;
+
+/// Reusable working state for [`HqIndex::probe_into`]. Keep one per
+/// detector and pass it to every probe; its buffers stabilize at the
+/// probe's high-water marks so steady-state probes are allocation-free.
+#[derive(Debug, Default)]
+pub struct ProbeScratch {
+    elements: Vec<Ele>,
+    claimed: Vec<u32>,
+    sig_pool: Vec<BitSig>,
+}
+
+impl ProbeScratch {
+    /// Return a dead signature's word buffer for reuse by future probes
+    /// (the caller is done with a [`ProbeHit`]'s signature).
+    pub fn recycle_sig(&mut self, sig: BitSig) {
+        if self.sig_pool.len() < SIG_POOL_CAP {
+            // vdsms-lint: allow(no-alloc-hot-path) reason="pool Vec is capped at SIG_POOL_CAP; reaches its high-water mark during warm-up"
+            self.sig_pool.push(sig);
+        }
+    }
+}
+
 /// The Hash–Query index.
 #[derive(Debug, Clone)]
 pub struct HqIndex {
@@ -200,21 +234,35 @@ impl HqIndex {
     /// returns every query that shares at least one min-hash value with
     /// the window and survives mid-probe Lemma-2 pruning, together with
     /// its complete bit signature.
+    ///
+    /// Allocates fresh result buffers; the streaming detector uses
+    /// [`HqIndex::probe_into`] with reusable scratch instead.
     pub fn probe(&self, sk: &Sketch, delta: f64) -> ProbeResult {
+        let mut scratch = ProbeScratch::default();
+        let mut hits = Vec::new();
+        let row_searches = self.probe_into(sk, delta, &mut scratch, &mut hits);
+        ProbeResult { hits, row_searches }
+    }
+
+    /// [`HqIndex::probe`] with caller-owned buffers: `hits` is cleared and
+    /// refilled, `scratch` holds the probe's working state. After a
+    /// warm-up period the steady-state probe of an unrelated window
+    /// touches no allocator — the buffers' high-water marks are bounded
+    /// by the related-query count. Returns the row-search count.
+    pub fn probe_into(
+        &self,
+        sk: &Sketch,
+        delta: f64,
+        scratch: &mut ProbeScratch,
+        hits: &mut Vec<ProbeHit>,
+    ) -> u64 {
         assert_eq!(sk.k(), self.k, "window sketch K mismatch");
         let prune_above = (self.k as f64 * (1.0 - delta)).floor() as usize;
 
-        struct Ele {
-            slot: u32,
-            lp: u32,
-            sig: BitSig,
-            n_less: usize,
-        }
-
-        let mut r_l: Vec<Ele> = Vec::new();
+        let ProbeScratch { elements: r_l, claimed, sig_pool } = scratch;
+        r_l.clear();
+        hits.clear();
         let mut row_searches = 0u64;
-        // Positions on the current row already claimed by R_L elements.
-        let mut claimed: Vec<u32> = Vec::new();
 
         for i in 0..self.k {
             let ski = sk.mins()[i];
@@ -235,9 +283,14 @@ impl HqIndex {
                 if ski < qv {
                     ele.n_less += 1;
                     if ele.n_less > prune_above {
+                        if sig_pool.len() < SIG_POOL_CAP {
+                            // vdsms-lint: allow(no-alloc-hot-path) reason="pool Vec is capped at SIG_POOL_CAP; reaches its high-water mark during warm-up"
+                            sig_pool.push(std::mem::take(&mut ele.sig));
+                        }
                         return false;
                     }
                 }
+                // vdsms-lint: allow(no-alloc-hot-path) reason="scratch Vec reused across probes; bounded by the row occupancy"
                 claimed.push(j);
                 true
             });
@@ -254,8 +307,11 @@ impl HqIndex {
                     continue;
                 }
                 // Walk up to row 0, filling relation pairs i-1..0 and
-                // resolving the query slot.
-                let mut sig = BitSig::all_greater(self.k);
+                // resolving the query slot. The signature's word buffer
+                // comes from the pool; steady-state probes touch no
+                // allocator.
+                let mut sig = sig_pool.pop().unwrap_or_default();
+                sig.reset_all_greater(self.k);
                 sig.set_relation(i, ski, row[j as usize].value); // "="
                 let mut n_less = 0usize;
                 let mut p = j;
@@ -273,24 +329,26 @@ impl HqIndex {
                     }
                 }
                 if pruned {
+                    if sig_pool.len() < SIG_POOL_CAP {
+                        // vdsms-lint: allow(no-alloc-hot-path) reason="pool Vec is capped at SIG_POOL_CAP; reaches its high-water mark during warm-up"
+                        sig_pool.push(sig);
+                    }
                     continue;
                 }
                 let slot = if i == 0 { row[j as usize].up } else { self.rows[0][p as usize].up };
+                // vdsms-lint: allow(no-alloc-hot-path) reason="scratch Vec reused across probes; grows only while the element high-water mark rises"
                 r_l.push(Ele { slot, lp: j, sig, n_less });
+                // vdsms-lint: allow(no-alloc-hot-path) reason="scratch Vec reused across probes; bounded by the row occupancy"
                 claimed.push(j);
             }
         }
 
-        ProbeResult {
-            hits: r_l
-                .into_iter()
-                .map(|e| {
-                    let m = self.meta[e.slot as usize];
-                    ProbeHit { query_id: m.id, keyframes: m.keyframes as usize, sig: e.sig }
-                })
-                .collect(),
-            row_searches,
+        for e in r_l.drain(..) {
+            let m = self.meta[e.slot as usize];
+            // vdsms-lint: allow(no-alloc-hot-path) reason="caller-owned Vec reused across probes; non-empty only for windows related to a query"
+            hits.push(ProbeHit { query_id: m.id, keyframes: m.keyframes as usize, sig: e.sig });
         }
+        row_searches
     }
 
     /// Reference probe: brute-force over all queries. Used by tests and by

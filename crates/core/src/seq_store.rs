@@ -40,17 +40,34 @@ struct Candidate {
     entries: Vec<Entry>,
 }
 
+/// Retired candidates kept for buffer reuse, capped so a detection burst
+/// cannot pin unbounded memory.
+const POOL_CAP: usize = 32;
+
 /// The sequential candidate list `C_L`.
 #[derive(Debug)]
 pub struct SeqStore {
     rep: Representation,
     candidates: VecDeque<Candidate>,
+    /// Retired candidates: their entry vectors and sketches keep their
+    /// capacity, so steady-state candidate births are allocation-free
+    /// (candidates die at the same rate they are born once pruning
+    /// reaches equilibrium).
+    pool: Vec<Candidate>,
 }
 
 impl SeqStore {
     /// New empty store.
     pub fn new(rep: Representation) -> SeqStore {
-        SeqStore { rep, candidates: VecDeque::new() }
+        SeqStore { rep, candidates: VecDeque::new(), pool: Vec::new() }
+    }
+
+    /// Return a dead candidate's buffers to the pool.
+    fn retire(&mut self, cand: Candidate) {
+        if self.pool.len() < POOL_CAP {
+            // vdsms-lint: allow(no-alloc-hot-path) reason="pool Vec is capped at POOL_CAP; reaches its high-water mark during warm-up"
+            self.pool.push(cand);
+        }
     }
 
     /// Number of live candidates.
@@ -133,6 +150,7 @@ impl SeqStore {
                         if sim + 1e-12 >= cfg.delta && !e.reported {
                             e.reported = true;
                             stats.detections += 1;
+                            // vdsms-lint: allow(no-alloc-hot-path) reason="detection events only; the output Vec stays empty (and unallocated) on non-matching windows"
                             out.push(Detection {
                                 query_id: e.qid,
                                 start_frame,
@@ -147,37 +165,49 @@ impl SeqStore {
             }
 
             if cand.entries.is_empty() {
-                self.candidates.remove(idx);
+                if let Some(dead) = self.candidates.remove(idx) {
+                    self.retire(dead);
+                }
             } else {
                 idx += 1;
             }
         }
 
-        // Add the fresh length-1 candidate born from this window.
-        let related = rel.related().to_vec();
-        let mut entries = Vec::with_capacity(related.len());
-        for (qid, keyframes) in related {
+        // Add the fresh length-1 candidate born from this window, reusing
+        // a retired candidate's buffers when one is pooled.
+        let mut cand = self.pool.pop().unwrap_or_else(|| Candidate {
+            start_window: 0,
+            start_frame: 0,
+            sketch: None,
+            entries: Vec::new(),
+        });
+        cand.start_window = win.index;
+        cand.start_frame = win.start_frame;
+        cand.entries.clear();
+        match self.rep {
+            Representation::Sketch => match &mut cand.sketch {
+                Some(s) => s.copy_from(&win.sketch),
+                // vdsms-lint: allow(no-alloc-hot-path) reason="first use of a pool slot only; afterwards copy_from reuses the buffer"
+                None => cand.sketch = Some(win.sketch.clone()),
+            },
+            Representation::Bit => cand.sketch = None,
+        }
+        for i in 0..rel.related_len() {
+            let (qid, keyframes) = rel.related_at(i);
             let sig = match self.rep {
                 Representation::Bit => {
                     match rel.sig_for(qid, &win.sketch, queries, stats) {
+                        // vdsms-lint: allow(no-alloc-hot-path) reason="one signature per window×related-query relation event — the Bit representation's inherent cost"
                         Some(s) => Some(s.clone()),
                         None => continue,
                     }
                 }
                 Representation::Sketch => None,
             };
-            entries.push(Entry { qid, keyframes, sig, reported: false });
+            // vdsms-lint: allow(no-alloc-hot-path) reason="pooled Vec; capacity stabilizes at the related-query high-water mark"
+            cand.entries.push(Entry { qid, keyframes, sig, reported: false });
         }
-        if !entries.is_empty() {
-            let mut cand = Candidate {
-                start_window: win.index,
-                start_frame: win.start_frame,
-                sketch: match self.rep {
-                    Representation::Sketch => Some(win.sketch.clone()),
-                    Representation::Bit => None,
-                },
-                entries,
-            };
+        if !cand.entries.is_empty() {
             // Test the newborn candidate too (a single window can already
             // match a short query).
             match self.rep {
@@ -210,6 +240,7 @@ impl SeqStore {
                         if sim + 1e-12 >= cfg.delta {
                             e.reported = true;
                             stats.detections += 1;
+                            // vdsms-lint: allow(no-alloc-hot-path) reason="detection events only; the output Vec stays empty (and unallocated) on non-matching windows"
                             out.push(Detection {
                                 query_id: e.qid,
                                 start_frame,
@@ -222,9 +253,14 @@ impl SeqStore {
                     });
                 }
             }
-            if !cand.entries.is_empty() {
+            if cand.entries.is_empty() {
+                self.retire(cand);
+            } else {
+                // vdsms-lint: allow(no-alloc-hot-path) reason="VecDeque capacity stabilizes at the live-candidate high-water mark; the candidate itself reuses pooled buffers"
                 self.candidates.push_back(cand);
             }
+        } else {
+            self.retire(cand);
         }
 
         stats.sample_live(self.live_signatures(), self.candidates.len());
@@ -266,6 +302,7 @@ fn retain_entries_sketch(
         if sim + 1e-12 >= cfg.delta && !e.reported {
             e.reported = true;
             stats.detections += 1;
+            // vdsms-lint: allow(no-alloc-hot-path) reason="detection events only; the output Vec stays empty (and unallocated) on non-matching windows"
             out.push(Detection {
                 query_id: e.qid,
                 start_frame,

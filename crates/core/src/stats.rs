@@ -8,7 +8,7 @@
 //! both wall-clock time and machine-independent operation counts.
 
 /// Mutable counters accumulated by a [`crate::Detector`].
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct Stats {
     /// Basic windows processed.
     pub windows: u64,

@@ -3,7 +3,6 @@
 use crate::bitsig::BitSig;
 use crate::query::{QueryId, QuerySet};
 use crate::stats::Stats;
-use std::collections::BTreeMap;
 use vdsms_sketch::Sketch;
 
 /// A completed basic window: `w` key frames sketched as a set of cell ids.
@@ -31,29 +30,93 @@ pub struct Window {
 pub struct WindowRelations {
     /// Related queries as `(id, keyframes)`.
     related: Vec<(QueryId, usize)>,
-    sigs: BTreeMap<QueryId, BitSig>,
+    /// Signature cache, sorted by query id (binary-searched; the related
+    /// set is small — `R_L` in the paper's notation).
+    sigs: Vec<(QueryId, BitSig)>,
+}
+
+impl Default for WindowRelations {
+    fn default() -> Self {
+        WindowRelations::new()
+    }
 }
 
 impl WindowRelations {
+    /// An empty relation set, ready to be `reset_*` per window. The
+    /// detector keeps one and refills it each basic window so the
+    /// steady-state loop never rebuilds these containers from scratch.
+    pub fn new() -> WindowRelations {
+        WindowRelations { related: Vec::new(), sigs: Vec::new() }
+    }
+
+    /// Hand this window's dead signature buffers back to the probe's pool
+    /// before the next `reset_*` (which would otherwise drop them — and
+    /// their heap words — on the floor).
+    pub fn recycle_sigs_into(&mut self, scratch: &mut crate::hq::ProbeScratch) {
+        for (_, sig) in self.sigs.drain(..) {
+            scratch.recycle_sig(sig);
+        }
+    }
+
     /// Build from a probe result (signatures already known).
     pub fn from_probe(hits: Vec<crate::hq::ProbeHit>) -> WindowRelations {
-        let related = hits.iter().map(|h| (h.query_id, h.keyframes)).collect();
-        let sigs = hits.into_iter().map(|h| (h.query_id, h.sig)).collect();
-        WindowRelations { related, sigs }
+        let mut rel = WindowRelations::new();
+        let mut hits = hits;
+        rel.reset_from_probe(&mut hits);
+        rel
     }
 
     /// Build for the NoIndex variants: every query is related; signatures
     /// are encoded lazily as the stores touch them.
     pub fn all_queries(queries: &QuerySet) -> WindowRelations {
-        WindowRelations {
-            related: queries.iter().map(|q| (q.id, q.keyframes)).collect(),
-            sigs: BTreeMap::new(),
+        let mut rel = WindowRelations::new();
+        rel.reset_all_queries(queries);
+        rel
+    }
+
+    /// Refill from a probe result, draining `hits` and reusing this
+    /// relation set's buffers.
+    pub fn reset_from_probe(&mut self, hits: &mut Vec<crate::hq::ProbeHit>) {
+        self.related.clear();
+        self.sigs.clear();
+        for h in hits.drain(..) {
+            // vdsms-lint: allow(no-alloc-hot-path) reason="capacity reused across windows; grows only while the probe-hit high-water mark rises"
+            self.related.push((h.query_id, h.keyframes));
+            // vdsms-lint: allow(no-alloc-hot-path) reason="capacity reused across windows; grows only while the probe-hit high-water mark rises"
+            self.sigs.push((h.query_id, h.sig));
+        }
+        self.sigs.sort_unstable_by_key(|(id, _)| *id);
+    }
+
+    /// Refill with every subscribed query (NoIndex variants), reusing
+    /// this relation set's buffers.
+    pub fn reset_all_queries(&mut self, queries: &QuerySet) {
+        self.related.clear();
+        self.sigs.clear();
+        for q in queries.iter() {
+            // vdsms-lint: allow(no-alloc-hot-path) reason="capacity reused across windows; bounded by the subscribed-query count"
+            self.related.push((q.id, q.keyframes));
         }
     }
 
     /// The related-query list for this window.
     pub fn related(&self) -> &[(QueryId, usize)] {
         &self.related
+    }
+
+    /// Number of related queries.
+    pub fn related_len(&self) -> usize {
+        self.related.len()
+    }
+
+    /// The `i`-th related query as `(id, keyframes)`. Indexed access lets
+    /// the stores iterate relations while calling `sig_for` (which needs
+    /// `&mut self`) without copying the list out first.
+    ///
+    /// # Panics
+    /// Panics if `i >= related_len()`.
+    pub fn related_at(&self, i: usize) -> (QueryId, usize) {
+        self.related[i]
     }
 
     /// The window's bit signature relative to query `qid`, encoding it on
@@ -66,13 +129,14 @@ impl WindowRelations {
         queries: &QuerySet,
         stats: &mut Stats,
     ) -> Option<&BitSig> {
-        use std::collections::btree_map::Entry;
-        match self.sigs.entry(qid) {
-            Entry::Occupied(e) => Some(e.into_mut()),
-            Entry::Vacant(e) => {
+        match self.sigs.binary_search_by_key(&qid, |(id, _)| *id) {
+            Ok(i) => Some(&self.sigs[i].1),
+            Err(i) => {
                 let q = queries.get(qid)?;
                 stats.sig_encodes += 1;
-                Some(e.insert(BitSig::encode(window_sketch, &q.sketch)))
+                // vdsms-lint: allow(no-alloc-hot-path) reason="one cached signature per window×related-query relation event — the Bit representation's inherent cost"
+                self.sigs.insert(i, (qid, BitSig::encode(window_sketch, &q.sketch)));
+                Some(&self.sigs[i].1)
             }
         }
     }

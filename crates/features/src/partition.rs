@@ -22,7 +22,7 @@ pub fn normalize(values: &[f32]) -> Vec<f32> {
     }
     let range = max - min;
     // NaN-safe: a non-positive or NaN range means no usable spread.
-    if range.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
+    if range <= 0.0 || range.is_nan() {
         return vec![0.5; values.len()];
     }
     values.iter().map(|&v| (v - min) / range).collect()

@@ -20,9 +20,13 @@ use std::collections::BTreeMap;
 /// Every switch a crate section may set.
 pub const KNOWN_KEYS: &[&str] = &[
     "no-panic-hot-path",
+    "no-alloc-hot-path",
     "deterministic-iteration",
     "no-wall-clock",
     "lock-discipline",
+    "lock-order",
+    "no-unchecked-arith",
+    "float-determinism",
     "unsafe-audit",
     // `unsafe-allowed = true` exempts a crate from the
     // `#![forbid(unsafe_code)]` requirement (the parking_lot shim);
@@ -38,14 +42,21 @@ pub struct RuleSet {
 }
 
 impl RuleSet {
-    /// The gate's built-in defaults: structural rules on everywhere,
-    /// hot-path rules opt-in per crate.
+    /// The gate's built-in defaults. The hot-path rules are globally on
+    /// because they are reachability-gated (a crate with no function
+    /// reachable from a `// vdsms-lint: entry` marker gets no findings);
+    /// `deterministic-iteration` and `no-unchecked-arith` stay opt-in
+    /// per crate (they assert crate-specific contracts).
     pub fn builtin_default() -> RuleSet {
         let mut switches = BTreeMap::new();
-        switches.insert("no-panic-hot-path".to_string(), false);
+        switches.insert("no-panic-hot-path".to_string(), true);
+        switches.insert("no-alloc-hot-path".to_string(), true);
         switches.insert("deterministic-iteration".to_string(), false);
         switches.insert("no-wall-clock".to_string(), true);
         switches.insert("lock-discipline".to_string(), true);
+        switches.insert("lock-order".to_string(), true);
+        switches.insert("no-unchecked-arith".to_string(), false);
+        switches.insert("float-determinism".to_string(), true);
         switches.insert("unsafe-audit".to_string(), true);
         switches.insert("unsafe-allowed".to_string(), false);
         RuleSet { switches }
@@ -200,7 +211,9 @@ mod tests {
         assert!(cfg.rules_for("vdsms-core").enabled("no-panic-hot-path"));
         assert!(cfg.rules_for("vdsms-core").enabled("no-wall-clock"));
         assert!(!cfg.rules_for("vdsms-bench").enabled("no-wall-clock"));
-        assert!(!cfg.rules_for("other").enabled("no-panic-hot-path"));
+        // Unmentioned crates keep the built-in defaults.
+        assert!(cfg.rules_for("other").enabled("no-panic-hot-path"));
+        assert!(!cfg.rules_for("other").enabled("no-unchecked-arith"));
     }
 
     #[test]

@@ -1,0 +1,749 @@
+//! The workspace-level (interprocedural + dataflow) analyses:
+//!
+//! - **`no-panic-hot-path` (v2)** — panic sites (`unwrap` / `expect` /
+//!   `panic!` / `todo!` / `unimplemented!` / index-then-`clone`) flagged
+//!   only in functions reachable from a `// vdsms-lint: entry` function;
+//!   every diagnostic names the call chain from the entry point.
+//! - **`no-alloc-hot-path`** — heap-allocating operations on the same
+//!   hot set: growth methods (`push`, `insert`, `extend`, `collect`,
+//!   `to_vec`, `clone`, …), allocating constructors
+//!   (`Vec::with_capacity`, `Box::new`, `String::from`) and macros
+//!   (`vec!`, `format!`). Capacity-zero constructors (`Vec::new`,
+//!   `String::new`, `BTreeMap::new`) are exempt — they are
+//!   allocation-free by std's documented guarantee, so flagging them
+//!   would only breed no-op `allow`s; the growth calls that actually
+//!   allocate are where the rule bites.
+//! - **`lock-order`** — a static lock-acquisition graph: an edge A → B
+//!   is recorded whenever lock B is acquired (directly or via a callee,
+//!   by transitive summary) while a guard on A is held. Any cycle is a
+//!   deadlock hazard; the diagnostic prints both witness chains.
+//! - **`no-unchecked-arith`** — local taint: values from `get_*` /
+//!   `read_*` method calls (untrusted stream bytes) flow through
+//!   let-bindings; `+ - * <<` on a tainted operand is flagged unless the
+//!   operand passed through an explicit cast or a call boundary
+//!   (`u64::from(b)` widens; `wrapping_*` / `checked_*` /
+//!   `saturating_*` are method calls, not bare operators, so they pass).
+//! - **`float-determinism`** — `partial_cmp` in production code: its
+//!   `Option` forces `unwrap`-or-fallback on NaN and its NaN behaviour
+//!   is order-unstable; detection scoring must use `total_cmp` or
+//!   integer keys.
+
+use crate::ast::{walk_stmts, BinOp, Expr, ExprKind, Pos, Stmt};
+use crate::callgraph::{transitive_union, CallGraph, Reachability};
+use crate::config::LintConfig;
+use crate::diag::Diagnostic;
+use crate::rules::{FLOAT_DET, LOCK_ORDER, NO_ALLOC, NO_PANIC, NO_UNCHECKED_ARITH};
+use crate::symbols::{FnSym, SymbolTable};
+use crate::SourceFile;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Growth methods that (re)allocate on the receiver.
+const ALLOC_METHODS: &[&str] = &[
+    "append", "clone", "collect", "extend", "insert", "push", "push_back", "push_front",
+    "reserve", "resize", "to_owned", "to_string", "to_vec",
+];
+
+/// `Type::ctor` associated calls that allocate.
+const ALLOC_CTORS: &[(&str, &str)] = &[
+    ("Box", "new"),
+    ("String", "from"),
+    ("Vec", "from"),
+    ("Vec", "with_capacity"),
+];
+
+/// Macros that allocate.
+const ALLOC_MACROS: &[&str] = &["format", "vec"];
+
+/// Run every workspace analysis. `files[i]`, `asts[i]` correspond;
+/// diagnostics are raw (suppressions are applied by the driver).
+pub fn analyze(
+    files: &[SourceFile],
+    asts: &[crate::ast::AstFile],
+    config: &LintConfig,
+) -> Vec<Diagnostic> {
+    let symbols = SymbolTable::build(files, asts);
+    let graph = CallGraph::build(&symbols);
+    let reach = Reachability::from_entries(&symbols, &graph);
+    let rules_per_file: Vec<crate::config::RuleSet> =
+        files.iter().map(|f| config.rules_for(&f.crate_name)).collect();
+
+    let mut diags = Vec::new();
+    let mut ctx = Ctx { files, symbols: &symbols, rules: &rules_per_file, diags: &mut diags };
+
+    hot_path_rules(&mut ctx, &reach);
+    lock_order(&mut ctx, &graph);
+    unchecked_arith(&mut ctx);
+    float_determinism(&mut ctx);
+    diags
+}
+
+struct Ctx<'a> {
+    files: &'a [SourceFile],
+    symbols: &'a SymbolTable<'a>,
+    rules: &'a [crate::config::RuleSet],
+    diags: &'a mut Vec<Diagnostic>,
+}
+
+impl Ctx<'_> {
+    fn enabled(&self, file: usize, rule: &str) -> bool {
+        self.rules[file].enabled(rule)
+    }
+
+    fn emit(&mut self, rule: &str, file: usize, pos: Pos, message: String) {
+        let f = &self.files[file];
+        let snippet = f
+            .source
+            .lines()
+            .nth(pos.line.saturating_sub(1) as usize)
+            .map(|s| s.trim().to_string())
+            .unwrap_or_default();
+        self.diags.push(Diagnostic {
+            rule: rule.to_string(),
+            file: f.path.clone(),
+            line: pos.line,
+            col: pos.col,
+            message,
+            snippet,
+        });
+    }
+}
+
+// ---------------------------------------------------------------------
+// no-panic-hot-path / no-alloc-hot-path
+// ---------------------------------------------------------------------
+
+fn hot_path_rules(ctx: &mut Ctx<'_>, reach: &Reachability) {
+    for f in &ctx.symbols.fns {
+        if !reach.hot[f.id] || f.def.is_test {
+            continue;
+        }
+        let Some(body) = &f.def.body else { continue };
+        let check_panic = ctx.enabled(f.file, NO_PANIC);
+        let check_alloc = ctx.enabled(f.file, NO_ALLOC);
+        if !check_panic && !check_alloc {
+            continue;
+        }
+        let chain = reach.chain_names(ctx.symbols, f.id);
+        let mut sites: Vec<(&str, Pos, String)> = Vec::new();
+        walk_stmts(body, &mut |e: &Expr| {
+            if check_panic {
+                if let Some(what) = panic_site(e) {
+                    sites.push((NO_PANIC, e.pos, what));
+                }
+            }
+            if check_alloc {
+                if let Some(what) = alloc_site(e) {
+                    sites.push((NO_ALLOC, e.pos, what));
+                }
+            }
+        });
+        for (rule, pos, what) in sites {
+            let verb = if rule == NO_PANIC { "can panic" } else { "allocates" };
+            ctx.emit(
+                rule,
+                f.file,
+                pos,
+                format!("{what} {verb} on the steady-state hot path `{chain}`"),
+            );
+        }
+    }
+}
+
+/// Classify a panic site; returns the description.
+fn panic_site(e: &Expr) -> Option<String> {
+    match &e.kind {
+        ExprKind::MethodCall { recv, method, .. } => match method.as_str() {
+            "unwrap" | "expect" => Some(format!("`.{method}()`")),
+            "clone" if matches!(recv.kind, ExprKind::Index { .. }) => {
+                Some("indexing followed by `.clone()`".to_string())
+            }
+            _ => None,
+        },
+        ExprKind::MacroCall { name, .. }
+            if matches!(name.as_str(), "panic" | "todo" | "unimplemented") =>
+        {
+            Some(format!("`{name}!`"))
+        }
+        _ => None,
+    }
+}
+
+/// Classify a heap-allocation site; returns the description.
+fn alloc_site(e: &Expr) -> Option<String> {
+    match &e.kind {
+        ExprKind::MethodCall { method, .. } if ALLOC_METHODS.contains(&method.as_str()) => {
+            Some(format!("`.{method}(…)`"))
+        }
+        ExprKind::Call { callee, .. } => {
+            let segs = callee.as_path()?;
+            let [.., ty, ctor] = segs else { return None };
+            ALLOC_CTORS
+                .iter()
+                .any(|(t, c)| t == ty && c == ctor)
+                .then(|| format!("`{ty}::{ctor}(…)`"))
+        }
+        ExprKind::MacroCall { name, .. } if ALLOC_MACROS.contains(&name.as_str()) => {
+            Some(format!("`{name}!`"))
+        }
+        _ => None,
+    }
+}
+
+// ---------------------------------------------------------------------
+// lock-order
+// ---------------------------------------------------------------------
+
+/// One acquisition edge witness: where lock `to` was acquired while
+/// `from` was held.
+#[derive(Debug, Clone)]
+struct EdgeWitness {
+    file: usize,
+    pos: Pos,
+    fn_name: String,
+    note: String,
+}
+
+fn lock_order(ctx: &mut Ctx<'_>, graph: &CallGraph) {
+    // Per-function direct acquisitions (for transitive summaries) and
+    // ordered edges with witnesses.
+    let n = ctx.symbols.fns.len();
+    let mut direct: Vec<BTreeSet<String>> = vec![BTreeSet::new(); n];
+    for f in &ctx.symbols.fns {
+        if f.def.is_test || !ctx.enabled(f.file, LOCK_ORDER) {
+            continue;
+        }
+        if let Some(body) = &f.def.body {
+            walk_stmts(body, &mut |e: &Expr| {
+                if let Some(name) = acquisition(e) {
+                    direct[f.id].insert(name.to_string());
+                }
+            });
+        }
+    }
+    let trans = transitive_union(graph, &direct);
+
+    // Edge map: (held, acquired) -> first witness.
+    let mut edges: BTreeMap<(String, String), EdgeWitness> = BTreeMap::new();
+    for f in &ctx.symbols.fns {
+        if f.def.is_test || !ctx.enabled(f.file, LOCK_ORDER) {
+            continue;
+        }
+        let Some(body) = &f.def.body else { continue };
+        let mut held: Vec<String> = Vec::new();
+        collect_lock_edges(ctx, f, body, graph, &trans, &mut held, &mut edges);
+    }
+
+    // Cycle detection over the lock graph.
+    let adj: BTreeMap<&str, Vec<&str>> = {
+        let mut m: BTreeMap<&str, Vec<&str>> = BTreeMap::new();
+        for (from, to) in edges.keys() {
+            m.entry(from).or_default().push(to);
+        }
+        m
+    };
+    let reachable = |from: &str, to: &str| -> bool {
+        let mut seen = BTreeSet::new();
+        let mut stack = vec![from];
+        while let Some(x) = stack.pop() {
+            if x == to {
+                return true;
+            }
+            if seen.insert(x) {
+                if let Some(next) = adj.get(x) {
+                    stack.extend(next.iter().copied());
+                }
+            }
+        }
+        false
+    };
+    let mut reported: BTreeSet<(String, String)> = BTreeSet::new();
+    let keys: Vec<(String, String)> = edges.keys().cloned().collect();
+    for (a, b) in keys {
+        if a == b {
+            continue; // self-edge: re-acquisition, not an order cycle
+        }
+        if !reachable(&b, &a) {
+            continue;
+        }
+        let pair = if a < b { (a.clone(), b.clone()) } else { (b.clone(), a.clone()) };
+        if !reported.insert(pair) {
+            continue;
+        }
+        let w_ab = &edges[&(a.clone(), b.clone())];
+        let back = edges
+            .get(&(b.clone(), a.clone()))
+            .cloned()
+            .or_else(|| {
+                // Longer cycle: find the first edge out of `b` on a path
+                // back to `a` for the counter-witness.
+                edges
+                    .iter()
+                    .find(|((from, to), _)| from == &b && reachable(to, &a))
+                    .map(|(_, w)| w.clone())
+            });
+        let counter = match &back {
+            Some(w) => format!(
+                "counter-witness: `{}` acquires `{}` while holding `{}` at {}:{}:{}",
+                w.fn_name,
+                a,
+                b,
+                ctx.files[w.file].path,
+                w.pos.line,
+                w.pos.col
+            ),
+            None => "counter-witness chain spans multiple functions".to_string(),
+        };
+        let msg = format!(
+            "lock-order cycle between `{a}` and `{b}`: `{}` acquires `{b}` while holding `{a}` ({}); {counter} — a concurrent interleaving deadlocks",
+            w_ab.fn_name, w_ab.note,
+        );
+        let (file, pos) = (w_ab.file, w_ab.pos);
+        ctx.emit(LOCK_ORDER, file, pos, msg);
+    }
+}
+
+/// A lock acquisition: `recv.lock()` / `.read()` / `.write()` with no
+/// arguments. Returns the lock identity (last name of the receiver
+/// chain).
+fn acquisition(e: &Expr) -> Option<&str> {
+    let ExprKind::MethodCall { recv, method, args } = &e.kind else {
+        return None;
+    };
+    if !matches!(method.as_str(), "lock" | "read" | "write") || !args.is_empty() {
+        return None;
+    }
+    recv.chain_name()
+}
+
+/// Walk `stmts` tracking held guards; record edges held → acquired, and
+/// held → (transitive acquisitions of callees).
+fn collect_lock_edges(
+    ctx: &Ctx<'_>,
+    f: &FnSym<'_>,
+    stmts: &[Stmt],
+    graph: &CallGraph,
+    trans: &[BTreeSet<String>],
+    held: &mut Vec<String>,
+    edges: &mut BTreeMap<(String, String), EdgeWitness>,
+) {
+    let witness = |note: String, pos: Pos| EdgeWitness {
+        file: f.file,
+        pos,
+        fn_name: f.qual_name(),
+        note,
+    };
+    for stmt in stmts {
+        match stmt {
+            Stmt::Let { init: Some(e), .. } => {
+                // Direct + callee acquisitions inside the initializer.
+                record_expr_edges(ctx, f, e, graph, trans, held, edges, &witness);
+                nested_blocks(ctx, f, e, graph, trans, held, edges);
+                // Guards bound by `let` stay held for the rest of the
+                // enclosing block. Only straight-line acquisitions count:
+                // a guard taken inside a nested block or branch died in
+                // there.
+                straight_line_acquisitions(e, held);
+            }
+            Stmt::Let { .. } | Stmt::Item(_) => continue,
+            Stmt::Expr(e) => {
+                record_expr_edges(ctx, f, e, graph, trans, held, edges, &witness);
+                // Statement temporaries die at the `;` — nothing stays
+                // held.
+                nested_blocks(ctx, f, e, graph, trans, held, edges);
+            }
+        }
+    }
+}
+
+/// Record edges for one expression's **straight-line** part: held → each
+/// acquisition (acquisitions within the statement also order among
+/// themselves), and held → transitive locks of resolved callees. Stops
+/// at control-flow boundaries (blocks, branch bodies, match arms,
+/// closures): code on one branch does not hold another branch's locks —
+/// those regions are walked by [`nested_blocks`] with their own scope.
+#[allow(clippy::too_many_arguments)]
+fn record_expr_edges(
+    ctx: &Ctx<'_>,
+    f: &FnSym<'_>,
+    e: &Expr,
+    graph: &CallGraph,
+    trans: &[BTreeSet<String>],
+    held: &[String],
+    edges: &mut BTreeMap<(String, String), EdgeWitness>,
+    witness: &impl Fn(String, Pos) -> EdgeWitness,
+) {
+    let mut stmt_locks: Vec<String> = Vec::new();
+    record_straight_line(ctx, f, e, graph, trans, held, &mut stmt_locks, edges, witness);
+}
+
+#[allow(clippy::too_many_arguments)]
+fn record_straight_line(
+    ctx: &Ctx<'_>,
+    f: &FnSym<'_>,
+    e: &Expr,
+    graph: &CallGraph,
+    trans: &[BTreeSet<String>],
+    held: &[String],
+    stmt_locks: &mut Vec<String>,
+    edges: &mut BTreeMap<(String, String), EdgeWitness>,
+    witness: &impl Fn(String, Pos) -> EdgeWitness,
+) {
+    // Control-flow boundary: only the eagerly-evaluated head expression
+    // belongs to this statement's straight line.
+    let head: Option<&Expr> = match &e.kind {
+        ExprKind::Block(_) | ExprKind::Loop { .. } | ExprKind::Closure(_) => return,
+        ExprKind::If { cond, .. } | ExprKind::While { cond, .. } => Some(cond),
+        ExprKind::For { iter, .. } => Some(iter),
+        ExprKind::Match { scrutinee, .. } => Some(scrutinee),
+        _ => None,
+    };
+    if let Some(head) = head {
+        record_straight_line(ctx, f, head, graph, trans, held, stmt_locks, edges, witness);
+        return;
+    }
+    if let Some(name) = acquisition(e) {
+        for h in held.iter().chain(stmt_locks.iter()) {
+            if h != name {
+                edges.entry((h.clone(), name.to_string())).or_insert_with(|| {
+                    witness(format!("direct `.{}()` acquisition", method_of(e)), e.pos)
+                });
+            }
+        }
+        stmt_locks.push(name.to_string());
+    }
+    // Call sites: everything the callee may acquire is acquired while
+    // our guards are held.
+    if matches!(&e.kind, ExprKind::Call { .. } | ExprKind::MethodCall { .. }) {
+        for site in &graph.edges[f.id] {
+            if site.pos == e.pos {
+                let callee = &ctx.symbols.fns[site.callee];
+                for lock in &trans[site.callee] {
+                    for h in held.iter().chain(stmt_locks.iter()) {
+                        if h != lock {
+                            edges.entry((h.clone(), lock.clone())).or_insert_with(|| {
+                                witness(
+                                    format!(
+                                        "via call to `{}` which acquires `{lock}`",
+                                        callee.qual_name()
+                                    ),
+                                    e.pos,
+                                )
+                            });
+                        }
+                    }
+                }
+            }
+        }
+    }
+    let mut children: Vec<&Expr> = Vec::new();
+    collect_children(e, &mut children);
+    for c in children {
+        record_straight_line(ctx, f, c, graph, trans, held, stmt_locks, edges, witness);
+    }
+}
+
+/// Append the lock names acquired on `e`'s straight line (same
+/// boundaries as [`record_straight_line`]) — these are the guards a
+/// `let` binding keeps alive for the rest of its block.
+fn straight_line_acquisitions(e: &Expr, out: &mut Vec<String>) {
+    match &e.kind {
+        ExprKind::Block(_)
+        | ExprKind::Loop { .. }
+        | ExprKind::Closure(_)
+        | ExprKind::If { .. }
+        | ExprKind::While { .. }
+        | ExprKind::For { .. }
+        | ExprKind::Match { .. } => return,
+        _ => {}
+    }
+    if let Some(name) = acquisition(e) {
+        out.push(name.to_string());
+    }
+    let mut children: Vec<&Expr> = Vec::new();
+    collect_children(e, &mut children);
+    for c in children {
+        straight_line_acquisitions(c, out);
+    }
+}
+
+fn method_of(e: &Expr) -> &str {
+    match &e.kind {
+        ExprKind::MethodCall { method, .. } => method,
+        _ => "?",
+    }
+}
+
+/// Recurse into block-bearing sub-expressions with held-stack
+/// save/restore, so `let` guards bound inside a nested block or branch
+/// do not leak out, and locks on sibling branches never appear
+/// concurrently held.
+fn nested_blocks(
+    ctx: &Ctx<'_>,
+    f: &FnSym<'_>,
+    e: &Expr,
+    graph: &CallGraph,
+    trans: &[BTreeSet<String>],
+    held: &mut Vec<String>,
+    edges: &mut BTreeMap<(String, String), EdgeWitness>,
+) {
+    let mut recurse = |stmts: &[Stmt], held: &mut Vec<String>| {
+        let depth = held.len();
+        collect_lock_edges(ctx, f, stmts, graph, trans, held, edges);
+        held.truncate(depth);
+    };
+    match &e.kind {
+        ExprKind::Block(stmts) | ExprKind::Loop { body: stmts } => recurse(stmts, held),
+        ExprKind::If { then, alt, .. } => {
+            recurse(then, held);
+            if let Some(a) = alt {
+                nested_blocks(ctx, f, a, graph, trans, held, edges);
+            }
+        }
+        ExprKind::While { body, .. } | ExprKind::For { body, .. } => recurse(body, held),
+        ExprKind::Match { arms, .. } => {
+            // Each arm is its own control-flow path.
+            for arm in arms {
+                let depth = held.len();
+                let witness = |note: String, pos: Pos| EdgeWitness {
+                    file: f.file,
+                    pos,
+                    fn_name: f.qual_name(),
+                    note,
+                };
+                record_expr_edges(ctx, f, arm, graph, trans, held, edges, &witness);
+                nested_blocks(ctx, f, arm, graph, trans, held, edges);
+                held.truncate(depth);
+            }
+        }
+        ExprKind::Closure(body) => {
+            let depth = held.len();
+            let witness = |note: String, pos: Pos| EdgeWitness {
+                file: f.file,
+                pos,
+                fn_name: f.qual_name(),
+                note,
+            };
+            record_expr_edges(ctx, f, body, graph, trans, held, edges, &witness);
+            nested_blocks(ctx, f, body, graph, trans, held, edges);
+            held.truncate(depth);
+        }
+        _ => {}
+    }
+}
+
+// ---------------------------------------------------------------------
+// no-unchecked-arith
+// ---------------------------------------------------------------------
+
+fn unchecked_arith(ctx: &mut Ctx<'_>) {
+    for f in &ctx.symbols.fns {
+        if f.def.is_test || !ctx.enabled(f.file, NO_UNCHECKED_ARITH) {
+            continue;
+        }
+        let Some(body) = &f.def.body else { continue };
+        let mut tainted: BTreeSet<String> = BTreeSet::new();
+        let mut sites: Vec<(Pos, BinOp)> = Vec::new();
+        check_arith_stmts(body, &mut tainted, &mut sites);
+        for (pos, op) in sites {
+            ctx.emit(
+                NO_UNCHECKED_ARITH,
+                f.file,
+                pos,
+                format!(
+                    "unchecked `{}` on a value derived from untrusted stream bytes in `{}`; use `wrapping_*`/`checked_*`/`saturating_*` or widen first (`u64::from(…)` / `as u64`)",
+                    op.as_str(),
+                    f.qual_name()
+                ),
+            );
+        }
+    }
+}
+
+fn check_arith_stmts(stmts: &[Stmt], tainted: &mut BTreeSet<String>, sites: &mut Vec<(Pos, BinOp)>) {
+    for stmt in stmts {
+        match stmt {
+            Stmt::Let { name, init, .. } => {
+                if let Some(e) = init {
+                    check_arith_expr(e, tainted, sites);
+                    if let Some(n) = name {
+                        if expr_tainted(e, tainted) {
+                            tainted.insert(n.clone());
+                        }
+                    }
+                }
+            }
+            Stmt::Expr(e) => check_arith_expr(e, tainted, sites),
+            Stmt::Item(_) => {}
+        }
+    }
+}
+
+fn check_arith_expr(e: &Expr, tainted: &mut BTreeSet<String>, sites: &mut Vec<(Pos, BinOp)>) {
+    match &e.kind {
+        ExprKind::Binary { op, lhs, rhs } => {
+            if op.can_overflow()
+                && (operand_unsanitized(lhs, tainted) || operand_unsanitized(rhs, tainted))
+            {
+                sites.push((e.pos, *op));
+            }
+            check_arith_expr(lhs, tainted, sites);
+            check_arith_expr(rhs, tainted, sites);
+        }
+        ExprKind::Assign { target, op, value } => {
+            check_arith_expr(value, tainted, sites);
+            if let Some(op) = op {
+                if op.can_overflow() && operand_unsanitized(value, tainted) {
+                    sites.push((e.pos, *op));
+                }
+            }
+            // Assignment updates the taint environment for plain names.
+            if let ExprKind::Path(p) = &target.kind {
+                if let [name] = p.as_slice() {
+                    if expr_tainted(value, tainted) || (op.is_some() && tainted.contains(name)) {
+                        tainted.insert(name.clone());
+                    } else {
+                        tainted.remove(name);
+                    }
+                }
+            }
+        }
+        ExprKind::Block(stmts) | ExprKind::Loop { body: stmts } => {
+            check_arith_stmts(stmts, tainted, sites)
+        }
+        ExprKind::If { cond, then, alt } => {
+            check_arith_expr(cond, tainted, sites);
+            check_arith_stmts(then, tainted, sites);
+            if let Some(a) = alt {
+                check_arith_expr(a, tainted, sites);
+            }
+        }
+        ExprKind::While { cond, body } => {
+            check_arith_expr(cond, tainted, sites);
+            check_arith_stmts(body, tainted, sites);
+        }
+        ExprKind::For { iter, body } => {
+            check_arith_expr(iter, tainted, sites);
+            check_arith_stmts(body, tainted, sites);
+        }
+        ExprKind::Match { scrutinee, arms } => {
+            check_arith_expr(scrutinee, tainted, sites);
+            for a in arms {
+                check_arith_expr(a, tainted, sites);
+            }
+        }
+        _ => {
+            // Generic recursion for the remaining shapes; binary
+            // operators inside are caught by the match arms above when
+            // the walk reaches them.
+            let mut children: Vec<&Expr> = Vec::new();
+            collect_children(e, &mut children);
+            for c in children {
+                check_arith_expr(c, tainted, sites);
+            }
+        }
+    }
+}
+
+/// Direct sub-expressions of `e` (one level).
+fn collect_children<'a>(e: &'a Expr, out: &mut Vec<&'a Expr>) {
+    match &e.kind {
+        ExprKind::Unary(x) | ExprKind::Ref(x) | ExprKind::Try(x) | ExprKind::Closure(x) => {
+            out.push(x)
+        }
+        ExprKind::Call { callee, args } => {
+            out.push(callee);
+            out.extend(args.iter());
+        }
+        ExprKind::MethodCall { recv, args, .. } => {
+            out.push(recv);
+            out.extend(args.iter());
+        }
+        ExprKind::MacroCall { args, .. } => out.extend(args.iter()),
+        ExprKind::Field { base, .. } => out.push(base),
+        ExprKind::Index { base, index } => {
+            out.push(base);
+            out.push(index);
+        }
+        ExprKind::Cast { expr, .. } => out.push(expr),
+        ExprKind::Struct { fields, .. } => out.extend(fields.iter()),
+        ExprKind::Tuple(xs) => out.extend(xs.iter()),
+        ExprKind::Range { lo, hi } => {
+            out.extend(lo.as_deref());
+            out.extend(hi.as_deref());
+        }
+        ExprKind::Return(x) | ExprKind::Jump(x) => out.extend(x.as_deref()),
+        _ => {}
+    }
+}
+
+/// Taint source: a `get_*` / `read_*` method call (stream-byte reads).
+fn is_taint_source(e: &Expr) -> bool {
+    match &e.kind {
+        ExprKind::MethodCall { method, .. } => {
+            method.starts_with("get_") || method.starts_with("read_")
+        }
+        ExprKind::Try(inner) => is_taint_source(inner),
+        _ => false,
+    }
+}
+
+/// Whether `e` carries taint: a source, a tainted name, or taint
+/// propagated through `? & ! - [] + …` (calls are sanitizing
+/// boundaries: `u64::from(b)` widens, `b.wrapping_add(…)` checks).
+fn expr_tainted(e: &Expr, tainted: &BTreeSet<String>) -> bool {
+    if is_taint_source(e) {
+        return true;
+    }
+    match &e.kind {
+        ExprKind::Path(p) => matches!(p.as_slice(), [name] if tainted.contains(name)),
+        ExprKind::Try(x) | ExprKind::Unary(x) | ExprKind::Ref(x) => expr_tainted(x, tainted),
+        ExprKind::Index { base, .. } => expr_tainted(base, tainted),
+        ExprKind::Binary { lhs, rhs, .. } => {
+            expr_tainted(lhs, tainted) || expr_tainted(rhs, tainted)
+        }
+        ExprKind::Cast { expr, .. } => expr_tainted(expr, tainted),
+        _ => false,
+    }
+}
+
+/// A flagged operand: tainted AND not sanitized by an explicit cast
+/// (widening is the author's declared intent) at its top level.
+fn operand_unsanitized(e: &Expr, tainted: &BTreeSet<String>) -> bool {
+    match &e.kind {
+        ExprKind::Cast { .. } => false,
+        ExprKind::Ref(x) | ExprKind::Try(x) => operand_unsanitized(x, tainted),
+        _ => expr_tainted(e, tainted),
+    }
+}
+
+// ---------------------------------------------------------------------
+// float-determinism
+// ---------------------------------------------------------------------
+
+fn float_determinism(ctx: &mut Ctx<'_>) {
+    for f in &ctx.symbols.fns {
+        if f.def.is_test || !ctx.enabled(f.file, FLOAT_DET) {
+            continue;
+        }
+        let Some(body) = &f.def.body else { continue };
+        let mut sites: Vec<Pos> = Vec::new();
+        walk_stmts(body, &mut |e: &Expr| {
+            if let ExprKind::MethodCall { method, .. } = &e.kind {
+                if method == "partial_cmp" {
+                    sites.push(e.pos);
+                }
+            }
+        });
+        for pos in sites {
+            ctx.emit(
+                FLOAT_DET,
+                f.file,
+                pos,
+                format!(
+                    "`partial_cmp` in `{}` is NaN-unstable (returns `None`, tempting `unwrap`, and orders NaN inconsistently); use `f64::total_cmp` / `f32::total_cmp` or compare integer keys",
+                    f.qual_name()
+                ),
+            );
+        }
+    }
+}

@@ -5,31 +5,65 @@
 //! at any shard count** — and the paper's continuous-monitoring setting
 //! (Yan/Ooi/Zhou, ICDE 2008, §VI assumes uninterrupted operation) are
 //! properties of the *code*, not of any one test run. This crate enforces
-//! them mechanically: a hand-rolled lexer (no external parser
-//! dependencies, consistent with the workspace's offline stand-in
-//! policy) feeds a token-pattern rule engine with per-rule diagnostics,
-//! inline suppressions with mandatory reasons, per-crate configuration in
-//! `lint.toml`, and machine-readable JSON output for CI.
+//! them mechanically, in two layers sharing one hand-rolled lexer (no
+//! external parser dependencies, consistent with the workspace's offline
+//! stand-in policy):
 //!
-//! See [`rules`] for the rule catalog and suppression syntax. Run it as
-//! `cargo run -p vdsms-lint --release` (what `ci.sh` does) or via the
-//! operator-facing alias `vdsms lint`.
+//! 1. **Per-file token rules** ([`rules`]) — pattern matchers for
+//!    structural bans (order-randomized collections, wall-clock reads,
+//!    std locks, unaudited `unsafe`).
+//! 2. **Workspace semantic analyses** ([`flow`]) — a recursive-descent
+//!    [`parser`] builds a lint-grade [`ast`], a [`symbols`] table and a
+//!    [`callgraph`] link every file, and the analyses run over the whole
+//!    workspace at once: interprocedural hot-path inference (panic- and
+//!    allocation-freedom from `// vdsms-lint: entry` markers), lock-order
+//!    deadlock detection, taint-based overflow checking and float-compare
+//!    determinism.
+//!
+//! Both layers share inline suppressions with mandatory reasons,
+//! per-crate configuration in `lint.toml`, and machine-readable JSON
+//! output for CI. See [`rules`] for the rule catalog and suppression
+//! syntax, or `vdsms-lint --explain <rule>` for any single rule. Run the
+//! gate as `cargo run -p vdsms-lint --release` (what `ci.sh` does) or via
+//! the operator-facing alias `vdsms lint`.
 //!
 //! The lint scope is each crate's `src/` tree: integration tests,
 //! benches and examples are test/demo code by definition, and `#[cfg(test)]`
 //! / `#[test]` items inside `src/` are excluded by the lexer's test-region
 //! tracking.
 
+pub mod ast;
+pub mod callgraph;
 pub mod config;
 pub mod diag;
+pub mod flow;
 pub mod lexer;
+pub mod parser;
 pub mod rules;
+pub mod symbols;
 
 pub use config::{parse_config, ConfigError, LintConfig, RuleSet};
 pub use diag::{Diagnostic, Report};
-pub use rules::{check_file, FileInput, FileReport};
+pub use rules::{check_file, FileReport};
 
+use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
+
+/// One source file handed to the lint driver, with the crate it belongs
+/// to (rule switches are per crate) and its workspace-relative path
+/// label (used verbatim in diagnostics).
+#[derive(Debug, Clone)]
+pub struct SourceFile {
+    /// Package name of the owning crate.
+    pub crate_name: String,
+    /// Workspace-relative path label (forward slashes).
+    pub path: String,
+    /// Full source text.
+    pub source: String,
+    /// Whether this is the crate root (`src/lib.rs` / `src/main.rs`),
+    /// where `#![forbid(unsafe_code)]` is required.
+    pub is_crate_root: bool,
+}
 
 /// Errors while driving a workspace lint run.
 #[derive(Debug)]
@@ -135,11 +169,46 @@ fn rust_files(dir: &Path) -> Result<Vec<PathBuf>, LintError> {
     Ok(out)
 }
 
+/// Lint a set of in-memory sources as one workspace: token rules per
+/// file, then the cross-file semantic analyses, then suppressions (one
+/// pass, shared by both layers) and the canonical sort.
+pub fn lint_sources(files: &[SourceFile], config: &LintConfig) -> Report {
+    let lexed: Vec<lexer::LexedFile> = files.iter().map(|f| lexer::lex(&f.source)).collect();
+    let asts: Vec<ast::AstFile> = lexed.iter().map(parser::parse_file).collect();
+
+    let mut per_file: Vec<Vec<Diagnostic>> = Vec::with_capacity(files.len());
+    for (file, lx) in files.iter().zip(&lexed) {
+        let rules = config.rules_for(&file.crate_name);
+        per_file.push(rules::token_rules(file, lx, &rules));
+    }
+
+    // Workspace analyses emit diagnostics keyed by path label; route
+    // them back to their files so suppressions apply uniformly.
+    let by_path: BTreeMap<&str, usize> =
+        files.iter().enumerate().map(|(i, f)| (f.path.as_str(), i)).collect();
+    for diag in flow::analyze(files, &asts, config) {
+        if let Some(&i) = by_path.get(diag.file.as_str()) {
+            per_file[i].push(diag);
+        }
+    }
+
+    let mut report = Report::default();
+    for ((file, lx), diags) in files.iter().zip(&lexed).zip(per_file) {
+        let fr = rules::apply_suppressions(&file.path, &lx.comments, diags);
+        report.files_scanned += 1;
+        report.suppressed += fr.suppressed;
+        report.diagnostics.extend(fr.diagnostics);
+    }
+    report
+        .diagnostics
+        .sort_by(|a, b| (&a.file, a.line, a.col, &a.rule).cmp(&(&b.file, b.line, b.col, &b.rule)));
+    report
+}
+
 /// Lint every crate's `src/` tree under `root` with `config`.
 pub fn lint_workspace(root: &Path, config: &LintConfig) -> Result<Report, LintError> {
-    let mut report = Report::default();
+    let mut files = Vec::new();
     for krate in discover_crates(root)? {
-        let rules = config.rules_for(&krate.name);
         let src = krate.dir.join("src");
         let crate_root_file = ["lib.rs", "main.rs"]
             .iter()
@@ -153,21 +222,15 @@ pub fn lint_workspace(root: &Path, config: &LintConfig) -> Result<Report, LintEr
                 .unwrap_or(&path)
                 .to_string_lossy()
                 .replace('\\', "/");
-            let input = FileInput {
-                path: &label,
-                source: &source,
+            files.push(SourceFile {
+                crate_name: krate.name.clone(),
+                path: label,
+                source,
                 is_crate_root: crate_root_file.as_deref() == Some(&path),
-            };
-            let file_report = check_file(&input, &rules);
-            report.files_scanned += 1;
-            report.suppressed += file_report.suppressed;
-            report.diagnostics.extend(file_report.diagnostics);
+            });
         }
     }
-    report
-        .diagnostics
-        .sort_by(|a, b| (&a.file, a.line, a.col, &a.rule).cmp(&(&b.file, b.line, b.col, &b.rule)));
-    Ok(report)
+    Ok(lint_sources(&files, config))
 }
 
 /// Load `<root>/lint.toml` and lint the workspace — the entry point the

@@ -3,6 +3,7 @@
 //!
 //! ```text
 //! vdsms-lint [--json] [--root DIR]
+//! vdsms-lint --explain <rule>
 //! ```
 //!
 //! Exit codes: 0 clean, 1 violations found, 2 usage/config error.
@@ -14,14 +15,40 @@ vdsms-lint — workspace static-analysis gate
 
 USAGE:
   vdsms-lint [--json] [--root DIR]
+  vdsms-lint --explain <rule>
 
-  --json      machine-readable JSON report on stdout
-  --root DIR  workspace root (default: nearest ancestor with lint.toml)
+  --json          machine-readable JSON report on stdout
+  --root DIR      workspace root (default: nearest ancestor with lint.toml)
+  --explain RULE  print a rule's rationale, example and suppression syntax
 
 Rules and per-crate configuration live in <root>/lint.toml.
+Mark a streaming entry point (root of the hot-path analyses) with:
+  // vdsms-lint: entry
 Suppress a finding inline with a mandatory reason:
   // vdsms-lint: allow(rule-id) reason=\"why this occurrence is sound\"
 ";
+
+fn explain_rule(id: &str) -> ExitCode {
+    match vdsms_lint::rules::explain(id) {
+        Some(info) => {
+            println!("{} — {}\n", info.id, info.summary);
+            println!("rationale:\n  {}\n", info.rationale);
+            println!("example:");
+            for line in info.example.lines() {
+                println!("  {line}");
+            }
+            println!("\nsuppression:\n  {}", info.suppression);
+            ExitCode::SUCCESS
+        }
+        None => {
+            eprintln!("error: unknown rule `{id}`; registered rules:");
+            for info in vdsms_lint::rules::registry() {
+                eprintln!("  {} — {}", info.id, info.summary);
+            }
+            ExitCode::from(2)
+        }
+    }
+}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -31,6 +58,16 @@ fn main() -> ExitCode {
     while i < args.len() {
         match args[i].as_str() {
             "--json" => json = true,
+            "--explain" => {
+                i += 1;
+                return match args.get(i) {
+                    Some(id) => explain_rule(id),
+                    None => {
+                        eprintln!("error: --explain needs a rule id\n{USAGE}");
+                        ExitCode::from(2)
+                    }
+                };
+            }
             "--root" => {
                 i += 1;
                 match args.get(i) {

@@ -1,0 +1,142 @@
+//! Workspace symbol table: every function definition, indexed for the
+//! name-based call resolution in [`crate::callgraph`].
+//!
+//! There is no type inference here — resolution is by name (optionally
+//! qualified by the `impl` self type), which is what a lint-grade
+//! analysis can honestly support. The consequences are documented where
+//! they matter: [`crate::callgraph`] refuses to resolve method names
+//! that collide with ubiquitous std methods, so the hot set is an
+//! *under*-approximation (missed edges degrade coverage, never produce
+//! false positives).
+
+use crate::ast::{walk_fns, FnDef};
+use crate::SourceFile;
+use std::collections::BTreeMap;
+
+/// One function symbol.
+#[derive(Debug)]
+pub struct FnSym<'a> {
+    /// Dense id (index into [`SymbolTable::fns`]).
+    pub id: usize,
+    /// Index of the defining file in the driver's file list.
+    pub file: usize,
+    /// Package name of the defining crate.
+    pub crate_name: &'a str,
+    /// Workspace-relative path label of the defining file.
+    pub path: &'a str,
+    /// `impl`/`trait` self type, if this is an associated function.
+    pub self_ty: Option<&'a str>,
+    /// The parsed definition (body, position, flags).
+    pub def: &'a FnDef,
+}
+
+impl FnSym<'_> {
+    /// Human-readable qualified name: `Detector::push_keyframe` or
+    /// `free_fn`.
+    pub fn qual_name(&self) -> String {
+        match self.self_ty {
+            Some(ty) => format!("{ty}::{}", self.def.name),
+            None => self.def.name.clone(),
+        }
+    }
+}
+
+/// All function symbols of a workspace, with lookup maps.
+#[derive(Debug, Default)]
+pub struct SymbolTable<'a> {
+    /// Every function, id-indexed.
+    pub fns: Vec<FnSym<'a>>,
+    free_by_name: BTreeMap<&'a str, Vec<usize>>,
+    methods_by_name: BTreeMap<&'a str, Vec<usize>>,
+    by_qual: BTreeMap<&'a str, BTreeMap<&'a str, Vec<usize>>>,
+}
+
+impl<'a> SymbolTable<'a> {
+    /// Build the table from parsed files. `files[i]` must correspond to
+    /// `asts[i]`.
+    pub fn build(files: &'a [SourceFile], asts: &'a [crate::ast::AstFile]) -> SymbolTable<'a> {
+        let mut table = SymbolTable::default();
+        for (fi, (file, ast)) in files.iter().zip(asts).enumerate() {
+            walk_fns(&ast.items, &mut |self_ty, def: &'a FnDef| {
+                let id = table.fns.len();
+                table.fns.push(FnSym {
+                    id,
+                    file: fi,
+                    crate_name: &file.crate_name,
+                    path: &file.path,
+                    self_ty,
+                    def,
+                });
+                let name: &'a str = &def.name;
+                match self_ty {
+                    Some(ty) => {
+                        table.methods_by_name.entry(name).or_default().push(id);
+                        table.by_qual.entry(ty).or_default().entry(name).or_default().push(id);
+                    }
+                    None => table.free_by_name.entry(name).or_default().push(id),
+                }
+            });
+        }
+        table
+    }
+
+    /// Free functions with this name, workspace-wide.
+    pub fn free_fns(&self, name: &str) -> &[usize] {
+        self.free_by_name.get(name).map_or(&[], Vec::as_slice)
+    }
+
+    /// Associated functions with this name, on any type.
+    pub fn methods(&self, name: &str) -> &[usize] {
+        self.methods_by_name.get(name).map_or(&[], Vec::as_slice)
+    }
+
+    /// Associated functions `ty::name`.
+    pub fn qualified(&self, ty: &str, name: &str) -> &[usize] {
+        self.by_qual
+            .get(ty)
+            .and_then(|m| m.get(name))
+            .map_or(&[], Vec::as_slice)
+    }
+
+    /// Entry-point functions (`// vdsms-lint: entry`, non-test).
+    pub fn entries(&self) -> impl Iterator<Item = &FnSym<'a>> {
+        self.fns.iter().filter(|f| f.def.is_entry && !f.def.is_test)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::parser::parse_file;
+
+    fn source(name: &str, src: &str) -> SourceFile {
+        SourceFile {
+            crate_name: name.to_string(),
+            path: format!("{name}/src/lib.rs"),
+            source: src.to_string(),
+            is_crate_root: true,
+        }
+    }
+
+    #[test]
+    fn table_indexes_free_fns_methods_and_entries() {
+        let files = vec![
+            source(
+                "a",
+                "// vdsms-lint: entry\npub fn start() {}\npub fn helper() {}\n\
+                 impl Det { pub fn probe(&self) {} }",
+            ),
+            source("b", "impl Det { pub fn probe(&self) {} }\nimpl Other { fn probe(&self) {} }"),
+        ];
+        let asts: Vec<_> = files.iter().map(|f| parse_file(&lex(&f.source))).collect();
+        let table = SymbolTable::build(&files, &asts);
+        assert_eq!(table.free_fns("start").len(), 1);
+        assert_eq!(table.free_fns("helper").len(), 1);
+        assert_eq!(table.methods("probe").len(), 3);
+        assert_eq!(table.qualified("Det", "probe").len(), 2);
+        assert_eq!(table.qualified("Other", "probe").len(), 1);
+        let entries: Vec<_> = table.entries().map(FnSym::qual_name).collect();
+        assert_eq!(entries, vec!["start"]);
+    }
+}

@@ -1,0 +1,18 @@
+// Fixture: allocation-free steady state plus look-alikes the rule must
+// not flag: capacity-zero constructors (allocation-free by std's
+// guarantee), clearing / overwriting pre-reserved scratch, and growth
+// calls in functions that are not reachable from any entry point.
+// vdsms-lint: entry
+fn ingest(state: &mut State, frame: Frame) {
+    let mut spare: Vec<u64> = Vec::new();
+    state.scratch.clear();
+    for (i, v) in frame.cells.iter().enumerate() {
+        state.scratch[i] = *v;
+    }
+    let _ = spare.pop();
+}
+
+fn cold_rebuild(state: &mut State) {
+    state.ids.push(1);
+    state.names.push(String::from("cold"));
+}

@@ -1,0 +1,9 @@
+// Fixture: heap allocation on the hot path. Expected findings:
+// no-alloc-hot-path x4 (push, to_vec, Vec::with_capacity, format!).
+// vdsms-lint: entry
+fn ingest(state: &mut State, frame: Frame) {
+    state.ids.push(frame.id);
+    let snapshot = state.ids.to_vec();
+    let scratch = Vec::with_capacity(frame.len);
+    emit(format!("frame {}", frame.id), snapshot, scratch);
+}

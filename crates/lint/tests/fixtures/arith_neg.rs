@@ -1,0 +1,12 @@
+// Fixture: the same decoding written safely — widening conversions,
+// explicit casts, wrapping/checked methods, and arithmetic on values
+// that never touched the stream. Expected: zero findings.
+fn decode_len(buf: &mut Reader) -> u32 {
+    let hi = buf.get_u8();
+    let word = (u32::from(hi) << 8) | u32::from(buf.get_u8());
+    let wide = (hi as u32) * 4;
+    let wrapped = hi.wrapping_mul(3);
+    let checked = word.checked_add(1);
+    let local = 2 + 3;
+    finish(word, wide, wrapped, checked, local)
+}

@@ -1,0 +1,18 @@
+// Fixture: deterministic orderings — total_cmp on floats, Ord::cmp on
+// integer keys, and a partial_cmp confined to test code. Expected: zero
+// findings.
+fn rank(scores: &mut Vec<(f32, u32)>) {
+    scores.sort_by(|a, b| a.0.total_cmp(&b.0));
+}
+
+fn by_key(xs: &mut Vec<(u64, u32)>) {
+    xs.sort_by(|a, b| a.0.cmp(&b.0));
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn partial_cmp_is_fine_in_tests() {
+        assert!(0.1f32.partial_cmp(&0.2).is_some());
+    }
+}

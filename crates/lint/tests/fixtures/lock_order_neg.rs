@@ -1,0 +1,17 @@
+// Fixture: the same two locks used safely — every function acquires in
+// the same global order (sink before stats), or scopes the first guard
+// so the acquisitions never overlap. Expected: zero findings.
+fn publish(s: &Shared) {
+    let sink = s.sink.lock();
+    let stats = s.stats.lock();
+    sink.merge_into(stats);
+}
+
+fn snapshot(s: &Shared) {
+    let item = {
+        let sink = s.sink.lock();
+        sink.pop()
+    };
+    let stats = s.stats.lock();
+    stats.push_item(item);
+}

@@ -1,0 +1,14 @@
+// Fixture: an AB/BA deadlock across two functions. Expected findings:
+// lock-order x1 — one diagnostic per unordered lock pair, naming both
+// witness chains.
+fn publish(s: &Shared) {
+    let sink = s.sink.lock();
+    let stats = s.stats.lock();
+    sink.merge_into(stats);
+}
+
+fn snapshot(s: &Shared) {
+    let stats = s.stats.lock();
+    let sink = s.sink.lock();
+    stats.copy_from(sink);
+}

@@ -1,6 +1,7 @@
-// Fixture: std locks and nested acquisition. Expected findings:
-// lock-discipline x3 (std::sync::Mutex in the use-group, std::sync::Condvar
-// in a type path, nested .lock() while a guard is live).
+// Fixture: std locks. Expected findings: lock-discipline x2
+// (std::sync::Mutex in the use-group, std::sync::Condvar in a type
+// path). Nested acquisition is no longer a per-file smell — cross-order
+// cycles are caught by the workspace `lock-order` analysis instead.
 use std::sync::{Arc, Mutex};
 
 fn wait(c: &std::sync::Condvar) {}

@@ -1,5 +1,7 @@
 // Fixture: the same logic written panic-free, plus look-alikes that the
-// rule must not flag (unwrap_or*, assert!, test-module unwraps).
+// rule must not flag (unwrap_or*, assert!, test-module unwraps), all on
+// a marked hot path.
+// vdsms-lint: entry
 fn lookup(m: &Table, key: u32) -> Option<Entry> {
     let first = m.get(key)?;
     let second = m.get(key + 1).unwrap_or_default();

@@ -1,5 +1,6 @@
 // Fixture: hot-path panics. Expected findings: no-panic-hot-path x4
-// (unwrap, expect, panic!, index-clone).
+// (unwrap, expect, panic!, index-clone), each naming the entry chain.
+// vdsms-lint: entry
 fn lookup(m: &Table, key: u32) -> Entry {
     let first = m.get(key).unwrap();
     let second = m.get(key + 1).expect("present");

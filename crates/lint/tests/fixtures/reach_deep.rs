@@ -1,0 +1,10 @@
+// Fixture (crate `vdsms-c` of the reachability trio): the panic site,
+// three crates from the entry point. `cold` has the same unwrap but is
+// unreachable from any entry, so it must stay silent.
+pub fn danger(x: Option<u32>) -> u32 {
+    x.unwrap()
+}
+
+pub fn cold(x: Option<u32>) -> u32 {
+    x.unwrap()
+}

@@ -1,0 +1,6 @@
+// Fixture (crate `vdsms-a` of the reachability trio): the annotated
+// entry point. Calls into crate `vdsms-b`.
+// vdsms-lint: entry
+pub fn ingest(x: Option<u32>) -> u32 {
+    relay(x)
+}

@@ -1,0 +1,5 @@
+// Fixture (crate `vdsms-b` of the reachability trio): a pass-through
+// helper with no panic of its own. Calls into crate `vdsms-c`.
+pub fn relay(x: Option<u32>) -> u32 {
+    danger(x)
+}

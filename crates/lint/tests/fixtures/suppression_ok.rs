@@ -1,6 +1,7 @@
 // Fixture: one real violation silenced by a well-formed directive.
 // Expected: zero diagnostics, suppressed == 1.
-fn spawn(pool: &Pool) -> Worker {
-    // vdsms-lint: allow(no-panic-hot-path) reason="construction-time spawn failure, before any stream is admitted"
-    pool.spawn().expect("spawn must succeed at startup")
+fn render_elapsed(frames: u64) -> u64 {
+    // vdsms-lint: allow(no-wall-clock) reason="CLI progress display only, never feeds detection"
+    let t0 = std::time::Instant::now();
+    frames / t0.elapsed().as_secs().max(1)
 }

@@ -1,9 +1,15 @@
 //! Fixture-driven rule tests: every rule has a positive fixture (must
 //! fire, with the expected count) and a negative fixture full of
 //! look-alikes (must stay silent), plus suppression round-trips.
+//!
+//! Token rules run per file through [`check_file`]; the v2 workspace
+//! analyses (hot-path, lock-order, taint, float ordering) run through
+//! [`lint_sources`] with a config enabling exactly the rule under test,
+//! so cross-firing between rules cannot mask a miscount.
 
 use std::path::PathBuf;
-use vdsms_lint::{check_file, FileInput, RuleSet};
+use vdsms_lint::config::KNOWN_KEYS;
+use vdsms_lint::{check_file, lint_sources, parse_config, LintConfig, Report, RuleSet, SourceFile};
 
 fn fixture(name: &str) -> String {
     let path = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures").join(name);
@@ -11,30 +17,78 @@ fn fixture(name: &str) -> String {
         .unwrap_or_else(|e| panic!("fixture {} unreadable: {e}", path.display()))
 }
 
-fn check(name: &str) -> vdsms_lint::FileReport {
-    let source = fixture(name);
-    check_file(
-        &FileInput { path: name, source: &source, is_crate_root: false },
-        &RuleSet::all_enabled(),
-    )
+fn source(crate_name: &str, name: &str) -> SourceFile {
+    SourceFile {
+        crate_name: crate_name.to_string(),
+        path: name.to_string(),
+        source: fixture(name),
+        is_crate_root: false,
+    }
 }
 
-fn count_of(rep: &vdsms_lint::FileReport, rule: &str) -> usize {
-    rep.diagnostics.iter().filter(|d| d.rule == rule).count()
+fn check(name: &str) -> vdsms_lint::FileReport {
+    check_file(&source("fixture", name), &RuleSet::all_enabled())
+}
+
+/// A config with exactly `rule` enabled (and everything else off).
+fn config_only(rule: &str) -> LintConfig {
+    let mut toml = String::from("[default]\n");
+    for key in KNOWN_KEYS {
+        if *key == "unsafe-allowed" {
+            continue;
+        }
+        toml.push_str(&format!("{key} = {}\n", *key == rule));
+    }
+    parse_config(&toml).unwrap()
+}
+
+/// Run the workspace analyses over single-crate fixture files with only
+/// `rule` enabled.
+fn flow_check(names: &[&str], rule: &str) -> Report {
+    let files: Vec<SourceFile> = names.iter().map(|n| source("fixture", n)).collect();
+    lint_sources(&files, &config_only(rule))
+}
+
+fn count_of(diags: &[vdsms_lint::Diagnostic], rule: &str) -> usize {
+    diags.iter().filter(|d| d.rule == rule).count()
 }
 
 #[test]
-fn positive_fixtures_fire_exactly_the_expected_rule() {
+fn token_positive_fixtures_fire_exactly_the_expected_rule() {
     for (file, rule, expected) in [
-        ("no_panic_pos.rs", "no-panic-hot-path", 4),
         ("det_iter_pos.rs", "deterministic-iteration", 3),
         ("wall_clock_pos.rs", "no-wall-clock", 2),
-        ("lock_pos.rs", "lock-discipline", 3),
+        ("lock_pos.rs", "lock-discipline", 2),
         ("unsafe_pos.rs", "unsafe-audit", 1),
     ] {
         let rep = check(file);
         assert_eq!(
-            count_of(&rep, rule),
+            count_of(&rep.diagnostics, rule),
+            expected,
+            "{file}: wrong `{rule}` count: {:#?}",
+            rep.diagnostics
+        );
+        assert_eq!(
+            rep.diagnostics.len(),
+            expected,
+            "{file}: unexpected extra findings: {:#?}",
+            rep.diagnostics
+        );
+    }
+}
+
+#[test]
+fn flow_positive_fixtures_fire_exactly_the_expected_rule() {
+    for (file, rule, expected) in [
+        ("no_panic_pos.rs", "no-panic-hot-path", 4),
+        ("alloc_pos.rs", "no-alloc-hot-path", 4),
+        ("lock_order_pos.rs", "lock-order", 1),
+        ("arith_pos.rs", "no-unchecked-arith", 3),
+        ("float_pos.rs", "float-determinism", 2),
+    ] {
+        let rep = flow_check(&[file], rule);
+        assert_eq!(
+            count_of(&rep.diagnostics, rule),
             expected,
             "{file}: wrong `{rule}` count: {:#?}",
             rep.diagnostics
@@ -50,28 +104,68 @@ fn positive_fixtures_fire_exactly_the_expected_rule() {
 
 #[test]
 fn negative_fixtures_are_silent() {
-    for file in [
-        "no_panic_neg.rs",
-        "det_iter_neg.rs",
-        "wall_clock_neg.rs",
-        "lock_neg.rs",
-        "unsafe_neg.rs",
-    ] {
+    for file in ["det_iter_neg.rs", "wall_clock_neg.rs", "lock_neg.rs", "unsafe_neg.rs"] {
         let rep = check(file);
+        assert!(rep.diagnostics.is_empty(), "{file}: {:#?}", rep.diagnostics);
+        assert_eq!(rep.suppressed, 0, "{file}: nothing should need suppression");
+    }
+    for (file, rule) in [
+        ("no_panic_neg.rs", "no-panic-hot-path"),
+        ("alloc_neg.rs", "no-alloc-hot-path"),
+        ("lock_order_neg.rs", "lock-order"),
+        ("arith_neg.rs", "no-unchecked-arith"),
+        ("float_neg.rs", "float-determinism"),
+    ] {
+        let rep = flow_check(&[file], rule);
         assert!(rep.diagnostics.is_empty(), "{file}: {:#?}", rep.diagnostics);
         assert_eq!(rep.suppressed, 0, "{file}: nothing should need suppression");
     }
 }
 
 #[test]
-fn diagnostics_carry_position_rule_and_snippet() {
-    let rep = check("no_panic_pos.rs");
+fn diagnostics_carry_position_rule_snippet_and_chain() {
+    let rep = flow_check(&["no_panic_pos.rs"], "no-panic-hot-path");
     let d = &rep.diagnostics[0];
     assert_eq!(d.rule, "no-panic-hot-path");
     assert_eq!(d.file, "no_panic_pos.rs");
-    assert_eq!((d.line, d.col), (4, 28), "unwrap call position");
+    assert_eq!((d.line, d.col), (5, 28), "unwrap call position");
     assert!(d.snippet.contains("unwrap"), "snippet shows the offending line: {d:?}");
-    assert!(d.render().contains("no_panic_pos.rs:4:28"), "render is file:line:col");
+    assert!(d.render().contains("no_panic_pos.rs:5:28"), "render is file:line:col");
+    assert!(d.message.contains("`lookup`"), "message names the hot chain: {}", d.message);
+}
+
+#[test]
+fn hot_path_reachability_spans_three_crates() {
+    let files = vec![
+        source("vdsms-a", "reach_entry.rs"),
+        source("vdsms-b", "reach_mid.rs"),
+        source("vdsms-c", "reach_deep.rs"),
+    ];
+    let rep = lint_sources(&files, &config_only("no-panic-hot-path"));
+    assert_eq!(rep.diagnostics.len(), 1, "{:#?}", rep.diagnostics);
+    let d = &rep.diagnostics[0];
+    assert_eq!(d.file, "reach_deep.rs", "finding lands at the panic site");
+    assert!(
+        d.message.contains("ingest → relay → danger"),
+        "message prints the cross-crate chain: {}",
+        d.message
+    );
+    // `cold` has the same unwrap but no path from an entry — no second
+    // finding, which is the reachability gate doing its job.
+}
+
+#[test]
+fn lock_order_cycle_reports_both_witness_chains() {
+    let rep = flow_check(&["lock_order_pos.rs"], "lock-order");
+    assert_eq!(rep.diagnostics.len(), 1, "{:#?}", rep.diagnostics);
+    let d = &rep.diagnostics[0];
+    assert!(d.message.contains("`publish`"), "first witness chain: {}", d.message);
+    assert!(d.message.contains("`snapshot`"), "counter-witness chain: {}", d.message);
+    assert!(
+        d.message.contains("lock_order_pos.rs:"),
+        "counter-witness carries file:line:col: {}",
+        d.message
+    );
 }
 
 #[test]
@@ -82,11 +176,29 @@ fn valid_suppression_silences_and_is_counted() {
 }
 
 #[test]
+fn suppressions_cover_workspace_analyses_too() {
+    let files = vec![SourceFile {
+        crate_name: "fixture".to_string(),
+        path: "inline.rs".to_string(),
+        source: "// vdsms-lint: entry\n\
+                 fn hot(x: Option<u32>) -> u32 {\n\
+                 \x20   // vdsms-lint: allow(no-panic-hot-path) reason=\"x is Some by construction\"\n\
+                 \x20   x.unwrap()\n\
+                 }\n"
+            .to_string(),
+        is_crate_root: false,
+    }];
+    let rep = lint_sources(&files, &config_only("no-panic-hot-path"));
+    assert!(rep.diagnostics.is_empty(), "{:#?}", rep.diagnostics);
+    assert_eq!(rep.suppressed, 1);
+}
+
+#[test]
 fn malformed_suppressions_are_themselves_findings() {
     let rep = check("suppression_bad.rs");
-    assert_eq!(count_of(&rep, "invalid-suppression"), 3, "{:#?}", rep.diagnostics);
+    assert_eq!(count_of(&rep.diagnostics, "invalid-suppression"), 3, "{:#?}", rep.diagnostics);
     assert_eq!(
-        count_of(&rep, "no-panic-hot-path"),
+        count_of(&rep.diagnostics, "no-wall-clock"),
         1,
         "a reason-less directive must not silence the finding it targets"
     );
@@ -96,14 +208,10 @@ fn malformed_suppressions_are_themselves_findings() {
 #[test]
 fn positive_fixtures_are_silent_when_their_rule_is_disabled() {
     // The per-crate config story in miniature: the same source is clean
-    // once the rule is switched off (builtin_default disables the two
-    // hot-path-only rules).
-    for file in ["no_panic_pos.rs", "det_iter_pos.rs"] {
-        let source = fixture(file);
-        let rep = check_file(
-            &FileInput { path: file, source: &source, is_crate_root: false },
-            &RuleSet::builtin_default(),
-        );
-        assert!(rep.diagnostics.is_empty(), "{file}: {:#?}", rep.diagnostics);
-    }
+    // once the rule is switched off.
+    let rep = check_file(&source("fixture", "det_iter_pos.rs"), &RuleSet::builtin_default());
+    assert!(rep.diagnostics.is_empty(), "{:#?}", rep.diagnostics);
+    // And a flow fixture with a different (token) rule enabled instead.
+    let rep = flow_check(&["no_panic_pos.rs"], "no-wall-clock");
+    assert!(rep.diagnostics.is_empty(), "{:#?}", rep.diagnostics);
 }

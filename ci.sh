@@ -12,6 +12,9 @@ cargo build --release
 echo "== tests =="
 cargo test -q
 
+echo "== benches compile =="
+cargo bench --no-run -q
+
 echo "== static-analysis gate (vdsms-lint) =="
 cargo run -p vdsms-lint --release
 

@@ -17,11 +17,11 @@
 #![forbid(unsafe_code)]
 
 use std::fmt::Write as _;
-use vdsms_codec::{Encoder, EncoderConfig, PartialDecoder, StreamHeader};
+use vdsms_codec::{DcFrame, Encoder, EncoderConfig, PartialDecoder, StreamHeader};
 use vdsms_core::{
     load_queries, save_queries, AnyFleet, Detector, DetectorConfig, Query, QuerySet, StreamId,
 };
-use vdsms_features::{FeatureConfig, FeatureExtractor};
+use vdsms_features::{FeatureConfig, FeatureExtractor, FingerprintStream};
 use vdsms_video::source::{ClipGenerator, MotifPool, SourceSpec};
 use vdsms_video::Fps;
 
@@ -132,9 +132,10 @@ pub fn inspect(bytes: &[u8]) -> Result<String> {
     let header: StreamHeader = *decoder.header();
     let mut key_frames = 0u64;
     let mut last_index = 0u64;
-    while let Some(dc) = decoder.next_dc_frame()? {
+    let mut frame = DcFrame::empty();
+    while decoder.next_dc_frame_into(&mut frame)? {
         key_frames += 1;
-        last_index = dc.frame_index;
+        last_index = frame.frame_index;
     }
     let total_frames = last_index + 1; // last key frame is within the last GOP
     let mut out = String::new();
@@ -176,11 +177,14 @@ pub fn sketch(
         if set.get(*id).is_some() {
             return Err(CliError::new(format!("duplicate query id {id}")));
         }
-        let dcs = PartialDecoder::new(bytes)?.decode_all()?;
-        if dcs.is_empty() {
+        let mut ingest = FingerprintStream::new(bytes, extractor.clone())?;
+        let mut cells = Vec::new();
+        while let Some((_, cell)) = ingest.next_fingerprint()? {
+            cells.push(cell);
+        }
+        if cells.is_empty() {
             return Err(CliError::new(format!("query {id} has no key frames")));
         }
-        let cells = extractor.fingerprint_sequence(&dcs);
         set.insert(Query::from_cell_ids(*id, &family, &cells));
     }
     Ok(save_queries(&set))
@@ -237,17 +241,14 @@ pub fn monitor_streams(
         fleet.subscribe(query.clone())?;
     }
 
-    // Fingerprint every stream up front (decode is per-stream anyway),
-    // then interleave the key frames round-robin.
-    let mut fingerprints: Vec<Vec<(u64, u64)>> = Vec::with_capacity(streams.len());
+    // One fused ingestion front-end per stream: key frames are decoded
+    // and fingerprinted lazily, straight from the bitstream bytes, as
+    // each round-robin round pulls them — no per-stream fingerprint
+    // buffering, no per-keyframe allocation.
+    let mut ingests = Vec::with_capacity(streams.len());
     for (i, bytes) in streams.iter().enumerate() {
         fleet.add_stream(i as StreamId)?;
-        let mut decoder = PartialDecoder::new(bytes)?;
-        let mut cells = Vec::new();
-        while let Some(dc) = decoder.next_dc_frame()? {
-            cells.push((dc.frame_index, extractor.fingerprint(&dc)));
-        }
-        fingerprints.push(cells);
+        ingests.push(FingerprintStream::new(bytes, extractor.clone())?);
     }
 
     let mut hits = Vec::new();
@@ -262,14 +263,19 @@ pub fn monitor_streams(
             });
         }
     };
-    let rounds = fingerprints.iter().map(Vec::len).max().unwrap_or(0);
+    // Interleave the key frames round-robin (one per stream per batch),
+    // emulating live concurrent broadcasts; streams that end early simply
+    // drop out of later batches, exactly as in the buffered formulation.
     let mut batch = Vec::with_capacity(streams.len());
-    for round in 0..rounds {
+    loop {
         batch.clear();
-        for (i, cells) in fingerprints.iter().enumerate() {
-            if let Some(&(frame_index, cell)) = cells.get(round) {
+        for (i, ingest) in ingests.iter_mut().enumerate() {
+            if let Some((frame_index, cell)) = ingest.next_fingerprint()? {
                 batch.push((i as StreamId, frame_index, cell));
             }
+        }
+        if batch.is_empty() {
+            break;
         }
         push(fleet.push_batch(&batch)?, &mut hits);
     }

@@ -167,6 +167,28 @@ impl<'a> ByteReader<'a> {
         self.pos += n;
         Ok(())
     }
+
+    /// Advance the cursor just past the next `0x00` byte.
+    ///
+    /// This is the fused ingestion path's AC-tail skip: inside an I-frame
+    /// payload, every varint the encoder emits is minimal and non-zero
+    /// except the end-of-block token and a zero DC delta, and the DC
+    /// delta is always consumed *before* this scan starts — so the first
+    /// `0x00` byte after a block's DC is exactly its EOB marker (see
+    /// `vdsms_codec::zigzag`). A plain byte scan replaces per-token
+    /// varint parsing.
+    pub fn skip_past_zero_byte(&mut self) -> Result<()> {
+        match self.buf[self.pos..].iter().position(|&b| b == 0) {
+            Some(i) => {
+                self.pos += i + 1;
+                Ok(())
+            }
+            None => {
+                self.pos = self.buf.len();
+                Err(CodecError::UnexpectedEof)
+            }
+        }
+    }
 }
 
 /// Zigzag-map a signed integer to unsigned.
@@ -241,6 +263,17 @@ mod tests {
         assert_eq!(r.get_varint(), Err(CodecError::UnexpectedEof));
         let mut r2 = ByteReader::new(&[]);
         assert_eq!(r2.get_u32_le(), Err(CodecError::UnexpectedEof));
+    }
+
+    #[test]
+    fn skip_past_zero_byte_lands_after_terminator() {
+        let data = [5u8, 0x83, 0x10, 0, 7, 0];
+        let mut r = ByteReader::new(&data);
+        r.skip_past_zero_byte().unwrap();
+        assert_eq!(r.position(), 4);
+        r.skip_past_zero_byte().unwrap();
+        assert!(r.is_at_end());
+        assert_eq!(r.skip_past_zero_byte(), Err(CodecError::UnexpectedEof));
     }
 
     #[test]

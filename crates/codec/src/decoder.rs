@@ -12,9 +12,9 @@ use crate::bitio::ByteReader;
 use crate::bitstream::{FrameRecord, FrameType, StreamHeader};
 use crate::block::{store_block, store_diff_block, BlockGrid};
 use crate::dct;
-use crate::quant::Quantizer;
-use crate::zigzag::{decode_block, decode_block_dc_only};
-use crate::Result;
+use crate::quant::QuantizerCache;
+use crate::zigzag::decode_block;
+use crate::{CodecError, Result};
 use vdsms_video::Frame;
 
 /// Per-block DC coefficients of one key frame — the partial decoder's
@@ -34,11 +34,39 @@ pub struct DcFrame {
 }
 
 impl DcFrame {
+    /// A detached, zero-block frame: the reusable buffer for
+    /// [`PartialDecoder::next_dc_frame_into`]. Allocates nothing until
+    /// the first decode sizes it.
+    pub fn empty() -> DcFrame {
+        DcFrame { frame_index: 0, blocks_w: 0, blocks_h: 0, dc: Vec::new() }
+    }
+
     /// Mean luma of block `(bx, by)` implied by its DC coefficient.
     pub fn block_mean(&self, bx: u32, by: u32) -> f32 {
         assert!(bx < self.blocks_w && by < self.blocks_h);
         self.dc[(by * self.blocks_w + bx) as usize] / 8.0 + 128.0
     }
+}
+
+/// Count the frame records remaining in `reader`'s stream by walking the
+/// fixed-width length prefixes only (no entropy decoding); returns
+/// `(frames, key_frames)`. Stops at the first malformed record — the
+/// actual decode surfaces that error.
+fn scan_frame_counts(reader: &ByteReader<'_>) -> (usize, usize) {
+    let mut r = reader.clone();
+    let mut frames = 0usize;
+    let mut intra = 0usize;
+    while !r.is_at_end() {
+        let Ok(rec) = FrameRecord::read(&mut r) else { break };
+        if r.skip(rec.payload_len as usize).is_err() {
+            break;
+        }
+        frames += 1;
+        if rec.frame_type == FrameType::Intra {
+            intra += 1;
+        }
+    }
+    (frames, intra)
 }
 
 /// Full pixel decoder; iterates over reconstructed [`Frame`]s.
@@ -49,6 +77,7 @@ pub struct Decoder<'a> {
     reader: ByteReader<'a>,
     reference: Option<Frame>,
     frame_index: u64,
+    quants: QuantizerCache,
 }
 
 impl<'a> Decoder<'a> {
@@ -57,7 +86,14 @@ impl<'a> Decoder<'a> {
         let mut reader = ByteReader::new(bytes);
         let header = StreamHeader::read(&mut reader)?;
         let grid = BlockGrid::for_dims(header.width, header.height);
-        Ok(Decoder { header, grid, reader, reference: None, frame_index: 0 })
+        Ok(Decoder {
+            header,
+            grid,
+            reader,
+            reference: None,
+            frame_index: 0,
+            quants: QuantizerCache::new(),
+        })
     }
 
     /// Stream header.
@@ -71,7 +107,7 @@ impl<'a> Decoder<'a> {
             return Ok(None);
         }
         let rec = FrameRecord::read(&mut self.reader)?;
-        let quantizer = Quantizer::new(rec.quality);
+        let quantizer = self.quants.for_quality(rec.quality);
         let mut frame = Frame::filled(self.header.width, self.header.height, 0);
         let mut prev_dc = 0i32;
         for by in 0..self.grid.blocks_h {
@@ -106,9 +142,12 @@ impl<'a> Decoder<'a> {
         Ok(Some(frame))
     }
 
-    /// Decode the whole stream into frames.
+    /// Decode the whole stream into frames. The output is pre-sized by a
+    /// prefix-only scan of the remaining records, so the returned `Vec`
+    /// never reallocates during the decode.
     pub fn decode_all(mut self) -> Result<Vec<Frame>> {
-        let mut out = Vec::new();
+        let (frames, _) = scan_frame_counts(&self.reader);
+        let mut out = Vec::with_capacity(frames);
         while let Some(f) = self.next_frame()? {
             out.push(f);
         }
@@ -124,6 +163,7 @@ pub struct PartialDecoder<'a> {
     grid: BlockGrid,
     reader: ByteReader<'a>,
     frame_index: u64,
+    quants: QuantizerCache,
 }
 
 impl<'a> PartialDecoder<'a> {
@@ -132,7 +172,7 @@ impl<'a> PartialDecoder<'a> {
         let mut reader = ByteReader::new(bytes);
         let header = StreamHeader::read(&mut reader)?;
         let grid = BlockGrid::for_dims(header.width, header.height);
-        Ok(PartialDecoder { header, grid, reader, frame_index: 0 })
+        Ok(PartialDecoder { header, grid, reader, frame_index: 0, quants: QuantizerCache::new() })
     }
 
     /// Stream header.
@@ -145,12 +185,22 @@ impl<'a> PartialDecoder<'a> {
         self.header.fps.as_f64() / f64::from(self.header.gop)
     }
 
-    /// Decode the next key frame's DC coefficients, or `Ok(None)` at end of
-    /// stream. P-frames are skipped in O(1) via their length prefix.
-    pub fn next_dc_frame(&mut self) -> Result<Option<DcFrame>> {
+    /// Decode the next key frame's DC coefficients *into* a caller-owned
+    /// buffer, returning `Ok(false)` at end of stream. P-frames are skipped
+    /// in O(1) via their length prefix.
+    ///
+    /// This is the steady-state ingestion core: after the first key frame
+    /// sizes `out.dc`, subsequent calls on the same geometry perform **zero
+    /// heap allocations**. Per block it reads the DC delta varint and then
+    /// byte-scans to the end-of-block marker
+    /// ([`ByteReader::skip_past_zero_byte`]) instead of parsing every AC
+    /// token — valid for this bitstream because no minimal varint of a
+    /// non-zero value contains a `0x00` byte (see `vdsms_codec::zigzag`).
+    // vdsms-lint: entry
+    pub fn next_dc_frame_into(&mut self, out: &mut DcFrame) -> Result<bool> {
         loop {
             if self.reader.is_at_end() {
-                return Ok(None);
+                return Ok(false);
             }
             let rec = FrameRecord::read(&mut self.reader)?;
             let index = self.frame_index;
@@ -160,29 +210,51 @@ impl<'a> PartialDecoder<'a> {
                     self.reader.skip(rec.payload_len as usize)?;
                 }
                 FrameType::Intra => {
-                    let quantizer = Quantizer::new(rec.quality);
+                    let step = self.quants.for_quality(rec.quality).dc_step();
                     let n = self.grid.num_blocks();
-                    let mut dc = Vec::with_capacity(n);
-                    let mut prev_dc = 0i32;
-                    for _ in 0..n {
-                        let level = decode_block_dc_only(&mut self.reader, prev_dc)?;
-                        prev_dc = level;
-                        dc.push(quantizer.dequantize_dc(level));
+                    out.frame_index = index;
+                    out.blocks_w = self.grid.blocks_w;
+                    out.blocks_h = self.grid.blocks_h;
+                    if out.dc.len() != n {
+                        // vdsms-lint: allow(no-alloc-hot-path) reason="capacity-stable: sizes the pooled buffer once per stream geometry, never on the per-keyframe steady state"
+                        out.dc.resize(n, 0.0);
                     }
-                    return Ok(Some(DcFrame {
-                        frame_index: index,
-                        blocks_w: self.grid.blocks_w,
-                        blocks_h: self.grid.blocks_h,
-                        dc,
-                    }));
+                    // Slice the payload out so the per-block loop cannot
+                    // read past the frame boundary even on corrupt input.
+                    let payload = self.reader.get_bytes(rec.payload_len as usize)?;
+                    let mut pr = ByteReader::new(payload);
+                    let mut prev_dc = 0i32;
+                    for slot in out.dc.iter_mut() {
+                        let delta = pr.get_signed()?;
+                        let dc = i64::from(prev_dc)
+                            .checked_add(delta)
+                            .ok_or(CodecError::CorruptEntropy("dc out of range"))?;
+                        let dc = i32::try_from(dc)
+                            .map_err(|_| CodecError::CorruptEntropy("dc out of range"))?;
+                        prev_dc = dc;
+                        *slot = dc as f32 * step;
+                        pr.skip_past_zero_byte()?;
+                    }
+                    return Ok(true);
                 }
             }
         }
     }
 
-    /// Decode all key frames' DC coefficients.
+    /// Decode the next key frame's DC coefficients, or `Ok(None)` at end of
+    /// stream. Convenience wrapper over [`Self::next_dc_frame_into`] that
+    /// allocates a fresh [`DcFrame`] per key frame; steady-state callers
+    /// should hold a pooled frame and call the `_into` variant directly.
+    pub fn next_dc_frame(&mut self) -> Result<Option<DcFrame>> {
+        let mut out = DcFrame::empty();
+        Ok(self.next_dc_frame_into(&mut out)?.then_some(out))
+    }
+
+    /// Decode all key frames' DC coefficients. The output is pre-sized by
+    /// a prefix-only scan of the remaining records.
     pub fn decode_all(mut self) -> Result<Vec<DcFrame>> {
-        let mut out = Vec::new();
+        let (_, intra) = scan_frame_counts(&self.reader);
+        let mut out = Vec::with_capacity(intra);
         while let Some(d) = self.next_dc_frame()? {
             out.push(d);
         }
@@ -309,6 +381,28 @@ mod tests {
             }
         };
         assert!(result.is_err(), "truncation must surface as an error");
+    }
+
+    #[test]
+    fn pooled_dc_decode_matches_allocating_path_and_reuses_capacity() {
+        let clip = test_clip(7, 4.0);
+        let bytes = Encoder::encode_clip(&clip, EncoderConfig { gop: 5, quality: 70, motion_search: true });
+        let expected = PartialDecoder::new(&bytes).unwrap().decode_all().unwrap();
+
+        let mut dec = PartialDecoder::new(&bytes).unwrap();
+        let mut frame = DcFrame::empty();
+        let mut got = Vec::new();
+        let mut cap_after_first = 0usize;
+        while dec.next_dc_frame_into(&mut frame).unwrap() {
+            if got.is_empty() {
+                cap_after_first = frame.dc.capacity();
+            } else {
+                assert_eq!(frame.dc.capacity(), cap_after_first, "pooled buffer must not regrow");
+            }
+            got.push(frame.clone());
+        }
+        assert_eq!(got, expected, "pooled decode must be bit-identical");
+        assert!(!dec.next_dc_frame_into(&mut frame).unwrap(), "stream exhausted");
     }
 
     #[test]

@@ -37,6 +37,7 @@ pub mod zigzag;
 pub use bitstream::{FrameType, StreamHeader};
 pub use decoder::{DcFrame, Decoder, PartialDecoder};
 pub use encoder::{Encoder, EncoderConfig};
+pub use quant::{Quantizer, QuantizerCache};
 
 /// Errors produced while parsing a bitstream.
 #[derive(Debug, Clone, PartialEq, Eq)]

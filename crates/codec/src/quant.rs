@@ -82,6 +82,51 @@ impl Quantizer {
     pub fn dequantize_dc(&self, level: i32) -> f32 {
         level as f32 * f32::from(self.table[0])
     }
+
+    /// The DC quantization step as an f32 multiplier
+    /// (`dequantize_dc(level) == level as f32 * dc_step()`), hoistable
+    /// out of the partial decoder's per-block loop.
+    pub fn dc_step(&self) -> f32 {
+        f32::from(self.table[0])
+    }
+}
+
+/// Memoizes [`Quantizer`] construction across frames.
+///
+/// A stream keeps one quality for long runs (usually its whole length),
+/// so the decoders would otherwise rebuild the same 64-entry table for
+/// every frame. The cache holds the most recently used quantizer and
+/// rebuilds only when the requested quality changes — allocation-free
+/// and branch-predictable on the steady-state ingestion path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QuantizerCache {
+    last: Quantizer,
+}
+
+impl Default for QuantizerCache {
+    fn default() -> QuantizerCache {
+        QuantizerCache::new()
+    }
+}
+
+impl QuantizerCache {
+    /// A cache primed with an arbitrary quality (the first real request
+    /// replaces it unless it happens to match).
+    pub fn new() -> QuantizerCache {
+        QuantizerCache { last: Quantizer::new(50) }
+    }
+
+    /// The quantizer for `quality`, rebuilt only if it differs from the
+    /// previous request.
+    ///
+    /// # Panics
+    /// Panics if `quality` is outside `[1, 100]` (as [`Quantizer::new`]).
+    pub fn for_quality(&mut self, quality: u8) -> &Quantizer {
+        if self.last.quality != quality {
+            self.last = Quantizer::new(quality);
+        }
+        &self.last
+    }
 }
 
 #[cfg(test)]
@@ -134,6 +179,15 @@ mod tests {
     #[should_panic(expected = "quality must be in")]
     fn quality_zero_rejected() {
         let _ = Quantizer::new(0);
+    }
+
+    #[test]
+    fn cache_returns_same_tables_as_fresh_construction() {
+        let mut cache = QuantizerCache::new();
+        for ql in [80u8, 80, 20, 100, 20, 50] {
+            assert_eq!(cache.for_quality(ql), &Quantizer::new(ql));
+            assert_eq!(cache.for_quality(ql).dc_step(), Quantizer::new(ql).dequantize_dc(1));
+        }
     }
 
     #[test]

@@ -5,7 +5,7 @@
 //! averages are min–max normalized (Eq. 1), and `d` of them are selected as
 //! the frame's feature vector.
 
-use crate::partition::{normalize, GridPyramid};
+use crate::partition::{normalize, normalize_in_place, GridPyramid};
 use crate::CellId;
 use vdsms_codec::DcFrame;
 
@@ -36,6 +36,16 @@ impl FeatureConfig {
     }
 }
 
+/// 1-D overlap weight of block `b` (covering `[b, b+1)`) with region `r`
+/// of `n` regions over `total` blocks. Shared by the naive
+/// [`region_averages`] and the precomputed [`RegionPlan`] so both produce
+/// bit-identical weights.
+fn overlap(b: u32, r: u32, n: u32, total: u32) -> f64 {
+    let r0 = f64::from(r) * f64::from(total) / f64::from(n);
+    let r1 = f64::from(r + 1) * f64::from(total) / f64::from(n);
+    (f64::from(b) + 1.0).min(r1) - f64::from(b).max(r0)
+}
+
 /// Average the DC coefficients of `dc` over `rows × cols` equal regions,
 /// returned row-major.
 ///
@@ -53,13 +63,6 @@ pub fn region_averages(dc: &DcFrame, rows: u32, cols: u32) -> Vec<f32> {
         dc.blocks_w,
         dc.blocks_h,
     );
-    // 1-D overlap weight of block `b` (covering [b, b+1)) with region `r`
-    // of `n` regions over `total` blocks.
-    fn overlap(b: u32, r: u32, n: u32, total: u32) -> f64 {
-        let r0 = f64::from(r) * f64::from(total) / f64::from(n);
-        let r1 = f64::from(r + 1) * f64::from(total) / f64::from(n);
-        (f64::from(b) + 1.0).min(r1) - f64::from(b).max(r0)
-    }
     let mut out = Vec::with_capacity((rows * cols) as usize);
     for ry in 0..rows {
         let by0 = (f64::from(ry) * f64::from(dc.blocks_h) / f64::from(rows)).floor() as u32;
@@ -93,6 +96,145 @@ pub fn region_averages(dc: &DcFrame, rows: u32, cols: u32) -> Vec<f32> {
     out
 }
 
+/// A precomputed region-averaging plan for one `(blocks_w, blocks_h,
+/// rows, cols)` geometry.
+///
+/// [`region_averages`] recomputes every block/region overlap weight per
+/// frame; a stream's geometry never changes mid-flight, so the weights
+/// are loop invariants of the whole ingestion run. The plan hoists them:
+/// it stores `(block_index, weight)` terms in exactly the order the
+/// naive double loop visits them (plus each region's total weight,
+/// accumulated in that same order), which reduces per-frame work to flat
+/// multiply–adds **and** keeps the resulting f64 sums — hence the f32
+/// averages — bit-identical to the naive path.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RegionPlan {
+    blocks_w: u32,
+    blocks_h: u32,
+    rows: u32,
+    cols: u32,
+    /// `(block_index, overlap_weight)` multiply–add terms, concatenated
+    /// region by region in naive visit order.
+    terms: Vec<(u32, f64)>,
+    /// Per region (row-major): exclusive end offset into `terms` and the
+    /// region's total overlap weight.
+    regions: Vec<(u32, f64)>,
+}
+
+impl RegionPlan {
+    /// Precompute the plan for one frame geometry.
+    ///
+    /// # Panics
+    /// Panics on the same degenerate inputs as [`region_averages`]
+    /// (zero regions, or fewer blocks than regions).
+    pub fn build(blocks_w: u32, blocks_h: u32, rows: u32, cols: u32) -> RegionPlan {
+        assert!(rows >= 1 && cols >= 1);
+        assert!(
+            blocks_h >= rows && blocks_w >= cols,
+            "frame has fewer blocks ({blocks_w}x{blocks_h}) than regions ({cols}x{rows})",
+        );
+        let mut terms = Vec::new();
+        // vdsms-lint: allow(no-alloc-hot-path) reason="plan construction: runs once per stream geometry, not per frame"
+        let mut regions = Vec::with_capacity((rows * cols) as usize);
+        for ry in 0..rows {
+            let by0 = (f64::from(ry) * f64::from(blocks_h) / f64::from(rows)).floor() as u32;
+            let by1 =
+                ((f64::from(ry + 1) * f64::from(blocks_h) / f64::from(rows)).ceil() as u32)
+                    .min(blocks_h);
+            for rx in 0..cols {
+                let bx0 = (f64::from(rx) * f64::from(blocks_w) / f64::from(cols)).floor() as u32;
+                let bx1 =
+                    ((f64::from(rx + 1) * f64::from(blocks_w) / f64::from(cols)).ceil() as u32)
+                        .min(blocks_w);
+                let mut weight = 0.0f64;
+                for by in by0..by1 {
+                    let wy = overlap(by, ry, rows, blocks_h);
+                    if wy <= 0.0 {
+                        continue;
+                    }
+                    for bx in bx0..bx1 {
+                        let wx = overlap(bx, rx, cols, blocks_w);
+                        if wx <= 0.0 {
+                            continue;
+                        }
+                        let w = wx * wy;
+                        // vdsms-lint: allow(no-alloc-hot-path) reason="plan construction: runs once per stream geometry, not per frame"
+                        terms.push((by * blocks_w + bx, w));
+                        weight += w;
+                    }
+                }
+                // vdsms-lint: allow(no-alloc-hot-path) reason="plan construction: pre-reserved to rows*cols above"
+                regions.push((terms.len() as u32, weight));
+            }
+        }
+        RegionPlan { blocks_w, blocks_h, rows, cols, terms, regions }
+    }
+
+    /// Whether this plan was built for the given geometry.
+    pub fn matches(&self, blocks_w: u32, blocks_h: u32, rows: u32, cols: u32) -> bool {
+        self.blocks_w == blocks_w
+            && self.blocks_h == blocks_h
+            && self.rows == rows
+            && self.cols == cols
+    }
+
+    /// Write the region averages of `dc` (raster-order block DCs) into
+    /// `out`, allocation-free. Bit-identical to [`region_averages`] on
+    /// the geometry the plan was built for.
+    ///
+    /// # Panics
+    /// Panics if `dc` or `out` do not match the plan's geometry.
+    pub fn region_averages_into(&self, dc: &[f32], out: &mut [f32]) {
+        assert_eq!(
+            dc.len(),
+            (self.blocks_w * self.blocks_h) as usize,
+            "DC buffer does not match plan geometry"
+        );
+        assert_eq!(out.len(), self.regions.len(), "output does not match region count");
+        let mut start = 0usize;
+        for (slot, &(end, weight)) in out.iter_mut().zip(&self.regions) {
+            let mut sum = 0.0f64;
+            for &(idx, w) in &self.terms[start..end as usize] {
+                sum += w * f64::from(dc[idx as usize]);
+            }
+            *slot = (sum / weight) as f32;
+            start = end as usize;
+        }
+    }
+}
+
+/// Memoizes [`RegionPlan`] construction across frames (cf.
+/// `vdsms_codec::QuantizerCache`): a stream's block geometry is fixed, so
+/// the steady state is a pure field comparison and the plan rebuild only
+/// fires when the ingested geometry actually changes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlanCache {
+    last: RegionPlan,
+}
+
+impl Default for PlanCache {
+    fn default() -> PlanCache {
+        PlanCache::new()
+    }
+}
+
+impl PlanCache {
+    /// A cache primed with a trivial 1×1 geometry (the first real request
+    /// replaces it).
+    pub fn new() -> PlanCache {
+        PlanCache { last: RegionPlan::build(1, 1, 1, 1) }
+    }
+
+    /// The plan for a geometry, rebuilt only if it differs from the
+    /// previous request.
+    pub fn plan_for(&mut self, blocks_w: u32, blocks_h: u32, rows: u32, cols: u32) -> &RegionPlan {
+        if !self.last.matches(blocks_w, blocks_h, rows, cols) {
+            self.last = RegionPlan::build(blocks_w, blocks_h, rows, cols);
+        }
+        &self.last
+    }
+}
+
 /// Deterministically select `d` of the `D` normalized coefficients,
 /// maximally spread over the frame: indices `round(i·(D−1)/(d−1))`.
 ///
@@ -116,6 +258,29 @@ pub fn select_dims(normalized: &[f32], d: usize) -> Vec<f32> {
             normalized[idx]
         })
         .collect()
+}
+
+/// Write the [`select_dims`] selection into `out` (whose length is `d`),
+/// allocation-free and bit-identical to the allocating variant.
+///
+/// # Panics
+/// Panics if `out.len() > normalized.len()` or `out` is empty.
+pub fn select_dims_into(normalized: &[f32], out: &mut [f32]) {
+    let big_d = normalized.len();
+    let d = out.len();
+    assert!(d >= 1 && d <= big_d, "d must be in [1, {big_d}]");
+    if d == big_d {
+        out.copy_from_slice(normalized);
+        return;
+    }
+    if d == 1 {
+        out[0] = normalized[big_d / 2];
+        return;
+    }
+    for (i, slot) in out.iter_mut().enumerate() {
+        let idx = (i * (big_d - 1) + (d - 1) / 2) / (d - 1);
+        *slot = normalized[idx];
+    }
 }
 
 /// The end-to-end fingerprint pipeline: DC frame → cell id.
@@ -158,6 +323,41 @@ impl FeatureExtractor {
     pub fn fingerprint_sequence(&self, dcs: &[DcFrame]) -> Vec<CellId> {
         dcs.iter().map(|d| self.fingerprint(d)).collect()
     }
+
+    /// Build the reusable scratch state for [`Self::fingerprint_into`].
+    /// The intermediate buffers are sized here, once, from the config.
+    pub fn scratch(&self) -> FingerprintScratch {
+        FingerprintScratch {
+            plans: PlanCache::new(),
+            avgs: vec![0.0; self.config.big_d()],
+            selected: vec![0.0; self.config.d],
+        }
+    }
+
+    /// The frame's fingerprint, computed through the precomputed
+    /// [`RegionPlan`] into caller-owned scratch buffers. Bit-identical to
+    /// [`Self::fingerprint`]; performs **zero heap allocations** once the
+    /// scratch's plan matches the frame geometry (i.e. after the first
+    /// key frame of a stream).
+    pub fn fingerprint_into(&self, scratch: &mut FingerprintScratch, dc: &DcFrame) -> CellId {
+        let plan =
+            scratch.plans.plan_for(dc.blocks_w, dc.blocks_h, self.config.rows, self.config.cols);
+        plan.region_averages_into(&dc.dc, &mut scratch.avgs);
+        normalize_in_place(&mut scratch.avgs);
+        select_dims_into(&scratch.avgs, &mut scratch.selected);
+        self.partition.cell_id(&scratch.selected)
+    }
+}
+
+/// Caller-owned state for the allocation-free fingerprint path: the
+/// memoized region plan plus the two intermediate feature buffers
+/// (`D` region averages, `d` selected dims). One per ingestion stream;
+/// build with [`FeatureExtractor::scratch`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct FingerprintScratch {
+    plans: PlanCache,
+    avgs: Vec<f32>,
+    selected: Vec<f32>,
 }
 
 #[cfg(test)]

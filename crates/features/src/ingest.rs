@@ -1,0 +1,161 @@
+//! Fused bytes→fingerprint streaming ingestion.
+//!
+//! [`FingerprintStream`] is the one ingestion front-end: it pulls key
+//! frames straight out of a compressed bitstream with the pooled partial
+//! decoder ([`vdsms_codec::PartialDecoder::next_dc_frame_into`]) and maps
+//! each through the precomputed-plan fingerprint path
+//! ([`FeatureExtractor::fingerprint_into`]), yielding
+//! `(frame_index, cell_id)` pairs with **zero heap allocations per key
+//! frame** in the steady state. The CLI, the fleet feeders and the
+//! benches all ingest through this adapter, so the compressed-domain
+//! cost story is measured on the path production code actually runs.
+//!
+//! Output is bit-identical to the unfused
+//! `PartialDecoder::decode_all` → `FeatureExtractor::fingerprint_sequence`
+//! composition — same cell ids, same frame indices — which the property
+//! tests in `tests/` assert byte for byte.
+
+use crate::extract::{FeatureExtractor, FingerprintScratch};
+use crate::CellId;
+use vdsms_codec::{DcFrame, PartialDecoder, Result, StreamHeader};
+
+/// Streaming adapter yielding `(frame_index, cell_id)` directly from
+/// bitstream bytes. Holds all pooled state (DC frame, region plan,
+/// feature buffers); steady-state pulls are allocation-free.
+#[derive(Debug)]
+pub struct FingerprintStream<'a> {
+    decoder: PartialDecoder<'a>,
+    extractor: FeatureExtractor,
+    frame: DcFrame,
+    scratch: FingerprintScratch,
+}
+
+impl<'a> FingerprintStream<'a> {
+    /// Open a bitstream for fused ingestion, parsing its header.
+    pub fn new(bytes: &'a [u8], extractor: FeatureExtractor) -> Result<FingerprintStream<'a>> {
+        let scratch = extractor.scratch();
+        Ok(FingerprintStream {
+            decoder: PartialDecoder::new(bytes)?,
+            extractor,
+            frame: DcFrame::empty(),
+            scratch,
+        })
+    }
+
+    /// The stream's header.
+    pub fn header(&self) -> &StreamHeader {
+        self.decoder.header()
+    }
+
+    /// Key frames per second implied by the stream's fps and GOP length.
+    pub fn key_frame_rate(&self) -> f64 {
+        self.decoder.key_frame_rate()
+    }
+
+    /// The extractor this stream fingerprints with.
+    pub fn extractor(&self) -> &FeatureExtractor {
+        &self.extractor
+    }
+
+    /// Restart ingestion on a (possibly different) bitstream while
+    /// keeping every pooled buffer — the allocation-free way to chain
+    /// segments or re-ingest a stream.
+    pub fn reopen(&mut self, bytes: &'a [u8]) -> Result<()> {
+        self.decoder = PartialDecoder::new(bytes)?;
+        Ok(())
+    }
+
+    /// Decode and fingerprint the next key frame, or `Ok(None)` at end of
+    /// stream. P-frames are skipped in O(1); the returned index counts
+    /// them, so detections report true stream positions.
+    // vdsms-lint: entry
+    pub fn next_fingerprint(&mut self) -> Result<Option<(u64, CellId)>> {
+        if self.decoder.next_dc_frame_into(&mut self.frame)? {
+            let cell = self.extractor.fingerprint_into(&mut self.scratch, &self.frame);
+            Ok(Some((self.frame.frame_index, cell)))
+        } else {
+            Ok(None)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::extract::FeatureConfig;
+    use vdsms_codec::{Encoder, EncoderConfig};
+    use vdsms_video::source::{ClipGenerator, SourceSpec};
+    use vdsms_video::{Clip, Fps};
+
+    fn test_clip(seed: u64, seconds: f64) -> Clip {
+        let spec = SourceSpec {
+            width: 176,
+            height: 120,
+            fps: Fps::integer(10),
+            seed,
+            min_scene_s: 1.0,
+            max_scene_s: 2.0,
+            motifs: None,
+        };
+        ClipGenerator::new(spec).clip(seconds)
+    }
+
+    #[test]
+    fn fused_stream_matches_unfused_composition() {
+        let clip = test_clip(21, 5.0);
+        let bytes =
+            Encoder::encode_clip(&clip, EncoderConfig { gop: 5, quality: 80, motion_search: true });
+        let ex = FeatureExtractor::new(FeatureConfig::default());
+
+        let dcs = PartialDecoder::new(&bytes).unwrap().decode_all().unwrap();
+        let expected: Vec<(u64, CellId)> = dcs
+            .iter()
+            .map(|d| d.frame_index)
+            .zip(ex.fingerprint_sequence(&dcs))
+            .collect();
+
+        let mut fs = FingerprintStream::new(&bytes, ex).unwrap();
+        let mut got = Vec::new();
+        while let Some(pair) = fs.next_fingerprint().unwrap() {
+            got.push(pair);
+        }
+        assert_eq!(got, expected, "fused path must be bit-identical");
+        assert_eq!(fs.next_fingerprint().unwrap(), None, "exhausted stream stays exhausted");
+    }
+
+    #[test]
+    fn reopen_replays_the_same_fingerprints() {
+        let clip = test_clip(22, 3.0);
+        let bytes =
+            Encoder::encode_clip(&clip, EncoderConfig { gop: 5, quality: 70, motion_search: true });
+        let ex = FeatureExtractor::new(FeatureConfig::default());
+        let mut fs = FingerprintStream::new(&bytes, ex).unwrap();
+        let mut first = Vec::new();
+        while let Some(pair) = fs.next_fingerprint().unwrap() {
+            first.push(pair);
+        }
+        fs.reopen(&bytes).unwrap();
+        let mut second = Vec::new();
+        while let Some(pair) = fs.next_fingerprint().unwrap() {
+            second.push(pair);
+        }
+        assert_eq!(first, second);
+        assert!(!first.is_empty());
+    }
+
+    #[test]
+    fn truncated_stream_surfaces_an_error() {
+        let clip = test_clip(23, 2.0);
+        let bytes = Encoder::encode_clip(&clip, EncoderConfig::default());
+        let cut = &bytes[..bytes.len() - bytes.len() / 3];
+        let ex = FeatureExtractor::new(FeatureConfig::default());
+        let mut fs = FingerprintStream::new(cut, ex).unwrap();
+        let result = loop {
+            match fs.next_fingerprint() {
+                Ok(Some(_)) => continue,
+                other => break other,
+            }
+        };
+        assert!(result.is_err(), "truncation must surface as an error, got {result:?}");
+    }
+}

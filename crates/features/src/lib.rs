@@ -22,10 +22,15 @@
 #![forbid(unsafe_code)]
 
 pub mod extract;
+pub mod ingest;
 pub mod partition;
 
-pub use extract::{region_averages, select_dims, FeatureConfig, FeatureExtractor};
-pub use partition::{normalize, GridPyramid};
+pub use extract::{
+    region_averages, select_dims, select_dims_into, FeatureConfig, FeatureExtractor,
+    FingerprintScratch, PlanCache, RegionPlan,
+};
+pub use ingest::FingerprintStream;
+pub use partition::{normalize, normalize_in_place, GridPyramid};
 
 /// A frame fingerprint: the cell id of the frame's feature vector.
 pub type CellId = u64;

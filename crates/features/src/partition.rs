@@ -28,6 +28,28 @@ pub fn normalize(values: &[f32]) -> Vec<f32> {
     values.iter().map(|&v| (v - min) / range).collect()
 }
 
+/// In-place, allocation-free variant of [`normalize`]; bit-identical
+/// output (same reduction order, same `(v − min) / range` mapping).
+pub fn normalize_in_place(values: &mut [f32]) {
+    let mut min = f32::INFINITY;
+    let mut max = f32::NEG_INFINITY;
+    for &v in values.iter() {
+        min = min.min(v);
+        max = max.max(v);
+    }
+    let range = max - min;
+    // NaN-safe: a non-positive or NaN range means no usable spread.
+    if range <= 0.0 || range.is_nan() {
+        for v in values.iter_mut() {
+            *v = 0.5;
+        }
+        return;
+    }
+    for v in values.iter_mut() {
+        *v = (*v - min) / range;
+    }
+}
+
 /// The grid–pyramid partitioner for a fixed `(d, u)`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct GridPyramid {

@@ -1,0 +1,130 @@
+//! Property tests for the precomputed region-averaging plan and the
+//! allocation-free fingerprint path: both must reproduce the naive
+//! reference implementations *bit-exactly* (a stronger guarantee than
+//! the 1-ulp tolerance the design budget allows), across randomized
+//! frame geometries including broadcast-shaped grids.
+
+use proptest::prelude::*;
+use vdsms_codec::DcFrame;
+use vdsms_features::{
+    normalize, normalize_in_place, region_averages, select_dims, select_dims_into, FeatureConfig,
+    FeatureExtractor, RegionPlan,
+};
+
+/// A synthetic DC frame with values spanning the codec's real DC range
+/// (orthonormal DCT: `8 × (mean pixel − 128)` ∈ [−1024, 1016]).
+fn arb_dc_frame(blocks_w: u32, blocks_h: u32) -> impl Strategy<Value = DcFrame> {
+    proptest::collection::vec(-1024.0f32..1016.0, (blocks_w * blocks_h) as usize)
+        .prop_map(move |dc| DcFrame { frame_index: 0, blocks_w, blocks_h, dc })
+}
+
+/// Random geometry with `blocks ≥ regions` in both axes (the contract
+/// both implementations assert).
+fn arb_geometry() -> impl Strategy<Value = (u32, u32, u32, u32)> {
+    (1u32..7, 1u32..7, 0u32..42, 0u32..34)
+        .prop_map(|(rows, cols, dw, dh)| (cols + dw, rows + dh, rows, cols))
+}
+
+fn assert_plan_matches_naive(dc: &DcFrame, rows: u32, cols: u32) {
+    let naive = region_averages(dc, rows, cols);
+    let plan = RegionPlan::build(dc.blocks_w, dc.blocks_h, rows, cols);
+    let mut planned = vec![0.0f32; naive.len()];
+    plan.region_averages_into(&dc.dc, &mut planned);
+    for (i, (a, b)) in naive.iter().zip(&planned).enumerate() {
+        assert_eq!(
+            a.to_bits(),
+            b.to_bits(),
+            "region {i} differs: naive {a} vs planned {b} ({}x{} blocks, {cols}x{rows} regions)",
+            dc.blocks_w,
+            dc.blocks_h,
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The plan reproduces the naive averages bit-exactly on random
+    /// geometries, including ones where blocks straddle region
+    /// boundaries fractionally.
+    #[test]
+    fn plan_matches_naive_on_random_geometries(
+        geom in arb_geometry(),
+        seed in 0u64..1_000_000,
+    ) {
+        let (bw, bh, rows, cols) = geom;
+        let n = (bw * bh) as usize;
+        // Cheap deterministic fill (xorshift) — the geometry, not the
+        // values, is what stresses the weight precomputation.
+        let mut state = seed | 1;
+        let dc: Vec<f32> = (0..n)
+            .map(|_| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                (state % 2040) as f32 - 1024.0
+            })
+            .collect();
+        let frame = DcFrame { frame_index: 0, blocks_w: bw, blocks_h: bh, dc };
+        assert_plan_matches_naive(&frame, rows, cols);
+    }
+
+    /// NTSC-shaped frames (352×240 ⇒ 44×30 blocks) with the paper's 3×3
+    /// regions: 44 blocks over 3 columns is fractional, so every column
+    /// boundary splits a block.
+    #[test]
+    fn plan_matches_naive_on_ntsc_geometry(frame in arb_dc_frame(44, 30)) {
+        assert_plan_matches_naive(&frame, 3, 3);
+    }
+
+    /// PAL-shaped frames (352×288 ⇒ 44×36 blocks), same fractional
+    /// column boundaries with a taller grid.
+    #[test]
+    fn plan_matches_naive_on_pal_geometry(frame in arb_dc_frame(44, 36)) {
+        assert_plan_matches_naive(&frame, 3, 3);
+    }
+
+    /// The in-place normalization matches the allocating one bit-exactly,
+    /// including the degenerate constant-vector case.
+    #[test]
+    fn normalize_in_place_matches_allocating(
+        vals in proptest::collection::vec(-1e6f32..1e6, 1..12),
+        constant in any::<bool>(),
+    ) {
+        let vals = if constant { vec![vals[0]; vals.len()] } else { vals };
+        let reference = normalize(&vals);
+        let mut in_place = vals;
+        normalize_in_place(&mut in_place);
+        for (a, b) in reference.iter().zip(&in_place) {
+            prop_assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    /// The in-slice dimension selection matches the allocating one for
+    /// every legal `(D, d)` pair.
+    #[test]
+    fn select_dims_into_matches_allocating(
+        normalized in proptest::collection::vec(0.0f32..=1.0, 1..12),
+        d_raw in 1usize..12,
+    ) {
+        let d = d_raw.min(normalized.len());
+        let reference = select_dims(&normalized, d);
+        let mut selected = vec![0.0f32; d];
+        select_dims_into(&normalized, &mut selected);
+        prop_assert_eq!(reference, selected);
+    }
+
+    /// End to end: the scratch-based fingerprint equals the allocating
+    /// fingerprint on every frame, with ONE scratch reused across frames
+    /// of the same stream (the steady-state pooling pattern).
+    #[test]
+    fn fingerprint_into_matches_fingerprint(
+        frames in proptest::collection::vec(arb_dc_frame(22, 15), 1..5),
+    ) {
+        let ex = FeatureExtractor::new(FeatureConfig::default());
+        let mut scratch = ex.scratch();
+        for frame in &frames {
+            prop_assert_eq!(ex.fingerprint_into(&mut scratch, frame), ex.fingerprint(frame));
+        }
+    }
+}

@@ -11,7 +11,7 @@ use crate::clips::ClipLibrary;
 use crate::truth::GtInterval;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use vdsms_codec::{Encoder, PartialDecoder};
+use vdsms_codec::{DcFrame, Encoder, PartialDecoder};
 use vdsms_features::{FeatureConfig, FeatureExtractor};
 use vdsms_video::source::{ClipGenerator, SourceSpec};
 
@@ -145,10 +145,13 @@ pub fn fingerprint_stream(
     let mut decoder = PartialDecoder::new(&stream.bitstream).expect("stream must parse");
     let mut cell_ids = Vec::new();
     let mut feats = Vec::new();
-    while let Some(dc) = decoder.next_dc_frame().expect("stream must decode") {
-        let v = extractor.feature_vector(&dc);
-        cell_ids.push((dc.frame_index, extractor.partition().cell_id(&v)));
-        feats.push((dc.frame_index, v));
+    // Pooled decode (this consumer also needs the raw feature vectors, so
+    // it takes the `_into` decoder directly rather than FingerprintStream).
+    let mut frame = DcFrame::empty();
+    while decoder.next_dc_frame_into(&mut frame).expect("stream must decode") {
+        let v = extractor.feature_vector(&frame);
+        cell_ids.push((frame.frame_index, extractor.partition().cell_id(&v)));
+        feats.push((frame.frame_index, v));
     }
     FingerprintedStream {
         cell_ids,

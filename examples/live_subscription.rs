@@ -13,7 +13,7 @@
 
 use parking_lot::Mutex;
 use std::sync::Arc;
-use vdsms::codec::{Encoder, EncoderConfig, PartialDecoder};
+use vdsms::codec::{DcFrame, Encoder, EncoderConfig, PartialDecoder};
 use vdsms::video::source::{ClipGenerator, SourceSpec};
 use vdsms::video::{Clip, Fps};
 use vdsms::{DetectorConfig, Monitor, MonitorBuilder};
@@ -77,8 +77,10 @@ fn main() {
         handles.push(std::thread::spawn(move || {
             let mut decoder = PartialDecoder::new(&bytes).expect("valid stream");
             let mut detections = Vec::new();
-            while let Some(dc) = decoder.next_dc_frame().expect("valid stream") {
-                detections.extend(monitor.lock().push_dc_frame(&dc));
+            // Pooled decode: one DcFrame per thread, reused every key frame.
+            let mut frame = DcFrame::empty();
+            while decoder.next_dc_frame_into(&mut frame).expect("valid stream") {
+                detections.extend(monitor.lock().push_dc_frame(&frame));
             }
             detections.extend(monitor.lock().finish());
             (sid, detections)

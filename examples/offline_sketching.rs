@@ -11,9 +11,9 @@
 //! cargo run --release --example offline_sketching
 //! ```
 
-use vdsms::codec::{Encoder, EncoderConfig, PartialDecoder};
+use vdsms::codec::{Encoder, EncoderConfig};
 use vdsms::core::{load_queries, save_queries, Detector, Query, QuerySet};
-use vdsms::features::{FeatureConfig, FeatureExtractor};
+use vdsms::features::{FeatureConfig, FeatureExtractor, FingerprintStream};
 use vdsms::video::source::{ClipGenerator, SourceSpec};
 use vdsms::video::Fps;
 use vdsms::DetectorConfig;
@@ -44,8 +44,11 @@ fn main() {
         let clip = ClipGenerator::new(spec(3000 + u64::from(id))).clip(20.0);
         let bytes = Encoder::encode_clip(&clip, ENC);
         total_video_bytes += bytes.len();
-        let dcs = PartialDecoder::new(&bytes).unwrap().decode_all().unwrap();
-        let cells = extractor.fingerprint_sequence(&dcs);
+        let mut ingest = FingerprintStream::new(&bytes, extractor.clone()).unwrap();
+        let mut cells = Vec::new();
+        while let Some((_, cell)) = ingest.next_fingerprint().unwrap() {
+            cells.push(cell);
+        }
         catalogue.insert(Query::from_cell_ids(id, &family, &cells));
     }
     let sketch_file = save_queries(&catalogue);
@@ -70,11 +73,12 @@ fn main() {
     broadcast.append(ClipGenerator::new(spec(901)).clip(15.0));
     let stream_bytes = Encoder::encode_clip(&broadcast, ENC);
 
+    // The fused ingestion front-end: bytes -> (frame, cell) with pooled
+    // buffers, straight into the detector.
     let mut dets = Vec::new();
-    let mut decoder = PartialDecoder::new(&stream_bytes).unwrap();
-    while let Some(dc) = decoder.next_dc_frame().unwrap() {
-        let cell = extractor.fingerprint(&dc);
-        dets.extend(detector.push_keyframe(dc.frame_index, cell));
+    let mut ingest = FingerprintStream::new(&stream_bytes, extractor).unwrap();
+    while let Some((frame_index, cell)) = ingest.next_fingerprint().unwrap() {
+        dets.extend(detector.push_keyframe(frame_index, cell));
     }
     dets.extend(detector.finish());
 

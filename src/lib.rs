@@ -81,7 +81,7 @@ pub use vdsms_features::FeatureConfig;
 
 use vdsms_codec::{CodecError, DcFrame, Encoder, EncoderConfig, PartialDecoder};
 use vdsms_core::QuerySet;
-use vdsms_features::FeatureExtractor;
+use vdsms_features::{FeatureExtractor, FingerprintScratch};
 use vdsms_video::Clip;
 
 /// Builder for a [`Monitor`].
@@ -119,10 +119,14 @@ impl MonitorBuilder {
     /// Build the monitor.
     pub fn build(self) -> Monitor {
         self.detector.validate();
+        let extractor = FeatureExtractor::new(self.features);
+        let scratch = extractor.scratch();
         Monitor {
-            extractor: FeatureExtractor::new(self.features),
+            extractor,
             detector: Detector::new(self.detector, QuerySet::new()),
             query_encoder: self.query_encoder,
+            frame: DcFrame::empty(),
+            scratch,
         }
     }
 }
@@ -133,6 +137,11 @@ pub struct Monitor {
     extractor: FeatureExtractor,
     detector: Detector,
     query_encoder: EncoderConfig,
+    /// Pooled DC buffer for the fused ingestion loop — reused across every
+    /// key frame of every [`Self::watch_bitstream`] call.
+    frame: DcFrame,
+    /// Pooled fingerprint scratch (region plan + feature buffers).
+    scratch: FingerprintScratch,
 }
 
 impl Monitor {
@@ -164,18 +173,26 @@ impl Monitor {
     }
 
     /// Feed one key frame's DC coefficients (streaming interface).
+    /// Fingerprinting goes through the monitor's pooled scratch, so
+    /// steady-state pushes allocate only for detection events.
     pub fn push_dc_frame(&mut self, dc: &DcFrame) -> Vec<Detection> {
-        let cell = self.extractor.fingerprint(dc);
+        let cell = self.extractor.fingerprint_into(&mut self.scratch, dc);
         self.detector.push_keyframe(dc.frame_index, cell)
     }
 
-    /// Process a whole compressed bitstream (partial decoding only) and
-    /// return every detection. The final partial window is flushed.
+    /// Process a whole compressed bitstream through the fused
+    /// decode→feature→fingerprint pipeline (partial decoding only, pooled
+    /// buffers, zero steady-state allocations per key frame) and return
+    /// every detection. The final partial window is flushed.
     pub fn watch_bitstream(&mut self, bytes: &[u8]) -> Result<Vec<Detection>, CodecError> {
         let mut decoder = PartialDecoder::new(bytes)?;
         let mut out = Vec::new();
-        while let Some(dc) = decoder.next_dc_frame()? {
-            out.extend(self.push_dc_frame(&dc));
+        // Inlined rather than calling `push_dc_frame`: the pooled frame
+        // lives in `self`, and splitting the borrows keeps the loop free
+        // of a per-frame `DcFrame` move or clone.
+        while decoder.next_dc_frame_into(&mut self.frame)? {
+            let cell = self.extractor.fingerprint_into(&mut self.scratch, &self.frame);
+            out.extend(self.detector.push_keyframe(self.frame.frame_index, cell));
         }
         out.extend(self.detector.finish());
         Ok(out)

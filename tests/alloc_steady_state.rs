@@ -14,8 +14,17 @@
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
 
+use vdsms::codec::{Encoder, EncoderConfig};
 use vdsms::core::{Detector, DetectorConfig, Order, Query, QuerySet, Representation};
+use vdsms::features::{FeatureConfig, FeatureExtractor, FingerprintStream};
+use vdsms::video::source::{ClipGenerator, SourceSpec};
+use vdsms::video::Fps;
+
+/// The allocation counter is process-global, so tests in this binary must
+/// not count each other's traffic: every test body runs under this gate.
+static GATE: Mutex<()> = Mutex::new(());
 
 struct CountingAlloc;
 
@@ -104,11 +113,11 @@ fn steady_state_allocs(order: Order, use_index: bool) -> u64 {
     ALLOCS.load(Ordering::SeqCst)
 }
 
-/// Single test function: the counter is process-global, so the four
-/// configurations run sequentially rather than as parallel `#[test]`s
-/// that would count each other's traffic.
+/// Single test function: the four configurations run sequentially rather
+/// than as parallel `#[test]`s that would count each other's traffic.
 #[test]
 fn serial_detector_steady_state_is_allocation_free() {
+    let _gate = GATE.lock().unwrap();
     for order in [Order::Sequential, Order::Geometric] {
         for use_index in [false, true] {
             let allocs = steady_state_allocs(order, use_index);
@@ -119,4 +128,78 @@ fn serial_detector_steady_state_is_allocation_free() {
             );
         }
     }
+}
+
+/// The full fused front-end — compressed bytes → partial decode →
+/// fingerprint → detector — must also be allocation-free in the steady
+/// state. Warm-up passes drive the pooled `DcFrame`, the memoized
+/// `RegionPlan`, the feature scratch and the detector to their high-water
+/// marks; then one whole `reopen` + drain + push pass is counted.
+#[test]
+fn fused_ingestion_steady_state_is_allocation_free() {
+    let _gate = GATE.lock().unwrap();
+    let clip = ClipGenerator::new(SourceSpec {
+        width: 176,
+        height: 120,
+        fps: Fps::integer(10),
+        seed: 4242,
+        min_scene_s: 1.0,
+        max_scene_s: 3.0,
+        motifs: None,
+    })
+    .clip(20.0);
+    let bytes =
+        Encoder::encode_clip(&clip, EncoderConfig { gop: 5, quality: 80, motion_search: true });
+
+    let cfg = DetectorConfig {
+        delta: 0.95,
+        window_keyframes: 4,
+        order: Order::Sequential,
+        representation: Representation::Sketch,
+        use_index: true,
+        ..Default::default()
+    };
+    let family = Detector::family_for(&cfg);
+    // Query cells sit far above the grid–pyramid partition's id range
+    // (2 · 5 · 4⁵ = 2048 cells), so the stream can never detect —
+    // detection events may allocate by design; the pipeline must not.
+    let queries = QuerySet::from_queries(vec![Query::from_cell_ids(
+        1,
+        &family,
+        &(10_000u64..10_032).collect::<Vec<_>>(),
+    )]);
+    let mut det = Detector::new(cfg, queries);
+
+    let extractor = FeatureExtractor::new(FeatureConfig::default());
+    let mut ingest = FingerprintStream::new(&bytes, extractor).unwrap();
+
+    // Frame indices must keep rising across passes so the detector sees
+    // one endless broadcast; each pass is well under 1000 frames long.
+    let mut pass = 0u64;
+    for _ in 0..3 {
+        ingest.reopen(&bytes).unwrap();
+        while let Some((frame_index, cell)) = ingest.next_fingerprint().unwrap() {
+            let dets = det.push_keyframe(pass * 1_000 + frame_index, cell);
+            assert!(dets.is_empty(), "the workload must not detect (it would allocate)");
+        }
+        pass += 1;
+    }
+
+    ALLOCS.store(0, Ordering::SeqCst);
+    COUNTING.store(true, Ordering::SeqCst);
+    ingest.reopen(&bytes).unwrap();
+    let mut keyframes = 0u64;
+    while let Some((frame_index, cell)) = ingest.next_fingerprint().unwrap() {
+        let dets = det.push_keyframe(pass * 1_000 + frame_index, cell);
+        assert!(dets.is_empty(), "the workload must not detect (it would allocate)");
+        keyframes += 1;
+    }
+    COUNTING.store(false, Ordering::SeqCst);
+    let allocs = ALLOCS.load(Ordering::SeqCst);
+    assert!(keyframes > 0, "the stream must contain key frames");
+    assert_eq!(
+        allocs, 0,
+        "fused bytes→detection pass: {allocs} heap allocation(s) \
+         over {keyframes} steady-state keyframes (expected 0)"
+    );
 }

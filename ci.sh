@@ -21,6 +21,23 @@ cargo run -p vdsms-lint --release
 echo "== zero-alloc steady state (release) =="
 cargo test --release -q --test alloc_steady_state
 
+echo "== decoder fuzz (bounded, release) =="
+cargo test --release -q --test decoder_fuzz
+
+echo "== fault-injection smoke (vdsms monitor --inject-faults) =="
+cargo build --release -q -p vdsms-cli
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+./target/release/vdsms generate --seed 300 --seconds 10 --out "$tmp/q.vdsm"
+./target/release/vdsms generate --seed 920 --seconds 20 --out "$tmp/s.vdsm"
+./target/release/vdsms sketch --window-keyframes 6 "$tmp/q.vdsm" --out "$tmp/q.vdsq"
+./target/release/vdsms monitor --queries "$tmp/q.vdsq" --window-keyframes 6 --recover \
+  --inject-faults "seed=7,flip=0.05,drop=0.02,delete=0.01,insert=0.01" \
+  "$tmp/s.vdsm" > "$tmp/out.txt" 2> "$tmp/err.txt" \
+  || { echo "fault-injection smoke failed"; cat "$tmp/out.txt" "$tmp/err.txt"; exit 1; }
+grep -q "fault-injected" "$tmp/err.txt" \
+  || { echo "expected a degraded-stream summary on stderr"; cat "$tmp/err.txt"; exit 1; }
+
 echo "== clippy =="
 cargo clippy --all-targets -- -D warnings
 

@@ -2,9 +2,10 @@
 //! `vdsms help` for usage.
 
 use std::process::exit;
-use vdsms_cli::{generate, inspect, lint, monitor_streams, sketch, GenerateOpts};
+use vdsms_cli::{generate, inspect, lint, monitor_streams_opts, sketch, GenerateOpts, MonitorOpts};
 use vdsms_core::DetectorConfig;
 use vdsms_features::FeatureConfig;
+use vdsms_workload::FaultSpec;
 
 const USAGE: &str = "\
 vdsms — continuous content-based video copy detection
@@ -23,10 +24,18 @@ USAGE:
       Query ids are assigned 0, 1, ... in argument order.
 
   vdsms monitor --queries FILE [--k K] [--hash-seed S] [--delta D]
-                [--window-keyframes W] [--shards N] STREAM_FILE...
+                [--window-keyframes W] [--shards N] [--recover]
+                [--inject-faults SPEC] STREAM_FILE...
       Detect copies of catalogued queries in one or more concurrent
       stream bitstreams. --shards N > 1 monitors on N worker threads
       (identical detections, stream files are hash-sharded onto workers).
+      A stream that fails to open or dies mid-monitoring is reported on
+      stderr and skipped; the others keep being monitored (exit code 1
+      if any stream failed). --recover resynchronizes past mid-record
+      corruption instead of failing the stream. --inject-faults damages
+      each stream with seeded faults first (a robustness test harness),
+      e.g. SPEC = seed=7,flip=0.02,drop=0.01,delete=0.005,insert=0.005,
+      truncate=0.001.
 
   vdsms lint [--json] [--root DIR]
       Run the workspace static-analysis gate (panic-freedom,
@@ -172,6 +181,7 @@ fn cmd_sketch(args: &[String]) {
 
 fn cmd_monitor(args: &[String]) {
     let mut cfg = DetectorConfig::default();
+    let mut opts = MonitorOpts::default();
     let mut queries: Option<String> = None;
     let mut streams: Vec<String> = Vec::new();
     let mut i = 0;
@@ -179,6 +189,12 @@ fn cmd_monitor(args: &[String]) {
         if detector_flags(args, &mut i, &mut cfg) {
         } else if args[i] == "--queries" {
             queries = Some(take_value(args, &mut i, "--queries").to_string());
+        } else if args[i] == "--recover" {
+            opts.recover = true;
+        } else if args[i] == "--inject-faults" {
+            let spec = take_value(args, &mut i, "--inject-faults");
+            opts.faults =
+                Some(FaultSpec::parse(spec).unwrap_or_else(|e| fail(&format!("--inject-faults: {e}"))));
         } else if args[i].starts_with('-') {
             fail(&format!("unknown flag {}", args[i]));
         } else {
@@ -192,15 +208,26 @@ fn cmd_monitor(args: &[String]) {
     }
     let qbytes =
         std::fs::read(&queries).unwrap_or_else(|e| fail(&format!("read {queries}: {e}")));
+    // A stream file that cannot be read is a failed stream, not a fatal
+    // error — it is reported alongside mid-stream failures below. An
+    // empty byte buffer has no valid header, so the library rejects it
+    // per stream with the right bookkeeping.
     let sbytes: Vec<Vec<u8>> = streams
         .iter()
-        .map(|path| std::fs::read(path).unwrap_or_else(|e| fail(&format!("read {path}: {e}"))))
+        .map(|path| {
+            std::fs::read(path).unwrap_or_else(|e| {
+                eprintln!("warning: read {path}: {e}");
+                Vec::new()
+            })
+        })
         .collect();
     let slices: Vec<&[u8]> = sbytes.iter().map(Vec::as_slice).collect();
-    match monitor_streams(&slices, &qbytes, &cfg, &FeatureConfig::default()) {
-        Ok(hits) if hits.is_empty() => println!("no copies detected"),
-        Ok(hits) => {
-            for h in hits {
+    match monitor_streams_opts(&slices, &qbytes, &cfg, &FeatureConfig::default(), &opts) {
+        Ok(outcome) => {
+            if outcome.hits.is_empty() {
+                println!("no copies detected");
+            }
+            for h in &outcome.hits {
                 println!(
                     "stream {}\tquery {}\tframes {}..{}\tsimilarity {:.3}",
                     streams[h.stream_id as usize],
@@ -209,6 +236,25 @@ fn cmd_monitor(args: &[String]) {
                     h.end_frame,
                     h.similarity
                 );
+            }
+            for r in &outcome.reports {
+                let path = &streams[r.stream_id as usize];
+                if let Some(err) = &r.error {
+                    eprintln!("stream {path}: FAILED — {err}");
+                } else if !r.health.is_clean() || r.faulted_records > 0 {
+                    eprintln!(
+                        "stream {path}: degraded — {} frame(s) dropped, {} byte(s) skipped, {} resync(s), {} record(s) fault-injected",
+                        r.health.frames_dropped,
+                        r.health.bytes_skipped,
+                        r.health.resyncs,
+                        r.faulted_records,
+                    );
+                }
+            }
+            let failed = outcome.failed();
+            if failed > 0 {
+                eprintln!("{failed} of {} stream(s) failed", streams.len());
+                exit(1);
             }
         }
         Err(e) => fail(&e.message),

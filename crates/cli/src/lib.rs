@@ -17,13 +17,15 @@
 #![forbid(unsafe_code)]
 
 use std::fmt::Write as _;
-use vdsms_codec::{DcFrame, Encoder, EncoderConfig, PartialDecoder, StreamHeader};
+use vdsms_codec::bitio::ByteReader;
+use vdsms_codec::{DcFrame, Encoder, EncoderConfig, IngestHealth, PartialDecoder, StreamHeader};
 use vdsms_core::{
     load_queries, save_queries, AnyFleet, Detector, DetectorConfig, Query, QuerySet, StreamId,
 };
 use vdsms_features::{FeatureConfig, FeatureExtractor, FingerprintStream};
 use vdsms_video::source::{ClipGenerator, MotifPool, SourceSpec};
 use vdsms_video::Fps;
+use vdsms_workload::{inject_faults, FaultSpec};
 
 /// CLI errors: message plus a process exit code.
 #[derive(Debug)]
@@ -215,6 +217,60 @@ pub fn monitor(
     monitor_streams(&[stream], query_file, detector, features)
 }
 
+/// Robustness options for [`monitor_streams_opts`].
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MonitorOpts {
+    /// Open every stream in corruption-recovery mode: mid-record damage
+    /// is resynchronized past and accounted per stream instead of ending
+    /// that stream with an error.
+    pub recover: bool,
+    /// Mutate each stream with seeded faults before monitoring (the
+    /// `--inject-faults` harness). Stream `i` is damaged under seed
+    /// `spec.seed` xor-mixed with `i`, so concurrent streams are not
+    /// damaged at identical positions.
+    pub faults: Option<FaultSpec>,
+}
+
+/// Per-stream outcome of a resilient monitoring run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamReport {
+    /// Index of the stream file in argument order.
+    pub stream_id: StreamId,
+    /// Why this stream stopped being monitored, if it failed (unopenable
+    /// file, or mid-stream corruption in strict mode). `None` means the
+    /// stream was monitored to its end.
+    pub error: Option<String>,
+    /// Decoder degradation counters for this stream (all zero in strict
+    /// mode and on clean streams).
+    pub health: IngestHealth,
+    /// Records damaged by `--inject-faults`, when fault injection ran.
+    pub faulted_records: u64,
+}
+
+impl StreamReport {
+    /// Whether this stream was monitored end-to-end without error.
+    pub fn ok(&self) -> bool {
+        self.error.is_none()
+    }
+}
+
+/// What [`monitor_streams_opts`] produced: every detection from every
+/// stream that stayed monitorable, plus one report per input stream.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MonitorOutcome {
+    /// All detections, sorted by (stream, end frame, query, start frame).
+    pub hits: Vec<MonitorHit>,
+    /// One entry per input stream, in argument order.
+    pub reports: Vec<StreamReport>,
+}
+
+impl MonitorOutcome {
+    /// Number of streams that failed (reported an error).
+    pub fn failed(&self) -> usize {
+        self.reports.iter().filter(|r| !r.ok()).count()
+    }
+}
+
 /// Monitor any number of concurrent stream bitstreams against a persisted
 /// query set. Stream `i` of `streams` reports as `stream_id == i`.
 ///
@@ -222,12 +278,35 @@ pub fn monitor(
 /// CLI's `--shards` flag); the detections are identical either way. Key
 /// frames are interleaved round-robin across streams, emulating live
 /// concurrent broadcasts, and fed in batches of one key frame per stream.
+///
+/// Errs only when no stream could be monitored at all (or the query file
+/// itself is bad); partial failures are tolerated — see
+/// [`monitor_streams_opts`] for the per-stream reports.
 pub fn monitor_streams(
     streams: &[&[u8]],
     query_file: &[u8],
     detector: &DetectorConfig,
     features: &FeatureConfig,
 ) -> Result<Vec<MonitorHit>> {
+    let outcome = monitor_streams_opts(streams, query_file, detector, features, &MonitorOpts::default())?;
+    Ok(outcome.hits)
+}
+
+/// [`monitor_streams`] with per-stream fault tolerance: a stream that
+/// fails to open (bad header) or errors mid-stream is reported and
+/// dropped from the rotation while every other stream keeps being
+/// monitored. With [`MonitorOpts::recover`], mid-stream corruption is
+/// skipped instead of failing the stream at all.
+///
+/// Only whole-run problems are `Err`: a bad query file, no streams, or
+/// every single stream unopenable.
+pub fn monitor_streams_opts(
+    streams: &[&[u8]],
+    query_file: &[u8],
+    detector: &DetectorConfig,
+    features: &FeatureConfig,
+    opts: &MonitorOpts,
+) -> Result<MonitorOutcome> {
     let queries = load_queries(query_file, detector.k)?;
     if queries.is_empty() {
         return Err(CliError::new("query file contains no queries"));
@@ -241,14 +320,56 @@ pub fn monitor_streams(
         fleet.subscribe(query.clone())?;
     }
 
+    // Fault injection (test harness): damage each parseable stream under
+    // a stream-specific seed. Unparseable inputs pass through untouched —
+    // they fail at open below and are reported like any other bad file.
+    let injected: Vec<Option<vdsms_workload::FaultReport>> = streams
+        .iter()
+        .enumerate()
+        .map(|(i, bytes)| {
+            let spec = opts.faults.as_ref()?;
+            let mut r = ByteReader::new(bytes);
+            StreamHeader::read(&mut r).ok()?;
+            let per_stream =
+                spec.with_seed(spec.seed ^ (i as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15));
+            Some(inject_faults(bytes, &per_stream))
+        })
+        .collect();
+
+    let mut reports: Vec<StreamReport> = (0..streams.len())
+        .map(|i| StreamReport {
+            stream_id: i as StreamId,
+            error: None,
+            health: IngestHealth::default(),
+            faulted_records: injected[i].as_ref().map_or(0, |r| r.records_faulted),
+        })
+        .collect();
+
     // One fused ingestion front-end per stream: key frames are decoded
     // and fingerprinted lazily, straight from the bitstream bytes, as
     // each round-robin round pulls them — no per-stream fingerprint
-    // buffering, no per-keyframe allocation.
-    let mut ingests = Vec::with_capacity(streams.len());
+    // buffering, no per-keyframe allocation. A stream that fails to open
+    // leaves a `None` slot and an error in its report.
+    let mut ingests: Vec<Option<FingerprintStream<'_>>> = Vec::with_capacity(streams.len());
     for (i, bytes) in streams.iter().enumerate() {
-        fleet.add_stream(i as StreamId)?;
-        ingests.push(FingerprintStream::new(bytes, extractor.clone())?);
+        let effective: &[u8] = injected[i].as_ref().map_or(bytes, |r| &r.bytes);
+        match FingerprintStream::new_with_recovery(effective, extractor.clone(), opts.recover) {
+            Ok(ingest) => {
+                fleet.add_stream(i as StreamId)?;
+                ingests.push(Some(ingest));
+            }
+            Err(e) => {
+                reports[i].error = Some(format!("cannot open stream: {e}"));
+                ingests.push(None);
+            }
+        }
+    }
+    if ingests.iter().all(Option::is_none) {
+        return Err(CliError::new(format!(
+            "none of the {} stream(s) could be opened (first error: {})",
+            streams.len(),
+            reports[0].error.as_deref().unwrap_or("unknown")
+        )));
     }
 
     let mut hits = Vec::new();
@@ -266,12 +387,23 @@ pub fn monitor_streams(
     // Interleave the key frames round-robin (one per stream per batch),
     // emulating live concurrent broadcasts; streams that end early simply
     // drop out of later batches, exactly as in the buffered formulation.
+    // A stream that errors mid-pull is reported and dropped from the
+    // rotation; the others are unaffected.
     let mut batch = Vec::with_capacity(streams.len());
     loop {
         batch.clear();
-        for (i, ingest) in ingests.iter_mut().enumerate() {
-            if let Some((frame_index, cell)) = ingest.next_fingerprint()? {
-                batch.push((i as StreamId, frame_index, cell));
+        for (i, slot) in ingests.iter_mut().enumerate() {
+            let Some(ingest) = slot else { continue };
+            match ingest.next_fingerprint() {
+                Ok(Some((frame_index, cell))) => {
+                    batch.push((i as StreamId, frame_index, cell));
+                }
+                Ok(None) => {}
+                Err(e) => {
+                    reports[i].error = Some(format!("stream failed mid-monitoring: {e}"));
+                    reports[i].health = ingest.health();
+                    *slot = None;
+                }
             }
         }
         if batch.is_empty() {
@@ -280,6 +412,11 @@ pub fn monitor_streams(
         push(fleet.push_batch(&batch)?, &mut hits);
     }
     push(fleet.finish_all()?, &mut hits);
+    for (i, slot) in ingests.iter().enumerate() {
+        if let Some(ingest) = slot {
+            reports[i].health = ingest.health();
+        }
+    }
     hits.sort_by(|a, b| {
         (a.stream_id, a.end_frame, a.query_id, a.start_frame).cmp(&(
             b.stream_id,
@@ -288,7 +425,7 @@ pub fn monitor_streams(
             b.start_frame,
         ))
     });
-    Ok(hits)
+    Ok(MonitorOutcome { hits, reports })
 }
 
 /// Result of `vdsms lint`: the rendered report and whether the gate
@@ -435,6 +572,83 @@ mod tests {
             .unwrap();
             assert_eq!(sharded, serial, "shards={shards}");
         }
+    }
+
+    #[test]
+    fn monitor_skips_failed_streams_and_keeps_monitoring_the_rest() {
+        let fc = FeatureConfig::default();
+        let det = detector();
+        let q = generate(&opts(300, 10.0)).unwrap();
+        let catalogue = sketch(&[(1, q)], &det, &fc).unwrap();
+
+        let spec = SourceSpec {
+            width: 176,
+            height: 120,
+            fps: Fps::integer(10),
+            seed: 0,
+            min_scene_s: 2.0,
+            max_scene_s: 6.0,
+            motifs: None,
+        };
+        let mut clip = ClipGenerator::new(SourceSpec { seed: 910, ..spec.clone() }).clip(15.0);
+        clip.append(ClipGenerator::new(SourceSpec { seed: 300, ..spec }).clip(10.0));
+        let good =
+            Encoder::encode_clip(&clip, EncoderConfig { gop: 5, quality: 80, motion_search: true });
+        let truncated = &good[..good.len() - good.len() / 4];
+
+        // Stream 0 opens fine but dies mid-monitoring (strict mode),
+        // stream 1 is unopenable, stream 2 carries the planted query.
+        let streams: [&[u8]; 3] = [truncated, b"not a stream", &good];
+        let out = monitor_streams_opts(&streams, &catalogue, &det, &fc, &MonitorOpts::default())
+            .unwrap();
+        assert_eq!(out.failed(), 2, "{:?}", out.reports);
+        assert!(out.reports[0].error.as_deref().unwrap().contains("mid-monitoring"));
+        assert!(out.reports[1].error.as_deref().unwrap().contains("cannot open"));
+        assert!(out.reports[2].ok());
+        assert!(
+            out.hits.iter().any(|h| h.stream_id == 2 && h.query_id == 1),
+            "surviving stream must still detect: {:?}",
+            out.hits
+        );
+
+        // In recovery mode the truncated stream no longer fails — it is
+        // merely degraded — and it still detects the query it carries
+        // (the damage is past the planted segment's windows or not).
+        let recovered = monitor_streams_opts(
+            &streams,
+            &catalogue,
+            &det,
+            &fc,
+            &MonitorOpts { recover: true, faults: None },
+        )
+        .unwrap();
+        assert_eq!(recovered.failed(), 1, "{:?}", recovered.reports);
+        assert!(recovered.reports[0].ok());
+        assert!(!recovered.reports[0].health.is_clean());
+    }
+
+    #[test]
+    fn monitor_fault_injection_is_deterministic_and_recoverable() {
+        let fc = FeatureConfig::default();
+        let det = detector();
+        let q = generate(&opts(300, 10.0)).unwrap();
+        let catalogue = sketch(&[(1, q)], &det, &fc).unwrap();
+        let stream = generate(&opts(920, 20.0)).unwrap();
+        let streams: [&[u8]; 1] = [&stream];
+
+        let o = MonitorOpts {
+            recover: true,
+            faults: Some(vdsms_workload::FaultSpec {
+                seed: 9,
+                flip_rate: 0.2,
+                ..Default::default()
+            }),
+        };
+        let a = monitor_streams_opts(&streams, &catalogue, &det, &fc, &o).unwrap();
+        let b = monitor_streams_opts(&streams, &catalogue, &det, &fc, &o).unwrap();
+        assert_eq!(a, b, "same fault seed must give an identical run");
+        assert!(a.reports[0].faulted_records >= 1, "{:?}", a.reports);
+        assert!(a.reports[0].ok(), "recovery keeps a flipped stream monitorable");
     }
 
     #[test]

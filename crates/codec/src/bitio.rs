@@ -159,6 +159,19 @@ impl<'a> ByteReader<'a> {
         Ok(s)
     }
 
+    /// The entire underlying buffer, independent of the cursor. The
+    /// decoder's corruption-recovery scan needs to inspect raw bytes ahead
+    /// of the cursor without consuming them.
+    pub fn buffer(&self) -> &'a [u8] {
+        self.buf
+    }
+
+    /// Move the cursor to an absolute byte offset, clamped to the end of
+    /// the buffer (resync after a corrupt record).
+    pub fn seek(&mut self, pos: usize) {
+        self.pos = pos.min(self.buf.len());
+    }
+
     /// Advance the cursor by `n` bytes without reading (frame skipping).
     pub fn skip(&mut self, n: usize) -> Result<()> {
         if self.remaining() < n {

@@ -48,6 +48,60 @@ impl DcFrame {
     }
 }
 
+/// Degradation counters for one ingestion stream.
+///
+/// All zeros on a clean stream. Only the recovery-enabled decoder
+/// ([`PartialDecoder::new_with_recovery`]) ever increments these; the
+/// strict decoder surfaces the first corruption as an error instead.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IngestHealth {
+    /// Frame records lost to corruption (each damaged span is accounted
+    /// as at least one frame; the true count inside a span is unknowable
+    /// once record boundaries are gone).
+    pub frames_dropped: u64,
+    /// Bytes discarded while scanning for the next plausible record.
+    pub bytes_skipped: u64,
+    /// Successful resynchronizations onto a later record boundary.
+    pub resyncs: u64,
+}
+
+impl IngestHealth {
+    /// Fold another stream's (or stream segment's) counters into this one.
+    pub fn merge(&mut self, other: &IngestHealth) {
+        self.frames_dropped += other.frames_dropped;
+        self.bytes_skipped += other.bytes_skipped;
+        self.resyncs += other.resyncs;
+    }
+
+    /// Whether no corruption has been observed.
+    pub fn is_clean(&self) -> bool {
+        *self == IngestHealth::default()
+    }
+}
+
+/// Frame-record headers are `type(u8) quality(u8) payload_len(u32le)`.
+const RECORD_HEADER_LEN: usize = 6;
+
+/// If a plausible frame-record header starts at `p`, return the offset
+/// one past the record's payload. "Plausible" = the exact invariants
+/// [`FrameRecord::read`] enforces (kind byte 0/1, quality 1..=100) plus
+/// an in-bounds payload length — the same format, no extra markers, so
+/// recovery needs no bitstream change.
+fn plausible_record_end(buf: &[u8], p: usize) -> Option<usize> {
+    let kind = *buf.get(p)?;
+    if kind > 1 {
+        return None;
+    }
+    let quality = *buf.get(p.checked_add(1)?)?;
+    if quality == 0 || quality > 100 {
+        return None;
+    }
+    let len_bytes = buf.get(p.checked_add(2)?..p.checked_add(RECORD_HEADER_LEN)?)?;
+    let payload_len = u32::from_le_bytes([len_bytes[0], len_bytes[1], len_bytes[2], len_bytes[3]]);
+    let end = p.checked_add(RECORD_HEADER_LEN)?.checked_add(payload_len as usize)?;
+    (end <= buf.len()).then_some(end)
+}
+
 /// Count the frame records remaining in `reader`'s stream by walking the
 /// fixed-width length prefixes only (no entropy decoding); returns
 /// `(frames, key_frames)`. Stops at the first malformed record — the
@@ -164,15 +218,49 @@ pub struct PartialDecoder<'a> {
     reader: ByteReader<'a>,
     frame_index: u64,
     quants: QuantizerCache,
+    /// Corruption-recovery mode: instead of surfacing mid-record
+    /// `CorruptEntropy`/`UnexpectedEof`, resync onto the next plausible
+    /// record header and account the damage in [`Self::health`].
+    recover: bool,
+    health: IngestHealth,
 }
 
 impl<'a> PartialDecoder<'a> {
     /// Open a bitstream, parsing its header.
     pub fn new(bytes: &'a [u8]) -> Result<PartialDecoder<'a>> {
+        PartialDecoder::new_with_recovery(bytes, false)
+    }
+
+    /// Open a bitstream in strict or corruption-recovery mode.
+    ///
+    /// In recovery mode a mid-record error skips the damaged span (see
+    /// [`IngestHealth`]) instead of killing the stream. A corrupt *stream
+    /// header* is still an error in either mode: without the geometry
+    /// there is nothing to decode into.
+    pub fn new_with_recovery(bytes: &'a [u8], recover: bool) -> Result<PartialDecoder<'a>> {
         let mut reader = ByteReader::new(bytes);
         let header = StreamHeader::read(&mut reader)?;
         let grid = BlockGrid::for_dims(header.width, header.height);
-        Ok(PartialDecoder { header, grid, reader, frame_index: 0, quants: QuantizerCache::new() })
+        Ok(PartialDecoder {
+            header,
+            grid,
+            reader,
+            frame_index: 0,
+            quants: QuantizerCache::new(),
+            recover,
+            health: IngestHealth::default(),
+        })
+    }
+
+    /// Whether corruption recovery is enabled.
+    pub fn recovery_enabled(&self) -> bool {
+        self.recover
+    }
+
+    /// Degradation counters accumulated so far (all zero in strict mode
+    /// and on clean streams).
+    pub fn health(&self) -> IngestHealth {
+        self.health
     }
 
     /// Stream header.
@@ -198,47 +286,134 @@ impl<'a> PartialDecoder<'a> {
     /// non-zero value contains a `0x00` byte (see `vdsms_codec::zigzag`).
     // vdsms-lint: entry
     pub fn next_dc_frame_into(&mut self, out: &mut DcFrame) -> Result<bool> {
+        // Termination: every iteration either returns or strictly advances
+        // the cursor (a resync lands past the damaged record's start), so
+        // the loop runs at most `buffer len + 1` times even on adversarial
+        // input — the fuzz suite's byte-count bound.
         loop {
             if self.reader.is_at_end() {
                 return Ok(false);
             }
-            let rec = FrameRecord::read(&mut self.reader)?;
-            let index = self.frame_index;
-            self.frame_index += 1;
+            let record_start = self.reader.position();
+            let rec = match FrameRecord::read(&mut self.reader) {
+                Ok(rec) => rec,
+                Err(e) => {
+                    if self.recover {
+                        self.resync(record_start);
+                        continue;
+                    }
+                    return Err(e);
+                }
+            };
             match rec.frame_type {
                 FrameType::Predicted => {
-                    self.reader.skip(rec.payload_len as usize)?;
+                    if self.reader.skip(rec.payload_len as usize).is_err() {
+                        if self.recover {
+                            self.resync(record_start);
+                            continue;
+                        }
+                        return Err(CodecError::UnexpectedEof);
+                    }
+                    self.frame_index += 1;
                 }
                 FrameType::Intra => {
-                    let step = self.quants.for_quality(rec.quality).dc_step();
-                    let n = self.grid.num_blocks();
-                    out.frame_index = index;
-                    out.blocks_w = self.grid.blocks_w;
-                    out.blocks_h = self.grid.blocks_h;
-                    if out.dc.len() != n {
-                        // vdsms-lint: allow(no-alloc-hot-path) reason="capacity-stable: sizes the pooled buffer once per stream geometry, never on the per-keyframe steady state"
-                        out.dc.resize(n, 0.0);
-                    }
                     // Slice the payload out so the per-block loop cannot
                     // read past the frame boundary even on corrupt input.
-                    let payload = self.reader.get_bytes(rec.payload_len as usize)?;
-                    let mut pr = ByteReader::new(payload);
-                    let mut prev_dc = 0i32;
-                    for slot in out.dc.iter_mut() {
-                        let delta = pr.get_signed()?;
-                        let dc = i64::from(prev_dc)
-                            .checked_add(delta)
-                            .ok_or(CodecError::CorruptEntropy("dc out of range"))?;
-                        let dc = i32::try_from(dc)
-                            .map_err(|_| CodecError::CorruptEntropy("dc out of range"))?;
-                        prev_dc = dc;
-                        *slot = dc as f32 * step;
-                        pr.skip_past_zero_byte()?;
+                    let payload = match self.reader.get_bytes(rec.payload_len as usize) {
+                        Ok(p) => p,
+                        Err(e) => {
+                            if self.recover {
+                                self.resync(record_start);
+                                continue;
+                            }
+                            return Err(e);
+                        }
+                    };
+                    let index = self.frame_index;
+                    self.frame_index += 1;
+                    match self.decode_intra_payload(payload, rec.quality, index, out) {
+                        Ok(()) => return Ok(true),
+                        Err(e) => {
+                            if self.recover {
+                                // The length prefix was intact (the payload
+                                // sliced cleanly), so the cursor already
+                                // sits on the next record boundary: drop
+                                // the frame, no rescan needed.
+                                self.health.frames_dropped += 1;
+                                continue;
+                            }
+                            return Err(e);
+                        }
                     }
-                    return Ok(true);
                 }
             }
         }
+    }
+
+    /// Decode one I-frame payload into `out`. On error `out` may hold a
+    /// partial mix of this frame and the previous one; recovery callers
+    /// discard it.
+    fn decode_intra_payload(
+        &mut self,
+        payload: &[u8],
+        quality: u8,
+        index: u64,
+        out: &mut DcFrame,
+    ) -> Result<()> {
+        let step = self.quants.for_quality(quality).dc_step();
+        let n = self.grid.num_blocks();
+        out.frame_index = index;
+        out.blocks_w = self.grid.blocks_w;
+        out.blocks_h = self.grid.blocks_h;
+        if out.dc.len() != n {
+            // vdsms-lint: allow(no-alloc-hot-path) reason="capacity-stable: sizes the pooled buffer once per stream geometry, never on the per-keyframe steady state"
+            out.dc.resize(n, 0.0);
+        }
+        let mut pr = ByteReader::new(payload);
+        let mut prev_dc = 0i32;
+        for slot in out.dc.iter_mut() {
+            let delta = pr.get_signed()?;
+            let dc = i64::from(prev_dc)
+                .checked_add(delta)
+                .ok_or(CodecError::CorruptEntropy("dc out of range"))?;
+            let dc = i32::try_from(dc)
+                .map_err(|_| CodecError::CorruptEntropy("dc out of range"))?;
+            prev_dc = dc;
+            *slot = dc as f32 * step;
+            pr.skip_past_zero_byte()?;
+        }
+        Ok(())
+    }
+
+    /// Scan forward from a damaged record for the next plausible record
+    /// header. A candidate only counts if the record *after* it is also
+    /// plausible or it ends the stream exactly (double-header validation
+    /// — a lone 6-byte pattern inside entropy bytes is common; two
+    /// chained ones are not). Accounts the damage in [`Self::health`] and
+    /// leaves the cursor on the resync point, or at end-of-stream when no
+    /// boundary survives (truncated tail). Allocation-free and panic-free:
+    /// this runs on the hot ingestion path.
+    fn resync(&mut self, damage_start: usize) {
+        let buf = self.reader.buffer();
+        // Each damaged span loses at least one record; records carry no
+        // frame index, so the synthesized counter is advanced by exactly
+        // one and stays monotone.
+        self.health.frames_dropped += 1;
+        self.frame_index += 1;
+        let mut p = damage_start.saturating_add(1);
+        while p < buf.len() {
+            if let Some(end) = plausible_record_end(buf, p) {
+                if end == buf.len() || plausible_record_end(buf, end).is_some() {
+                    self.health.resyncs += 1;
+                    self.health.bytes_skipped += (p - damage_start) as u64;
+                    self.reader.seek(p);
+                    return;
+                }
+            }
+            p += 1;
+        }
+        self.health.bytes_skipped += (buf.len() - damage_start) as u64;
+        self.reader.seek(buf.len());
     }
 
     /// Decode the next key frame's DC coefficients, or `Ok(None)` at end of
@@ -409,5 +584,104 @@ mod tests {
     fn garbage_input_is_rejected() {
         assert!(Decoder::new(b"not a stream").is_err());
         assert!(PartialDecoder::new(&[]).is_err());
+    }
+
+    /// Decode every key frame with recovery enabled, returning the frames
+    /// and the final health counters.
+    fn recover_all(bytes: &[u8]) -> (Vec<DcFrame>, IngestHealth) {
+        let mut dec = PartialDecoder::new_with_recovery(bytes, true).unwrap();
+        let mut frame = DcFrame::empty();
+        let mut out = Vec::new();
+        while dec.next_dc_frame_into(&mut frame).unwrap() {
+            out.push(frame.clone());
+        }
+        (out, dec.health())
+    }
+
+    #[test]
+    fn recovery_on_clean_stream_is_bit_identical_to_strict() {
+        let clip = test_clip(8, 3.0);
+        let bytes = Encoder::encode_clip(&clip, EncoderConfig { gop: 5, quality: 80, motion_search: true });
+        let strict = PartialDecoder::new(&bytes).unwrap().decode_all().unwrap();
+        let (recovered, health) = recover_all(&bytes);
+        assert_eq!(recovered, strict);
+        assert!(health.is_clean(), "{health:?}");
+    }
+
+    #[test]
+    fn recovery_resyncs_past_a_corrupted_record() {
+        let clip = test_clip(9, 4.0); // 40 frames, gop 5 → 8 key frames
+        let mut bytes =
+            Encoder::encode_clip(&clip, EncoderConfig { gop: 5, quality: 80, motion_search: true });
+        let strict = PartialDecoder::new(&bytes).unwrap().decode_all().unwrap();
+        assert_eq!(strict.len(), 8);
+
+        // Find the third record (second key frame region) and wreck its
+        // header so strict decode dies there.
+        let mut r = ByteReader::new(&bytes);
+        StreamHeader::read(&mut r).unwrap();
+        let rec = FrameRecord::read(&mut r).unwrap(); // frame 0 (I)
+        r.skip(rec.payload_len as usize).unwrap();
+        let second = r.position();
+        bytes[second] = 0xee; // invalid frame type byte
+
+        let mut strict_dec = PartialDecoder::new(&bytes).unwrap();
+        let mut f = DcFrame::empty();
+        assert!(strict_dec.next_dc_frame_into(&mut f).unwrap());
+        let err = loop {
+            match strict_dec.next_dc_frame_into(&mut f) {
+                Ok(true) => continue,
+                Ok(false) => panic!("strict decode must error on the wrecked record"),
+                Err(e) => break e,
+            }
+        };
+        assert!(matches!(err, CodecError::InvalidField(_) | CodecError::CorruptEntropy(_)));
+
+        let (recovered, health) = recover_all(&bytes);
+        // The first key frame decodes before the damage; later key frames
+        // are recovered after resync.
+        assert_eq!(recovered[0], strict[0]);
+        assert!(recovered.len() >= strict.len() - 2, "{} of 8 recovered", recovered.len());
+        assert!(health.resyncs >= 1, "{health:?}");
+        assert!(health.frames_dropped >= 1, "{health:?}");
+        assert!(health.bytes_skipped >= 1, "{health:?}");
+        // Key frames from intact records are bit-identical to the clean
+        // decode of the same records.
+        for rf in &recovered {
+            if let Some(sf) = strict.iter().find(|s| s.frame_index == rf.frame_index) {
+                if rf.frame_index > 10 {
+                    assert_eq!(rf, sf, "frame {}", rf.frame_index);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn recovery_survives_truncation() {
+        let clip = test_clip(10, 2.0);
+        let bytes = Encoder::encode_clip(&clip, EncoderConfig { gop: 5, quality: 80, motion_search: true });
+        let cut = &bytes[..bytes.len() - bytes.len() / 3];
+        let (recovered, health) = recover_all(cut);
+        assert!(!recovered.is_empty());
+        assert!(health.frames_dropped >= 1, "{health:?}");
+    }
+
+    #[test]
+    fn recovery_never_diverges_on_arbitrary_suffixes() {
+        // Whatever junk follows a valid header must terminate cleanly.
+        let clip = test_clip(11, 1.0);
+        let bytes = Encoder::encode_clip(&clip, EncoderConfig::default());
+        for cut in [8, 9, 10, 15] {
+            let mut junk = bytes[..cut.min(bytes.len())].to_vec();
+            junk.extend(std::iter::repeat_n(0xa5u8, 64));
+            if let Ok(mut dec) = PartialDecoder::new_with_recovery(&junk, true) {
+                let mut f = DcFrame::empty();
+                let mut iters = 0usize;
+                while dec.next_dc_frame_into(&mut f).unwrap() {
+                    iters += 1;
+                    assert!(iters <= junk.len(), "unbounded recovery loop");
+                }
+            }
+        }
     }
 }

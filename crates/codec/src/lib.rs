@@ -35,7 +35,7 @@ pub mod quant;
 pub mod zigzag;
 
 pub use bitstream::{FrameType, StreamHeader};
-pub use decoder::{DcFrame, Decoder, PartialDecoder};
+pub use decoder::{DcFrame, Decoder, IngestHealth, PartialDecoder};
 pub use encoder::{Encoder, EncoderConfig};
 pub use quant::{Quantizer, QuantizerCache};
 

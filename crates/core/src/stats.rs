@@ -47,6 +47,20 @@ pub struct Stats {
     /// Sum over windows of the candidate count (for average candidate-list
     /// length).
     pub live_candidate_sum: u64,
+    /// Degradation: frames lost to bitstream corruption (decoder-level
+    /// recovery; see `vdsms_codec`'s `IngestHealth`).
+    pub frames_dropped: u64,
+    /// Degradation: bytes discarded while resynchronizing onto a record
+    /// boundary after corruption.
+    pub bytes_skipped: u64,
+    /// Degradation: successful decoder resynchronizations.
+    pub resyncs: u64,
+    /// Degradation: shard workers restarted after a panic (parallel fleet
+    /// supervision).
+    pub shard_restarts: u64,
+    /// Degradation: upper bound on key frames whose detector-state effect
+    /// was lost to a shard restart (in-flight at the time of the crash).
+    pub frames_lost: u64,
 }
 
 impl Stats {
@@ -70,6 +84,22 @@ impl Stats {
         self.live_signature_sum += other.live_signature_sum;
         self.live_signature_peak = self.live_signature_peak.max(other.live_signature_peak);
         self.live_candidate_sum += other.live_candidate_sum;
+        self.frames_dropped += other.frames_dropped;
+        self.bytes_skipped += other.bytes_skipped;
+        self.resyncs += other.resyncs;
+        self.shard_restarts += other.shard_restarts;
+        self.frames_lost += other.frames_lost;
+    }
+
+    /// Whether any degradation counter is non-zero — i.e. the numbers in
+    /// this report were produced under corruption recovery or after a
+    /// shard restart and may undercount the true stream.
+    pub fn is_degraded(&self) -> bool {
+        self.frames_dropped != 0
+            || self.bytes_skipped != 0
+            || self.resyncs != 0
+            || self.shard_restarts != 0
+            || self.frames_lost != 0
     }
 
     /// Average number of live signatures per window (Fig. 10's metric).

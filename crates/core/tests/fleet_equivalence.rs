@@ -128,15 +128,28 @@ proptest! {
     fn stats_merge_is_partition_invariant(
         parts in proptest::collection::vec(
             (0u64..1000, 0u64..1000, 0u64..1000, 0u64..1000, 0u64..1000), 1..12),
+        degradation in proptest::collection::vec(
+            (0u64..1000, 0u64..1000, 0u64..1000, 0u64..1000, 0u64..1000), 12),
         assignment in proptest::collection::vec(0usize..4, 12),
     ) {
-        let stats: Vec<Stats> = parts.iter().map(|&(w, cmp, enc, peak, det)| Stats {
-            windows: w,
-            sig_compares: cmp,
-            sig_encodes: enc,
-            live_signature_peak: peak,
-            detections: det,
-            ..Default::default()
+        let stats: Vec<Stats> = parts.iter().enumerate().map(|(i, &(w, cmp, enc, peak, det))| {
+            // The degradation counters (corruption recovery + shard
+            // supervision) must aggregate exactly like the cost counters:
+            // sums, not maxes, independent of the shard partition.
+            let (dropped, skipped, resyncs, restarts, lost) = degradation[i % degradation.len()];
+            Stats {
+                windows: w,
+                sig_compares: cmp,
+                sig_encodes: enc,
+                live_signature_peak: peak,
+                detections: det,
+                frames_dropped: dropped,
+                bytes_skipped: skipped,
+                resyncs,
+                shard_restarts: restarts,
+                frames_lost: lost,
+                ..Default::default()
+            }
         }).collect();
 
         // Serial concatenation: merge everything left to right.
@@ -156,6 +169,16 @@ proptest! {
             sharded.merge(s);
         }
         prop_assert_eq!(sharded, serial);
+
+        // Degradation counters aggregate as plain sums (a lost frame on
+        // one shard is a lost frame of the fleet), and a merged report is
+        // degraded exactly when some part was.
+        prop_assert_eq!(serial.frames_dropped, stats.iter().map(|s| s.frames_dropped).sum::<u64>());
+        prop_assert_eq!(serial.bytes_skipped, stats.iter().map(|s| s.bytes_skipped).sum::<u64>());
+        prop_assert_eq!(serial.resyncs, stats.iter().map(|s| s.resyncs).sum::<u64>());
+        prop_assert_eq!(serial.shard_restarts, stats.iter().map(|s| s.shard_restarts).sum::<u64>());
+        prop_assert_eq!(serial.frames_lost, stats.iter().map(|s| s.frames_lost).sum::<u64>());
+        prop_assert_eq!(serial.is_degraded(), stats.iter().any(|s| s.is_degraded()));
     }
 
     /// Window bookkeeping under out-of-order `finish()` calls: finishing

@@ -17,7 +17,7 @@
 
 use crate::extract::{FeatureExtractor, FingerprintScratch};
 use crate::CellId;
-use vdsms_codec::{DcFrame, PartialDecoder, Result, StreamHeader};
+use vdsms_codec::{DcFrame, IngestHealth, PartialDecoder, Result, StreamHeader};
 
 /// Streaming adapter yielding `(frame_index, cell_id)` directly from
 /// bitstream bytes. Holds all pooled state (DC frame, region plan,
@@ -28,18 +28,46 @@ pub struct FingerprintStream<'a> {
     extractor: FeatureExtractor,
     frame: DcFrame,
     scratch: FingerprintScratch,
+    /// Whether the underlying decoder runs in corruption-recovery mode;
+    /// preserved across [`Self::reopen`].
+    recover: bool,
+    /// Health carried over from segments consumed before a `reopen` —
+    /// degradation accounting survives segment chaining.
+    carried_health: IngestHealth,
 }
 
 impl<'a> FingerprintStream<'a> {
     /// Open a bitstream for fused ingestion, parsing its header.
     pub fn new(bytes: &'a [u8], extractor: FeatureExtractor) -> Result<FingerprintStream<'a>> {
+        FingerprintStream::new_with_recovery(bytes, extractor, false)
+    }
+
+    /// Open a bitstream in strict or corruption-recovery mode (see
+    /// [`PartialDecoder::new_with_recovery`]). In recovery mode,
+    /// mid-record corruption is skipped and accounted in
+    /// [`Self::health`] instead of ending the stream with an error.
+    pub fn new_with_recovery(
+        bytes: &'a [u8],
+        extractor: FeatureExtractor,
+        recover: bool,
+    ) -> Result<FingerprintStream<'a>> {
         let scratch = extractor.scratch();
         Ok(FingerprintStream {
-            decoder: PartialDecoder::new(bytes)?,
+            decoder: PartialDecoder::new_with_recovery(bytes, recover)?,
             extractor,
             frame: DcFrame::empty(),
             scratch,
+            recover,
+            carried_health: IngestHealth::default(),
         })
+    }
+
+    /// Degradation counters accumulated over every segment this stream
+    /// has ingested (all zero in strict mode and on clean streams).
+    pub fn health(&self) -> IngestHealth {
+        let mut h = self.carried_health;
+        h.merge(&self.decoder.health());
+        h
     }
 
     /// The stream's header.
@@ -61,7 +89,8 @@ impl<'a> FingerprintStream<'a> {
     /// keeping every pooled buffer — the allocation-free way to chain
     /// segments or re-ingest a stream.
     pub fn reopen(&mut self, bytes: &'a [u8]) -> Result<()> {
-        self.decoder = PartialDecoder::new(bytes)?;
+        self.carried_health.merge(&self.decoder.health());
+        self.decoder = PartialDecoder::new_with_recovery(bytes, self.recover)?;
         Ok(())
     }
 
@@ -157,5 +186,30 @@ mod tests {
             }
         };
         assert!(result.is_err(), "truncation must surface as an error, got {result:?}");
+    }
+
+    #[test]
+    fn recovery_mode_survives_truncation_and_reports_health() {
+        let clip = test_clip(24, 3.0);
+        let bytes = Encoder::encode_clip(&clip, EncoderConfig::default());
+        let cut = &bytes[..bytes.len() - bytes.len() / 3];
+        let ex = FeatureExtractor::new(FeatureConfig::default());
+        let mut fs = FingerprintStream::new_with_recovery(cut, ex, true).unwrap();
+        let mut n = 0usize;
+        while fs.next_fingerprint().unwrap().is_some() {
+            n += 1;
+        }
+        assert!(n > 0, "intact prefix must still fingerprint");
+        assert!(fs.health().frames_dropped >= 1, "{:?}", fs.health());
+
+        // Health carries across `reopen`; the recovery flag does too, so
+        // re-ingesting the same truncated bytes doubles the counters
+        // instead of erroring.
+        let before = fs.health();
+        fs.reopen(cut).unwrap();
+        while fs.next_fingerprint().unwrap().is_some() {}
+        let after = fs.health();
+        assert_eq!(after.frames_dropped, 2 * before.frames_dropped);
+        assert_eq!(after.bytes_skipped, 2 * before.bytes_skipped);
     }
 }

@@ -1,0 +1,359 @@
+//! Seeded bitstream fault injection.
+//!
+//! Real broadcast monitoring sees damaged input as a matter of course —
+//! signal hiccups, splice glitches, truncated captures. [`inject_faults`]
+//! reproduces those failure modes deterministically: a [`FaultSpec`]
+//! (seed + per-record rates) mutates an encoded bitstream with bit
+//! flips, whole-record drops, mid-stream byte deletion/insertion and
+//! truncation, and the returned [`FaultReport`] says exactly which
+//! original records were damaged — so robustness tests can assert that
+//! detection survives *outside* the damaged spans, not merely that
+//! nothing panics.
+//!
+//! The stream header is never mutated: a stream whose geometry is gone
+//! is unopenable by design (the decoder needs the block grid), and the
+//! CLI's multi-stream monitor covers that failure class by skipping the
+//! stream and reporting it.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use vdsms_codec::bitio::ByteReader;
+use vdsms_codec::StreamHeader;
+
+/// Deterministic per-record fault model. All rates are probabilities in
+/// `[0, 1]` evaluated independently per frame record; the same spec on
+/// the same bytes always yields the same mutation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultSpec {
+    /// RNG seed; every mutation decision derives from it.
+    pub seed: u64,
+    /// Per-record probability of flipping one random bit.
+    pub flip_rate: f64,
+    /// Per-record probability of dropping the whole record.
+    pub drop_rate: f64,
+    /// Per-record probability of deleting one random interior byte.
+    pub delete_rate: f64,
+    /// Per-record probability of inserting one random byte.
+    pub insert_rate: f64,
+    /// Per-record probability of truncating the stream mid-record (the
+    /// first hit ends the stream).
+    pub truncate_rate: f64,
+}
+
+impl Default for FaultSpec {
+    fn default() -> FaultSpec {
+        FaultSpec {
+            seed: 0,
+            flip_rate: 0.0,
+            drop_rate: 0.0,
+            delete_rate: 0.0,
+            insert_rate: 0.0,
+            truncate_rate: 0.0,
+        }
+    }
+}
+
+impl FaultSpec {
+    /// Parse a `key=value` comma list, e.g.
+    /// `seed=7,flip=0.02,drop=0.01,delete=0.005,insert=0.005,truncate=0.001`.
+    /// Unmentioned rates stay 0; `seed` defaults to 0. Unknown keys,
+    /// malformed numbers and rates outside `[0, 1]` are errors.
+    pub fn parse(s: &str) -> Result<FaultSpec, String> {
+        let mut spec = FaultSpec::default();
+        for part in s.split(',').map(str::trim).filter(|p| !p.is_empty()) {
+            let (key, value) = part
+                .split_once('=')
+                .ok_or_else(|| format!("fault spec item `{part}` is not key=value"))?;
+            let rate = |v: &str| -> Result<f64, String> {
+                let r: f64 =
+                    v.parse().map_err(|_| format!("fault rate `{v}` is not a number"))?;
+                if !(0.0..=1.0).contains(&r) {
+                    return Err(format!("fault rate `{v}` is outside [0, 1]"));
+                }
+                Ok(r)
+            };
+            match key.trim() {
+                "seed" => {
+                    spec.seed = value
+                        .trim()
+                        .parse()
+                        .map_err(|_| format!("fault seed `{value}` is not an integer"))?;
+                }
+                "flip" => spec.flip_rate = rate(value.trim())?,
+                "drop" => spec.drop_rate = rate(value.trim())?,
+                "delete" => spec.delete_rate = rate(value.trim())?,
+                "insert" => spec.insert_rate = rate(value.trim())?,
+                "truncate" => spec.truncate_rate = rate(value.trim())?,
+                other => return Err(format!("unknown fault spec key `{other}`")),
+            }
+        }
+        Ok(spec)
+    }
+
+    /// The same fault model with a different seed — the CLI derives one
+    /// stream-specific seed per monitored file so multi-stream runs do
+    /// not damage every stream at identical positions.
+    pub fn with_seed(mut self, seed: u64) -> FaultSpec {
+        self.seed = seed;
+        self
+    }
+
+    /// Whether any fault can occur under this spec.
+    pub fn is_active(&self) -> bool {
+        self.flip_rate > 0.0
+            || self.drop_rate > 0.0
+            || self.delete_rate > 0.0
+            || self.insert_rate > 0.0
+            || self.truncate_rate > 0.0
+    }
+}
+
+/// What [`inject_faults`] did to a bitstream, in *original* record
+/// indices (for this codec one record is one frame, so these are frame
+/// indices of the pre-fault stream).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultReport {
+    /// The mutated bitstream.
+    pub bytes: Vec<u8>,
+    /// Frame records in the original stream.
+    pub records_seen: u64,
+    /// Records hit by at least one fault.
+    pub records_faulted: u64,
+    /// Records whose bytes were mutated in place (flip/delete/insert) —
+    /// the decoder's recovery may lose this record and must resync.
+    pub damaged_records: Vec<u64>,
+    /// Records removed entirely. Later frames keep their bytes but shift
+    /// one index earlier per preceding drop (the decoder cannot see a
+    /// clean removal), so position-sensitive assertions must allow that
+    /// drift.
+    pub dropped_records: Vec<u64>,
+    /// Record at which the stream was cut short, if any; every record
+    /// from here on is gone.
+    pub truncated_at_record: Option<u64>,
+}
+
+impl FaultReport {
+    /// Number of index positions by which frames after `record` have
+    /// shifted toward zero (dropped records before it).
+    pub fn shift_at(&self, record: u64) -> u64 {
+        self.dropped_records.iter().filter(|&&r| r < record).count() as u64
+    }
+
+    /// Whether the original frame range `[start, end)` is entirely
+    /// untouched: no mutated or dropped record inside it and not past a
+    /// truncation point.
+    pub fn range_is_clean(&self, start: u64, end: u64) -> bool {
+        let hit = |r: &u64| *r >= start && *r < end;
+        !self.damaged_records.iter().any(hit)
+            && !self.dropped_records.iter().any(hit)
+            && self.truncated_at_record.is_none_or(|t| end <= t)
+    }
+}
+
+/// Apply `spec` to an encoded bitstream. The header is copied verbatim;
+/// each frame record is then dropped, mutated or truncated according to
+/// seeded coin flips. Returns the mutated bytes plus the damage map.
+///
+/// # Panics
+/// Panics if `bytes` does not start with a parseable stream header —
+/// fault injection is a test/bench harness for streams the caller just
+/// encoded, not a parser for arbitrary input.
+pub fn inject_faults(bytes: &[u8], spec: &FaultSpec) -> FaultReport {
+    let mut r = ByteReader::new(bytes);
+    StreamHeader::read(&mut r).expect("inject_faults needs a valid stream header");
+    let header_len = r.position();
+
+    let mut rng = StdRng::seed_from_u64(spec.seed ^ 0xfa17_5eed);
+    let mut report = FaultReport::default();
+    report.bytes.extend_from_slice(&bytes[..header_len]);
+
+    let mut record = 0u64;
+    while !r.is_at_end() {
+        // Record framing: type(u8) quality(u8) payload_len(u32le).
+        let start = r.position();
+        let ok = r.skip(2).is_ok();
+        let payload_len = if ok { r.get_u32_le().unwrap_or(0) } else { 0 };
+        if !ok || r.skip(payload_len as usize).is_err() {
+            // The input itself is malformed past this point; pass the
+            // tail through untouched.
+            report.bytes.extend_from_slice(&bytes[start..]);
+            break;
+        }
+        let end = r.position();
+        report.records_seen += 1;
+
+        let mut faulted = false;
+        if spec.drop_rate > 0.0 && rng.gen_bool(spec.drop_rate) {
+            report.dropped_records.push(record);
+            report.records_faulted += 1;
+            record += 1;
+            continue;
+        }
+
+        let emitted_start = report.bytes.len();
+        report.bytes.extend_from_slice(&bytes[start..end]);
+        let span = emitted_start..report.bytes.len();
+
+        if spec.flip_rate > 0.0 && rng.gen_bool(spec.flip_rate) {
+            let at = rng.gen_range(span.clone());
+            let bit = rng.gen_range(0u32..8);
+            report.bytes[at] ^= 1 << bit;
+            faulted = true;
+        }
+        if spec.delete_rate > 0.0 && rng.gen_bool(spec.delete_rate) {
+            let at = rng.gen_range(emitted_start..report.bytes.len());
+            report.bytes.remove(at);
+            faulted = true;
+        }
+        if spec.insert_rate > 0.0 && rng.gen_bool(spec.insert_rate) {
+            let at = rng.gen_range(emitted_start..=report.bytes.len());
+            report.bytes.insert(at, rng.gen::<u8>());
+            faulted = true;
+        }
+        if spec.truncate_rate > 0.0 && rng.gen_bool(spec.truncate_rate) {
+            let keep = rng.gen_range(emitted_start..report.bytes.len());
+            report.bytes.truncate(keep);
+            report.truncated_at_record = Some(record);
+            report.records_faulted += 1;
+            if faulted {
+                report.damaged_records.push(record);
+            }
+            return report;
+        }
+        if faulted {
+            report.damaged_records.push(record);
+            report.records_faulted += 1;
+        }
+        record += 1;
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vdsms_codec::{Encoder, EncoderConfig};
+    use vdsms_video::source::{ClipGenerator, SourceSpec};
+    use vdsms_video::Fps;
+
+    fn encoded(seed: u64, seconds: f64) -> Vec<u8> {
+        let clip = ClipGenerator::new(SourceSpec {
+            width: 48,
+            height: 32,
+            fps: Fps::integer(10),
+            seed,
+            min_scene_s: 1.0,
+            max_scene_s: 2.0,
+            motifs: None,
+        })
+        .clip(seconds);
+        Encoder::encode_clip(&clip, EncoderConfig { gop: 5, quality: 80, motion_search: true })
+    }
+
+    #[test]
+    fn parse_round_trips_every_key() {
+        let spec =
+            FaultSpec::parse("seed=7, flip=0.5, drop=0.25, delete=0.125, insert=1, truncate=0")
+                .unwrap();
+        assert_eq!(spec.seed, 7);
+        assert_eq!(spec.flip_rate, 0.5);
+        assert_eq!(spec.drop_rate, 0.25);
+        assert_eq!(spec.delete_rate, 0.125);
+        assert_eq!(spec.insert_rate, 1.0);
+        assert_eq!(spec.truncate_rate, 0.0);
+        assert!(spec.is_active());
+        assert!(!FaultSpec::parse("seed=9").unwrap().is_active());
+    }
+
+    #[test]
+    fn parse_rejects_malformed_specs() {
+        assert!(FaultSpec::parse("flip").is_err());
+        assert!(FaultSpec::parse("flip=two").is_err());
+        assert!(FaultSpec::parse("flip=1.5").is_err());
+        assert!(FaultSpec::parse("warp=0.1").is_err());
+        assert!(FaultSpec::parse("seed=-3").is_err());
+    }
+
+    #[test]
+    fn zero_rates_are_the_identity() {
+        let bytes = encoded(1, 2.0);
+        let report = inject_faults(&bytes, &FaultSpec::default());
+        assert_eq!(report.bytes, bytes);
+        assert_eq!(report.records_faulted, 0);
+        assert_eq!(report.records_seen, 20);
+        assert!(report.range_is_clean(0, report.records_seen));
+    }
+
+    #[test]
+    fn injection_is_deterministic_per_seed() {
+        let bytes = encoded(2, 3.0);
+        let spec = FaultSpec { seed: 42, flip_rate: 0.2, drop_rate: 0.1, ..Default::default() };
+        let a = inject_faults(&bytes, &spec);
+        let b = inject_faults(&bytes, &spec);
+        assert_eq!(a, b);
+        let c = inject_faults(&bytes, &spec.with_seed(43));
+        assert_ne!(a.bytes, c.bytes, "different seeds must damage differently");
+    }
+
+    #[test]
+    fn damage_map_matches_the_mutation() {
+        let bytes = encoded(3, 4.0);
+        let spec = FaultSpec {
+            seed: 5,
+            flip_rate: 0.3,
+            drop_rate: 0.1,
+            delete_rate: 0.1,
+            insert_rate: 0.1,
+            ..Default::default()
+        };
+        let report = inject_faults(&bytes, &spec);
+        assert_eq!(report.records_seen, 40);
+        assert!(report.records_faulted >= 1, "{report:?}");
+        assert_ne!(report.bytes, bytes);
+        // Every reported index is a real record index; drops and damage
+        // are disjoint (a dropped record has no bytes left to mutate).
+        for &d in &report.damaged_records {
+            assert!(d < 40);
+            assert!(!report.dropped_records.contains(&d));
+        }
+        // The header survives verbatim.
+        let mut r = ByteReader::new(&bytes);
+        StreamHeader::read(&mut r).unwrap();
+        let hl = r.position();
+        assert_eq!(report.bytes[..hl], bytes[..hl]);
+        // Clean ranges really are clean.
+        let all: Vec<u64> = report
+            .damaged_records
+            .iter()
+            .chain(&report.dropped_records)
+            .copied()
+            .collect();
+        for r in 0..40u64 {
+            assert_eq!(report.range_is_clean(r, r + 1), !all.contains(&r), "record {r}");
+        }
+    }
+
+    #[test]
+    fn truncation_shortens_the_stream_and_ends_the_report() {
+        let bytes = encoded(4, 4.0);
+        let spec = FaultSpec { seed: 11, truncate_rate: 0.2, ..Default::default() };
+        let report = inject_faults(&bytes, &spec);
+        let cut = report.truncated_at_record.expect("0.2 over 40 records must truncate");
+        assert!(report.bytes.len() < bytes.len());
+        assert!(cut < 40);
+        assert!(!report.range_is_clean(cut, cut + 1));
+        assert!(report.range_is_clean(0, cut));
+    }
+
+    #[test]
+    fn shift_at_counts_prior_drops() {
+        let report = FaultReport {
+            dropped_records: vec![3, 10, 20],
+            ..Default::default()
+        };
+        assert_eq!(report.shift_at(0), 0);
+        assert_eq!(report.shift_at(4), 1);
+        assert_eq!(report.shift_at(11), 2);
+        assert_eq!(report.shift_at(25), 3);
+    }
+}

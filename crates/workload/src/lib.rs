@@ -25,12 +25,14 @@
 #![forbid(unsafe_code)]
 
 pub mod clips;
+pub mod faults;
 pub mod metrics;
 pub mod spec;
 pub mod streams;
 pub mod truth;
 
 pub use clips::ClipLibrary;
+pub use faults::{inject_faults, FaultReport, FaultSpec};
 pub use metrics::{score, PrecisionRecall};
 pub use spec::WorkloadSpec;
 pub use streams::{compose_stream, fingerprint_stream, ComposedStream, FingerprintedStream, StreamKind};

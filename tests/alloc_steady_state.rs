@@ -16,7 +16,8 @@ use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Mutex;
 
-use vdsms::codec::{Encoder, EncoderConfig};
+use vdsms::codec::bitio::ByteReader;
+use vdsms::codec::{Encoder, EncoderConfig, StreamHeader};
 use vdsms::core::{Detector, DetectorConfig, Order, Query, QuerySet, Representation};
 use vdsms::features::{FeatureConfig, FeatureExtractor, FingerprintStream};
 use vdsms::video::source::{ClipGenerator, SourceSpec};
@@ -200,6 +201,95 @@ fn fused_ingestion_steady_state_is_allocation_free() {
     assert_eq!(
         allocs, 0,
         "fused bytes→detection pass: {allocs} heap allocation(s) \
+         over {keyframes} steady-state keyframes (expected 0)"
+    );
+}
+
+/// Corruption recovery is part of the hot path's perf contract too: a
+/// stream whose records are damaged mid-broadcast must resynchronize —
+/// error construction, header rescan, seek and health accounting — with
+/// **zero** heap traffic in the steady state.
+#[test]
+fn recovery_mode_steady_state_is_allocation_free() {
+    let _gate = GATE.lock().unwrap();
+    let clip = ClipGenerator::new(SourceSpec {
+        width: 176,
+        height: 120,
+        fps: Fps::integer(10),
+        seed: 4343,
+        min_scene_s: 1.0,
+        max_scene_s: 3.0,
+        motifs: None,
+    })
+    .clip(20.0);
+    let mut bytes =
+        Encoder::encode_clip(&clip, EncoderConfig { gop: 5, quality: 80, motion_search: true });
+
+    // Wreck the frame-type byte of two mid-stream records: a guaranteed
+    // framing error (not just wrong pixel content), so every pass truly
+    // exercises the resync scanner.
+    let offsets = {
+        let mut r = ByteReader::new(&bytes);
+        StreamHeader::read(&mut r).unwrap();
+        let mut offsets = Vec::new();
+        while !r.is_at_end() {
+            offsets.push(r.position());
+            r.skip(2).unwrap();
+            let payload = r.get_u32_le().unwrap();
+            r.skip(payload as usize).unwrap();
+        }
+        offsets
+    };
+    assert!(offsets.len() >= 20, "need a broadcast-sized stream");
+    bytes[offsets[7]] = 0xee;
+    bytes[offsets[13]] = 0xee;
+
+    let cfg = DetectorConfig {
+        delta: 0.95,
+        window_keyframes: 4,
+        order: Order::Sequential,
+        representation: Representation::Sketch,
+        use_index: true,
+        ..Default::default()
+    };
+    let family = Detector::family_for(&cfg);
+    let queries = QuerySet::from_queries(vec![Query::from_cell_ids(
+        1,
+        &family,
+        &(10_000u64..10_032).collect::<Vec<_>>(),
+    )]);
+    let mut det = Detector::new(cfg, queries);
+
+    let extractor = FeatureExtractor::new(FeatureConfig::default());
+    let mut ingest =
+        FingerprintStream::new_with_recovery(&bytes, extractor, true).unwrap();
+
+    let mut pass = 0u64;
+    for _ in 0..3 {
+        ingest.reopen(&bytes).unwrap();
+        while let Some((frame_index, cell)) = ingest.next_fingerprint().unwrap() {
+            let dets = det.push_keyframe(pass * 1_000 + frame_index, cell);
+            assert!(dets.is_empty(), "the workload must not detect (it would allocate)");
+        }
+        pass += 1;
+    }
+    assert!(ingest.health().frames_dropped >= 2, "damage must be real: {:?}", ingest.health());
+
+    ALLOCS.store(0, Ordering::SeqCst);
+    COUNTING.store(true, Ordering::SeqCst);
+    ingest.reopen(&bytes).unwrap();
+    let mut keyframes = 0u64;
+    while let Some((frame_index, cell)) = ingest.next_fingerprint().unwrap() {
+        let dets = det.push_keyframe(pass * 1_000 + frame_index, cell);
+        assert!(dets.is_empty(), "the workload must not detect (it would allocate)");
+        keyframes += 1;
+    }
+    COUNTING.store(false, Ordering::SeqCst);
+    let allocs = ALLOCS.load(Ordering::SeqCst);
+    assert!(keyframes > 0, "the damaged stream must still yield key frames");
+    assert_eq!(
+        allocs, 0,
+        "recovery-mode bytes→detection pass: {allocs} heap allocation(s) \
          over {keyframes} steady-state keyframes (expected 0)"
     );
 }

@@ -38,6 +38,16 @@ trap 'rm -rf "$tmp"' EXIT
 grep -q "fault-injected" "$tmp/err.txt" \
   || { echo "expected a degraded-stream summary on stderr"; cat "$tmp/err.txt"; exit 1; }
 
+echo "== attack-matrix smoke + robustness floors (vdsms eval-attacks) =="
+# 2 attacks × 2 detectors on a short stream; --check fails the build if
+# any cell's recall/precision drops below the committed floor (seed must
+# match the floor file — see BENCH_robustness.json).
+./target/release/vdsms eval-attacks --seed 7 --profile smoke \
+  --check BENCH_robustness.json > "$tmp/matrix.txt" 2> "$tmp/matrix_err.txt" \
+  || { echo "attack-matrix floor check failed"; cat "$tmp/matrix.txt" "$tmp/matrix_err.txt"; exit 1; }
+grep -q "floor check passed" "$tmp/matrix_err.txt" \
+  || { echo "expected a floor-check confirmation"; cat "$tmp/matrix_err.txt"; exit 1; }
+
 echo "== clippy =="
 cargo clippy --all-targets -- -D warnings
 

@@ -1,0 +1,49 @@
+//! Attack × detector robustness matrix (extension beyond the paper):
+//! the seeded adversarial evaluation from `vdsms_workload::attacks`,
+//! rendered as a bench table.
+//!
+//! Unlike [`super::tamper_sweep`], which measures raw fingerprint-set
+//! similarity, this runs the *full detection engine* (both combination
+//! orders, with and without the Hash–Query index) over streams whose
+//! inserted copies were attacked — speed changes, frame drops,
+//! clip-in-clip embedding, crops, re-encode chains — with the ground
+//! truth remapped through each attack's timeline. The same evaluation
+//! backs `vdsms eval-attacks` and the committed `BENCH_robustness.json`
+//! floors.
+
+use crate::table::f3;
+use crate::{Ctx, Scale, Table};
+use vdsms_workload::{evaluate_matrix, MatrixConfig};
+
+/// Run the matrix at the profile matching the bench scale.
+pub fn run(ctx: &mut Ctx, scale: Scale) -> Table {
+    let profile = match scale {
+        Scale::Quick => "smoke",
+        Scale::Default => "quick",
+        Scale::Large | Scale::Full => "default",
+    };
+    let seed = ctx.spec().seed;
+    let config = MatrixConfig::profile(profile, seed)
+        .expect("bench scales map to known attack-matrix profiles");
+    let report = evaluate_matrix(&config);
+
+    let mut table = Table::new(
+        "Extension — attack × detector robustness matrix",
+        &["attack", "strength", "detector", "precision", "recall", "found"],
+    );
+    table.note(format!(
+        "profile {profile}, seed {seed}, w {:.1}s, δ {:.2}, K {}; truth spans remapped through time-warping attacks",
+        report.w_seconds, report.delta, report.k
+    ));
+    for c in &report.cells {
+        table.push(vec![
+            c.attack.clone(),
+            c.strength.clone(),
+            c.detector.clone(),
+            f3(c.precision),
+            f3(c.recall),
+            format!("{}/{}", c.found, c.planted),
+        ]);
+    }
+    table
+}

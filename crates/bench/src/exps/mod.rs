@@ -7,6 +7,7 @@
 //! `EXPERIMENTS.md`.
 
 pub mod ablation;
+pub mod attack_matrix;
 pub mod fig10;
 pub mod fig11;
 pub mod fig12;
@@ -23,7 +24,7 @@ use crate::{Ctx, Scale, Table};
 /// Every experiment id, in paper order.
 pub const ALL: &[&str] = &[
     "table2", "fig6", "fig7", "fig8", "fig9", "fig10a", "fig10b", "fig11", "fig12", "fig13",
-    "fig14", "fig15", "ablation_partition", "ablation_pruning", "tamper_sweep",
+    "fig14", "fig15", "ablation_partition", "ablation_pruning", "tamper_sweep", "attack_matrix",
 ];
 
 /// Dispatch an experiment by id. `fig7`/`fig8` share one run (one sweep
@@ -44,6 +45,7 @@ pub fn run(id: &str, ctx: &mut Ctx, scale: Scale) -> Vec<Table> {
         "ablation_partition" => vec![ablation::run_partition(ctx)],
         "ablation_pruning" => vec![ablation::run_pruning(ctx, scale)],
         "tamper_sweep" => vec![tamper_sweep::run(ctx)],
+        "attack_matrix" => vec![attack_matrix::run(ctx, scale)],
         other => panic!("unknown experiment id: {other}"),
     }
 }

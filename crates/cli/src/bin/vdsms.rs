@@ -2,7 +2,10 @@
 //! `vdsms help` for usage.
 
 use std::process::exit;
-use vdsms_cli::{generate, inspect, lint, monitor_streams_opts, sketch, GenerateOpts, MonitorOpts};
+use vdsms_cli::{
+    eval_attacks, generate, inspect, lint, monitor_streams_opts, sketch, EvalAttacksOpts,
+    GenerateOpts, MonitorOpts,
+};
 use vdsms_core::DetectorConfig;
 use vdsms_features::FeatureConfig;
 use vdsms_workload::FaultSpec;
@@ -37,6 +40,18 @@ USAGE:
       e.g. SPEC = seed=7,flip=0.02,drop=0.01,delete=0.005,insert=0.005,
       truncate=0.001.
 
+  vdsms eval-attacks [--seed N] [--profile smoke|quick|default]
+                     [--attacks LIST] [--detectors LIST] [--json]
+                     [--out FILE] [--check FLOORS.json]
+      Run the seeded attack × detector robustness matrix: compose one
+      evaluation stream per attack (speed change, frame drops,
+      clip-in-clip, crop, re-encode chain, ...), sweep the detector
+      variants over it, and report recall/precision per cell. LIST is
+      comma-separated: attacks as kind or kind:strength (e.g.
+      speed-up:heavy,crop), detectors from seq,geo,seq-noindex,
+      geo-noindex. --check compares every cell against the committed
+      floors and exits 1 on any regression. Deterministic per --seed.
+
   vdsms lint [--json] [--root DIR]
       Run the workspace static-analysis gate (panic-freedom,
       determinism, lock discipline; configured in lint.toml).
@@ -68,6 +83,7 @@ fn main() {
         "inspect" => cmd_inspect(&args[1..]),
         "sketch" => cmd_sketch(&args[1..]),
         "monitor" => cmd_monitor(&args[1..]),
+        "eval-attacks" => cmd_eval_attacks(&args[1..]),
         "lint" => cmd_lint(&args[1..]),
         "help" | "--help" | "-h" => println!("{USAGE}"),
         other => fail(&format!("unknown subcommand {other}")),
@@ -255,6 +271,55 @@ fn cmd_monitor(args: &[String]) {
             if failed > 0 {
                 eprintln!("{failed} of {} stream(s) failed", streams.len());
                 exit(1);
+            }
+        }
+        Err(e) => fail(&e.message),
+    }
+}
+
+fn cmd_eval_attacks(args: &[String]) {
+    let mut opts = EvalAttacksOpts::default();
+    let mut out: Option<String> = None;
+    let mut i = 0;
+    let split = |v: &str| -> Vec<String> {
+        v.split(',').filter(|s| !s.is_empty()).map(str::to_string).collect()
+    };
+    while i < args.len() {
+        match args[i].as_str() {
+            "--seed" => opts.seed = parse(take_value(args, &mut i, "--seed"), "--seed"),
+            "--profile" => opts.profile = take_value(args, &mut i, "--profile").to_string(),
+            "--attacks" => opts.attacks = Some(split(take_value(args, &mut i, "--attacks"))),
+            "--detectors" => {
+                opts.detectors = Some(split(take_value(args, &mut i, "--detectors")))
+            }
+            "--json" => opts.json = true,
+            "--out" => out = Some(take_value(args, &mut i, "--out").to_string()),
+            "--check" => {
+                let path = take_value(args, &mut i, "--check");
+                let floors = std::fs::read_to_string(path)
+                    .unwrap_or_else(|e| fail(&format!("read {path}: {e}")));
+                opts.check = Some(floors);
+            }
+            other => fail(&format!("unknown flag {other}")),
+        }
+        i += 1;
+    }
+    match eval_attacks(&opts) {
+        Ok(outcome) => {
+            if let Some(path) = out {
+                std::fs::write(&path, outcome.report.to_json())
+                    .unwrap_or_else(|e| fail(&format!("write {path}: {e}")));
+                eprintln!("wrote matrix report to {path}");
+            }
+            print!("{}", outcome.output);
+            if !outcome.failures.is_empty() {
+                eprintln!("floor check FAILED:");
+                for f in &outcome.failures {
+                    eprintln!("  {f}");
+                }
+                exit(1);
+            } else if opts.check.is_some() {
+                eprintln!("floor check passed");
             }
         }
         Err(e) => fail(&e.message),

@@ -428,6 +428,121 @@ pub fn monitor_streams_opts(
     Ok(MonitorOutcome { hits, reports })
 }
 
+/// Options for `vdsms eval-attacks`.
+#[derive(Debug, Clone)]
+pub struct EvalAttacksOpts {
+    /// Master seed of the evaluation (workload and attack randomness).
+    pub seed: u64,
+    /// Named profile: `smoke`, `quick`, or `default`.
+    pub profile: String,
+    /// Attack list override (`kind` or `kind:strength` names); `None`
+    /// keeps the profile's grid.
+    pub attacks: Option<Vec<String>>,
+    /// Detector variant name override; `None` keeps the profile's set.
+    pub detectors: Option<Vec<String>>,
+    /// Emit the machine-readable JSON report instead of the text table.
+    pub json: bool,
+    /// Contents of a committed floor file (`BENCH_robustness.json`) to
+    /// check the measured matrix against.
+    pub check: Option<String>,
+}
+
+impl Default for EvalAttacksOpts {
+    fn default() -> EvalAttacksOpts {
+        EvalAttacksOpts {
+            seed: 1,
+            profile: "smoke".to_string(),
+            attacks: None,
+            detectors: None,
+            json: false,
+            check: None,
+        }
+    }
+}
+
+/// Result of `vdsms eval-attacks`: the report, its rendering, and any
+/// floor violations (non-empty drives exit code 1).
+#[derive(Debug)]
+pub struct EvalAttacksOutcome {
+    /// The full measured matrix.
+    pub report: vdsms_workload::AttackMatrixReport,
+    /// Rendered report (text table or JSON per [`EvalAttacksOpts::json`]).
+    pub output: String,
+    /// Floor-check violations (empty when no `--check` file was given or
+    /// every cell held its floor).
+    pub failures: Vec<String>,
+}
+
+/// Run the seeded attack × detector robustness matrix (`vdsms
+/// eval-attacks`): compose one attacked stream per attack spec, sweep the
+/// selected detector variants over each, and score against the remapped
+/// ground truth. Deterministic per `(seed, profile, overrides)`.
+pub fn eval_attacks(opts: &EvalAttacksOpts) -> Result<EvalAttacksOutcome> {
+    use vdsms_workload::{check_floors, evaluate_matrix, AttackSpec, MatrixConfig};
+
+    let mut config = MatrixConfig::profile(&opts.profile, opts.seed).ok_or_else(|| {
+        CliError::new(format!(
+            "unknown profile '{}' (smoke|quick|default)",
+            opts.profile
+        ))
+    })?;
+    if let Some(names) = &opts.attacks {
+        let mut attacks = Vec::with_capacity(names.len());
+        for name in names {
+            attacks.push(AttackSpec::parse(name, opts.seed).map_err(CliError::new)?);
+        }
+        if attacks.is_empty() {
+            return Err(CliError::new("--attacks list is empty"));
+        }
+        config.attacks = attacks;
+    }
+    if let Some(names) = &opts.detectors {
+        let mut detectors = Vec::with_capacity(names.len());
+        for name in names {
+            detectors.push(vdsms_core::DetectorVariant::parse(name).ok_or_else(|| {
+                CliError::new(format!(
+                    "unknown detector '{name}' (seq|geo|seq-noindex|geo-noindex)"
+                ))
+            })?);
+        }
+        if detectors.is_empty() {
+            return Err(CliError::new("--detectors list is empty"));
+        }
+        config.detectors = detectors;
+    }
+
+    let report = evaluate_matrix(&config);
+    let output = if opts.json { report.to_json() } else { render_matrix(&report) };
+    let failures = match &opts.check {
+        Some(floors) => check_floors(&report, floors).map_err(CliError::new)?,
+        None => Vec::new(),
+    };
+    Ok(EvalAttacksOutcome { report, output, failures })
+}
+
+/// The human-readable matrix table.
+fn render_matrix(report: &vdsms_workload::AttackMatrixReport) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "attack matrix — profile {}, seed {}, w {:.1}s, δ {:.2}, K {}",
+        report.profile, report.seed, report.w_seconds, report.delta, report.k
+    );
+    let _ = writeln!(
+        out,
+        "{:<16} {:<8} {:<12} {:>9} {:>9} {:>7}",
+        "attack", "strength", "detector", "precision", "recall", "found"
+    );
+    for c in &report.cells {
+        let _ = writeln!(
+            out,
+            "{:<16} {:<8} {:<12} {:>9.3} {:>9.3} {:>4}/{}",
+            c.attack, c.strength, c.detector, c.precision, c.recall, c.found, c.planted
+        );
+    }
+    out
+}
+
 /// Result of `vdsms lint`: the rendered report and whether the gate
 /// passed (drives the process exit code).
 #[derive(Debug)]
@@ -649,6 +764,27 @@ mod tests {
         assert_eq!(a, b, "same fault seed must give an identical run");
         assert!(a.reports[0].faulted_records >= 1, "{:?}", a.reports);
         assert!(a.reports[0].ok(), "recovery keeps a flipped stream monitorable");
+    }
+
+    #[test]
+    fn eval_attacks_rejects_bad_selections() {
+        // The matrix itself is covered by vdsms-workload's tests; here we
+        // verify the CLI-level validation (cheap, no evaluation runs).
+        let bad_profile =
+            EvalAttacksOpts { profile: "bogus".to_string(), ..Default::default() };
+        assert!(eval_attacks(&bad_profile).unwrap_err().message.contains("unknown profile"));
+        let bad_attack = EvalAttacksOpts {
+            attacks: Some(vec!["not-an-attack".to_string()]),
+            ..Default::default()
+        };
+        assert!(eval_attacks(&bad_attack).unwrap_err().message.contains("unknown attack"));
+        let bad_detector = EvalAttacksOpts {
+            detectors: Some(vec!["seq".to_string(), "bogus".to_string()]),
+            ..Default::default()
+        };
+        assert!(eval_attacks(&bad_detector).unwrap_err().message.contains("unknown detector"));
+        let empty = EvalAttacksOpts { attacks: Some(Vec::new()), ..Default::default() };
+        assert!(eval_attacks(&empty).unwrap_err().message.contains("empty"));
     }
 
     #[test]

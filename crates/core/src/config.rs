@@ -61,6 +61,59 @@ pub struct DetectorConfig {
     pub shards: usize,
 }
 
+/// One detector axis point of an evaluation sweep: candidate combination
+/// order × whether the Hash–Query index is used. The robustness attack
+/// matrix (and any future sweep) names its detector columns with these,
+/// so CLI flags, bench tables, and committed floor files all agree on
+/// the spelling.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DetectorVariant {
+    /// Sequential order with the Hash–Query index (the paper's default).
+    Seq,
+    /// Geometric order with the Hash–Query index.
+    Geo,
+    /// Sequential order, exhaustive comparison (no index).
+    SeqNoIndex,
+    /// Geometric order, exhaustive comparison (no index).
+    GeoNoIndex,
+}
+
+impl DetectorVariant {
+    /// Every variant, in canonical (floor-file) order.
+    pub const ALL: [DetectorVariant; 4] = [
+        DetectorVariant::Seq,
+        DetectorVariant::Geo,
+        DetectorVariant::SeqNoIndex,
+        DetectorVariant::GeoNoIndex,
+    ];
+
+    /// Stable name used in CLI flags, reports, and floor files.
+    pub fn name(self) -> &'static str {
+        match self {
+            DetectorVariant::Seq => "seq",
+            DetectorVariant::Geo => "geo",
+            DetectorVariant::SeqNoIndex => "seq-noindex",
+            DetectorVariant::GeoNoIndex => "geo-noindex",
+        }
+    }
+
+    /// Parse a [`DetectorVariant::name`] back.
+    pub fn parse(s: &str) -> Option<DetectorVariant> {
+        DetectorVariant::ALL.into_iter().find(|v| v.name() == s)
+    }
+
+    /// Apply this variant's order / index choice to a base configuration.
+    pub fn configure(self, base: DetectorConfig) -> DetectorConfig {
+        let (order, use_index) = match self {
+            DetectorVariant::Seq => (Order::Sequential, true),
+            DetectorVariant::Geo => (Order::Geometric, true),
+            DetectorVariant::SeqNoIndex => (Order::Sequential, false),
+            DetectorVariant::GeoNoIndex => (Order::Geometric, false),
+        };
+        DetectorConfig { order, use_index, ..base }
+    }
+}
+
 /// Default min-hash family seed.
 pub const DEFAULT_HASH_SEED: u64 = 0x5ce7_c4ed_0000_2008;
 
@@ -147,5 +200,25 @@ mod tests {
     #[should_panic(expected = "λ must be")]
     fn invalid_lambda_rejected() {
         DetectorConfig { lambda: 0.5, ..Default::default() }.validate();
+    }
+
+    #[test]
+    fn detector_variant_names_round_trip() {
+        for v in DetectorVariant::ALL {
+            assert_eq!(DetectorVariant::parse(v.name()), Some(v));
+        }
+        assert_eq!(DetectorVariant::parse("bogus"), None);
+    }
+
+    #[test]
+    fn detector_variant_configures_order_and_index() {
+        let base = DetectorConfig::default();
+        let geo = DetectorVariant::GeoNoIndex.configure(base);
+        assert_eq!(geo.order, Order::Geometric);
+        assert!(!geo.use_index);
+        assert_eq!(geo.k, base.k, "other fields pass through");
+        let seq = DetectorVariant::Seq.configure(base);
+        assert_eq!(seq.order, Order::Sequential);
+        assert!(seq.use_index);
     }
 }

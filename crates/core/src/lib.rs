@@ -42,7 +42,7 @@ pub mod stats;
 pub mod window;
 
 pub use bitsig::BitSig;
-pub use config::{DetectorConfig, Order, Representation};
+pub use config::{DetectorConfig, DetectorVariant, Order, Representation};
 pub use detection::Detection;
 pub use engine::Detector;
 pub use error::FleetError;

@@ -129,6 +129,7 @@ impl ShardState {
                     let _ = ack.send(());
                 }
                 Cmd::Crash => {
+                    // vdsms-lint: allow(no-panic-hot-path) reason="deliberate crash point: Cmd::Crash exists so shard-supervision tests can exercise panic recovery"
                     panic!("injected shard crash");
                 }
             }

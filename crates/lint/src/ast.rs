@@ -73,14 +73,33 @@ pub struct FnDef {
     /// Whether the function is test-only code (`#[test]` / `#[cfg(test)]`
     /// region, as tracked by the lexer).
     pub is_test: bool,
-    /// Whether a `// vdsms-lint: entry` marker annotates this function
-    /// (root of the interprocedural hot path).
-    pub is_entry: bool,
+    /// Entry marker, if a `// vdsms-lint: entry` directive annotates this
+    /// function (root of the interprocedural hot path). `Some(rules)`
+    /// carries the rule ids a scoped `entry(rule, …)` form names; an
+    /// empty list is the bare `entry` form and seeds every hot-path
+    /// rule.
+    pub entry: Option<Vec<String>>,
     /// Parameter names, best-effort (identifier patterns only).
     pub params: Vec<String>,
     /// Body statements; `None` for bodyless declarations (trait methods,
     /// extern fns).
     pub body: Option<Vec<Stmt>>,
+}
+
+impl FnDef {
+    /// Whether any entry marker (scoped or not) annotates this function.
+    pub fn is_entry(&self) -> bool {
+        self.entry.is_some()
+    }
+
+    /// Whether this function seeds the hot set of `rule`: true for the
+    /// bare `entry` form, or a scoped `entry(…)` form naming `rule`.
+    pub fn entry_covers(&self, rule: &str) -> bool {
+        match &self.entry {
+            Some(rules) => rules.is_empty() || rules.iter().any(|r| r == rule),
+            None => false,
+        }
+    }
 }
 
 /// One statement in a block.

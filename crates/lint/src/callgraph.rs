@@ -138,12 +138,32 @@ pub struct Reachability {
 }
 
 impl Reachability {
-    /// Compute reachability from `symbols.entries()`.
+    /// Compute reachability from every entry marker (scoped or not) —
+    /// the union hot set.
     pub fn from_entries(symbols: &SymbolTable<'_>, graph: &CallGraph) -> Reachability {
-        let n = symbols.fns.len();
+        Self::from_seeds(symbols.entries().map(|f| f.id).collect(), graph)
+    }
+
+    /// Compute reachability for one hot-path rule: seeded only by bare
+    /// `entry` markers and `entry(…)` markers that name `rule`, so a
+    /// batch-evaluation entry scoped to `no-panic-hot-path` extends
+    /// panic coverage without flooding the allocation rule.
+    pub fn from_entries_for(
+        symbols: &SymbolTable<'_>,
+        graph: &CallGraph,
+        rule: &str,
+    ) -> Reachability {
+        Self::from_seeds(symbols.entries_for(rule).map(|f| f.id).collect(), graph)
+    }
+
+    fn from_seeds(
+        queue: std::collections::VecDeque<usize>,
+        graph: &CallGraph,
+    ) -> Reachability {
+        let n = graph.edges.len();
         let mut hot = vec![false; n];
         let mut parent: Vec<Option<(usize, Pos)>> = vec![None; n];
-        let mut queue: std::collections::VecDeque<usize> = symbols.entries().map(|f| f.id).collect();
+        let mut queue = queue;
         for &id in &queue {
             hot[id] = true;
         }
@@ -313,6 +333,37 @@ mod tests {
             let id = table.fns.iter().find(|f| f.def.name == name).unwrap().id;
             assert!(reach.hot[id], "{name} should be hot");
         }
+    }
+
+    #[test]
+    fn scoped_entries_seed_only_their_rule() {
+        let (files, asts) = build(&[(
+            "a",
+            "// vdsms-lint: entry(no-panic-hot-path)\n\
+             pub fn sweep() { shared_helper(); }\n\
+             // vdsms-lint: entry\n\
+             pub fn ingest() { core_step(); }\n\
+             pub fn shared_helper() {}\n\
+             pub fn core_step() {}",
+        )]);
+        let table = SymbolTable::build(&files, &asts);
+        let graph = CallGraph::build(&table);
+        let panic_reach = Reachability::from_entries_for(&table, &graph, "no-panic-hot-path");
+        let alloc_reach = Reachability::from_entries_for(&table, &graph, "no-alloc-hot-path");
+        let id_of = |name: &str| table.fns.iter().find(|f| f.def.name == name).unwrap().id;
+        // The scoped entry and its callees are panic-hot only.
+        assert!(panic_reach.hot[id_of("sweep")]);
+        assert!(panic_reach.hot[id_of("shared_helper")]);
+        assert!(!alloc_reach.hot[id_of("sweep")]);
+        assert!(!alloc_reach.hot[id_of("shared_helper")]);
+        // The bare entry seeds both rules.
+        for reach in [&panic_reach, &alloc_reach] {
+            assert!(reach.hot[id_of("ingest")]);
+            assert!(reach.hot[id_of("core_step")]);
+        }
+        // The union set (used by `from_entries` consumers) sees both.
+        let union = Reachability::from_entries(&table, &graph);
+        assert!(union.hot[id_of("sweep")] && union.hot[id_of("ingest")]);
     }
 
     #[test]

@@ -63,14 +63,19 @@ pub fn analyze(
 ) -> Vec<Diagnostic> {
     let symbols = SymbolTable::build(files, asts);
     let graph = CallGraph::build(&symbols);
-    let reach = Reachability::from_entries(&symbols, &graph);
+    // Each hot-path rule gets its own hot set: bare `entry` markers seed
+    // both, `entry(rule)` markers only the named rule (batch-evaluation
+    // entries are panic-checked without dragging their working-set
+    // allocations into `no-alloc-hot-path`).
+    let reach_panic = Reachability::from_entries_for(&symbols, &graph, NO_PANIC);
+    let reach_alloc = Reachability::from_entries_for(&symbols, &graph, NO_ALLOC);
     let rules_per_file: Vec<crate::config::RuleSet> =
         files.iter().map(|f| config.rules_for(&f.crate_name)).collect();
 
     let mut diags = Vec::new();
     let mut ctx = Ctx { files, symbols: &symbols, rules: &rules_per_file, diags: &mut diags };
 
-    hot_path_rules(&mut ctx, &reach);
+    hot_path_rules(&mut ctx, &reach_panic, &reach_alloc);
     lock_order(&mut ctx, &graph);
     unchecked_arith(&mut ctx);
     float_determinism(&mut ctx);
@@ -112,18 +117,17 @@ impl Ctx<'_> {
 // no-panic-hot-path / no-alloc-hot-path
 // ---------------------------------------------------------------------
 
-fn hot_path_rules(ctx: &mut Ctx<'_>, reach: &Reachability) {
+fn hot_path_rules(ctx: &mut Ctx<'_>, reach_panic: &Reachability, reach_alloc: &Reachability) {
     for f in &ctx.symbols.fns {
-        if !reach.hot[f.id] || f.def.is_test {
+        if f.def.is_test {
             continue;
         }
         let Some(body) = &f.def.body else { continue };
-        let check_panic = ctx.enabled(f.file, NO_PANIC);
-        let check_alloc = ctx.enabled(f.file, NO_ALLOC);
+        let check_panic = reach_panic.hot[f.id] && ctx.enabled(f.file, NO_PANIC);
+        let check_alloc = reach_alloc.hot[f.id] && ctx.enabled(f.file, NO_ALLOC);
         if !check_panic && !check_alloc {
             continue;
         }
-        let chain = reach.chain_names(ctx.symbols, f.id);
         let mut sites: Vec<(&str, Pos, String)> = Vec::new();
         walk_stmts(body, &mut |e: &Expr| {
             if check_panic {
@@ -138,7 +142,12 @@ fn hot_path_rules(ctx: &mut Ctx<'_>, reach: &Reachability) {
             }
         });
         for (rule, pos, what) in sites {
-            let verb = if rule == NO_PANIC { "can panic" } else { "allocates" };
+            let (verb, reach) = if rule == NO_PANIC {
+                ("can panic", reach_panic)
+            } else {
+                ("allocates", reach_alloc)
+            };
+            let chain = reach.chain_names(ctx.symbols, f.id);
             ctx.emit(
                 rule,
                 f.file,

@@ -24,6 +24,8 @@ USAGE:
 Rules and per-crate configuration live in <root>/lint.toml.
 Mark a streaming entry point (root of the hot-path analyses) with:
   // vdsms-lint: entry
+or scope it to a subset of the hot-path rules:
+  // vdsms-lint: entry(no-panic-hot-path)
 Suppress a finding inline with a mandatory reason:
   // vdsms-lint: allow(rule-id) reason=\"why this occurrence is sound\"
 ";

@@ -24,21 +24,32 @@ use crate::lexer::{LexedFile, Token, TokenKind};
 /// Parse one lexed file into an AST. Infallible: unparsable regions
 /// degrade to [`Item::Other`] / [`ExprKind::Unknown`].
 pub fn parse_file(lexed: &LexedFile) -> AstFile {
-    let entry_lines: Vec<u32> = lexed
+    let entry_lines: Vec<(u32, Vec<String>)> = lexed
         .comments
         .iter()
-        .filter(|c| {
-            c.text
-                .trim()
-                .strip_prefix("vdsms-lint:")
-                .is_some_and(|rest| rest.trim() == "entry")
+        .filter_map(|c| {
+            let rest = c.text.trim().strip_prefix("vdsms-lint:")?.trim();
+            parse_entry_directive(rest).map(|rules| (c.end_line, rules))
         })
-        .map(|c| c.end_line)
         .collect();
     let fuel = 16 * lexed.tokens.len() as u64 + 1024;
     let mut p = Parser { lexed, entry_lines, i: 0, fuel, depth: 0 };
     let items = p.items_until(None);
     AstFile { items }
+}
+
+/// Parse the payload of a `// vdsms-lint: …` comment as an entry
+/// directive. `entry` seeds every hot-path rule (empty list);
+/// `entry(rule-a, rule-b)` seeds only the named rules. Anything else —
+/// including an `entry()` with no rules — is not an entry directive.
+fn parse_entry_directive(rest: &str) -> Option<Vec<String>> {
+    if rest == "entry" {
+        return Some(Vec::new());
+    }
+    let inner = rest.strip_prefix("entry(")?.strip_suffix(')')?;
+    let rules: Vec<String> =
+        inner.split(',').map(str::trim).filter(|r| !r.is_empty()).map(str::to_string).collect();
+    (!rules.is_empty()).then_some(rules)
 }
 
 /// How many lines above an item's first token a `// vdsms-lint: entry`
@@ -51,7 +62,7 @@ const MAX_DEPTH: u32 = 200;
 
 struct Parser<'a> {
     lexed: &'a LexedFile,
-    entry_lines: Vec<u32>,
+    entry_lines: Vec<(u32, Vec<String>)>,
     i: usize,
     fuel: u64,
     depth: u32,
@@ -404,18 +415,12 @@ impl<'a> Parser<'a> {
         // A marker blesses exactly one function: the first one parsed
         // (source order) whose signature starts within reach below it.
         // Claiming prevents one marker from leaking onto the next item.
-        let is_entry = match self
+        let entry = self
             .entry_lines
             .iter()
-            .position(|&m| m <= start_line && start_line - m <= ENTRY_MARKER_REACH)
-        {
-            Some(idx) => {
-                self.entry_lines.remove(idx);
-                true
-            }
-            None => false,
-        };
-        Item::Fn(FnDef { name, pos, is_test, is_entry, params, body })
+            .position(|(m, _)| *m <= start_line && start_line - m <= ENTRY_MARKER_REACH)
+            .map(|idx| self.entry_lines.remove(idx).1);
+        Item::Fn(FnDef { name, pos, is_test, entry, params, body })
     }
 
     /// Parse `(…)` parameter list, collecting identifier-pattern names.
@@ -1554,11 +1559,36 @@ mod tests {
         );
         let mut seen = Vec::new();
         walk_fns(&ast.items, &mut |_, def| {
-            seen.push((def.name.clone(), def.is_entry, def.is_test));
+            seen.push((def.name.clone(), def.is_entry(), def.is_test));
         });
         assert!(seen.contains(&("hot".into(), true, false)));
         assert!(seen.contains(&("cold".into(), false, false)));
         assert!(seen.contains(&("t".into(), false, true)));
+    }
+
+    #[test]
+    fn scoped_entry_marker_carries_its_rule_list() {
+        let ast = parse(
+            "// vdsms-lint: entry(no-panic-hot-path)\n\
+             pub fn panic_only() {}\n\
+             // vdsms-lint: entry(no-panic-hot-path, no-alloc-hot-path)\n\
+             pub fn both() {}\n\
+             // vdsms-lint: entry\n\
+             pub fn all_rules() {}\n\
+             // vdsms-lint: entry()\n\
+             pub fn empty_scope_is_not_an_entry() {}",
+        );
+        let mut seen = std::collections::BTreeMap::new();
+        walk_fns(&ast.items, &mut |_, def| {
+            seen.insert(def.name.clone(), def.entry.clone());
+        });
+        assert_eq!(seen["panic_only"], Some(vec!["no-panic-hot-path".to_string()]));
+        assert_eq!(
+            seen["both"],
+            Some(vec!["no-panic-hot-path".to_string(), "no-alloc-hot-path".to_string()])
+        );
+        assert_eq!(seen["all_rules"], Some(Vec::new()));
+        assert_eq!(seen["empty_scope_is_not_an_entry"], None);
     }
 
     #[test]

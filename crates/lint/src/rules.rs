@@ -32,7 +32,10 @@
 //! The reason is mandatory; a directive without one is itself reported
 //! (rule `invalid-suppression`, which cannot be suppressed). The only
 //! other directive is `// vdsms-lint: entry`, which marks the function
-//! below it as a hot-path entry point.
+//! below it as a hot-path entry point; the scoped form
+//! `entry(no-panic-hot-path)` seeds only the named hot-path rule, for
+//! entries (batch evaluation, report generation) that must not panic
+//! but are allowed to allocate.
 
 use crate::config::{RuleSet, KNOWN_KEYS};
 use crate::diag::Diagnostic;
@@ -274,9 +277,29 @@ fn parse_directive(c: &Comment) -> DirectiveParse {
         // Hot-path entry marker — valid, handled by the parser.
         return DirectiveParse::None;
     }
+    if let Some(inner) = rest.strip_prefix("entry(").and_then(|r| r.strip_suffix(')')) {
+        // Scoped entry marker: `entry(rule, …)` seeds only the named
+        // hot-path rules. Consumed by the parser; validated here so a
+        // typo'd rule id cannot silently produce a no-op marker.
+        let scoped: Vec<&str> =
+            inner.split(',').map(str::trim).filter(|r| !r.is_empty()).collect();
+        if scoped.is_empty() {
+            return DirectiveParse::Invalid("scoped entry marker lists no rules".to_string());
+        }
+        for r in &scoped {
+            if !matches!(*r, NO_PANIC | NO_ALLOC) {
+                return DirectiveParse::Invalid(format!(
+                    "entry scope names `{r}`, which is not a hot-path rule (expected \
+                     `{NO_PANIC}` or `{NO_ALLOC}`)"
+                ));
+            }
+        }
+        return DirectiveParse::None;
+    }
     let Some(rest) = rest.strip_prefix("allow") else {
         return DirectiveParse::Invalid(format!(
-            "unknown vdsms-lint directive `{}` (expected `entry` or `allow(rule-id) reason=\"…\"`)",
+            "unknown vdsms-lint directive `{}` (expected `entry`, `entry(hot-path-rule)` or \
+             `allow(rule-id) reason=\"…\"`)",
             rest.split_whitespace().next().unwrap_or("")
         ));
     };
@@ -488,6 +511,28 @@ mod tests {
     fn unknown_directive_is_a_finding() {
         let rep = check("// vdsms-lint: entrypoint\npub fn hot() {}\n");
         assert_eq!(rules_of(&rep), vec![INVALID_SUPPRESSION]);
+    }
+
+    #[test]
+    fn scoped_entry_directive_is_valid_not_a_finding() {
+        let rep = check("// vdsms-lint: entry(no-panic-hot-path)\npub fn sweep() {}\n");
+        assert!(rep.diagnostics.is_empty(), "{:?}", rep.diagnostics);
+        let both = check(
+            "// vdsms-lint: entry(no-panic-hot-path, no-alloc-hot-path)\npub fn sweep() {}\n",
+        );
+        assert!(both.diagnostics.is_empty(), "{:?}", both.diagnostics);
+    }
+
+    #[test]
+    fn scoped_entry_with_a_non_hot_path_rule_is_a_finding() {
+        // A typo'd or non-hot-path scope must not silently become a no-op
+        // marker.
+        let rep = check("// vdsms-lint: entry(no-panic-hotpath)\npub fn sweep() {}\n");
+        assert_eq!(rules_of(&rep), vec![INVALID_SUPPRESSION]);
+        let wrong_kind = check("// vdsms-lint: entry(lock-order)\npub fn sweep() {}\n");
+        assert_eq!(rules_of(&wrong_kind), vec![INVALID_SUPPRESSION]);
+        let empty = check("// vdsms-lint: entry()\npub fn sweep() {}\n");
+        assert_eq!(rules_of(&empty), vec![INVALID_SUPPRESSION]);
     }
 
     #[test]

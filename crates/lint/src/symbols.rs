@@ -98,9 +98,16 @@ impl<'a> SymbolTable<'a> {
             .map_or(&[], Vec::as_slice)
     }
 
-    /// Entry-point functions (`// vdsms-lint: entry`, non-test).
+    /// Entry-point functions (`// vdsms-lint: entry`, scoped or not,
+    /// non-test).
     pub fn entries(&self) -> impl Iterator<Item = &FnSym<'a>> {
-        self.fns.iter().filter(|f| f.def.is_entry && !f.def.is_test)
+        self.fns.iter().filter(|f| f.def.is_entry() && !f.def.is_test)
+    }
+
+    /// Entry-point functions that seed the hot set of `rule`: bare
+    /// `entry` markers plus `entry(…)` markers naming the rule.
+    pub fn entries_for<'s>(&'s self, rule: &'s str) -> impl Iterator<Item = &'s FnSym<'a>> {
+        self.fns.iter().filter(move |f| f.def.entry_covers(rule) && !f.def.is_test)
     }
 }
 

@@ -12,6 +12,7 @@
 //! ranges. (Re-compression itself lives in `vdsms-codec`; this module
 //! performs the pixel/temporal-domain edits.)
 
+use crate::source::{ClipGenerator, SourceSpec};
 use crate::{Clip, Fps, Frame};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -69,6 +70,104 @@ pub enum Edit {
         /// Seed of the permutation.
         seed: u64,
     },
+    /// Playback-speed change by frame resampling at an unchanged frame
+    /// rate: factor `num/den` (`3/2` plays 1.5× faster). The edited clip
+    /// has `round(len·den/num)` frames, so a sped-up copy occupies *less*
+    /// stream time — the time warp the engine's λ bound exists for.
+    /// Ground truth must be mapped through it ([`Edit::map_span`]).
+    Speed {
+        /// Speed numerator (output plays `num/den` times faster).
+        num: u32,
+        /// Speed denominator.
+        den: u32,
+    },
+    /// Periodic frame drops: the first `drop` frames of every
+    /// `period`-frame cycle are removed (a stressed transcoder or a
+    /// cadence-removal pass). Time-warping: the clip shortens by
+    /// `drop/period`.
+    DropPeriodic {
+        /// Cycle length in frames.
+        period: usize,
+        /// Frames dropped at the start of each cycle (must be < `period`).
+        drop: usize,
+    },
+    /// Seeded bursty frame drops: each surviving frame starts a burst of
+    /// `burst` consecutive dropped frames with probability `rate`
+    /// (network loss / splice damage). Time-warping and seeded.
+    DropBursty {
+        /// Per-frame probability of starting a drop burst.
+        rate: f64,
+        /// Frames dropped per burst (≥ 1).
+        burst: usize,
+        /// Seed of the drop pattern.
+        seed: u64,
+    },
+    /// Clip-in-clip embedding: the input becomes a segment inside a longer
+    /// seeded distractor video — `lead_s` seconds of foreign content
+    /// before it and `trail_s` after. The copied content's span inside the
+    /// output is `[lead, lead + len)` ([`Edit::map_span`]).
+    ClipInClip {
+        /// Foreign content before the clip, in seconds.
+        lead_s: f64,
+        /// Foreign content after the clip, in seconds.
+        trail_s: f64,
+        /// Seed of the distractor generator.
+        seed: u64,
+    },
+    /// Center region crop: keep the middle `keep_w × keep_h` fraction of
+    /// the picture and scale it back to the original geometry (a zoom /
+    /// reframing attack). Pixel-domain only; the timeline is unchanged.
+    Crop {
+        /// Kept width fraction in `(0, 1]`.
+        keep_w: f64,
+        /// Kept height fraction in `(0, 1]`.
+        keep_h: f64,
+    },
+    /// Letterbox / pillarbox: the content is downscaled and centered on a
+    /// dark canvas, with `bar_x` of the width on each side and `bar_y` of
+    /// the height on top and bottom turned into bars. `bar_y > 0` is a
+    /// letterbox, `bar_x > 0` a pillarbox.
+    Letterbox {
+        /// Bar fraction per side, horizontally, in `[0, 0.45]`.
+        bar_x: f64,
+        /// Bar fraction per side, vertically, in `[0, 0.45]`.
+        bar_y: f64,
+    },
+}
+
+/// Luma of the letterbox bars (broadcast black, not signal zero).
+const BAR_LUMA: u8 = 16;
+
+/// The seeded segment permutation of [`Edit::SegmentReorder`]:
+/// Fisher–Yates, re-drawn in the unlikely identity case so the edit
+/// always actually reorders (for `n ≥ 2`).
+fn reorder_permutation(n: usize, seed: u64) -> Vec<usize> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut order: Vec<usize> = (0..n).collect();
+    loop {
+        for i in (1..n).rev() {
+            order.swap(i, rng.gen_range(0..=i));
+        }
+        if n < 2 || order.iter().enumerate().any(|(i, &p)| i != p) {
+            break;
+        }
+    }
+    order
+}
+
+/// Near-equal segment bounds `(start, len)`, exactly as
+/// [`Clip::split_segments`] cuts them.
+fn segment_bounds(in_len: usize, n: usize) -> Vec<(usize, usize)> {
+    let base = in_len / n;
+    let extra = in_len % n;
+    let mut bounds = Vec::with_capacity(n);
+    let mut start = 0;
+    for i in 0..n {
+        let len = base + usize::from(i < extra);
+        bounds.push((start, len));
+        start += len;
+    }
+    bounds
 }
 
 impl Edit {
@@ -113,42 +212,250 @@ impl Edit {
                 let frames = clip.frames().iter().map(|f| f.resize(width, height)).collect();
                 Clip::new(frames, clip.fps())
             }
-            Edit::ResampleFps { target } => {
-                let n_out = target.frames_in(clip.duration()).max(1);
-                let ratio = clip.len() as f64 / n_out as f64;
-                let frames = (0..n_out)
-                    .map(|i| {
-                        let src = ((i as f64 + 0.5) * ratio) as usize;
-                        clip.frames()[src.min(clip.len() - 1)].clone()
+            // Pure timeline-resampling edits: assemble output frames from
+            // the shared source map, so `apply` and `map_span` cannot
+            // disagree about where content lands.
+            Edit::ResampleFps { .. }
+            | Edit::SegmentReorder { .. }
+            | Edit::Speed { .. }
+            | Edit::DropPeriodic { .. }
+            | Edit::DropBursty { .. } => {
+                let sources = self
+                    .source_map(clip.len(), clip.fps())
+                    // vdsms-lint: allow(no-panic-hot-path) reason="source_map returns Some for every variant this match arm covers; a None is an edit-taxonomy bug, not an input condition"
+                    .expect("timeline edits always have a source map");
+                let frames = sources
+                    .iter()
+                    .map(|s| {
+                        // vdsms-lint: allow(no-panic-hot-path) reason="resampling source maps only reference source frames (no ClipInClip foreign slots); a None is an edit-taxonomy bug"
+                        let src = s.expect("resampling edits have no foreign frames");
+                        // vdsms-lint: allow(no-panic-hot-path) reason="source_map indices are produced modulo clip length by this same impl; out of range is an edit-taxonomy bug"
+                        clip.frames()[src].clone()
                     })
                     .collect();
-                Clip::new(frames, target)
+                Clip::new(frames, self.output_fps(clip.fps()))
             }
-            Edit::SegmentReorder { segments, seed } => {
-                let n = segments.min(clip.len()).max(1);
-                let mut segs = clip.split_segments(n);
-                let mut rng = StdRng::seed_from_u64(seed);
-                // Fisher–Yates; guaranteed not to be the identity for n >= 2
-                // (re-shuffle in the unlikely identity case) so the edit
-                // always actually reorders.
-                let mut order: Vec<usize> = (0..n).collect();
-                loop {
-                    for i in (1..n).rev() {
-                        order.swap(i, rng.gen_range(0..=i));
-                    }
-                    if n < 2 || order.iter().enumerate().any(|(i, &p)| i != p) {
-                        break;
-                    }
-                }
-                let mut reordered = Vec::with_capacity(n);
-                for &p in &order {
-                    reordered.push(segs[p].clone());
-                }
-                segs.clear();
-                Clip::concat(reordered)
+            Edit::ClipInClip { lead_s, trail_s, seed } => {
+                let lead = clip.fps().frames_in(lead_s.max(0.0));
+                let trail = clip.fps().frames_in(trail_s.max(0.0));
+                let distractor = distractor_frames(clip, lead + trail, seed);
+                let mut frames = Vec::with_capacity(lead + clip.len() + trail);
+                frames.extend_from_slice(&distractor[..lead]);
+                frames.extend_from_slice(clip.frames());
+                frames.extend_from_slice(&distractor[lead..]);
+                Clip::new(frames, clip.fps())
+            }
+            Edit::Crop { keep_w, keep_h } => {
+                assert!(
+                    (0.0..=1.0).contains(&keep_w) && keep_w > 0.0,
+                    "keep_w must be in (0, 1]"
+                );
+                assert!(
+                    (0.0..=1.0).contains(&keep_h) && keep_h > 0.0,
+                    "keep_h must be in (0, 1]"
+                );
+                let (w, h) = (clip.width(), clip.height());
+                let cw = ((f64::from(w) * keep_w).round() as u32).clamp(1, w);
+                let ch = ((f64::from(h) * keep_h).round() as u32).clamp(1, h);
+                let x0 = (w - cw) / 2;
+                let y0 = (h - ch) / 2;
+                let frames = clip
+                    .frames()
+                    .iter()
+                    .map(|f| f.crop(x0, y0, cw, ch).resize(w, h))
+                    .collect();
+                Clip::new(frames, clip.fps())
+            }
+            Edit::Letterbox { bar_x, bar_y } => {
+                assert!(
+                    (0.0..=0.45).contains(&bar_x) && (0.0..=0.45).contains(&bar_y),
+                    "bar fractions must be in [0, 0.45]"
+                );
+                let (w, h) = (clip.width(), clip.height());
+                let inner_w = ((f64::from(w) * (1.0 - 2.0 * bar_x)).round() as u32).clamp(1, w);
+                let inner_h = ((f64::from(h) * (1.0 - 2.0 * bar_y)).round() as u32).clamp(1, h);
+                let x0 = (w - inner_w) / 2;
+                let y0 = (h - inner_h) / 2;
+                let frames = clip
+                    .frames()
+                    .iter()
+                    .map(|f| {
+                        let mut canvas = Frame::filled(w, h, BAR_LUMA);
+                        canvas.blit(&f.resize(inner_w, inner_h), x0, y0);
+                        canvas
+                    })
+                    .collect();
+                Clip::new(frames, clip.fps())
             }
         }
     }
+
+    /// The timeline of this edit, as a map from output frame index to its
+    /// source: `Some(i)` takes input frame `i`, `None` is foreign content
+    /// (the clip-in-clip distractor). `None` overall means the edit does
+    /// not touch the timeline (pixel-domain edits).
+    ///
+    /// This single map drives both [`Edit::apply`]'s frame assembly and
+    /// [`Edit::map_span`]'s ground-truth remapping, so the two cannot
+    /// diverge.
+    fn source_map(&self, in_len: usize, fps: Fps) -> Option<Vec<Option<usize>>> {
+        assert!(in_len >= 1, "source map of an empty clip");
+        match *self {
+            Edit::GainOffset { .. }
+            | Edit::Noise { .. }
+            | Edit::Resize { .. }
+            | Edit::Crop { .. }
+            | Edit::Letterbox { .. } => None,
+            Edit::ResampleFps { target } => {
+                let n_out = target.frames_in(fps.seconds_of(in_len)).max(1);
+                let ratio = in_len as f64 / n_out as f64;
+                Some(
+                    (0..n_out)
+                        .map(|i| Some((((i as f64 + 0.5) * ratio) as usize).min(in_len - 1)))
+                        .collect(),
+                )
+            }
+            Edit::Speed { num, den } => {
+                assert!(num >= 1 && den >= 1, "speed factor must be positive");
+                let factor = f64::from(num) / f64::from(den);
+                let n_out = ((in_len as f64 / factor).round() as usize).max(1);
+                Some(
+                    (0..n_out)
+                        .map(|i| Some((((i as f64 + 0.5) * factor) as usize).min(in_len - 1)))
+                        .collect(),
+                )
+            }
+            Edit::DropPeriodic { period, drop } => {
+                assert!(period >= 1, "period must be >= 1");
+                assert!(drop < period, "cannot drop a whole period");
+                let kept: Vec<Option<usize>> =
+                    (0..in_len).filter(|i| i % period >= drop).map(Some).collect();
+                Some(if kept.is_empty() { vec![Some(0)] } else { kept })
+            }
+            Edit::DropBursty { rate, burst, seed } => {
+                assert!((0.0..=1.0).contains(&rate), "drop rate must be in [0, 1]");
+                assert!(burst >= 1, "burst must be >= 1");
+                let mut rng = StdRng::seed_from_u64(seed);
+                let mut kept = Vec::with_capacity(in_len);
+                let mut dropping = 0usize;
+                for i in 0..in_len {
+                    if dropping > 0 {
+                        dropping -= 1;
+                    } else if rate > 0.0 && rng.gen_bool(rate) {
+                        dropping = burst - 1;
+                    } else {
+                        kept.push(Some(i));
+                    }
+                }
+                if kept.is_empty() {
+                    kept.push(Some(0));
+                }
+                Some(kept)
+            }
+            Edit::SegmentReorder { segments, seed } => {
+                let n = segments.min(in_len).max(1);
+                let bounds = segment_bounds(in_len, n);
+                let order = reorder_permutation(n, seed);
+                let mut sources = Vec::with_capacity(in_len);
+                for &p in &order {
+                    let (start, len) = bounds[p];
+                    sources.extend((start..start + len).map(Some));
+                }
+                Some(sources)
+            }
+            Edit::ClipInClip { lead_s, trail_s, seed: _ } => {
+                let lead = fps.frames_in(lead_s.max(0.0));
+                let trail = fps.frames_in(trail_s.max(0.0));
+                let mut sources = Vec::with_capacity(lead + in_len + trail);
+                sources.extend(std::iter::repeat_n(None, lead));
+                sources.extend((0..in_len).map(Some));
+                sources.extend(std::iter::repeat_n(None, trail));
+                Some(sources)
+            }
+        }
+    }
+
+    /// Frame rate of the edited clip.
+    pub fn output_fps(&self, fps: Fps) -> Fps {
+        match *self {
+            Edit::ResampleFps { target } => target,
+            _ => fps,
+        }
+    }
+
+    /// Length in frames of the edited clip, for an input of `in_len`
+    /// frames at `fps`.
+    pub fn output_len(&self, in_len: usize, fps: Fps) -> usize {
+        match self.source_map(in_len, fps) {
+            Some(sources) => sources.len(),
+            None => in_len,
+        }
+    }
+
+    /// Map the input-frame span `[span.0, span.1)` through this edit's
+    /// timeline: the smallest output span containing every output frame
+    /// whose source lies in the input span (for [`Edit::SegmentReorder`]
+    /// the scattered content is covered by its convex hull). Returns an
+    /// empty span `(0, 0)` when every source frame was dropped.
+    ///
+    /// This is the ground-truth remapping of the paper's `Q_i.begin /
+    /// Q_i.end` under time-warping edits: a sped-up airing occupies fewer
+    /// output frames, and the scoring rule must use the *warped* span.
+    pub fn map_span(&self, in_len: usize, fps: Fps, span: (u64, u64)) -> (u64, u64) {
+        match self.source_map(in_len, fps) {
+            None => span,
+            Some(sources) => {
+                let mut lo = None;
+                let mut hi = None;
+                for (i, s) in sources.iter().enumerate() {
+                    if let Some(src) = s {
+                        let src = *src as u64;
+                        if src >= span.0 && src < span.1 {
+                            if lo.is_none() {
+                                lo = Some(i as u64);
+                            }
+                            hi = Some(i as u64 + 1);
+                        }
+                    }
+                }
+                match (lo, hi) {
+                    (Some(l), Some(h)) => (l, h),
+                    _ => (0, 0),
+                }
+            }
+        }
+    }
+}
+
+/// `n` frames of seeded foreign content at the clip's geometry, for the
+/// clip-in-clip distractor.
+fn distractor_frames(clip: &Clip, n: usize, seed: u64) -> Vec<Frame> {
+    if n == 0 {
+        return Vec::new();
+    }
+    let spec = SourceSpec {
+        width: clip.width(),
+        height: clip.height(),
+        fps: clip.fps(),
+        seed,
+        min_scene_s: 1.5,
+        max_scene_s: 5.0,
+        motifs: None,
+    };
+    ClipGenerator::new(spec).take(n).collect()
+}
+
+/// Result of mapping a frame span through a pipeline's timeline edits
+/// ([`EditPipeline::map_span`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SpanMap {
+    /// Length of the fully edited clip, in frames.
+    pub len: usize,
+    /// Frame rate of the fully edited clip.
+    pub fps: Fps,
+    /// The mapped span `[start, end)` in edited-clip frames. `start ==
+    /// end` when every source frame of the input span was dropped.
+    pub span: (u64, u64),
 }
 
 /// An ordered sequence of edits applied left to right.
@@ -181,6 +488,22 @@ impl EditPipeline {
             cur = e.apply(&cur);
         }
         cur
+    }
+
+    /// Fold an input-frame span through every edit's timeline (see
+    /// [`Edit::map_span`]): where the span's content lands in the final
+    /// clip, plus that clip's length and frame rate. Ground truth for an
+    /// attacked insertion is `stream_start + span` of the result.
+    pub fn map_span(&self, in_len: usize, fps: Fps, span: (u64, u64)) -> SpanMap {
+        let mut len = in_len;
+        let mut cur_fps = fps;
+        let mut cur = span;
+        for e in &self.edits {
+            cur = e.map_span(len, cur_fps, cur);
+            len = e.output_len(len, cur_fps);
+            cur_fps = e.output_fps(cur_fps);
+        }
+        SpanMap { len, fps: cur_fps, span: cur }
     }
 
     /// The PAL-equivalent frame rate for a source at `fps`: scaled by the
@@ -329,5 +652,145 @@ mod tests {
         let c = test_clip(6);
         let id = EditPipeline::new().apply(&c);
         assert_eq!(id.frames(), c.frames());
+    }
+
+    #[test]
+    fn speed_up_shortens_and_slow_down_lengthens() {
+        let c = test_clip(7); // 40 frames
+        let fast = Edit::Speed { num: 2, den: 1 }.apply(&c);
+        assert_eq!(fast.len(), 20);
+        assert_eq!(fast.fps(), c.fps(), "speed change keeps the frame rate");
+        let slow = Edit::Speed { num: 2, den: 3 }.apply(&c);
+        assert_eq!(slow.len(), 60);
+        // 1.5× slow-down repeats frames but invents none.
+        assert!(slow.frames().iter().all(|f| c.frames().contains(f)));
+    }
+
+    #[test]
+    fn speed_apply_length_matches_output_len_and_map_span() {
+        let c = test_clip(8);
+        for (num, den) in [(2u32, 1u32), (3, 2), (1, 2), (5, 4)] {
+            let e = Edit::Speed { num, den };
+            let out = e.apply(&c);
+            assert_eq!(out.len(), e.output_len(c.len(), c.fps()), "{num}/{den}");
+            let (a, b) = e.map_span(c.len(), c.fps(), (0, c.len() as u64));
+            assert_eq!((a, b), (0, out.len() as u64), "full span maps to full output");
+        }
+    }
+
+    #[test]
+    fn drop_periodic_removes_expected_fraction() {
+        let c = test_clip(9); // 40 frames
+        let e = Edit::DropPeriodic { period: 5, drop: 1 };
+        let out = e.apply(&c);
+        assert_eq!(out.len(), 32); // 40 · 4/5
+        assert_eq!(out.len(), e.output_len(c.len(), c.fps()));
+        // Kept frames appear in original order.
+        assert_eq!(out.frames()[0], c.frames()[1]);
+        assert_eq!(out.frames()[3], c.frames()[4]);
+        assert_eq!(out.frames()[4], c.frames()[6]);
+    }
+
+    #[test]
+    fn drop_bursty_is_deterministic_and_time_warps() {
+        let c = test_clip(10);
+        let e = Edit::DropBursty { rate: 0.1, burst: 3, seed: 42 };
+        let a = e.apply(&c);
+        let b = e.apply(&c);
+        assert_eq!(a.frames(), b.frames());
+        assert!(a.len() < c.len(), "bursty drop must lose frames at rate 0.1");
+        assert!(a.len() >= c.len() / 2, "burst=3 at 0.1 loses well under half");
+        let other = Edit::DropBursty { rate: 0.1, burst: 3, seed: 43 }.apply(&c);
+        assert_ne!(a.frames(), other.frames(), "different seed, different pattern");
+    }
+
+    #[test]
+    fn clip_in_clip_embeds_content_at_the_lead_offset() {
+        let c = test_clip(11);
+        let e = Edit::ClipInClip { lead_s: 2.0, trail_s: 1.0, seed: 5 };
+        let out = e.apply(&c);
+        let lead = c.fps().frames_in(2.0);
+        let trail = c.fps().frames_in(1.0);
+        assert_eq!(out.len(), lead + c.len() + trail);
+        assert_eq!(&out.frames()[lead..lead + c.len()], c.frames());
+        // The distractor is foreign content, not the query.
+        assert_ne!(out.frames()[0], c.frames()[0]);
+        // map_span points exactly at the embedded content.
+        let (a, b) = e.map_span(c.len(), c.fps(), (0, c.len() as u64));
+        assert_eq!((a, b), (lead as u64, (lead + c.len()) as u64));
+    }
+
+    #[test]
+    fn crop_and_letterbox_keep_geometry_and_timeline() {
+        let c = test_clip(12);
+        let cropped = Edit::Crop { keep_w: 0.8, keep_h: 0.8 }.apply(&c);
+        assert_eq!((cropped.width(), cropped.height()), (c.width(), c.height()));
+        assert_eq!(cropped.len(), c.len());
+        assert_ne!(cropped.frames()[0], c.frames()[0]);
+
+        let boxed = Edit::Letterbox { bar_x: 0.0, bar_y: 0.15 }.apply(&c);
+        assert_eq!((boxed.width(), boxed.height()), (c.width(), c.height()));
+        // Top row is a bar; the center still carries content.
+        assert!(boxed.frames()[0].row(0).iter().all(|&v| v == 16));
+        let mid = boxed.height() / 2;
+        assert!(boxed.frames()[0].row(mid).iter().any(|&v| v != 16));
+        // Pixel-domain edits leave spans alone.
+        let e = Edit::Letterbox { bar_x: 0.0, bar_y: 0.15 };
+        assert_eq!(e.map_span(c.len(), c.fps(), (3, 17)), (3, 17));
+    }
+
+    #[test]
+    fn segment_reorder_map_span_is_the_hull_of_the_scattered_content() {
+        let c = test_clip(13);
+        let e = Edit::SegmentReorder { segments: 5, seed: 11 };
+        // The whole clip maps onto the whole clip.
+        assert_eq!(e.map_span(c.len(), c.fps(), (0, c.len() as u64)), (0, c.len() as u64));
+        // A sub-span maps to a hull that contains at least its own length.
+        let (a, b) = e.map_span(c.len(), c.fps(), (8, 16));
+        assert!(b - a >= 8, "hull {a}..{b} must cover the 8 content frames");
+    }
+
+    #[test]
+    fn map_span_empty_when_all_sources_dropped() {
+        let c = test_clip(14); // 40 frames
+        // period 2, drop 1 keeps odd frames; span {2} (only frame 2) dies.
+        let e = Edit::DropPeriodic { period: 2, drop: 1 };
+        assert_eq!(e.map_span(c.len(), c.fps(), (2, 3)), (0, 0));
+        // An odd frame survives.
+        let (a, b) = e.map_span(c.len(), c.fps(), (3, 4));
+        assert_eq!((a, b), (1, 2));
+    }
+
+    #[test]
+    fn pipeline_map_span_folds_time_warps() {
+        let c = test_clip(15); // 40 frames @ 10 fps
+        let pipe = EditPipeline::new()
+            .then(Edit::GainOffset { gain: 1.1, offset: 2.0 })
+            .then(Edit::Speed { num: 2, den: 1 })
+            .then(Edit::ClipInClip { lead_s: 1.0, trail_s: 1.0, seed: 3 });
+        let m = pipe.map_span(c.len(), c.fps(), (0, c.len() as u64));
+        let out = pipe.apply(&c);
+        assert_eq!(m.len, out.len());
+        assert_eq!(m.fps, out.fps());
+        // 40 frames → 20 after 2× speed-up → embedded after a 10-frame lead.
+        assert_eq!(m.span, (10, 30));
+        // The mapped span frames are exactly the sped-up content.
+        let fast = Edit::Speed { num: 2, den: 1 }
+            .apply(&Edit::GainOffset { gain: 1.1, offset: 2.0 }.apply(&c));
+        assert_eq!(
+            &out.frames()[m.span.0 as usize..m.span.1 as usize],
+            fast.frames()
+        );
+    }
+
+    #[test]
+    fn resample_fps_map_span_tracks_apply() {
+        let c = test_clip(16);
+        let e = Edit::ResampleFps { target: Fps::integer(5) };
+        let out = e.apply(&c);
+        let m = e.map_span(c.len(), c.fps(), (0, c.len() as u64));
+        assert_eq!(m, (0, out.len() as u64));
+        assert_eq!(e.output_fps(c.fps()), Fps::integer(5));
+        assert_eq!(e.output_len(c.len(), c.fps()), out.len());
     }
 }

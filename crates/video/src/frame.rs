@@ -137,6 +137,42 @@ impl Frame {
         Frame::from_raw(new_width, new_height, out)
     }
 
+    /// Extract the rectangle `[x0, x0 + w) × [y0, y0 + h)` as a new frame.
+    ///
+    /// Models the region-crop family of edits (zoom, letterbox removal):
+    /// the attacker keeps a sub-rectangle of the picture and discards the
+    /// rest.
+    ///
+    /// # Panics
+    /// Panics if the rectangle is empty or out of bounds.
+    pub fn crop(&self, x0: u32, y0: u32, w: u32, h: u32) -> Frame {
+        assert!(w > 0 && h > 0, "crop rectangle must be non-empty");
+        assert!(
+            x0 + w <= self.width && y0 + h <= self.height,
+            "crop rectangle out of bounds"
+        );
+        let mut data = Vec::with_capacity((w * h) as usize);
+        for y in y0..y0 + h {
+            let row = self.row(y);
+            data.extend_from_slice(&row[x0 as usize..(x0 + w) as usize]);
+        }
+        Frame::from_raw(w, h, data)
+    }
+
+    /// Paste `src` into this frame with its top-left corner at `(x0, y0)`,
+    /// clipping against this frame's bounds. Used by the letterbox /
+    /// pillarbox edit to place downscaled content on a bar-colored canvas.
+    pub fn blit(&mut self, src: &Frame, x0: u32, y0: u32) {
+        let w = src.width.min(self.width.saturating_sub(x0));
+        let h = src.height.min(self.height.saturating_sub(y0));
+        for y in 0..h {
+            let dst_start = ((y0 + y) * self.width + x0) as usize;
+            let src_row = src.row(y);
+            self.data[dst_start..dst_start + w as usize]
+                .copy_from_slice(&src_row[..w as usize]);
+        }
+    }
+
     /// Mean absolute pixel difference between two frames of equal size.
     ///
     /// # Panics
@@ -234,5 +270,37 @@ mod tests {
         let f = gradient(8, 4);
         assert_eq!(f.row(2).len(), 8);
         assert_eq!(f.row(2)[3], f.get(3, 2));
+    }
+
+    #[test]
+    fn crop_extracts_expected_rectangle() {
+        let f = gradient(16, 8);
+        let c = f.crop(4, 2, 6, 3);
+        assert_eq!((c.width(), c.height()), (6, 3));
+        for y in 0..3 {
+            for x in 0..6 {
+                assert_eq!(c.get(x, y), f.get(x + 4, y + 2));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn crop_rejects_overflow_rectangle() {
+        let _ = gradient(8, 8).crop(4, 4, 8, 8);
+    }
+
+    #[test]
+    fn blit_pastes_and_clips() {
+        let mut canvas = Frame::filled(8, 8, 0);
+        let patch = Frame::filled(4, 4, 200);
+        canvas.blit(&patch, 2, 3);
+        assert_eq!(canvas.get(2, 3), 200);
+        assert_eq!(canvas.get(5, 6), 200);
+        assert_eq!(canvas.get(1, 3), 0);
+        assert_eq!(canvas.get(6, 6), 0);
+        // Clipping: a blit at the edge must not panic or wrap.
+        canvas.blit(&patch, 6, 6);
+        assert_eq!(canvas.get(7, 7), 200);
     }
 }

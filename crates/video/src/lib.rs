@@ -31,7 +31,7 @@ pub mod frame;
 pub mod source;
 
 pub use clip::Clip;
-pub use edit::{Edit, EditPipeline};
+pub use edit::{Edit, EditPipeline, SpanMap};
 pub use frame::Frame;
 pub use source::{ClipGenerator, SourceSpec};
 

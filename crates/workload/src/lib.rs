@@ -24,15 +24,22 @@
 
 #![forbid(unsafe_code)]
 
+pub mod attacks;
 pub mod clips;
 pub mod faults;
+pub mod json;
 pub mod metrics;
 pub mod spec;
 pub mod streams;
 pub mod truth;
 
+pub use attacks::{
+    check_floors, compose_attacked_stream, evaluate_matrix, full_grid, smoke_grid, standard_grid,
+    AttackKind, AttackMatrixReport, AttackSpec, AttackedClip, MatrixCell, MatrixConfig, Strength,
+};
 pub use clips::ClipLibrary;
 pub use faults::{inject_faults, FaultReport, FaultSpec};
+pub use json::Json;
 pub use metrics::{score, PrecisionRecall};
 pub use spec::WorkloadSpec;
 pub use streams::{compose_stream, fingerprint_stream, ComposedStream, FingerprintedStream, StreamKind};

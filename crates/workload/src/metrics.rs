@@ -142,6 +142,59 @@ mod tests {
     }
 
     #[test]
+    fn zero_detections_never_fabricate_precision_or_recall() {
+        // No detections at all: precision is 1.0 by convention (no false
+        // claims were made) but recall stays strictly 0 — a detector that
+        // reports nothing must not look good on a stream full of copies.
+        let truth = vec![gt(1, 100, 200), gt(2, 400, 500), gt(3, 800, 900)];
+        let pr = score(&[], &truth, 10);
+        assert_eq!(pr.precision, 1.0);
+        assert_eq!(pr.recall, 0.0);
+        assert_eq!(pr.found, 0);
+        assert_eq!(pr.planted, 3);
+        assert_eq!(pr.f1(), 0.0, "f1 must not reward an empty report");
+    }
+
+    #[test]
+    fn fully_overlapping_spans_credit_each_truth_entry_independently() {
+        // Two truth spans over the same stream frames, different queries:
+        // a detection only credits the span whose query it names.
+        let truth = vec![gt(1, 100, 200), gt(2, 100, 200)];
+        let pr = score(&[det(1, 150)], &truth, 10);
+        assert_eq!(pr.correct, 1);
+        assert_eq!(pr.found, 1);
+        assert_eq!(pr.recall, 0.5);
+
+        // Same query planted in nested spans: one accepted position can
+        // legitimately satisfy both records, and both count as found.
+        let nested = vec![gt(1, 100, 200), gt(1, 120, 180)];
+        let pr2 = score(&[det(1, 160)], &nested, 10);
+        assert_eq!(pr2.correct, 1, "one detection stays one detection");
+        assert_eq!(pr2.found, 2, "it satisfies both overlapping records");
+        assert_eq!(pr2.recall, 1.0);
+    }
+
+    #[test]
+    fn adjacent_spans_split_exactly_at_the_window_boundary() {
+        // Back-to-back insertions of the same query: [100, 200) then
+        // [200, 300). With w = 10, the first accepts p ∈ [110, 209] and
+        // the second p ∈ [210, 309] — no position is ambiguous and no
+        // position falls in a gap.
+        let truth = vec![gt(1, 100, 200), gt(1, 200, 300)];
+        let w = 10;
+        let last_of_first = score(&[det(1, 209)], &truth, w);
+        assert_eq!(last_of_first.found, 1);
+        assert!(truth[0].accepts(209, w) && !truth[1].accepts(209, w));
+        let first_of_second = score(&[det(1, 210)], &truth, w);
+        assert_eq!(first_of_second.found, 1);
+        assert!(!truth[0].accepts(210, w) && truth[1].accepts(210, w));
+        // One detection per span finds both.
+        let both = score(&[det(1, 150), det(1, 250)], &truth, w);
+        assert_eq!(both.recall, 1.0);
+        assert_eq!(both.precision, 1.0);
+    }
+
+    #[test]
     fn repeated_insertions_of_same_query() {
         let truth = vec![gt(1, 100, 200), gt(1, 1000, 1100)];
         let dets = vec![det(1, 150)];

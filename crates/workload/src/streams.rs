@@ -22,6 +22,11 @@ pub enum StreamKind {
     Vs1,
     /// Tampered clips (edit pipeline + re-compression) inserted.
     Vs2,
+    /// Clips put through one attack of the robustness matrix
+    /// ([`crate::attacks`]); composed via
+    /// [`crate::attacks::compose_attacked_stream`], which knows the
+    /// attack, not by [`compose_stream`].
+    Attacked,
 }
 
 /// A composed, encoded evaluation stream.
@@ -55,12 +60,42 @@ pub struct FingerprintedStream {
 /// The background alternates between `spec.base_films` seeded "films";
 /// the first `spec.inserted` clips are planted at random, non-overlapping
 /// positions (uniformly spread gaps).
+///
+/// # Panics
+/// Panics on [`StreamKind::Attacked`] — attacked streams carry an attack
+/// spec; build them with [`crate::attacks::compose_attacked_stream`].
 pub fn compose_stream(library: &ClipLibrary, kind: StreamKind) -> ComposedStream {
+    match kind {
+        StreamKind::Vs1 => compose_with(library, kind, 0x0051, |id| {
+            let clip = library.original(id);
+            let len = clip.len() as u64;
+            (clip, (0, len))
+        }),
+        StreamKind::Vs2 => compose_with(library, kind, 0x0052, |id| {
+            let clip = library.edited(id);
+            let len = clip.len() as u64;
+            (clip, (0, len))
+        }),
+        StreamKind::Attacked => {
+            panic!("attacked streams need an attack spec: use attacks::compose_attacked_stream")
+        }
+    }
+}
+
+/// The generic composer behind [`compose_stream`] and
+/// [`crate::attacks::compose_attacked_stream`]. `clip_for` supplies the
+/// clip inserted for each id plus the span `[start, end)` of the *query
+/// content* inside it, in inserted-clip frames — the full clip for
+/// VS1/VS2, but a sub-span for time-warping or clip-in-clip attacks.
+/// The recorded ground truth covers only that content span.
+pub(crate) fn compose_with(
+    library: &ClipLibrary,
+    kind: StreamKind,
+    salt: u64,
+    mut clip_for: impl FnMut(u32) -> (vdsms_video::Clip, (u64, u64)),
+) -> ComposedStream {
     let spec = library.spec().clone();
-    let mut rng = StdRng::seed_from_u64(spec.seed ^ match kind {
-        StreamKind::Vs1 => 0x0051,
-        StreamKind::Vs2 => 0x0052,
-    });
+    let mut rng = StdRng::seed_from_u64(spec.seed ^ salt);
 
     // One continuous generator per base film; the background cycles
     // between them (the paper's "5 films as our base video").
@@ -108,13 +143,14 @@ pub fn compose_stream(library: &ClipLibrary, kind: StreamKind) -> ComposedStream
         // Insertion (after every gap but the last).
         if i < n_inserts {
             let clip_id = i as u32;
-            let clip = match kind {
-                StreamKind::Vs1 => library.original(clip_id),
-                StreamKind::Vs2 => library.edited(clip_id),
-            };
+            let (clip, content) = clip_for(clip_id);
+            debug_assert!(
+                content.0 <= content.1 && content.1 <= clip.len() as u64,
+                "content span must lie within the inserted clip"
+            );
             let start = frame_count;
             for frame in clip.frames() {
-                // VS2 clips may differ in resolution (PAL height); the
+                // Edited clips may differ in resolution (PAL height); the
                 // broadcaster letterboxes/rescales back to the stream
                 // geometry.
                 if frame.width() != spec.width || frame.height() != spec.height {
@@ -124,7 +160,15 @@ pub fn compose_stream(library: &ClipLibrary, kind: StreamKind) -> ComposedStream
                 }
                 frame_count += 1;
             }
-            truth.push(GtInterval { query_id: clip_id, start_frame: start, end_frame: frame_count });
+            // Ground truth covers only the query content (an empty span —
+            // everything dropped by the attack — plants no truth at all).
+            if content.0 < content.1 {
+                truth.push(GtInterval {
+                    query_id: clip_id,
+                    start_frame: start + content.0,
+                    end_frame: start + content.1,
+                });
+            }
         }
     }
 
@@ -142,12 +186,14 @@ pub fn fingerprint_stream(
     // vdsms-lint: allow(no-wall-clock) reason="decode_seconds is a reported measurement, not an input to detection; results stay replay-identical"
     let started = std::time::Instant::now();
     let extractor = FeatureExtractor::new(*features);
+    // vdsms-lint: allow(no-panic-hot-path) reason="the bitstream was composed by this same crate's generator; a parse failure is a workload bug, not an input condition"
     let mut decoder = PartialDecoder::new(&stream.bitstream).expect("stream must parse");
     let mut cell_ids = Vec::new();
     let mut feats = Vec::new();
     // Pooled decode (this consumer also needs the raw feature vectors, so
     // it takes the `_into` decoder directly rather than FingerprintStream).
     let mut frame = DcFrame::empty();
+    // vdsms-lint: allow(no-panic-hot-path) reason="decoding a stream this same crate composed; a failure is a workload bug, not an input condition"
     while decoder.next_dc_frame_into(&mut frame).expect("stream must decode") {
         let v = extractor.feature_vector(&frame);
         cell_ids.push((frame.frame_index, extractor.partition().cell_id(&v)));

@@ -52,4 +52,48 @@ mod tests {
         assert_eq!(gt.len(), 4);
         assert!(!gt.is_empty());
     }
+
+    #[test]
+    fn single_frame_interval_accepts_exactly_one_position() {
+        // [100, 101): the paper's end is end_frame − 1 = 100, so the rule
+        // accepts only p = 100 + w. Off by one in either direction of the
+        // half-open convention would accept 0 or 2 positions.
+        let gt = GtInterval { query_id: 1, start_frame: 100, end_frame: 101 };
+        let w = 10;
+        assert!(!gt.accepts(109, w));
+        assert!(gt.accepts(110, w));
+        assert!(!gt.accepts(111, w));
+    }
+
+    #[test]
+    fn empty_interval_never_accepts() {
+        // A degenerate record (everything dropped by an attack) must not
+        // make any detection correct.
+        let gt = GtInterval { query_id: 1, start_frame: 100, end_frame: 100 };
+        assert!(gt.is_empty());
+        for p in 90..130 {
+            assert!(!gt.accepts(p, 10), "p = {p}");
+        }
+    }
+
+    #[test]
+    fn zero_window_accepts_the_interval_itself() {
+        // w = 0 degenerates the rule to begin ≤ p ≤ end: the boundary
+        // arithmetic must not underflow or shift.
+        let gt = GtInterval { query_id: 1, start_frame: 100, end_frame: 200 };
+        assert!(!gt.accepts(99, 0));
+        assert!(gt.accepts(100, 0));
+        assert!(gt.accepts(199, 0));
+        assert!(!gt.accepts(200, 0));
+    }
+
+    #[test]
+    fn interval_starting_at_frame_zero_does_not_underflow() {
+        let gt = GtInterval { query_id: 1, start_frame: 0, end_frame: 10 };
+        assert!(gt.accepts(0, 0));
+        assert!(gt.accepts(9, 0));
+        assert!(!gt.accepts(10, 0));
+        assert!(gt.accepts(5, 5));
+        assert!(!gt.accepts(4, 5));
+    }
 }

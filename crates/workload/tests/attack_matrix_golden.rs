@@ -1,0 +1,55 @@
+//! Golden-snapshot test for the attack-matrix JSON report: the output of
+//! a fixed tiny evaluation must match `tests/golden/attack_matrix.json`
+//! byte for byte (same convention as `vdsms-lint --json`'s snapshot).
+//!
+//! The snapshot pins two things at once: the report *format* (key order,
+//! float formatting) that `BENCH_robustness.json` tooling parses, and the
+//! *determinism* of the whole evaluation pipeline — any drift in codec
+//! bits, feature extraction, sketching, or detection shows up here as a
+//! changed number. Regenerate after an intentional change with
+//! `BLESS=1 cargo test -p vdsms-workload --test attack_matrix_golden`.
+
+use std::path::Path;
+use vdsms_core::DetectorVariant;
+use vdsms_workload::{evaluate_matrix, AttackSpec, MatrixConfig, WorkloadSpec};
+
+#[test]
+fn attack_matrix_json_matches_the_golden_snapshot_byte_for_byte() {
+    let config = MatrixConfig {
+        spec: WorkloadSpec {
+            seed: 42,
+            num_clips: 3,
+            inserted: 2,
+            clip_min_s: 8.0,
+            clip_max_s: 12.0,
+            base_seconds: 50.0,
+            ..Default::default()
+        },
+        profile: "golden".to_string(),
+        attacks: vec![
+            AttackSpec::parse("speed-up:medium", 42).unwrap(),
+            AttackSpec::parse("clip-in-clip:light", 42).unwrap(),
+        ],
+        detectors: vec![DetectorVariant::Seq, DetectorVariant::Geo],
+        w_seconds: 5.0,
+        delta: 0.7,
+        k: 400,
+    };
+    let first = evaluate_matrix(&config).to_json();
+    let second = evaluate_matrix(&config).to_json();
+    assert_eq!(first, second, "two runs of the same config must serialize identically");
+
+    let golden_path =
+        Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden/attack_matrix.json");
+    if std::env::var_os("BLESS").is_some() {
+        std::fs::create_dir_all(golden_path.parent().unwrap()).expect("create golden dir");
+        std::fs::write(&golden_path, &first).expect("write golden snapshot");
+    }
+    let golden = std::fs::read_to_string(&golden_path)
+        .expect("golden snapshot missing — run with BLESS=1 to create it");
+    assert_eq!(
+        first, golden,
+        "attack-matrix JSON drifted from the golden snapshot; if intentional, \
+         regenerate with BLESS=1"
+    );
+}

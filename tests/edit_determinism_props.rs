@@ -1,0 +1,93 @@
+//! Property tests (proptest): every `Edit` and `EditPipeline` application
+//! is deterministic — the same seed and input clip produce byte-identical
+//! output frames — and the timeline bookkeeping (`output_len`,
+//! `map_span`) always agrees with what `apply` actually built.
+//!
+//! The robustness attack matrix commits per-cell floors to
+//! `BENCH_robustness.json`; that gate is only sound if attacked streams
+//! are reproducible, which reduces to exactly these invariants.
+
+use proptest::prelude::*;
+use vdsms::video::source::{ClipGenerator, SourceSpec};
+use vdsms::video::{Clip, Edit, EditPipeline, Fps};
+
+/// A small seeded clip (proptest only draws the seed and length, keeping
+/// cases fast while still varying content and frame count).
+fn clip(seed: u64, frames: usize) -> Clip {
+    let gen = ClipGenerator::new(SourceSpec {
+        width: 48,
+        height: 32,
+        fps: Fps::integer(10),
+        seed,
+        min_scene_s: 0.5,
+        max_scene_s: 1.5,
+        motifs: None,
+    });
+    Clip::new(gen.take(frames).collect(), Fps::integer(10))
+}
+
+/// Strategy over every `Edit` variant, with parameters in their valid
+/// ranges (sized for ~20–60-frame inputs).
+fn arb_edit() -> impl Strategy<Value = Edit> {
+    prop_oneof![
+        (0.4f64..1.6, -20.0f64..20.0).prop_map(|(gain, offset)| Edit::GainOffset { gain, offset }),
+        (0.5f64..8.0, any::<u64>()).prop_map(|(sigma, seed)| Edit::Noise { sigma, seed }),
+        (16u32..64, 16u32..48).prop_map(|(width, height)| Edit::Resize { width, height }),
+        (5u32..20).prop_map(|f| Edit::ResampleFps { target: Fps::integer(f) }),
+        (2usize..6, any::<u64>()).prop_map(|(segments, seed)| Edit::SegmentReorder { segments, seed }),
+        (1u32..4, 1u32..4).prop_map(|(num, den)| Edit::Speed { num, den }),
+        (2usize..10, 1usize..2).prop_map(|(period, drop)| Edit::DropPeriodic { period, drop }),
+        (0.01f64..0.2, 1usize..5, any::<u64>())
+            .prop_map(|(rate, burst, seed)| Edit::DropBursty { rate, burst, seed }),
+        (0.2f64..2.0, 0.2f64..2.0, any::<u64>())
+            .prop_map(|(lead_s, trail_s, seed)| Edit::ClipInClip { lead_s, trail_s, seed }),
+        (0.3f64..1.0, 0.3f64..1.0).prop_map(|(keep_w, keep_h)| Edit::Crop { keep_w, keep_h }),
+        (0.0f64..0.45, 0.0f64..0.45).prop_map(|(bar_x, bar_y)| Edit::Letterbox { bar_x, bar_y }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// One edit, applied twice to the same input, yields byte-identical
+    /// frames — and its length/span bookkeeping matches the real output.
+    #[test]
+    fn single_edit_is_deterministic_and_length_consistent(
+        edit in arb_edit(),
+        seed in any::<u64>(),
+        frames in 20usize..60,
+    ) {
+        let input = clip(seed, frames);
+        let a = edit.apply(&input);
+        let b = edit.apply(&input);
+        prop_assert_eq!(a.frames(), b.frames(), "{:?} not deterministic", edit);
+        prop_assert_eq!(a.fps(), b.fps());
+        prop_assert_eq!(
+            a.len(),
+            edit.output_len(input.len(), input.fps()),
+            "{:?}: output_len disagrees with apply", edit
+        );
+        let (s, e) = edit.map_span(input.len(), input.fps(), (0, input.len() as u64));
+        prop_assert!(e <= a.len() as u64, "{:?}: span {:?} exceeds output", edit, (s, e));
+    }
+
+    /// Pipelines of several edits are deterministic end to end, and the
+    /// folded `map_span` tracks the real output length through every
+    /// stage.
+    #[test]
+    fn pipeline_is_deterministic_and_span_tracks_length(
+        edits in proptest::collection::vec(arb_edit(), 1..4),
+        seed in any::<u64>(),
+        frames in 20usize..50,
+    ) {
+        let input = clip(seed, frames);
+        let pipe = edits.iter().cloned().fold(EditPipeline::new(), |p, e| p.then(e));
+        let a = pipe.apply(&input);
+        let b = pipe.apply(&input);
+        prop_assert_eq!(a.frames(), b.frames(), "{:?} not deterministic", edits);
+        let mapped = pipe.map_span(input.len(), input.fps(), (0, input.len() as u64));
+        prop_assert_eq!(mapped.len, a.len(), "{:?}: folded length drifted", edits);
+        prop_assert_eq!(mapped.fps, a.fps());
+        prop_assert!(mapped.span.1 <= a.len() as u64, "{:?}", edits);
+    }
+}

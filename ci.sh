@@ -15,8 +15,38 @@ cargo test -q
 echo "== benches compile =="
 cargo bench --no-run -q
 
-echo "== static-analysis gate (vdsms-lint) =="
-cargo run -p vdsms-lint --release
+echo "== static-analysis gate (vdsms-lint, cold then warm) =="
+# Cold: wipe the incremental cache, every file parses. Warm: the same
+# gate again — every file must come from the cache with byte-identical
+# output, and the warm pass must be measurably faster.
+cargo build --release -q -p vdsms-lint
+rm -rf target/vdsms-lint-cache
+lint_tmp="$(mktemp -d)"
+cold_start=$(date +%s%N)
+./target/release/vdsms-lint > "$lint_tmp/cold.txt" 2> "$lint_tmp/cold_err.txt"
+cold_end=$(date +%s%N)
+grep -q "cache: 0 reused" "$lint_tmp/cold_err.txt" \
+  || { echo "cold lint run should parse everything"; cat "$lint_tmp/cold_err.txt"; exit 1; }
+warm_start=$(date +%s%N)
+./target/release/vdsms-lint > "$lint_tmp/warm.txt" 2> "$lint_tmp/warm_err.txt"
+warm_end=$(date +%s%N)
+grep -Eq "cache: [1-9][0-9]* reused, 0 parsed" "$lint_tmp/warm_err.txt" \
+  || { echo "warm lint run should reuse every summary"; cat "$lint_tmp/warm_err.txt"; exit 1; }
+cmp -s "$lint_tmp/cold.txt" "$lint_tmp/warm.txt" \
+  || { echo "cold and warm lint output differ"; diff "$lint_tmp/cold.txt" "$lint_tmp/warm.txt"; exit 1; }
+cold_ms=$(( (cold_end - cold_start) / 1000000 ))
+warm_ms=$(( (warm_end - warm_start) / 1000000 ))
+echo "lint: cold ${cold_ms}ms, warm ${warm_ms}ms"
+# The report cache makes a fully-warm run skip parsing AND linking;
+# anything under 5x means the cache regressed (observed headroom ~13x).
+[ "$(( cold_ms >= 5 * (warm_ms < 1 ? 1 : warm_ms) ))" -eq 1 ] \
+  || { echo "warm lint run should be >=5x faster than cold (${cold_ms}ms vs ${warm_ms}ms)"; exit 1; }
+./target/release/vdsms-lint --format sarif > lint-report.sarif \
+  || { echo "SARIF export failed"; exit 1; }
+grep -q '"version": "2.1.0"' lint-report.sarif \
+  || { echo "lint-report.sarif is not a SARIF 2.1.0 document"; exit 1; }
+echo "lint: SARIF artifact at lint-report.sarif"
+rm -rf "$lint_tmp"
 
 echo "== zero-alloc steady state (release) =="
 cargo test --release -q --test alloc_steady_state

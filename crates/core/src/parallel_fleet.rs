@@ -93,7 +93,9 @@ impl ShardState {
                 Cmd::RemoveStream(stream_id, reply) => {
                     let stats = self.streams.remove(&stream_id).map(|d| *d.stats());
                     self.stats.write().remove(&stream_id);
-                    let _ = reply.send(stats);
+                    if reply.send(stats).is_err() {
+                        return; // controller dropped the reply: fleet is shutting down
+                    }
                 }
                 Cmd::Install(queries, index, ack) => {
                     for det in self.streams.values_mut() {
@@ -101,11 +103,15 @@ impl ShardState {
                     }
                     self.queries = queries;
                     self.index = index;
-                    let _ = ack.send(());
+                    if ack.send(()).is_err() {
+                        return;
+                    }
                 }
                 Cmd::BatchSync(items, reply) => {
                     let dets = self.process(&items);
-                    let _ = reply.send(dets);
+                    if reply.send(dets).is_err() {
+                        return;
+                    }
                 }
                 Cmd::BatchAsync(items) => {
                     let dets = self.process(&items);
@@ -123,10 +129,14 @@ impl ShardState {
                         );
                     }
                     self.publish_stats();
-                    let _ = reply.send(out);
+                    if reply.send(out).is_err() {
+                        return;
+                    }
                 }
                 Cmd::Quiesce(ack) => {
-                    let _ = ack.send(());
+                    if ack.send(()).is_err() {
+                        return;
+                    }
                 }
                 Cmd::Crash => {
                     // vdsms-lint: allow(no-panic-hot-path) reason="deliberate crash point: Cmd::Crash exists so shard-supervision tests can exercise panic recovery"
@@ -765,6 +775,7 @@ impl ParallelFleet {
     /// fleet call touching the shard observes the death and restarts it.
     #[doc(hidden)]
     pub fn inject_shard_panic(&mut self, shard: usize) {
+        // vdsms-lint: allow(no-swallowed-error) reason="a failed send means the shard already died, which is exactly the state this hook exists to produce"
         let _ = self.shards[shard].tx.send(Cmd::Crash);
     }
 }

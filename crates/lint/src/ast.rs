@@ -10,7 +10,7 @@
 //! coverage, never correctness of what *was* parsed, and never panics.
 
 /// A 1-based source position.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct Pos {
     /// 1-based line.
     pub line: u32,
@@ -81,6 +81,10 @@ pub struct FnDef {
     pub entry: Option<Vec<String>>,
     /// Parameter names, best-effort (identifier patterns only).
     pub params: Vec<String>,
+    /// Whether the declared return type is a `Result` (by name: the
+    /// first type path mentions `Result` or an alias ending in
+    /// `Result`). Drives `no-swallowed-error`.
+    pub returns_result: bool,
     /// Body statements; `None` for bodyless declarations (trait methods,
     /// extern fns).
     pub body: Option<Vec<Stmt>>,
@@ -195,8 +199,9 @@ pub struct Expr {
 pub enum ExprKind {
     /// `a::b::c` or a plain identifier (including `self`, `Self`).
     Path(Vec<String>),
-    /// Any literal.
-    Lit,
+    /// Any literal. Numeric literals keep their source text (empty for
+    /// strings/chars, which the analyses treat as opaque).
+    Lit(String),
     /// Unary `-x`, `!x`, `*x`.
     Unary(Box<Expr>),
     /// `&x` / `&mut x`.
@@ -352,6 +357,33 @@ impl Expr {
             _ => None,
         }
     }
+
+    /// The numeric value of an integer literal, if this expression is one
+    /// (`_` separators and type suffixes tolerated; hex/oct/bin accepted).
+    pub fn int_value(&self) -> Option<u64> {
+        let ExprKind::Lit(text) = &self.kind else { return None };
+        let clean: String = text.chars().filter(|c| *c != '_').collect();
+        let (radix, rest) = if let Some(r) = clean.strip_prefix("0x") {
+            (16, r)
+        } else if let Some(r) = clean.strip_prefix("0o") {
+            (8, r)
+        } else if let Some(r) = clean.strip_prefix("0b") {
+            (2, r)
+        } else {
+            (10, clean.as_str())
+        };
+        // A type suffix (u8/i32/usize/…) starts at the first char that is
+        // not a digit of the radix; floats (a `.` or exponent) bail out
+        // the same way via from_str_radix failing on the prefix.
+        let end = rest
+            .char_indices()
+            .find(|(_, c)| !c.is_digit(radix))
+            .map_or(rest.len(), |(i, _)| i);
+        if end == 0 {
+            return None;
+        }
+        u64::from_str_radix(&rest[..end], radix).ok()
+    }
 }
 
 /// Walk every expression in a statement list, depth-first, including
@@ -375,7 +407,7 @@ pub fn walk_stmts<'a>(stmts: &'a [Stmt], f: &mut impl FnMut(&'a Expr)) {
 pub fn walk_expr<'a>(e: &'a Expr, f: &mut impl FnMut(&'a Expr)) {
     f(e);
     match &e.kind {
-        ExprKind::Path(_) | ExprKind::Lit | ExprKind::Unknown => {}
+        ExprKind::Path(_) | ExprKind::Lit(_) | ExprKind::Unknown => {}
         ExprKind::Unary(x) | ExprKind::Ref(x) | ExprKind::Try(x) | ExprKind::Closure(x) => {
             walk_expr(x, f)
         }

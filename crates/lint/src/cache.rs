@@ -1,0 +1,303 @@
+//! The incremental analysis cache: per-file summaries keyed by content
+//! hash, stored under `<root>/target/vdsms-lint-cache/`.
+//!
+//! The per-file phase ([`crate::summarize_file`]) is the expensive part
+//! of a lint run — lexing, parsing and the summary walks. Its output,
+//! a [`FileSummary`], depends only on the file's bytes and identity
+//! (crate, path label, crate-root flag) and on the extraction code
+//! itself — **not** on configuration: summaries record every fact
+//! unconditionally and rule switches are applied at link time. That
+//! makes the cache safe to reuse across config edits, and makes a warm
+//! run's diagnostics byte-identical to a cold run's by construction
+//! (both feed the same summaries to the same link phase).
+//!
+//! The key is a chunked FNV-1a-style 64-bit hash over the lint version, the summary
+//! format version, the file identity and the source bytes; any change
+//! to either the file or the extraction semantics simply misses. A
+//! cache entry that fails to parse or mismatches the embedded format
+//! version is treated as a miss and rewritten — the cache can never
+//! make a run fail, only make it faster.
+
+use crate::config::LintConfig;
+use crate::diag::Report;
+use crate::summaries::{FileSummary, SUMMARY_VERSION};
+use crate::SourceFile;
+use std::path::{Path, PathBuf};
+use vdsms_json::Json;
+
+/// Bumped when extraction semantics change without a summary-shape
+/// change (part of the cache key alongside [`SUMMARY_VERSION`]).
+pub const LINT_VERSION: u64 = 3;
+
+/// Counters for one cached lint run, reported on stderr by the binary
+/// and asserted by `ci.sh` (a warm run must reuse, a cold run must
+/// parse).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Files whose summary was loaded from the cache.
+    pub reused: usize,
+    /// Files that were (re)parsed and summarized.
+    pub parsed: usize,
+}
+
+/// The on-disk cache directory for workspace `root`.
+pub fn cache_dir(root: &Path) -> PathBuf {
+    root.join("target").join("vdsms-lint-cache")
+}
+
+/// FNV-1a-64, widened to consume 8 bytes per multiply. The byte-serial
+/// original is a long dependency chain that caps hashing at ~1 GB/s in
+/// the worst case; chunking keeps the same mixing structure (xor then
+/// multiply by the FNV prime) while cutting the multiplies 8×. Only
+/// stability matters for a cache key, not any external FNV test vector
+/// — the tail bytes and a trailing length mix keep distinct inputs
+/// distinct across chunk boundaries.
+fn fnv1a(state: u64, bytes: &[u8]) -> u64 {
+    let mut h = state;
+    let mut chunks = bytes.chunks_exact(8);
+    for c in &mut chunks {
+        let word = u64::from_le_bytes([c[0], c[1], c[2], c[3], c[4], c[5], c[6], c[7]]);
+        h ^= word;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    for &b in chunks.remainder() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h ^= bytes.len() as u64;
+    h.wrapping_mul(0x0000_0100_0000_01b3)
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+
+/// The cache key for one source file: lint + summary version, file
+/// identity, and content. Separator bytes keep field boundaries
+/// unambiguous.
+pub fn cache_key(file: &SourceFile) -> u64 {
+    let mut h = fnv1a(FNV_OFFSET, &LINT_VERSION.to_le_bytes());
+    h = fnv1a(h, &SUMMARY_VERSION.to_le_bytes());
+    h = fnv1a(h, file.crate_name.as_bytes());
+    h = fnv1a(h, &[0]);
+    h = fnv1a(h, file.path.as_bytes());
+    h = fnv1a(h, &[0, u8::from(file.is_crate_root)]);
+    fnv1a(h, file.source.as_bytes())
+}
+
+fn entry_path(dir: &Path, key: u64) -> PathBuf {
+    dir.join(format!("{key:016x}.json"))
+}
+
+/// One file's cache probe: the key (reused for the write on a miss)
+/// and the cached summary, if a valid entry existed.
+fn probe(dir: &Path, file: &SourceFile) -> (u64, Option<FileSummary>) {
+    let key = cache_key(file);
+    let cached = std::fs::read_to_string(entry_path(dir, key))
+        .ok()
+        .as_deref()
+        .and_then(FileSummary::from_json);
+    (key, cached)
+}
+
+/// Summarize `files`, reusing cached summaries where the key matches.
+/// Cache I/O failures are silently treated as misses (a read-only or
+/// missing `target/` never breaks the lint run); `stats` records the
+/// hit/miss split.
+///
+/// The probe phase (hash every file, read and decode its entry) is
+/// independent per file and dominates a warm run, so it fans out over
+/// scoped threads; results land by index, keeping the summary order —
+/// and therefore every diagnostic — deterministic. Misses are then
+/// summarized and written back serially.
+pub fn summarize_with_cache(root: &Path, files: &[SourceFile]) -> (Vec<FileSummary>, CacheStats) {
+    let dir = cache_dir(root);
+    let writable = std::fs::create_dir_all(&dir).is_ok();
+    let workers = std::thread::available_parallelism().map_or(1, |n| n.get()).min(8);
+    let mut probed: Vec<(u64, Option<FileSummary>)> = Vec::new();
+    if workers > 1 && files.len() > 1 {
+        let chunk = files.len().div_ceil(workers);
+        probed.resize_with(files.len(), || (0, None));
+        std::thread::scope(|s| {
+            for (out, part) in probed.chunks_mut(chunk).zip(files.chunks(chunk)) {
+                let dir = &dir;
+                s.spawn(move || {
+                    for (slot, file) in out.iter_mut().zip(part) {
+                        *slot = probe(dir, file);
+                    }
+                });
+            }
+        });
+    } else {
+        probed.extend(files.iter().map(|f| probe(&dir, f)));
+    }
+    let mut stats = CacheStats::default();
+    let mut summaries = Vec::with_capacity(files.len());
+    for (file, (key, cached)) in files.iter().zip(probed) {
+        if let Some(cached) = cached {
+            stats.reused += 1;
+            summaries.push(cached);
+            continue;
+        }
+        let summary = crate::summarize_file(file);
+        stats.parsed += 1;
+        if writable {
+            // Write-then-rename would be sturdier against concurrent
+            // runs, but the gate runs single-process; a torn write just
+            // misses next time.
+            let _ = std::fs::write(entry_path(&dir, key), summary.to_json());
+        }
+        summaries.push(summary);
+    }
+    (summaries, stats)
+}
+
+/// The report-cache key: every per-file key in order, then the config
+/// fingerprint. The per-file keys already cover the lint and summary
+/// versions, file identities and contents, so this hash changes when
+/// **any** input to the link phase changes — and only then.
+pub fn report_key(files: &[SourceFile], config: &LintConfig) -> u64 {
+    let mut h = fnv1a(FNV_OFFSET, &(files.len() as u64).to_le_bytes());
+    for f in files {
+        h = fnv1a(h, &cache_key(f).to_le_bytes());
+    }
+    fnv1a(h, config.fingerprint().as_bytes())
+}
+
+fn report_path(dir: &Path) -> PathBuf {
+    dir.join("report.json")
+}
+
+/// Load the cached whole-workspace report if one exists for `key`.
+///
+/// This is the second cache layer: per-file summaries make a run
+/// incremental (only touched files re-parse), while the report cache
+/// makes the fully-unchanged case skip the link phase too. The key is
+/// embedded in the entry, so a stale report self-invalidates; corrupt
+/// or mismatching entries are misses.
+pub fn load_cached_report(root: &Path, key: u64) -> Option<Report> {
+    let text = std::fs::read_to_string(report_path(&cache_dir(root))).ok()?;
+    let v = Json::parse(&text).ok()?;
+    if v.get("key")?.as_str()? != format!("{key:016x}") {
+        return None;
+    }
+    Report::from_json_value(v.get("report")?)
+}
+
+/// Persist the whole-workspace report under `key`. Best-effort like
+/// every cache write: failure just means the next run relinks.
+pub fn store_cached_report(root: &Path, key: u64, report: &Report) {
+    let dir = cache_dir(root);
+    if std::fs::create_dir_all(&dir).is_err() {
+        return;
+    }
+    let entry = Json::Obj(vec![
+        ("key".to_string(), Json::str(format!("{key:016x}"))),
+        ("report".to_string(), report.to_json_value()),
+    ]);
+    let _ = std::fs::write(report_path(&dir), entry.to_compact());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn file(src: &str) -> SourceFile {
+        SourceFile {
+            crate_name: "demo".to_string(),
+            path: "crates/demo/src/lib.rs".to_string(),
+            source: src.to_string(),
+            is_crate_root: true,
+        }
+    }
+
+    #[test]
+    fn key_changes_with_content_and_identity() {
+        let a = file("pub fn f() {}\n");
+        let mut b = a.clone();
+        b.source.push('\n');
+        assert_ne!(cache_key(&a), cache_key(&b));
+        let mut c = a.clone();
+        c.path = "crates/demo/src/other.rs".to_string();
+        assert_ne!(cache_key(&a), cache_key(&c));
+        let mut d = a.clone();
+        d.is_crate_root = false;
+        assert_ne!(cache_key(&a), cache_key(&d));
+        assert_eq!(cache_key(&a), cache_key(&a.clone()));
+    }
+
+    #[test]
+    fn warm_run_reuses_and_touched_file_reparses() {
+        let root = std::env::temp_dir().join(format!("vdsms-lint-cache-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        let files =
+            vec![file("pub fn f() {}\n"), SourceFile { path: "crates/demo/src/b.rs".into(), ..file("pub fn g() {}\n") }];
+
+        let (cold, s1) = summarize_with_cache(&root, &files);
+        assert_eq!((s1.reused, s1.parsed), (0, 2));
+        let (warm, s2) = summarize_with_cache(&root, &files);
+        assert_eq!((s2.reused, s2.parsed), (2, 0));
+        assert_eq!(cold, warm);
+
+        // Touch one file: exactly one re-parse, identical summaries for
+        // the rest.
+        let mut touched = files.clone();
+        touched[1].source = "pub fn g() { let x = 1; }\n".to_string();
+        let (after, s3) = summarize_with_cache(&root, &touched);
+        assert_eq!((s3.reused, s3.parsed), (1, 1));
+        assert_eq!(after[0], cold[0]);
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn report_cache_round_trips_and_self_invalidates() {
+        let root =
+            std::env::temp_dir().join(format!("vdsms-lint-report-cache-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        let files = vec![file("pub fn f() {}\n")];
+        let config = LintConfig::default();
+        let key = report_key(&files, &config);
+        assert!(load_cached_report(&root, key).is_none(), "empty cache is a miss");
+
+        let mut report = Report { files_scanned: 1, ..Default::default() };
+        report.diagnostics.push(crate::diag::Diagnostic {
+            rule: "loop-progress".into(),
+            file: "crates/demo/src/lib.rs".into(),
+            line: 4,
+            col: 5,
+            message: "hot loop has no progress witness".into(),
+            snippet: "loop {}".into(),
+        });
+        store_cached_report(&root, key, &report);
+        let loaded = load_cached_report(&root, key).expect("stored report loads");
+        assert_eq!(loaded.to_json(), report.to_json(), "round trip is byte-identical");
+
+        // A different file set or config produces a different key, and
+        // the embedded key makes the stale entry a miss.
+        let mut touched = files.clone();
+        touched[0].source.push('\n');
+        let other = report_key(&touched, &config);
+        assert_ne!(key, other);
+        assert!(load_cached_report(&root, other).is_none(), "stale report is a miss");
+
+        // Corruption is a miss, never an error.
+        std::fs::write(report_path(&cache_dir(&root)), "{broken").expect("write");
+        assert!(load_cached_report(&root, key).is_none());
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn corrupt_cache_entries_are_misses() {
+        let root =
+            std::env::temp_dir().join(format!("vdsms-lint-cache-corrupt-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        let files = vec![file("pub fn f() {}\n")];
+        let (cold, _) = summarize_with_cache(&root, &files);
+        // Corrupt the entry on disk; the next run must re-parse, not fail.
+        let dir = cache_dir(&root);
+        let entry = entry_path(&dir, cache_key(&files[0]));
+        std::fs::write(&entry, "{not json").expect("cache entry should exist");
+        let (again, stats) = summarize_with_cache(&root, &files);
+        assert_eq!((stats.reused, stats.parsed), (0, 1));
+        assert_eq!(cold, again);
+        let _ = std::fs::remove_dir_all(&root);
+    }
+}

@@ -20,7 +20,8 @@
 //! entry` functions defines the hot set; BFS parents reconstruct the
 //! call chain every hot-path diagnostic prints.
 
-use crate::ast::{walk_stmts, Expr, ExprKind, Pos};
+use crate::ast::Pos;
+use crate::summaries::CallRef;
 use crate::symbols::SymbolTable;
 use std::collections::BTreeSet;
 
@@ -53,38 +54,66 @@ pub struct CallGraph {
 }
 
 impl CallGraph {
-    /// Build the graph for every function in `symbols`.
+    /// Build the graph for every function in `symbols`, resolving the
+    /// unresolved [`CallRef`]s each summary recorded.
     pub fn build(symbols: &SymbolTable<'_>) -> CallGraph {
+        let resolved: Vec<Vec<Vec<usize>>> = symbols
+            .fns
+            .iter()
+            .map(|f| {
+                f.def
+                    .calls
+                    .iter()
+                    .map(|cr| resolve_call_ref(symbols, cr, f.self_ty, f.def.is_test))
+                    .collect()
+            })
+            .collect();
+        Self::from_resolved(symbols, &resolved)
+    }
+
+    /// Build the graph from an already-resolved per-function,
+    /// per-call-site callee matrix (as the link phase computes for its
+    /// own analyses) — name resolution is the expensive half of graph
+    /// construction, so sharing it avoids resolving every call twice.
+    pub fn from_resolved(symbols: &SymbolTable<'_>, resolved: &[Vec<Vec<usize>>]) -> CallGraph {
         let mut edges: Vec<Vec<CallSite>> = vec![Vec::new(); symbols.fns.len()];
         for f in &symbols.fns {
-            let Some(body) = &f.def.body else { continue };
             let mut sites: Vec<CallSite> = Vec::new();
-            walk_stmts(body, &mut |e: &Expr| {
-                let (targets, pos) = match &e.kind {
-                    ExprKind::Call { callee, .. } => match callee.as_path() {
-                        Some(segs) => (resolve_path_call(symbols, segs, f.self_ty), e.pos),
-                        None => (Vec::new(), e.pos),
-                    },
-                    ExprKind::MethodCall { recv, method, .. } => {
-                        (resolve_method_call(symbols, recv, method, f.self_ty), e.pos)
-                    }
-                    _ => return,
-                };
-                for callee in targets {
-                    // Calls cannot target test-only code from production
-                    // paths; drop the edge rather than taint the hot set.
-                    if symbols.fns[callee].def.is_test && !f.def.is_test {
-                        continue;
-                    }
+            for (cr, callees) in f.def.calls.iter().zip(&resolved[f.id]) {
+                let pos = cr.pos();
+                for &callee in callees {
                     sites.push(CallSite { callee, pos });
                 }
-            });
+            }
             sites.sort_by_key(|s| (s.callee, s.pos.line, s.pos.col));
             sites.dedup_by_key(|s| s.callee);
             edges[f.id] = sites;
         }
         CallGraph { edges }
     }
+}
+
+/// Resolve one call reference to callee ids, with the production→test
+/// edge filter applied (calls cannot target test-only code from
+/// production paths; the edge is dropped rather than tainting the hot
+/// set). Used both by [`CallGraph::build`] and per-site by the link
+/// phase (lock replay, taint flows, discard judgment).
+pub fn resolve_call_ref(
+    symbols: &SymbolTable<'_>,
+    cr: &CallRef,
+    self_ty: Option<&str>,
+    caller_is_test: bool,
+) -> Vec<usize> {
+    let mut targets = match cr {
+        CallRef::Path { segs, .. } => resolve_path_call(symbols, segs, self_ty),
+        CallRef::Method { recv_self, name, .. } => {
+            resolve_method_call(symbols, *recv_self, name, self_ty)
+        }
+    };
+    if !caller_is_test {
+        targets.retain(|&callee| !symbols.fns[callee].def.is_test);
+    }
+    targets
 }
 
 /// Resolve `a::b::f(…)`.
@@ -108,13 +137,13 @@ fn resolve_path_call(symbols: &SymbolTable<'_>, segs: &[String], self_ty: Option
 /// Resolve `recv.method(…)`.
 fn resolve_method_call(
     symbols: &SymbolTable<'_>,
-    recv: &Expr,
+    recv_self: bool,
     method: &str,
     self_ty: Option<&str>,
 ) -> Vec<usize> {
     // `self.method(…)`: the enclosing impl's own method wins, even for
     // ambiguous names.
-    if matches!(recv.as_path(), Some([seg]) if seg == "self") {
+    if recv_self {
         if let Some(ty) = self_ty {
             let via_qual = symbols.qualified(ty, method);
             if !via_qual.is_empty() {
@@ -244,9 +273,10 @@ mod tests {
     use super::*;
     use crate::lexer::lex;
     use crate::parser::parse_file;
+    use crate::summaries::{summarize, FileSummary};
     use crate::SourceFile;
 
-    fn build(sources: &[(&str, &str)]) -> (Vec<SourceFile>, Vec<crate::ast::AstFile>) {
+    fn build(sources: &[(&str, &str)]) -> (Vec<SourceFile>, Vec<FileSummary>) {
         let files: Vec<SourceFile> = sources
             .iter()
             .map(|(name, src)| SourceFile {
@@ -256,8 +286,14 @@ mod tests {
                 is_crate_root: true,
             })
             .collect();
-        let asts: Vec<_> = files.iter().map(|f| parse_file(&lex(&f.source))).collect();
-        (files, asts)
+        let summaries: Vec<_> = files
+            .iter()
+            .map(|f| {
+                let lexed = lex(&f.source);
+                summarize(f, &lexed, &parse_file(&lexed))
+            })
+            .collect();
+        (files, summaries)
     }
 
     #[test]
@@ -269,7 +305,7 @@ mod tests {
 
     #[test]
     fn reachability_crosses_crates_with_chain() {
-        let (files, asts) = build(&[
+        let (files, summaries) = build(&[
             (
                 "a",
                 "// vdsms-lint: entry\npub fn ingest(d: &Det) { d.step(); }",
@@ -277,7 +313,7 @@ mod tests {
             ("b", "pub struct Det;\nimpl Det { pub fn step(&self) { deep_helper(); } }"),
             ("c", "pub fn deep_helper() { danger(); }\npub fn danger() {}\npub fn cold() {}"),
         ]);
-        let table = SymbolTable::build(&files, &asts);
+        let table = SymbolTable::build(&files, &summaries);
         let graph = CallGraph::build(&table);
         let reach = Reachability::from_entries(&table, &graph);
         let id_of = |name: &str| table.fns.iter().find(|f| f.def.name == name).unwrap().id;
@@ -293,12 +329,12 @@ mod tests {
 
     #[test]
     fn ambiguous_method_names_do_not_create_edges() {
-        let (files, asts) = build(&[(
+        let (files, summaries) = build(&[(
             "a",
             "// vdsms-lint: entry\npub fn hot(m: &mut Map) { m.insert(1); }\n\
              pub struct Hq;\nimpl Hq { pub fn insert(&mut self, x: u32) {} }",
         )]);
-        let table = SymbolTable::build(&files, &asts);
+        let table = SymbolTable::build(&files, &summaries);
         let graph = CallGraph::build(&table);
         let reach = Reachability::from_entries(&table, &graph);
         let insert = table.fns.iter().find(|f| f.def.name == "insert").unwrap().id;
@@ -307,11 +343,11 @@ mod tests {
 
     #[test]
     fn self_calls_resolve_even_for_ambiguous_names() {
-        let (files, asts) = build(&[(
+        let (files, summaries) = build(&[(
             "a",
             "pub struct S;\nimpl S {\n  // vdsms-lint: entry\n  pub fn run(&mut self) { self.push(1); }\n  fn push(&mut self, x: u32) { side(); }\n}\nfn side() {}",
         )]);
-        let table = SymbolTable::build(&files, &asts);
+        let table = SymbolTable::build(&files, &summaries);
         let graph = CallGraph::build(&table);
         let reach = Reachability::from_entries(&table, &graph);
         let side = table.fns.iter().find(|f| f.def.name == "side").unwrap().id;
@@ -320,13 +356,13 @@ mod tests {
 
     #[test]
     fn qualified_and_module_calls_resolve() {
-        let (files, asts) = build(&[(
+        let (files, summaries) = build(&[(
             "a",
             "// vdsms-lint: entry\npub fn hot() { Det::probe(); util::helper(); }\n\
              pub struct Det;\nimpl Det { pub fn probe() {} }\n\
              mod util { pub fn helper() {} }",
         )]);
-        let table = SymbolTable::build(&files, &asts);
+        let table = SymbolTable::build(&files, &summaries);
         let graph = CallGraph::build(&table);
         let reach = Reachability::from_entries(&table, &graph);
         for name in ["probe", "helper"] {
@@ -337,7 +373,7 @@ mod tests {
 
     #[test]
     fn scoped_entries_seed_only_their_rule() {
-        let (files, asts) = build(&[(
+        let (files, summaries) = build(&[(
             "a",
             "// vdsms-lint: entry(no-panic-hot-path)\n\
              pub fn sweep() { shared_helper(); }\n\
@@ -346,7 +382,7 @@ mod tests {
              pub fn shared_helper() {}\n\
              pub fn core_step() {}",
         )]);
-        let table = SymbolTable::build(&files, &asts);
+        let table = SymbolTable::build(&files, &summaries);
         let graph = CallGraph::build(&table);
         let panic_reach = Reachability::from_entries_for(&table, &graph, "no-panic-hot-path");
         let alloc_reach = Reachability::from_entries_for(&table, &graph, "no-alloc-hot-path");

@@ -27,6 +27,9 @@ pub const KNOWN_KEYS: &[&str] = &[
     "lock-order",
     "no-unchecked-arith",
     "float-determinism",
+    "taint-unchecked-flow",
+    "loop-progress",
+    "no-swallowed-error",
     "unsafe-audit",
     // `unsafe-allowed = true` exempts a crate from the
     // `#![forbid(unsafe_code)]` requirement (the parking_lot shim);
@@ -57,6 +60,12 @@ impl RuleSet {
         switches.insert("lock-order".to_string(), true);
         switches.insert("no-unchecked-arith".to_string(), false);
         switches.insert("float-determinism".to_string(), true);
+        // `taint-unchecked-flow` asserts a codec-grade input contract and
+        // stays opt-in per crate, like `no-unchecked-arith`; the other
+        // two v3 rules are cheap and reachability- or resolution-gated.
+        switches.insert("taint-unchecked-flow".to_string(), false);
+        switches.insert("loop-progress".to_string(), true);
+        switches.insert("no-swallowed-error".to_string(), true);
         switches.insert("unsafe-audit".to_string(), true);
         switches.insert("unsafe-allowed".to_string(), false);
         RuleSet { switches }
@@ -104,6 +113,29 @@ impl LintConfig {
     /// Crate names with explicit sections (for config validation).
     pub fn configured_crates(&self) -> impl Iterator<Item = &str> {
         self.per_crate.keys().map(String::as_str)
+    }
+
+    /// A stable one-line serialization of the full configuration, part
+    /// of the report-cache key: flipping any switch anywhere must
+    /// invalidate the cached report. `BTreeMap` iteration keeps it
+    /// deterministic across runs.
+    pub fn fingerprint(&self) -> String {
+        let mut out = String::from("default{");
+        for (k, v) in &self.default {
+            out.push_str(k);
+            out.push(if *v { '+' } else { '-' });
+        }
+        out.push('}');
+        for (name, switches) in &self.per_crate {
+            out.push_str(name);
+            out.push('{');
+            for (k, v) in switches {
+                out.push_str(k);
+                out.push(if *v { '+' } else { '-' });
+            }
+            out.push('}');
+        }
+        out
     }
 }
 
@@ -194,6 +226,19 @@ fn strip_comment(line: &str) -> &str {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn fingerprint_is_stable_and_switch_sensitive() {
+        let a = parse_config("[default]\nno-wall-clock = true\n").expect("parses");
+        let b = parse_config("[default]\nno-wall-clock = true\n").expect("parses");
+        assert_eq!(a.fingerprint(), b.fingerprint(), "same config, same fingerprint");
+        let flipped = parse_config("[default]\nno-wall-clock = false\n").expect("parses");
+        assert_ne!(a.fingerprint(), flipped.fingerprint(), "a flipped switch must show");
+        let scoped =
+            parse_config("[default]\nno-wall-clock = true\n[crate.vdsms-core]\nno-wall-clock = false\n")
+                .expect("parses");
+        assert_ne!(a.fingerprint(), scoped.fingerprint(), "per-crate overrides must show");
+    }
 
     #[test]
     fn defaults_and_overrides_compose() {

@@ -1,7 +1,13 @@
 //! Diagnostics: what a rule reports, how it renders for humans, and the
 //! machine-readable JSON form CI consumes.
+//!
+//! The JSON emitter goes through [`vdsms_json`] — the same module the
+//! `vdsms-workload` floor parser reads with — so the reader and writer
+//! of every JSON surface in the workspace share one byte-stable
+//! implementation and cannot drift.
 
 use std::fmt::Write as _;
+use vdsms_json::Json;
 
 /// One lint finding.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -69,59 +75,72 @@ impl Report {
         out
     }
 
+    /// The report as a [`Json`] value (stable key order).
+    pub fn to_json_value(&self) -> Json {
+        let violations = self
+            .diagnostics
+            .iter()
+            .map(|d| {
+                Json::Obj(vec![
+                    ("rule".to_string(), Json::str(&d.rule)),
+                    ("file".to_string(), Json::str(&d.file)),
+                    ("line".to_string(), Json::num(d.line as usize)),
+                    ("col".to_string(), Json::num(d.col as usize)),
+                    ("message".to_string(), Json::str(&d.message)),
+                    ("snippet".to_string(), Json::str(&d.snippet)),
+                ])
+            })
+            .collect();
+        Json::Obj(vec![
+            ("violations".to_string(), Json::Arr(violations)),
+            ("count".to_string(), Json::num(self.diagnostics.len())),
+            ("suppressed".to_string(), Json::num(self.suppressed)),
+            ("files_scanned".to_string(), Json::num(self.files_scanned)),
+        ])
+    }
+
     /// Machine-readable JSON (stable key order, no external deps).
     pub fn to_json(&self) -> String {
-        let mut out = String::from("{\n  \"violations\": [");
-        for (i, d) in self.diagnostics.iter().enumerate() {
-            if i > 0 {
-                out.push(',');
-            }
-            out.push_str("\n    {");
-            let _ = write!(
-                out,
-                "\"rule\": {}, \"file\": {}, \"line\": {}, \"col\": {}, \"message\": {}, \"snippet\": {}",
-                json_string(&d.rule),
-                json_string(&d.file),
-                d.line,
-                d.col,
-                json_string(&d.message),
-                json_string(&d.snippet),
-            );
-            out.push('}');
-        }
-        if !self.diagnostics.is_empty() {
-            out.push_str("\n  ");
-        }
-        let _ = write!(
-            out,
-            "],\n  \"count\": {},\n  \"suppressed\": {},\n  \"files_scanned\": {}\n}}\n",
-            self.diagnostics.len(),
-            self.suppressed,
-            self.files_scanned
-        );
+        let mut out = self.to_json_value().to_pretty();
+        out.push('\n');
         out
+    }
+
+    /// Rebuild a report from a [`Json`] value written by
+    /// [`Report::to_json_value`]. Used by the report-level cache; any
+    /// shape mismatch is `None` (a cache miss, never an error).
+    pub fn from_json_value(v: &Json) -> Option<Report> {
+        let violations = v.get("violations")?.as_arr()?;
+        let mut diagnostics = Vec::with_capacity(violations.len());
+        for d in violations {
+            diagnostics.push(Diagnostic {
+                rule: d.get("rule")?.as_str()?.to_string(),
+                file: d.get("file")?.as_str()?.to_string(),
+                line: u32::try_from(d.get("line")?.as_usize()?).ok()?,
+                col: u32::try_from(d.get("col")?.as_usize()?).ok()?,
+                message: d.get("message")?.as_str()?.to_string(),
+                snippet: d.get("snippet")?.as_str()?.to_string(),
+            });
+        }
+        if v.get("count")?.as_usize()? != diagnostics.len() {
+            return None;
+        }
+        Some(Report {
+            diagnostics,
+            suppressed: v.get("suppressed")?.as_usize()?,
+            files_scanned: v.get("files_scanned")?.as_usize()?,
+        })
+    }
+
+    /// Parse the string form produced by [`Report::to_json`].
+    pub fn from_json(text: &str) -> Option<Report> {
+        Self::from_json_value(&Json::parse(text).ok()?)
     }
 }
 
 /// JSON-escape a string (quotes, backslashes, control characters).
 pub fn json_string(s: &str) -> String {
-    let mut out = String::with_capacity(s.len() + 2);
-    out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => {
-                let _ = write!(out, "\\u{:04x}", c as u32);
-            }
-            c => out.push(c),
-        }
-    }
-    out.push('"');
-    out
+    vdsms_json::escape(s)
 }
 
 #[cfg(test)]
@@ -150,6 +169,29 @@ mod tests {
     #[test]
     fn json_escapes_specials() {
         assert_eq!(json_string("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+    }
+
+    #[test]
+    fn report_round_trips_through_json_byte_identically() {
+        let mut rep = Report { files_scanned: 7, suppressed: 3, ..Default::default() };
+        rep.diagnostics.push(diag());
+        rep.diagnostics.push(Diagnostic {
+            rule: "loop-progress".into(),
+            file: "crates/core/src/y.rs".into(),
+            line: 11,
+            col: 1,
+            message: "hot loop has no progress witness (\"quoted\")".into(),
+            snippet: "while let Some(x) = q.pop() {}".into(),
+        });
+        let json = rep.to_json();
+        let back = Report::from_json(&json).expect("own output parses");
+        assert_eq!(back.to_json(), json, "serialize(parse(x)) must be byte-identical");
+        assert_eq!(back.render(), rep.render());
+
+        // Shape mismatches are misses, not panics.
+        assert!(Report::from_json("{}").is_none());
+        assert!(Report::from_json("not json").is_none());
+        assert!(Report::from_json(&json.replacen("\"count\": 2", "\"count\": 9", 1)).is_none());
     }
 
     #[test]

@@ -1,4 +1,10 @@
-//! The workspace-level (interprocedural + dataflow) analyses:
+//! The workspace-level (interprocedural + dataflow) analyses — the
+//! **link phase** of the v3 two-phase pipeline. Per-file facts are
+//! extracted once into [`crate::summaries::FileSummary`] records (the
+//! cacheable phase); everything here works purely over those summaries
+//! plus the [`crate::symbols`] table and [`crate::callgraph`] built
+//! from them, so a file loaded from the incremental cache behaves
+//! bit-identically to a freshly parsed one.
 //!
 //! - **`no-panic-hot-path` (v2)** — panic sites (`unwrap` / `expect` /
 //!   `panic!` / `todo!` / `unimplemented!` / index-then-`clone`) flagged
@@ -27,48 +33,66 @@
 //!   `Option` forces `unwrap`-or-fallback on NaN and its NaN behaviour
 //!   is order-unstable; detection scoring must use `total_cmp` or
 //!   integer keys.
+//! - **`taint-unchecked-flow` (v3)** — interprocedural untrusted-byte
+//!   taint: sources are `read_*` / `get_*` reads and `*_len` / `*_count`
+//!   payload fields; sinks are slice indexing, capacity reservation and
+//!   loop bounds. Flows are tracked through call returns (a bounded
+//!   returns-taint fixpoint) and call arguments (a parameter-sink
+//!   fixpoint), and each diagnostic prints the witness call chain.
+//! - **`loop-progress` (v3)** — `while` / `loop` bodies reachable from
+//!   an entry marker must contain a progress witness (cursor advance,
+//!   drain call, or counter update); a malformed stream must never spin
+//!   a recovery loop forever.
+//! - **`no-swallowed-error` (v3)** — `let _ = …` / statement-level
+//!   `.ok()` on a call whose resolved callee returns `Result` (channel
+//!   send/recv flagged unconditionally): error paths must be handled or
+//!   carry a reasoned `allow`.
 
-use crate::ast::{walk_stmts, BinOp, Expr, ExprKind, Pos, Stmt};
-use crate::callgraph::{transitive_union, CallGraph, Reachability};
+use crate::ast::Pos;
+use crate::callgraph::{resolve_call_ref, transitive_union, CallGraph, Reachability};
 use crate::config::LintConfig;
 use crate::diag::Diagnostic;
-use crate::rules::{FLOAT_DET, LOCK_ORDER, NO_ALLOC, NO_PANIC, NO_UNCHECKED_ARITH};
-use crate::symbols::{FnSym, SymbolTable};
+use crate::rules::{
+    FLOAT_DET, LOCK_ORDER, LOOP_PROGRESS, NO_ALLOC, NO_PANIC, NO_SWALLOWED_ERROR,
+    NO_UNCHECKED_ARITH, TAINT_FLOW,
+};
+use crate::summaries::{CallRef, FileSummary, LockEvent, TaintSrc};
+use crate::symbols::SymbolTable;
 use crate::SourceFile;
 use std::collections::{BTreeMap, BTreeSet};
 
-/// Growth methods that (re)allocate on the receiver.
-const ALLOC_METHODS: &[&str] = &[
-    "append", "clone", "collect", "extend", "insert", "push", "push_back", "push_front",
-    "reserve", "resize", "to_owned", "to_string", "to_vec",
-];
-
-/// `Type::ctor` associated calls that allocate.
-const ALLOC_CTORS: &[(&str, &str)] = &[
-    ("Box", "new"),
-    ("String", "from"),
-    ("Vec", "from"),
-    ("Vec", "with_capacity"),
-];
-
-/// Macros that allocate.
-const ALLOC_MACROS: &[&str] = &["format", "vec"];
-
-/// Run every workspace analysis. `files[i]`, `asts[i]` correspond;
-/// diagnostics are raw (suppressions are applied by the driver).
+/// Run every workspace analysis over pre-extracted summaries.
+/// `files[i]`, `summaries[i]` correspond; diagnostics are raw
+/// (suppressions are applied by the driver).
 pub fn analyze(
     files: &[SourceFile],
-    asts: &[crate::ast::AstFile],
+    summaries: &[FileSummary],
     config: &LintConfig,
 ) -> Vec<Diagnostic> {
-    let symbols = SymbolTable::build(files, asts);
-    let graph = CallGraph::build(&symbols);
+    let symbols = SymbolTable::build(files, summaries);
+    // Per-function, per-call-site resolution, shared by the call graph
+    // and every analysis below (lock replay, taint fixpoints, discard
+    // judgment) — resolution is the expensive half of linking, so it
+    // runs exactly once.
+    let resolved: Vec<Vec<Vec<usize>>> = symbols
+        .fns
+        .iter()
+        .map(|f| {
+            f.def
+                .calls
+                .iter()
+                .map(|cr| resolve_call_ref(&symbols, cr, f.self_ty, f.def.is_test))
+                .collect()
+        })
+        .collect();
+    let graph = CallGraph::from_resolved(&symbols, &resolved);
     // Each hot-path rule gets its own hot set: bare `entry` markers seed
-    // both, `entry(rule)` markers only the named rule (batch-evaluation
-    // entries are panic-checked without dragging their working-set
-    // allocations into `no-alloc-hot-path`).
+    // all of them, `entry(rule)` markers only the named rule (batch-
+    // evaluation entries are panic-checked without dragging their
+    // working-set allocations into `no-alloc-hot-path`).
     let reach_panic = Reachability::from_entries_for(&symbols, &graph, NO_PANIC);
     let reach_alloc = Reachability::from_entries_for(&symbols, &graph, NO_ALLOC);
+    let reach_progress = Reachability::from_entries_for(&symbols, &graph, LOOP_PROGRESS);
     let rules_per_file: Vec<crate::config::RuleSet> =
         files.iter().map(|f| config.rules_for(&f.crate_name)).collect();
 
@@ -79,6 +103,9 @@ pub fn analyze(
     lock_order(&mut ctx, &graph);
     unchecked_arith(&mut ctx);
     float_determinism(&mut ctx);
+    taint_flow(&mut ctx, &resolved);
+    loop_progress(&mut ctx, &reach_progress);
+    swallowed_errors(&mut ctx, &resolved);
     diags
 }
 
@@ -122,25 +149,22 @@ fn hot_path_rules(ctx: &mut Ctx<'_>, reach_panic: &Reachability, reach_alloc: &R
         if f.def.is_test {
             continue;
         }
-        let Some(body) = &f.def.body else { continue };
         let check_panic = reach_panic.hot[f.id] && ctx.enabled(f.file, NO_PANIC);
         let check_alloc = reach_alloc.hot[f.id] && ctx.enabled(f.file, NO_ALLOC);
         if !check_panic && !check_alloc {
             continue;
         }
-        let mut sites: Vec<(&str, Pos, String)> = Vec::new();
-        walk_stmts(body, &mut |e: &Expr| {
-            if check_panic {
-                if let Some(what) = panic_site(e) {
-                    sites.push((NO_PANIC, e.pos, what));
-                }
-            }
-            if check_alloc {
-                if let Some(what) = alloc_site(e) {
-                    sites.push((NO_ALLOC, e.pos, what));
-                }
-            }
-        });
+        let mut sites: Vec<(&str, Pos, &str)> = Vec::new();
+        if check_panic {
+            sites.extend(f.def.panic_sites.iter().map(|s| (NO_PANIC, s.pos, s.what.as_str())));
+        }
+        if check_alloc {
+            sites.extend(f.def.alloc_sites.iter().map(|s| (NO_ALLOC, s.pos, s.what.as_str())));
+        }
+        // The summary keeps the two site lists separately; restore the
+        // single-walk emission order (source position, panic before
+        // alloc at a tie) so diagnostics stay byte-identical to v2.
+        sites.sort_by_key(|(rule, pos, _)| (pos.line, pos.col, *rule != NO_PANIC));
         for (rule, pos, what) in sites {
             let (verb, reach) = if rule == NO_PANIC {
                 ("can panic", reach_panic)
@@ -155,46 +179,6 @@ fn hot_path_rules(ctx: &mut Ctx<'_>, reach_panic: &Reachability, reach_alloc: &R
                 format!("{what} {verb} on the steady-state hot path `{chain}`"),
             );
         }
-    }
-}
-
-/// Classify a panic site; returns the description.
-fn panic_site(e: &Expr) -> Option<String> {
-    match &e.kind {
-        ExprKind::MethodCall { recv, method, .. } => match method.as_str() {
-            "unwrap" | "expect" => Some(format!("`.{method}()`")),
-            "clone" if matches!(recv.kind, ExprKind::Index { .. }) => {
-                Some("indexing followed by `.clone()`".to_string())
-            }
-            _ => None,
-        },
-        ExprKind::MacroCall { name, .. }
-            if matches!(name.as_str(), "panic" | "todo" | "unimplemented") =>
-        {
-            Some(format!("`{name}!`"))
-        }
-        _ => None,
-    }
-}
-
-/// Classify a heap-allocation site; returns the description.
-fn alloc_site(e: &Expr) -> Option<String> {
-    match &e.kind {
-        ExprKind::MethodCall { method, .. } if ALLOC_METHODS.contains(&method.as_str()) => {
-            Some(format!("`.{method}(…)`"))
-        }
-        ExprKind::Call { callee, .. } => {
-            let segs = callee.as_path()?;
-            let [.., ty, ctor] = segs else { return None };
-            ALLOC_CTORS
-                .iter()
-                .any(|(t, c)| t == ty && c == ctor)
-                .then(|| format!("`{ty}::{ctor}(…)`"))
-        }
-        ExprKind::MacroCall { name, .. } if ALLOC_MACROS.contains(&name.as_str()) => {
-            Some(format!("`{name}!`"))
-        }
-        _ => None,
     }
 }
 
@@ -221,25 +205,65 @@ fn lock_order(ctx: &mut Ctx<'_>, graph: &CallGraph) {
         if f.def.is_test || !ctx.enabled(f.file, LOCK_ORDER) {
             continue;
         }
-        if let Some(body) = &f.def.body {
-            walk_stmts(body, &mut |e: &Expr| {
-                if let Some(name) = acquisition(e) {
-                    direct[f.id].insert(name.to_string());
-                }
-            });
-        }
+        direct[f.id] = f.def.direct_locks.iter().cloned().collect();
     }
     let trans = transitive_union(graph, &direct);
 
-    // Edge map: (held, acquired) -> first witness.
+    // Edge map: (held, acquired) -> first witness. Replaying the
+    // summaries' ordered event lists in function order preserves the
+    // first-witness-wins semantics of the original interleaved walk.
     let mut edges: BTreeMap<(String, String), EdgeWitness> = BTreeMap::new();
     for f in &ctx.symbols.fns {
         if f.def.is_test || !ctx.enabled(f.file, LOCK_ORDER) {
             continue;
         }
-        let Some(body) = &f.def.body else { continue };
-        let mut held: Vec<String> = Vec::new();
-        collect_lock_edges(ctx, f, body, graph, &trans, &mut held, &mut edges);
+        for event in &f.def.lock_events {
+            match event {
+                LockEvent::Direct { held, acquired, pos, note } => {
+                    for h in held {
+                        if h != acquired {
+                            edges.entry((h.clone(), acquired.clone())).or_insert_with(|| {
+                                EdgeWitness {
+                                    file: f.file,
+                                    pos: *pos,
+                                    fn_name: f.qual_name(),
+                                    note: note.clone(),
+                                }
+                            });
+                        }
+                    }
+                }
+                LockEvent::Call { pos, held } => {
+                    // Everything the callee may acquire is acquired
+                    // while our guards are held. Matching resolved call
+                    // sites by position mirrors the v2 walk exactly
+                    // (including its dedup-by-callee site list).
+                    for site in &graph.edges[f.id] {
+                        if site.pos != *pos {
+                            continue;
+                        }
+                        let callee = &ctx.symbols.fns[site.callee];
+                        for lock in &trans[site.callee] {
+                            for h in held {
+                                if h != lock {
+                                    edges.entry((h.clone(), lock.clone())).or_insert_with(|| {
+                                        EdgeWitness {
+                                            file: f.file,
+                                            pos: *pos,
+                                            fn_name: f.qual_name(),
+                                            note: format!(
+                                                "via call to `{}` which acquires `{lock}`",
+                                                callee.qual_name()
+                                            ),
+                                        }
+                                    });
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
     }
 
     // Cycle detection over the lock graph.
@@ -311,235 +335,6 @@ fn lock_order(ctx: &mut Ctx<'_>, graph: &CallGraph) {
     }
 }
 
-/// A lock acquisition: `recv.lock()` / `.read()` / `.write()` with no
-/// arguments. Returns the lock identity (last name of the receiver
-/// chain).
-fn acquisition(e: &Expr) -> Option<&str> {
-    let ExprKind::MethodCall { recv, method, args } = &e.kind else {
-        return None;
-    };
-    if !matches!(method.as_str(), "lock" | "read" | "write") || !args.is_empty() {
-        return None;
-    }
-    recv.chain_name()
-}
-
-/// Walk `stmts` tracking held guards; record edges held → acquired, and
-/// held → (transitive acquisitions of callees).
-fn collect_lock_edges(
-    ctx: &Ctx<'_>,
-    f: &FnSym<'_>,
-    stmts: &[Stmt],
-    graph: &CallGraph,
-    trans: &[BTreeSet<String>],
-    held: &mut Vec<String>,
-    edges: &mut BTreeMap<(String, String), EdgeWitness>,
-) {
-    let witness = |note: String, pos: Pos| EdgeWitness {
-        file: f.file,
-        pos,
-        fn_name: f.qual_name(),
-        note,
-    };
-    for stmt in stmts {
-        match stmt {
-            Stmt::Let { init: Some(e), .. } => {
-                // Direct + callee acquisitions inside the initializer.
-                record_expr_edges(ctx, f, e, graph, trans, held, edges, &witness);
-                nested_blocks(ctx, f, e, graph, trans, held, edges);
-                // Guards bound by `let` stay held for the rest of the
-                // enclosing block. Only straight-line acquisitions count:
-                // a guard taken inside a nested block or branch died in
-                // there.
-                straight_line_acquisitions(e, held);
-            }
-            Stmt::Let { .. } | Stmt::Item(_) => continue,
-            Stmt::Expr(e) => {
-                record_expr_edges(ctx, f, e, graph, trans, held, edges, &witness);
-                // Statement temporaries die at the `;` — nothing stays
-                // held.
-                nested_blocks(ctx, f, e, graph, trans, held, edges);
-            }
-        }
-    }
-}
-
-/// Record edges for one expression's **straight-line** part: held → each
-/// acquisition (acquisitions within the statement also order among
-/// themselves), and held → transitive locks of resolved callees. Stops
-/// at control-flow boundaries (blocks, branch bodies, match arms,
-/// closures): code on one branch does not hold another branch's locks —
-/// those regions are walked by [`nested_blocks`] with their own scope.
-#[allow(clippy::too_many_arguments)]
-fn record_expr_edges(
-    ctx: &Ctx<'_>,
-    f: &FnSym<'_>,
-    e: &Expr,
-    graph: &CallGraph,
-    trans: &[BTreeSet<String>],
-    held: &[String],
-    edges: &mut BTreeMap<(String, String), EdgeWitness>,
-    witness: &impl Fn(String, Pos) -> EdgeWitness,
-) {
-    let mut stmt_locks: Vec<String> = Vec::new();
-    record_straight_line(ctx, f, e, graph, trans, held, &mut stmt_locks, edges, witness);
-}
-
-#[allow(clippy::too_many_arguments)]
-fn record_straight_line(
-    ctx: &Ctx<'_>,
-    f: &FnSym<'_>,
-    e: &Expr,
-    graph: &CallGraph,
-    trans: &[BTreeSet<String>],
-    held: &[String],
-    stmt_locks: &mut Vec<String>,
-    edges: &mut BTreeMap<(String, String), EdgeWitness>,
-    witness: &impl Fn(String, Pos) -> EdgeWitness,
-) {
-    // Control-flow boundary: only the eagerly-evaluated head expression
-    // belongs to this statement's straight line.
-    let head: Option<&Expr> = match &e.kind {
-        ExprKind::Block(_) | ExprKind::Loop { .. } | ExprKind::Closure(_) => return,
-        ExprKind::If { cond, .. } | ExprKind::While { cond, .. } => Some(cond),
-        ExprKind::For { iter, .. } => Some(iter),
-        ExprKind::Match { scrutinee, .. } => Some(scrutinee),
-        _ => None,
-    };
-    if let Some(head) = head {
-        record_straight_line(ctx, f, head, graph, trans, held, stmt_locks, edges, witness);
-        return;
-    }
-    if let Some(name) = acquisition(e) {
-        for h in held.iter().chain(stmt_locks.iter()) {
-            if h != name {
-                edges.entry((h.clone(), name.to_string())).or_insert_with(|| {
-                    witness(format!("direct `.{}()` acquisition", method_of(e)), e.pos)
-                });
-            }
-        }
-        stmt_locks.push(name.to_string());
-    }
-    // Call sites: everything the callee may acquire is acquired while
-    // our guards are held.
-    if matches!(&e.kind, ExprKind::Call { .. } | ExprKind::MethodCall { .. }) {
-        for site in &graph.edges[f.id] {
-            if site.pos == e.pos {
-                let callee = &ctx.symbols.fns[site.callee];
-                for lock in &trans[site.callee] {
-                    for h in held.iter().chain(stmt_locks.iter()) {
-                        if h != lock {
-                            edges.entry((h.clone(), lock.clone())).or_insert_with(|| {
-                                witness(
-                                    format!(
-                                        "via call to `{}` which acquires `{lock}`",
-                                        callee.qual_name()
-                                    ),
-                                    e.pos,
-                                )
-                            });
-                        }
-                    }
-                }
-            }
-        }
-    }
-    let mut children: Vec<&Expr> = Vec::new();
-    collect_children(e, &mut children);
-    for c in children {
-        record_straight_line(ctx, f, c, graph, trans, held, stmt_locks, edges, witness);
-    }
-}
-
-/// Append the lock names acquired on `e`'s straight line (same
-/// boundaries as [`record_straight_line`]) — these are the guards a
-/// `let` binding keeps alive for the rest of its block.
-fn straight_line_acquisitions(e: &Expr, out: &mut Vec<String>) {
-    match &e.kind {
-        ExprKind::Block(_)
-        | ExprKind::Loop { .. }
-        | ExprKind::Closure(_)
-        | ExprKind::If { .. }
-        | ExprKind::While { .. }
-        | ExprKind::For { .. }
-        | ExprKind::Match { .. } => return,
-        _ => {}
-    }
-    if let Some(name) = acquisition(e) {
-        out.push(name.to_string());
-    }
-    let mut children: Vec<&Expr> = Vec::new();
-    collect_children(e, &mut children);
-    for c in children {
-        straight_line_acquisitions(c, out);
-    }
-}
-
-fn method_of(e: &Expr) -> &str {
-    match &e.kind {
-        ExprKind::MethodCall { method, .. } => method,
-        _ => "?",
-    }
-}
-
-/// Recurse into block-bearing sub-expressions with held-stack
-/// save/restore, so `let` guards bound inside a nested block or branch
-/// do not leak out, and locks on sibling branches never appear
-/// concurrently held.
-fn nested_blocks(
-    ctx: &Ctx<'_>,
-    f: &FnSym<'_>,
-    e: &Expr,
-    graph: &CallGraph,
-    trans: &[BTreeSet<String>],
-    held: &mut Vec<String>,
-    edges: &mut BTreeMap<(String, String), EdgeWitness>,
-) {
-    let mut recurse = |stmts: &[Stmt], held: &mut Vec<String>| {
-        let depth = held.len();
-        collect_lock_edges(ctx, f, stmts, graph, trans, held, edges);
-        held.truncate(depth);
-    };
-    match &e.kind {
-        ExprKind::Block(stmts) | ExprKind::Loop { body: stmts } => recurse(stmts, held),
-        ExprKind::If { then, alt, .. } => {
-            recurse(then, held);
-            if let Some(a) = alt {
-                nested_blocks(ctx, f, a, graph, trans, held, edges);
-            }
-        }
-        ExprKind::While { body, .. } | ExprKind::For { body, .. } => recurse(body, held),
-        ExprKind::Match { arms, .. } => {
-            // Each arm is its own control-flow path.
-            for arm in arms {
-                let depth = held.len();
-                let witness = |note: String, pos: Pos| EdgeWitness {
-                    file: f.file,
-                    pos,
-                    fn_name: f.qual_name(),
-                    note,
-                };
-                record_expr_edges(ctx, f, arm, graph, trans, held, edges, &witness);
-                nested_blocks(ctx, f, arm, graph, trans, held, edges);
-                held.truncate(depth);
-            }
-        }
-        ExprKind::Closure(body) => {
-            let depth = held.len();
-            let witness = |note: String, pos: Pos| EdgeWitness {
-                file: f.file,
-                pos,
-                fn_name: f.qual_name(),
-                note,
-            };
-            record_expr_edges(ctx, f, body, graph, trans, held, edges, &witness);
-            nested_blocks(ctx, f, body, graph, trans, held, edges);
-            held.truncate(depth);
-        }
-        _ => {}
-    }
-}
-
 // ---------------------------------------------------------------------
 // no-unchecked-arith
 // ---------------------------------------------------------------------
@@ -549,179 +344,14 @@ fn unchecked_arith(ctx: &mut Ctx<'_>) {
         if f.def.is_test || !ctx.enabled(f.file, NO_UNCHECKED_ARITH) {
             continue;
         }
-        let Some(body) = &f.def.body else { continue };
-        let mut tainted: BTreeSet<String> = BTreeSet::new();
-        let mut sites: Vec<(Pos, BinOp)> = Vec::new();
-        check_arith_stmts(body, &mut tainted, &mut sites);
-        for (pos, op) in sites {
-            ctx.emit(
-                NO_UNCHECKED_ARITH,
-                f.file,
-                pos,
-                format!(
-                    "unchecked `{}` on a value derived from untrusted stream bytes in `{}`; use `wrapping_*`/`checked_*`/`saturating_*` or widen first (`u64::from(…)` / `as u64`)",
-                    op.as_str(),
-                    f.qual_name()
-                ),
+        for site in &f.def.arith_sites {
+            let msg = format!(
+                "unchecked `{}` on a value derived from untrusted stream bytes in `{}`; use `wrapping_*`/`checked_*`/`saturating_*` or widen first (`u64::from(…)` / `as u64`)",
+                site.what,
+                f.qual_name()
             );
+            ctx.emit(NO_UNCHECKED_ARITH, f.file, site.pos, msg);
         }
-    }
-}
-
-fn check_arith_stmts(stmts: &[Stmt], tainted: &mut BTreeSet<String>, sites: &mut Vec<(Pos, BinOp)>) {
-    for stmt in stmts {
-        match stmt {
-            Stmt::Let { name, init, .. } => {
-                if let Some(e) = init {
-                    check_arith_expr(e, tainted, sites);
-                    if let Some(n) = name {
-                        if expr_tainted(e, tainted) {
-                            tainted.insert(n.clone());
-                        }
-                    }
-                }
-            }
-            Stmt::Expr(e) => check_arith_expr(e, tainted, sites),
-            Stmt::Item(_) => {}
-        }
-    }
-}
-
-fn check_arith_expr(e: &Expr, tainted: &mut BTreeSet<String>, sites: &mut Vec<(Pos, BinOp)>) {
-    match &e.kind {
-        ExprKind::Binary { op, lhs, rhs } => {
-            if op.can_overflow()
-                && (operand_unsanitized(lhs, tainted) || operand_unsanitized(rhs, tainted))
-            {
-                sites.push((e.pos, *op));
-            }
-            check_arith_expr(lhs, tainted, sites);
-            check_arith_expr(rhs, tainted, sites);
-        }
-        ExprKind::Assign { target, op, value } => {
-            check_arith_expr(value, tainted, sites);
-            if let Some(op) = op {
-                if op.can_overflow() && operand_unsanitized(value, tainted) {
-                    sites.push((e.pos, *op));
-                }
-            }
-            // Assignment updates the taint environment for plain names.
-            if let ExprKind::Path(p) = &target.kind {
-                if let [name] = p.as_slice() {
-                    if expr_tainted(value, tainted) || (op.is_some() && tainted.contains(name)) {
-                        tainted.insert(name.clone());
-                    } else {
-                        tainted.remove(name);
-                    }
-                }
-            }
-        }
-        ExprKind::Block(stmts) | ExprKind::Loop { body: stmts } => {
-            check_arith_stmts(stmts, tainted, sites)
-        }
-        ExprKind::If { cond, then, alt } => {
-            check_arith_expr(cond, tainted, sites);
-            check_arith_stmts(then, tainted, sites);
-            if let Some(a) = alt {
-                check_arith_expr(a, tainted, sites);
-            }
-        }
-        ExprKind::While { cond, body } => {
-            check_arith_expr(cond, tainted, sites);
-            check_arith_stmts(body, tainted, sites);
-        }
-        ExprKind::For { iter, body } => {
-            check_arith_expr(iter, tainted, sites);
-            check_arith_stmts(body, tainted, sites);
-        }
-        ExprKind::Match { scrutinee, arms } => {
-            check_arith_expr(scrutinee, tainted, sites);
-            for a in arms {
-                check_arith_expr(a, tainted, sites);
-            }
-        }
-        _ => {
-            // Generic recursion for the remaining shapes; binary
-            // operators inside are caught by the match arms above when
-            // the walk reaches them.
-            let mut children: Vec<&Expr> = Vec::new();
-            collect_children(e, &mut children);
-            for c in children {
-                check_arith_expr(c, tainted, sites);
-            }
-        }
-    }
-}
-
-/// Direct sub-expressions of `e` (one level).
-fn collect_children<'a>(e: &'a Expr, out: &mut Vec<&'a Expr>) {
-    match &e.kind {
-        ExprKind::Unary(x) | ExprKind::Ref(x) | ExprKind::Try(x) | ExprKind::Closure(x) => {
-            out.push(x)
-        }
-        ExprKind::Call { callee, args } => {
-            out.push(callee);
-            out.extend(args.iter());
-        }
-        ExprKind::MethodCall { recv, args, .. } => {
-            out.push(recv);
-            out.extend(args.iter());
-        }
-        ExprKind::MacroCall { args, .. } => out.extend(args.iter()),
-        ExprKind::Field { base, .. } => out.push(base),
-        ExprKind::Index { base, index } => {
-            out.push(base);
-            out.push(index);
-        }
-        ExprKind::Cast { expr, .. } => out.push(expr),
-        ExprKind::Struct { fields, .. } => out.extend(fields.iter()),
-        ExprKind::Tuple(xs) => out.extend(xs.iter()),
-        ExprKind::Range { lo, hi } => {
-            out.extend(lo.as_deref());
-            out.extend(hi.as_deref());
-        }
-        ExprKind::Return(x) | ExprKind::Jump(x) => out.extend(x.as_deref()),
-        _ => {}
-    }
-}
-
-/// Taint source: a `get_*` / `read_*` method call (stream-byte reads).
-fn is_taint_source(e: &Expr) -> bool {
-    match &e.kind {
-        ExprKind::MethodCall { method, .. } => {
-            method.starts_with("get_") || method.starts_with("read_")
-        }
-        ExprKind::Try(inner) => is_taint_source(inner),
-        _ => false,
-    }
-}
-
-/// Whether `e` carries taint: a source, a tainted name, or taint
-/// propagated through `? & ! - [] + …` (calls are sanitizing
-/// boundaries: `u64::from(b)` widens, `b.wrapping_add(…)` checks).
-fn expr_tainted(e: &Expr, tainted: &BTreeSet<String>) -> bool {
-    if is_taint_source(e) {
-        return true;
-    }
-    match &e.kind {
-        ExprKind::Path(p) => matches!(p.as_slice(), [name] if tainted.contains(name)),
-        ExprKind::Try(x) | ExprKind::Unary(x) | ExprKind::Ref(x) => expr_tainted(x, tainted),
-        ExprKind::Index { base, .. } => expr_tainted(base, tainted),
-        ExprKind::Binary { lhs, rhs, .. } => {
-            expr_tainted(lhs, tainted) || expr_tainted(rhs, tainted)
-        }
-        ExprKind::Cast { expr, .. } => expr_tainted(expr, tainted),
-        _ => false,
-    }
-}
-
-/// A flagged operand: tainted AND not sanitized by an explicit cast
-/// (widening is the author's declared intent) at its top level.
-fn operand_unsanitized(e: &Expr, tainted: &BTreeSet<String>) -> bool {
-    match &e.kind {
-        ExprKind::Cast { .. } => false,
-        ExprKind::Ref(x) | ExprKind::Try(x) => operand_unsanitized(x, tainted),
-        _ => expr_tainted(e, tainted),
     }
 }
 
@@ -734,25 +364,209 @@ fn float_determinism(ctx: &mut Ctx<'_>) {
         if f.def.is_test || !ctx.enabled(f.file, FLOAT_DET) {
             continue;
         }
-        let Some(body) = &f.def.body else { continue };
-        let mut sites: Vec<Pos> = Vec::new();
-        walk_stmts(body, &mut |e: &Expr| {
-            if let ExprKind::MethodCall { method, .. } = &e.kind {
-                if method == "partial_cmp" {
-                    sites.push(e.pos);
+        for pos in &f.def.float_sites {
+            let msg = format!(
+                "`partial_cmp` in `{}` is NaN-unstable (returns `None`, tempting `unwrap`, and orders NaN inconsistently); use `f64::total_cmp` / `f32::total_cmp` or compare integer keys",
+                f.qual_name()
+            );
+            ctx.emit(FLOAT_DET, f.file, *pos, msg);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// taint-unchecked-flow
+// ---------------------------------------------------------------------
+
+/// The argument index a caller's positional argument maps to in the
+/// callee's parameter list: method callees with a `self` receiver shift
+/// positional parameters by one.
+fn callee_param_index(cr: &CallRef, callee_has_self: bool, arg: usize) -> usize {
+    match cr {
+        CallRef::Method { .. } if callee_has_self => arg + 1,
+        _ => arg,
+    }
+}
+
+fn taint_flow(ctx: &mut Ctx<'_>, resolved: &[Vec<Vec<usize>>]) {
+    let n = ctx.symbols.fns.len();
+
+    // Fixpoint 1: which functions return untrusted values. Seeded by
+    // direct `return source` summaries, propagated through call returns
+    // (`fn a() -> u32 { b() }` is tainted when `b` is). Bounded by the
+    // function count — each round grows the set or the loop stops.
+    let mut rt: Vec<bool> = ctx.symbols.fns.iter().map(|f| f.def.returns_taint).collect();
+    for _ in 0..=n {
+        let mut changed = false;
+        for f in &ctx.symbols.fns {
+            if rt[f.id] {
+                continue;
+            }
+            let taints = f
+                .def
+                .taint_return_calls
+                .iter()
+                .any(|&ci| resolved[f.id][ci].iter().any(|&c| rt[c]));
+            if taints {
+                rt[f.id] = true;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // Fixpoint 2: which parameters reach a sink, with a witness chain.
+    // `psinks[f][p]` = (sink description, qualified call chain from `f`
+    // down to the sink). Seeded by intra-function parameter sinks,
+    // propagated backwards through parameter forwarding.
+    let mut psinks: Vec<BTreeMap<usize, (String, String)>> = vec![BTreeMap::new(); n];
+    for f in &ctx.symbols.fns {
+        for ps in &f.def.param_sinks {
+            psinks[f.id].entry(ps.param).or_insert((ps.sink.clone(), f.qual_name()));
+        }
+    }
+    for _ in 0..=n {
+        let mut changed = false;
+        for f in &ctx.symbols.fns {
+            for pkc in &f.def.param_sink_calls {
+                if psinks[f.id].contains_key(&pkc.param) {
+                    continue;
+                }
+                let cr = &f.def.calls[pkc.call];
+                let hit = resolved[f.id][pkc.call].iter().find_map(|&c| {
+                    let idx = callee_param_index(
+                        cr,
+                        ctx.symbols.fns[c].def.has_self_param,
+                        pkc.callee_param,
+                    );
+                    psinks[c].get(&idx).cloned()
+                });
+                if let Some((sink, chain)) = hit {
+                    let chain = format!("{} → {chain}", f.qual_name());
+                    psinks[f.id].insert(pkc.param, (sink, chain));
+                    changed = true;
                 }
             }
-        });
-        for pos in sites {
-            ctx.emit(
-                FLOAT_DET,
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // Emission. All three flow kinds share one message shape so the
+    // remedy reads the same wherever the flow was cut.
+    let mut found: Vec<(usize, Pos, String, String, String)> = Vec::new();
+    for f in &ctx.symbols.fns {
+        if f.def.is_test || !ctx.enabled(f.file, TAINT_FLOW) {
+            continue;
+        }
+        // Source and sink in the same function.
+        for tl in &f.def.taint_locals {
+            found.push((f.file, tl.pos, tl.src.clone(), tl.sink.clone(), f.qual_name()));
+        }
+        // Sink fed by a call whose resolved callee returns taint.
+        for tc in &f.def.taint_call_flows {
+            let Some(&callee) = resolved[f.id][tc.call].iter().find(|&&c| rt[c]) else {
+                continue;
+            };
+            let callee_q = ctx.symbols.fns[callee].qual_name();
+            found.push((
                 f.file,
-                pos,
-                format!(
-                    "`partial_cmp` in `{}` is NaN-unstable (returns `None`, tempting `unwrap`, and orders NaN inconsistently); use `f64::total_cmp` / `f32::total_cmp` or compare integer keys",
-                    f.qual_name()
-                ),
+                tc.pos,
+                format!("the return of `{callee_q}`"),
+                tc.sink.clone(),
+                format!("{} → {callee_q}", f.qual_name()),
+            ));
+        }
+        // Tainted argument handed to a callee whose parameter reaches a
+        // sink (possibly through further forwarding).
+        for ta in &f.def.tainted_args {
+            let src = match &ta.src {
+                TaintSrc::Direct(s) => s.clone(),
+                TaintSrc::FromCall(j) => {
+                    let Some(&c) = resolved[f.id][*j].iter().find(|&&c| rt[c]) else {
+                        continue;
+                    };
+                    format!("the return of `{}`", ctx.symbols.fns[c].qual_name())
+                }
+            };
+            let cr = &f.def.calls[ta.call];
+            let hit = resolved[f.id][ta.call].iter().find_map(|&c| {
+                let idx =
+                    callee_param_index(cr, ctx.symbols.fns[c].def.has_self_param, ta.arg);
+                psinks[c].get(&idx).cloned()
+            });
+            if let Some((sink, chain)) = hit {
+                found.push((f.file, ta.pos, src, sink, format!("{} → {chain}", f.qual_name())));
+            }
+        }
+    }
+    for (file, pos, src, sink, chain) in found {
+        let msg = format!(
+            "untrusted value from {src} flows into {sink} with no bounds check on the way (flow: `{chain}`); bound it with an explicit comparison or `try_from`/`checked_*` first"
+        );
+        ctx.emit(TAINT_FLOW, file, pos, msg);
+    }
+}
+
+// ---------------------------------------------------------------------
+// loop-progress
+// ---------------------------------------------------------------------
+
+fn loop_progress(ctx: &mut Ctx<'_>, reach: &Reachability) {
+    for f in &ctx.symbols.fns {
+        if f.def.is_test || !reach.hot[f.id] || !ctx.enabled(f.file, LOOP_PROGRESS) {
+            continue;
+        }
+        for site in &f.def.stalled_loops {
+            let chain = reach.chain_names(ctx.symbols, f.id);
+            let msg = format!(
+                "`{}` loop without a progress witness on the hot path `{chain}`: no cursor advance, drain call or counter update found, so a malformed stream can spin it forever; advance a cursor every iteration or bound the loop",
+                site.what
             );
+            ctx.emit(LOOP_PROGRESS, f.file, site.pos, msg);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// no-swallowed-error
+// ---------------------------------------------------------------------
+
+fn swallowed_errors(ctx: &mut Ctx<'_>, resolved: &[Vec<Vec<usize>>]) {
+    for f in &ctx.symbols.fns {
+        if f.def.is_test || !ctx.enabled(f.file, NO_SWALLOWED_ERROR) {
+            continue;
+        }
+        for d in &f.def.discards {
+            let judged = match d.call {
+                // Channel send/recv: the `Result` is the disconnect
+                // signal; discarding it is never benign.
+                None => Some(format!(
+                    "discarded `Result` of {} in `{}`: a channel error means the peer hung up, and ignoring it turns shutdown into a hang",
+                    d.what,
+                    f.qual_name()
+                )),
+                Some(ci) => resolved[f.id][ci]
+                    .iter()
+                    .find(|&&c| ctx.symbols.fns[c].def.returns_result)
+                    .map(|&c| {
+                        format!(
+                            "discarded `Result` of {} in `{}`: `{}` can fail, and this swallows the error path",
+                            d.what,
+                            f.qual_name(),
+                            ctx.symbols.fns[c].qual_name()
+                        )
+                    }),
+            };
+            if let Some(msg) = judged {
+                let msg = format!(
+                    "{msg}; handle the error or suppress with a reasoned `allow({NO_SWALLOWED_ERROR})`"
+                );
+                ctx.emit(NO_SWALLOWED_ERROR, f.file, d.pos, msg);
+            }
         }
     }
 }

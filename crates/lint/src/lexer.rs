@@ -20,9 +20,11 @@ pub enum TokenKind {
     /// Identifier or keyword (`unwrap`, `unsafe`, `let`, …). Raw
     /// identifiers are stored without the `r#` prefix.
     Ident(String),
-    /// Any literal: string, char, byte string or number. The payload is
-    /// not needed by the rules, only the fact that it is opaque.
-    Literal,
+    /// Any literal: string, char, byte string or number. Only numeric
+    /// literals carry their source text (the loop-progress rule needs to
+    /// tell `+= 0` from `+= 1`); strings and chars are opaque and carry
+    /// an empty payload.
+    Literal(String),
     /// A lifetime such as `'a` (distinct from a char literal).
     Lifetime,
     /// One punctuation character (`.`, `(`, `{`, `!`, …). `::` is lexed
@@ -61,12 +63,21 @@ impl Token {
     pub fn is_punct(&self, c: char) -> bool {
         self.kind == TokenKind::Punct(c)
     }
+
+    /// The literal's source text, if this token is a literal that keeps
+    /// one (numbers do; strings and chars are opaque).
+    pub fn literal_text(&self) -> Option<&str> {
+        match &self.kind {
+            TokenKind::Literal(s) if !s.is_empty() => Some(s.as_str()),
+            _ => None,
+        }
+    }
 }
 
 /// One comment (line or block) with its position. Line comments cover
 /// `//`, `///` and `//!`; block comments cover `/* … */` (nested) and
 /// their doc forms.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Comment {
     /// Comment text without the delimiters.
     pub text: String,
@@ -161,11 +172,11 @@ impl<'a> Lexer<'a> {
                 b'/' if self.peek_at(1) == Some(b'*') => self.block_comment(line),
                 b'"' => {
                     self.string_literal();
-                    self.push(TokenKind::Literal, line, col);
+                    self.push(TokenKind::Literal(String::new()), line, col);
                 }
                 b'r' | b'b' => {
                     if self.raw_or_byte_literal() {
-                        self.push(TokenKind::Literal, line, col);
+                        self.push(TokenKind::Literal(String::new()), line, col);
                     } else {
                         self.ident();
                         // `ident()` pushed the token already.
@@ -173,8 +184,11 @@ impl<'a> Lexer<'a> {
                 }
                 b'\'' => self.char_or_lifetime(line, col),
                 b'0'..=b'9' => {
+                    let start = self.pos;
                     self.number();
-                    self.push(TokenKind::Literal, line, col);
+                    let text =
+                        String::from_utf8_lossy(&self.src[start..self.pos]).into_owned();
+                    self.push(TokenKind::Literal(text), line, col);
                 }
                 b'_' | b'a'..=b'z' | b'A'..=b'Z' => self.ident(),
                 b':' if self.peek_at(1) == Some(b':') => {
@@ -373,7 +387,7 @@ impl<'a> Lexer<'a> {
                 _ => {}
             }
         }
-        self.push(TokenKind::Literal, line, col);
+        self.push(TokenKind::Literal(String::new()), line, col);
     }
 
     fn number(&mut self) {
@@ -571,9 +585,21 @@ mod tests {
     fn lifetimes_are_not_char_literals() {
         let lexed = lex("fn f<'a>(x: &'a str) -> char { 'x' }");
         let lifetimes = lexed.tokens.iter().filter(|t| t.kind == TokenKind::Lifetime).count();
-        let literals = lexed.tokens.iter().filter(|t| t.kind == TokenKind::Literal).count();
+        let literals = lexed
+            .tokens
+            .iter()
+            .filter(|t| matches!(t.kind, TokenKind::Literal(_)))
+            .count();
         assert_eq!(lifetimes, 2);
         assert_eq!(literals, 1);
+    }
+
+    #[test]
+    fn numeric_literals_keep_their_text() {
+        let lexed = lex("let a = 0; let b = 1_000u64; let s = \"7\";");
+        let texts: Vec<&str> = lexed.tokens.iter().filter_map(Token::literal_text).collect();
+        // The string literal is opaque (no payload); numbers keep theirs.
+        assert_eq!(texts, ["0", "1_000u64"]);
     }
 
     #[test]
@@ -602,8 +628,10 @@ mod tests {
         ";
         let lexed = lex(src);
         let flag_of = |name: &str| {
-            let i = lexed.tokens.iter().position(|t| t.is_ident(name)).unwrap();
-            lexed.is_test(i)
+            match lexed.tokens.iter().position(|t| t.is_ident(name)) {
+                Some(i) => lexed.is_test(i),
+                None => panic!("token `{name}` not found"),
+            }
         };
         assert!(!flag_of("live"));
         assert!(flag_of("tests"));
@@ -619,10 +647,14 @@ mod tests {
             fn live() {}
         ";
         let lexed = lex(src);
-        let z = lexed.tokens.iter().position(|t| t.is_ident("z")).unwrap();
-        let live = lexed.tokens.iter().position(|t| t.is_ident("live")).unwrap();
-        assert!(lexed.is_test(z));
-        assert!(!lexed.is_test(live));
+        let pos_of = |name: &str| {
+            match lexed.tokens.iter().position(|t| t.is_ident(name)) {
+                Some(i) => i,
+                None => panic!("token `{name}` not found"),
+            }
+        };
+        assert!(lexed.is_test(pos_of("z")));
+        assert!(!lexed.is_test(pos_of("live")));
     }
 
     #[test]

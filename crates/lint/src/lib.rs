@@ -33,6 +33,7 @@
 //! tracking.
 
 pub mod ast;
+pub mod cache;
 pub mod callgraph;
 pub mod config;
 pub mod diag;
@@ -40,6 +41,8 @@ pub mod flow;
 pub mod lexer;
 pub mod parser;
 pub mod rules;
+pub mod sarif;
+pub mod summaries;
 pub mod symbols;
 
 pub use config::{parse_config, ConfigError, LintConfig, RuleSet};
@@ -169,32 +172,45 @@ fn rust_files(dir: &Path) -> Result<Vec<PathBuf>, LintError> {
     Ok(out)
 }
 
-/// Lint a set of in-memory sources as one workspace: token rules per
-/// file, then the cross-file semantic analyses, then suppressions (one
-/// pass, shared by both layers) and the canonical sort.
-pub fn lint_sources(files: &[SourceFile], config: &LintConfig) -> Report {
-    let lexed: Vec<lexer::LexedFile> = files.iter().map(|f| lexer::lex(&f.source)).collect();
-    let asts: Vec<ast::AstFile> = lexed.iter().map(parser::parse_file).collect();
+/// Extract one file's analysis summary: lex, parse (tolerantly) and
+/// summarize. This is the expensive per-file phase the incremental
+/// cache stores; [`lint_summaries`] consumes its output.
+pub fn summarize_file(file: &SourceFile) -> summaries::FileSummary {
+    let lexed = lexer::lex(&file.source);
+    let ast = parser::parse_file(&lexed);
+    summaries::summarize(file, &lexed, &ast)
+}
 
+/// The link phase: token-finding filtering per file, the cross-file
+/// semantic analyses over summaries, then suppressions (one pass,
+/// shared by both layers) and the canonical sort. `files[i]` and
+/// `summaries[i]` must correspond; summaries may come from
+/// [`summarize_file`] or the incremental cache — the result is
+/// identical by construction.
+pub fn lint_summaries(
+    files: &[SourceFile],
+    summaries: &[summaries::FileSummary],
+    config: &LintConfig,
+) -> Report {
     let mut per_file: Vec<Vec<Diagnostic>> = Vec::with_capacity(files.len());
-    for (file, lx) in files.iter().zip(&lexed) {
+    for (file, summary) in files.iter().zip(summaries) {
         let rules = config.rules_for(&file.crate_name);
-        per_file.push(rules::token_rules(file, lx, &rules));
+        per_file.push(rules::filter_token_findings(file, &summary.token_findings, &rules));
     }
 
     // Workspace analyses emit diagnostics keyed by path label; route
     // them back to their files so suppressions apply uniformly.
     let by_path: BTreeMap<&str, usize> =
         files.iter().enumerate().map(|(i, f)| (f.path.as_str(), i)).collect();
-    for diag in flow::analyze(files, &asts, config) {
+    for diag in flow::analyze(files, summaries, config) {
         if let Some(&i) = by_path.get(diag.file.as_str()) {
             per_file[i].push(diag);
         }
     }
 
     let mut report = Report::default();
-    for ((file, lx), diags) in files.iter().zip(&lexed).zip(per_file) {
-        let fr = rules::apply_suppressions(&file.path, &lx.comments, diags);
+    for ((file, summary), diags) in files.iter().zip(summaries).zip(per_file) {
+        let fr = rules::apply_suppressions(&file.path, &summary.comments, diags);
         report.files_scanned += 1;
         report.suppressed += fr.suppressed;
         report.diagnostics.extend(fr.diagnostics);
@@ -205,8 +221,16 @@ pub fn lint_sources(files: &[SourceFile], config: &LintConfig) -> Report {
     report
 }
 
-/// Lint every crate's `src/` tree under `root` with `config`.
-pub fn lint_workspace(root: &Path, config: &LintConfig) -> Result<Report, LintError> {
+/// Lint a set of in-memory sources as one workspace: summarize every
+/// file, then link.
+pub fn lint_sources(files: &[SourceFile], config: &LintConfig) -> Report {
+    let summaries: Vec<summaries::FileSummary> = files.iter().map(summarize_file).collect();
+    lint_summaries(files, &summaries, config)
+}
+
+/// Read every crate's `src/` tree under `root` into [`SourceFile`]s,
+/// in the canonical (crate, path) order.
+pub fn collect_workspace_files(root: &Path) -> Result<Vec<SourceFile>, LintError> {
     let mut files = Vec::new();
     for krate in discover_crates(root)? {
         let src = krate.dir.join("src");
@@ -230,16 +254,54 @@ pub fn lint_workspace(root: &Path, config: &LintConfig) -> Result<Report, LintEr
             });
         }
     }
+    Ok(files)
+}
+
+/// Lint every crate's `src/` tree under `root` with `config`.
+pub fn lint_workspace(root: &Path, config: &LintConfig) -> Result<Report, LintError> {
+    let files = collect_workspace_files(root)?;
     Ok(lint_sources(&files, config))
+}
+
+/// Like [`lint_workspace`], but reusing the on-disk caches under
+/// `<root>/target/vdsms-lint-cache`; also returns the hit/miss split.
+///
+/// Two layers: per-file summaries (only touched files re-parse) and a
+/// whole-workspace report keyed by every file's cache key plus the
+/// config fingerprint. On a fully-unchanged tree the second layer
+/// skips summary loading and the link phase entirely, so a warm run
+/// costs little more than hashing the sources.
+pub fn lint_workspace_cached(
+    root: &Path,
+    config: &LintConfig,
+) -> Result<(Report, cache::CacheStats), LintError> {
+    let files = collect_workspace_files(root)?;
+    let key = cache::report_key(&files, config);
+    if let Some(report) = cache::load_cached_report(root, key) {
+        // Nothing changed since the stored report was linked: every
+        // file's summary would be reused and the link inputs are
+        // identical, so the report itself is reusable byte-for-byte.
+        let stats = cache::CacheStats { reused: files.len(), parsed: 0 };
+        return Ok((report, stats));
+    }
+    let (summaries, stats) = cache::summarize_with_cache(root, &files);
+    let report = lint_summaries(&files, &summaries, config);
+    cache::store_cached_report(root, key, &report);
+    Ok((report, stats))
+}
+
+/// Load and parse `<root>/lint.toml`.
+pub fn load_config(root: &Path) -> Result<LintConfig, LintError> {
+    let config_path = root.join("lint.toml");
+    let text = std::fs::read_to_string(&config_path)
+        .map_err(|e| LintError::Config(format!("{}: {e}", config_path.display())))?;
+    parse_config(&text).map_err(|e| LintError::Config(e.to_string()))
 }
 
 /// Load `<root>/lint.toml` and lint the workspace — the entry point the
 /// binary and the `vdsms lint` CLI subcommand share.
 pub fn lint_workspace_with_default_config(root: &Path) -> Result<Report, LintError> {
-    let config_path = root.join("lint.toml");
-    let text = std::fs::read_to_string(&config_path)
-        .map_err(|e| LintError::Config(format!("{}: {e}", config_path.display())))?;
-    let config = parse_config(&text).map_err(|e| LintError::Config(e.to_string()))?;
+    let config = load_config(root)?;
     lint_workspace(root, &config)
 }
 

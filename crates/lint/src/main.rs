@@ -2,7 +2,7 @@
 //! `vdsms-lint` — run the workspace static-analysis gate.
 //!
 //! ```text
-//! vdsms-lint [--json] [--root DIR]
+//! vdsms-lint [--format human|json|sarif] [--root DIR] [--no-cache]
 //! vdsms-lint --explain <rule>
 //! ```
 //!
@@ -14,12 +14,18 @@ const USAGE: &str = "\
 vdsms-lint — workspace static-analysis gate
 
 USAGE:
-  vdsms-lint [--json] [--root DIR]
+  vdsms-lint [--format human|json|sarif] [--root DIR] [--no-cache]
   vdsms-lint --explain <rule>
 
-  --json          machine-readable JSON report on stdout
+  --format FMT    report format: human (default), json, or sarif
+  --json          alias for --format json
   --root DIR      workspace root (default: nearest ancestor with lint.toml)
+  --no-cache      ignore the incremental summary cache (target/vdsms-lint-cache)
   --explain RULE  print a rule's rationale, example and suppression syntax
+
+Per-file analysis summaries are cached under <root>/target/vdsms-lint-cache,
+keyed by content hash; warm runs re-parse only changed files and produce
+byte-identical output. The hit/miss split is reported on stderr.
 
 Rules and per-crate configuration live in <root>/lint.toml.
 Mark a streaming entry point (root of the hot-path analyses) with:
@@ -29,6 +35,13 @@ or scope it to a subset of the hot-path rules:
 Suppress a finding inline with a mandatory reason:
   // vdsms-lint: allow(rule-id) reason=\"why this occurrence is sound\"
 ";
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Format {
+    Human,
+    Json,
+    Sarif,
+}
 
 fn explain_rule(id: &str) -> ExitCode {
     match vdsms_lint::rules::explain(id) {
@@ -54,12 +67,30 @@ fn explain_rule(id: &str) -> ExitCode {
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut json = false;
+    let mut format = Format::Human;
     let mut root: Option<String> = None;
+    let mut use_cache = true;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
-            "--json" => json = true,
+            "--json" => format = Format::Json,
+            "--format" => {
+                i += 1;
+                format = match args.get(i).map(String::as_str) {
+                    Some("human") => Format::Human,
+                    Some("json") => Format::Json,
+                    Some("sarif") => Format::Sarif,
+                    Some(other) => {
+                        eprintln!("error: unknown format `{other}` (human, json, sarif)\n{USAGE}");
+                        return ExitCode::from(2);
+                    }
+                    None => {
+                        eprintln!("error: --format needs a value\n{USAGE}");
+                        return ExitCode::from(2);
+                    }
+                };
+            }
+            "--no-cache" => use_cache = false,
             "--explain" => {
                 i += 1;
                 return match args.get(i) {
@@ -112,12 +143,23 @@ fn main() -> ExitCode {
         }
     };
 
-    match vdsms_lint::lint_workspace_with_default_config(&root) {
-        Ok(report) => {
-            if json {
-                print!("{}", report.to_json());
-            } else {
-                print!("{}", report.render());
+    let result = vdsms_lint::load_config(&root).and_then(|config| {
+        if use_cache {
+            vdsms_lint::lint_workspace_cached(&root, &config)
+        } else {
+            vdsms_lint::lint_workspace(&root, &config)
+                .map(|r| (r, vdsms_lint::cache::CacheStats::default()))
+        }
+    });
+    match result {
+        Ok((report, stats)) => {
+            if use_cache {
+                eprintln!("cache: {} reused, {} parsed", stats.reused, stats.parsed);
+            }
+            match format {
+                Format::Human => print!("{}", report.render()),
+                Format::Json => print!("{}", report.to_json()),
+                Format::Sarif => print!("{}", vdsms_lint::sarif::to_sarif(&report)),
             }
             if report.is_clean() {
                 ExitCode::SUCCESS

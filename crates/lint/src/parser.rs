@@ -320,7 +320,7 @@ impl<'a> Parser<'a> {
             {
                 self.bump();
             } else if self.is_ident("extern")
-                && self.tok(self.i + 1).is_some_and(|t| matches!(t.kind, TokenKind::Literal))
+                && self.tok(self.i + 1).is_some_and(|t| matches!(t.kind, TokenKind::Literal(_)))
                 && self.tok(self.i + 2).is_some_and(|t| t.is_ident("fn"))
             {
                 self.bump();
@@ -402,6 +402,7 @@ impl<'a> Parser<'a> {
             self.skip_angles();
         }
         let params = if self.is_punct('(') { self.parse_params() } else { Vec::new() };
+        let returns_result = self.return_type_is_result();
         // Return type + where clause: skip to the body or the semicolon.
         let body = match self.skip_until(&['{', ';']) {
             Some('{') => Some(self.parse_block_stmts()),
@@ -420,7 +421,36 @@ impl<'a> Parser<'a> {
             .iter()
             .position(|(m, _)| *m <= start_line && start_line - m <= ENTRY_MARKER_REACH)
             .map(|idx| self.entry_lines.remove(idx).1);
-        Item::Fn(FnDef { name, pos, is_test, entry, params, body })
+        Item::Fn(FnDef { name, pos, is_test, entry, params, body, returns_result })
+    }
+
+    /// Non-consuming lookahead over the return type: scan from the cursor
+    /// to the body's `{` (or the `;` of a bodyless declaration) at
+    /// depth 0 and report whether the declared type mentions `Result` (or
+    /// an alias ending in `Result`, e.g. `io::Result`, `DecodeResult`).
+    /// A `where` clause ends the scan — bounds like `T: Into<Result<…>>`
+    /// are not return types.
+    fn return_type_is_result(&self) -> bool {
+        let mut depth = 0i32;
+        let mut j = self.i;
+        while let Some(t) = self.tok(j) {
+            match &t.kind {
+                TokenKind::Punct('(') | TokenKind::Punct('[') => depth += 1,
+                TokenKind::Punct(')') | TokenKind::Punct(']') => depth -= 1,
+                TokenKind::Punct('{') | TokenKind::Punct(';') if depth <= 0 => return false,
+                TokenKind::Ident(s) if depth <= 0 => {
+                    if s == "where" {
+                        return false;
+                    }
+                    if s == "Result" || s.ends_with("Result") {
+                        return true;
+                    }
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        false
     }
 
     /// Parse `(…)` parameter list, collecting identifier-pattern names.
@@ -858,9 +888,10 @@ impl<'a> Parser<'a> {
             return Expr { kind: ExprKind::Unknown, pos };
         };
         match &t.kind {
-            TokenKind::Literal => {
+            TokenKind::Literal(text) => {
+                let text = text.clone();
                 self.bump();
-                self.postfix(Expr { kind: ExprKind::Lit, pos }, no_struct)
+                self.postfix(Expr { kind: ExprKind::Lit(text), pos }, no_struct)
             }
             TokenKind::Lifetime => {
                 // Loop label: `'a: loop { … }`.
@@ -958,10 +989,12 @@ impl<'a> Parser<'a> {
                         trailing_comma = self.eat_punct(',');
                     }
                     self.eat_punct(')');
-                    let e = if elems.len() == 1 && !trailing_comma {
-                        elems.pop().expect("len checked")
-                    } else {
-                        Expr { kind: ExprKind::Tuple(elems), pos }
+                    let e = match elems.pop() {
+                        Some(only) if elems.is_empty() && !trailing_comma => only,
+                        popped => {
+                            elems.extend(popped);
+                            Expr { kind: ExprKind::Tuple(elems), pos }
+                        }
                     };
                     self.postfix(e, no_struct)
                 }
@@ -1170,7 +1203,7 @@ impl<'a> Parser<'a> {
                             };
                         }
                     }
-                    Some(TokenKind::Literal) => {
+                    Some(TokenKind::Literal(_)) => {
                         // Tuple index: `x.0`.
                         let mpos = self.pos();
                         self.bump();

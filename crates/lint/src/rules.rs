@@ -1,7 +1,7 @@
 //! The per-file token rules, the rule registry (ids + explanations),
 //! and inline-suppression handling.
 //!
-//! ## Rule catalog (v2)
+//! ## Rule catalog (v3)
 //!
 //! Per-file token rules (this module):
 //!
@@ -21,6 +21,9 @@
 //! | `lock-order` | cycles in the static lock-acquisition graph (deadlock hazard) — both witness chains reported |
 //! | `no-unchecked-arith` | bare `+ - * <<` on values tainted by `get_*` / `read_*` stream reads (codec paths) |
 //! | `float-determinism` | `partial_cmp` in production code — NaN-unstable ordering; use `total_cmp` |
+//! | `taint-unchecked-flow` | untrusted bytes/lengths reaching slice indexing, capacity reservation or loop bounds with no bounds check — interprocedural, with witness chains |
+//! | `loop-progress` | `while`/`loop` loops on hot or recovery paths with no provably advancing cursor (livelock hazard) |
+//! | `no-swallowed-error` | `Result`s discarded via `let _ =` or statement-`.ok()` without a reasoned `allow` |
 //!
 //! A finding on a given line is suppressed by an inline directive on the
 //! same line or the line above:
@@ -58,6 +61,12 @@ pub const LOCK_ORDER: &str = "lock-order";
 pub const NO_UNCHECKED_ARITH: &str = "no-unchecked-arith";
 /// Rule id: NaN-unstable float comparisons.
 pub const FLOAT_DET: &str = "float-determinism";
+/// Rule id: untrusted stream bytes reaching index/capacity/bound sinks.
+pub const TAINT_FLOW: &str = "taint-unchecked-flow";
+/// Rule id: hot-path loops must provably advance a cursor.
+pub const LOOP_PROGRESS: &str = "loop-progress";
+/// Rule id: silently discarded `Result`s.
+pub const NO_SWALLOWED_ERROR: &str = "no-swallowed-error";
 /// Rule id: unsafe must be audited.
 pub const UNSAFE_AUDIT: &str = "unsafe-audit";
 /// Rule id: malformed suppression directives (not suppressible).
@@ -140,6 +149,27 @@ pub fn registry() -> &'static [RuleInfo] {
             suppression: SUPPRESS,
         },
         RuleInfo {
+            id: TAINT_FLOW,
+            summary: "no untrusted byte or length reaching an index/capacity/bound sink unchecked",
+            rationale: "Attack-transformed streams put every decoded length and offset under adversary control: a crafted payload length that reaches slice indexing, Vec::with_capacity/reserve or a loop bound unchecked is an out-of-bounds panic or a multi-gigabyte allocation — either one stops continuous monitoring. The analysis taints values returned by get_*/read_* reads and *_len/*_count payload fields, follows them through let-bindings, returns and call arguments (interprocedurally, by per-function summary), and flags any sink with no intervening comparison, `contains` check, `min`/`clamp`, `try_into` or `checked_*` on the way. Diagnostics print the witness call chain from the source to the sink.",
+            example: "bad:  let n = r.read_u32()? as usize; let mut v = Vec::with_capacity(n);\ngood: let n = r.read_u32()? as usize; if n > MAX_PAYLOAD { return Err(…) } let mut v = Vec::with_capacity(n);",
+            suppression: SUPPRESS,
+        },
+        RuleInfo {
+            id: LOOP_PROGRESS,
+            summary: "every hot-path loop provably advances a cursor",
+            rationale: "A `while`/`loop` on the streaming or corruption-recovery path that can iterate without consuming input is a livelock: the shard spins forever on one malformed frame and its streams silently stop being monitored — the paper's continuous-operation setting fails open. Loops reachable from a `// vdsms-lint: entry` function must contain a progress witness: a non-zero `+=`/`-=` on a cursor, a re-assignment derived from the cursor itself, or a draining call (`next`, `pop`, `recv`, `advance`, `read_*`, …). `for` loops are exempt (the iterator advances by construction). Scoped entries may use `entry(loop-progress)`.",
+            example: "bad:  while self.pos < len { if !self.try_frame() { continue } }\ngood: while self.pos < len { if !self.try_frame() { self.pos += 1; } }",
+            suppression: SUPPRESS,
+        },
+        RuleInfo {
+            id: NO_SWALLOWED_ERROR,
+            summary: "no silently discarded Results",
+            rationale: "A discarded `Result` converts a detectable fault into silent data loss: `let _ = reply.send(stats)` drops a shard's statistics on a closed channel and nobody ever learns. `let _ = <call>` where the callee's declared return type is a `Result` (resolved through the workspace call graph) and statement-position `.ok()` are flagged; channel sends/receives are flagged unconditionally because their `Result` is always load-bearing. Handle the error, or document why it is ignorable with an allow reason — `?` and explicit matches are never flagged.",
+            example: "bad:  let _ = reply.send(stats);\ngood: if reply.send(stats).is_err() { break } // requester hung up",
+            suppression: SUPPRESS,
+        },
+        RuleInfo {
             id: UNSAFE_AUDIT,
             summary: "every unsafe block audited, every crate root forbids unsafe",
             rationale: "The workspace is #![forbid(unsafe_code)] everywhere except the parking_lot shim (unsafe-allowed = true in lint.toml); any unsafe block that does exist must carry a // SAFETY: comment within 3 lines above explaining why it is sound.",
@@ -170,39 +200,79 @@ pub struct FileReport {
     pub suppressed: usize,
 }
 
-/// Run the per-file token rules on an already-lexed file; diagnostics
-/// are raw (suppressions are the driver's second pass, so workspace
-/// analyses share them).
-pub fn token_rules(file: &SourceFile, lexed: &LexedFile, rules: &RuleSet) -> Vec<Diagnostic> {
+/// One raw token-rule finding, before rule-switch filtering. The full
+/// set is computed unconditionally so it can live in a config-independent
+/// summary cache; [`filter_token_findings`] applies the active switches.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TokenFinding {
+    /// Rule id.
+    pub rule: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+    /// Diagnostic message.
+    pub message: String,
+    /// Whether this is the crate-root `#![forbid(unsafe_code)]` finding,
+    /// which `unsafe-allowed = true` waives (the other `unsafe-audit`
+    /// findings are not waivable).
+    pub root_forbid: bool,
+}
+
+/// Run every per-file token rule, unconditionally. The result depends
+/// only on the file's bytes — rule switches are applied later by
+/// [`filter_token_findings`], so the cache can store this verbatim.
+pub fn token_findings(file: &SourceFile, lexed: &LexedFile) -> Vec<TokenFinding> {
+    let mut findings: Vec<TokenFinding> = Vec::new();
+    {
+        let mut emit = |rule: &str, line: u32, col: u32, message: String| {
+            findings.push(TokenFinding { rule: rule.to_string(), line, col, message, root_forbid: false });
+        };
+        rule_deterministic_iteration(lexed, &mut emit);
+        rule_no_wall_clock(lexed, &mut emit);
+        rule_lock_discipline(lexed, &mut emit);
+        rule_unsafe_blocks(lexed, &mut emit);
+    }
+    if file.is_crate_root {
+        // Tagged, so the filter can drop it when `unsafe-allowed` is set.
+        let mut emit = |rule: &str, line: u32, col: u32, message: String| {
+            findings.push(TokenFinding { rule: rule.to_string(), line, col, message, root_forbid: true });
+        };
+        rule_root_forbid(lexed, &mut emit);
+    }
+    findings
+}
+
+/// Apply rule switches to pre-computed findings and render diagnostics.
+pub fn filter_token_findings(
+    file: &SourceFile,
+    findings: &[TokenFinding],
+    rules: &RuleSet,
+) -> Vec<Diagnostic> {
     let lines: Vec<&str> = file.source.lines().collect();
     let snippet = |line: u32| -> String {
         lines.get(line as usize - 1).map(|s| s.trim().to_string()).unwrap_or_default()
     };
-    let mut diags: Vec<Diagnostic> = Vec::new();
-    let mut emit = |rule: &str, tok_line: u32, tok_col: u32, message: String| {
-        diags.push(Diagnostic {
-            rule: rule.to_string(),
+    findings
+        .iter()
+        .filter(|t| rules.enabled(&t.rule))
+        .filter(|t| !(t.root_forbid && rules.enabled("unsafe-allowed")))
+        .map(|t| Diagnostic {
+            rule: t.rule.clone(),
             file: file.path.clone(),
-            line: tok_line,
-            col: tok_col,
-            message,
-            snippet: snippet(tok_line),
-        });
-    };
+            line: t.line,
+            col: t.col,
+            message: t.message.clone(),
+            snippet: snippet(t.line),
+        })
+        .collect()
+}
 
-    if rules.enabled(DET_ITER) {
-        rule_deterministic_iteration(lexed, &mut emit);
-    }
-    if rules.enabled(NO_WALL_CLOCK) {
-        rule_no_wall_clock(lexed, &mut emit);
-    }
-    if rules.enabled(LOCK_DISCIPLINE) {
-        rule_lock_discipline(lexed, &mut emit);
-    }
-    if rules.enabled(UNSAFE_AUDIT) {
-        rule_unsafe_audit(lexed, file.is_crate_root, rules.enabled("unsafe-allowed"), &mut emit);
-    }
-    diags
+/// Run the per-file token rules on an already-lexed file; diagnostics
+/// are raw (suppressions are the driver's second pass, so workspace
+/// analyses share them).
+pub fn token_rules(file: &SourceFile, lexed: &LexedFile, rules: &RuleSet) -> Vec<Diagnostic> {
+    filter_token_findings(file, &token_findings(file, lexed), rules)
 }
 
 /// Lint one file in isolation: token rules + suppressions. The
@@ -287,10 +357,10 @@ fn parse_directive(c: &Comment) -> DirectiveParse {
             return DirectiveParse::Invalid("scoped entry marker lists no rules".to_string());
         }
         for r in &scoped {
-            if !matches!(*r, NO_PANIC | NO_ALLOC) {
+            if !matches!(*r, NO_PANIC | NO_ALLOC | LOOP_PROGRESS) {
                 return DirectiveParse::Invalid(format!(
                     "entry scope names `{r}`, which is not a hot-path rule (expected \
-                     `{NO_PANIC}` or `{NO_ALLOC}`)"
+                     `{NO_PANIC}`, `{NO_ALLOC}` or `{LOOP_PROGRESS}`)"
                 ));
             }
         }
@@ -411,14 +481,9 @@ fn rule_lock_discipline(lexed: &LexedFile, emit: &mut impl FnMut(&str, u32, u32,
     }
 }
 
-/// `unsafe-audit`: `unsafe` needs an adjacent `// SAFETY:` comment, and
-/// crate roots need `#![forbid(unsafe_code)]` unless exempted.
-fn rule_unsafe_audit(
-    lexed: &LexedFile,
-    is_crate_root: bool,
-    unsafe_allowed: bool,
-    emit: &mut impl FnMut(&str, u32, u32, String),
-) {
+/// `unsafe-audit` (block half): `unsafe` needs an adjacent `// SAFETY:`
+/// comment.
+fn rule_unsafe_blocks(lexed: &LexedFile, emit: &mut impl FnMut(&str, u32, u32, String)) {
     for (i, tok) in lexed.code_tokens() {
         if lexed.is_test(i) || !tok.is_ident("unsafe") {
             continue;
@@ -437,24 +502,27 @@ fn rule_unsafe_audit(
             );
         }
     }
-    if is_crate_root && !unsafe_allowed {
-        let t = &lexed.tokens;
-        let has_forbid = (0..t.len()).any(|i| {
-            t[i].is_punct('#')
-                && t.get(i + 1).is_some_and(|n| n.is_punct('!'))
-                && t.get(i + 2).is_some_and(|n| n.is_punct('['))
-                && t.get(i + 3).is_some_and(|n| n.is_ident("forbid"))
-                && t.get(i + 4).is_some_and(|n| n.is_punct('('))
-                && t.get(i + 5).is_some_and(|n| n.is_ident("unsafe_code"))
-        });
-        if !has_forbid {
-            emit(
-                UNSAFE_AUDIT,
-                1,
-                1,
-                "crate root is missing `#![forbid(unsafe_code)]` (set `unsafe-allowed = true` in lint.toml for the one shim that needs unsafe)".to_string(),
-            );
-        }
+}
+
+/// `unsafe-audit` (root half): crate roots need `#![forbid(unsafe_code)]`
+/// unless exempted via `unsafe-allowed`.
+fn rule_root_forbid(lexed: &LexedFile, emit: &mut impl FnMut(&str, u32, u32, String)) {
+    let t = &lexed.tokens;
+    let has_forbid = (0..t.len()).any(|i| {
+        t[i].is_punct('#')
+            && t.get(i + 1).is_some_and(|n| n.is_punct('!'))
+            && t.get(i + 2).is_some_and(|n| n.is_punct('['))
+            && t.get(i + 3).is_some_and(|n| n.is_ident("forbid"))
+            && t.get(i + 4).is_some_and(|n| n.is_punct('('))
+            && t.get(i + 5).is_some_and(|n| n.is_ident("unsafe_code"))
+    });
+    if !has_forbid {
+        emit(
+            UNSAFE_AUDIT,
+            1,
+            1,
+            "crate root is missing `#![forbid(unsafe_code)]` (set `unsafe-allowed = true` in lint.toml for the one shim that needs unsafe)".to_string(),
+        );
     }
 }
 

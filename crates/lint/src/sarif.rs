@@ -1,0 +1,160 @@
+//! SARIF 2.1.0 output — the interchange format CI dashboards and code
+//! hosts ingest for static-analysis results.
+//!
+//! The emitter produces the minimal valid document: one `run` with the
+//! tool's rule catalog (id + short description for every registered
+//! rule, so rule metadata is present even when a rule has no findings)
+//! and one `result` per diagnostic with a physical location. Output is
+//! byte-stable for a given report: rules come from the fixed registry
+//! order and results keep the report's canonical (file, line, col,
+//! rule) sort.
+
+use crate::diag::Report;
+use vdsms_json::Json;
+
+/// SARIF schema pinned by the emitter.
+const SARIF_VERSION: &str = "2.1.0";
+const SARIF_SCHEMA: &str =
+    "https://docs.oasis-open.org/sarif/sarif/v2.1.0/errata01/os/schemas/sarif-schema-2.1.0.json";
+
+fn obj(fields: Vec<(&str, Json)>) -> Json {
+    Json::Obj(fields.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+}
+
+/// Render `report` as a SARIF 2.1.0 document (pretty-printed, trailing
+/// newline).
+pub fn to_sarif(report: &Report) -> String {
+    let rules: Vec<Json> = crate::rules::registry()
+        .iter()
+        .map(|info| {
+            obj(vec![
+                ("id", Json::str(info.id)),
+                (
+                    "shortDescription",
+                    obj(vec![("text", Json::str(info.summary))]),
+                ),
+                ("helpUri", Json::str(format!("vdsms-lint://explain/{}", info.id))),
+            ])
+        })
+        .collect();
+
+    let results: Vec<Json> = report
+        .diagnostics
+        .iter()
+        .map(|d| {
+            obj(vec![
+                ("ruleId", Json::str(&d.rule)),
+                ("level", Json::str("error")),
+                ("message", obj(vec![("text", Json::str(&d.message))])),
+                (
+                    "locations",
+                    Json::Arr(vec![obj(vec![(
+                        "physicalLocation",
+                        obj(vec![
+                            (
+                                "artifactLocation",
+                                obj(vec![("uri", Json::str(&d.file))]),
+                            ),
+                            (
+                                "region",
+                                obj(vec![
+                                    ("startLine", Json::num(d.line as usize)),
+                                    ("startColumn", Json::num(d.col as usize)),
+                                    ("snippet", obj(vec![("text", Json::str(&d.snippet))])),
+                                ]),
+                            ),
+                        ]),
+                    )])]),
+                ),
+            ])
+        })
+        .collect();
+
+    let doc = obj(vec![
+        ("version", Json::str(SARIF_VERSION)),
+        ("$schema", Json::str(SARIF_SCHEMA)),
+        (
+            "runs",
+            Json::Arr(vec![obj(vec![
+                (
+                    "tool",
+                    obj(vec![(
+                        "driver",
+                        obj(vec![
+                            ("name", Json::str("vdsms-lint")),
+                            ("informationUri", Json::str("vdsms-lint://")),
+                            ("rules", Json::Arr(rules)),
+                        ]),
+                    )]),
+                ),
+                ("results", Json::Arr(results)),
+            ])]),
+        ),
+    ]);
+    let mut out = doc.to_pretty();
+    out.push('\n');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diag::Diagnostic;
+
+    #[test]
+    fn sarif_document_has_schema_rules_and_results() {
+        let mut rep = Report { files_scanned: 1, ..Default::default() };
+        rep.diagnostics.push(Diagnostic {
+            rule: "no-panic-hot-path".into(),
+            file: "crates/core/src/x.rs".into(),
+            line: 3,
+            col: 7,
+            message: "`.unwrap()` can panic".into(),
+            snippet: "v.unwrap();".into(),
+        });
+        let text = to_sarif(&rep);
+        let doc = match Json::parse(&text) {
+            Ok(d) => d,
+            Err(e) => panic!("emitter produced invalid JSON: {e}"),
+        };
+        assert_eq!(doc.get("version").and_then(Json::as_str), Some("2.1.0"));
+        let Some([run]) = doc.get("runs").and_then(Json::as_arr) else {
+            panic!("expected exactly one run");
+        };
+        let driver = run.get("tool").and_then(|t| t.get("driver"));
+        assert_eq!(
+            driver.and_then(|d| d.get("name")).and_then(Json::as_str),
+            Some("vdsms-lint")
+        );
+        // Every registered rule appears in the catalog.
+        let rules = driver.and_then(|d| d.get("rules")).and_then(Json::as_arr);
+        assert_eq!(rules.map(<[Json]>::len), Some(crate::rules::registry().len()));
+        let Some([result]) = run.get("results").and_then(Json::as_arr) else {
+            panic!("expected exactly one result");
+        };
+        assert_eq!(result.get("ruleId").and_then(Json::as_str), Some("no-panic-hot-path"));
+        let region = result
+            .get("locations")
+            .and_then(Json::as_arr)
+            .and_then(|l| l.first())
+            .and_then(|l| l.get("physicalLocation"))
+            .and_then(|p| p.get("region"));
+        assert_eq!(
+            region.and_then(|r| r.get("startLine")).and_then(Json::as_usize),
+            Some(3)
+        );
+    }
+
+    #[test]
+    fn empty_report_is_still_a_valid_run() {
+        let text = to_sarif(&Report::default());
+        let doc = Json::parse(&text).unwrap_or(Json::Null);
+        let results = doc
+            .get("runs")
+            .and_then(Json::as_arr)
+            .and_then(|r| r.first())
+            .and_then(|r| r.get("results"))
+            .and_then(Json::as_arr);
+        assert_eq!(results.map(<[Json]>::len), Some(0));
+    }
+}

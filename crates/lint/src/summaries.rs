@@ -1,0 +1,2002 @@
+//! Per-function analysis summaries — the unit of incremental caching.
+//!
+//! [`summarize`] distils one parsed file into a [`FileSummary`]: every
+//! fact the link phase ([`crate::flow`]) needs, and nothing that
+//! depends on *other* files or on the active rule configuration. That
+//! independence is the whole design: a summary is a pure function of
+//! one file's bytes, so the on-disk cache ([`crate::cache`]) can key it
+//! by content hash alone and re-linking after an edit only re-parses
+//! the files that changed. Rule switches, suppressions and
+//! cross-function resolution are all applied later, at link time.
+//!
+//! The extraction walkers here are ports of what used to be the local
+//! halves of the flow analyses (panic/alloc sites, lock acquisition
+//! events, local arithmetic taint, float comparisons) plus the local
+//! halves of the v3 rules: the untrusted-byte taint walker
+//! (`taint-unchecked-flow`), the loop cursor scanner (`loop-progress`)
+//! and the discarded-`Result` scanner (`no-swallowed-error`).
+//!
+//! Serialization is hand-rolled over [`vdsms_json`] (compact arrays,
+//! short keys); [`FileSummary::from_json`] returns `None` on any shape
+//! mismatch, which the cache treats as a miss — a stale or corrupt
+//! cache file can never break a lint run, only slow it down.
+
+use crate::ast::{walk_fns, walk_stmts, AstFile, BinOp, Expr, ExprKind, Pos, Stmt};
+use crate::lexer::{Comment, LexedFile};
+use crate::SourceFile;
+use std::collections::BTreeMap;
+use vdsms_json::Json;
+
+/// Bumped whenever the summary shape or extraction semantics change;
+/// part of the cache key, so old cache files simply stop matching.
+pub const SUMMARY_VERSION: u64 = 2;
+
+/// A flagged position with a short description (`what` is the panic
+/// site kind, the allocation kind, the arithmetic operator, or the
+/// loop keyword, depending on which list it sits in).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Site {
+    /// Where.
+    pub pos: Pos,
+    /// What, pre-rendered for the diagnostic message.
+    pub what: String,
+}
+
+/// One unresolved call site, in body walk order. Every `Call` /
+/// `MethodCall` expression gets an entry (even ones that will never
+/// resolve), so the taint and discard records can refer to call sites
+/// by index.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CallRef {
+    /// `a::b::f(…)` — `segs` is empty when the callee was not a plain
+    /// path (resolves to nothing, kept for index stability).
+    Path {
+        /// Callee path segments.
+        segs: Vec<String>,
+        /// Call position.
+        pos: Pos,
+    },
+    /// `recv.method(…)`.
+    Method {
+        /// Whether the receiver is the literal `self`.
+        recv_self: bool,
+        /// Method name.
+        name: String,
+        /// Position of the method name.
+        pos: Pos,
+    },
+}
+
+impl CallRef {
+    /// The call's source position.
+    pub fn pos(&self) -> Pos {
+        match self {
+            CallRef::Path { pos, .. } | CallRef::Method { pos, .. } => *pos,
+        }
+    }
+}
+
+/// One event on the lock-acquisition walk, in statement order. The
+/// link phase replays these to build the workspace lock graph with the
+/// same first-witness-wins semantics the interleaved walk had.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LockEvent {
+    /// A direct `.lock()`/`.read()`/`.write()` acquisition while
+    /// `held` guards were live. Only recorded when `held` is
+    /// non-empty (an unordered acquisition creates no edges).
+    Direct {
+        /// Guards held at the acquisition (outer `let` guards plus
+        /// earlier acquisitions in the same statement).
+        held: Vec<String>,
+        /// Lock identity acquired.
+        acquired: String,
+        /// Acquisition site.
+        pos: Pos,
+        /// Witness note (`direct `.lock()` acquisition`).
+        note: String,
+    },
+    /// A call made while `held` guards were live; the link phase adds
+    /// edges to everything the callee transitively acquires. Only
+    /// recorded when `held` is non-empty.
+    Call {
+        /// Call site (matched against [`FnSummary::calls`] positions).
+        pos: Pos,
+        /// Guards held across the call.
+        held: Vec<String>,
+    },
+}
+
+/// A `let _ = …;` or statement-level `.ok()` that throws a value away.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Discard {
+    /// Call-site index of the discarded call, when the discarded value
+    /// came from one (`None` for channel sends/receives, which are
+    /// flagged unconditionally — their `Result` is always load-bearing).
+    pub call: Option<usize>,
+    /// Discard site.
+    pub pos: Pos,
+    /// Pre-rendered description of what was discarded.
+    pub what: String,
+}
+
+/// A taint source description or a call whose return may carry taint.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TaintSrc {
+    /// Directly from a source expression (e.g. `` `.read_u32()` ``).
+    Direct(String),
+    /// From the return value of call site `calls[i]` — tainted iff the
+    /// resolved callee's return is tainted (link-time fixpoint).
+    FromCall(usize),
+}
+
+/// A sink fed directly by a local taint source.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TaintLocal {
+    /// Sink site.
+    pub pos: Pos,
+    /// Sink description.
+    pub sink: String,
+    /// Source description.
+    pub src: String,
+}
+
+/// A sink fed by the return value of a call site.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TaintCallFlow {
+    /// Call-site index whose return feeds the sink.
+    pub call: usize,
+    /// Sink site.
+    pub pos: Pos,
+    /// Sink description.
+    pub sink: String,
+}
+
+/// A sink fed (unsanitized) by one of this function's own parameters —
+/// the building block of interprocedural flows.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParamSink {
+    /// Parameter index (into the declared parameter list, `self`
+    /// included for methods).
+    pub param: usize,
+    /// Sink site.
+    pub pos: Pos,
+    /// Sink description.
+    pub sink: String,
+}
+
+/// A parameter passed on, still unsanitized, as a callee argument:
+/// `param` reaches `calls[call]`'s argument `callee_param` (0-based,
+/// not counting a method receiver).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParamSinkCall {
+    /// Caller parameter index.
+    pub param: usize,
+    /// Call-site index.
+    pub call: usize,
+    /// Argument position at the call.
+    pub callee_param: usize,
+}
+
+/// A tainted value passed as a call argument.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TaintedArg {
+    /// Call-site index.
+    pub call: usize,
+    /// Argument position (0-based, not counting a method receiver).
+    pub arg: usize,
+    /// Argument site.
+    pub pos: Pos,
+    /// Where the taint came from.
+    pub src: TaintSrc,
+}
+
+/// One function's summary — everything the link phase knows about it.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FnSummary {
+    /// Function name.
+    pub name: String,
+    /// `impl`/`trait` self type, if associated.
+    pub self_ty: Option<String>,
+    /// Position of the `fn` keyword.
+    pub pos: Pos,
+    /// Whether the function is test-only code.
+    pub is_test: bool,
+    /// Entry marker (`None` = not an entry; `Some([])` = bare `entry`;
+    /// `Some(rules)` = scoped `entry(rule, …)`).
+    pub entry: Option<Vec<String>>,
+    /// Whether the declared return type is a `Result`.
+    pub returns_result: bool,
+    /// Number of declared parameters (`self` included).
+    pub param_count: usize,
+    /// Whether the first parameter is `self`.
+    pub has_self_param: bool,
+    /// Every call site, in body walk order.
+    pub calls: Vec<CallRef>,
+    /// Panic sites (`what` = site description).
+    pub panic_sites: Vec<Site>,
+    /// Heap-allocation sites.
+    pub alloc_sites: Vec<Site>,
+    /// Unchecked-arithmetic sites on locally tainted operands
+    /// (`what` = operator text).
+    pub arith_sites: Vec<Site>,
+    /// `partial_cmp` sites.
+    pub float_sites: Vec<Pos>,
+    /// Lock identities this function acquires directly (sorted,
+    /// deduplicated) — the base set for transitive lock summaries.
+    pub direct_locks: Vec<String>,
+    /// Ordered lock-acquisition events (see [`LockEvent`]).
+    pub lock_events: Vec<LockEvent>,
+    /// `while`/`loop` loops with no progress witness in their body
+    /// (`what` = the loop keyword).
+    pub stalled_loops: Vec<Site>,
+    /// Whether the function returns a directly tainted value.
+    pub returns_taint: bool,
+    /// Call sites whose return value this function returns — its own
+    /// return is tainted iff any of them resolves to a tainted callee.
+    pub taint_return_calls: Vec<usize>,
+    /// Source-to-sink flows entirely inside this function.
+    pub taint_locals: Vec<TaintLocal>,
+    /// Call-return-to-sink flows (conditional on the callee).
+    pub taint_call_flows: Vec<TaintCallFlow>,
+    /// Parameter-to-sink flows (make this fn a sink for callers).
+    pub param_sinks: Vec<ParamSink>,
+    /// Parameter-to-callee-argument forwarding edges.
+    pub param_sink_calls: Vec<ParamSinkCall>,
+    /// Tainted values passed as call arguments.
+    pub tainted_args: Vec<TaintedArg>,
+    /// Discarded `Result`s (see [`Discard`]).
+    pub discards: Vec<Discard>,
+}
+
+impl FnSummary {
+    /// Whether any entry marker annotates this function.
+    pub fn is_entry(&self) -> bool {
+        self.entry.is_some()
+    }
+
+    /// Whether this function seeds the hot set of `rule` (bare `entry`,
+    /// or a scoped form naming `rule`).
+    pub fn entry_covers(&self, rule: &str) -> bool {
+        match &self.entry {
+            Some(rules) => rules.is_empty() || rules.iter().any(|r| r == rule),
+            None => false,
+        }
+    }
+}
+
+/// One file's complete summary: comments (for suppressions), token-rule
+/// findings (pre-computed for **all** rules; filtered at link time) and
+/// per-function summaries in definition order.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FileSummary {
+    /// Directive (`vdsms-lint:`) comments, for the suppression pass.
+    pub comments: Vec<Comment>,
+    /// Token-rule findings, unconditional (every rule evaluated).
+    pub token_findings: Vec<crate::rules::TokenFinding>,
+    /// Function summaries in [`walk_fns`] order.
+    pub fns: Vec<FnSummary>,
+}
+
+// ---------------------------------------------------------------------
+// JSON serialization (compact arrays, short keys)
+// ---------------------------------------------------------------------
+
+fn jn(v: usize) -> Json {
+    Json::num(v)
+}
+
+fn jline(p: Pos) -> Json {
+    jn(p.line as usize)
+}
+
+fn jcol(p: Pos) -> Json {
+    jn(p.col as usize)
+}
+
+fn jpos(p: Pos) -> Json {
+    Json::Arr(vec![jline(p), jcol(p)])
+}
+
+fn jbool(b: bool) -> Json {
+    Json::Bool(b)
+}
+
+fn rd_u32(v: &Json) -> Option<u32> {
+    v.as_usize().and_then(|n| u32::try_from(n).ok())
+}
+
+fn rd_pos(l: &Json, c: &Json) -> Option<Pos> {
+    Some(Pos::new(rd_u32(l)?, rd_u32(c)?))
+}
+
+fn rd_str(v: &Json) -> Option<String> {
+    v.as_str().map(str::to_string)
+}
+
+fn site_json(s: &Site) -> Json {
+    Json::Arr(vec![jline(s.pos), jcol(s.pos), Json::str(&s.what)])
+}
+
+fn rd_site(v: &Json) -> Option<Site> {
+    let [l, c, w] = v.as_arr()? else { return None };
+    Some(Site { pos: rd_pos(l, c)?, what: rd_str(w)? })
+}
+
+fn callref_json(c: &CallRef) -> Json {
+    match c {
+        CallRef::Path { segs, pos } => {
+            let mut a = vec![Json::str("p"), jline(*pos), jcol(*pos)];
+            a.extend(segs.iter().map(Json::str));
+            Json::Arr(a)
+        }
+        CallRef::Method { recv_self, name, pos } => Json::Arr(vec![
+            Json::str("m"),
+            jline(*pos),
+            jcol(*pos),
+            jbool(*recv_self),
+            Json::str(name),
+        ]),
+    }
+}
+
+fn rd_callref(v: &Json) -> Option<CallRef> {
+    let a = v.as_arr()?;
+    match a {
+        [tag, l, c, rest @ ..] if tag.as_str() == Some("p") => Some(CallRef::Path {
+            segs: rest.iter().map(rd_str).collect::<Option<Vec<_>>>()?,
+            pos: rd_pos(l, c)?,
+        }),
+        [tag, l, c, rs, name] if tag.as_str() == Some("m") => Some(CallRef::Method {
+            recv_self: rs.as_bool()?,
+            name: rd_str(name)?,
+            pos: rd_pos(l, c)?,
+        }),
+        _ => None,
+    }
+}
+
+fn lock_event_json(e: &LockEvent) -> Json {
+    match e {
+        LockEvent::Direct { held, acquired, pos, note } => {
+            let mut a = vec![
+                Json::str("d"),
+                jline(*pos),
+                jcol(*pos),
+                Json::str(acquired),
+                Json::str(note),
+            ];
+            a.extend(held.iter().map(Json::str));
+            Json::Arr(a)
+        }
+        LockEvent::Call { pos, held } => {
+            let mut a = vec![Json::str("c"), jline(*pos), jcol(*pos)];
+            a.extend(held.iter().map(Json::str));
+            Json::Arr(a)
+        }
+    }
+}
+
+fn rd_lock_event(v: &Json) -> Option<LockEvent> {
+    let a = v.as_arr()?;
+    match a {
+        [tag, l, c, acq, note, held @ ..] if tag.as_str() == Some("d") => Some(LockEvent::Direct {
+            held: held.iter().map(rd_str).collect::<Option<Vec<_>>>()?,
+            acquired: rd_str(acq)?,
+            pos: rd_pos(l, c)?,
+            note: rd_str(note)?,
+        }),
+        [tag, l, c, held @ ..] if tag.as_str() == Some("c") => Some(LockEvent::Call {
+            pos: rd_pos(l, c)?,
+            held: held.iter().map(rd_str).collect::<Option<Vec<_>>>()?,
+        }),
+        _ => None,
+    }
+}
+
+fn discard_json(d: &Discard) -> Json {
+    let call = match d.call {
+        Some(i) => jn(i),
+        None => Json::Null,
+    };
+    Json::Arr(vec![jline(d.pos), jcol(d.pos), Json::str(&d.what), call])
+}
+
+fn rd_discard(v: &Json) -> Option<Discard> {
+    let [l, c, w, call] = v.as_arr()? else { return None };
+    let call = match call {
+        Json::Null => None,
+        other => Some(other.as_usize()?),
+    };
+    Some(Discard { call, pos: rd_pos(l, c)?, what: rd_str(w)? })
+}
+
+fn tainted_arg_json(t: &TaintedArg) -> Json {
+    let (kind, src) = match &t.src {
+        TaintSrc::Direct(s) => (jn(0), Json::str(s)),
+        TaintSrc::FromCall(i) => (jn(1), jn(*i)),
+    };
+    Json::Arr(vec![jn(t.call), jn(t.arg), jline(t.pos), jcol(t.pos), kind, src])
+}
+
+fn rd_tainted_arg(v: &Json) -> Option<TaintedArg> {
+    let [call, arg, l, c, kind, src] = v.as_arr()? else { return None };
+    let src = match kind.as_usize()? {
+        0 => TaintSrc::Direct(rd_str(src)?),
+        1 => TaintSrc::FromCall(src.as_usize()?),
+        _ => return None,
+    };
+    Some(TaintedArg { call: call.as_usize()?, arg: arg.as_usize()?, pos: rd_pos(l, c)?, src })
+}
+
+fn vec_json<T>(items: &[T], f: impl Fn(&T) -> Json) -> Json {
+    Json::Arr(items.iter().map(f).collect())
+}
+
+fn rd_vec<T>(v: &Json, f: impl Fn(&Json) -> Option<T>) -> Option<Vec<T>> {
+    v.as_arr()?.iter().map(f).collect()
+}
+
+fn fn_json(f: &FnSummary) -> Json {
+    let mut o: Vec<(String, Json)> = Vec::new();
+    let mut put = |k: &str, v: Json| o.push((k.to_string(), v));
+    put("n", Json::str(&f.name));
+    if let Some(t) = &f.self_ty {
+        put("t", Json::str(t));
+    }
+    put("p", jpos(f.pos));
+    put("x", jbool(f.is_test));
+    if let Some(rules) = &f.entry {
+        put("e", Json::Arr(rules.iter().map(Json::str).collect()));
+    }
+    put("r", jbool(f.returns_result));
+    put("pc", jn(f.param_count));
+    put("sf", jbool(f.has_self_param));
+    put("c", vec_json(&f.calls, callref_json));
+    put("pa", vec_json(&f.panic_sites, site_json));
+    put("al", vec_json(&f.alloc_sites, site_json));
+    put("ar", vec_json(&f.arith_sites, site_json));
+    put("fl", vec_json(&f.float_sites, |p| jpos(*p)));
+    put("dl", Json::Arr(f.direct_locks.iter().map(Json::str).collect()));
+    put("le", vec_json(&f.lock_events, lock_event_json));
+    put("sl", vec_json(&f.stalled_loops, site_json));
+    put("rt", jbool(f.returns_taint));
+    put("rc", Json::Arr(f.taint_return_calls.iter().map(|&i| jn(i)).collect()));
+    put(
+        "tl",
+        vec_json(&f.taint_locals, |t| {
+            Json::Arr(vec![jline(t.pos), jcol(t.pos), Json::str(&t.sink), Json::str(&t.src)])
+        }),
+    );
+    put(
+        "tc",
+        vec_json(&f.taint_call_flows, |t| {
+            Json::Arr(vec![jn(t.call), jline(t.pos), jcol(t.pos), Json::str(&t.sink)])
+        }),
+    );
+    put(
+        "ps",
+        vec_json(&f.param_sinks, |t| {
+            Json::Arr(vec![jn(t.param), jline(t.pos), jcol(t.pos), Json::str(&t.sink)])
+        }),
+    );
+    put(
+        "pk",
+        vec_json(&f.param_sink_calls, |t| {
+            Json::Arr(vec![jn(t.param), jn(t.call), jn(t.callee_param)])
+        }),
+    );
+    put("ta", vec_json(&f.tainted_args, tainted_arg_json));
+    put("di", vec_json(&f.discards, discard_json));
+    Json::Obj(o)
+}
+
+fn rd_fn(v: &Json) -> Option<FnSummary> {
+    let pos = {
+        let [l, c] = v.get("p")?.as_arr()? else { return None };
+        rd_pos(l, c)?
+    };
+    let entry = match v.get("e") {
+        Some(e) => Some(rd_vec(e, rd_str)?),
+        None => None,
+    };
+    Some(FnSummary {
+        name: rd_str(v.get("n")?)?,
+        self_ty: match v.get("t") {
+            Some(t) => Some(rd_str(t)?),
+            None => None,
+        },
+        pos,
+        is_test: v.get("x")?.as_bool()?,
+        entry,
+        returns_result: v.get("r")?.as_bool()?,
+        param_count: v.get("pc")?.as_usize()?,
+        has_self_param: v.get("sf")?.as_bool()?,
+        calls: rd_vec(v.get("c")?, rd_callref)?,
+        panic_sites: rd_vec(v.get("pa")?, rd_site)?,
+        alloc_sites: rd_vec(v.get("al")?, rd_site)?,
+        arith_sites: rd_vec(v.get("ar")?, rd_site)?,
+        float_sites: rd_vec(v.get("fl")?, |p| {
+            let [l, c] = p.as_arr()? else { return None };
+            rd_pos(l, c)
+        })?,
+        direct_locks: rd_vec(v.get("dl")?, rd_str)?,
+        lock_events: rd_vec(v.get("le")?, rd_lock_event)?,
+        stalled_loops: rd_vec(v.get("sl")?, rd_site)?,
+        returns_taint: v.get("rt")?.as_bool()?,
+        taint_return_calls: rd_vec(v.get("rc")?, Json::as_usize)?,
+        taint_locals: rd_vec(v.get("tl")?, |t| {
+            let [l, c, sink, src] = t.as_arr()? else { return None };
+            Some(TaintLocal { pos: rd_pos(l, c)?, sink: rd_str(sink)?, src: rd_str(src)? })
+        })?,
+        taint_call_flows: rd_vec(v.get("tc")?, |t| {
+            let [call, l, c, sink] = t.as_arr()? else { return None };
+            Some(TaintCallFlow { call: call.as_usize()?, pos: rd_pos(l, c)?, sink: rd_str(sink)? })
+        })?,
+        param_sinks: rd_vec(v.get("ps")?, |t| {
+            let [p, l, c, sink] = t.as_arr()? else { return None };
+            Some(ParamSink { param: p.as_usize()?, pos: rd_pos(l, c)?, sink: rd_str(sink)? })
+        })?,
+        param_sink_calls: rd_vec(v.get("pk")?, |t| {
+            let [p, call, cp] = t.as_arr()? else { return None };
+            Some(ParamSinkCall {
+                param: p.as_usize()?,
+                call: call.as_usize()?,
+                callee_param: cp.as_usize()?,
+            })
+        })?,
+        tainted_args: rd_vec(v.get("ta")?, rd_tainted_arg)?,
+        discards: rd_vec(v.get("di")?, rd_discard)?,
+    })
+}
+
+impl FileSummary {
+    /// Serialize to the compact cache format.
+    pub fn to_json(&self) -> String {
+        let comments = vec_json(&self.comments, |c| {
+            Json::Arr(vec![
+                jn(c.line as usize),
+                jn(c.end_line as usize),
+                Json::str(&c.text),
+            ])
+        });
+        let findings = vec_json(&self.token_findings, |t| {
+            Json::Arr(vec![
+                Json::str(&t.rule),
+                jn(t.line as usize),
+                jn(t.col as usize),
+                Json::str(&t.message),
+                jbool(t.root_forbid),
+            ])
+        });
+        Json::Obj(vec![
+            ("v".to_string(), jn(SUMMARY_VERSION as usize)),
+            ("cm".to_string(), comments),
+            ("tf".to_string(), findings),
+            ("fn".to_string(), vec_json(&self.fns, fn_json)),
+        ])
+        .to_compact()
+    }
+
+    /// Parse the cache format; `None` on any mismatch (treated as a
+    /// cache miss by the caller).
+    ///
+    /// The hot path is a strict [`Scan`] over the exact byte layout
+    /// [`FileSummary::to_json`] writes — no intermediate value tree, so
+    /// a warm cache load is dominated by string allocation rather than
+    /// parsing. Anything the scanner does not recognize (reordered
+    /// keys, pretty-printing, hand edits) falls back to the lenient
+    /// tree parser before being declared a miss.
+    pub fn from_json(text: &str) -> Option<FileSummary> {
+        fast_from_json(text).or_else(|| Self::from_json_tree(text))
+    }
+
+    fn from_json_tree(text: &str) -> Option<FileSummary> {
+        let v = Json::parse(text).ok()?;
+        if v.get("v")?.as_usize()? != SUMMARY_VERSION as usize {
+            return None;
+        }
+        Some(FileSummary {
+            comments: rd_vec(v.get("cm")?, |c| {
+                let [line, end_line, text] = c.as_arr()? else { return None };
+                Some(Comment {
+                    text: rd_str(text)?,
+                    line: rd_u32(line)?,
+                    end_line: rd_u32(end_line)?,
+                })
+            })?,
+            token_findings: rd_vec(v.get("tf")?, |t| {
+                let [rule, l, c, message, rf] = t.as_arr()? else { return None };
+                Some(crate::rules::TokenFinding {
+                    rule: rd_str(rule)?,
+                    line: rd_u32(l)?,
+                    col: rd_u32(c)?,
+                    message: rd_str(message)?,
+                    root_forbid: rf.as_bool()?,
+                })
+            })?,
+            fns: rd_vec(v.get("fn")?, rd_fn)?,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------
+// Fast cache-format reader
+// ---------------------------------------------------------------------
+//
+// A strict [`Scan`] mirror of `to_json`'s exact byte layout. Every
+// helper here must stay in lockstep with its `*_json` counterpart
+// above; `roundtrip` tests and the tree-parser fallback both guard the
+// pairing.
+
+use vdsms_json::Scan;
+
+fn sc_u32(s: &mut Scan) -> Option<u32> {
+    u32::try_from(s.usize_()?).ok()
+}
+
+fn sc_pos(s: &mut Scan) -> Option<Pos> {
+    let line = sc_u32(s)?;
+    s.lit(",")?;
+    Some(Pos::new(line, sc_u32(s)?))
+}
+
+/// `[item,item,...]` with `f` reading each item.
+fn sc_arr<T>(s: &mut Scan, f: impl Fn(&mut Scan) -> Option<T>) -> Option<Vec<T>> {
+    s.lit("[")?;
+    let mut out = Vec::new();
+    if s.lit("]").is_some() {
+        return Some(out);
+    }
+    loop {
+        out.push(f(s)?);
+        if s.lit(",").is_some() {
+            continue;
+        }
+        s.lit("]")?;
+        return Some(out);
+    }
+}
+
+/// The trailing `,"str",...]` tail of an already-open array.
+fn sc_str_tail(s: &mut Scan) -> Option<Vec<String>> {
+    let mut out = Vec::new();
+    loop {
+        if s.lit("]").is_some() {
+            return Some(out);
+        }
+        s.lit(",")?;
+        out.push(s.string()?);
+    }
+}
+
+fn sc_site(s: &mut Scan) -> Option<Site> {
+    s.lit("[")?;
+    let pos = sc_pos(s)?;
+    s.lit(",")?;
+    let what = s.string()?;
+    s.lit("]")?;
+    Some(Site { pos, what })
+}
+
+fn sc_callref(s: &mut Scan) -> Option<CallRef> {
+    if s.lit("[\"p\",").is_some() {
+        let pos = sc_pos(s)?;
+        Some(CallRef::Path { segs: sc_str_tail(s)?, pos })
+    } else {
+        s.lit("[\"m\",")?;
+        let pos = sc_pos(s)?;
+        s.lit(",")?;
+        let recv_self = s.bool_()?;
+        s.lit(",")?;
+        let name = s.string()?;
+        s.lit("]")?;
+        Some(CallRef::Method { recv_self, name, pos })
+    }
+}
+
+fn sc_lock_event(s: &mut Scan) -> Option<LockEvent> {
+    if s.lit("[\"d\",").is_some() {
+        let pos = sc_pos(s)?;
+        s.lit(",")?;
+        let acquired = s.string()?;
+        s.lit(",")?;
+        let note = s.string()?;
+        Some(LockEvent::Direct { held: sc_str_tail(s)?, acquired, pos, note })
+    } else {
+        s.lit("[\"c\",")?;
+        let pos = sc_pos(s)?;
+        Some(LockEvent::Call { pos, held: sc_str_tail(s)? })
+    }
+}
+
+fn sc_discard(s: &mut Scan) -> Option<Discard> {
+    s.lit("[")?;
+    let pos = sc_pos(s)?;
+    s.lit(",")?;
+    let what = s.string()?;
+    s.lit(",")?;
+    let call = if s.lit("null").is_some() { None } else { Some(s.usize_()?) };
+    s.lit("]")?;
+    Some(Discard { call, pos, what })
+}
+
+fn sc_tainted_arg(s: &mut Scan) -> Option<TaintedArg> {
+    s.lit("[")?;
+    let call = s.usize_()?;
+    s.lit(",")?;
+    let arg = s.usize_()?;
+    s.lit(",")?;
+    let pos = sc_pos(s)?;
+    s.lit(",")?;
+    let src = match s.usize_()? {
+        0 => {
+            s.lit(",")?;
+            TaintSrc::Direct(s.string()?)
+        }
+        1 => {
+            s.lit(",")?;
+            TaintSrc::FromCall(s.usize_()?)
+        }
+        _ => return None,
+    };
+    s.lit("]")?;
+    Some(TaintedArg { call, arg, pos, src })
+}
+
+fn sc_fn(s: &mut Scan) -> Option<FnSummary> {
+    s.lit("{\"n\":")?;
+    let name = s.string()?;
+    let self_ty = if s.lit(",\"t\":").is_some() { Some(s.string()?) } else { None };
+    s.lit(",\"p\":[")?;
+    let pos = sc_pos(s)?;
+    s.lit("],\"x\":")?;
+    let is_test = s.bool_()?;
+    let entry = if s.lit(",\"e\":[").is_some() {
+        let mut rules = Vec::new();
+        if s.lit("]").is_none() {
+            loop {
+                rules.push(s.string()?);
+                if s.lit(",").is_some() {
+                    continue;
+                }
+                s.lit("]")?;
+                break;
+            }
+        }
+        Some(rules)
+    } else {
+        None
+    };
+    s.lit(",\"r\":")?;
+    let returns_result = s.bool_()?;
+    s.lit(",\"pc\":")?;
+    let param_count = s.usize_()?;
+    s.lit(",\"sf\":")?;
+    let has_self_param = s.bool_()?;
+    s.lit(",\"c\":")?;
+    let calls = sc_arr(s, sc_callref)?;
+    s.lit(",\"pa\":")?;
+    let panic_sites = sc_arr(s, sc_site)?;
+    s.lit(",\"al\":")?;
+    let alloc_sites = sc_arr(s, sc_site)?;
+    s.lit(",\"ar\":")?;
+    let arith_sites = sc_arr(s, sc_site)?;
+    s.lit(",\"fl\":")?;
+    let float_sites = sc_arr(s, |s| {
+        s.lit("[")?;
+        let p = sc_pos(s)?;
+        s.lit("]")?;
+        Some(p)
+    })?;
+    s.lit(",\"dl\":")?;
+    let direct_locks = sc_arr(s, |s| s.string())?;
+    s.lit(",\"le\":")?;
+    let lock_events = sc_arr(s, sc_lock_event)?;
+    s.lit(",\"sl\":")?;
+    let stalled_loops = sc_arr(s, sc_site)?;
+    s.lit(",\"rt\":")?;
+    let returns_taint = s.bool_()?;
+    s.lit(",\"rc\":")?;
+    let taint_return_calls = sc_arr(s, |s| s.usize_())?;
+    s.lit(",\"tl\":")?;
+    let taint_locals = sc_arr(s, |s| {
+        s.lit("[")?;
+        let pos = sc_pos(s)?;
+        s.lit(",")?;
+        let sink = s.string()?;
+        s.lit(",")?;
+        let src = s.string()?;
+        s.lit("]")?;
+        Some(TaintLocal { pos, sink, src })
+    })?;
+    s.lit(",\"tc\":")?;
+    let taint_call_flows = sc_arr(s, |s| {
+        s.lit("[")?;
+        let call = s.usize_()?;
+        s.lit(",")?;
+        let pos = sc_pos(s)?;
+        s.lit(",")?;
+        let sink = s.string()?;
+        s.lit("]")?;
+        Some(TaintCallFlow { call, pos, sink })
+    })?;
+    s.lit(",\"ps\":")?;
+    let param_sinks = sc_arr(s, |s| {
+        s.lit("[")?;
+        let param = s.usize_()?;
+        s.lit(",")?;
+        let pos = sc_pos(s)?;
+        s.lit(",")?;
+        let sink = s.string()?;
+        s.lit("]")?;
+        Some(ParamSink { param, pos, sink })
+    })?;
+    s.lit(",\"pk\":")?;
+    let param_sink_calls = sc_arr(s, |s| {
+        s.lit("[")?;
+        let param = s.usize_()?;
+        s.lit(",")?;
+        let call = s.usize_()?;
+        s.lit(",")?;
+        let callee_param = s.usize_()?;
+        s.lit("]")?;
+        Some(ParamSinkCall { param, call, callee_param })
+    })?;
+    s.lit(",\"ta\":")?;
+    let tainted_args = sc_arr(s, sc_tainted_arg)?;
+    s.lit(",\"di\":")?;
+    let discards = sc_arr(s, sc_discard)?;
+    s.lit("}")?;
+    Some(FnSummary {
+        name,
+        self_ty,
+        pos,
+        is_test,
+        entry,
+        returns_result,
+        param_count,
+        has_self_param,
+        calls,
+        panic_sites,
+        alloc_sites,
+        arith_sites,
+        float_sites,
+        direct_locks,
+        lock_events,
+        stalled_loops,
+        returns_taint,
+        taint_return_calls,
+        taint_locals,
+        taint_call_flows,
+        param_sinks,
+        param_sink_calls,
+        tainted_args,
+        discards,
+    })
+}
+
+fn fast_from_json(text: &str) -> Option<FileSummary> {
+    let mut s = Scan::new(text);
+    s.lit("{\"v\":")?;
+    if s.usize_()? != SUMMARY_VERSION as usize {
+        return None;
+    }
+    s.lit(",\"cm\":")?;
+    let comments = sc_arr(&mut s, |s| {
+        s.lit("[")?;
+        let line = sc_u32(s)?;
+        s.lit(",")?;
+        let end_line = sc_u32(s)?;
+        s.lit(",")?;
+        let text = s.string()?;
+        s.lit("]")?;
+        Some(Comment { text, line, end_line })
+    })?;
+    s.lit(",\"tf\":")?;
+    let token_findings = sc_arr(&mut s, |s| {
+        s.lit("[")?;
+        let rule = s.string()?;
+        s.lit(",")?;
+        let line = sc_u32(s)?;
+        s.lit(",")?;
+        let col = sc_u32(s)?;
+        s.lit(",")?;
+        let message = s.string()?;
+        s.lit(",")?;
+        let root_forbid = s.bool_()?;
+        s.lit("]")?;
+        Some(crate::rules::TokenFinding { rule, line, col, message, root_forbid })
+    })?;
+    s.lit(",\"fn\":")?;
+    let fns = sc_arr(&mut s, sc_fn)?;
+    s.lit("}")?;
+    if !s.at_end() {
+        return None;
+    }
+    Some(FileSummary { comments, token_findings, fns })
+}
+
+// ---------------------------------------------------------------------
+// Extraction
+// ---------------------------------------------------------------------
+
+/// Growth methods that (re)allocate on the receiver.
+const ALLOC_METHODS: &[&str] = &[
+    "append", "clone", "collect", "extend", "insert", "push", "push_back", "push_front",
+    "reserve", "resize", "to_owned", "to_string", "to_vec",
+];
+
+/// `Type::ctor` associated calls that allocate.
+const ALLOC_CTORS: &[(&str, &str)] =
+    &[("Box", "new"), ("String", "from"), ("Vec", "from"), ("Vec", "with_capacity")];
+
+/// Macros that allocate.
+const ALLOC_MACROS: &[&str] = &["format", "vec"];
+
+/// Methods whose result advances a cursor or drains a source — progress
+/// witnesses for `loop-progress`.
+const DRAIN_METHODS: &[&str] = &[
+    "advance", "bump", "next", "next_back", "pop", "pop_back", "pop_front", "recv",
+    "recv_timeout", "seek", "skip", "try_recv",
+];
+
+/// Channel operations whose `Result` is always load-bearing: a
+/// discarded send/recv error silently drops data, resolvable or not.
+const CHANNEL_METHODS: &[&str] = &["recv", "send", "try_recv", "try_send"];
+
+/// Methods that sanitize a tainted value for `taint-unchecked-flow`
+/// (clamping, checked conversion, checked arithmetic).
+fn is_sanitizer_method(method: &str) -> bool {
+    matches!(method, "min" | "clamp" | "try_into") || method.starts_with("checked_")
+}
+
+/// Summarize one parsed file. Pure function of the file's bytes: no
+/// configuration, no other files.
+pub fn summarize(file: &SourceFile, lexed: &LexedFile, ast: &AstFile) -> FileSummary {
+    let mut fns = Vec::new();
+    walk_fns(&ast.items, &mut |self_ty, def| {
+        fns.push(summarize_fn(self_ty, def));
+    });
+    FileSummary {
+        // Only directive comments feed the link phase (suppressions and
+        // their validation); doc comments would bloat every cache entry
+        // for nothing.
+        comments: lexed
+            .comments
+            .iter()
+            .filter(|c| c.text.trim().starts_with("vdsms-lint:"))
+            .cloned()
+            .collect(),
+        token_findings: crate::rules::token_findings(file, lexed),
+        fns,
+    }
+}
+
+fn summarize_fn(self_ty: Option<&str>, def: &crate::ast::FnDef) -> FnSummary {
+    let mut f = FnSummary {
+        name: def.name.clone(),
+        self_ty: self_ty.map(str::to_string),
+        pos: def.pos,
+        is_test: def.is_test,
+        entry: def.entry.clone(),
+        returns_result: def.returns_result,
+        param_count: def.params.len(),
+        has_self_param: def.params.first().is_some_and(|p| p == "self"),
+        ..FnSummary::default()
+    };
+    let Some(body) = &def.body else { return f };
+
+    // Call sites, in walk order — the index space every cross-reference
+    // below uses.
+    walk_stmts(body, &mut |e: &Expr| match &e.kind {
+        ExprKind::Call { callee, .. } => f.calls.push(CallRef::Path {
+            segs: callee.as_path().map(<[String]>::to_vec).unwrap_or_default(),
+            pos: e.pos,
+        }),
+        ExprKind::MethodCall { recv, method, .. } => f.calls.push(CallRef::Method {
+            recv_self: matches!(recv.as_path(), Some([seg]) if seg == "self"),
+            name: method.clone(),
+            pos: e.pos,
+        }),
+        _ => {}
+    });
+    let mut call_at: BTreeMap<(u32, u32), usize> = BTreeMap::new();
+    for (i, c) in f.calls.iter().enumerate() {
+        let p = c.pos();
+        call_at.entry((p.line, p.col)).or_insert(i);
+    }
+
+    // Panic / alloc / float sites and direct lock acquisitions.
+    let mut direct_locks: std::collections::BTreeSet<String> = std::collections::BTreeSet::new();
+    walk_stmts(body, &mut |e: &Expr| {
+        if let Some(what) = panic_site(e) {
+            f.panic_sites.push(Site { pos: e.pos, what });
+        }
+        if let Some(what) = alloc_site(e) {
+            f.alloc_sites.push(Site { pos: e.pos, what });
+        }
+        if let ExprKind::MethodCall { method, .. } = &e.kind {
+            if method == "partial_cmp" {
+                f.float_sites.push(e.pos);
+            }
+        }
+        if let Some(name) = acquisition(e) {
+            direct_locks.insert(name.to_string());
+        }
+    });
+    f.direct_locks = direct_locks.into_iter().collect();
+
+    // Local arithmetic taint (`no-unchecked-arith`).
+    {
+        let mut tainted: std::collections::BTreeSet<String> = std::collections::BTreeSet::new();
+        let mut sites: Vec<(Pos, BinOp)> = Vec::new();
+        check_arith_stmts(body, &mut tainted, &mut sites);
+        f.arith_sites = sites
+            .into_iter()
+            .map(|(pos, op)| Site { pos, what: op.as_str().to_string() })
+            .collect();
+    }
+
+    // Lock-acquisition events, statement-ordered.
+    {
+        let mut held: Vec<String> = Vec::new();
+        lock_stmts(body, &mut held, &mut f.lock_events);
+    }
+
+    // Loops without a progress witness (`loop-progress`).
+    walk_stmts(body, &mut |e: &Expr| {
+        let (what, cond, loop_body) = match &e.kind {
+            ExprKind::While { cond, body } => ("while", Some(cond.as_ref()), body),
+            ExprKind::Loop { body } => ("loop", None, body),
+            _ => return,
+        };
+        let mut progress = cond.is_some_and(has_progress_expr);
+        if !progress {
+            walk_stmts(loop_body, &mut |inner: &Expr| {
+                if is_progress_witness(inner) {
+                    progress = true;
+                }
+            });
+        }
+        if !progress {
+            f.stalled_loops.push(Site { pos: e.pos, what: what.to_string() });
+        }
+    });
+
+    // Untrusted-byte taint walk + discarded-`Result` scan.
+    {
+        let mut tw = TaintWalker { call_at: &call_at, env: BTreeMap::new(), out: &mut f };
+        for (i, p) in def.params.iter().enumerate() {
+            if p != "self" && p != "_" {
+                tw.env.insert(p.clone(), Origin::Param(i));
+            }
+        }
+        tw.scan_stmts(body, true);
+    }
+    f
+}
+
+/// Classify a panic site; returns the description.
+fn panic_site(e: &Expr) -> Option<String> {
+    match &e.kind {
+        ExprKind::MethodCall { recv, method, .. } => match method.as_str() {
+            "unwrap" | "expect" => Some(format!("`.{method}()`")),
+            "clone" if matches!(recv.kind, ExprKind::Index { .. }) => {
+                Some("indexing followed by `.clone()`".to_string())
+            }
+            _ => None,
+        },
+        ExprKind::MacroCall { name, .. }
+            if matches!(name.as_str(), "panic" | "todo" | "unimplemented") =>
+        {
+            Some(format!("`{name}!`"))
+        }
+        _ => None,
+    }
+}
+
+/// Classify a heap-allocation site; returns the description.
+fn alloc_site(e: &Expr) -> Option<String> {
+    match &e.kind {
+        ExprKind::MethodCall { method, .. } if ALLOC_METHODS.contains(&method.as_str()) => {
+            Some(format!("`.{method}(…)`"))
+        }
+        ExprKind::Call { callee, .. } => {
+            let segs = callee.as_path()?;
+            let [.., ty, ctor] = segs else { return None };
+            ALLOC_CTORS
+                .iter()
+                .any(|(t, c)| t == ty && c == ctor)
+                .then(|| format!("`{ty}::{ctor}(…)`"))
+        }
+        ExprKind::MacroCall { name, .. } if ALLOC_MACROS.contains(&name.as_str()) => {
+            Some(format!("`{name}!`"))
+        }
+        _ => None,
+    }
+}
+
+/// A lock acquisition: `recv.lock()` / `.read()` / `.write()` with no
+/// arguments. Returns the lock identity (last name of the receiver
+/// chain).
+fn acquisition(e: &Expr) -> Option<&str> {
+    let ExprKind::MethodCall { recv, method, args } = &e.kind else {
+        return None;
+    };
+    if !matches!(method.as_str(), "lock" | "read" | "write") || !args.is_empty() {
+        return None;
+    }
+    recv.chain_name()
+}
+
+fn method_of(e: &Expr) -> &str {
+    match &e.kind {
+        ExprKind::MethodCall { method, .. } => method,
+        _ => "?",
+    }
+}
+
+// ----- lock-event walk (mirrors the old interleaved flow walk) -------
+
+fn lock_stmts(stmts: &[Stmt], held: &mut Vec<String>, events: &mut Vec<LockEvent>) {
+    for stmt in stmts {
+        match stmt {
+            Stmt::Let { init: Some(e), .. } => {
+                lock_expr_events(e, held, events);
+                lock_nested(e, held, events);
+                // Guards bound by `let` stay held for the rest of the
+                // enclosing block (straight-line acquisitions only).
+                straight_line_acquisitions(e, held);
+            }
+            Stmt::Let { .. } | Stmt::Item(_) => continue,
+            Stmt::Expr(e) => {
+                lock_expr_events(e, held, events);
+                lock_nested(e, held, events);
+            }
+        }
+    }
+}
+
+fn lock_expr_events(e: &Expr, held: &[String], events: &mut Vec<LockEvent>) {
+    let mut stmt_locks: Vec<String> = Vec::new();
+    lock_straight(e, held, &mut stmt_locks, events);
+}
+
+fn lock_straight(
+    e: &Expr,
+    held: &[String],
+    stmt_locks: &mut Vec<String>,
+    events: &mut Vec<LockEvent>,
+) {
+    // Control-flow boundary: only the eagerly-evaluated head expression
+    // belongs to this statement's straight line.
+    let head: Option<&Expr> = match &e.kind {
+        ExprKind::Block(_) | ExprKind::Loop { .. } | ExprKind::Closure(_) => return,
+        ExprKind::If { cond, .. } | ExprKind::While { cond, .. } => Some(cond),
+        ExprKind::For { iter, .. } => Some(iter),
+        ExprKind::Match { scrutinee, .. } => Some(scrutinee),
+        _ => None,
+    };
+    if let Some(head) = head {
+        lock_straight(head, held, stmt_locks, events);
+        return;
+    }
+    if let Some(name) = acquisition(e) {
+        let snapshot: Vec<String> = held.iter().chain(stmt_locks.iter()).cloned().collect();
+        if !snapshot.is_empty() {
+            events.push(LockEvent::Direct {
+                held: snapshot,
+                acquired: name.to_string(),
+                pos: e.pos,
+                note: format!("direct `.{}()` acquisition", method_of(e)),
+            });
+        }
+        stmt_locks.push(name.to_string());
+    }
+    if matches!(&e.kind, ExprKind::Call { .. } | ExprKind::MethodCall { .. }) {
+        let snapshot: Vec<String> = held.iter().chain(stmt_locks.iter()).cloned().collect();
+        if !snapshot.is_empty() {
+            events.push(LockEvent::Call { pos: e.pos, held: snapshot });
+        }
+    }
+    let mut children: Vec<&Expr> = Vec::new();
+    collect_children(e, &mut children);
+    for c in children {
+        lock_straight(c, held, stmt_locks, events);
+    }
+}
+
+/// Append the lock names acquired on `e`'s straight line — the guards a
+/// `let` binding keeps alive for the rest of its block.
+fn straight_line_acquisitions(e: &Expr, out: &mut Vec<String>) {
+    match &e.kind {
+        ExprKind::Block(_)
+        | ExprKind::Loop { .. }
+        | ExprKind::Closure(_)
+        | ExprKind::If { .. }
+        | ExprKind::While { .. }
+        | ExprKind::For { .. }
+        | ExprKind::Match { .. } => return,
+        _ => {}
+    }
+    if let Some(name) = acquisition(e) {
+        out.push(name.to_string());
+    }
+    let mut children: Vec<&Expr> = Vec::new();
+    collect_children(e, &mut children);
+    for c in children {
+        straight_line_acquisitions(c, out);
+    }
+}
+
+/// Recurse into block-bearing sub-expressions with held-stack
+/// save/restore, so `let` guards bound inside a nested block or branch
+/// do not leak out.
+fn lock_nested(e: &Expr, held: &mut Vec<String>, events: &mut Vec<LockEvent>) {
+    let mut recurse = |stmts: &[Stmt], held: &mut Vec<String>| {
+        let depth = held.len();
+        lock_stmts(stmts, held, events);
+        held.truncate(depth);
+    };
+    match &e.kind {
+        ExprKind::Block(stmts) | ExprKind::Loop { body: stmts } => recurse(stmts, held),
+        ExprKind::If { then, alt, .. } => {
+            recurse(then, held);
+            if let Some(a) = alt {
+                lock_nested(a, held, events);
+            }
+        }
+        ExprKind::While { body, .. } | ExprKind::For { body, .. } => recurse(body, held),
+        ExprKind::Match { arms, .. } => {
+            for arm in arms {
+                let depth = held.len();
+                lock_expr_events(arm, held, events);
+                lock_nested(arm, held, events);
+                held.truncate(depth);
+            }
+        }
+        ExprKind::Closure(body) => {
+            let depth = held.len();
+            lock_expr_events(body, held, events);
+            lock_nested(body, held, events);
+            held.truncate(depth);
+        }
+        _ => {}
+    }
+}
+
+/// Direct sub-expressions of `e` (one level).
+fn collect_children<'a>(e: &'a Expr, out: &mut Vec<&'a Expr>) {
+    match &e.kind {
+        ExprKind::Unary(x) | ExprKind::Ref(x) | ExprKind::Try(x) | ExprKind::Closure(x) => {
+            out.push(x)
+        }
+        ExprKind::Call { callee, args } => {
+            out.push(callee);
+            out.extend(args.iter());
+        }
+        ExprKind::MethodCall { recv, args, .. } => {
+            out.push(recv);
+            out.extend(args.iter());
+        }
+        ExprKind::MacroCall { args, .. } => out.extend(args.iter()),
+        ExprKind::Field { base, .. } => out.push(base),
+        ExprKind::Index { base, index } => {
+            out.push(base);
+            out.push(index);
+        }
+        ExprKind::Cast { expr, .. } => out.push(expr),
+        ExprKind::Struct { fields, .. } => out.extend(fields.iter()),
+        ExprKind::Tuple(xs) => out.extend(xs.iter()),
+        ExprKind::Range { lo, hi } => {
+            out.extend(lo.as_deref());
+            out.extend(hi.as_deref());
+        }
+        ExprKind::Return(x) | ExprKind::Jump(x) => out.extend(x.as_deref()),
+        _ => {}
+    }
+}
+
+// ----- local arithmetic taint (unchanged semantics from flow v2) -----
+
+fn check_arith_stmts(
+    stmts: &[Stmt],
+    tainted: &mut std::collections::BTreeSet<String>,
+    sites: &mut Vec<(Pos, BinOp)>,
+) {
+    for stmt in stmts {
+        match stmt {
+            Stmt::Let { name, init, .. } => {
+                if let Some(e) = init {
+                    check_arith_expr(e, tainted, sites);
+                    if let Some(n) = name {
+                        if expr_tainted(e, tainted) {
+                            tainted.insert(n.clone());
+                        }
+                    }
+                }
+            }
+            Stmt::Expr(e) => check_arith_expr(e, tainted, sites),
+            Stmt::Item(_) => {}
+        }
+    }
+}
+
+fn check_arith_expr(
+    e: &Expr,
+    tainted: &mut std::collections::BTreeSet<String>,
+    sites: &mut Vec<(Pos, BinOp)>,
+) {
+    match &e.kind {
+        ExprKind::Binary { op, lhs, rhs } => {
+            if op.can_overflow()
+                && (operand_unsanitized(lhs, tainted) || operand_unsanitized(rhs, tainted))
+            {
+                sites.push((e.pos, *op));
+            }
+            check_arith_expr(lhs, tainted, sites);
+            check_arith_expr(rhs, tainted, sites);
+        }
+        ExprKind::Assign { target, op, value } => {
+            check_arith_expr(value, tainted, sites);
+            if let Some(op) = op {
+                if op.can_overflow() && operand_unsanitized(value, tainted) {
+                    sites.push((e.pos, *op));
+                }
+            }
+            if let ExprKind::Path(p) = &target.kind {
+                if let [name] = p.as_slice() {
+                    if expr_tainted(value, tainted) || (op.is_some() && tainted.contains(name)) {
+                        tainted.insert(name.clone());
+                    } else {
+                        tainted.remove(name);
+                    }
+                }
+            }
+        }
+        ExprKind::Block(stmts) | ExprKind::Loop { body: stmts } => {
+            check_arith_stmts(stmts, tainted, sites)
+        }
+        ExprKind::If { cond, then, alt } => {
+            check_arith_expr(cond, tainted, sites);
+            check_arith_stmts(then, tainted, sites);
+            if let Some(a) = alt {
+                check_arith_expr(a, tainted, sites);
+            }
+        }
+        ExprKind::While { cond, body } => {
+            check_arith_expr(cond, tainted, sites);
+            check_arith_stmts(body, tainted, sites);
+        }
+        ExprKind::For { iter, body } => {
+            check_arith_expr(iter, tainted, sites);
+            check_arith_stmts(body, tainted, sites);
+        }
+        ExprKind::Match { scrutinee, arms } => {
+            check_arith_expr(scrutinee, tainted, sites);
+            for a in arms {
+                check_arith_expr(a, tainted, sites);
+            }
+        }
+        _ => {
+            let mut children: Vec<&Expr> = Vec::new();
+            collect_children(e, &mut children);
+            for c in children {
+                check_arith_expr(c, tainted, sites);
+            }
+        }
+    }
+}
+
+/// Taint source: a `get_*` / `read_*` method call (stream-byte reads).
+fn is_taint_source(e: &Expr) -> bool {
+    match &e.kind {
+        ExprKind::MethodCall { method, .. } => {
+            method.starts_with("get_") || method.starts_with("read_")
+        }
+        ExprKind::Try(inner) => is_taint_source(inner),
+        _ => false,
+    }
+}
+
+fn expr_tainted(e: &Expr, tainted: &std::collections::BTreeSet<String>) -> bool {
+    if is_taint_source(e) {
+        return true;
+    }
+    match &e.kind {
+        ExprKind::Path(p) => matches!(p.as_slice(), [name] if tainted.contains(name)),
+        ExprKind::Try(x) | ExprKind::Unary(x) | ExprKind::Ref(x) => expr_tainted(x, tainted),
+        ExprKind::Index { base, .. } => expr_tainted(base, tainted),
+        ExprKind::Binary { lhs, rhs, .. } => {
+            expr_tainted(lhs, tainted) || expr_tainted(rhs, tainted)
+        }
+        ExprKind::Cast { expr, .. } => expr_tainted(expr, tainted),
+        _ => false,
+    }
+}
+
+fn operand_unsanitized(e: &Expr, tainted: &std::collections::BTreeSet<String>) -> bool {
+    match &e.kind {
+        ExprKind::Cast { .. } => false,
+        ExprKind::Ref(x) | ExprKind::Try(x) => operand_unsanitized(x, tainted),
+        _ => expr_tainted(e, tainted),
+    }
+}
+
+// ----- loop-progress witnesses ---------------------------------------
+
+/// Whether one expression (anywhere in a loop body) witnesses forward
+/// progress: a non-zero `+=`/`-=`, a re-assignment derived from the
+/// target itself (`i = i + 1`), or a cursor-advancing method call.
+fn is_progress_witness(e: &Expr) -> bool {
+    match &e.kind {
+        ExprKind::Assign { op: Some(BinOp::Add | BinOp::Sub), value, .. } => {
+            value.int_value() != Some(0)
+        }
+        ExprKind::Assign { target, op: None, value } => {
+            let Some(t) = target.chain_name() else { return false };
+            let mut derived = false;
+            crate::ast::walk_expr(value, &mut |inner: &Expr| {
+                if let ExprKind::Binary { op: BinOp::Add | BinOp::Sub, lhs, rhs } = &inner.kind {
+                    if lhs.chain_name() == Some(t) || rhs.chain_name() == Some(t) {
+                        derived = true;
+                    }
+                }
+            });
+            derived
+        }
+        ExprKind::MethodCall { method, .. } => {
+            DRAIN_METHODS.contains(&method.as_str())
+                || method.starts_with("get_")
+                || method.starts_with("read_")
+                || method.starts_with("next_")
+        }
+        _ => false,
+    }
+}
+
+/// Whether a `while` condition itself witnesses progress (e.g.
+/// `while let Some(x) = iter.next()`).
+fn has_progress_expr(cond: &Expr) -> bool {
+    let mut progress = false;
+    crate::ast::walk_expr(cond, &mut |e: &Expr| {
+        if is_progress_witness(e) {
+            progress = true;
+        }
+    });
+    progress
+}
+
+// ----- untrusted-byte taint walker -----------------------------------
+
+/// Where a value's taint (if any) came from.
+#[derive(Debug, Clone, PartialEq)]
+enum Origin {
+    /// Directly from a source expression.
+    Source(String),
+    /// From the return of call site `calls[i]`.
+    Call(usize),
+    /// From parameter `i` of the enclosing function.
+    Param(usize),
+}
+
+struct TaintWalker<'a> {
+    call_at: &'a BTreeMap<(u32, u32), usize>,
+    env: BTreeMap<String, Origin>,
+    out: &'a mut FnSummary,
+}
+
+impl TaintWalker<'_> {
+    fn call_idx(&self, pos: Pos) -> Option<usize> {
+        self.call_at.get(&(pos.line, pos.col)).copied()
+    }
+
+    fn scan_stmts(&mut self, stmts: &[Stmt], is_fn_tail: bool) {
+        for (i, stmt) in stmts.iter().enumerate() {
+            let last = i + 1 == stmts.len();
+            match stmt {
+                Stmt::Let { name, init, .. } => {
+                    if let Some(e) = init {
+                        self.scan_expr(e);
+                        if name.as_deref() == Some("_") {
+                            self.record_let_discard(e);
+                        } else if let Some(n) = name {
+                            match self.expr_origin(e) {
+                                Some(o) => {
+                                    self.env.insert(n.clone(), o);
+                                }
+                                None => {
+                                    self.env.remove(n);
+                                }
+                            }
+                        }
+                    }
+                }
+                Stmt::Expr(e) => {
+                    self.scan_expr(e);
+                    if !last {
+                        self.record_ok_discard(e);
+                    }
+                    if last && is_fn_tail {
+                        self.record_return_taint(e);
+                    }
+                }
+                Stmt::Item(_) => {}
+            }
+        }
+    }
+
+    /// Walk one expression: record sinks and tainted call arguments
+    /// (pre-order, against the current environment), recurse with
+    /// control-flow awareness, then apply comparison/membership clears
+    /// (post-order, so a sink *inside* a comparison still fires).
+    fn scan_expr(&mut self, e: &Expr) {
+        self.record_sinks(e);
+        self.record_call_args(e);
+        match &e.kind {
+            ExprKind::Block(stmts) => self.scan_stmts(stmts, false),
+            ExprKind::Loop { body } => self.scan_stmts(body, false),
+            ExprKind::If { cond, then, alt } => {
+                self.scan_expr(cond);
+                self.scan_stmts(then, false);
+                if let Some(a) = alt {
+                    self.scan_expr(a);
+                }
+            }
+            ExprKind::While { cond, body } => {
+                self.scan_expr(cond);
+                self.scan_stmts(body, false);
+            }
+            ExprKind::For { iter, body } => {
+                self.scan_expr(iter);
+                self.scan_stmts(body, false);
+            }
+            ExprKind::Match { scrutinee, arms } => {
+                self.scan_expr(scrutinee);
+                for a in arms {
+                    self.scan_expr(a);
+                }
+            }
+            ExprKind::Assign { target, op, value } => {
+                self.scan_expr(value);
+                if let ExprKind::Path(p) = &target.kind {
+                    if let [name] = p.as_slice() {
+                        match (self.expr_origin(value), op) {
+                            (Some(o), _) => {
+                                self.env.insert(name.clone(), o);
+                            }
+                            (None, None) => {
+                                self.env.remove(name);
+                            }
+                            (None, Some(_)) => {} // compound op keeps prior origin
+                        }
+                    }
+                }
+            }
+            ExprKind::Return(x) => {
+                if let Some(x) = x {
+                    self.scan_expr(x);
+                    self.record_return_taint(x);
+                }
+            }
+            _ => {
+                let mut children: Vec<&Expr> = Vec::new();
+                collect_children(e, &mut children);
+                for c in children {
+                    self.scan_expr(c);
+                }
+            }
+        }
+        // Post-order clears: a comparison or membership test is the
+        // bounds check the rule is looking for.
+        match &e.kind {
+            ExprKind::Binary { op: BinOp::Cmp, lhs, rhs } => {
+                for side in [lhs, rhs] {
+                    if let Some(n) = side.chain_name() {
+                        self.env.remove(n);
+                    }
+                }
+            }
+            ExprKind::MethodCall { method, args, .. }
+                if matches!(method.as_str(), "contains" | "contains_key") =>
+            {
+                for a in args {
+                    if let Some(n) = a.chain_name() {
+                        self.env.remove(n);
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// The taint origin of a value expression, if any.
+    fn expr_origin(&self, e: &Expr) -> Option<Origin> {
+        match &e.kind {
+            ExprKind::MethodCall { method, .. } => {
+                if method.starts_with("get_") || method.starts_with("read_") {
+                    return Some(Origin::Source(format!("`.{method}()`")));
+                }
+                if is_sanitizer_method(method) {
+                    return None;
+                }
+                self.call_idx(e.pos).map(Origin::Call)
+            }
+            ExprKind::Call { callee, args } => {
+                // `Ok(x)` / `Some(x)` wrap without laundering.
+                if let Some([name]) = callee.as_path() {
+                    if matches!(name.as_str(), "Ok" | "Some") && args.len() == 1 {
+                        return self.expr_origin(&args[0]);
+                    }
+                }
+                self.call_idx(e.pos).map(Origin::Call)
+            }
+            ExprKind::Path(p) => match p.as_slice() {
+                [name] => self.env.get(name).cloned(),
+                _ => None,
+            },
+            ExprKind::Field { base, name } => {
+                if name.ends_with("_len") || name.ends_with("_count") {
+                    return Some(Origin::Source(format!("`.{name}` field")));
+                }
+                self.expr_origin(base)
+            }
+            ExprKind::Try(x) | ExprKind::Unary(x) | ExprKind::Ref(x) => self.expr_origin(x),
+            // Casts do NOT sanitize here: `len as usize` still carries
+            // an attacker-chosen magnitude into a capacity or index.
+            ExprKind::Cast { expr, .. } => self.expr_origin(expr),
+            ExprKind::Binary { op, lhs, rhs } => match op {
+                // Comparison yields a bool; `%`, `&&`, `||` bound or
+                // consume the value.
+                BinOp::Cmp | BinOp::And | BinOp::Or | BinOp::Rem => None,
+                _ => self.expr_origin(lhs).or_else(|| self.expr_origin(rhs)),
+            },
+            ExprKind::Index { base, .. } => self.expr_origin(base),
+            ExprKind::Struct { fields, .. } => {
+                fields.iter().find_map(|f| self.expr_origin(f))
+            }
+            _ => None,
+        }
+    }
+
+    fn record_sink(&mut self, origin: Origin, pos: Pos, sink: &str) {
+        match origin {
+            Origin::Source(src) => {
+                self.out.taint_locals.push(TaintLocal { pos, sink: sink.to_string(), src })
+            }
+            Origin::Call(call) => {
+                self.out.taint_call_flows.push(TaintCallFlow { call, pos, sink: sink.to_string() })
+            }
+            Origin::Param(param) => {
+                self.out.param_sinks.push(ParamSink { param, pos, sink: sink.to_string() })
+            }
+        }
+    }
+
+    fn record_sinks(&mut self, e: &Expr) {
+        match &e.kind {
+            ExprKind::Index { index, .. } => {
+                if let Some(o) = self.expr_origin(index) {
+                    self.record_sink(o, e.pos, "slice indexing");
+                }
+            }
+            ExprKind::MethodCall { method, args, .. }
+                if matches!(
+                    method.as_str(),
+                    "reserve" | "reserve_exact" | "resize" | "with_capacity"
+                ) =>
+            {
+                if let Some(arg0) = args.first() {
+                    if let Some(o) = self.expr_origin(arg0) {
+                        let sink = format!("`.{method}(…)`");
+                        self.record_sink(o, e.pos, &sink);
+                    }
+                }
+            }
+            ExprKind::Call { callee, args } => {
+                if let Some([.., ty, ctor]) = callee.as_path() {
+                    if ctor == "with_capacity" {
+                        if let Some(arg0) = args.first() {
+                            if let Some(o) = self.expr_origin(arg0) {
+                                let sink = format!("`{ty}::with_capacity(…)`");
+                                self.record_sink(o, e.pos, &sink);
+                            }
+                        }
+                    }
+                }
+            }
+            ExprKind::MacroCall { name, args } if name == "vec" && args.len() == 2 => {
+                if let Some(o) = self.expr_origin(&args[1]) {
+                    self.record_sink(o, e.pos, "`vec![…; n]` length");
+                }
+            }
+            ExprKind::For { iter, .. } => {
+                if let ExprKind::Range { hi: Some(h), .. } = &iter.kind {
+                    if let Some(o) = self.expr_origin(h) {
+                        self.record_sink(o, h.pos, "loop upper bound");
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn record_call_args(&mut self, e: &Expr) {
+        let args = match &e.kind {
+            ExprKind::Call { args, .. } | ExprKind::MethodCall { args, .. } => args,
+            _ => return,
+        };
+        let Some(call) = self.call_idx(e.pos) else { return };
+        for (i, a) in args.iter().enumerate() {
+            match self.expr_origin(a) {
+                Some(Origin::Source(src)) => self.out.tainted_args.push(TaintedArg {
+                    call,
+                    arg: i,
+                    pos: a.pos,
+                    src: TaintSrc::Direct(src),
+                }),
+                Some(Origin::Call(j)) => self.out.tainted_args.push(TaintedArg {
+                    call,
+                    arg: i,
+                    pos: a.pos,
+                    src: TaintSrc::FromCall(j),
+                }),
+                Some(Origin::Param(p)) => self.out.param_sink_calls.push(ParamSinkCall {
+                    param: p,
+                    call,
+                    callee_param: i,
+                }),
+                None => {}
+            }
+        }
+    }
+
+    fn record_return_taint(&mut self, e: &Expr) {
+        match self.expr_origin(e) {
+            Some(Origin::Source(_)) => self.out.returns_taint = true,
+            Some(Origin::Call(i)) => self.out.taint_return_calls.push(i),
+            _ => {}
+        }
+    }
+
+    /// `let _ = e;` — a discarded value. `?` and macros are exempt;
+    /// channel operations are flagged unconditionally; other calls are
+    /// recorded and judged at link time (flagged iff the resolved
+    /// callee returns a `Result`).
+    fn record_let_discard(&mut self, e: &Expr) {
+        match &e.kind {
+            ExprKind::Try(_) | ExprKind::MacroCall { .. } => {}
+            ExprKind::MethodCall { method, .. }
+                if CHANNEL_METHODS.contains(&method.as_str()) =>
+            {
+                self.out.discards.push(Discard {
+                    call: None,
+                    pos: e.pos,
+                    what: format!("`.{method}(…)`"),
+                });
+            }
+            ExprKind::MethodCall { method, .. } => {
+                if let Some(call) = self.call_idx(e.pos) {
+                    self.out.discards.push(Discard {
+                        call: Some(call),
+                        pos: e.pos,
+                        what: format!("`.{method}(…)`"),
+                    });
+                }
+            }
+            ExprKind::Call { callee, .. } => {
+                if let (Some(call), Some(segs)) = (self.call_idx(e.pos), callee.as_path()) {
+                    if let Some(name) = segs.last() {
+                        self.out.discards.push(Discard {
+                            call: Some(call),
+                            pos: e.pos,
+                            what: format!("`{name}(…)`"),
+                        });
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// A non-tail `foo().ok();` statement — `.ok()` used purely to
+    /// swallow a `Result`. Judged at link time on the resolved callee.
+    fn record_ok_discard(&mut self, e: &Expr) {
+        let ExprKind::MethodCall { recv, method, args } = &e.kind else { return };
+        if method != "ok" || !args.is_empty() {
+            return;
+        }
+        let what = match &recv.kind {
+            ExprKind::MethodCall { method: m, .. } => format!("`.{m}(…)`"),
+            ExprKind::Call { callee, .. } => match callee.as_path().and_then(|s| s.last()) {
+                Some(name) => format!("`{name}(…)`"),
+                None => return,
+            },
+            _ => return,
+        };
+        if let Some(call) = self.call_idx(recv.pos) {
+            self.out.discards.push(Discard { call: Some(call), pos: e.pos, what });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::parser::parse_file;
+
+    fn summarize_src(src: &str) -> FileSummary {
+        let file = SourceFile {
+            crate_name: "t".to_string(),
+            path: "crates/t/src/lib.rs".to_string(),
+            source: src.to_string(),
+            is_crate_root: true,
+        };
+        let lexed = lex(&file.source);
+        let ast = parse_file(&lexed);
+        summarize(&file, &lexed, &ast)
+    }
+
+    fn only_fn<'s>(s: &'s FileSummary, name: &str) -> &'s FnSummary {
+        match s.fns.iter().find(|f| f.name == name) {
+            Some(f) => f,
+            None => panic!("no fn `{name}` in summary"),
+        }
+    }
+
+    #[test]
+    fn fast_reader_parses_exactly_what_to_json_writes() {
+        // A summary that exercises every optional branch of the cache
+        // format: methods and paths, lock events, taint, discards,
+        // entry markers, comments, token findings.
+        let src = "\
+            // vdsms-lint: entry\n\
+            // vdsms-lint: allow(no-panic) reason=\"seed\"\n\
+            pub fn hot(r: &mut R, t: &[u8], tx: &S) -> Result<(), E> {\n\
+            \x20   let i = r.read_u8() as usize;\n\
+            \x20   let _ = tx.send(t[i]);\n\
+            \x20   let g = A.lock();\n\
+            \x20   let h = B.lock();\n\
+            \x20   helper(i);\n\
+            \x20   while i > 0 {}\n\
+            \x20   Ok(())\n\
+            }\n\
+            fn helper(n: usize) -> f32 { 0.1 + 0.2 }\n\
+            #[test]\n\
+            fn unit() { hot_path().unwrap(); }\n";
+        let summary = summarize_src(src);
+        let json = summary.to_json();
+        let fast = match fast_from_json(&json) {
+            Some(s) => s,
+            None => panic!("fast reader rejected writer output: {json}"),
+        };
+        let tree = FileSummary::from_json_tree(&json).expect("tree reader");
+        assert_eq!(fast.to_json(), json, "fast reader round-trip drifted");
+        assert_eq!(tree.to_json(), json, "tree reader round-trip drifted");
+    }
+
+    #[test]
+    fn taint_source_to_index_sink_is_recorded() {
+        let s = summarize_src(
+            "fn f(r: &mut R, buf: &[u8]) -> u8 {\n\
+             \x20   let i = r.read_u8();\n\
+             \x20   buf[i as usize]\n\
+             }\n",
+        );
+        let f = only_fn(&s, "f");
+        assert_eq!(f.taint_locals.len(), 1, "taint_locals: {:?}", f.taint_locals);
+        assert_eq!(f.taint_locals[0].sink, "slice indexing");
+        assert_eq!(f.taint_locals[0].src, "`.read_u8()`");
+        assert_eq!(f.taint_locals[0].pos.line, 3);
+    }
+
+    #[test]
+    fn comparison_clears_taint_before_the_sink() {
+        let s = summarize_src(
+            "fn f(r: &mut R, buf: &[u8]) -> u8 {\n\
+             \x20   let i = r.read_u8() as usize;\n\
+             \x20   if i < buf.len() { return buf[i]; }\n\
+             \x20   0\n\
+             }\n",
+        );
+        let f = only_fn(&s, "f");
+        assert!(f.taint_locals.is_empty(), "cleared by bounds check: {:?}", f.taint_locals);
+    }
+
+    #[test]
+    fn param_to_capacity_sink_and_forwarding_are_recorded() {
+        let s = summarize_src(
+            "fn alloc_for(n: usize) -> Vec<u8> { Vec::with_capacity(n) }\n\
+             fn outer(m: usize) { helper(m); }\n",
+        );
+        let f = only_fn(&s, "alloc_for");
+        assert_eq!(f.param_sinks.len(), 1);
+        assert_eq!(f.param_sinks[0].param, 0);
+        assert_eq!(f.param_sinks[0].sink, "`Vec::with_capacity(…)`");
+        let outer = only_fn(&s, "outer");
+        assert_eq!(outer.param_sink_calls.len(), 1);
+        assert_eq!(outer.param_sink_calls[0].callee_param, 0);
+    }
+
+    #[test]
+    fn stalled_and_progressing_loops_are_classified() {
+        let s = summarize_src(
+            "fn stalls(q: &Q) { while q.is_ready() { q.peek(); } }\n\
+             fn advances(q: &mut Q) { while q.is_ready() { q.pop(); } }\n\
+             fn counts(n: usize) { let mut i = 0; while i < n { i += 1; } }\n",
+        );
+        assert_eq!(only_fn(&s, "stalls").stalled_loops.len(), 1);
+        assert_eq!(only_fn(&s, "stalls").stalled_loops[0].what, "while");
+        assert!(only_fn(&s, "advances").stalled_loops.is_empty());
+        assert!(only_fn(&s, "counts").stalled_loops.is_empty());
+    }
+
+    #[test]
+    fn discards_distinguish_channel_and_resolvable_calls() {
+        let s = summarize_src(
+            "fn f(tx: &Sender<u32>, s: &S) {\n\
+             \x20   let _ = tx.send(1);\n\
+             \x20   let _ = s.persist();\n\
+             \x20   let _ = flush_all();\n\
+             \x20   let _ = compute()?;\n\
+             }\n",
+        );
+        let f = only_fn(&s, "f");
+        assert_eq!(f.discards.len(), 3, "discards: {:?}", f.discards);
+        assert_eq!(f.discards[0].call, None, "channel send is unconditional");
+        assert!(f.discards[1].call.is_some());
+        assert!(f.discards[2].call.is_some());
+    }
+
+    #[test]
+    fn lock_events_keep_statement_order_and_held_snapshots() {
+        let s = summarize_src(
+            "impl S { fn f(&self) {\n\
+             \x20   let a = self.alpha.lock();\n\
+             \x20   let b = self.beta.lock();\n\
+             } }\n",
+        );
+        let f = only_fn(&s, "f");
+        // `.lock()` sites also appear as Call events (they are method
+        // calls, and a resolvable callee's transitive locks order after
+        // the guard just taken) — mirror of the old interleaved walk.
+        let directs: Vec<_> = f
+            .lock_events
+            .iter()
+            .filter_map(|e| match e {
+                LockEvent::Direct { held, acquired, .. } => Some((held.clone(), acquired.clone())),
+                LockEvent::Call { .. } => None,
+            })
+            .collect();
+        assert_eq!(directs, vec![(vec!["alpha".to_string()], "beta".to_string())]);
+        assert_eq!(f.direct_locks, vec!["alpha".to_string(), "beta".to_string()]);
+    }
+
+    #[test]
+    fn summary_round_trips_through_json() {
+        let s = summarize_src(
+            "// vdsms-lint: entry\n\
+             fn hot(r: &mut R) -> Result<(), E> {\n\
+             \x20   let n = r.read_u32()? as usize;\n\
+             \x20   let mut v = Vec::with_capacity(n);\n\
+             \x20   let g = self_lock.lock();\n\
+             \x20   v.push(n);\n\
+             \x20   let _ = save(n);\n\
+             \x20   loop { }\n\
+             }\n\
+             fn save(n: usize) -> Result<(), E> { Ok(()) }\n",
+        );
+        let json = s.to_json();
+        let back = match FileSummary::from_json(&json) {
+            Some(b) => b,
+            None => panic!("round-trip parse failed: {json}"),
+        };
+        assert_eq!(s, back);
+        // Version mismatch is a miss, not an error.
+        let stale = json.replacen(&format!("{{\"v\":{SUMMARY_VERSION}"), "{\"v\":999", 1);
+        assert!(FileSummary::from_json(&stale).is_none());
+        assert!(FileSummary::from_json("not json").is_none());
+        assert!(FileSummary::from_json("{}").is_none());
+    }
+}

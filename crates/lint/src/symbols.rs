@@ -1,4 +1,4 @@
-//! Workspace symbol table: every function definition, indexed for the
+//! Workspace symbol table: every function summary, indexed for the
 //! name-based call resolution in [`crate::callgraph`].
 //!
 //! There is no type inference here — resolution is by name (optionally
@@ -8,10 +8,15 @@
 //! that collide with ubiquitous std methods, so the hot set is an
 //! *under*-approximation (missed edges degrade coverage, never produce
 //! false positives).
+//!
+//! Since lint v3 the table indexes [`FnSummary`] records rather than raw
+//! AST nodes: summaries are what the incremental cache stores, so the
+//! whole link phase — symbols, call graph, interprocedural rules — runs
+//! identically whether a file was freshly parsed or loaded from cache.
 
-use crate::ast::{walk_fns, FnDef};
+use crate::summaries::{FileSummary, FnSummary};
 use crate::SourceFile;
-use std::collections::BTreeMap;
+use std::collections::HashMap;
 
 /// One function symbol.
 #[derive(Debug)]
@@ -26,8 +31,8 @@ pub struct FnSym<'a> {
     pub path: &'a str,
     /// `impl`/`trait` self type, if this is an associated function.
     pub self_ty: Option<&'a str>,
-    /// The parsed definition (body, position, flags).
-    pub def: &'a FnDef,
+    /// The function's summary (sites, calls, flags).
+    pub def: &'a FnSummary,
 }
 
 impl FnSym<'_> {
@@ -46,19 +51,20 @@ impl FnSym<'_> {
 pub struct SymbolTable<'a> {
     /// Every function, id-indexed.
     pub fns: Vec<FnSym<'a>>,
-    free_by_name: BTreeMap<&'a str, Vec<usize>>,
-    methods_by_name: BTreeMap<&'a str, Vec<usize>>,
-    by_qual: BTreeMap<&'a str, BTreeMap<&'a str, Vec<usize>>>,
+    free_by_name: HashMap<&'a str, Vec<usize>>,
+    methods_by_name: HashMap<&'a str, Vec<usize>>,
+    by_qual: HashMap<&'a str, HashMap<&'a str, Vec<usize>>>,
 }
 
 impl<'a> SymbolTable<'a> {
-    /// Build the table from parsed files. `files[i]` must correspond to
-    /// `asts[i]`.
-    pub fn build(files: &'a [SourceFile], asts: &'a [crate::ast::AstFile]) -> SymbolTable<'a> {
+    /// Build the table from file summaries. `files[i]` must correspond
+    /// to `summaries[i]`.
+    pub fn build(files: &'a [SourceFile], summaries: &'a [FileSummary]) -> SymbolTable<'a> {
         let mut table = SymbolTable::default();
-        for (fi, (file, ast)) in files.iter().zip(asts).enumerate() {
-            walk_fns(&ast.items, &mut |self_ty, def: &'a FnDef| {
+        for (fi, (file, summary)) in files.iter().zip(summaries).enumerate() {
+            for def in &summary.fns {
                 let id = table.fns.len();
+                let self_ty = def.self_ty.as_deref();
                 table.fns.push(FnSym {
                     id,
                     file: fi,
@@ -75,7 +81,7 @@ impl<'a> SymbolTable<'a> {
                     }
                     None => table.free_by_name.entry(name).or_default().push(id),
                 }
-            });
+            }
         }
         table
     }
@@ -116,6 +122,7 @@ mod tests {
     use super::*;
     use crate::lexer::lex;
     use crate::parser::parse_file;
+    use crate::summaries::summarize;
 
     fn source(name: &str, src: &str) -> SourceFile {
         SourceFile {
@@ -136,8 +143,14 @@ mod tests {
             ),
             source("b", "impl Det { pub fn probe(&self) {} }\nimpl Other { fn probe(&self) {} }"),
         ];
-        let asts: Vec<_> = files.iter().map(|f| parse_file(&lex(&f.source))).collect();
-        let table = SymbolTable::build(&files, &asts);
+        let summaries: Vec<_> = files
+            .iter()
+            .map(|f| {
+                let lexed = lex(&f.source);
+                summarize(f, &lexed, &parse_file(&lexed))
+            })
+            .collect();
+        let table = SymbolTable::build(&files, &summaries);
         assert_eq!(table.free_fns("start").len(), 1);
         assert_eq!(table.free_fns("helper").len(), 1);
         assert_eq!(table.methods("probe").len(), 3);

@@ -1,0 +1,39 @@
+// loop-progress negative fixture: every hot loop here provably moves —
+// a drain call, a counter, a cursor — and the one stalled loop is cold.
+
+pub struct Queue;
+
+impl Queue {
+    pub fn has_more(&self) -> bool {
+        false
+    }
+    pub fn pop(&mut self) {}
+}
+
+// vdsms-lint: entry
+pub fn drain(queue: &mut Queue) {
+    while queue.has_more() {
+        queue.pop();
+    }
+}
+
+// vdsms-lint: entry
+pub fn countdown(mut n: u32) {
+    while n > 0 {
+        n -= 1;
+    }
+}
+
+// vdsms-lint: entry
+pub fn resync(bytes: &[u8]) {
+    let mut cursor = 0;
+    while cursor < bytes.len() {
+        cursor += 1;
+    }
+}
+
+// Stalled, but unreachable from any entry marker: the reachability gate
+// keeps cold code out of this rule.
+pub fn cold_spin() {
+    loop {}
+}

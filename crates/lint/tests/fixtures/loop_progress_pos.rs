@@ -1,0 +1,22 @@
+// loop-progress positive fixture: hot loops whose bodies never advance
+// a cursor, drain a queue or bump a counter.
+
+// vdsms-lint: entry
+pub fn pump(frames: &[u8]) {
+    let budget = 10;
+    while budget > 0 {
+        inspect(frames);
+    }
+}
+
+fn inspect(_frames: &[u8]) {}
+
+// Scoped entry: only the loop-progress hot set is seeded.
+// vdsms-lint: entry(loop-progress)
+pub fn recover(mut damaged: bool) {
+    loop {
+        if damaged {
+            damaged = false;
+        }
+    }
+}

@@ -1,0 +1,33 @@
+// no-swallowed-error negative fixture: handled errors, non-Result
+// discards and `?` propagation — all silent.
+
+use std::sync::mpsc::Sender;
+
+fn refresh_index() -> Result<(), String> {
+    Ok(())
+}
+
+fn tally() -> u32 {
+    0
+}
+
+// Explicit handling: the error path is inspected, not swallowed.
+pub fn handles(tx: &Sender<u32>) {
+    if tx.send(1).is_err() {
+        return;
+    }
+    if refresh_index().is_err() {
+        return;
+    }
+}
+
+// `let _ =` on a callee that does not return Result is fine.
+pub fn discards_plain() {
+    let _ = tally();
+}
+
+// `?` is propagation, not a discard.
+pub fn propagates() -> Result<(), String> {
+    let _ = refresh_index()?;
+    Ok(())
+}

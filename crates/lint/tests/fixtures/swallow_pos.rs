@@ -1,0 +1,26 @@
+// no-swallowed-error positive fixture: Results discarded via `let _ =`
+// and statement-level `.ok()`.
+
+use std::sync::mpsc::Sender;
+
+fn refresh_index() -> Result<(), String> {
+    Err("io".to_string())
+}
+
+fn cleanup() {}
+
+// `let _ =` on a workspace call that returns Result.
+pub fn ignores_refresh() {
+    let _ = refresh_index();
+}
+
+// Statement-level `.ok()` used purely to swallow.
+pub fn oks_away() {
+    refresh_index().ok();
+    cleanup();
+}
+
+// A discarded channel send: the Result is the disconnect signal.
+pub fn drops_send(tx: &Sender<u32>) {
+    let _ = tx.send(1);
+}

@@ -85,6 +85,9 @@ fn flow_positive_fixtures_fire_exactly_the_expected_rule() {
         ("lock_order_pos.rs", "lock-order", 1),
         ("arith_pos.rs", "no-unchecked-arith", 3),
         ("float_pos.rs", "float-determinism", 2),
+        ("taint_pos.rs", "taint-unchecked-flow", 5),
+        ("loop_progress_pos.rs", "loop-progress", 2),
+        ("swallow_pos.rs", "no-swallowed-error", 3),
     ] {
         let rep = flow_check(&[file], rule);
         assert_eq!(
@@ -115,6 +118,9 @@ fn negative_fixtures_are_silent() {
         ("lock_order_neg.rs", "lock-order"),
         ("arith_neg.rs", "no-unchecked-arith"),
         ("float_neg.rs", "float-determinism"),
+        ("taint_neg.rs", "taint-unchecked-flow"),
+        ("loop_progress_neg.rs", "loop-progress"),
+        ("swallow_neg.rs", "no-swallowed-error"),
     ] {
         let rep = flow_check(&[file], rule);
         assert!(rep.diagnostics.is_empty(), "{file}: {:#?}", rep.diagnostics);

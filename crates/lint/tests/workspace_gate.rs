@@ -6,7 +6,10 @@
 
 use std::path::{Path, PathBuf};
 use vdsms_lint::config::KNOWN_KEYS;
-use vdsms_lint::{find_workspace_root, lint_workspace_with_default_config, Report};
+use vdsms_lint::{
+    find_workspace_root, lint_workspace_cached, lint_workspace_with_default_config, load_config,
+    Report,
+};
 
 fn workspace_root() -> PathBuf {
     let start = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
@@ -183,6 +186,107 @@ fn seeded_float_ordering_violation_fails_the_gate() {
     assert_eq!((d.file.as_str(), d.line, d.col), ("src/lib.rs", 2, 7));
 }
 
+#[test]
+fn seeded_taint_flow_reports_the_witness_chain() {
+    // Interprocedural: the length is read from the wire in one function
+    // and reaches a capacity sink in its caller.
+    let dirty = lint_seeded(
+        "taint",
+        &["taint-unchecked-flow"],
+        "fn read_len(feed: &mut Feed) -> usize {\n\
+         \x20   feed.read_u32() as usize\n\
+         }\n\
+         \n\
+         pub fn sized_table(feed: &mut Feed, out: &mut Vec<u64>) {\n\
+         \x20   let n = read_len(feed);\n\
+         \x20   out.reserve(n);\n\
+         }\n",
+    );
+    assert_eq!(dirty.diagnostics.len(), 1, "{:#?}", dirty.diagnostics);
+    let d = &dirty.diagnostics[0];
+    assert_eq!(d.rule, "taint-unchecked-flow");
+    assert_eq!((d.file.as_str(), d.line, d.col), ("src/lib.rs", 7, 9));
+    assert!(
+        d.message.contains("sized_table → read_len"),
+        "witness call chain: {}",
+        d.message
+    );
+    assert!(
+        d.message.contains("the return of `read_len`"),
+        "names the tainted producer: {}",
+        d.message
+    );
+
+    // The same flow with a clamp between is clean.
+    let clean = lint_seeded(
+        "taint-clean",
+        &["taint-unchecked-flow"],
+        "fn read_len(feed: &mut Feed) -> usize {\n\
+         \x20   feed.read_u32() as usize\n\
+         }\n\
+         \n\
+         pub fn sized_table(feed: &mut Feed, out: &mut Vec<u64>) {\n\
+         \x20   let n = read_len(feed).min(4096);\n\
+         \x20   out.reserve(n);\n\
+         }\n",
+    );
+    assert!(clean.is_clean(), "{}", clean.render());
+}
+
+#[test]
+fn seeded_stalled_loop_fails_the_gate_with_its_chain() {
+    let dirty = lint_seeded(
+        "loop-progress",
+        &["loop-progress"],
+        "// vdsms-lint: entry\n\
+         pub fn resync(feed: &mut Feed) {\n\
+         \x20   while feed.damaged() {\n\
+         \x20       feed.probe();\n\
+         \x20   }\n\
+         }\n",
+    );
+    assert_eq!(dirty.diagnostics.len(), 1, "{:#?}", dirty.diagnostics);
+    let d = &dirty.diagnostics[0];
+    assert_eq!(d.rule, "loop-progress");
+    assert_eq!((d.file.as_str(), d.line, d.col), ("src/lib.rs", 3, 5));
+    assert!(d.message.contains("hot path `resync`"), "names the chain: {}", d.message);
+
+    // Advancing a cursor in the loop body satisfies the rule.
+    let clean = lint_seeded(
+        "loop-progress-clean",
+        &["loop-progress"],
+        "// vdsms-lint: entry\n\
+         pub fn resync(feed: &mut Feed) {\n\
+         \x20   let mut at = 0;\n\
+         \x20   while feed.damaged() {\n\
+         \x20       at += 1;\n\
+         \x20   }\n\
+         }\n",
+    );
+    assert!(clean.is_clean(), "{}", clean.render());
+}
+
+#[test]
+fn seeded_swallowed_error_names_the_failing_callee() {
+    let dirty = lint_seeded(
+        "swallow",
+        &["no-swallowed-error"],
+        "fn persist(id: u64) -> Result<(), String> {\n\
+         \x20   Err(format!(\"{id}\"))\n\
+         }\n\
+         \n\
+         pub fn shutdown() {\n\
+         \x20   let _ = persist(7);\n\
+         }\n",
+    );
+    assert_eq!(dirty.diagnostics.len(), 1, "{:#?}", dirty.diagnostics);
+    let d = &dirty.diagnostics[0];
+    assert_eq!(d.rule, "no-swallowed-error");
+    assert_eq!((d.file.as_str(), d.line, d.col), ("src/lib.rs", 6, 13));
+    assert!(d.message.contains("`persist`"), "names the callee: {}", d.message);
+    assert!(d.message.contains("`shutdown`"), "names the discarding fn: {}", d.message);
+}
+
 /// One violation of each flow rule, in one file, with a lock cycle across
 /// two functions — the golden input for the JSON snapshot below.
 const GOLDEN_SRC: &str = "// vdsms-lint: entry\n\
@@ -236,4 +340,67 @@ fn json_report_matches_the_golden_snapshot_byte_for_byte() {
         "JSON output drifted from the golden snapshot; if intentional, \
          regenerate with BLESS=1"
     );
+}
+
+/// Same contract for `--format sarif`: the SARIF document for the seeded
+/// report is byte-stable. Regenerate `tests/golden/seeded_report.sarif`
+/// with `BLESS=1 cargo test -p vdsms-lint sarif_report`.
+#[test]
+fn sarif_report_matches_the_golden_snapshot_byte_for_byte() {
+    let report = lint_seeded("sarif-golden", &GOLDEN_RULES, GOLDEN_SRC);
+    let sarif = vdsms_lint::sarif::to_sarif(&report);
+
+    let golden_path =
+        Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden/seeded_report.sarif");
+    if std::env::var_os("BLESS").is_some() {
+        std::fs::write(&golden_path, &sarif).expect("write golden snapshot");
+    }
+    let golden = std::fs::read_to_string(&golden_path)
+        .expect("golden snapshot missing — run with BLESS=1 to create it");
+    assert_eq!(
+        sarif, golden,
+        "SARIF output drifted from the golden snapshot; if intentional, \
+         regenerate with BLESS=1"
+    );
+}
+
+/// The incremental-cache contract, end to end on a seeded workspace:
+/// a warm run re-parses nothing and its report is byte-identical to the
+/// cold run's; touching one file re-parses exactly that file and the
+/// diagnostics update accordingly.
+#[test]
+fn cached_runs_are_byte_identical_and_reparse_only_touched_files() {
+    let dir = std::env::temp_dir().join(format!("vdsms-lint-cache-e2e-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    seed_workspace(&dir, &GOLDEN_RULES, GOLDEN_SRC);
+    // A second file so "only the touched file re-parses" is observable.
+    std::fs::write(dir.join("src/extra.rs"), "pub fn quiet() {}\n").unwrap();
+    let config = load_config(&dir).expect("seeded config parses");
+
+    let (cold, s_cold) = lint_workspace_cached(&dir, &config).expect("cold run");
+    assert_eq!((s_cold.reused, s_cold.parsed), (0, 2), "cold run parses everything");
+
+    let (warm, s_warm) = lint_workspace_cached(&dir, &config).expect("warm run");
+    assert_eq!((s_warm.reused, s_warm.parsed), (2, 0), "warm run reuses everything");
+    assert_eq!(cold.to_json(), warm.to_json(), "warm output must be byte-identical");
+    assert_eq!(cold.render(), warm.render());
+
+    // Touch the quiet file: introduce a violation; exactly one re-parse.
+    std::fs::write(
+        dir.join("src/extra.rs"),
+        "pub fn noisy(a: f64, b: f64) -> bool {\n    a.partial_cmp(&b).is_some()\n}\n",
+    )
+    .unwrap();
+    let (touched, s_touched) = lint_workspace_cached(&dir, &config).expect("touched run");
+    assert_eq!((s_touched.reused, s_touched.parsed), (1, 1), "one file re-parsed");
+    assert_eq!(
+        touched.diagnostics.len(),
+        cold.diagnostics.len() + 1,
+        "the new violation is picked up through the cache:\n{}",
+        touched.render()
+    );
+    // And the cached run still matches a from-scratch run byte for byte.
+    let fresh = lint_workspace_with_default_config(&dir).expect("uncached run");
+    assert_eq!(touched.to_json(), fresh.to_json());
+    let _ = std::fs::remove_dir_all(&dir);
 }

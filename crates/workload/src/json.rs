@@ -1,292 +1,21 @@
-//! A minimal JSON reader for the committed robustness-floor files.
+//! Re-export of the shared JSON module.
 //!
-//! The workspace is offline (no serde); like `vdsms-lint`'s TOML reader,
-//! this is a small hand-rolled parser covering exactly what the checked-in
-//! `BENCH_robustness.json` needs: objects, arrays, strings, numbers,
-//! booleans, and null. Objects preserve key order (a `Vec`, not a map) so
-//! everything downstream stays deterministic.
+//! The hand-rolled parser used for the committed robustness-floor files
+//! now lives in `vdsms-json`, shared with the `vdsms-lint` report
+//! emitters and summary cache so the reader and writer formats cannot
+//! drift. This shim keeps the `vdsms_workload::json::Json` path stable.
 
-/// A parsed JSON value.
-#[derive(Debug, Clone, PartialEq)]
-pub enum Json {
-    /// `null`.
-    Null,
-    /// `true` / `false`.
-    Bool(bool),
-    /// Any number (parsed as `f64`).
-    Num(f64),
-    /// A string (escapes decoded).
-    Str(String),
-    /// An array.
-    Arr(Vec<Json>),
-    /// An object, in source key order.
-    Obj(Vec<(String, Json)>),
-}
-
-impl Json {
-    /// Parse a complete JSON document. Trailing non-whitespace is an
-    /// error.
-    pub fn parse(src: &str) -> Result<Json, String> {
-        let mut p = Parser { bytes: src.as_bytes(), pos: 0 };
-        p.skip_ws();
-        let v = p.value()?;
-        p.skip_ws();
-        if p.pos != p.bytes.len() {
-            return Err(format!("trailing data at byte {}", p.pos));
-        }
-        Ok(v)
-    }
-
-    /// Object field lookup (first match).
-    pub fn get(&self, key: &str) -> Option<&Json> {
-        match self {
-            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
-            _ => None,
-        }
-    }
-
-    /// The value as a number, if it is one.
-    pub fn as_f64(&self) -> Option<f64> {
-        match self {
-            Json::Num(n) => Some(*n),
-            _ => None,
-        }
-    }
-
-    /// The value as a string, if it is one.
-    pub fn as_str(&self) -> Option<&str> {
-        match self {
-            Json::Str(s) => Some(s),
-            _ => None,
-        }
-    }
-
-    /// The value as an array, if it is one.
-    pub fn as_arr(&self) -> Option<&[Json]> {
-        match self {
-            Json::Arr(items) => Some(items),
-            _ => None,
-        }
-    }
-}
-
-struct Parser<'a> {
-    bytes: &'a [u8],
-    pos: usize,
-}
-
-impl Parser<'_> {
-    fn skip_ws(&mut self) {
-        while self.pos < self.bytes.len()
-            && matches!(self.bytes[self.pos], b' ' | b'\t' | b'\n' | b'\r')
-        {
-            self.pos += 1;
-        }
-    }
-
-    fn peek(&self) -> Option<u8> {
-        self.bytes.get(self.pos).copied()
-    }
-
-    fn expect(&mut self, b: u8) -> Result<(), String> {
-        if self.peek() == Some(b) {
-            self.pos += 1;
-            Ok(())
-        } else {
-            Err(format!("expected '{}' at byte {}", b as char, self.pos))
-        }
-    }
-
-    fn value(&mut self) -> Result<Json, String> {
-        match self.peek() {
-            Some(b'{') => self.object(),
-            Some(b'[') => self.array(),
-            Some(b'"') => Ok(Json::Str(self.string()?)),
-            Some(b't') => self.literal("true", Json::Bool(true)),
-            Some(b'f') => self.literal("false", Json::Bool(false)),
-            Some(b'n') => self.literal("null", Json::Null),
-            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
-            Some(c) => Err(format!("unexpected '{}' at byte {}", c as char, self.pos)),
-            None => Err("unexpected end of input".to_string()),
-        }
-    }
-
-    fn literal(&mut self, word: &str, value: Json) -> Result<Json, String> {
-        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
-            self.pos += word.len();
-            Ok(value)
-        } else {
-            Err(format!("bad literal at byte {}", self.pos))
-        }
-    }
-
-    fn object(&mut self) -> Result<Json, String> {
-        self.expect(b'{')?;
-        let mut fields = Vec::new();
-        self.skip_ws();
-        if self.peek() == Some(b'}') {
-            self.pos += 1;
-            return Ok(Json::Obj(fields));
-        }
-        loop {
-            self.skip_ws();
-            let key = self.string()?;
-            self.skip_ws();
-            self.expect(b':')?;
-            self.skip_ws();
-            let value = self.value()?;
-            fields.push((key, value));
-            self.skip_ws();
-            match self.peek() {
-                Some(b',') => self.pos += 1,
-                Some(b'}') => {
-                    self.pos += 1;
-                    return Ok(Json::Obj(fields));
-                }
-                _ => return Err(format!("expected ',' or '}}' at byte {}", self.pos)),
-            }
-        }
-    }
-
-    fn array(&mut self) -> Result<Json, String> {
-        self.expect(b'[')?;
-        let mut items = Vec::new();
-        self.skip_ws();
-        if self.peek() == Some(b']') {
-            self.pos += 1;
-            return Ok(Json::Arr(items));
-        }
-        loop {
-            self.skip_ws();
-            items.push(self.value()?);
-            self.skip_ws();
-            match self.peek() {
-                Some(b',') => self.pos += 1,
-                Some(b']') => {
-                    self.pos += 1;
-                    return Ok(Json::Arr(items));
-                }
-                _ => return Err(format!("expected ',' or ']' at byte {}", self.pos)),
-            }
-        }
-    }
-
-    fn string(&mut self) -> Result<String, String> {
-        self.expect(b'"')?;
-        let mut out = String::new();
-        loop {
-            match self.peek() {
-                Some(b'"') => {
-                    self.pos += 1;
-                    return Ok(out);
-                }
-                Some(b'\\') => {
-                    self.pos += 1;
-                    let esc = self.peek().ok_or("unterminated escape")?;
-                    self.pos += 1;
-                    match esc {
-                        b'"' => out.push('"'),
-                        b'\\' => out.push('\\'),
-                        b'/' => out.push('/'),
-                        b'n' => out.push('\n'),
-                        b'r' => out.push('\r'),
-                        b't' => out.push('\t'),
-                        b'u' => {
-                            let hex = self
-                                .bytes
-                                .get(self.pos..self.pos + 4)
-                                .ok_or("truncated \\u escape")?;
-                            let code = u32::from_str_radix(
-                                std::str::from_utf8(hex).map_err(|_| "bad \\u escape")?,
-                                16,
-                            )
-                            .map_err(|_| "bad \\u escape")?;
-                            self.pos += 4;
-                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
-                        }
-                        other => {
-                            return Err(format!("unsupported escape '\\{}'", other as char))
-                        }
-                    }
-                }
-                Some(_) => {
-                    // Consume one UTF-8 scalar (multi-byte sequences pass
-                    // through unchanged).
-                    let rest = &self.bytes[self.pos..];
-                    let s = std::str::from_utf8(rest).map_err(|_| "invalid UTF-8")?;
-                    let c = s.chars().next().ok_or("unterminated string")?;
-                    out.push(c);
-                    self.pos += c.len_utf8();
-                }
-                None => return Err("unterminated string".to_string()),
-            }
-        }
-    }
-
-    fn number(&mut self) -> Result<Json, String> {
-        let start = self.pos;
-        if self.peek() == Some(b'-') {
-            self.pos += 1;
-        }
-        while let Some(c) = self.peek() {
-            if c.is_ascii_digit() || matches!(c, b'.' | b'e' | b'E' | b'+' | b'-') {
-                self.pos += 1;
-            } else {
-                break;
-            }
-        }
-        let text = std::str::from_utf8(&self.bytes[start..self.pos]).map_err(|_| "bad number")?;
-        text.parse::<f64>()
-            .map(Json::Num)
-            .map_err(|_| format!("bad number '{text}' at byte {start}"))
-    }
-}
+pub use vdsms_json::Json;
 
 #[cfg(test)]
 mod tests {
-    use super::*;
+    use super::Json;
 
+    // The shared crate carries the parser's own tests; this one pins the
+    // exact shape the committed BENCH_robustness.json relies on through
+    // the re-exported path.
     #[test]
-    fn parses_nested_document() {
-        let doc = r#"{"a": [1, 2.5, -3e2], "b": {"c": "x\ny", "d": true}, "e": null}"#;
-        let v = Json::parse(doc).unwrap();
-        assert_eq!(v.get("a").unwrap().as_arr().unwrap().len(), 3);
-        assert_eq!(v.get("a").unwrap().as_arr().unwrap()[2].as_f64(), Some(-300.0));
-        assert_eq!(v.get("b").unwrap().get("c").unwrap().as_str(), Some("x\ny"));
-        assert_eq!(v.get("b").unwrap().get("d"), Some(&Json::Bool(true)));
-        assert_eq!(v.get("e"), Some(&Json::Null));
-        assert_eq!(v.get("missing"), None);
-    }
-
-    #[test]
-    fn object_preserves_key_order() {
-        let v = Json::parse(r#"{"z": 1, "a": 2}"#).unwrap();
-        match v {
-            Json::Obj(fields) => {
-                assert_eq!(fields[0].0, "z");
-                assert_eq!(fields[1].0, "a");
-            }
-            _ => panic!("not an object"),
-        }
-    }
-
-    #[test]
-    fn unicode_escape_decodes() {
-        let v = Json::parse(r#""é""#).unwrap();
-        assert_eq!(v.as_str(), Some("é"));
-    }
-
-    #[test]
-    fn rejects_malformed_input() {
-        assert!(Json::parse("{").is_err());
-        assert!(Json::parse(r#"{"a": }"#).is_err());
-        assert!(Json::parse("[1, 2,]").is_err());
-        assert!(Json::parse("12 34").is_err());
-        assert!(Json::parse("\"open").is_err());
-    }
-
-    #[test]
-    fn round_trips_the_committed_floor_shape() {
+    fn floor_file_shape_parses_through_the_shim() {
         let doc = r#"{
           "profiles": {
             "smoke": {
@@ -298,11 +27,17 @@ mod tests {
             }
           }
         }"#;
-        let v = Json::parse(doc).unwrap();
-        let floors =
-            v.get("profiles").unwrap().get("smoke").unwrap().get("floors").unwrap();
-        let first = &floors.as_arr().unwrap()[0];
-        assert_eq!(first.get("attack").unwrap().as_str(), Some("speed-up"));
-        assert_eq!(first.get("min_recall").unwrap().as_f64(), Some(0.66));
+        let v = match Json::parse(doc) {
+            Ok(v) => v,
+            Err(e) => panic!("parse failed: {e}"),
+        };
+        let floors = v
+            .get("profiles")
+            .and_then(|p| p.get("smoke"))
+            .and_then(|s| s.get("floors"))
+            .and_then(Json::as_arr);
+        let Some([first, ..]) = floors else { panic!("missing floors") };
+        assert_eq!(first.get("attack").and_then(Json::as_str), Some("speed-up"));
+        assert_eq!(first.get("min_recall").and_then(Json::as_f64), Some(0.66));
     }
 }

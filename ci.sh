@@ -20,7 +20,7 @@ echo "== static-analysis gate (vdsms-lint, cold then warm) =="
 # gate again — every file must come from the cache with byte-identical
 # output, and the warm pass must be measurably faster.
 cargo build --release -q -p vdsms-lint
-rm -rf target/vdsms-lint-cache
+rm -rf "${CARGO_TARGET_DIR:-target}/vdsms-lint-cache"
 lint_tmp="$(mktemp -d)"
 cold_start=$(date +%s%N)
 ./target/release/vdsms-lint > "$lint_tmp/cold.txt" 2> "$lint_tmp/cold_err.txt"
@@ -47,6 +47,13 @@ grep -q '"version": "2.1.0"' lint-report.sarif \
   || { echo "lint-report.sarif is not a SARIF 2.1.0 document"; exit 1; }
 echo "lint: SARIF artifact at lint-report.sarif"
 rm -rf "$lint_tmp"
+
+echo "== schedule exploration (seeded concurrency model check, release) =="
+# 1000 seeds per scenario (~3000 distinct interleavings of the fleet's
+# quiesce / crash-restart / shutdown protocols), pinned so a failure
+# names a replayable seed. The suite also proves its own teeth: the
+# deliberately disarmed quiesce barrier must be *caught* by the range.
+VDSMS_SCHED_SEEDS=1000 cargo test --release -q --test schedule_exploration
 
 echo "== zero-alloc steady state (release) =="
 cargo test --release -q --test alloc_steady_state

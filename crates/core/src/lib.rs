@@ -39,6 +39,7 @@ pub mod persist;
 pub mod query;
 pub mod seq_store;
 pub mod stats;
+pub mod sync;
 pub mod window;
 
 pub use bitsig::BitSig;

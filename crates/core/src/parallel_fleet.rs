@@ -31,11 +31,11 @@ use crate::fleet::{CatalogueSnapshot, Fleet, StreamDetection, StreamId};
 use crate::hq::HqIndex;
 use crate::query::{Query, QueryId, QuerySet};
 use crate::stats::Stats;
+use crate::sync::{channel, sync_channel, Receiver, SendError, Sender, SyncSender};
 use parking_lot::{Mutex, RwLock};
 use std::collections::BTreeMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::mpsc::{self, Receiver, Sender, SyncSender};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
@@ -228,6 +228,15 @@ pub struct ParallelFleet {
     /// [`Self::stats`] / [`Self::total_stats`] so counters stay monotone
     /// across a restart.
     carry: BTreeMap<StreamId, Stats>,
+    /// Test hook ([`Self::dangerously_skip_install_acks`]): when set,
+    /// catalogue broadcasts skip the quiesce barrier's acknowledgment
+    /// wait — the deliberately re-introducible ordering bug the
+    /// schedule-exploration harness must catch.
+    skip_install_acks: bool,
+    /// Acknowledgment receivers parked by a skipped barrier. Held (not
+    /// dropped) so the workers' `ack.send(())` still succeeds — the hook
+    /// must remove only the *wait*, not kill the workers.
+    parked_acks: Vec<Receiver<()>>,
 }
 
 /// SplitMix64 finalizer used for stream→shard assignment. Mixing avoids
@@ -259,7 +268,7 @@ fn spawn_worker(
         sink: Arc::clone(sink),
         stats: Arc::clone(stats),
     };
-    let (tx, rx) = mpsc::channel();
+    let (tx, rx) = channel();
     let failed = Arc::new(AtomicBool::new(false));
     let flag = Arc::clone(&failed);
     let handle = std::thread::Builder::new()
@@ -302,6 +311,8 @@ impl ParallelFleet {
             journal: BTreeMap::new(),
             supervisor: Stats::default(),
             carry: BTreeMap::new(),
+            skip_install_acks: false,
+            parked_acks: Vec::new(),
         }
     }
 
@@ -330,7 +341,7 @@ impl ParallelFleet {
     }
 
     /// Send a command, restarting the shard once if its worker has died.
-    /// [`std::sync::mpsc::SendError`] returns the unsent command, so the
+    /// [`SendError`] returns the unsent command, so the
     /// re-dispatch after the restart is lossless; every command is safe
     /// to re-send because the restart's journal replay re-arms only the
     /// current partial window, which never includes frames from a
@@ -338,7 +349,7 @@ impl ParallelFleet {
     fn send_supervised(&mut self, shard: usize, cmd: Cmd) -> Result<(), FleetError> {
         match self.shards[shard].tx.send(cmd) {
             Ok(()) => Ok(()),
-            Err(mpsc::SendError(cmd)) => {
+            Err(SendError(cmd)) => {
                 self.restart_shard(shard)?;
                 self.shards[shard].tx.send(cmd).map_err(|_| FleetError::ShardDied { shard })
             }
@@ -400,7 +411,7 @@ impl ParallelFleet {
             }
         }
         if !replay.is_empty() {
-            let (reply, rx) = mpsc::sync_channel(1);
+            let (reply, rx) = sync_channel(1);
             self.shards[shard]
                 .tx
                 .send(Cmd::BatchSync(replay, reply))
@@ -471,7 +482,7 @@ impl ParallelFleet {
         };
         let mut stats = None;
         for _attempt in 0..2 {
-            let (reply, rx) = mpsc::sync_channel(1);
+            let (reply, rx) = sync_channel(1);
             self.send_supervised(shard, Cmd::RemoveStream(stream_id, reply))?;
             match rx.recv() {
                 Ok(s) => {
@@ -527,7 +538,7 @@ impl ParallelFleet {
     fn broadcast_catalogue(&mut self) -> Result<(), FleetError> {
         let mut acks: Vec<Receiver<()>> = Vec::with_capacity(self.shards.len());
         for shard in 0..self.shards.len() {
-            let (ack, rx) = mpsc::sync_channel(1);
+            let (ack, rx) = sync_channel(1);
             self.send_supervised(
                 shard,
                 Cmd::Install(
@@ -537,6 +548,13 @@ impl ParallelFleet {
                 ),
             )?;
             acks.push(rx);
+        }
+        if self.skip_install_acks {
+            // Deliberately broken barrier (test hook): return before the
+            // shards have drained the work queued ahead of the install.
+            // Parking the receivers keeps the workers' acks deliverable.
+            self.parked_acks.append(&mut acks);
+            return Ok(());
         }
         for (shard, rx) in acks.iter().enumerate() {
             match rx.recv() {
@@ -590,7 +608,7 @@ impl ParallelFleet {
         for shard in involved {
             let items = std::mem::take(&mut self.partition[shard]);
             let n = items.len() as u64;
-            let (reply, rx) = mpsc::sync_channel(1);
+            let (reply, rx) = sync_channel(1);
             if let Err(e) = self.send_supervised(shard, Cmd::BatchSync(items, reply)) {
                 self.clear_partition();
                 return Err(e);
@@ -671,7 +689,7 @@ impl ParallelFleet {
     pub fn quiesce(&mut self) -> Result<(), FleetError> {
         let mut acks: Vec<Receiver<()>> = Vec::with_capacity(self.shards.len());
         for shard in 0..self.shards.len() {
-            let (ack, rx) = mpsc::sync_channel(1);
+            let (ack, rx) = sync_channel(1);
             self.send_supervised(shard, Cmd::Quiesce(ack))?;
             acks.push(rx);
         }
@@ -708,7 +726,7 @@ impl ParallelFleet {
         let mut replies: Vec<Receiver<Vec<StreamDetection>>> =
             Vec::with_capacity(self.shards.len());
         for shard in 0..self.shards.len() {
-            let (reply, rx) = mpsc::sync_channel(1);
+            let (reply, rx) = sync_channel(1);
             self.send_supervised(shard, Cmd::FinishAll(reply))?;
             replies.push(rx);
         }
@@ -721,7 +739,7 @@ impl ParallelFleet {
                 }
                 Err(_) => {
                     self.restart_shard(shard)?;
-                    let (reply, retry_rx) = mpsc::sync_channel(1);
+                    let (reply, retry_rx) = sync_channel(1);
                     self.send_supervised(shard, Cmd::FinishAll(reply))?;
                     out.extend(retry_rx.recv().map_err(|_| FleetError::ShardDied { shard })?);
                 }
@@ -773,38 +791,77 @@ impl ParallelFleet {
     /// Test hook: make the worker owning `shard` panic on its next
     /// command, exercising the supervision path end to end. The next
     /// fleet call touching the shard observes the death and restarts it.
+    /// A best-effort send: the shard already being dead is exactly the
+    /// state this hook exists to produce.
     #[doc(hidden)]
     pub fn inject_shard_panic(&mut self, shard: usize) {
-        // vdsms-lint: allow(no-swallowed-error) reason="a failed send means the shard already died, which is exactly the state this hook exists to produce"
-        let _ = self.shards[shard].tx.send(Cmd::Crash);
+        self.shards[shard].tx.send_best_effort(Cmd::Crash);
+    }
+
+    /// Test hook: disarm (or re-arm) the catalogue broadcast's
+    /// acknowledgment wait. With the wait skipped,
+    /// [`ParallelFleet::subscribe`] / [`ParallelFleet::unsubscribe`]
+    /// return while shards may still be processing work queued before
+    /// the install — re-introducing, on demand, the barrier bug the
+    /// schedule-exploration harness exists to catch: a
+    /// [`ParallelFleet::take_detections`] right after the call can miss
+    /// detections from frames pushed before it.
+    #[doc(hidden)]
+    pub fn dangerously_skip_install_acks(&mut self, skip: bool) {
+        self.skip_install_acks = skip;
     }
 }
 
+/// Upper bound on the per-worker join wait at `Drop`: polls of
+/// [`JoinHandle::is_finished`] a millisecond apart. A worker that has
+/// not exited after ~2 s is detached instead of hanging the destructor
+/// (it still terminates on its own once it observes the closed channel;
+/// the `Arc`-shared sink and stats handles keep its references valid).
+const DROP_JOIN_POLLS: u32 = 2000;
+
 impl Drop for ParallelFleet {
     fn drop(&mut self) {
-        // Closing the channels stops the workers.
+        // Phase 1: close every command channel, in shard-index order, so
+        // each worker's `recv` loop sees disconnection. Ordering the
+        // closes (rather than letting a struct-drop glue order decide)
+        // makes the shutdown sequence deterministic — the schedule
+        // harness replays it under many interleavings and the trace must
+        // mean the same thing every run.
         for shard in &mut self.shards {
-            let (tx, _) = mpsc::channel();
+            let (tx, _) = channel();
             drop(std::mem::replace(&mut shard.tx, tx));
         }
-        // Supervised shutdown: the worker bodies catch their own panics,
-        // so the joins always succeed; a worker that died without being
-        // restarted left its `failed` flag set. Record it in the log
-        // instead of panicking in Drop — its last published stats were
-        // readable until this point.
+        // Phase 2: join, again in shard-index order, with a bounded
+        // wait per worker. The worker bodies catch their own panics, so
+        // a finished worker always joins cleanly; a worker that died
+        // without being restarted left its `failed` flag set. Record
+        // failures in the log instead of panicking in Drop — the dead
+        // worker's last published stats were readable until this point.
         let mut unrestarted = 0usize;
+        let mut detached = 0usize;
         for shard in &mut self.shards {
             if let Some(handle) = shard.handle.take() {
-                let _ = handle.join();
+                let mut polls = 0u32;
+                while !handle.is_finished() && polls < DROP_JOIN_POLLS {
+                    std::thread::sleep(std::time::Duration::from_millis(1));
+                    polls += 1;
+                }
+                if handle.is_finished() {
+                    let _ = handle.join();
+                } else {
+                    detached += 1;
+                }
             }
             if shard.failed.load(Ordering::SeqCst) {
                 unrestarted += 1;
             }
         }
-        if unrestarted > 0 && !std::thread::panicking() {
+        if (unrestarted > 0 || detached > 0) && !std::thread::panicking() {
             eprintln!(
-                "vdsms: {unrestarted} fleet shard worker(s) panicked and were never \
-                 restarted; stats published before the failure were retained"
+                "vdsms: fleet shutdown: {unrestarted} worker(s) had panicked and were \
+                 never restarted; {detached} worker(s) exceeded the bounded join and \
+                 were detached (they exit on their own once they observe the closed \
+                 command channel)"
             );
         }
     }

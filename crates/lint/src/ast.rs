@@ -115,13 +115,22 @@ pub enum Stmt {
         /// Bound identifier, if the pattern is a plain `ident` /
         /// `mut ident`.
         name: Option<String>,
+        /// Bound identifiers when the pattern is a flat tuple of plain
+        /// idents — `let (tx, rx) = …` — in source order (`_` kept as
+        /// `_`). Empty for every other pattern shape. The channel
+        /// endpoint tracking needs both names of an `mpsc` pair.
+        tuple: Vec<String>,
         /// Initializer expression, if present.
         init: Option<Expr>,
         /// Position of the `let`.
         pos: Pos,
     },
-    /// An expression statement (with or without trailing `;`).
-    Expr(Expr),
+    /// An expression statement. The flag records whether a `;`
+    /// terminated it: a semicolon discards the value, while a
+    /// semicolon-less tail is the enclosing block's value (the
+    /// delegation idiom `fn send(…) -> … { self.0.send(v) }` must not
+    /// read as a discarded send).
+    Expr(Expr, bool),
     /// A nested item (fn/struct/… defined inside a block).
     Item(Box<Item>),
 }
@@ -397,7 +406,7 @@ pub fn walk_stmts<'a>(stmts: &'a [Stmt], f: &mut impl FnMut(&'a Expr)) {
                     walk_expr(e, f);
                 }
             }
-            Stmt::Expr(e) => walk_expr(e, f),
+            Stmt::Expr(e, _) => walk_expr(e, f),
             Stmt::Item(_) => {}
         }
     }

@@ -1,5 +1,8 @@
 //! The incremental analysis cache: per-file summaries keyed by content
-//! hash, stored under `<root>/target/vdsms-lint-cache/`.
+//! hash, stored under `$CARGO_TARGET_DIR/vdsms-lint-cache/` (falling
+//! back to `<root>/target/vdsms-lint-cache/` when the variable is
+//! unset), so CI and local runs share one cache layout with cargo's
+//! own artifacts.
 //!
 //! The per-file phase ([`crate::summarize_file`]) is the expensive part
 //! of a lint run — lexing, parsing and the summary walks. Its output,
@@ -27,7 +30,9 @@ use vdsms_json::Json;
 
 /// Bumped when extraction semantics change without a summary-shape
 /// change (part of the cache key alongside [`SUMMARY_VERSION`]).
-pub const LINT_VERSION: u64 = 3;
+/// v4: concurrency model — spawn/capture, channel and blocking facts
+/// feed three new link-phase rules, so stale reports must miss.
+pub const LINT_VERSION: u64 = 4;
 
 /// Counters for one cached lint run, reported on stderr by the binary
 /// and asserted by `ci.sh` (a warm run must reuse, a cold run must
@@ -40,9 +45,29 @@ pub struct CacheStats {
     pub parsed: usize,
 }
 
-/// The on-disk cache directory for workspace `root`.
+/// The on-disk cache directory for workspace `root`: honors
+/// `CARGO_TARGET_DIR` (like cargo itself — a relative value is
+/// resolved against `root`) so redirected builds keep lint artifacts
+/// next to compile artifacts; defaults to `<root>/target`.
 pub fn cache_dir(root: &Path) -> PathBuf {
-    root.join("target").join("vdsms-lint-cache")
+    cache_dir_from(root, std::env::var_os("CARGO_TARGET_DIR").as_deref())
+}
+
+/// [`cache_dir`] with the environment lookup factored out, so the
+/// resolution rules are testable without racing on process-global env.
+fn cache_dir_from(root: &Path, cargo_target_dir: Option<&std::ffi::OsStr>) -> PathBuf {
+    let target = match cargo_target_dir {
+        Some(dir) if !dir.is_empty() => {
+            let dir = PathBuf::from(dir);
+            if dir.is_absolute() {
+                dir
+            } else {
+                root.join(dir)
+            }
+        }
+        _ => root.join("target"),
+    };
+    target.join("vdsms-lint-cache")
 }
 
 /// FNV-1a-64, widened to consume 8 bytes per multiply. The byte-serial
@@ -207,6 +232,27 @@ mod tests {
             source: src.to_string(),
             is_crate_root: true,
         }
+    }
+
+    #[test]
+    fn cache_dir_honors_cargo_target_dir() {
+        let root = Path::new("/ws");
+        let os = std::ffi::OsStr::new;
+        assert_eq!(cache_dir_from(root, None), PathBuf::from("/ws/target/vdsms-lint-cache"));
+        assert_eq!(
+            cache_dir_from(root, Some(os(""))),
+            PathBuf::from("/ws/target/vdsms-lint-cache"),
+            "empty CARGO_TARGET_DIR behaves like unset, matching cargo"
+        );
+        assert_eq!(
+            cache_dir_from(root, Some(os("/ci/shared-target"))),
+            PathBuf::from("/ci/shared-target/vdsms-lint-cache")
+        );
+        assert_eq!(
+            cache_dir_from(root, Some(os("build/out"))),
+            PathBuf::from("/ws/build/out/vdsms-lint-cache"),
+            "relative CARGO_TARGET_DIR resolves against the workspace root"
+        );
     }
 
     #[test]

@@ -31,6 +31,9 @@ pub const KNOWN_KEYS: &[&str] = &[
     "loop-progress",
     "no-swallowed-error",
     "unsafe-audit",
+    "shared-state-discipline",
+    "guard-across-blocking",
+    "channel-protocol",
     // `unsafe-allowed = true` exempts a crate from the
     // `#![forbid(unsafe_code)]` requirement (the parking_lot shim);
     // `// SAFETY:` comments stay mandatory on its unsafe blocks.
@@ -67,6 +70,12 @@ impl RuleSet {
         switches.insert("loop-progress".to_string(), true);
         switches.insert("no-swallowed-error".to_string(), true);
         switches.insert("unsafe-audit".to_string(), true);
+        // The concurrency rules are cheap (they only look at summaries
+        // that mention spawns/channels/guards) and default-on: a race or
+        // deadlock shape is a bug in any crate, not a per-crate contract.
+        switches.insert("shared-state-discipline".to_string(), true);
+        switches.insert("guard-across-blocking".to_string(), true);
+        switches.insert("channel-protocol".to_string(), true);
         switches.insert("unsafe-allowed".to_string(), false);
         RuleSet { switches }
     }

@@ -47,16 +47,31 @@
 //!   `.ok()` on a call whose resolved callee returns `Result` (channel
 //!   send/recv flagged unconditionally): error paths must be handled or
 //!   carry a reasoned `allow`.
+//! - **`shared-state-discipline` (v4)** — a value captured by a spawned
+//!   closure while the spawning thread keeps a handle must be
+//!   synchronized: `Arc<RefCell/Cell<…>>` and `Rc<…>` crossing a spawn
+//!   boundary are flagged with the creation → spawn → use witness
+//!   (`static mut` is caught by the token half in `rules.rs`).
+//! - **`guard-across-blocking` (v4)** — a lock guard live across
+//!   `.recv()`, `.join()` or a bounded-channel `send` — directly, or
+//!   through a call whose resolved callee transitively blocks (bounded
+//!   fixpoint over the call graph, witness chain printed). The deadlock
+//!   shape `lock-order` cannot see: one lock plus one channel.
+//! - **`channel-protocol` (v4)** — mpsc misuse replayed against each
+//!   function's channel binds: a send after the receiver was dropped, a
+//!   one-shot reply `sync_channel(1)` sent more than once or in a loop,
+//!   and a `send` result discarded in statement position on a
+//!   non-shutdown path.
 
 use crate::ast::Pos;
 use crate::callgraph::{resolve_call_ref, transitive_union, CallGraph, Reachability};
 use crate::config::LintConfig;
 use crate::diag::Diagnostic;
 use crate::rules::{
-    FLOAT_DET, LOCK_ORDER, LOOP_PROGRESS, NO_ALLOC, NO_PANIC, NO_SWALLOWED_ERROR,
-    NO_UNCHECKED_ARITH, TAINT_FLOW,
+    CHANNEL_PROTOCOL, FLOAT_DET, GUARD_BLOCKING, LOCK_ORDER, LOOP_PROGRESS, NO_ALLOC, NO_PANIC,
+    NO_SWALLOWED_ERROR, NO_UNCHECKED_ARITH, SHARED_STATE, TAINT_FLOW,
 };
-use crate::summaries::{CallRef, FileSummary, LockEvent, TaintSrc};
+use crate::summaries::{CallRef, ChanOpKind, FileSummary, LockEvent, SharedKind, TaintSrc};
 use crate::symbols::SymbolTable;
 use crate::SourceFile;
 use std::collections::{BTreeMap, BTreeSet};
@@ -106,6 +121,9 @@ pub fn analyze(
     taint_flow(&mut ctx, &resolved);
     loop_progress(&mut ctx, &reach_progress);
     swallowed_errors(&mut ctx, &resolved);
+    shared_state(&mut ctx);
+    guard_across_blocking(&mut ctx, &graph);
+    channel_protocol(&mut ctx);
     diags
 }
 
@@ -566,6 +584,215 @@ fn swallowed_errors(ctx: &mut Ctx<'_>, resolved: &[Vec<Vec<usize>>]) {
                     "{msg}; handle the error or suppress with a reasoned `allow({NO_SWALLOWED_ERROR})`"
                 );
                 ctx.emit(NO_SWALLOWED_ERROR, f.file, d.pos, msg);
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// shared-state-discipline
+// ---------------------------------------------------------------------
+
+fn shared_state(ctx: &mut Ctx<'_>) {
+    for f in &ctx.symbols.fns {
+        if f.def.is_test || !ctx.enabled(f.file, SHARED_STATE) {
+            continue;
+        }
+        for spawn in &f.def.spawns {
+            for cap in &spawn.captures {
+                // Capture candidates are bare names; only ones that
+                // resolve to a shared-ownership binding of the spawning
+                // function matter, and only the hazardous kinds fire.
+                let Some(sv) = f.def.shared_vals.iter().find(|sv| sv.name == cap.name) else {
+                    continue;
+                };
+                if !sv.kind.is_spawn_hazard() {
+                    continue;
+                }
+                let hazard = match sv.kind {
+                    SharedKind::Rc => {
+                        "`Rc`'s reference count is not atomic, so a clone or drop on the spawned thread corrupts it"
+                    }
+                    _ => {
+                        "`RefCell`/`Cell` interior mutability has no internal synchronization, so concurrent access is a data race"
+                    }
+                };
+                let msg = format!(
+                    "`{}` ({}, created at line {}) crosses a spawn boundary in `{}`: the closure spawned here captures it (first use at line {}) while the spawning thread keeps its own handle — {hazard}; share it through `Arc<Mutex<…>>`/`Arc<RwLock<…>>`/an atomic, or move ownership over a channel",
+                    sv.name,
+                    sv.kind.describe(),
+                    sv.pos.line,
+                    f.qual_name(),
+                    cap.pos.line,
+                );
+                ctx.emit(SHARED_STATE, f.file, spawn.pos, msg);
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// guard-across-blocking
+// ---------------------------------------------------------------------
+
+fn guard_across_blocking(ctx: &mut Ctx<'_>, graph: &CallGraph) {
+    let n = ctx.symbols.fns.len();
+    // Fixpoint: does calling this function park the thread, and on
+    // what? Seeded by each function's first direct blocking site
+    // (`.recv()`, `.join()`, bounded-channel send); propagated through
+    // resolved call edges so a guard held across `helper()` is flagged
+    // when `helper` eventually blocks. Each entry keeps the rendered
+    // blocking operation plus the qualified witness chain down to it.
+    let mut blocks: Vec<Option<(String, String)>> = vec![None; n];
+    for f in &ctx.symbols.fns {
+        if let Some(site) = f.def.blocking.first() {
+            blocks[f.id] = Some((site.what.clone(), f.qual_name()));
+        }
+    }
+    for _ in 0..=n {
+        let mut changed = false;
+        for f in &ctx.symbols.fns {
+            if blocks[f.id].is_some() {
+                continue;
+            }
+            let hit = graph.edges[f.id].iter().find_map(|site| blocks[site.callee].clone());
+            if let Some((what, chain)) = hit {
+                blocks[f.id] = Some((what, format!("{} → {chain}", f.qual_name())));
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    for f in &ctx.symbols.fns {
+        if f.def.is_test || !ctx.enabled(f.file, GUARD_BLOCKING) {
+            continue;
+        }
+        // One finding per call position: the same site can match both a
+        // direct blocking summary and a resolved callee; direct wins.
+        let mut reported: BTreeSet<(u32, u32)> = BTreeSet::new();
+        for event in &f.def.lock_events {
+            let LockEvent::Call { pos, held } = event else { continue };
+            if held.is_empty() || reported.contains(&(pos.line, pos.col)) {
+                continue;
+            }
+            let guards = held.join("`, `");
+            let msg = if let Some(site) = f.def.blocking.iter().find(|s| s.pos == *pos) {
+                Some(format!(
+                    "lock guard on `{guards}` is held across {} in `{}`: the thread parks while holding the lock, and any thread that must take `{guards}` to make the operation ready deadlocks; drop the guard (scope it or `drop(…)`) before blocking",
+                    site.what,
+                    f.qual_name(),
+                ))
+            } else {
+                graph
+                    .edges[f.id]
+                    .iter()
+                    .filter(|site| site.pos == *pos)
+                    .find_map(|site| blocks[site.callee].as_ref())
+                    .map(|(what, chain)| {
+                        format!(
+                            "lock guard on `{guards}` is held across a call that blocks on {what} (witness: `{} → {chain}`): the thread parks while holding the lock, and any thread that must take `{guards}` to make the operation ready deadlocks; drop the guard before the call",
+                            f.qual_name(),
+                        )
+                    })
+            };
+            if let Some(msg) = msg {
+                reported.insert((pos.line, pos.col));
+                ctx.emit(GUARD_BLOCKING, f.file, *pos, msg);
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// channel-protocol
+// ---------------------------------------------------------------------
+
+/// Whether a function is a shutdown/teardown path by name — such paths
+/// legitimately fire-and-forget a send to a possibly-gone peer, so
+/// `channel-protocol`'s discarded-send check exempts them.
+fn shutdown_path(name: &str) -> bool {
+    let n = name.to_ascii_lowercase();
+    ["drop", "shutdown", "close", "finish", "abort", "crash", "inject"]
+        .iter()
+        .any(|w| n.contains(w))
+}
+
+fn channel_protocol(ctx: &mut Ctx<'_>) {
+    for f in &ctx.symbols.fns {
+        if f.def.is_test || !ctx.enabled(f.file, CHANNEL_PROTOCOL) {
+            continue;
+        }
+        for bind in &f.def.channels {
+            // (a) a one-shot reply channel — `sync_channel(1)` — must
+            // send at most once; a second send blocks until the peer
+            // drains the first, which a reply protocol never does.
+            if bind.sync && bind.cap == Some(1) {
+                let sends: Vec<_> = f
+                    .def
+                    .chan_ops
+                    .iter()
+                    .filter(|op| op.op == ChanOpKind::Send && op.name == bind.tx)
+                    .collect();
+                if let Some(looped) = sends.iter().find(|op| op.in_loop) {
+                    let msg = format!(
+                        "`{}` is a one-shot reply channel (`sync_channel(1)` bound at line {}) but is sent inside a loop in `{}`: the second iteration blocks forever once the receiver has taken its single reply; use a fresh reply channel per request or widen the bound",
+                        bind.tx,
+                        bind.pos.line,
+                        f.qual_name(),
+                    );
+                    ctx.emit(CHANNEL_PROTOCOL, f.file, looped.pos, msg);
+                } else if sends.len() > 1 {
+                    let msg = format!(
+                        "`{}` is a one-shot reply channel (`sync_channel(1)` bound at line {}) but is sent {} times in `{}`: the second send blocks forever once the receiver has taken its single reply; use a fresh reply channel per request or widen the bound",
+                        bind.tx,
+                        bind.pos.line,
+                        sends.len(),
+                        f.qual_name(),
+                    );
+                    ctx.emit(CHANNEL_PROTOCOL, f.file, sends[1].pos, msg);
+                }
+            }
+            // (b) a send sequenced after the paired receiver was
+            // dropped can only return `Err(SendError)`.
+            if let Some(di) = f
+                .def
+                .chan_ops
+                .iter()
+                .position(|op| op.op == ChanOpKind::Drop && op.name == bind.rx)
+            {
+                let drop_line = f.def.chan_ops[di].pos.line;
+                if let Some(late) = f.def.chan_ops[di + 1..]
+                    .iter()
+                    .find(|op| op.op == ChanOpKind::Send && op.name == bind.tx)
+                {
+                    let msg = format!(
+                        "`{}.send(…)` in `{}` after its receiver `{}` was dropped at line {drop_line}: every send from here on returns `Err(SendError)` and the value is lost; send before dropping the receiver, or drop the sender instead",
+                        bind.tx,
+                        f.qual_name(),
+                        bind.rx,
+                    );
+                    ctx.emit(CHANNEL_PROTOCOL, f.file, late.pos, msg);
+                }
+            }
+        }
+        // (c) `tx.send(v);` in statement position throws the `Result`
+        // away without even the `let _ =` shape `no-swallowed-error`
+        // covers. Shutdown paths are exempt by name: fire-and-forget to
+        // a possibly-gone peer is the correct teardown idiom.
+        if shutdown_path(&f.def.name) {
+            continue;
+        }
+        for op in &f.def.chan_ops {
+            if op.op == ChanOpKind::Send && op.discarded {
+                let msg = format!(
+                    "`{}.send(…)` result discarded in statement position in `{}`: a send error means the receiver hung up, which a non-shutdown path must notice (lost detections, silent half-dead fleet); check the `Result` or route through a supervised send",
+                    op.name,
+                    f.qual_name(),
+                );
+                ctx.emit(CHANNEL_PROTOCOL, f.file, op.pos, msg);
             }
         }
     }

@@ -264,7 +264,8 @@ pub fn lint_workspace(root: &Path, config: &LintConfig) -> Result<Report, LintEr
 }
 
 /// Like [`lint_workspace`], but reusing the on-disk caches under
-/// `<root>/target/vdsms-lint-cache`; also returns the hit/miss split.
+/// [`cache::cache_dir`] (`$CARGO_TARGET_DIR`-aware); also returns the
+/// hit/miss split.
 ///
 /// Two layers: per-file summaries (only touched files re-parse) and a
 /// whole-workspace report keyed by every file's cache key plus the

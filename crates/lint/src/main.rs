@@ -20,11 +20,12 @@ USAGE:
   --format FMT    report format: human (default), json, or sarif
   --json          alias for --format json
   --root DIR      workspace root (default: nearest ancestor with lint.toml)
-  --no-cache      ignore the incremental summary cache (target/vdsms-lint-cache)
+  --no-cache      ignore the incremental summary cache
   --explain RULE  print a rule's rationale, example and suppression syntax
 
-Per-file analysis summaries are cached under <root>/target/vdsms-lint-cache,
-keyed by content hash; warm runs re-parse only changed files and produce
+Per-file analysis summaries are cached under $CARGO_TARGET_DIR/vdsms-lint-cache
+(<root>/target/vdsms-lint-cache when the variable is unset), keyed by
+content hash; warm runs re-parse only changed files and produce
 byte-identical output. The hit/miss split is reported on stderr.
 
 Rules and per-crate configuration live in <root>/lint.toml.

@@ -609,8 +609,8 @@ impl<'a> Parser<'a> {
                 continue;
             }
             let e = self.expr(false);
-            stmts.push(Stmt::Expr(e));
-            self.eat_punct(';');
+            let semi = self.eat_punct(';');
+            stmts.push(Stmt::Expr(e, semi));
         }
         stmts
     }
@@ -651,10 +651,20 @@ impl<'a> Parser<'a> {
                 self.bump();
             }
         }
+        let mut tuple: Vec<String> = Vec::new();
         if name.is_none() {
-            // Skip a complex pattern to `=` / `;` (or `else` for let-else
-            // without initializer — not legal Rust, but tolerate).
-            self.skip_pattern_to_eq();
+            // Flat tuple-of-idents pattern: `(tx, rx)` (with `mut`/`ref`/
+            // `_` tolerated per element). Anything fancier falls through
+            // to the generic pattern skip below.
+            if self.is_punct('(') {
+                tuple = self.try_tuple_pattern();
+            }
+            if tuple.is_empty() {
+                // Skip a complex pattern to `=` / `;` (or `else` for
+                // let-else without initializer — not legal Rust, but
+                // tolerate).
+                self.skip_pattern_to_eq();
+            }
         }
         if self.is_punct(':') && !self.is_path_sep() {
             self.bump();
@@ -665,12 +675,12 @@ impl<'a> Parser<'a> {
             self.bump();
             init = Some(self.expr(false));
         }
-        stmts.push(Stmt::Let { name, init, pos });
+        stmts.push(Stmt::Let { name, tuple, init, pos });
         // let-else diverging block: parse it as a trailing statement so
         // panic/alloc sites inside stay visible.
         if self.eat_ident("else") && self.is_punct('{') {
             let body = self.parse_block_stmts();
-            stmts.push(Stmt::Expr(Expr { kind: ExprKind::Block(body), pos }));
+            stmts.push(Stmt::Expr(Expr { kind: ExprKind::Block(body), pos }, true));
         }
         self.eat_punct(';');
     }
@@ -701,6 +711,36 @@ impl<'a> Parser<'a> {
                 _ => {}
             }
             self.bump();
+        }
+    }
+
+    /// Parse a flat tuple-of-idents pattern `(a, mut b, _)` and return
+    /// the element names. On any non-ident element (nested patterns,
+    /// struct destructuring, rest `..`) nothing is consumed and the
+    /// caller falls back to [`Self::skip_pattern_to_eq`].
+    fn try_tuple_pattern(&mut self) -> Vec<String> {
+        let start = self.i;
+        self.bump(); // `(`
+        let mut names = Vec::new();
+        loop {
+            if self.eat_punct(')') {
+                return names;
+            }
+            while self.eat_ident("mut") || self.eat_ident("ref") {}
+            let Some(id) = self.cur().and_then(Token::ident) else {
+                self.i = start;
+                return Vec::new();
+            };
+            names.push(id.to_string());
+            self.bump();
+            if self.eat_punct(',') {
+                continue;
+            }
+            if self.eat_punct(')') {
+                return names;
+            }
+            self.i = start;
+            return Vec::new();
         }
     }
 

@@ -24,6 +24,9 @@
 //! | `taint-unchecked-flow` | untrusted bytes/lengths reaching slice indexing, capacity reservation or loop bounds with no bounds check — interprocedural, with witness chains |
 //! | `loop-progress` | `while`/`loop` loops on hot or recovery paths with no provably advancing cursor (livelock hazard) |
 //! | `no-swallowed-error` | `Result`s discarded via `let _ =` or statement-`.ok()` without a reasoned `allow` |
+//! | `shared-state-discipline` | values captured by spawned closures without synchronization (`Arc<RefCell/Cell>`, `Rc`, `static mut`) — witness chain spawn-site → access |
+//! | `guard-across-blocking` | lock guards held across `.recv()`, zero-arg `.join()`, bounded-channel `send` or any transitively-blocking call (deadlock shape `lock-order` can't see) |
+//! | `channel-protocol` | channel misuse: send after the receiver was dropped, a one-shot reply `sync_channel(1)` sent more than once, a bare-statement `send` whose `Result` vanishes |
 //!
 //! A finding on a given line is suppressed by an inline directive on the
 //! same line or the line above:
@@ -69,6 +72,12 @@ pub const LOOP_PROGRESS: &str = "loop-progress";
 pub const NO_SWALLOWED_ERROR: &str = "no-swallowed-error";
 /// Rule id: unsafe must be audited.
 pub const UNSAFE_AUDIT: &str = "unsafe-audit";
+/// Rule id: spawned closures may only share synchronized state.
+pub const SHARED_STATE: &str = "shared-state-discipline";
+/// Rule id: no lock guard held across a blocking operation.
+pub const GUARD_BLOCKING: &str = "guard-across-blocking";
+/// Rule id: channel endpoint protocol violations.
+pub const CHANNEL_PROTOCOL: &str = "channel-protocol";
 /// Rule id: malformed suppression directives (not suppressible).
 pub const INVALID_SUPPRESSION: &str = "invalid-suppression";
 
@@ -170,6 +179,27 @@ pub fn registry() -> &'static [RuleInfo] {
             suppression: SUPPRESS,
         },
         RuleInfo {
+            id: SHARED_STATE,
+            summary: "state crossing a spawn boundary must be synchronized",
+            rationale: "Shards, snapshot publishers and (next) the serve daemon all hand state to spawned threads; the only sound vehicles are `Arc<Mutex/RwLock/Atomic…>` and channels. A closure that captures an `Arc<RefCell<…>>`/`Arc<Cell<…>>` smuggles unsynchronized interior mutability across threads, an `Rc` shares a non-atomic refcount, and a `static mut` is a data race by construction — rustc catches many of these, but macro-generated and cfg-gated code slips through, and the lint sees the shape regardless. Diagnostics print the witness chain: where the value was created, where the thread was spawned, and where the closure touches it.",
+            example: "bad:  let cache = Arc::new(RefCell::new(map)); thread::spawn(move || cache.borrow_mut().insert(k, v));\ngood: let cache = Arc::new(Mutex::new(map)); thread::spawn(move || cache.lock().insert(k, v));",
+            suppression: SUPPRESS,
+        },
+        RuleInfo {
+            id: GUARD_BLOCKING,
+            summary: "no lock guard held across a blocking operation",
+            rationale: "A guard held across `.recv()`, a zero-arg `.join()` or a `send` on a bounded channel stalls every thread that wants the lock for as long as the blocked peer takes — and if the peer needs that same lock to make progress, the fleet deadlocks without any lock-order cycle for `lock-order` to see. The analysis replays each function's ordered lock events against its blocking sites and a transitive blocks-summary of its callees, so a guard held across a call that blocks three frames deeper is still caught; the diagnostic names the guard and the full call chain down to the blocking operation. `Condvar::wait` is exempt — waiting is the one blocking call that must hold its guard.",
+            example: "bad:  let sink = self.sink.lock(); let batch = rx.recv()?; sink.push(batch);\ngood: let batch = rx.recv()?; self.sink.lock().push(batch);",
+            suppression: SUPPRESS,
+        },
+        RuleInfo {
+            id: CHANNEL_PROTOCOL,
+            summary: "channel endpoints follow their protocol",
+            rationale: "The fleet's command channels are its spine: a `send` after the matching receiver was dropped is guaranteed data loss, a reply `sync_channel(1)` sent more than once blocks the second send forever (the requester reads one reply and walks away), and a statement-position `send(…)` whose `Result` simply vanishes hides a hung-up peer. The analysis pairs each function's tuple-`let` channel bindings with its send/recv/drop sequence and flags the three shapes; shutdown paths that intentionally fire-and-forget should route through a best-effort helper and say so.",
+            example: "bad:  let (reply, rx) = mpsc::sync_channel(1); for s in shards { reply.send(ack) }\ngood: one fresh reply channel per request, moved into the command",
+            suppression: SUPPRESS,
+        },
+        RuleInfo {
             id: UNSAFE_AUDIT,
             summary: "every unsafe block audited, every crate root forbids unsafe",
             rationale: "The workspace is #![forbid(unsafe_code)] everywhere except the parking_lot shim (unsafe-allowed = true in lint.toml); any unsafe block that does exist must carry a // SAFETY: comment within 3 lines above explaining why it is sound.",
@@ -232,6 +262,7 @@ pub fn token_findings(file: &SourceFile, lexed: &LexedFile) -> Vec<TokenFinding>
         rule_no_wall_clock(lexed, &mut emit);
         rule_lock_discipline(lexed, &mut emit);
         rule_unsafe_blocks(lexed, &mut emit);
+        rule_static_mut(lexed, &mut emit);
     }
     if file.is_crate_root {
         // Tagged, so the filter can drop it when `unsafe-allowed` is set.
@@ -477,6 +508,27 @@ fn rule_lock_discipline(lexed: &LexedFile, emit: &mut impl FnMut(&str, u32, u32,
                     break;
                 }
             }
+        }
+    }
+}
+
+/// `shared-state-discipline` (token half): `static mut` is a data race
+/// by construction. `&'static mut` is safe from false positives —
+/// `'static` lexes as a lifetime, not an identifier.
+fn rule_static_mut(lexed: &LexedFile, emit: &mut impl FnMut(&str, u32, u32, String)) {
+    let t = &lexed.tokens;
+    for i in 0..t.len() {
+        if lexed.is_test(i) {
+            continue;
+        }
+        if t[i].is_ident("static") && t.get(i + 1).is_some_and(|n| n.is_ident("mut")) {
+            let name = t.get(i + 2).and_then(|n| n.ident()).unwrap_or("_");
+            emit(
+                SHARED_STATE,
+                t[i].line,
+                t[i].col,
+                format!("`static mut {name}` is unsynchronized global mutable state — any two threads touching it race; use an atomic, a lock, or pass the state explicitly"),
+            );
         }
     }
 }

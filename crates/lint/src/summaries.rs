@@ -29,7 +29,7 @@ use vdsms_json::Json;
 
 /// Bumped whenever the summary shape or extraction semantics change;
 /// part of the cache key, so old cache files simply stop matching.
-pub const SUMMARY_VERSION: u64 = 2;
+pub const SUMMARY_VERSION: u64 = 3;
 
 /// A flagged position with a short description (`what` is the panic
 /// site kind, the allocation kind, the arithmetic operator, or the
@@ -190,6 +190,173 @@ pub struct TaintedArg {
     pub src: TaintSrc,
 }
 
+/// How a shared-ownership value created in a function body is
+/// protected — the classification `shared-state-discipline` judges when
+/// the value crosses a spawn boundary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SharedKind {
+    /// `Arc<Mutex<_>>` — synchronized, fine to capture.
+    ArcMutex,
+    /// `Arc<RwLock<_>>` — synchronized, fine to capture.
+    ArcRwLock,
+    /// `Arc<Atomic*>` — synchronized, fine to capture.
+    ArcAtomic,
+    /// `Arc<RefCell<_>>` / `Arc<Cell<_>>` / `Arc<UnsafeCell<_>>` —
+    /// unsynchronized interior mutability behind a shared handle, the
+    /// shape the rule exists to flag.
+    ArcCell,
+    /// `Arc<T>` with no recognized interior wrapper (shared immutable
+    /// data — fine).
+    ArcPlain,
+    /// `Rc<_>` — single-threaded sharing; crossing a spawn is a bug
+    /// shape regardless of what rustc would say about macro-expanded
+    /// code it cannot see.
+    Rc,
+}
+
+impl SharedKind {
+    /// Compact cache-format code.
+    pub fn code(self) -> usize {
+        match self {
+            SharedKind::ArcMutex => 0,
+            SharedKind::ArcRwLock => 1,
+            SharedKind::ArcAtomic => 2,
+            SharedKind::ArcCell => 3,
+            SharedKind::ArcPlain => 4,
+            SharedKind::Rc => 5,
+        }
+    }
+
+    fn from_code(code: usize) -> Option<SharedKind> {
+        Some(match code {
+            0 => SharedKind::ArcMutex,
+            1 => SharedKind::ArcRwLock,
+            2 => SharedKind::ArcAtomic,
+            3 => SharedKind::ArcCell,
+            4 => SharedKind::ArcPlain,
+            5 => SharedKind::Rc,
+            _ => return None,
+        })
+    }
+
+    /// Human rendering for witness messages (`Arc<RefCell<…>>`).
+    pub fn describe(self) -> &'static str {
+        match self {
+            SharedKind::ArcMutex => "Arc<Mutex<…>>",
+            SharedKind::ArcRwLock => "Arc<RwLock<…>>",
+            SharedKind::ArcAtomic => "Arc<Atomic…>",
+            SharedKind::ArcCell => "Arc<RefCell/Cell<…>>",
+            SharedKind::ArcPlain => "Arc<…>",
+            SharedKind::Rc => "Rc<…>",
+        }
+    }
+
+    /// Whether capture by a spawned closure is a discipline violation.
+    pub fn is_spawn_hazard(self) -> bool {
+        matches!(self, SharedKind::ArcCell | SharedKind::Rc)
+    }
+}
+
+/// A shared-ownership value bound by `let` in a function body: the
+/// binding name, how it is protected, and where it was created (or
+/// cloned — clones inherit the original's classification).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SharedVal {
+    /// Binding name.
+    pub name: String,
+    /// Protection classification.
+    pub kind: SharedKind,
+    /// Creation / clone site.
+    pub pos: Pos,
+}
+
+/// A name referenced inside a spawned closure but bound outside it —
+/// a capture candidate, matched against [`SharedVal`]s and channel
+/// endpoints by name at link time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Capture {
+    /// Captured name.
+    pub name: String,
+    /// First use inside the closure (the witness position).
+    pub pos: Pos,
+}
+
+/// A thread-spawn site (`thread::spawn(…)`, `builder.spawn(…)`) whose
+/// argument is a closure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpawnSite {
+    /// Spawn call site.
+    pub pos: Pos,
+    /// Capture candidates, in first-use order.
+    pub captures: Vec<Capture>,
+}
+
+/// A channel pair bound by a tuple `let`:
+/// `let (tx, rx) = mpsc::channel();` / `sync_channel(n)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChannelBind {
+    /// `sync_channel` (bounded, blocking send) vs `channel`.
+    pub sync: bool,
+    /// The literal bound of a `sync_channel(n)`, when it was a literal.
+    pub cap: Option<u64>,
+    /// Sender binding name.
+    pub tx: String,
+    /// Receiver binding name.
+    pub rx: String,
+    /// Binding site.
+    pub pos: Pos,
+}
+
+/// What a [`ChanOp`] does to its endpoint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChanOpKind {
+    /// `send` / `try_send`.
+    Send,
+    /// `recv` / `try_recv` / `recv_timeout`.
+    Recv,
+    /// `drop(endpoint)`.
+    Drop,
+}
+
+impl ChanOpKind {
+    /// Compact cache-format code.
+    pub fn code(self) -> usize {
+        match self {
+            ChanOpKind::Send => 0,
+            ChanOpKind::Recv => 1,
+            ChanOpKind::Drop => 2,
+        }
+    }
+
+    fn from_code(code: usize) -> Option<ChanOpKind> {
+        Some(match code {
+            0 => ChanOpKind::Send,
+            1 => ChanOpKind::Recv,
+            2 => ChanOpKind::Drop,
+            _ => return None,
+        })
+    }
+}
+
+/// One channel-endpoint operation, in body walk order — the sequence
+/// `channel-protocol` replays against the binds of the same function.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChanOp {
+    /// Endpoint name (receiver-chain tail, same identity scheme as
+    /// locks).
+    pub name: String,
+    /// Operation.
+    pub op: ChanOpKind,
+    /// Operation site.
+    pub pos: Pos,
+    /// Whether the operation sits inside a `for`/`while`/`loop` body.
+    pub in_loop: bool,
+    /// Whether a `send` result was thrown away in statement position
+    /// (`tx.send(v);` with no binding — distinct from the `let _ =`
+    /// shape `no-swallowed-error` covers).
+    pub discarded: bool,
+}
+
 /// One function's summary — everything the link phase knows about it.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct FnSummary {
@@ -246,6 +413,19 @@ pub struct FnSummary {
     pub tainted_args: Vec<TaintedArg>,
     /// Discarded `Result`s (see [`Discard`]).
     pub discards: Vec<Discard>,
+    /// Thread-spawn sites with their closures' capture candidates.
+    pub spawns: Vec<SpawnSite>,
+    /// Shared-ownership values (`Arc`/`Rc` creations and clones),
+    /// classified by protection.
+    pub shared_vals: Vec<SharedVal>,
+    /// Channel pairs bound by tuple `let`s.
+    pub channels: Vec<ChannelBind>,
+    /// Channel-endpoint operations, in body walk order.
+    pub chan_ops: Vec<ChanOp>,
+    /// Directly-blocking operations (`.recv()`, zero-arg `.join()`,
+    /// `send` on a local `sync_channel` sender) — the seeds of the
+    /// transitive blocking set `guard-across-blocking` computes.
+    pub blocking: Vec<Site>,
 }
 
 impl FnSummary {
@@ -428,6 +608,95 @@ fn rd_tainted_arg(v: &Json) -> Option<TaintedArg> {
     Some(TaintedArg { call: call.as_usize()?, arg: arg.as_usize()?, pos: rd_pos(l, c)?, src })
 }
 
+fn spawn_json(sp: &SpawnSite) -> Json {
+    let mut a = vec![jline(sp.pos), jcol(sp.pos)];
+    a.extend(
+        sp.captures
+            .iter()
+            .map(|c| Json::Arr(vec![jline(c.pos), jcol(c.pos), Json::str(&c.name)])),
+    );
+    Json::Arr(a)
+}
+
+fn rd_spawn(v: &Json) -> Option<SpawnSite> {
+    let [l, c, rest @ ..] = v.as_arr()? else { return None };
+    Some(SpawnSite {
+        pos: rd_pos(l, c)?,
+        captures: rest
+            .iter()
+            .map(|x| {
+                let [l, c, n] = x.as_arr()? else { return None };
+                Some(Capture { name: rd_str(n)?, pos: rd_pos(l, c)? })
+            })
+            .collect::<Option<Vec<_>>>()?,
+    })
+}
+
+fn shared_val_json(sv: &SharedVal) -> Json {
+    Json::Arr(vec![jn(sv.kind.code()), jline(sv.pos), jcol(sv.pos), Json::str(&sv.name)])
+}
+
+fn rd_shared_val(v: &Json) -> Option<SharedVal> {
+    let [k, l, c, n] = v.as_arr()? else { return None };
+    Some(SharedVal {
+        name: rd_str(n)?,
+        kind: SharedKind::from_code(k.as_usize()?)?,
+        pos: rd_pos(l, c)?,
+    })
+}
+
+fn channel_json(cb: &ChannelBind) -> Json {
+    let cap = match cb.cap {
+        Some(n) => jn(n as usize),
+        None => Json::Null,
+    };
+    Json::Arr(vec![
+        jbool(cb.sync),
+        cap,
+        jline(cb.pos),
+        jcol(cb.pos),
+        Json::str(&cb.tx),
+        Json::str(&cb.rx),
+    ])
+}
+
+fn rd_channel(v: &Json) -> Option<ChannelBind> {
+    let [sync, cap, l, c, tx, rx] = v.as_arr()? else { return None };
+    let cap = match cap {
+        Json::Null => None,
+        other => Some(other.as_usize()? as u64),
+    };
+    Some(ChannelBind {
+        sync: sync.as_bool()?,
+        cap,
+        tx: rd_str(tx)?,
+        rx: rd_str(rx)?,
+        pos: rd_pos(l, c)?,
+    })
+}
+
+fn chan_op_json(co: &ChanOp) -> Json {
+    Json::Arr(vec![
+        jn(co.op.code()),
+        jline(co.pos),
+        jcol(co.pos),
+        jbool(co.in_loop),
+        jbool(co.discarded),
+        Json::str(&co.name),
+    ])
+}
+
+fn rd_chan_op(v: &Json) -> Option<ChanOp> {
+    let [op, l, c, il, di, n] = v.as_arr()? else { return None };
+    Some(ChanOp {
+        name: rd_str(n)?,
+        op: ChanOpKind::from_code(op.as_usize()?)?,
+        pos: rd_pos(l, c)?,
+        in_loop: il.as_bool()?,
+        discarded: di.as_bool()?,
+    })
+}
+
 fn vec_json<T>(items: &[T], f: impl Fn(&T) -> Json) -> Json {
     Json::Arr(items.iter().map(f).collect())
 }
@@ -487,6 +756,11 @@ fn fn_json(f: &FnSummary) -> Json {
     );
     put("ta", vec_json(&f.tainted_args, tainted_arg_json));
     put("di", vec_json(&f.discards, discard_json));
+    put("sp", vec_json(&f.spawns, spawn_json));
+    put("sv", vec_json(&f.shared_vals, shared_val_json));
+    put("cb", vec_json(&f.channels, channel_json));
+    put("cp", vec_json(&f.chan_ops, chan_op_json));
+    put("bk", vec_json(&f.blocking, site_json));
     Json::Obj(o)
 }
 
@@ -546,6 +820,11 @@ fn rd_fn(v: &Json) -> Option<FnSummary> {
         })?,
         tainted_args: rd_vec(v.get("ta")?, rd_tainted_arg)?,
         discards: rd_vec(v.get("di")?, rd_discard)?,
+        spawns: rd_vec(v.get("sp")?, rd_spawn)?,
+        shared_vals: rd_vec(v.get("sv")?, rd_shared_val)?,
+        channels: rd_vec(v.get("cb")?, rd_channel)?,
+        chan_ops: rd_vec(v.get("cp")?, rd_chan_op)?,
+        blocking: rd_vec(v.get("bk")?, rd_site)?,
     })
 }
 
@@ -743,6 +1022,64 @@ fn sc_tainted_arg(s: &mut Scan) -> Option<TaintedArg> {
     Some(TaintedArg { call, arg, pos, src })
 }
 
+fn sc_spawn(s: &mut Scan) -> Option<SpawnSite> {
+    s.lit("[")?;
+    let pos = sc_pos(s)?;
+    let mut captures = Vec::new();
+    loop {
+        if s.lit("]").is_some() {
+            return Some(SpawnSite { pos, captures });
+        }
+        s.lit(",[")?;
+        let pos = sc_pos(s)?;
+        s.lit(",")?;
+        let name = s.string()?;
+        s.lit("]")?;
+        captures.push(Capture { name, pos });
+    }
+}
+
+fn sc_shared_val(s: &mut Scan) -> Option<SharedVal> {
+    s.lit("[")?;
+    let kind = SharedKind::from_code(s.usize_()?)?;
+    s.lit(",")?;
+    let pos = sc_pos(s)?;
+    s.lit(",")?;
+    let name = s.string()?;
+    s.lit("]")?;
+    Some(SharedVal { name, kind, pos })
+}
+
+fn sc_channel(s: &mut Scan) -> Option<ChannelBind> {
+    s.lit("[")?;
+    let sync = s.bool_()?;
+    s.lit(",")?;
+    let cap = if s.lit("null").is_some() { None } else { Some(s.usize_()? as u64) };
+    s.lit(",")?;
+    let pos = sc_pos(s)?;
+    s.lit(",")?;
+    let tx = s.string()?;
+    s.lit(",")?;
+    let rx = s.string()?;
+    s.lit("]")?;
+    Some(ChannelBind { sync, cap, tx, rx, pos })
+}
+
+fn sc_chan_op(s: &mut Scan) -> Option<ChanOp> {
+    s.lit("[")?;
+    let op = ChanOpKind::from_code(s.usize_()?)?;
+    s.lit(",")?;
+    let pos = sc_pos(s)?;
+    s.lit(",")?;
+    let in_loop = s.bool_()?;
+    s.lit(",")?;
+    let discarded = s.bool_()?;
+    s.lit(",")?;
+    let name = s.string()?;
+    s.lit("]")?;
+    Some(ChanOp { name, op, pos, in_loop, discarded })
+}
+
 fn sc_fn(s: &mut Scan) -> Option<FnSummary> {
     s.lit("{\"n\":")?;
     let name = s.string()?;
@@ -846,6 +1183,16 @@ fn sc_fn(s: &mut Scan) -> Option<FnSummary> {
     let tainted_args = sc_arr(s, sc_tainted_arg)?;
     s.lit(",\"di\":")?;
     let discards = sc_arr(s, sc_discard)?;
+    s.lit(",\"sp\":")?;
+    let spawns = sc_arr(s, sc_spawn)?;
+    s.lit(",\"sv\":")?;
+    let shared_vals = sc_arr(s, sc_shared_val)?;
+    s.lit(",\"cb\":")?;
+    let channels = sc_arr(s, sc_channel)?;
+    s.lit(",\"cp\":")?;
+    let chan_ops = sc_arr(s, sc_chan_op)?;
+    s.lit(",\"bk\":")?;
+    let blocking = sc_arr(s, sc_site)?;
     s.lit("}")?;
     Some(FnSummary {
         name,
@@ -872,6 +1219,11 @@ fn sc_fn(s: &mut Scan) -> Option<FnSummary> {
         param_sink_calls,
         tainted_args,
         discards,
+        spawns,
+        shared_vals,
+        channels,
+        chan_ops,
+        blocking,
     })
 }
 
@@ -1039,7 +1391,7 @@ fn summarize_fn(self_ty: Option<&str>, def: &crate::ast::FnDef) -> FnSummary {
 
     // Lock-acquisition events, statement-ordered.
     {
-        let mut held: Vec<String> = Vec::new();
+        let mut held: Held = Vec::new();
         lock_stmts(body, &mut held, &mut f.lock_events);
     }
 
@@ -1062,6 +1414,18 @@ fn summarize_fn(self_ty: Option<&str>, def: &crate::ast::FnDef) -> FnSummary {
             f.stalled_loops.push(Site { pos: e.pos, what: what.to_string() });
         }
     });
+
+    // Thread/sync model: spawns + captures, shared-ownership values,
+    // channel binds and endpoint operations, direct blocking sites.
+    {
+        let mut cw = ConcWalker {
+            env: BTreeMap::new(),
+            sync_txs: std::collections::BTreeSet::new(),
+            loop_depth: 0,
+            out: &mut f,
+        };
+        cw.scan_stmts(body);
+    }
 
     // Untrusted-byte taint walk + discarded-`Result` scan.
     {
@@ -1138,33 +1502,65 @@ fn method_of(e: &Expr) -> &str {
 
 // ----- lock-event walk (mirrors the old interleaved flow walk) -------
 
-fn lock_stmts(stmts: &[Stmt], held: &mut Vec<String>, events: &mut Vec<LockEvent>) {
+/// The held-guard stack: lock identity plus the `let` binding that
+/// owns the guard (`None` for guards live only within one statement),
+/// so an explicit `drop(binding)` statement can release it.
+type Held = Vec<(String, Option<String>)>;
+
+fn lock_stmts(stmts: &[Stmt], held: &mut Held, events: &mut Vec<LockEvent>) {
     for stmt in stmts {
         match stmt {
-            Stmt::Let { init: Some(e), .. } => {
+            Stmt::Let { name, init: Some(e), .. } => {
                 lock_expr_events(e, held, events);
                 lock_nested(e, held, events);
                 // Guards bound by `let` stay held for the rest of the
-                // enclosing block (straight-line acquisitions only).
-                straight_line_acquisitions(e, held);
+                // enclosing block (straight-line acquisitions only),
+                // tagged with the binding name so `drop(g)` releases
+                // them.
+                let mut acquired: Vec<String> = Vec::new();
+                straight_line_acquisitions(e, &mut acquired);
+                for a in acquired {
+                    held.push((a, name.clone()));
+                }
             }
             Stmt::Let { .. } | Stmt::Item(_) => continue,
-            Stmt::Expr(e) => {
+            Stmt::Expr(e, _) => {
                 lock_expr_events(e, held, events);
                 lock_nested(e, held, events);
+                // `drop(g);` ends g's guards for the rest of the block.
+                // Path-insensitive like the rest of the walk: a drop in
+                // a conditional branch counts as a release, trading a
+                // missed exotic bug for zero false fire on the common
+                // `lock → work → drop → block` sequence.
+                if let Some(owner) = dropped_binding(e) {
+                    held.retain(|(_, o)| o.as_deref() != Some(owner));
+                }
             }
         }
     }
 }
 
-fn lock_expr_events(e: &Expr, held: &[String], events: &mut Vec<LockEvent>) {
+/// `drop(x)` in statement position: the binding whose guards die.
+fn dropped_binding(e: &Expr) -> Option<&str> {
+    let ExprKind::Call { callee, args } = &e.kind else { return None };
+    let [.., last] = callee.as_path()? else { return None };
+    if last != "drop" {
+        return None;
+    }
+    let [arg] = args.as_slice() else { return None };
+    let ExprKind::Path(p) = &arg.kind else { return None };
+    let [name] = p.as_slice() else { return None };
+    Some(name)
+}
+
+fn lock_expr_events(e: &Expr, held: &Held, events: &mut Vec<LockEvent>) {
     let mut stmt_locks: Vec<String> = Vec::new();
     lock_straight(e, held, &mut stmt_locks, events);
 }
 
 fn lock_straight(
     e: &Expr,
-    held: &[String],
+    held: &Held,
     stmt_locks: &mut Vec<String>,
     events: &mut Vec<LockEvent>,
 ) {
@@ -1182,7 +1578,8 @@ fn lock_straight(
         return;
     }
     if let Some(name) = acquisition(e) {
-        let snapshot: Vec<String> = held.iter().chain(stmt_locks.iter()).cloned().collect();
+        let snapshot: Vec<String> =
+            held.iter().map(|(l, _)| l.clone()).chain(stmt_locks.iter().cloned()).collect();
         if !snapshot.is_empty() {
             events.push(LockEvent::Direct {
                 held: snapshot,
@@ -1194,7 +1591,8 @@ fn lock_straight(
         stmt_locks.push(name.to_string());
     }
     if matches!(&e.kind, ExprKind::Call { .. } | ExprKind::MethodCall { .. }) {
-        let snapshot: Vec<String> = held.iter().chain(stmt_locks.iter()).cloned().collect();
+        let snapshot: Vec<String> =
+            held.iter().map(|(l, _)| l.clone()).chain(stmt_locks.iter().cloned()).collect();
         if !snapshot.is_empty() {
             events.push(LockEvent::Call { pos: e.pos, held: snapshot });
         }
@@ -1232,8 +1630,8 @@ fn straight_line_acquisitions(e: &Expr, out: &mut Vec<String>) {
 /// Recurse into block-bearing sub-expressions with held-stack
 /// save/restore, so `let` guards bound inside a nested block or branch
 /// do not leak out.
-fn lock_nested(e: &Expr, held: &mut Vec<String>, events: &mut Vec<LockEvent>) {
-    let mut recurse = |stmts: &[Stmt], held: &mut Vec<String>| {
+fn lock_nested(e: &Expr, held: &mut Held, events: &mut Vec<LockEvent>) {
+    let mut recurse = |stmts: &[Stmt], held: &mut Held| {
         let depth = held.len();
         lock_stmts(stmts, held, events);
         held.truncate(depth);
@@ -1316,7 +1714,7 @@ fn check_arith_stmts(
                     }
                 }
             }
-            Stmt::Expr(e) => check_arith_expr(e, tainted, sites),
+            Stmt::Expr(e, _) => check_arith_expr(e, tainted, sites),
             Stmt::Item(_) => {}
         }
     }
@@ -1467,6 +1865,319 @@ fn has_progress_expr(cond: &Expr) -> bool {
     progress
 }
 
+// ----- thread/sync model walk ----------------------------------------
+
+/// Channel send/recv method → op kind, gated on the expected arity so
+/// unrelated methods sharing a name (`str::join`-style) don't count.
+fn chan_op_kind(method: &str, argc: usize) -> Option<ChanOpKind> {
+    match (method, argc) {
+        ("send", 1) | ("try_send", 1) => Some(ChanOpKind::Send),
+        ("recv", 0) | ("try_recv", 0) | ("recv_timeout", 1) => Some(ChanOpKind::Recv),
+        _ => None,
+    }
+}
+
+/// `channel()` / `sync_channel(n)` constructor call → (sync, literal
+/// bound). Matched by trailing path segment, so `mpsc::channel`,
+/// `sync::channel` and a bare `channel` all count.
+fn channel_ctor(e: &Expr) -> Option<(bool, Option<u64>)> {
+    let ExprKind::Call { callee, args } = &e.kind else { return None };
+    let [.., last] = callee.as_path()? else { return None };
+    match last.as_str() {
+        "channel" if args.is_empty() => Some((false, None)),
+        "sync_channel" if args.len() == 1 => Some((true, args[0].int_value())),
+        _ => None,
+    }
+}
+
+/// Classification of an `Arc::new(inner)` payload.
+fn arc_payload_kind(args: &[Expr]) -> SharedKind {
+    let Some(inner) = args.first() else { return SharedKind::ArcPlain };
+    let ExprKind::Call { callee, .. } = &inner.kind else { return SharedKind::ArcPlain };
+    let Some([.., ty, ctor]) = callee.as_path() else { return SharedKind::ArcPlain };
+    if ctor != "new" && ctor != "default" {
+        return SharedKind::ArcPlain;
+    }
+    match ty.as_str() {
+        "Mutex" => SharedKind::ArcMutex,
+        "RwLock" => SharedKind::ArcRwLock,
+        "RefCell" | "Cell" | "UnsafeCell" => SharedKind::ArcCell,
+        t if t.starts_with("Atomic") => SharedKind::ArcAtomic,
+        _ => SharedKind::ArcPlain,
+    }
+}
+
+/// Every `let`-bound name under a statement list (closure-local
+/// bindings shadow would-be captures).
+fn let_names_stmts(stmts: &[Stmt], out: &mut std::collections::BTreeSet<String>) {
+    for s in stmts {
+        match s {
+            Stmt::Let { name, tuple, init, .. } => {
+                if let Some(n) = name {
+                    out.insert(n.clone());
+                }
+                out.extend(tuple.iter().cloned());
+                if let Some(e) = init {
+                    let_names_expr(e, out);
+                }
+            }
+            Stmt::Expr(e, _) => let_names_expr(e, out),
+            Stmt::Item(_) => {}
+        }
+    }
+}
+
+fn let_names_expr(e: &Expr, out: &mut std::collections::BTreeSet<String>) {
+    match &e.kind {
+        ExprKind::Block(stmts) | ExprKind::Loop { body: stmts } => let_names_stmts(stmts, out),
+        ExprKind::If { cond, then, alt } => {
+            let_names_expr(cond, out);
+            let_names_stmts(then, out);
+            if let Some(a) = alt {
+                let_names_expr(a, out);
+            }
+        }
+        ExprKind::While { cond, body } => {
+            let_names_expr(cond, out);
+            let_names_stmts(body, out);
+        }
+        ExprKind::For { iter, body } => {
+            let_names_expr(iter, out);
+            let_names_stmts(body, out);
+        }
+        ExprKind::Match { scrutinee, arms } => {
+            let_names_expr(scrutinee, out);
+            for a in arms {
+                let_names_expr(a, out);
+            }
+        }
+        _ => {
+            let mut children: Vec<&Expr> = Vec::new();
+            collect_children(e, &mut children);
+            for c in children {
+                let_names_expr(c, out);
+            }
+        }
+    }
+}
+
+struct ConcWalker<'a> {
+    /// Shared-ownership bindings seen so far (flat scope — shadowing is
+    /// tolerated, consistent with the lock-identity scheme).
+    env: BTreeMap<String, SharedKind>,
+    /// Senders of locally-bound `sync_channel`s: their `send` blocks.
+    sync_txs: std::collections::BTreeSet<String>,
+    loop_depth: u32,
+    out: &'a mut FnSummary,
+}
+
+impl ConcWalker<'_> {
+    fn scan_stmts(&mut self, stmts: &[Stmt]) {
+        for stmt in stmts {
+            match stmt {
+                Stmt::Let { name, tuple, init: Some(e), .. } => {
+                    if let Some(n) = name {
+                        if let Some(kind) = self.classify_shared(e) {
+                            self.out.shared_vals.push(SharedVal {
+                                name: n.clone(),
+                                kind,
+                                pos: e.pos,
+                            });
+                            self.env.insert(n.clone(), kind);
+                        }
+                    }
+                    if let [tx, rx] = tuple.as_slice() {
+                        if let Some((sync, cap)) = channel_ctor(e) {
+                            if sync {
+                                self.sync_txs.insert(tx.clone());
+                            }
+                            self.out.channels.push(ChannelBind {
+                                sync,
+                                cap,
+                                tx: tx.clone(),
+                                rx: rx.clone(),
+                                pos: e.pos,
+                            });
+                        }
+                    }
+                    self.scan_expr(e, false);
+                }
+                Stmt::Let { .. } | Stmt::Item(_) => {}
+                // A semicolon-less tail is the block's value, not a
+                // discarded statement — the wrapper-delegation idiom
+                // (`fn send(…) -> … { self.0.send(v) }`) returns the
+                // `Result` instead of dropping it.
+                Stmt::Expr(e, semi) => self.scan_expr(e, *semi),
+            }
+        }
+    }
+
+    /// The shared-ownership classification of a `let` initializer, if
+    /// it creates or clones an `Arc`/`Rc`.
+    fn classify_shared(&self, e: &Expr) -> Option<SharedKind> {
+        match &e.kind {
+            ExprKind::Call { callee, args } => match callee.as_path()? {
+                [.., ty, ctor] if ty == "Arc" && ctor == "new" => Some(arc_payload_kind(args)),
+                [.., ty, ctor] if ty == "Rc" && ctor == "new" => Some(SharedKind::Rc),
+                // `Arc::clone(&x)` inherits `x`'s classification.
+                [.., ty, ctor] if (ty == "Arc" || ty == "Rc") && ctor == "clone" => {
+                    self.env.get(args.first()?.chain_name()?).copied()
+                }
+                _ => None,
+            },
+            // `x.clone()` on a known shared value inherits too.
+            ExprKind::MethodCall { recv, method, args }
+                if method == "clone" && args.is_empty() =>
+            {
+                self.env.get(recv.chain_name()?).copied()
+            }
+            _ => None,
+        }
+    }
+
+    fn scan_expr(&mut self, e: &Expr, stmt_root: bool) {
+        match &e.kind {
+            ExprKind::Call { callee, args } => {
+                if let Some([.., last]) = callee.as_path() {
+                    if last == "drop" {
+                        if let [arg] = args.as_slice() {
+                            if let Some(name) = arg.chain_name() {
+                                self.out.chan_ops.push(ChanOp {
+                                    name: name.to_string(),
+                                    op: ChanOpKind::Drop,
+                                    pos: e.pos,
+                                    in_loop: self.loop_depth > 0,
+                                    discarded: false,
+                                });
+                            }
+                        }
+                    }
+                    if last == "spawn" {
+                        self.record_spawn(e.pos, args);
+                    }
+                }
+                self.scan_expr(callee, false);
+                for a in args {
+                    self.scan_expr(a, false);
+                }
+            }
+            ExprKind::MethodCall { recv, method, args } => {
+                if method == "spawn" {
+                    self.record_spawn(e.pos, args);
+                }
+                if let Some(op) = chan_op_kind(method, args.len()) {
+                    if let Some(name) = recv.chain_name() {
+                        self.out.chan_ops.push(ChanOp {
+                            name: name.to_string(),
+                            op,
+                            pos: e.pos,
+                            in_loop: self.loop_depth > 0,
+                            discarded: stmt_root && op == ChanOpKind::Send,
+                        });
+                        if let Some(what) = self.blocking_desc(name, method) {
+                            self.out.blocking.push(Site { pos: e.pos, what });
+                        }
+                    }
+                }
+                // Thread-handle join. The zero-arg gate keeps
+                // `slice::join(sep)` and friends out.
+                if method == "join" && args.is_empty() {
+                    self.out.blocking.push(Site { pos: e.pos, what: "`.join()`".to_string() });
+                }
+                self.scan_expr(recv, false);
+                for a in args {
+                    self.scan_expr(a, false);
+                }
+            }
+            ExprKind::Block(stmts) => self.scan_stmts(stmts),
+            ExprKind::Loop { body } => {
+                self.loop_depth += 1;
+                self.scan_stmts(body);
+                self.loop_depth -= 1;
+            }
+            // A `while` head re-evaluates every iteration
+            // (`while let Ok(v) = rx.recv()`), a `for` head once.
+            ExprKind::While { cond, body } => {
+                self.loop_depth += 1;
+                self.scan_expr(cond, false);
+                self.scan_stmts(body);
+                self.loop_depth -= 1;
+            }
+            ExprKind::For { iter, body } => {
+                self.scan_expr(iter, false);
+                self.loop_depth += 1;
+                self.scan_stmts(body);
+                self.loop_depth -= 1;
+            }
+            ExprKind::If { cond, then, alt } => {
+                self.scan_expr(cond, false);
+                self.scan_stmts(then);
+                if let Some(a) = alt {
+                    self.scan_expr(a, false);
+                }
+            }
+            ExprKind::Match { scrutinee, arms } => {
+                self.scan_expr(scrutinee, false);
+                for a in arms {
+                    self.scan_expr(a, false);
+                }
+            }
+            _ => {
+                let mut children: Vec<&Expr> = Vec::new();
+                collect_children(e, &mut children);
+                for c in children {
+                    self.scan_expr(c, false);
+                }
+            }
+        }
+    }
+
+    /// Whether a channel op blocks: every `recv`/`recv_timeout`, and
+    /// `send` on a locally-bound `sync_channel` sender. `Condvar::wait`
+    /// is deliberately absent — waiting is the one blocking call that
+    /// must hold its guard.
+    fn blocking_desc(&self, name: &str, method: &str) -> Option<String> {
+        match method {
+            "recv" | "recv_timeout" => Some(format!("`.{method}()`")),
+            "send" if self.sync_txs.contains(name) => {
+                Some("`.send(…)` on a bounded channel".to_string())
+            }
+            _ => None,
+        }
+    }
+
+    /// Record a spawn site whose argument list contains a closure,
+    /// collecting capture candidates: lowercase single-ident names used
+    /// in the closure body and not `let`-bound inside it. Matching
+    /// against the spawning scope's bindings happens at link time, so
+    /// stray names (free functions, enum variants) simply never match.
+    fn record_spawn(&mut self, pos: Pos, args: &[Expr]) {
+        let Some(body) = args.iter().find_map(|a| match &a.kind {
+            ExprKind::Closure(b) => Some(b.as_ref()),
+            _ => None,
+        }) else {
+            return;
+        };
+        let mut local: std::collections::BTreeSet<String> = std::collections::BTreeSet::new();
+        let_names_expr(body, &mut local);
+        let mut captures: Vec<Capture> = Vec::new();
+        crate::ast::walk_expr(body, &mut |x: &Expr| {
+            let ExprKind::Path(p) = &x.kind else { return };
+            let [name] = p.as_slice() else { return };
+            if name == "self"
+                || name == "_"
+                || name.starts_with(|c: char| c.is_ascii_uppercase())
+                || local.contains(name)
+                || captures.iter().any(|c| &c.name == name)
+            {
+                return;
+            }
+            captures.push(Capture { name: name.clone(), pos: x.pos });
+        });
+        self.out.spawns.push(SpawnSite { pos, captures });
+    }
+}
+
 // ----- untrusted-byte taint walker -----------------------------------
 
 /// Where a value's taint (if any) came from.
@@ -1512,7 +2223,7 @@ impl TaintWalker<'_> {
                         }
                     }
                 }
-                Stmt::Expr(e) => {
+                Stmt::Expr(e, _) => {
                     self.scan_expr(e);
                     if !last {
                         self.record_ok_discard(e);
@@ -1863,6 +2574,13 @@ mod tests {
             \x20   Ok(())\n\
             }\n\
             fn helper(n: usize) -> f32 { 0.1 + 0.2 }\n\
+            fn conc() {\n\
+            \x20   let shared = Arc::new(RefCell::new(0));\n\
+            \x20   let (tx, rx) = mpsc::sync_channel(1);\n\
+            \x20   let h = thread::spawn(move || { tx.send(shared); });\n\
+            \x20   drop(rx);\n\
+            \x20   h.join();\n\
+            }\n\
             #[test]\n\
             fn unit() { hot_path().unwrap(); }\n";
         let summary = summarize_src(src);
@@ -1971,6 +2689,115 @@ mod tests {
             .collect();
         assert_eq!(directs, vec![(vec!["alpha".to_string()], "beta".to_string())]);
         assert_eq!(f.direct_locks, vec!["alpha".to_string(), "beta".to_string()]);
+    }
+
+    #[test]
+    fn explicit_drop_releases_let_bound_guards() {
+        let s = summarize_src(
+            "fn f(m: &M, rx: &R) {\n\
+             \x20   let g = m.lock();\n\
+             \x20   rx.recv();\n\
+             \x20   drop(g);\n\
+             \x20   rx.try_recv();\n\
+             }\n",
+        );
+        let f = only_fn(&s, "f");
+        let call_lines: Vec<u32> = f
+            .lock_events
+            .iter()
+            .filter_map(|e| match e {
+                LockEvent::Call { pos, .. } => Some(pos.line),
+                LockEvent::Direct { .. } => None,
+            })
+            .collect();
+        // The `.lock()` itself, the `recv` under the guard, and the
+        // `drop` call; the `try_recv` after `drop(g)` runs guard-free.
+        assert_eq!(call_lines, vec![2, 3, 4], "events: {:?}", f.lock_events);
+    }
+
+    #[test]
+    fn spawn_captures_and_shared_kinds_are_recorded() {
+        let s = summarize_src(
+            "fn f() {\n\
+             \x20   let state = Arc::new(Mutex::new(0));\n\
+             \x20   let cell = Arc::new(RefCell::new(0));\n\
+             \x20   let worker = Arc::clone(&state);\n\
+             \x20   let leak = cell.clone();\n\
+             \x20   thread::spawn(move || {\n\
+             \x20       let mine = 1;\n\
+             \x20       worker.lock();\n\
+             \x20       leak.borrow_mut();\n\
+             \x20       mine + 1;\n\
+             \x20   });\n\
+             }\n",
+        );
+        let f = only_fn(&s, "f");
+        let kinds: Vec<(&str, SharedKind)> =
+            f.shared_vals.iter().map(|v| (v.name.as_str(), v.kind)).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                ("state", SharedKind::ArcMutex),
+                ("cell", SharedKind::ArcCell),
+                ("worker", SharedKind::ArcMutex),
+                ("leak", SharedKind::ArcCell),
+            ]
+        );
+        assert_eq!(f.spawns.len(), 1, "spawns: {:?}", f.spawns);
+        let names: Vec<&str> = f.spawns[0].captures.iter().map(|c| c.name.as_str()).collect();
+        assert_eq!(names, vec!["worker", "leak"], "closure-local `mine` must not count");
+    }
+
+    #[test]
+    fn channel_binds_ops_and_blocking_sites_are_recorded() {
+        let s = summarize_src(
+            "fn f(m: &M) {\n\
+             \x20   let (tx, rx) = mpsc::sync_channel(1);\n\
+             \x20   let (etx, erx) = mpsc::channel();\n\
+             \x20   tx.send(1);\n\
+             \x20   let g = m.lock();\n\
+             \x20   while let Ok(v) = rx.recv() { etx.send(v); }\n\
+             \x20   drop(erx);\n\
+             }\n",
+        );
+        let f = only_fn(&s, "f");
+        assert_eq!(f.channels.len(), 2, "channels: {:?}", f.channels);
+        assert!(f.channels[0].sync && f.channels[0].cap == Some(1));
+        assert_eq!((f.channels[0].tx.as_str(), f.channels[0].rx.as_str()), ("tx", "rx"));
+        assert!(!f.channels[1].sync);
+        let ops: Vec<(&str, ChanOpKind, bool, bool)> = f
+            .chan_ops
+            .iter()
+            .map(|o| (o.name.as_str(), o.op, o.in_loop, o.discarded))
+            .collect();
+        assert_eq!(
+            ops,
+            vec![
+                ("tx", ChanOpKind::Send, false, true),
+                ("rx", ChanOpKind::Recv, true, false),
+                ("etx", ChanOpKind::Send, true, true),
+                ("erx", ChanOpKind::Drop, false, false),
+            ],
+            "ops: {:?}",
+            f.chan_ops
+        );
+        // Blocking: the bounded send and the recv (join has its own
+        // test below); `etx.send` is unbounded and does not block.
+        let what: Vec<&str> = f.blocking.iter().map(|s| s.what.as_str()).collect();
+        assert_eq!(what, vec!["`.send(…)` on a bounded channel", "`.recv()`"]);
+    }
+
+    #[test]
+    fn zero_arg_join_blocks_but_separator_join_does_not() {
+        let s = summarize_src(
+            "fn f(h: H, parts: &[String]) -> String {\n\
+             \x20   h.join();\n\
+             \x20   parts.join(\"-\")\n\
+             }\n",
+        );
+        let f = only_fn(&s, "f");
+        let what: Vec<&str> = f.blocking.iter().map(|s| s.what.as_str()).collect();
+        assert_eq!(what, vec!["`.join()`"]);
     }
 
     #[test]

@@ -1,0 +1,32 @@
+// channel-protocol positive fixture. Expected findings: 4 — a one-shot
+// reply channel sent twice, one sent in a loop, a send after the
+// receiver was dropped, and a send result discarded in statement
+// position on a non-shutdown path.
+
+use std::sync::mpsc::{self, Sender};
+
+pub fn double_reply() {
+    let (tx, rx) = mpsc::sync_channel(1);
+    let _ = tx.send(1);
+    let _ = tx.send(2);
+    let _ = rx.recv();
+}
+
+pub fn looped_reply(n: u64) {
+    let (tx, rx) = mpsc::sync_channel(1);
+    for i in 0..n {
+        let _ = tx.send(i);
+    }
+    let _ = rx.recv();
+}
+
+pub fn send_into_void() {
+    let (tx, rx) = mpsc::channel();
+    let _ = tx.send(1);
+    drop(rx);
+    let _ = tx.send(2);
+}
+
+pub fn fire_and_forget(tx: &Sender<u64>) {
+    tx.send(7);
+}

@@ -1,0 +1,47 @@
+// guard-across-blocking negative fixture: guards dropped before
+// blocking, blocking without guards, and blocking look-alikes that do
+// not park the thread. Must be silent.
+
+use std::sync::mpsc::{self, Receiver};
+use std::sync::Mutex;
+
+fn tally(v: u64) -> u64 {
+    v + 1
+}
+
+// Guard explicitly dropped before the blocking receive.
+pub fn drop_then_recv(m: &Mutex<u64>, rx: &Receiver<u64>) -> u64 {
+    let g = m.lock();
+    drop(g);
+    rx.recv().unwrap()
+}
+
+// Blocking with no guard held at all.
+pub fn plain_recv(rx: &Receiver<u64>) -> u64 {
+    rx.recv().unwrap()
+}
+
+// `slice::join(separator)` takes an argument — not a thread join.
+pub fn join_names(m: &Mutex<u64>, names: &[String]) -> String {
+    let g = m.lock();
+    let s = names.join(", ");
+    drop(g);
+    s
+}
+
+// An unbounded send never blocks, guard or not.
+pub fn unbounded_send_under_lock(m: &Mutex<u64>) {
+    let (tx, rx) = mpsc::channel();
+    let g = m.lock();
+    tx.send(1).unwrap();
+    drop(g);
+    rx.recv().unwrap();
+}
+
+// A call to a non-blocking callee with a guard held is fine.
+pub fn call_under_lock(m: &Mutex<u64>) -> u64 {
+    let g = m.lock();
+    let v = tally(2);
+    drop(g);
+    v
+}

@@ -1,0 +1,40 @@
+// guard-across-blocking positive fixture. Expected findings: 4 —
+// a guard held across `.recv()`, across `.join()`, across a
+// bounded-channel send, and across a call whose callee transitively
+// blocks (witness chain).
+
+use std::sync::mpsc::{self, Receiver};
+use std::sync::Mutex;
+
+// The transitive sink: blocks on `.recv()` but takes no lock itself.
+fn wait_for_ack(rx: &Receiver<u64>) -> u64 {
+    rx.recv().unwrap()
+}
+
+pub fn recv_under_lock(m: &Mutex<u64>, rx: &Receiver<u64>) -> u64 {
+    let g = m.lock();
+    let v = rx.recv().unwrap();
+    drop(g);
+    v
+}
+
+pub fn join_under_lock(m: &Mutex<u64>, h: std::thread::JoinHandle<()>) {
+    let g = m.lock();
+    h.join();
+    drop(g);
+}
+
+pub fn bounded_send_under_lock(m: &Mutex<u64>) {
+    let (tx, rx) = mpsc::sync_channel(4);
+    let g = m.lock();
+    tx.send(1).unwrap();
+    drop(g);
+    rx.recv().unwrap();
+}
+
+pub fn transitive_block(m: &Mutex<u64>, rx: &Receiver<u64>) -> u64 {
+    let g = m.lock();
+    let v = wait_for_ack(rx);
+    drop(g);
+    v
+}

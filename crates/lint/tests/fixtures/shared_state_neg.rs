@@ -1,0 +1,51 @@
+// shared-state-discipline negative fixture: every look-alike here is
+// properly synchronized (or never crosses a spawn) and must be silent.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+use std::sync::atomic::AtomicU64;
+use std::sync::{Arc, Mutex};
+use std::thread;
+
+// `&'static mut` is a *reference* with a lifetime token, not a
+// `static mut` item — the token half must not fire on it.
+pub fn scale(buf: &'static mut [u64]) {
+    buf.sort();
+}
+
+// Arc<Mutex<…>> across a spawn: the disciplined shape.
+pub fn synced() {
+    let state = Arc::new(Mutex::new(0u64));
+    let snd = Arc::clone(&state);
+    thread::spawn(move || {
+        snd.lock();
+    });
+    state.lock();
+}
+
+// Arc<Atomic…> across a spawn: also fine.
+pub fn atomic_flag() {
+    let flag = Arc::new(AtomicU64::new(0));
+    let snd = flag.clone();
+    thread::spawn(move || {
+        snd.fetch_add(1, Ordering::Relaxed);
+    });
+}
+
+// Hazardous kinds that never cross a spawn boundary are fine.
+pub fn local_only() -> u64 {
+    let cell = Arc::new(RefCell::new(3u64));
+    let rc = Rc::new(4u64);
+    *cell.borrow() + *rc
+}
+
+// A closure-local binding shadows the outer hazard: the closure touches
+// only its own `Rc`, so nothing is captured.
+pub fn shadowed() {
+    let handle = Rc::new(1u64);
+    thread::spawn(move || {
+        let handle = Rc::new(2u64);
+        drop(handle);
+    });
+    drop(handle);
+}

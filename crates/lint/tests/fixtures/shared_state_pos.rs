@@ -1,0 +1,36 @@
+// shared-state-discipline positive fixture. Expected findings: 3 —
+// a `static mut` (token half), an `Arc<RefCell<…>>` clone crossing a
+// spawn boundary, and an `Rc` clone crossing a spawn boundary.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+use std::sync::Arc;
+use std::thread;
+
+static mut HITS: u64 = 0;
+
+fn report(v: u64) -> u64 {
+    v
+}
+
+// The spawned closure captures `snd` (a clone of an `Arc<RefCell<…>>`)
+// while the spawning thread keeps `counts`: unsynchronized interior
+// mutability on two threads.
+pub fn leak_cell() {
+    let counts = Arc::new(RefCell::new(0u64));
+    let snd = Arc::clone(&counts);
+    thread::spawn(move || {
+        snd.borrow_mut();
+    });
+    counts.borrow();
+}
+
+// Same shape with `Rc`: the non-atomic refcount crosses the spawn.
+pub fn leak_rc() {
+    let shared = Rc::new(7u64);
+    let mine = shared.clone();
+    thread::spawn(move || {
+        report(*mine);
+    });
+    report(*shared);
+}

@@ -69,6 +69,23 @@ const FRAGMENTS: &[&str] = &[
     "table[i]",
     ".lock()",
     ".send(v)",
+    // Concurrency-summary bait: spawn/closure/channel shapes that feed
+    // the spawn-capture, channel-bind and blocking walks.
+    "thread::spawn(move || {",
+    "thread::spawn(move || { tx.send(x); })",
+    "let (tx, rx) = mpsc::channel();",
+    "let (tx, rx) = mpsc::sync_channel(1);",
+    "let (a, mut b",
+    "Arc::new(RefCell::new(0))",
+    "Arc::clone(&state)",
+    "Rc::new(",
+    "static mut ",
+    ".recv()",
+    ".recv_timeout(t)",
+    ".join()",
+    "drop(rx);",
+    "drop(g);",
+    "move ||",
     "// vdsms-lint: entry",
     "// vdsms-lint: allow(no-panic) reason=\"x\"",
     "#[test]",

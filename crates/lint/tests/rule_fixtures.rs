@@ -88,6 +88,9 @@ fn flow_positive_fixtures_fire_exactly_the_expected_rule() {
         ("taint_pos.rs", "taint-unchecked-flow", 5),
         ("loop_progress_pos.rs", "loop-progress", 2),
         ("swallow_pos.rs", "no-swallowed-error", 3),
+        ("shared_state_pos.rs", "shared-state-discipline", 3),
+        ("guard_blocking_pos.rs", "guard-across-blocking", 4),
+        ("channel_protocol_pos.rs", "channel-protocol", 4),
     ] {
         let rep = flow_check(&[file], rule);
         assert_eq!(
@@ -121,6 +124,9 @@ fn negative_fixtures_are_silent() {
         ("taint_neg.rs", "taint-unchecked-flow"),
         ("loop_progress_neg.rs", "loop-progress"),
         ("swallow_neg.rs", "no-swallowed-error"),
+        ("shared_state_neg.rs", "shared-state-discipline"),
+        ("guard_blocking_neg.rs", "guard-across-blocking"),
+        ("channel_protocol_neg.rs", "channel-protocol"),
     ] {
         let rep = flow_check(&[file], rule);
         assert!(rep.diagnostics.is_empty(), "{file}: {:#?}", rep.diagnostics);
@@ -172,6 +178,36 @@ fn lock_order_cycle_reports_both_witness_chains() {
         "counter-witness carries file:line:col: {}",
         d.message
     );
+}
+
+#[test]
+fn guard_across_blocking_prints_the_transitive_witness_chain() {
+    let rep = flow_check(&["guard_blocking_pos.rs"], "guard-across-blocking");
+    let d = rep
+        .diagnostics
+        .iter()
+        .find(|d| d.message.contains("witness:"))
+        .expect("one finding flows through a callee");
+    assert!(
+        d.message.contains("transitive_block → wait_for_ack"),
+        "chain names the caller and the blocking callee: {}",
+        d.message
+    );
+    assert!(d.message.contains("`.recv()`"), "names the blocking operation: {}", d.message);
+    assert!(d.message.contains("`m`"), "names the held lock: {}", d.message);
+}
+
+#[test]
+fn shared_state_findings_carry_the_creation_and_use_witness() {
+    let rep = flow_check(&["shared_state_pos.rs"], "shared-state-discipline");
+    let d = rep
+        .diagnostics
+        .iter()
+        .find(|d| d.message.contains("Rc<…>"))
+        .expect("the Rc-across-spawn finding");
+    assert!(d.message.contains("`mine`"), "names the captured value: {}", d.message);
+    assert!(d.message.contains("created at line"), "creation witness: {}", d.message);
+    assert!(d.message.contains("first use at line"), "use witness: {}", d.message);
 }
 
 #[test]

@@ -287,6 +287,122 @@ fn seeded_swallowed_error_names_the_failing_callee() {
     assert!(d.message.contains("`shutdown`"), "names the discarding fn: {}", d.message);
 }
 
+#[test]
+fn seeded_spawn_capture_violation_prints_the_witness() {
+    let dirty = lint_seeded(
+        "shared-state",
+        &["shared-state-discipline"],
+        "pub fn worker() {\n\
+         \x20   let hits = Arc::new(RefCell::new(0u64));\n\
+         \x20   let snd = Arc::clone(&hits);\n\
+         \x20   thread::spawn(move || {\n\
+         \x20       snd.borrow_mut();\n\
+         \x20   });\n\
+         \x20   hits.borrow();\n\
+         }\n",
+    );
+    assert_eq!(dirty.diagnostics.len(), 1, "{:#?}", dirty.diagnostics);
+    let d = &dirty.diagnostics[0];
+    assert_eq!(d.rule, "shared-state-discipline");
+    assert_eq!((d.file.as_str(), d.line, d.col), ("src/lib.rs", 4, 5), "points at the spawn");
+    assert!(d.message.contains("`snd`"), "names the capture: {}", d.message);
+    assert!(d.message.contains("Arc<RefCell/Cell<…>>"), "names the kind: {}", d.message);
+    assert!(d.message.contains("created at line 3"), "creation witness: {}", d.message);
+    assert!(d.message.contains("first use at line 5"), "use witness: {}", d.message);
+
+    // The synchronized shape is clean.
+    let clean = lint_seeded(
+        "shared-state-clean",
+        &["shared-state-discipline"],
+        "pub fn worker() {\n\
+         \x20   let hits = Arc::new(Mutex::new(0u64));\n\
+         \x20   let snd = Arc::clone(&hits);\n\
+         \x20   thread::spawn(move || {\n\
+         \x20       snd.lock();\n\
+         \x20   });\n\
+         \x20   hits.lock();\n\
+         }\n",
+    );
+    assert!(clean.is_clean(), "{}", clean.render());
+}
+
+#[test]
+fn seeded_guard_across_blocking_reports_the_transitive_chain() {
+    let dirty = lint_seeded(
+        "guard-blocking",
+        &["guard-across-blocking"],
+        "fn wait_ack(rx: &Receiver<u64>) -> u64 {\n\
+         \x20   rx.recv().unwrap()\n\
+         }\n\
+         \n\
+         pub fn install(m: &Mutex<u64>, rx: &Receiver<u64>) -> u64 {\n\
+         \x20   let g = m.lock();\n\
+         \x20   let v = wait_ack(rx);\n\
+         \x20   drop(g);\n\
+         \x20   v\n\
+         }\n",
+    );
+    assert_eq!(dirty.diagnostics.len(), 1, "{:#?}", dirty.diagnostics);
+    let d = &dirty.diagnostics[0];
+    assert_eq!(d.rule, "guard-across-blocking");
+    assert_eq!((d.file.as_str(), d.line, d.col), ("src/lib.rs", 7, 13), "points at the call");
+    assert!(d.message.contains("`m`"), "names the held lock: {}", d.message);
+    assert!(
+        d.message.contains("witness: `install → wait_ack`"),
+        "prints the blocking chain: {}",
+        d.message
+    );
+    assert!(d.message.contains("`.recv()`"), "names the blocking op: {}", d.message);
+
+    // Dropping the guard before the blocking call is clean.
+    let clean = lint_seeded(
+        "guard-blocking-clean",
+        &["guard-across-blocking"],
+        "fn wait_ack(rx: &Receiver<u64>) -> u64 {\n\
+         \x20   rx.recv().unwrap()\n\
+         }\n\
+         \n\
+         pub fn install(m: &Mutex<u64>, rx: &Receiver<u64>) -> u64 {\n\
+         \x20   let g = m.lock();\n\
+         \x20   drop(g);\n\
+         \x20   wait_ack(rx)\n\
+         }\n",
+    );
+    assert!(clean.is_clean(), "{}", clean.render());
+}
+
+#[test]
+fn seeded_channel_protocol_violation_points_at_the_second_send() {
+    let dirty = lint_seeded(
+        "channel-protocol",
+        &["channel-protocol"],
+        "pub fn reply_twice() {\n\
+         \x20   let (tx, rx) = mpsc::sync_channel(1);\n\
+         \x20   let _ = tx.send(1);\n\
+         \x20   let _ = tx.send(2);\n\
+         \x20   let _ = rx.recv();\n\
+         }\n",
+    );
+    assert_eq!(dirty.diagnostics.len(), 1, "{:#?}", dirty.diagnostics);
+    let d = &dirty.diagnostics[0];
+    assert_eq!(d.rule, "channel-protocol");
+    assert_eq!((d.file.as_str(), d.line, d.col), ("src/lib.rs", 4, 16), "the second send");
+    assert!(d.message.contains("one-shot reply channel"), "{}", d.message);
+    assert!(d.message.contains("`reply_twice`"), "names the function: {}", d.message);
+
+    // One send per one-shot reply is the protocol.
+    let clean = lint_seeded(
+        "channel-protocol-clean",
+        &["channel-protocol"],
+        "pub fn reply_once() {\n\
+         \x20   let (tx, rx) = mpsc::sync_channel(1);\n\
+         \x20   let _ = tx.send(1);\n\
+         \x20   let _ = rx.recv();\n\
+         }\n",
+    );
+    assert!(clean.is_clean(), "{}", clean.render());
+}
+
 /// One violation of each flow rule, in one file, with a lock cycle across
 /// two functions — the golden input for the JSON snapshot below.
 const GOLDEN_SRC: &str = "// vdsms-lint: entry\n\

@@ -4,6 +4,14 @@
 //! (`lock()` returns the guard directly; a poisoned lock — a thread
 //! panicked while holding it — propagates the panic rather than returning
 //! `Err`, matching how this workspace uses parking_lot).
+//!
+//! Every blocking operation passes through a [`schedule::yield_point`]
+//! before touching the underlying primitive: outside a schedule session
+//! this is one relaxed atomic load (the production path); inside one, a
+//! seeded controller perturbs the interleaving so concurrency tests can
+//! explore many schedules deterministically. See [`schedule`].
+
+pub mod schedule;
 
 use std::sync::{self, TryLockError};
 
@@ -31,6 +39,7 @@ impl<T> Mutex<T> {
 impl<T: ?Sized> Mutex<T> {
     /// Acquire the lock, blocking.
     pub fn lock(&self) -> MutexGuard<'_, T> {
+        schedule::yield_point("mutex.lock");
         self.inner.lock().unwrap_or_else(|e| e.into_inner())
     }
 
@@ -75,11 +84,13 @@ impl<T> RwLock<T> {
 impl<T: ?Sized> RwLock<T> {
     /// Acquire a shared read guard, blocking.
     pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        schedule::yield_point("rwlock.read");
         self.inner.read().unwrap_or_else(|e| e.into_inner())
     }
 
     /// Acquire an exclusive write guard, blocking.
     pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        schedule::yield_point("rwlock.write");
         self.inner.write().unwrap_or_else(|e| e.into_inner())
     }
 
@@ -103,6 +114,7 @@ impl Condvar {
 
     /// Block until notified, atomically releasing the guard.
     pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+        schedule::yield_point("condvar.wait");
         // std's API consumes and returns the guard; parking_lot's mutates
         // in place. Bridge via a raw pointer swap-free replace.
         replace_with(guard, |g| self.inner.wait(g).unwrap_or_else(|e| e.into_inner()));
@@ -110,11 +122,13 @@ impl Condvar {
 
     /// Wake one waiter.
     pub fn notify_one(&self) {
+        schedule::yield_point("condvar.notify");
         self.inner.notify_one();
     }
 
     /// Wake all waiters.
     pub fn notify_all(&self) {
+        schedule::yield_point("condvar.notify");
         self.inner.notify_all();
     }
 }

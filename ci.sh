@@ -15,6 +15,11 @@ cargo test -q
 echo "== benches compile =="
 cargo bench --no-run -q
 
+echo "== primitives bench smoke (--test mode) =="
+# One pass per kernel row in test mode: catches panics/asserts in the
+# per-stage hot-path benches without paying for real measurement.
+cargo bench -q -p vdsms-bench --bench primitives -- --test
+
 echo "== static-analysis gate (vdsms-lint, cold then warm) =="
 # Cold: wipe the incremental cache, every file parses. Warm: the same
 # gate again — every file must come from the cache with byte-identical

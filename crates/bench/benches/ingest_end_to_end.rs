@@ -204,6 +204,28 @@ fn bench_ingest(c: &mut Criterion) {
         });
     }
 
+    // Front-end only: decode → fingerprint with no fleet behind it. The
+    // gap between this and `fused_serial` is the detector-side cost
+    // (window sketching, index probe, candidate stores).
+    {
+        let mut ingests: Vec<FingerprintStream<'_>> = streams
+            .iter()
+            .map(|b| FingerprintStream::new(b, extractor.clone()).unwrap())
+            .collect();
+        g.bench_function("fused_frontend_only", |bench| {
+            bench.iter(|| {
+                let mut acc = 0u64;
+                for (ingest, bytes) in ingests.iter_mut().zip(&streams) {
+                    ingest.reopen(bytes).unwrap();
+                    while let Some((_, cell)) = ingest.next_fingerprint().unwrap() {
+                        acc = acc.wrapping_add(cell);
+                    }
+                }
+                black_box(acc)
+            });
+        });
+    }
+
     for (name, shards) in [("fused_serial", 1usize), ("fused_sharded4", 4)] {
         let cfg = cfg(shards);
         let queries = catalogue(&cfg, &extractor, &query_bytes);

@@ -8,7 +8,7 @@
 //! between the two is the paper's motivation for compressed-domain feature
 //! extraction.
 
-use crate::bitio::ByteReader;
+use crate::bitio::{find_byte_le_one, ByteReader};
 use crate::bitstream::{FrameRecord, FrameType, StreamHeader};
 use crate::block::{store_block, store_diff_block, BlockGrid};
 use crate::dct;
@@ -223,6 +223,11 @@ pub struct PartialDecoder<'a> {
     /// record header and account the damage in [`Self::health`].
     recover: bool,
     health: IngestHealth,
+    /// Pooled integer DC levels for the SoA dequant split: pass 1 parses
+    /// varints and runs the DPCM prediction in pure integer code, pass 2
+    /// is a branch-free multiply loop the compiler can vectorize. Sized
+    /// once per stream geometry, like `DcFrame::dc`.
+    dc_levels: Vec<i32>,
 }
 
 impl<'a> PartialDecoder<'a> {
@@ -249,7 +254,25 @@ impl<'a> PartialDecoder<'a> {
             quants: QuantizerCache::new(),
             recover,
             health: IngestHealth::default(),
+            dc_levels: Vec::new(),
         })
+    }
+
+    /// Re-open this decoder over a (possibly different) bitstream in
+    /// place, keeping the pooled scratch — `dc_levels` and the memoized
+    /// quantizer cache — so steady-state reopen→drain cycles perform zero
+    /// heap allocations. On a header error the old stream state is left
+    /// untouched, matching the constructor's strictness.
+    pub fn reopen(&mut self, bytes: &'a [u8], recover: bool) -> Result<()> {
+        let mut reader = ByteReader::new(bytes);
+        let header = StreamHeader::read(&mut reader)?;
+        self.grid = BlockGrid::for_dims(header.width, header.height);
+        self.header = header;
+        self.reader = reader;
+        self.frame_index = 0;
+        self.recover = recover;
+        self.health = IngestHealth::default();
+        Ok(())
     }
 
     /// Whether corruption recovery is enabled.
@@ -362,16 +385,15 @@ impl<'a> PartialDecoder<'a> {
     ) -> Result<()> {
         let step = self.quants.for_quality(quality).dc_step();
         let n = self.grid.num_blocks();
-        out.frame_index = index;
-        out.blocks_w = self.grid.blocks_w;
-        out.blocks_h = self.grid.blocks_h;
-        if out.dc.len() != n {
+        if self.dc_levels.len() != n {
             // vdsms-lint: allow(no-alloc-hot-path) reason="capacity-stable: sizes the pooled buffer once per stream geometry, never on the per-keyframe steady state"
-            out.dc.resize(n, 0.0);
+            self.dc_levels.resize(n, 0);
         }
+        // Pass 1 — integer only: SWAR varint parse, DPCM prediction and
+        // the SWAR end-of-block scan. No float work mixes into this loop.
         let mut pr = ByteReader::new(payload);
         let mut prev_dc = 0i32;
-        for slot in out.dc.iter_mut() {
+        for slot in self.dc_levels.iter_mut() {
             let delta = pr.get_signed()?;
             let dc = i64::from(prev_dc)
                 .checked_add(delta)
@@ -379,8 +401,22 @@ impl<'a> PartialDecoder<'a> {
             let dc = i32::try_from(dc)
                 .map_err(|_| CodecError::CorruptEntropy("dc out of range"))?;
             prev_dc = dc;
-            *slot = dc as f32 * step;
+            *slot = dc;
             pr.skip_past_zero_byte()?;
+        }
+        out.frame_index = index;
+        out.blocks_w = self.grid.blocks_w;
+        out.blocks_h = self.grid.blocks_h;
+        if out.dc.len() != n {
+            // vdsms-lint: allow(no-alloc-hot-path) reason="capacity-stable: sizes the pooled buffer once per stream geometry, never on the per-keyframe steady state"
+            out.dc.resize(n, 0.0);
+        }
+        // Pass 2 — SoA dequant: one multiply per lane over contiguous
+        // slices, which the compiler auto-vectorizes. `lvl as f32 * step`
+        // is the exact expression the fused loop used, so outputs are
+        // bit-identical.
+        for (slot, &lvl) in out.dc.iter_mut().zip(&self.dc_levels) {
+            *slot = lvl as f32 * step;
         }
         Ok(())
     }
@@ -400,17 +436,20 @@ impl<'a> PartialDecoder<'a> {
         // one and stays monotone.
         self.health.frames_dropped += 1;
         self.frame_index += 1;
+        // A plausible header must start with a kind byte of 0 or 1, so
+        // the SWAR byte scan rules out every other offset 8 bytes at a
+        // time; the full plausibility check only runs on candidates.
         let mut p = damage_start.saturating_add(1);
-        while p < buf.len() {
-            if let Some(end) = plausible_record_end(buf, p) {
+        while let Some(cand) = find_byte_le_one(buf, p) {
+            if let Some(end) = plausible_record_end(buf, cand) {
                 if end == buf.len() || plausible_record_end(buf, end).is_some() {
                     self.health.resyncs += 1;
-                    self.health.bytes_skipped += (p - damage_start) as u64;
-                    self.reader.seek(p);
+                    self.health.bytes_skipped += (cand - damage_start) as u64;
+                    self.reader.seek(cand);
                     return;
                 }
             }
-            p += 1;
+            p = cand + 1;
         }
         self.health.bytes_skipped += (buf.len() - damage_start) as u64;
         self.reader.seek(buf.len());

@@ -79,19 +79,56 @@ impl BitSig {
     /// # Panics
     /// Panics if the sketches have different `K`.
     pub fn encode(candidate: &Sketch, query: &Sketch) -> BitSig {
-        assert_eq!(candidate.k(), query.k(), "sketch K mismatch");
-        let k = candidate.k();
         // vdsms-lint: allow(no-alloc-hot-path) reason="one signature per window×related-query relation event; the Bit representation's inherent cost, never hit by unrelated windows"
-        let mut words = vec![0u64; k.div_ceil(32)];
-        for (r, (&c, &q)) in candidate.mins().iter().zip(query.mins()).enumerate() {
-            let pair: u64 = match c.cmp(&q) {
-                std::cmp::Ordering::Greater => 0b00,
-                std::cmp::Ordering::Equal => 0b10,   // A=0, B=1 (B is the higher bit)
-                std::cmp::Ordering::Less => 0b11,    // A=1, B=1
-            };
-            words[r / 32] |= pair << (2 * (r % 32));
+        let mut sig = BitSig::default();
+        sig.encode_into(candidate, query);
+        sig
+    }
+
+    /// [`Self::encode`] into this signature's pooled word buffer:
+    /// allocation-free once the buffer matches `K`. Each output word is
+    /// built whole from its 32 relation pairs with the branch-free pair
+    /// encoding (`A = c < q`, `B = c ≤ q`), then stored once — no
+    /// per-relation read–modify–write.
+    ///
+    /// # Panics
+    /// Panics if the sketches have different `K`.
+    // vdsms-lint: entry
+    pub fn encode_into(&mut self, candidate: &Sketch, query: &Sketch) {
+        assert_eq!(candidate.k(), query.k(), "sketch K mismatch");
+        self.encode_counts_from_mins(candidate.mins(), query.mins());
+    }
+
+    /// [`Self::encode_into`] from raw min-value slices, returning
+    /// `(n_lt, n_eq)` of the fresh signature in the same pass — each
+    /// word is built whole from its 32 relation pairs and popcounted
+    /// while still in a register. This is the index probe's phase-2
+    /// kernel: a related query's contiguous sketch column goes straight
+    /// to a counted signature in one traversal.
+    ///
+    /// Pairs beyond `K` in the last word stay `>` (all-zero), so no tail
+    /// mask is needed for the counts.
+    ///
+    /// # Panics
+    /// Panics if the slices have different lengths or are empty.
+    // vdsms-lint: entry
+    pub fn encode_counts_from_mins(&mut self, candidate: &[u64], query: &[u64]) -> (usize, usize) {
+        assert_eq!(candidate.len(), query.len(), "sketch K mismatch");
+        self.reset_all_greater(candidate.len());
+        let mut lt = 0u32;
+        let mut eq = 0u32;
+        let chunks = candidate.chunks(32).zip(query.chunks(32));
+        for (w, (cc, qc)) in self.words.iter_mut().zip(chunks) {
+            let mut word = 0u64;
+            for (r, (&c, &q)) in cc.iter().zip(qc).enumerate() {
+                let pair = u64::from(c < q) | (u64::from(c <= q) << 1);
+                word |= pair << (2 * r);
+            }
+            *w = word;
+            lt += (word & MASK_A).count_ones();
+            eq += (!word & (word >> 1) & MASK_A).count_ones();
         }
-        BitSig { words, k }
+        (lt as usize, eq as usize)
     }
 
     /// Number of hash functions `K`.
@@ -113,6 +150,18 @@ impl BitSig {
         }
     }
 
+    /// The valid-pair mask of the final word: all ones when `K` fills it,
+    /// otherwise the low `2(K mod 32)` bits. Hoisted out of the word
+    /// loops so the per-word kernel is branch-free.
+    #[inline]
+    fn tail_mask(&self) -> u64 {
+        if self.k.is_multiple_of(32) {
+            u64::MAX
+        } else {
+            (1u64 << (2 * (self.k % 32))) - 1
+        }
+    }
+
     /// Number of `<` relations (`n_1` of Lemma 1: candidate min-hash value
     /// smaller than the query's).
     #[inline]
@@ -123,31 +172,85 @@ impl BitSig {
     /// Number of `=` relations (`K − n_0 − n_1` of Lemma 1).
     #[inline]
     pub fn count_equal(&self) -> usize {
-        let mut total = 0usize;
-        for (i, &w) in self.words.iter().enumerate() {
-            let a = w & MASK_A;
-            let b = (w >> 1) & MASK_A;
-            let mut eq = !a & b;
-            if i == self.words.len() - 1 && !self.k.is_multiple_of(32) {
-                // Mask off pairs beyond K in the last word.
-                eq &= (1u64 << (2 * (self.k % 32))) - 1;
-            }
-            total += eq.count_ones() as usize;
+        self.counts().1
+    }
+
+    /// `(n_lt, n_eq)` in one pass over the words: two AND/popcount lanes
+    /// per word, with the partial-last-word mask applied once outside
+    /// the loop. Everything Lemma 1 and Lemma 2 need, at the cost of a
+    /// single traversal.
+    #[inline]
+    // vdsms-lint: entry
+    pub fn counts(&self) -> (usize, usize) {
+        let Some((&last, body)) = self.words.split_last() else { return (0, 0) };
+        let mut lt = 0u32;
+        let mut eq = 0u32;
+        for &w in body {
+            lt += (w & MASK_A).count_ones();
+            eq += (!w & (w >> 1) & MASK_A).count_ones();
         }
-        total
+        lt += (last & MASK_A).count_ones();
+        eq += (!last & (last >> 1) & MASK_A & self.tail_mask()).count_ones();
+        (lt as usize, eq as usize)
+    }
+
+    /// Fused [`Self::or_with`] + [`Self::counts`]: merge an adjacent
+    /// candidate's signature and report `(n_lt, n_eq)` of the result in
+    /// the same single pass, so the extend path of the Bit
+    /// representation reads every word once instead of three times.
+    ///
+    /// # Panics
+    /// Panics if `K` differs.
+    #[inline]
+    // vdsms-lint: entry
+    pub fn or_with_counts(&mut self, other: &BitSig) -> (usize, usize) {
+        assert_eq!(self.k, other.k, "bit signature K mismatch");
+        let tail = self.tail_mask();
+        let (Some((last, body)), Some((&olast, obody))) =
+            (self.words.split_last_mut(), other.words.split_last())
+        else {
+            return (0, 0);
+        };
+        let mut lt = 0u32;
+        let mut eq = 0u32;
+        for (a, &b) in body.iter_mut().zip(obody) {
+            let w = *a | b;
+            *a = w;
+            lt += (w & MASK_A).count_ones();
+            eq += (!w & (w >> 1) & MASK_A).count_ones();
+        }
+        let w = *last | olast;
+        *last = w;
+        lt += (w & MASK_A).count_ones();
+        eq += (!w & (w >> 1) & MASK_A & tail).count_ones();
+        (lt as usize, eq as usize)
     }
 
     /// Estimated similarity to the query (Lemma 1): `n_eq / K`.
     #[inline]
     pub fn similarity(&self) -> f64 {
-        self.count_equal() as f64 / self.k as f64
+        self.similarity_from_count(self.count_equal())
+    }
+
+    /// [`Self::similarity`] from an `n_eq` already produced by
+    /// [`Self::counts`] / [`Self::or_with_counts`] — no re-traversal.
+    #[inline]
+    pub fn similarity_from_count(&self, n_eq: usize) -> f64 {
+        n_eq as f64 / self.k as f64
     }
 
     /// Lemma 2 pruning test: `true` when `n_lt > K(1−δ)`, i.e. no extension
     /// of this candidate can ever reach similarity `δ` against this query.
     #[inline]
     pub fn violates_lemma2(&self, delta: f64) -> bool {
-        self.count_less() as f64 > self.k as f64 * (1.0 - delta)
+        self.lemma2_from_count(self.count_less(), delta)
+    }
+
+    /// [`Self::violates_lemma2`] from an `n_lt` already produced by
+    /// [`Self::counts`] / [`Self::or_with_counts`] — no re-traversal.
+    #[inline]
+    pub fn lemma2_from_count(&self, n_less: usize, delta: f64) -> bool {
+        n_less as f64 > self.k as f64 * (1.0 - delta)
     }
 
     /// Heap bytes used by this signature (2K bits, as the paper counts).
@@ -156,18 +259,37 @@ impl BitSig {
     }
 
     /// Set the relation of pair `r` directly (used by the index probe,
-    /// which discovers relations row by row).
+    /// which discovers relations row by row). Branch-free: the pair is
+    /// computed as `A = c < q`, `B = c ≤ q` — exactly the Definition 3
+    /// encoding — with no comparison match.
     #[inline]
     pub fn set_relation(&mut self, r: usize, candidate_value: u64, query_value: u64) {
         debug_assert!(r < self.k);
-        let pair: u64 = match candidate_value.cmp(&query_value) {
-            std::cmp::Ordering::Greater => 0b00,
-            std::cmp::Ordering::Equal => 0b10,
-            std::cmp::Ordering::Less => 0b11,
-        };
+        let pair = u64::from(candidate_value < query_value)
+            | (u64::from(candidate_value <= query_value) << 1);
         let shift = 2 * (r % 32);
         let word = &mut self.words[r / 32];
         *word = (*word & !(0b11 << shift)) | (pair << shift);
+    }
+
+    /// OR a whole relation word into word `w` of the signature. This is
+    /// the index probe's batch flush: the probe accumulates up to 32
+    /// row relations in a register and lands them with one lane OR
+    /// instead of 32 read–modify–writes. OR-ing is exact because a
+    /// pair's bits only ever *gain* ones under min-combination
+    /// (Definition 3's encoding is monotone), and a pair never written
+    /// is `>` (00), the OR identity.
+    #[inline]
+    // vdsms-lint: entry
+    pub fn or_word(&mut self, w: usize, word: u64) {
+        self.words[w] |= word;
+    }
+
+    /// The branch-free relation pair (`A = c < q` at bit 0, `B = c ≤ q`
+    /// at bit 1) — the 2-bit unit [`Self::or_word`] batches.
+    #[inline]
+    pub fn relation_pair(candidate_value: u64, query_value: u64) -> u64 {
+        u64::from(candidate_value < query_value) | (u64::from(candidate_value <= query_value) << 1)
     }
 }
 

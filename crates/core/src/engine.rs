@@ -20,7 +20,12 @@ use crate::seq_store::SeqStore;
 use crate::stats::Stats;
 use crate::window::{Window, WindowRelations};
 use std::sync::Arc;
-use vdsms_sketch::{MinHashFamily, Sketch};
+use vdsms_sketch::{HashColumnCache, MinHashFamily, Sketch};
+
+/// Ways in the per-detector hash-column cache: covers the distinct
+/// cell ids of several scenes (a 60 s stream shows ~36 distinct ids) at
+/// `64 × K × 8` bytes — ~410 KiB at the paper's K = 800.
+const HASH_CACHE_WAYS: usize = 64;
 
 enum Store {
     Seq(SeqStore),
@@ -52,6 +57,10 @@ pub struct Detector {
     win_sketch: Sketch,
     /// Reusable per-window relation set.
     rel: WindowRelations,
+    /// Direct-mapped cell-id → hash-column cache: adjacent key frames
+    /// usually repeat their cell id, so most window-fold ids replay a
+    /// cached column instead of re-evaluating the K hash functions.
+    hash_cache: HashColumnCache,
     /// Reusable index-probe working state and hit buffer.
     probe_scratch: crate::hq::ProbeScratch,
     probe_hits: Vec<crate::hq::ProbeHit>,
@@ -104,8 +113,10 @@ impl Detector {
             Order::Sequential => Store::Seq(SeqStore::new(cfg.representation)),
             Order::Geometric => Store::Geo(GeoStore::new(cfg.representation)),
         };
+        let family = MinHashFamily::new(cfg.k, cfg.hash_seed);
+        let hash_cache = HashColumnCache::new(&family, HASH_CACHE_WAYS);
         Detector {
-            family: MinHashFamily::new(cfg.k, cfg.hash_seed),
+            family,
             win_sketch: Sketch::empty(cfg.k),
             buffer: Vec::with_capacity(cfg.window_keyframes),
             cfg,
@@ -117,6 +128,7 @@ impl Detector {
             next_window: 0,
             stats: Stats::default(),
             rel: WindowRelations::new(),
+            hash_cache,
             probe_scratch: crate::hq::ProbeScratch::default(),
             probe_hits: Vec::new(),
         }
@@ -226,9 +238,8 @@ impl Detector {
         // after the constructor.
         let mut sketch = std::mem::take(&mut self.win_sketch);
         sketch.reset(self.cfg.k);
-        for id in self.buffer.drain(..) {
-            sketch.observe(&self.family, id);
-        }
+        sketch.observe_batch_cached(&self.family, &mut self.hash_cache, &self.buffer);
+        self.buffer.clear();
         let win = Window {
             index: self.next_window,
             start_frame: self.buffer_start,

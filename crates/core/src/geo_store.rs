@@ -383,7 +383,11 @@ impl GeoStore {
                         return false;
                     };
                     stats.sig_compares += 1;
-                    (sig.similarity(), sig.violates_lemma2(cfg.pruning_delta()))
+                    let (n_less, n_eq) = sig.counts();
+                    (
+                        sig.similarity_from_count(n_eq),
+                        sig.lemma2_from_count(n_less, cfg.pruning_delta()),
+                    )
                 }
             };
             if violates {
@@ -478,9 +482,9 @@ impl GeoStore {
                     else {
                         continue;
                     };
-                    sig.or_with(&other);
+                    let (n_less, _) = sig.or_with_counts(&other);
                     stats.sig_ors += 1;
-                    if sig.violates_lemma2(cfg.pruning_delta()) {
+                    if sig.lemma2_from_count(n_less, cfg.pruning_delta()) {
                         stats.lemma2_prunes += 1;
                         continue;
                     }
@@ -492,9 +496,9 @@ impl GeoStore {
                     let Some(other) = or_parts(None, &older.sketch, e.qid, stats) else {
                         continue;
                     };
-                    sig.or_with(&other);
+                    let (n_less, _) = sig.or_with_counts(&other);
                     stats.sig_ors += 1;
-                    if sig.violates_lemma2(cfg.pruning_delta()) {
+                    if sig.lemma2_from_count(n_less, cfg.pruning_delta()) {
                         stats.lemma2_prunes += 1;
                         continue;
                     }

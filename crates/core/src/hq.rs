@@ -1,35 +1,39 @@
 //! The Hash–Query (HQ) index (paper Section V-C, Figs. 4–5).
 //!
 //! Query sketches are stored column-per-query in a `K × m` array `HQ`,
-//! where row `i` holds every query's `i`-th min-hash value as a triple
-//! `⟨value, up, down⟩`, sorted by `value`. `up`/`down` link a query's
-//! triples across adjacent rows (row 0's `up` points at the query's
-//! metadata — id and length). Probing a basic-window sketch walks the rows
-//! once, binary-searching each row for the window's hash value, so only
+//! where row `i` holds every query's `i`-th min-hash value, sorted by
+//! value. Probing a basic-window sketch touches every row once, so only
 //! *related* queries (those sharing at least one min-hash value with the
-//! window) are ever compared — and their 2K-bit signatures are produced as
-//! a by-product, with Lemma-2 pruning applied mid-probe.
+//! window) are ever compared — and their 2K-bit signatures are produced
+//! as a by-product, with Lemma-2 pruning applied before a hit is
+//! reported.
+//!
+//! The paper's Fig. 5 walks `⟨value, up, down⟩` triples row by row,
+//! carrying a partial signature per related query. That walk is one
+//! dependent load per row per tracked query — `K` serialized cache
+//! accesses that dominate the probe even when only one query is related.
+//! This implementation splits the probe into two phases with identical
+//! results:
+//!
+//! 1. **Discovery**: scan each sorted row for values equal to the
+//!    window's hash, resolving matches to query slots through a parallel
+//!    `slots` slab (no link chase, no walk-up) and deduplicating slots
+//!    across rows.
+//! 2. **Encoding**: for each related slot, encode the full signature
+//!    from the query's *contiguous* sketch copy in the `columns` slab
+//!    with the word-building [`BitSig::encode_counts_from_mins`] kernel,
+//!    then apply the Lemma-2 test to the counted result.
+//!
+//! Phase 2's final `n_lt > K(1−δ)` test accepts exactly the elements the
+//! paper's mid-probe pruning keeps: `n_lt` only grows along the walk, so
+//! an element whose running count ever exceeds the bound also exceeds it
+//! in total (and is re-pruned on any re-creation), and one that never
+//! does survives with the complete signature either way. The
+//! `probe_matches_bruteforce` test pins this equivalence.
 
 use crate::bitsig::BitSig;
 use crate::query::{Query, QueryId, QuerySet};
 use vdsms_sketch::Sketch;
-
-/// Sentinel for "no link" (last row's `down`).
-const NO_LINK: u32 = u32::MAX;
-
-/// One cell of the index: a query's hash value on this row plus links to
-/// the same query's cells on the adjacent rows.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-struct Triple {
-    /// The min-hash value.
-    value: u64,
-    /// Position of this query's triple on row `i−1`; on row 0, the slot in
-    /// the metadata table instead.
-    up: u32,
-    /// Position of this query's triple on row `i+1`; `NO_LINK` on the last
-    /// row.
-    down: u32,
-}
 
 /// Per-query metadata stored at the column entries.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -60,26 +64,25 @@ pub struct ProbeResult {
     pub row_searches: u64,
 }
 
-/// One in-flight element of the probe's related-query list `R_L`.
-#[derive(Debug)]
-struct Ele {
-    slot: u32,
-    lp: u32,
-    sig: BitSig,
-    n_less: usize,
-}
-
 /// Retired signature buffers kept per scratch, capped so a burst of
 /// related windows cannot pin unbounded memory.
 const SIG_POOL_CAP: usize = 64;
+
+/// Rows at most this wide are searched with a linear equality scan
+/// instead of a binary search (identical result on a sorted row: the
+/// 61-bit values make a binary search's branches coin flips, and the
+/// scan's compare-all loop vectorizes).
+const ROW_SCAN_WIDTH: usize = 64;
 
 /// Reusable working state for [`HqIndex::probe_into`]. Keep one per
 /// detector and pass it to every probe; its buffers stabilize at the
 /// probe's high-water marks so steady-state probes are allocation-free.
 #[derive(Debug, Default)]
 pub struct ProbeScratch {
-    elements: Vec<Ele>,
-    claimed: Vec<u32>,
+    /// Slots discovered related this probe, in first-equal-row order.
+    related: Vec<u32>,
+    /// Per-slot "already discovered" flags, cleared each probe.
+    seen: Vec<bool>,
     sig_pool: Vec<BitSig>,
 }
 
@@ -95,10 +98,33 @@ impl ProbeScratch {
 }
 
 /// The Hash–Query index.
+///
+/// The conceptual `K × m` array is stored **structure-of-arrays** as
+/// three flat slabs:
+///
+/// - `values`: row-major `K × m` min-hash values, each row sorted — the
+///   discovery scan streams this slab with hardware-friendly stride;
+/// - `slots`: row-major `K × m` metadata-slot of each cell, replacing
+///   the paper's `up`/`down` links (an equal cell resolves to its query
+///   in one load instead of an `O(i)` walk to row 0);
+/// - `columns`: column-major `m × K` copy of every subscribed sketch, so
+///   a related query's signature is encoded from one contiguous slice.
+///
+/// The extra `columns` copy costs 8 bytes per cell over the linked
+/// triples, and `slots` replaces the links' 8. Subscription updates
+/// (`insert`/`remove`) rebuild the row slabs at the new width; they are
+/// `O(K·m)` either way — same bound as relinking — and they happen
+/// between windows, not per window.
 #[derive(Debug, Clone)]
 pub struct HqIndex {
     k: usize,
-    rows: Vec<Vec<Triple>>,
+    /// Row-major `K × m` min-hash values, each row sorted ascending.
+    values: Vec<u64>,
+    /// Row-major `K × m`: metadata slot of the query owning each cell.
+    slots: Vec<u32>,
+    /// Column-major `m × K`: query `s`'s sketch occupies
+    /// `[s·K, (s+1)·K)`.
+    columns: Vec<u64>,
     meta: Vec<QueryMeta>,
 }
 
@@ -109,7 +135,7 @@ impl HqIndex {
     /// # Panics
     /// Panics if any query's sketch `K` differs from `k`.
     pub fn build(k: usize, queries: &QuerySet) -> HqIndex {
-        let mut index = HqIndex { k, rows: vec![Vec::new(); k], meta: Vec::new() };
+        let mut index = HqIndex::empty(k);
         for q in queries.iter() {
             index.insert(q);
         }
@@ -119,7 +145,7 @@ impl HqIndex {
     /// An empty index for sketches of `k` hash functions.
     pub fn empty(k: usize) -> HqIndex {
         assert!(k >= 1);
-        HqIndex { k, rows: vec![Vec::new(); k], meta: Vec::new() }
+        HqIndex { k, values: Vec::new(), slots: Vec::new(), columns: Vec::new(), meta: Vec::new() }
     }
 
     /// Number of hash functions `K`.
@@ -137,8 +163,8 @@ impl HqIndex {
         self.meta.is_empty()
     }
 
-    /// Subscribe a query online: insert its `K` hash values into the
-    /// sorted rows and relink neighbours whose positions shift.
+    /// Subscribe a query online: splice its `K` hash values into the
+    /// sorted rows and append its sketch column.
     ///
     /// # Panics
     /// Panics if the query's sketch `K` differs, or its id is already
@@ -150,37 +176,29 @@ impl HqIndex {
             "query id {} already indexed",
             q.id
         );
-        let slot = self.meta.len() as u32;
+        let m = self.meta.len();
+        let slot = m as u32;
+
+        // Rebuild the row slabs at width m+1 with the new cell spliced
+        // into each row's sorted position.
+        let mut values = Vec::with_capacity(self.k * (m + 1));
+        let mut slots = Vec::with_capacity(self.k * (m + 1));
+        for i in 0..self.k {
+            let v = q.sketch.mins()[i];
+            let row_vals = &self.values[i * m..(i + 1) * m];
+            let row_slots = &self.slots[i * m..(i + 1) * m];
+            let p = row_vals.partition_point(|&t| t < v);
+            values.extend_from_slice(&row_vals[..p]);
+            slots.extend_from_slice(&row_slots[..p]);
+            values.push(v);
+            slots.push(slot);
+            values.extend_from_slice(&row_vals[p..]);
+            slots.extend_from_slice(&row_slots[p..]);
+        }
+        self.values = values;
+        self.slots = slots;
+        self.columns.extend_from_slice(q.sketch.mins());
         self.meta.push(QueryMeta { id: q.id, keyframes: q.keyframes as u32 });
-
-        // Insertion position per row, computed against the pre-insert rows.
-        let pos: Vec<u32> = (0..self.k)
-            .map(|i| {
-                let v = q.sketch.mins()[i];
-                self.rows[i].partition_point(|t| t.value < v) as u32
-            })
-            .collect();
-
-        // Re-link existing triples whose neighbours shift right.
-        for i in 0..self.k {
-            let down_shift_at = if i + 1 < self.k { pos[i + 1] } else { NO_LINK };
-            let up_shift_at = if i > 0 { pos[i - 1] } else { NO_LINK };
-            for t in &mut self.rows[i] {
-                if i + 1 < self.k && t.down != NO_LINK && t.down >= down_shift_at {
-                    t.down += 1;
-                }
-                if i > 0 && t.up >= up_shift_at {
-                    t.up += 1;
-                }
-            }
-        }
-
-        // Insert the new triples.
-        for i in 0..self.k {
-            let up = if i == 0 { slot } else { pos[i - 1] };
-            let down = if i + 1 < self.k { pos[i + 1] } else { NO_LINK };
-            self.rows[i].insert(pos[i] as usize, Triple { value: q.sketch.mins()[i], up, down });
-        }
     }
 
     /// Unsubscribe a query online. Returns `false` if the id is not
@@ -189,51 +207,47 @@ impl HqIndex {
         let Some(slot) = self.meta.iter().position(|mq| mq.id == id) else {
             return false;
         };
-        // Find the query's position on row 0 (the triple whose `up` is the
-        // meta slot), then follow the down links.
-        let mut pos = vec![0u32; self.k];
-        pos[0] = match self.rows[0].iter().position(|t| t.up == slot as u32) {
-            Some(j) => j as u32,
-            None => unreachable!("meta slot without a row-0 triple"),
-        };
-        for i in 1..self.k {
-            pos[i] = self.rows[i - 1][pos[i - 1] as usize].down;
-        }
+        let m = self.meta.len();
 
-        // Remove the triples and re-link neighbours whose positions shift.
+        // Rebuild the row slabs at width m−1 without the query's cells.
+        let mut values = Vec::with_capacity(self.k * (m - 1));
+        let mut slots = Vec::with_capacity(self.k * (m - 1));
         for i in 0..self.k {
-            self.rows[i].remove(pos[i] as usize);
-            let down_shift_at = if i + 1 < self.k { pos[i + 1] } else { NO_LINK };
-            let up_shift_at = if i > 0 { pos[i - 1] } else { NO_LINK };
-            for t in &mut self.rows[i] {
-                if i + 1 < self.k && t.down != NO_LINK && t.down > down_shift_at {
-                    t.down -= 1;
-                }
-                if i > 0 && t.up > up_shift_at {
-                    t.up -= 1;
-                }
-            }
+            let row_vals = &self.values[i * m..(i + 1) * m];
+            let row_slots = &self.slots[i * m..(i + 1) * m];
+            let p = row_slots
+                .iter()
+                .position(|&s| s == slot as u32)
+                .expect("indexed query must have a cell on every row");
+            values.extend_from_slice(&row_vals[..p]);
+            slots.extend_from_slice(&row_slots[..p]);
+            values.extend_from_slice(&row_vals[p + 1..]);
+            slots.extend_from_slice(&row_slots[p + 1..]);
         }
+        self.values = values;
+        self.slots = slots;
 
-        // Compact the metadata table: move the last slot into the hole and
-        // re-point the moved query's row-0 triple.
+        // Compact the metadata table: move the last slot into the hole,
+        // rename its cells, and move its column.
         let last = self.meta.len() - 1;
         self.meta.swap_remove(slot);
         if slot != last {
-            for t in &mut self.rows[0] {
-                if t.up == last as u32 {
-                    t.up = slot as u32;
-                    break;
+            for s in &mut self.slots {
+                if *s == last as u32 {
+                    *s = slot as u32;
                 }
             }
+            let (head, tail) = self.columns.split_at_mut(last * self.k);
+            head[slot * self.k..(slot + 1) * self.k].copy_from_slice(&tail[..self.k]);
         }
+        self.columns.truncate(last * self.k);
         true
     }
 
     /// Probe a basic-window sketch (the paper's `ProbeIndex`, Fig. 5):
     /// returns every query that shares at least one min-hash value with
-    /// the window and survives mid-probe Lemma-2 pruning, together with
-    /// its complete bit signature.
+    /// the window and survives Lemma-2 pruning, together with its
+    /// complete bit signature.
     ///
     /// Allocates fresh result buffers; the streaming detector uses
     /// [`HqIndex::probe_into`] with reusable scratch instead.
@@ -258,95 +272,79 @@ impl HqIndex {
     ) -> u64 {
         assert_eq!(sk.k(), self.k, "window sketch K mismatch");
         let prune_above = (self.k as f64 * (1.0 - delta)).floor() as usize;
+        let m = self.meta.len();
 
-        let ProbeScratch { elements: r_l, claimed, sig_pool } = scratch;
-        r_l.clear();
+        let ProbeScratch { related, seen, sig_pool } = scratch;
+        related.clear();
+        if seen.len() == m {
+            seen.fill(false);
+        } else {
+            seen.clear();
+            // vdsms-lint: allow(no-alloc-hot-path) reason="warm-up only: resizes when the subscribed-query count changes, then the branch above reuses the buffer"
+            seen.resize(m, false);
+        }
         hits.clear();
         let mut row_searches = 0u64;
 
+        // Phase 1 — discovery: every row position whose value equals the
+        // window's hash marks its owning slot related. The slot slab
+        // resolves ownership in one load; duplicates across rows are
+        // dropped by the `seen` flags, preserving first-discovery order
+        // (which matches the paper walk's element-creation order).
         for i in 0..self.k {
-            let ski = sk.mins()[i];
-            let row = &self.rows[i];
-
-            // (1) Bit-signature setting + (3) pruning for existing
-            // elements.
-            claimed.clear();
-            r_l.retain_mut(|ele| {
-                let j = if i == 0 {
-                    unreachable!("elements are only created during search")
-                } else {
-                    self.rows[i - 1][ele.lp as usize].down
-                };
-                ele.lp = j;
-                let qv = row[j as usize].value;
-                ele.sig.set_relation(i, ski, qv);
-                if ski < qv {
-                    ele.n_less += 1;
-                    if ele.n_less > prune_above {
-                        if sig_pool.len() < SIG_POOL_CAP {
-                            // vdsms-lint: allow(no-alloc-hot-path) reason="pool Vec is capped at SIG_POOL_CAP; reaches its high-water mark during warm-up"
-                            sig_pool.push(std::mem::take(&mut ele.sig));
-                        }
-                        return false;
-                    }
-                }
-                // vdsms-lint: allow(no-alloc-hot-path) reason="scratch Vec reused across probes; bounded by the row occupancy"
-                claimed.push(j);
-                true
-            });
-
-            // (2) Relevant-query search: every position on row i whose
-            // value equals sk[i] and is not already tracked starts a new
-            // element.
             row_searches += 1;
-            let lo = row.partition_point(|t| t.value < ski);
-            let hi = row.partition_point(|t| t.value <= ski);
-            for j in lo..hi {
-                let j = j as u32;
-                if claimed.contains(&j) {
-                    continue;
+            let ski = sk.mins()[i];
+            let row_vals = &self.values[i * m..(i + 1) * m];
+            let row_slots = &self.slots[i * m..(i + 1) * m];
+            let (lo, hi) = if m <= ROW_SCAN_WIDTH {
+                // Narrow rows: branch-free counts beat a mispredicting
+                // binary search. The equal run is
+                // `[count(< ski), count(< ski) + count(== ski))`.
+                let mut lt = 0usize;
+                let mut eq = 0usize;
+                for &v in row_vals {
+                    lt += usize::from(v < ski);
+                    eq += usize::from(v == ski);
                 }
-                // Walk up to row 0, filling relation pairs i-1..0 and
-                // resolving the query slot. The signature's word buffer
-                // comes from the pool; steady-state probes touch no
-                // allocator.
-                let mut sig = sig_pool.pop().unwrap_or_default();
-                sig.reset_all_greater(self.k);
-                sig.set_relation(i, ski, row[j as usize].value); // "="
-                let mut n_less = 0usize;
-                let mut p = j;
-                let mut pruned = false;
-                for r in (0..i).rev() {
-                    p = self.rows[r + 1][p as usize].up;
-                    let qv = self.rows[r][p as usize].value;
-                    sig.set_relation(r, sk.mins()[r], qv);
-                    if sk.mins()[r] < qv {
-                        n_less += 1;
-                        if n_less > prune_above {
-                            pruned = true;
-                            break;
-                        }
-                    }
+                (lt, lt + eq)
+            } else {
+                // Wide rows keep the paper's `O(log m)` search.
+                (row_vals.partition_point(|&v| v < ski), row_vals.partition_point(|&v| v <= ski))
+            };
+            for &s in &row_slots[lo..hi] {
+                if !seen[s as usize] {
+                    seen[s as usize] = true;
+                    // vdsms-lint: allow(no-alloc-hot-path) reason="scratch Vec reused across probes; bounded by the related-query count"
+                    related.push(s);
                 }
-                if pruned {
-                    if sig_pool.len() < SIG_POOL_CAP {
-                        // vdsms-lint: allow(no-alloc-hot-path) reason="pool Vec is capped at SIG_POOL_CAP; reaches its high-water mark during warm-up"
-                        sig_pool.push(sig);
-                    }
-                    continue;
-                }
-                let slot = if i == 0 { row[j as usize].up } else { self.rows[0][p as usize].up };
-                // vdsms-lint: allow(no-alloc-hot-path) reason="scratch Vec reused across probes; grows only while the element high-water mark rises"
-                r_l.push(Ele { slot, lp: j, sig, n_less });
-                // vdsms-lint: allow(no-alloc-hot-path) reason="scratch Vec reused across probes; bounded by the row occupancy"
-                claimed.push(j);
             }
         }
 
-        for e in r_l.drain(..) {
-            let m = self.meta[e.slot as usize];
-            // vdsms-lint: allow(no-alloc-hot-path) reason="caller-owned Vec reused across probes; non-empty only for windows related to a query"
-            hits.push(ProbeHit { query_id: m.id, keyframes: m.keyframes as usize, sig: e.sig });
+        // Phase 2 — encoding: one contiguous-slice encode per related
+        // query, counted in the same pass, then the Lemma-2 test on the
+        // total (equivalent to the paper's mid-walk pruning — `n_lt` is
+        // monotone over rows, see the module docs).
+        for &s in related.iter() {
+            let s = s as usize;
+            let col = &self.columns[s * self.k..(s + 1) * self.k];
+            // The signature's word buffer comes from the pool;
+            // steady-state probes touch no allocator.
+            let mut sig = sig_pool.pop().unwrap_or_default();
+            let (n_less, _) = sig.encode_counts_from_mins(sk.mins(), col);
+            if n_less > prune_above {
+                if sig_pool.len() < SIG_POOL_CAP {
+                    // vdsms-lint: allow(no-alloc-hot-path) reason="pool Vec is capped at SIG_POOL_CAP; reaches its high-water mark during warm-up"
+                    sig_pool.push(sig);
+                }
+            } else {
+                let mq = self.meta[s];
+                // vdsms-lint: allow(no-alloc-hot-path) reason="caller-owned Vec reused across probes; non-empty only for windows related to a query"
+                hits.push(ProbeHit {
+                    query_id: mq.id,
+                    keyframes: mq.keyframes as usize,
+                    sig,
+                });
+            }
         }
         row_searches
     }
@@ -369,9 +367,11 @@ impl HqIndex {
     }
 
     /// Estimated heap size of the index in bytes (the paper notes the
-    /// index is a fixed `m × K` triples).
+    /// index is a fixed `m × K` triples — here three SoA slabs).
     pub fn heap_bytes(&self) -> usize {
-        self.rows.iter().map(|r| r.len() * std::mem::size_of::<Triple>()).sum::<usize>()
+        self.values.len() * std::mem::size_of::<u64>()
+            + self.slots.len() * std::mem::size_of::<u32>()
+            + self.columns.len() * std::mem::size_of::<u64>()
             + self.meta.len() * std::mem::size_of::<QueryMeta>()
     }
 }
@@ -397,43 +397,37 @@ mod tests {
         )
     }
 
-    /// Links invariant: following down from row 0 visits one triple per
-    /// row, all belonging to the same query; up links invert down links.
+    /// Slab invariants: rows sorted, each row references every meta slot
+    /// exactly once, and every cell's value matches its query's column
+    /// entry.
     fn check_integrity(ix: &HqIndex) {
         let m = ix.meta.len();
-        for row in &ix.rows {
-            assert_eq!(row.len(), m, "every row must hold one triple per query");
-            // Sortedness.
-            for w in row.windows(2) {
-                assert!(w[0].value <= w[1].value, "row not sorted");
+        assert_eq!(ix.values.len(), ix.k * m, "values slab must be K × m");
+        assert_eq!(ix.slots.len(), ix.k * m, "slots slab must be K × m");
+        assert_eq!(ix.columns.len(), ix.k * m, "columns slab must be m × K");
+        for i in 0..ix.k {
+            let row_vals = &ix.values[i * m..(i + 1) * m];
+            let row_slots = &ix.slots[i * m..(i + 1) * m];
+            for w in row_vals.windows(2) {
+                assert!(w[0] <= w[1], "row {i} not sorted");
             }
-        }
-        for j0 in 0..m {
-            let slot = ix.rows[0][j0].up as usize;
-            assert!(slot < m, "row-0 up must be a meta slot");
-            let mut p = j0 as u32;
-            for i in 0..ix.k - 1 {
-                let down = ix.rows[i][p as usize].down;
-                assert_ne!(down, NO_LINK, "down link missing before last row");
+            let mut seen = vec![false; m];
+            for (j, &s) in row_slots.iter().enumerate() {
+                let s = s as usize;
+                assert!(s < m, "slot out of range on row {i}");
+                assert!(!seen[s], "duplicate slot {s} on row {i}");
+                seen[s] = true;
                 assert_eq!(
-                    ix.rows[i + 1][down as usize].up,
-                    p,
-                    "up link must invert down link at row {i}"
+                    row_vals[j],
+                    ix.columns[s * ix.k + i],
+                    "cell/column mismatch at row {i} slot {s}"
                 );
-                p = down;
             }
-            assert_eq!(ix.rows[ix.k - 1][p as usize].down, NO_LINK);
-        }
-        // Meta slots are referenced exactly once from row 0.
-        let mut seen = vec![false; m];
-        for t in &ix.rows[0] {
-            assert!(!seen[t.up as usize], "duplicate meta reference");
-            seen[t.up as usize] = true;
         }
     }
 
     #[test]
-    fn build_produces_consistent_links() {
+    fn build_produces_consistent_slabs() {
         let f = family();
         let qs = query_set(&f, 20);
         let ix = HqIndex::build(K, &qs);
@@ -584,7 +578,8 @@ mod tests {
     fn heap_bytes_scales_with_m_times_k() {
         let f = family();
         let ix = HqIndex::build(K, &query_set(&f, 10));
-        let expected = 10 * K * std::mem::size_of::<Triple>();
+        // One u64 value, one u32 slot, and one u64 column entry per cell.
+        let expected = 10 * K * 16;
         assert!(ix.heap_bytes() >= expected);
     }
 }

@@ -139,14 +139,16 @@ impl SeqStore {
                         let Some(sig) = e.sig.as_mut() else {
                             return false;
                         };
-                        sig.or_with(wsig);
+                        // Fused merge+count: one pass over the signature
+                        // words yields the OR, n_lt and n_eq together.
+                        let (n_less, n_eq) = sig.or_with_counts(wsig);
                         stats.sig_ors += 1;
                         stats.sig_compares += 1;
-                        if sig.violates_lemma2(cfg.pruning_delta()) {
+                        if sig.lemma2_from_count(n_less, cfg.pruning_delta()) {
                             stats.lemma2_prunes += 1;
                             return false;
                         }
-                        let sim = sig.similarity();
+                        let sim = sig.similarity_from_count(n_eq);
                         if sim + 1e-12 >= cfg.delta && !e.reported {
                             e.reported = true;
                             stats.detections += 1;
@@ -232,11 +234,12 @@ impl SeqStore {
                             return false;
                         };
                         stats.sig_compares += 1;
-                        if sig.violates_lemma2(cfg.pruning_delta()) {
+                        let (n_less, n_eq) = sig.counts();
+                        if sig.lemma2_from_count(n_less, cfg.pruning_delta()) {
                             stats.lemma2_prunes += 1;
                             return false;
                         }
-                        let sim = sig.similarity();
+                        let sim = sig.similarity_from_count(n_eq);
                         if sim + 1e-12 >= cfg.delta {
                             e.reported = true;
                             stats.detections += 1;

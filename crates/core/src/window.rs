@@ -148,14 +148,13 @@ impl WindowRelations {
 /// Lemma-2 pruning.
 pub fn sketch_relations(a: &Sketch, b: &Sketch) -> (usize, usize) {
     assert_eq!(a.k(), b.k(), "sketch K mismatch");
+    // Branch-free: each lane contributes 0/1 to both counters, so the
+    // loop has no data-dependent branches and vectorizes.
     let mut n_eq = 0usize;
     let mut n_less = 0usize;
     for (&x, &y) in a.mins().iter().zip(b.mins()) {
-        match x.cmp(&y) {
-            std::cmp::Ordering::Equal => n_eq += 1,
-            std::cmp::Ordering::Less => n_less += 1,
-            std::cmp::Ordering::Greater => {}
-        }
+        n_eq += usize::from(x == y);
+        n_less += usize::from(x < y);
     }
     (n_eq, n_less)
 }

@@ -55,71 +55,61 @@ fn overlap(b: u32, r: u32, n: u32, total: u32) -> f64 {
 /// — a copy re-encoded at PAL geometry has a different block grid, and
 /// snapping regions to whole blocks would shift every region boundary by
 /// up to half a block.
+/// This is the compatibility entry point; it delegates to a one-shot
+/// [`RegionPlan`] so there is exactly one weight-computation
+/// implementation in the crate (the property tests in
+/// `tests/region_plan_props.rs` hold it bit-identical to an inlined
+/// naive reference). Steady-state callers should build a plan once —
+/// or use [`PlanCache`] — and call
+/// [`RegionPlan::region_averages_into`] directly.
 pub fn region_averages(dc: &DcFrame, rows: u32, cols: u32) -> Vec<f32> {
-    assert!(rows >= 1 && cols >= 1);
-    assert!(
-        dc.blocks_h >= rows && dc.blocks_w >= cols,
-        "frame has fewer blocks ({}x{}) than regions ({cols}x{rows})",
-        dc.blocks_w,
-        dc.blocks_h,
-    );
-    let mut out = Vec::with_capacity((rows * cols) as usize);
-    for ry in 0..rows {
-        let by0 = (f64::from(ry) * f64::from(dc.blocks_h) / f64::from(rows)).floor() as u32;
-        let by1 = ((f64::from(ry + 1) * f64::from(dc.blocks_h) / f64::from(rows)).ceil() as u32)
-            .min(dc.blocks_h);
-        for rx in 0..cols {
-            let bx0 = (f64::from(rx) * f64::from(dc.blocks_w) / f64::from(cols)).floor() as u32;
-            let bx1 = ((f64::from(rx + 1) * f64::from(dc.blocks_w) / f64::from(cols)).ceil()
-                as u32)
-                .min(dc.blocks_w);
-            let mut sum = 0.0f64;
-            let mut weight = 0.0f64;
-            for by in by0..by1 {
-                let wy = overlap(by, ry, rows, dc.blocks_h);
-                if wy <= 0.0 {
-                    continue;
-                }
-                for bx in bx0..bx1 {
-                    let wx = overlap(bx, rx, cols, dc.blocks_w);
-                    if wx <= 0.0 {
-                        continue;
-                    }
-                    let w = wx * wy;
-                    sum += w * f64::from(dc.dc[(by * dc.blocks_w + bx) as usize]);
-                    weight += w;
-                }
-            }
-            out.push((sum / weight) as f32);
-        }
-    }
+    let plan = RegionPlan::build(dc.blocks_w, dc.blocks_h, rows, cols);
+    let mut out = vec![0.0f32; (rows * cols) as usize];
+    plan.region_averages_into(&dc.dc, &mut out);
     out
 }
 
 /// A precomputed region-averaging plan for one `(blocks_w, blocks_h,
 /// rows, cols)` geometry.
 ///
-/// [`region_averages`] recomputes every block/region overlap weight per
-/// frame; a stream's geometry never changes mid-flight, so the weights
-/// are loop invariants of the whole ingestion run. The plan hoists them:
-/// it stores `(block_index, weight)` terms in exactly the order the
-/// naive double loop visits them (plus each region's total weight,
-/// accumulated in that same order), which reduces per-frame work to flat
-/// multiply–adds **and** keeps the resulting f64 sums — hence the f32
-/// averages — bit-identical to the naive path.
+/// A per-frame region-averaging pass recomputes every block/region
+/// overlap weight; a stream's geometry never changes mid-flight, so the
+/// weights are loop invariants of the whole ingestion run. The plan
+/// hoists them into **structure-of-arrays** form: parallel
+/// `idx`/`wts` slices holding the multiply–add terms in exactly the
+/// order the naive double loop visits them, with each region's run
+/// padded to a multiple of `LANES` using zero-weight terms. The
+/// padding lets [`Self::region_averages_into`] process fixed 4-wide
+/// chunks (the four products have no mutual dependency, so they
+/// vectorize/pipeline) while the *additions* stay in naive serial
+/// order — and a `+0.0`/`-0.0` padding product can never change a
+/// partial sum's bit pattern, because a left-folded sum seeded with
+/// `+0.0` never becomes `-0.0` (that would take `-0.0 + -0.0`). The
+/// resulting f64 sums — hence the f32 averages — are bit-identical to
+/// the naive path for all finite inputs.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RegionPlan {
     blocks_w: u32,
     blocks_h: u32,
     rows: u32,
     cols: u32,
-    /// `(block_index, overlap_weight)` multiply–add terms, concatenated
-    /// region by region in naive visit order.
-    terms: Vec<(u32, f64)>,
-    /// Per region (row-major): exclusive end offset into `terms` and the
-    /// region's total overlap weight.
+    /// Block index of each multiply–add term, concatenated region by
+    /// region in naive visit order; padding terms repeat an in-bounds
+    /// index of their own region.
+    idx: Vec<u32>,
+    /// Overlap weight of each term, parallel to `idx`; padding terms
+    /// carry weight `0.0`.
+    wts: Vec<f64>,
+    /// Per region (row-major): exclusive *padded* end offset into
+    /// `idx`/`wts` and the region's total overlap weight (real terms
+    /// only, accumulated in naive order).
     regions: Vec<(u32, f64)>,
 }
+
+/// Chunk width of the padded region runs: four independent products per
+/// step keeps the multiplies pipelined without perturbing the serial
+/// f64 addition order.
+const LANES: usize = 4;
 
 impl RegionPlan {
     /// Precompute the plan for one frame geometry.
@@ -133,7 +123,8 @@ impl RegionPlan {
             blocks_h >= rows && blocks_w >= cols,
             "frame has fewer blocks ({blocks_w}x{blocks_h}) than regions ({cols}x{rows})",
         );
-        let mut terms = Vec::new();
+        let mut idx = Vec::new();
+        let mut wts = Vec::new();
         // vdsms-lint: allow(no-alloc-hot-path) reason="plan construction: runs once per stream geometry, not per frame"
         let mut regions = Vec::with_capacity((rows * cols) as usize);
         for ry in 0..rows {
@@ -147,6 +138,7 @@ impl RegionPlan {
                     ((f64::from(rx + 1) * f64::from(blocks_w) / f64::from(cols)).ceil() as u32)
                         .min(blocks_w);
                 let mut weight = 0.0f64;
+                let region_start = idx.len();
                 for by in by0..by1 {
                     let wy = overlap(by, ry, rows, blocks_h);
                     if wy <= 0.0 {
@@ -159,15 +151,28 @@ impl RegionPlan {
                         }
                         let w = wx * wy;
                         // vdsms-lint: allow(no-alloc-hot-path) reason="plan construction: runs once per stream geometry, not per frame"
-                        terms.push((by * blocks_w + bx, w));
+                        idx.push(by * blocks_w + bx);
+                        // vdsms-lint: allow(no-alloc-hot-path) reason="plan construction: runs once per stream geometry, not per frame"
+                        wts.push(w);
                         weight += w;
                     }
                 }
+                // Pad the run to a LANES multiple with zero-weight terms
+                // repeating an index this region already reads (always
+                // in bounds; index 0 for a degenerate empty region).
+                let pad_idx = idx.get(region_start).copied().unwrap_or(0);
+                let pad = (LANES - idx.len() % LANES) % LANES;
+                for _ in 0..pad {
+                    // vdsms-lint: allow(no-alloc-hot-path) reason="plan construction: runs once per stream geometry, not per frame"
+                    idx.push(pad_idx);
+                    // vdsms-lint: allow(no-alloc-hot-path) reason="plan construction: runs once per stream geometry, not per frame"
+                    wts.push(0.0);
+                }
                 // vdsms-lint: allow(no-alloc-hot-path) reason="plan construction: pre-reserved to rows*cols above"
-                regions.push((terms.len() as u32, weight));
+                regions.push((idx.len() as u32, weight));
             }
         }
-        RegionPlan { blocks_w, blocks_h, rows, cols, terms, regions }
+        RegionPlan { blocks_w, blocks_h, rows, cols, idx, wts, regions }
     }
 
     /// Whether this plan was built for the given geometry.
@@ -184,6 +189,7 @@ impl RegionPlan {
     ///
     /// # Panics
     /// Panics if `dc` or `out` do not match the plan's geometry.
+    // vdsms-lint: entry
     pub fn region_averages_into(&self, dc: &[f32], out: &mut [f32]) {
         assert_eq!(
             dc.len(),
@@ -193,12 +199,23 @@ impl RegionPlan {
         assert_eq!(out.len(), self.regions.len(), "output does not match region count");
         let mut start = 0usize;
         for (slot, &(end, weight)) in out.iter_mut().zip(&self.regions) {
+            let end = end as usize;
             let mut sum = 0.0f64;
-            for &(idx, w) in &self.terms[start..end as usize] {
-                sum += w * f64::from(dc[idx as usize]);
+            // Runs are padded to LANES, so each chunk is exactly four
+            // terms: the products are independent (they pipeline or
+            // vectorize), the adds fold left in naive serial order, and
+            // zero-weight padding products are bit-level no-ops.
+            let mut i = start;
+            while i < end {
+                let p0 = self.wts[i] * f64::from(dc[self.idx[i] as usize]);
+                let p1 = self.wts[i + 1] * f64::from(dc[self.idx[i + 1] as usize]);
+                let p2 = self.wts[i + 2] * f64::from(dc[self.idx[i + 2] as usize]);
+                let p3 = self.wts[i + 3] * f64::from(dc[self.idx[i + 3] as usize]);
+                sum = sum + p0 + p1 + p2 + p3;
+                i += LANES;
             }
             *slot = (sum / weight) as f32;
-            start = end as usize;
+            start = end;
         }
     }
 }

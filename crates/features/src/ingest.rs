@@ -90,8 +90,7 @@ impl<'a> FingerprintStream<'a> {
     /// segments or re-ingest a stream.
     pub fn reopen(&mut self, bytes: &'a [u8]) -> Result<()> {
         self.carried_health.merge(&self.decoder.health());
-        self.decoder = PartialDecoder::new_with_recovery(bytes, self.recover)?;
-        Ok(())
+        self.decoder.reopen(bytes, self.recover)
     }
 
     /// Decode and fingerprint the next key frame, or `Ok(None)` at end of

@@ -25,12 +25,62 @@ fn arb_geometry() -> impl Strategy<Value = (u32, u32, u32, u32)> {
         .prop_map(|(rows, cols, dw, dh)| (cols + dw, rows + dh, rows, cols))
 }
 
+/// 1-D overlap weight of block `b` with region `r` — the same closed
+/// form `RegionPlan::build` uses (kept in sync by these tests).
+fn overlap(b: u32, r: u32, n: u32, total: u32) -> f64 {
+    let r0 = f64::from(r) * f64::from(total) / f64::from(n);
+    let r1 = f64::from(r + 1) * f64::from(total) / f64::from(n);
+    (f64::from(b) + 1.0).min(r1) - f64::from(b).max(r0)
+}
+
+/// The naive per-frame reference: re-derives every overlap weight and
+/// accumulates in double-loop visit order. The production crate no
+/// longer carries this implementation (`region_averages` delegates to
+/// `RegionPlan`), so this inlined copy is the bit-exactness ground
+/// truth the SoA/padded kernel is held to.
+fn naive_region_averages(dc: &DcFrame, rows: u32, cols: u32) -> Vec<f32> {
+    assert!(rows >= 1 && cols >= 1);
+    assert!(dc.blocks_h >= rows && dc.blocks_w >= cols);
+    let mut out = Vec::with_capacity((rows * cols) as usize);
+    for ry in 0..rows {
+        let by0 = (f64::from(ry) * f64::from(dc.blocks_h) / f64::from(rows)).floor() as u32;
+        let by1 = ((f64::from(ry + 1) * f64::from(dc.blocks_h) / f64::from(rows)).ceil() as u32)
+            .min(dc.blocks_h);
+        for rx in 0..cols {
+            let bx0 = (f64::from(rx) * f64::from(dc.blocks_w) / f64::from(cols)).floor() as u32;
+            let bx1 = ((f64::from(rx + 1) * f64::from(dc.blocks_w) / f64::from(cols)).ceil()
+                as u32)
+                .min(dc.blocks_w);
+            let mut sum = 0.0f64;
+            let mut weight = 0.0f64;
+            for by in by0..by1 {
+                let wy = overlap(by, ry, rows, dc.blocks_h);
+                if wy <= 0.0 {
+                    continue;
+                }
+                for bx in bx0..bx1 {
+                    let wx = overlap(bx, rx, cols, dc.blocks_w);
+                    if wx <= 0.0 {
+                        continue;
+                    }
+                    let w = wx * wy;
+                    sum += w * f64::from(dc.dc[(by * dc.blocks_w + bx) as usize]);
+                    weight += w;
+                }
+            }
+            out.push((sum / weight) as f32);
+        }
+    }
+    out
+}
+
 fn assert_plan_matches_naive(dc: &DcFrame, rows: u32, cols: u32) {
-    let naive = region_averages(dc, rows, cols);
+    let naive = naive_region_averages(dc, rows, cols);
+    let delegated = region_averages(dc, rows, cols);
     let plan = RegionPlan::build(dc.blocks_w, dc.blocks_h, rows, cols);
     let mut planned = vec![0.0f32; naive.len()];
     plan.region_averages_into(&dc.dc, &mut planned);
-    for (i, (a, b)) in naive.iter().zip(&planned).enumerate() {
+    for (i, ((a, b), c)) in naive.iter().zip(&planned).zip(&delegated).enumerate() {
         assert_eq!(
             a.to_bits(),
             b.to_bits(),
@@ -38,6 +88,7 @@ fn assert_plan_matches_naive(dc: &DcFrame, rows: u32, cols: u32) {
             dc.blocks_w,
             dc.blocks_h,
         );
+        assert_eq!(a.to_bits(), c.to_bits(), "region {i}: delegating region_averages diverged");
     }
 }
 

@@ -1,0 +1,124 @@
+//! Direct-mapped cache of cell-id → min-hash columns.
+//!
+//! Streaming video repeats cell ids heavily: scene content evolves over
+//! seconds while key frames arrive several times per second, so adjacent
+//! key frames usually fingerprint to the *same* cell id (≈70% of key
+//! frames on the ingest bench workload). Recomputing the `K` hash
+//! evaluations for a repeated id is the window fold's dominant cost;
+//! caching the whole *column* of hash values turns a repeat fold into one
+//! element-wise `min` pass (`K·8` bytes, memory-bound) instead of `K`
+//! Mersenne multiply-folds.
+//!
+//! The cache is direct-mapped on the mixed id, so lookup and eviction are
+//! deterministic, and a miss just recomputes the column — sketches built
+//! through the cache are **bit-identical** to uncached folding for every
+//! id sequence (pinned by the equivalence tests below).
+
+use crate::hash::{mix64, MinHashFamily};
+
+/// A direct-mapped id → hash-column cache for one [`MinHashFamily`].
+///
+/// All buffers are allocated up front at construction; serving folds
+/// never touches the allocator (the zero-alloc ingestion invariant).
+#[derive(Debug, Clone)]
+pub struct HashColumnCache {
+    k: usize,
+    /// Power-of-two way count; way of id `x` is `mix64(x) & (ways − 1)`.
+    ways: usize,
+    /// Cached id per way (valid only where `filled`).
+    tags: Vec<u64>,
+    /// Whether a way holds a computed column yet.
+    filled: Vec<bool>,
+    /// `ways × K` hash columns, way `w` at `[w·K, (w+1)·K)`.
+    cols: Vec<u64>,
+}
+
+impl HashColumnCache {
+    /// A cache with `ways` slots for columns of `family`'s `K` values
+    /// (`ways × K × 8` bytes).
+    ///
+    /// # Panics
+    /// Panics if `ways` is not a power of two.
+    pub fn new(family: &MinHashFamily, ways: usize) -> HashColumnCache {
+        assert!(ways.is_power_of_two(), "way count must be a power of two");
+        HashColumnCache {
+            k: family.k(),
+            ways,
+            tags: vec![0; ways],
+            filled: vec![false; ways],
+            cols: vec![0; ways * family.k()],
+        }
+    }
+
+    /// Fold `family`'s hash column for `x` into `mins` element-wise,
+    /// serving the column from the cache when `x` was computed recently.
+    /// Bit-identical to [`MinHashFamily::update_mins`] — a hit replays
+    /// the exact values a miss computes.
+    ///
+    /// # Panics
+    /// Panics if `family`'s `K` differs from the cache's or `mins`'s.
+    // vdsms-lint: entry
+    pub fn fold_min(&mut self, family: &MinHashFamily, x: u64, mins: &mut [u64]) {
+        assert_eq!(family.k(), self.k, "family/cache K mismatch");
+        assert_eq!(mins.len(), self.k, "mins/cache K mismatch");
+        let w = (mix64(x) as usize) & (self.ways - 1);
+        let col = &mut self.cols[w * self.k..(w + 1) * self.k];
+        if !(self.filled[w] && self.tags[w] == x) {
+            family.fill_column(x, col);
+            self.tags[w] = x;
+            self.filled[w] = true;
+        }
+        for (m, &c) in mins.iter_mut().zip(col.iter()) {
+            *m = (*m).min(c);
+        }
+    }
+
+    /// Heap footprint in bytes (the columns dominate).
+    pub fn heap_bytes(&self) -> usize {
+        self.cols.len() * std::mem::size_of::<u64>()
+            + self.tags.len() * std::mem::size_of::<u64>()
+            + self.filled.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cached_folds_match_uncached() {
+        let fam = MinHashFamily::new(97, 5);
+        // Repeats, conflict-prone neighbours, and fresh ids interleaved.
+        let ids = [3u64, 3, 3, 7, 3, 7, 7, 900, 900, 3, 12_345, 900, 7];
+        let mut cache = HashColumnCache::new(&fam, 8);
+        let mut cached = vec![u64::MAX; 97];
+        let mut plain = vec![u64::MAX; 97];
+        for &id in &ids {
+            cache.fold_min(&fam, id, &mut cached);
+            fam.update_mins(id, &mut plain);
+            assert_eq!(cached, plain, "divergence after folding id {id}");
+        }
+    }
+
+    #[test]
+    fn eviction_is_harmless() {
+        // A 1-way cache evicts on every alternation; results must still
+        // be exact.
+        let fam = MinHashFamily::new(33, 9);
+        let mut cache = HashColumnCache::new(&fam, 1);
+        let mut cached = vec![u64::MAX; 33];
+        let mut plain = vec![u64::MAX; 33];
+        for &id in &[1u64, 2, 1, 2, 1, 1, 2] {
+            cache.fold_min(&fam, id, &mut cached);
+            fam.update_mins(id, &mut plain);
+        }
+        assert_eq!(cached, plain);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_non_power_of_two_ways() {
+        let fam = MinHashFamily::new(4, 1);
+        let _ = HashColumnCache::new(&fam, 3);
+    }
+}

@@ -77,9 +77,52 @@ impl MinHashFamily {
         let mixed = mix64(x) % MERSENNE_P;
         for ((a, b), slot) in self.coeffs.iter().zip(out.iter_mut()) {
             let h = mul_add_mod(*a, mixed, *b);
-            if h < *slot {
-                *slot = h;
+            *slot = h.min(*slot);
+        }
+    }
+
+    /// Evaluate every function on `x` into `out` (length `K`),
+    /// overwriting — the raw hash *column*, not a min fold. Backs the
+    /// [`crate::HashColumnCache`]: a stored column min-folds into a
+    /// sketch with one element-wise pass instead of `K` Mersenne
+    /// multiply-folds.
+    // vdsms-lint: entry
+    pub fn fill_column(&self, x: u64, out: &mut [u64]) {
+        debug_assert_eq!(out.len(), self.coeffs.len());
+        let mixed = mix64(x) % MERSENNE_P;
+        for ((a, b), slot) in self.coeffs.iter().zip(out.iter_mut()) {
+            *slot = mul_add_mod(*a, mixed, *b);
+        }
+    }
+
+    /// Evaluate every function on each element of `xs`, folding the minima
+    /// into `out` (length `K`). Equivalent to one [`Self::update_mins`]
+    /// call per element — `min` is commutative and associative, so the
+    /// resulting minima are bit-identical — but makes one pass over the
+    /// coefficient table per 8-element chunk instead of per element: each
+    /// `(a_i, b_i)` pair is loaded once and the chunk's eight hash
+    /// evaluations are independent, so the Mersenne folds pipeline instead
+    /// of serialising on the `out` stream. This is the per-window
+    /// sketching kernel (`w` key-frame ids folded in one sweep).
+    // vdsms-lint: entry
+    pub fn update_mins_batch(&self, xs: &[u64], out: &mut [u64]) {
+        debug_assert_eq!(out.len(), self.coeffs.len());
+        let mut chunks = xs.chunks_exact(8);
+        for chunk in &mut chunks {
+            let mut mixed = [0u64; 8];
+            for (m, &x) in mixed.iter_mut().zip(chunk) {
+                *m = mix64(x) % MERSENNE_P;
             }
+            for ((a, b), slot) in self.coeffs.iter().zip(out.iter_mut()) {
+                let mut m = *slot;
+                for &mx in &mixed {
+                    m = m.min(mul_add_mod(*a, mx, *b));
+                }
+                *slot = m;
+            }
+        }
+        for &x in chunks.remainder() {
+            self.update_mins(x, out);
         }
     }
 }

@@ -15,10 +15,12 @@
 
 #![forbid(unsafe_code)]
 
+pub mod cache;
 pub mod exact;
 pub mod hash;
 pub mod sketch;
 
+pub use cache::HashColumnCache;
 pub use exact::jaccard;
 pub use hash::MinHashFamily;
 pub use sketch::Sketch;

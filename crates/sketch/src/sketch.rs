@@ -90,6 +90,32 @@ impl Sketch {
         family.update_mins(id, &mut self.mins);
     }
 
+    /// Add a batch of elements — exactly equivalent to calling
+    /// [`Sketch::observe`] once per id (in any order), but routed through
+    /// the family's chunked kernel so a whole basic window folds into the
+    /// sketch in one pass over the coefficient table.
+    pub fn observe_batch(&mut self, family: &MinHashFamily, ids: &[u64]) {
+        assert_eq!(family.k(), self.k(), "family/sketch K mismatch");
+        family.update_mins_batch(ids, &mut self.mins);
+    }
+
+    /// [`Sketch::observe_batch`] through a [`crate::HashColumnCache`]:
+    /// bit-identical minima, but ids seen recently fold their cached
+    /// hash column in one element-wise pass instead of re-evaluating
+    /// the family. This is the streaming window fold — adjacent key
+    /// frames usually repeat their cell id.
+    pub fn observe_batch_cached(
+        &mut self,
+        family: &MinHashFamily,
+        cache: &mut crate::HashColumnCache,
+        ids: &[u64],
+    ) {
+        assert_eq!(family.k(), self.k(), "family/sketch K mismatch");
+        for &id in ids {
+            cache.fold_min(family, id, &mut self.mins);
+        }
+    }
+
     /// Combine with another sketch in place (paper Property 1): the result
     /// is the sketch of the union of the two underlying sets.
     pub fn combine(&mut self, other: &Sketch) {
@@ -217,6 +243,23 @@ mod tests {
         assert_eq!(s.combined(&Sketch::empty(64)), s);
         assert!(Sketch::empty(64).is_empty());
         assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn observe_batch_matches_sequential_observes() {
+        // Exercise every chunk shape: empty, sub-chunk remainder, exactly
+        // one chunk, chunk + remainder, multiple chunks.
+        let f = family(97);
+        for n in [0usize, 1, 3, 7, 8, 9, 15, 16, 17, 40] {
+            let ids: Vec<u64> = (0..n as u64).map(|i| i.wrapping_mul(0x9e37_79b9) ^ 0xabcd).collect();
+            let mut batched = Sketch::empty(97);
+            batched.observe_batch(&f, &ids);
+            let mut seq = Sketch::empty(97);
+            for &id in &ids {
+                seq.observe(&f, id);
+            }
+            assert_eq!(batched, seq, "batch/sequential divergence at n={n}");
+        }
     }
 
     #[test]
